@@ -1,0 +1,120 @@
+//! Microbenchmarks of the four fundamental operations themselves
+//! (paper §4): reduction must be cheap enough to run on every order
+//! comparison the planner makes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fto_common::{ColId, ColSet, Value};
+use fto_order::{EquivalenceClasses, FdSet, FlexOrder, OrderContext, OrderSpec};
+
+/// A context with 32 columns, 8 equivalence pairs, 4 constants, and 4
+/// key FDs — a busy multi-join query's worth of facts.
+fn busy_context() -> OrderContext {
+    let mut eq = EquivalenceClasses::new();
+    for i in 0..8u32 {
+        eq.merge(ColId(i), ColId(i + 16));
+    }
+    for i in 8..12u32 {
+        eq.bind_constant(ColId(i), Value::Int(i as i64));
+    }
+    let mut fds = FdSet::new();
+    let all: ColSet = (0..32u32).map(ColId).collect();
+    for lead in [0u32, 4, 16, 20] {
+        fds.add_key(ColSet::singleton(ColId(lead)), all.clone());
+    }
+    OrderContext::new(eq, &fds)
+}
+
+fn specs() -> Vec<OrderSpec> {
+    vec![
+        OrderSpec::ascending([ColId(8), ColId(1), ColId(17), ColId(2)]),
+        OrderSpec::ascending([ColId(16), ColId(3), ColId(9)]),
+        OrderSpec::ascending((0..8u32).map(ColId)),
+    ]
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let ctx = busy_context();
+    let specs = specs();
+    c.bench_function("ops/reduce", |b| {
+        b.iter(|| {
+            specs
+                .iter()
+                .map(|s| ctx.reduce(std::hint::black_box(s)).len())
+                .sum::<usize>()
+        })
+    });
+}
+
+fn bench_test_order(c: &mut Criterion) {
+    let ctx = busy_context();
+    let specs = specs();
+    c.bench_function("ops/test_order", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for i in &specs {
+                for p in &specs {
+                    if ctx.test_order(std::hint::black_box(i), p) {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        })
+    });
+}
+
+fn bench_cover(c: &mut Criterion) {
+    let ctx = busy_context();
+    let specs = specs();
+    c.bench_function("ops/cover", |b| {
+        b.iter(|| {
+            let mut covers = 0;
+            for i in &specs {
+                for j in &specs {
+                    if ctx.cover(i, j).is_some() {
+                        covers += 1;
+                    }
+                }
+            }
+            covers
+        })
+    });
+}
+
+fn bench_homogenize(c: &mut Criterion) {
+    let ctx = busy_context();
+    let specs = specs();
+    let targets: ColSet = (16..32u32).map(ColId).collect();
+    c.bench_function("ops/homogenize", |b| {
+        b.iter(|| {
+            specs
+                .iter()
+                .filter(|s| ctx.homogenize(s, &targets).is_some())
+                .count()
+        })
+    });
+}
+
+fn bench_flex_satisfaction(c: &mut Criterion) {
+    let ctx = busy_context();
+    let flex = FlexOrder::group_by((0..6u32).map(ColId), [ColId(7)]);
+    let prop = OrderSpec::ascending([
+        ColId(2),
+        ColId(0),
+        ColId(1),
+        ColId(5),
+        ColId(3),
+        ColId(4),
+        ColId(7),
+    ]);
+    c.bench_function("ops/flex_satisfied_by", |b| {
+        b.iter(|| flex.satisfied_by(std::hint::black_box(&prop), &ctx))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_reduce, bench_test_order, bench_cover, bench_homogenize, bench_flex_satisfaction
+);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Ablation study over the design choices DESIGN.md calls out: Q3 run
+//! under the full optimizer, with sort-ahead off, with all order
+//! optimization off, and under the modern (hash-capable) operator
+//! inventory.
+//!
+//! ```text
+//! cargo run -p fto-bench --release --bin ablations [-- <scale>]
+//! ```
+
+use fto_bench::harness::ablation;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.02);
+    println!("Ablations on TPC-D Q3 (scale {scale})");
+    println!();
+    println!("| configuration                  | elapsed      | sim. pages | sorts |");
+    println!("|--------------------------------|--------------|------------|-------|");
+    for (name, cell) in ablation(scale).unwrap() {
+        println!(
+            "| {:<30} | {:>10.3?} | {:>10.0} | {:>5} |",
+            name, cell.elapsed, cell.page_cost, cell.sorts
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! An interactive SQL shell over a generated TPC-D database — the
+//! quickest way to poke at the optimizer.
+//!
+//! ```text
+//! cargo run -p fto-bench --release --bin repl [-- <scale>]
+//! ```
+//!
+//! Commands:
+//!
+//! * `<sql>;`            — run a query, print rows (first 20) + timing
+//! * `explain <sql>;`    — show the chosen plan without running it
+//! * `explain+ <sql>;`   — the plan with per-stream order/key properties
+//! * `compare <sql>;`    — plans + timings with order optimization on/off
+//! * `.mode modern|1996` — operator inventory (hash ops on/off)
+//! * `.tables`           — list tables
+//! * `.quit`             — exit
+
+use fto_bench::Session;
+use fto_planner::OptimizerConfig;
+use fto_tpcd::{build_database, TpcdConfig};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01);
+    eprintln!("loading TPC-D at scale {scale}...");
+    let session = Session::new(
+        build_database(TpcdConfig {
+            scale,
+            ..TpcdConfig::default()
+        })
+        .expect("tpcd generation"),
+    );
+    eprintln!("ready. end statements with ';'. try: .tables, explain <sql>;, compare <sql>;");
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    let mut modern = true;
+    print_prompt();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if trimmed.starts_with('.') {
+            match trimmed {
+                ".quit" | ".exit" => break,
+                ".tables" => {
+                    for t in session.database().catalog().tables() {
+                        let stats = session.database().catalog().stats(t.id);
+                        println!("  {} ({} rows)", t.name, stats.row_count);
+                    }
+                }
+                ".mode modern" => {
+                    modern = true;
+                    println!("operator inventory: modern (hash join/grouping on)");
+                }
+                ".mode 1996" => {
+                    modern = false;
+                    println!("operator inventory: 1996 (order-based only)");
+                }
+                other => println!("unknown command {other}"),
+            }
+            print_prompt();
+            continue;
+        }
+        buffer.push_str(&line);
+        buffer.push(' ');
+        if !buffer.trim_end().ends_with(';') {
+            continue;
+        }
+        let statement = buffer.trim().trim_end_matches(';').trim().to_string();
+        buffer.clear();
+        if !statement.is_empty() {
+            dispatch(&session, &statement, modern);
+        }
+        print_prompt();
+    }
+}
+
+fn print_prompt() {
+    print!("fto> ");
+    let _ = std::io::stdout().flush();
+}
+
+fn base_config(modern: bool) -> OptimizerConfig {
+    if modern {
+        OptimizerConfig::default()
+    } else {
+        OptimizerConfig::db2_1996()
+    }
+}
+
+fn disabled_config(modern: bool) -> OptimizerConfig {
+    if modern {
+        OptimizerConfig::disabled()
+    } else {
+        OptimizerConfig::db2_1996_disabled()
+    }
+}
+
+fn dispatch(session: &Session, statement: &str, modern: bool) {
+    let lower = statement.to_ascii_lowercase();
+    if let Some(sql) = lower.strip_prefix("explain+ ") {
+        match session.compile(sql, base_config(modern)) {
+            Ok(c) => println!("{}", c.explain_properties()),
+            Err(e) => println!("error: {e}"),
+        }
+    } else if let Some(sql) = lower.strip_prefix("explain ") {
+        match session.compile(sql, base_config(modern)) {
+            Ok(c) => println!("{}", c.explain()),
+            Err(e) => println!("error: {e}"),
+        }
+    } else if let Some(sql) = lower.strip_prefix("compare ") {
+        for (label, cfg) in [
+            ("order optimization ON", base_config(modern)),
+            ("order optimization OFF", disabled_config(modern)),
+        ] {
+            match session.run(sql, cfg) {
+                Ok((c, r)) => {
+                    println!("── {label} ──");
+                    println!("{}", c.explain());
+                    println!("{} rows in {:?}  ({})\n", r.rows.len(), r.elapsed, r.io);
+                }
+                Err(e) => println!("error: {e}"),
+            }
+        }
+    } else {
+        match session.run(&lower, base_config(modern)) {
+            Ok((c, r)) => {
+                let names: Vec<&str> = c
+                    .graph
+                    .boxed(c.graph.root)
+                    .output
+                    .iter()
+                    .map(|o| c.graph.registry.name(o.col))
+                    .collect();
+                println!("{}", names.join(" | "));
+                for row in r.rows.iter().take(20) {
+                    let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                    println!("{}", cells.join(" | "));
+                }
+                if r.rows.len() > 20 {
+                    println!("... ({} rows total)", r.rows.len());
+                }
+                println!("{} rows in {:?}  ({})", r.rows.len(), r.elapsed, r.io);
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Regenerates the paper's **Table 1**: elapsed time for TPC-D Query 3
+//! with order optimization enabled vs disabled.
+//!
+//! ```text
+//! cargo run -p fto-bench --release --bin table1 [-- <scale> [runs]]
+//! ```
+//!
+//! The paper reports 192 s vs 393 s (ratio 2.04) on a 1 GB database on a
+//! 1995 RS/6000. We run the same query at laptop scale on the in-memory
+//! engine; absolute numbers differ, the winner and the ≈2× factor are the
+//! reproduced shape.
+
+use fto_bench::harness::table1;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let runs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(5);
+
+    println!("Table 1: Elapsed Time for Query 3 (scale factor {scale}, best of {runs} runs)");
+    println!();
+    let (enabled, disabled) = match table1(scale, runs) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    assert_eq!(
+        enabled.rows, disabled.rows,
+        "both modes must return the same result"
+    );
+    let ratio = disabled.elapsed.as_secs_f64() / enabled.elapsed.as_secs_f64();
+    let page_ratio = disabled.page_cost / enabled.page_cost.max(1.0);
+
+    println!("| build                   | elapsed      | sim. page cost | sorts in plan |");
+    println!("|-------------------------|--------------|----------------|---------------|");
+    println!(
+        "| order optimization on   | {:>10.3?} | {:>14.0} | {:>13} |",
+        enabled.elapsed, enabled.page_cost, enabled.sorts
+    );
+    println!(
+        "| order optimization off  | {:>10.3?} | {:>14.0} | {:>13} |",
+        disabled.elapsed, disabled.page_cost, disabled.sorts
+    );
+    println!();
+    println!("elapsed-time ratio (disabled / enabled):   {ratio:.2}   (paper: 2.04)");
+    println!("simulated-page ratio (disabled / enabled): {page_ratio:.2}");
+    println!("result rows (both modes): {}", enabled.rows);
+}

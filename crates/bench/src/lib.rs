@@ -1,0 +1,14 @@
+//! The benchmark harness and the `Session` facade tying the whole stack
+//! together: SQL → QGM → rewrites → order scan → cost-based plan →
+//! execution.
+//!
+//! The binaries in `src/bin/` regenerate every table and figure of the
+//! paper (see DESIGN.md's experiment index); the Criterion benches in
+//! `benches/` measure the same workloads under the harness.
+
+#![deny(missing_docs)]
+
+pub mod harness;
+pub mod session;
+
+pub use session::{Compiled, Session};

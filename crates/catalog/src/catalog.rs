@@ -1,0 +1,250 @@
+//! The catalog itself: the registry of tables, indexes, and statistics.
+
+use crate::index::IndexDef;
+use crate::stats::TableStats;
+use crate::table::{ColumnDef, KeyDef, TableDef};
+use fto_common::{Direction, FtoError, IndexId, Result, TableId};
+use std::collections::HashMap;
+
+/// The schema registry.
+#[derive(Default, Debug)]
+pub struct Catalog {
+    tables: Vec<TableDef>,
+    indexes: Vec<IndexDef>,
+    stats: Vec<TableStats>,
+    table_names: HashMap<String, TableId>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Creates a table and returns its id.
+    ///
+    /// A primary key automatically gets a clustered unique index named
+    /// `<table>_pk`, mirroring DB2's behaviour of clustering by the primary
+    /// index unless told otherwise.
+    pub fn create_table(
+        &mut self,
+        name: impl Into<String>,
+        columns: Vec<ColumnDef>,
+        keys: Vec<KeyDef>,
+    ) -> Result<TableId> {
+        let name = name.into().to_ascii_lowercase();
+        if self.table_names.contains_key(&name) {
+            return Err(FtoError::Catalog(format!("table '{name}' already exists")));
+        }
+        for key in &keys {
+            for &ord in &key.columns {
+                if ord >= columns.len() {
+                    return Err(FtoError::Catalog(format!(
+                        "key column ordinal {ord} out of range for table '{name}'"
+                    )));
+                }
+            }
+        }
+        let id = TableId::from(self.tables.len());
+        let primary = keys.iter().find(|k| k.primary).cloned();
+        self.tables.push(TableDef {
+            id,
+            name: name.clone(),
+            columns,
+            keys,
+            indexes: vec![],
+        });
+        self.stats.push(TableStats::default());
+        self.table_names.insert(name.clone(), id);
+        if let Some(pk) = primary {
+            let key: Vec<(usize, Direction)> =
+                pk.columns.iter().map(|&o| (o, Direction::Asc)).collect();
+            self.create_index(format!("{name}_pk"), id, key, true, true)?;
+        }
+        Ok(id)
+    }
+
+    /// Creates an ordered index and returns its id.
+    pub fn create_index(
+        &mut self,
+        name: impl Into<String>,
+        table: TableId,
+        key: Vec<(usize, Direction)>,
+        unique: bool,
+        clustered: bool,
+    ) -> Result<IndexId> {
+        let name = name.into().to_ascii_lowercase();
+        let arity = self.table(table)?.arity();
+        if key.is_empty() {
+            return Err(FtoError::Catalog(format!("index '{name}' has no key")));
+        }
+        for &(ord, _) in &key {
+            if ord >= arity {
+                return Err(FtoError::Catalog(format!(
+                    "index '{name}' key ordinal {ord} out of range"
+                )));
+            }
+        }
+        if clustered {
+            let already = self.indexes_for(table).any(|ix| ix.clustered);
+            if already {
+                return Err(FtoError::Catalog(format!(
+                    "table {table} already has a clustered index"
+                )));
+            }
+        }
+        let id = IndexId::from(self.indexes.len());
+        self.indexes.push(IndexDef {
+            id,
+            name,
+            table,
+            key,
+            unique,
+            clustered,
+        });
+        self.tables[table.index()].indexes.push(id);
+        Ok(id)
+    }
+
+    /// Looks a table up by id.
+    pub fn table(&self, id: TableId) -> Result<&TableDef> {
+        self.tables
+            .get(id.index())
+            .ok_or_else(|| FtoError::Catalog(format!("unknown table {id}")))
+    }
+
+    /// Looks a table up by name.
+    pub fn table_by_name(&self, name: &str) -> Result<&TableDef> {
+        let id = self
+            .table_names
+            .get(&name.to_ascii_lowercase())
+            .copied()
+            .ok_or_else(|| FtoError::Resolution(format!("unknown table '{name}'")))?;
+        self.table(id)
+    }
+
+    /// Looks an index up by id.
+    pub fn index(&self, id: IndexId) -> Result<&IndexDef> {
+        self.indexes
+            .get(id.index())
+            .ok_or_else(|| FtoError::Catalog(format!("unknown index {id}")))
+    }
+
+    /// All indexes over a table.
+    pub fn indexes_for(&self, table: TableId) -> impl Iterator<Item = &IndexDef> {
+        self.indexes.iter().filter(move |ix| ix.table == table)
+    }
+
+    /// All tables.
+    pub fn tables(&self) -> &[TableDef] {
+        &self.tables
+    }
+
+    /// Statistics for a table (default statistics if never analysed).
+    pub fn stats(&self, table: TableId) -> &TableStats {
+        &self.stats[table.index()]
+    }
+
+    /// Installs statistics for a table (the engine's `RUNSTATS`).
+    pub fn set_stats(&mut self, table: TableId, stats: TableStats) {
+        self.stats[table.index()] = stats;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fto_common::DataType;
+
+    fn cols() -> Vec<ColumnDef> {
+        vec![
+            ColumnDef::new("a", DataType::Int),
+            ColumnDef::new("b", DataType::Int),
+        ]
+    }
+
+    #[test]
+    fn create_and_lookup_table() {
+        let mut cat = Catalog::new();
+        let id = cat.create_table("T1", cols(), vec![]).unwrap();
+        assert_eq!(cat.table(id).unwrap().name, "t1");
+        assert_eq!(cat.table_by_name("t1").unwrap().id, id);
+        assert_eq!(cat.table_by_name("T1").unwrap().id, id);
+        assert!(cat.table_by_name("zzz").is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut cat = Catalog::new();
+        cat.create_table("t", cols(), vec![]).unwrap();
+        assert!(cat.create_table("T", cols(), vec![]).is_err());
+    }
+
+    #[test]
+    fn primary_key_gets_clustered_index() {
+        let mut cat = Catalog::new();
+        let id = cat
+            .create_table("t", cols(), vec![KeyDef::primary([0])])
+            .unwrap();
+        let ixs: Vec<_> = cat.indexes_for(id).collect();
+        assert_eq!(ixs.len(), 1);
+        assert!(ixs[0].clustered);
+        assert!(ixs[0].unique);
+        assert_eq!(ixs[0].name, "t_pk");
+        assert_eq!(ixs[0].key, vec![(0, Direction::Asc)]);
+    }
+
+    #[test]
+    fn second_clustered_index_rejected() {
+        let mut cat = Catalog::new();
+        let id = cat
+            .create_table("t", cols(), vec![KeyDef::primary([0])])
+            .unwrap();
+        let err = cat.create_index("ix2", id, vec![(1, Direction::Asc)], false, true);
+        assert!(err.is_err());
+        // Non-clustered secondary index is fine.
+        cat.create_index("ix3", id, vec![(1, Direction::Asc)], false, false)
+            .unwrap();
+        assert_eq!(cat.indexes_for(id).count(), 2);
+    }
+
+    #[test]
+    fn bad_key_ordinal_rejected() {
+        let mut cat = Catalog::new();
+        assert!(cat
+            .create_table("t", cols(), vec![KeyDef::primary([9])])
+            .is_err());
+        let id = cat.create_table("u", cols(), vec![]).unwrap();
+        assert!(cat
+            .create_index("ix", id, vec![(9, Direction::Asc)], false, false)
+            .is_err());
+        assert!(cat.create_index("ix", id, vec![], false, false).is_err());
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let mut cat = Catalog::new();
+        let id = cat.create_table("t", cols(), vec![]).unwrap();
+        assert_eq!(cat.stats(id).row_count, 0);
+        cat.set_stats(
+            id,
+            TableStats {
+                row_count: 42,
+                pages: 3,
+                columns: vec![],
+            },
+        );
+        assert_eq!(cat.stats(id).row_count, 42);
+    }
+
+    #[test]
+    fn index_lookup_by_id() {
+        let mut cat = Catalog::new();
+        let t = cat.create_table("t", cols(), vec![]).unwrap();
+        let ix = cat
+            .create_index("ix", t, vec![(0, Direction::Desc)], false, false)
+            .unwrap();
+        assert_eq!(cat.index(ix).unwrap().name, "ix");
+        assert!(cat.index(IndexId(99)).is_err());
+    }
+}

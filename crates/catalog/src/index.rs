@@ -1,0 +1,57 @@
+//! Ordered (B-tree style) index definitions.
+
+use fto_common::{Direction, IndexId, TableId};
+
+/// One ordered index over a table.
+///
+/// An index provides its key order to scans (paper §3), supports equality
+/// probes for nested-loop joins, and — when `clustered` — implies the base
+/// rows are laid out in key order, so full and range scans read pages
+/// sequentially instead of randomly.
+#[derive(Clone, Debug)]
+pub struct IndexDef {
+    /// The index's id in the catalog.
+    pub id: IndexId,
+    /// Index name (lower-cased).
+    pub name: String,
+    /// The indexed table.
+    pub table: TableId,
+    /// Key parts: (column ordinal, direction), major to minor.
+    pub key: Vec<(usize, Direction)>,
+    /// True when the index enforces uniqueness of its key.
+    pub unique: bool,
+    /// True when base rows are physically clustered in this index's order.
+    pub clustered: bool,
+}
+
+impl IndexDef {
+    /// The ordinals of the key columns, major to minor.
+    pub fn key_ordinals(&self) -> impl Iterator<Item = usize> + '_ {
+        self.key.iter().map(|(o, _)| *o)
+    }
+
+    /// True when the index's leading key part is the given ordinal.
+    pub fn leads_with(&self, ordinal: usize) -> bool {
+        self.key.first().is_some_and(|(o, _)| *o == ordinal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_accessors() {
+        let idx = IndexDef {
+            id: IndexId(0),
+            name: "ix".into(),
+            table: TableId(1),
+            key: vec![(2, Direction::Asc), (0, Direction::Desc)],
+            unique: false,
+            clustered: true,
+        };
+        assert_eq!(idx.key_ordinals().collect::<Vec<_>>(), vec![2, 0]);
+        assert!(idx.leads_with(2));
+        assert!(!idx.leads_with(0));
+    }
+}

@@ -1,0 +1,22 @@
+//! The catalog: table, key, and index definitions plus table statistics.
+//!
+//! Everything order optimization knows about the *schema* comes from here:
+//!
+//! * keys (uniqueness constraints) become functional dependencies
+//!   (`{key} → {all columns}`, paper §4.1);
+//! * ordered indexes are the non-sort source of order properties
+//!   (paper §3: "a stream's order, if any, always originates from an
+//!   ordered index scan or a sort");
+//! * statistics feed the planner's cost and cardinality estimates.
+
+#![deny(missing_docs)]
+
+pub mod catalog;
+pub mod index;
+pub mod stats;
+pub mod table;
+
+pub use catalog::Catalog;
+pub use index::IndexDef;
+pub use stats::{ColStats, TableStats};
+pub use table::{ColumnDef, KeyDef, TableDef};

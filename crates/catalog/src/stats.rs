@@ -1,0 +1,170 @@
+//! Table and column statistics used by the planner's cardinality and cost
+//! estimation.
+
+use fto_common::Value;
+
+/// Per-column statistics.
+#[derive(Clone, Debug, Default)]
+pub struct ColStats {
+    /// Number of distinct values (0 when unknown).
+    pub ndv: u64,
+    /// Minimum value seen.
+    pub min: Option<Value>,
+    /// Maximum value seen.
+    pub max: Option<Value>,
+}
+
+impl ColStats {
+    /// Estimated selectivity of `col = constant` under uniformity.
+    pub fn eq_selectivity(&self) -> f64 {
+        if self.ndv == 0 {
+            0.1 // textbook default when distinct count is unknown
+        } else {
+            1.0 / self.ndv as f64
+        }
+    }
+
+    /// Estimated selectivity of a range predicate (`<`, `>`, ...) against a
+    /// constant, interpolating between min and max when both are numeric.
+    pub fn range_selectivity(&self, bound: &Value, less_than: bool) -> f64 {
+        let (min, max, b) = match (
+            self.min.as_ref().and_then(numeric),
+            self.max.as_ref().and_then(numeric),
+            numeric(bound),
+        ) {
+            (Some(lo), Some(hi), Some(b)) if hi > lo => (lo, hi, b),
+            _ => return 0.33, // textbook default
+        };
+        let frac = ((b - min) / (max - min)).clamp(0.0, 1.0);
+        if less_than {
+            frac
+        } else {
+            1.0 - frac
+        }
+    }
+}
+
+fn numeric(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Double(d) => Some(*d),
+        Value::Date(d) => Some(*d as f64),
+        _ => None,
+    }
+}
+
+/// Per-table statistics.
+#[derive(Clone, Debug, Default)]
+pub struct TableStats {
+    /// Number of rows.
+    pub row_count: u64,
+    /// Number of data pages occupied.
+    pub pages: u64,
+    /// Column statistics (indexed by column ordinal).
+    pub columns: Vec<ColStats>,
+}
+
+impl TableStats {
+    /// Builds statistics by scanning rows (the engine's `RUNSTATS`).
+    pub fn from_rows<'a>(
+        rows: impl IntoIterator<Item = &'a [Value]>,
+        arity: usize,
+        rows_per_page: u64,
+    ) -> Self {
+        let mut columns: Vec<ColStats> = vec![ColStats::default(); arity];
+        let mut distinct: Vec<std::collections::HashSet<Value>> = vec![Default::default(); arity];
+        let mut row_count = 0u64;
+        for row in rows {
+            row_count += 1;
+            for (i, v) in row.iter().enumerate().take(arity) {
+                if v.is_null() {
+                    continue;
+                }
+                distinct[i].insert(v.clone());
+                let cs = &mut columns[i];
+                if cs.min.as_ref().is_none_or(|m| v < m) {
+                    cs.min = Some(v.clone());
+                }
+                if cs.max.as_ref().is_none_or(|m| v > m) {
+                    cs.max = Some(v.clone());
+                }
+            }
+        }
+        for (i, set) in distinct.into_iter().enumerate() {
+            columns[i].ndv = set.len() as u64;
+        }
+        let rows_per_page = rows_per_page.max(1);
+        TableStats {
+            row_count,
+            pages: row_count.div_ceil(rows_per_page).max(1),
+            columns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_computes_ndv_min_max() {
+        let rows: Vec<Vec<Value>> = vec![
+            vec![Value::Int(3), Value::str("b")],
+            vec![Value::Int(1), Value::str("a")],
+            vec![Value::Int(3), Value::Null],
+        ];
+        let stats = TableStats::from_rows(rows.iter().map(|r| r.as_slice()), 2, 2);
+        assert_eq!(stats.row_count, 3);
+        assert_eq!(stats.pages, 2);
+        assert_eq!(stats.columns[0].ndv, 2);
+        assert_eq!(stats.columns[0].min, Some(Value::Int(1)));
+        assert_eq!(stats.columns[0].max, Some(Value::Int(3)));
+        assert_eq!(stats.columns[1].ndv, 2); // NULL not counted
+    }
+
+    #[test]
+    fn empty_table_occupies_one_page() {
+        let stats = TableStats::from_rows(std::iter::empty(), 1, 10);
+        assert_eq!(stats.row_count, 0);
+        assert_eq!(stats.pages, 1);
+    }
+
+    #[test]
+    fn eq_selectivity() {
+        let cs = ColStats {
+            ndv: 4,
+            ..Default::default()
+        };
+        assert!((cs.eq_selectivity() - 0.25).abs() < 1e-9);
+        assert!((ColStats::default().eq_selectivity() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_selectivity_interpolates() {
+        let cs = ColStats {
+            ndv: 100,
+            min: Some(Value::Int(0)),
+            max: Some(Value::Int(100)),
+        };
+        let s = cs.range_selectivity(&Value::Int(25), true);
+        assert!((s - 0.25).abs() < 1e-9);
+        let s = cs.range_selectivity(&Value::Int(25), false);
+        assert!((s - 0.75).abs() < 1e-9);
+        // Out-of-range bound clamps.
+        assert_eq!(cs.range_selectivity(&Value::Int(1000), true), 1.0);
+        // Non-numeric falls back to default.
+        let s = cs.range_selectivity(&Value::str("x"), true);
+        assert!((s - 0.33).abs() < 1e-9);
+    }
+
+    #[test]
+    fn date_ranges_are_numeric() {
+        let cs = ColStats {
+            ndv: 10,
+            min: Some(Value::Date(0)),
+            max: Some(Value::Date(10)),
+        };
+        let s = cs.range_selectivity(&Value::Date(5), true);
+        assert!((s - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,293 @@
+//! [`ColSet`]: a growable bitset over [`ColId`]s.
+//!
+//! Functional-dependency reasoning (the heart of the paper's *Reduce Order*
+//! algorithm) is dominated by subset tests and unions over small column
+//! sets. A word-packed bitset makes those O(words) with no hashing.
+
+use crate::ids::ColId;
+use std::fmt;
+
+/// A set of [`ColId`]s backed by packed 64-bit words.
+///
+/// The set grows on demand; trailing zero words are trimmed so that equal
+/// sets compare equal regardless of insertion history.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct ColSet {
+    words: Vec<u64>,
+}
+
+impl ColSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        ColSet::default()
+    }
+
+    /// Creates a set containing the given columns.
+    pub fn from_cols(cols: impl IntoIterator<Item = ColId>) -> Self {
+        let mut s = ColSet::new();
+        for c in cols {
+            s.insert(c);
+        }
+        s
+    }
+
+    /// Creates a singleton set.
+    pub fn singleton(col: ColId) -> Self {
+        let mut s = ColSet::new();
+        s.insert(col);
+        s
+    }
+
+    /// True when the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of columns in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Inserts a column; returns true if it was newly added.
+    pub fn insert(&mut self, col: ColId) -> bool {
+        let (word, bit) = (col.index() / 64, col.index() % 64);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        let fresh = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        fresh
+    }
+
+    /// Removes a column; returns true if it was present.
+    pub fn remove(&mut self, col: ColId) -> bool {
+        let (word, bit) = (col.index() / 64, col.index() % 64);
+        if word >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << bit;
+        let present = self.words[word] & mask != 0;
+        self.words[word] &= !mask;
+        if present {
+            self.trim();
+        }
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, col: ColId) -> bool {
+        let (word, bit) = (col.index() / 64, col.index() % 64);
+        self.words.get(word).is_some_and(|w| w & (1 << bit) != 0)
+    }
+
+    /// True when every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &ColSet) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// True when the two sets share no elements.
+    pub fn is_disjoint(&self, other: &ColSet) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Adds every element of `other` to `self`; returns true if `self` grew.
+    pub fn union_with(&mut self, other: &ColSet) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut grew = false;
+        for (i, &w) in other.words.iter().enumerate() {
+            let before = self.words[i];
+            self.words[i] |= w;
+            grew |= self.words[i] != before;
+        }
+        grew
+    }
+
+    /// Returns the union of the two sets.
+    pub fn union(&self, other: &ColSet) -> ColSet {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// Returns the intersection of the two sets.
+    pub fn intersection(&self, other: &ColSet) -> ColSet {
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & b)
+            .collect();
+        let mut s = ColSet { words };
+        s.trim();
+        s
+    }
+
+    /// Returns `self` minus `other`.
+    pub fn difference(&self, other: &ColSet) -> ColSet {
+        let words = self
+            .words
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0))
+            .collect();
+        let mut s = ColSet { words };
+        s.trim();
+        s
+    }
+
+    /// Iterates over members in ascending [`ColId`] order.
+    pub fn iter(&self) -> impl Iterator<Item = ColId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(ColId::from(wi * 64 + b))
+                }
+            })
+        })
+    }
+
+    fn trim(&mut self) {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+    }
+}
+
+impl FromIterator<ColId> for ColSet {
+    fn from_iter<T: IntoIterator<Item = ColId>>(iter: T) -> Self {
+        ColSet::from_cols(iter)
+    }
+}
+
+impl Extend<ColId> for ColSet {
+    fn extend<T: IntoIterator<Item = ColId>>(&mut self, iter: T) {
+        for c in iter {
+            self.insert(c);
+        }
+    }
+}
+
+impl fmt::Debug for ColSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, c) in self.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cs(ids: &[u32]) -> ColSet {
+        ids.iter().map(|&i| ColId(i)).collect()
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = ColSet::new();
+        assert!(s.insert(ColId(3)));
+        assert!(!s.insert(ColId(3)));
+        assert!(s.contains(ColId(3)));
+        assert!(!s.contains(ColId(4)));
+        assert!(s.remove(ColId(3)));
+        assert!(!s.remove(ColId(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn len_counts_across_words() {
+        let s = cs(&[0, 63, 64, 127, 200]);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a = cs(&[1, 2]);
+        let b = cs(&[1, 2, 3]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(ColSet::new().is_subset(&a));
+        assert!(a.is_subset(&a));
+        assert!(cs(&[5]).is_disjoint(&cs(&[6])));
+        assert!(!cs(&[5, 6]).is_disjoint(&cs(&[6])));
+    }
+
+    #[test]
+    fn subset_with_longer_lhs() {
+        // lhs has a high bit that rhs's word vector doesn't even reach.
+        let a = cs(&[200]);
+        let b = cs(&[1]);
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = cs(&[1, 2, 70]);
+        let b = cs(&[2, 3]);
+        assert_eq!(a.union(&b), cs(&[1, 2, 3, 70]));
+        assert_eq!(a.intersection(&b), cs(&[2]));
+        assert_eq!(a.difference(&b), cs(&[1, 70]));
+        assert_eq!(b.difference(&a), cs(&[3]));
+    }
+
+    #[test]
+    fn union_with_reports_growth() {
+        let mut a = cs(&[1]);
+        assert!(a.union_with(&cs(&[2])));
+        assert!(!a.union_with(&cs(&[1, 2])));
+    }
+
+    #[test]
+    fn equality_ignores_trailing_zero_words() {
+        let mut a = cs(&[1, 300]);
+        a.remove(ColId(300));
+        let b = cs(&[1]);
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |s: &ColSet| {
+            let mut hs = DefaultHasher::new();
+            s.hash(&mut hs);
+            hs.finish()
+        };
+        assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let s = cs(&[5, 1, 130, 64]);
+        let v: Vec<u32> = s.iter().map(|c| c.0).collect();
+        assert_eq!(v, vec![1, 5, 64, 130]);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", cs(&[1, 2])), "{c1, c2}");
+        assert_eq!(format!("{:?}", ColSet::new()), "{}");
+    }
+
+    #[test]
+    fn singleton() {
+        let s = ColSet::singleton(ColId(9));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(ColId(9)));
+    }
+}

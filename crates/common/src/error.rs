@@ -1,0 +1,71 @@
+//! The shared error type for the workspace.
+
+use std::fmt;
+
+/// Errors produced anywhere in the fto stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FtoError {
+    /// SQL text failed to tokenize or parse.
+    Parse(String),
+    /// A name (table, column, index) could not be resolved.
+    Resolution(String),
+    /// A query is semantically invalid (type mismatch, bad aggregate, ...).
+    Semantic(String),
+    /// The planner could not produce a plan.
+    Plan(String),
+    /// A runtime execution failure.
+    Exec(String),
+    /// Catalog manipulation failure (duplicate table, unknown id, ...).
+    Catalog(String),
+    /// Internal invariant violation; indicates a bug.
+    Internal(String),
+}
+
+impl FtoError {
+    /// Convenience constructor for [`FtoError::Internal`].
+    pub fn internal(msg: impl Into<String>) -> Self {
+        FtoError::Internal(msg.into())
+    }
+}
+
+impl fmt::Display for FtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtoError::Parse(m) => write!(f, "parse error: {m}"),
+            FtoError::Resolution(m) => write!(f, "resolution error: {m}"),
+            FtoError::Semantic(m) => write!(f, "semantic error: {m}"),
+            FtoError::Plan(m) => write!(f, "planning error: {m}"),
+            FtoError::Exec(m) => write!(f, "execution error: {m}"),
+            FtoError::Catalog(m) => write!(f, "catalog error: {m}"),
+            FtoError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FtoError {}
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, FtoError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category() {
+        assert_eq!(
+            FtoError::Parse("bad token".into()).to_string(),
+            "parse error: bad token"
+        );
+        assert_eq!(
+            FtoError::internal("oops").to_string(),
+            "internal error: oops"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(FtoError::Exec("x".into()));
+        assert!(e.to_string().contains("execution"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Newtype identifiers used throughout the workspace.
+//!
+//! All identifiers are small dense integers so they can be used as vector
+//! indexes and bitset positions without hashing.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the identifier as a `usize`, for indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                $name(u32::try_from(v).expect("identifier overflow"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a base table in the catalog.
+    TableId,
+    "t"
+);
+
+id_type!(
+    /// Identifies an index in the catalog.
+    IndexId,
+    "i"
+);
+
+id_type!(
+    /// Identifies a quantifier (a table reference) inside one query.
+    ///
+    /// Two references to the same base table get distinct quantifier ids, as
+    /// in the paper's QGM, so self-joins keep their column instances apart.
+    QuantifierId,
+    "q"
+);
+
+id_type!(
+    /// A dense, query-scoped column identifier.
+    ///
+    /// The order-optimization algebra (equivalence classes, functional
+    /// dependencies, order specifications) treats columns as opaque ids;
+    /// each query compilation assigns one `ColId` per (quantifier, column)
+    /// instance. Ids are dense so they can index bitsets.
+    ColId,
+    "c"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u32() {
+        let c = ColId::from(7u32);
+        assert_eq!(c.index(), 7);
+        assert_eq!(c, ColId(7));
+    }
+
+    #[test]
+    fn roundtrip_usize() {
+        let t = TableId::from(3usize);
+        assert_eq!(t.index(), 3);
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(ColId(1) < ColId(2));
+        assert!(QuantifierId(0) < QuantifierId(9));
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(ColId(4).to_string(), "c4");
+        assert_eq!(TableId(4).to_string(), "t4");
+        assert_eq!(QuantifierId(2).to_string(), "q2");
+        assert_eq!(IndexId(1).to_string(), "i1");
+        assert_eq!(format!("{:?}", ColId(4)), "c4");
+    }
+
+    #[test]
+    #[should_panic(expected = "identifier overflow")]
+    fn from_usize_overflow_panics() {
+        let _ = ColId::from(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! Common substrate for the `fto` workspace: typed values, identifiers,
+//! column sets, and the shared error type.
+//!
+//! Every other crate in the workspace builds on these definitions. The
+//! design goal is a small, allocation-light vocabulary:
+//!
+//! * [`Value`] / [`DataType`] — the dynamically typed cell values flowing
+//!   through the engine.
+//! * [`ColId`] — a dense, query-scoped column identifier. The order
+//!   optimization machinery (equivalence classes, functional dependencies)
+//!   operates on opaque `ColId`s; the planner maintains the mapping back to
+//!   `(table, column)` names.
+//! * [`ColSet`] — a growable bitset over `ColId`s, the workhorse of the
+//!   functional-dependency algebra.
+
+#![deny(missing_docs)]
+
+pub mod bitset;
+pub mod error;
+pub mod ids;
+pub mod sort;
+pub mod value;
+
+pub use bitset::ColSet;
+pub use error::{FtoError, Result};
+pub use ids::{ColId, IndexId, QuantifierId, TableId};
+pub use sort::Direction;
+pub use value::{DataType, Row, Value};

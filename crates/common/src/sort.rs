@@ -1,0 +1,68 @@
+//! Sort direction vocabulary shared by indexes, order specifications, and
+//! the execution engine.
+
+use std::fmt;
+
+/// Ascending or descending order for one sort column.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Default)]
+pub enum Direction {
+    /// Ascending (the paper's default assumption).
+    #[default]
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn reversed(self) -> Direction {
+        match self {
+            Direction::Asc => Direction::Desc,
+            Direction::Desc => Direction::Asc,
+        }
+    }
+
+    /// Applies the direction to an ascending comparison result.
+    #[inline]
+    pub fn apply(self, ord: std::cmp::Ordering) -> std::cmp::Ordering {
+        match self {
+            Direction::Asc => ord,
+            Direction::Desc => ord.reverse(),
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Direction::Asc => "asc",
+            Direction::Desc => "desc",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn reversed() {
+        assert_eq!(Direction::Asc.reversed(), Direction::Desc);
+        assert_eq!(Direction::Desc.reversed(), Direction::Asc);
+    }
+
+    #[test]
+    fn apply() {
+        assert_eq!(Direction::Asc.apply(Ordering::Less), Ordering::Less);
+        assert_eq!(Direction::Desc.apply(Ordering::Less), Ordering::Greater);
+        assert_eq!(Direction::Desc.apply(Ordering::Equal), Ordering::Equal);
+    }
+
+    #[test]
+    fn default_is_asc() {
+        assert_eq!(Direction::default(), Direction::Asc);
+        assert_eq!(Direction::Asc.to_string(), "asc");
+        assert_eq!(Direction::Desc.to_string(), "desc");
+    }
+}

@@ -1,0 +1,78 @@
+//! Algebraic laws of the [`ColSet`] bitset, checked against
+//! `BTreeSet<u32>` as the model.
+
+use fto_common::{ColId, ColSet};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn model_pair() -> impl Strategy<Value = (BTreeSet<u32>, BTreeSet<u32>)> {
+    let set = proptest::collection::btree_set(0u32..300, 0..24);
+    (set.clone(), set)
+}
+
+fn to_colset(m: &BTreeSet<u32>) -> ColSet {
+    m.iter().map(|&i| ColId(i)).collect()
+}
+
+proptest! {
+    #[test]
+    fn union_matches_model((a, b) in model_pair()) {
+        let u = to_colset(&a).union(&to_colset(&b));
+        let m: BTreeSet<u32> = a.union(&b).copied().collect();
+        prop_assert_eq!(u, to_colset(&m));
+    }
+
+    #[test]
+    fn intersection_matches_model((a, b) in model_pair()) {
+        let i = to_colset(&a).intersection(&to_colset(&b));
+        let m: BTreeSet<u32> = a.intersection(&b).copied().collect();
+        prop_assert_eq!(i, to_colset(&m));
+    }
+
+    #[test]
+    fn difference_matches_model((a, b) in model_pair()) {
+        let d = to_colset(&a).difference(&to_colset(&b));
+        let m: BTreeSet<u32> = a.difference(&b).copied().collect();
+        prop_assert_eq!(d, to_colset(&m));
+    }
+
+    #[test]
+    fn subset_matches_model((a, b) in model_pair()) {
+        prop_assert_eq!(to_colset(&a).is_subset(&to_colset(&b)), a.is_subset(&b));
+        prop_assert_eq!(to_colset(&a).is_disjoint(&to_colset(&b)), a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_complete(a in proptest::collection::btree_set(0u32..300, 0..24)) {
+        let s = to_colset(&a);
+        let got: Vec<u32> = s.iter().map(|c| c.0).collect();
+        let want: Vec<u32> = a.iter().copied().collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(s.len(), a.len());
+        prop_assert_eq!(s.is_empty(), a.is_empty());
+    }
+
+    #[test]
+    fn insert_remove_roundtrip(
+        a in proptest::collection::btree_set(0u32..300, 0..24),
+        extra in 0u32..300,
+    ) {
+        let mut s = to_colset(&a);
+        let was_present = a.contains(&extra);
+        prop_assert_eq!(s.insert(ColId(extra)), !was_present);
+        prop_assert!(s.contains(ColId(extra)));
+        prop_assert!(s.remove(ColId(extra)));
+        if was_present {
+            prop_assert_ne!(s.clone(), to_colset(&a));
+        } else {
+            prop_assert_eq!(s, to_colset(&a));
+        }
+    }
+
+    #[test]
+    fn union_with_grows_exactly_when_needed((a, b) in model_pair()) {
+        let mut s = to_colset(&a);
+        let grew = s.union_with(&to_colset(&b));
+        prop_assert_eq!(grew, !b.is_subset(&a));
+    }
+}

@@ -1,0 +1,413 @@
+//! [`OrderContext`]: the four fundamental operations of the paper —
+//! *Reduce Order* (Fig. 2), *Test Order* (Fig. 3), *Cover Order* (Fig. 4)
+//! and *Homogenize Order* (Fig. 5) — evaluated against a set of applied
+//! predicates (as equivalence classes) and functional dependencies.
+
+use crate::eqclass::EquivalenceClasses;
+use crate::fd::FdSet;
+use crate::spec::{OrderSpec, SortKey};
+use fto_common::{ColId, ColSet};
+
+/// The reasoning context for order operations: the equivalence classes and
+/// functional dependencies that hold on a stream.
+///
+/// Internally all FD reasoning happens in *head space*: every column of
+/// every dependency is rewritten to its equivalence-class head, and every
+/// constant-bound class contributes the empty-headed FD `{} → {head}`.
+/// This makes the subset/closure tests of reduction insensitive to which
+/// member of a class a specification happens to mention.
+#[derive(Clone, Debug)]
+pub struct OrderContext {
+    eq: EquivalenceClasses,
+    norm_fds: FdSet,
+}
+
+impl OrderContext {
+    /// Builds a context from equivalence classes and raw FDs.
+    pub fn new(eq: EquivalenceClasses, fds: &FdSet) -> OrderContext {
+        let mut norm_fds = fds.map_cols(|c| eq.head(c));
+        for head in eq_constant_heads(&eq) {
+            norm_fds.add_constant(head);
+        }
+        OrderContext { eq, norm_fds }
+    }
+
+    /// A context with no knowledge: reduction only removes duplicate
+    /// columns (via reflexivity).
+    pub fn trivial() -> OrderContext {
+        OrderContext {
+            eq: EquivalenceClasses::new(),
+            norm_fds: FdSet::new(),
+        }
+    }
+
+    /// The context's equivalence classes.
+    pub fn equivalences(&self) -> &EquivalenceClasses {
+        &self.eq
+    }
+
+    /// The context's normalized (head-space) functional dependencies.
+    pub fn fds(&self) -> &FdSet {
+        &self.norm_fds
+    }
+
+    /// **Reduce Order** (paper Fig. 2).
+    ///
+    /// Rewrites the specification into canonical form:
+    /// 1. substitute every column with its equivalence-class head;
+    /// 2. scanning backwards, remove column `cᵢ` whenever the columns
+    ///    preceding it functionally determine it — which covers columns
+    ///    bound to constants (`{} → {c}`), duplicate columns
+    ///    (reflexivity), and key-implied suffixes (`{key} → {all}`).
+    ///
+    /// The result may be empty, in which case any stream satisfies it.
+    /// When a sort is unavoidable, the reduced specification is also the
+    /// *minimal* list of sort columns (paper §4.2).
+    pub fn reduce(&self, spec: &OrderSpec) -> OrderSpec {
+        let mut reduced = spec.map_cols(|c| self.eq.head(c));
+        let mut i = reduced.len();
+        while i > 0 {
+            i -= 1;
+            let col = reduced.keys()[i].col;
+            let prefix: ColSet = reduced.keys()[..i].iter().map(|k| k.col).collect();
+            if self.norm_fds.determines(&prefix, col) {
+                reduced.remove(i);
+            }
+        }
+        reduced
+    }
+
+    /// **Test Order** (paper Fig. 3): does order property `prop` satisfy
+    /// interesting order `interest`?
+    ///
+    /// Both are reduced; the test succeeds when the reduced interesting
+    /// order is empty or a direction-respecting prefix of the reduced
+    /// property.
+    pub fn test_order(&self, interest: &OrderSpec, prop: &OrderSpec) -> bool {
+        let i = self.reduce(interest);
+        if i.is_empty() {
+            return true;
+        }
+        let p = self.reduce(prop);
+        i.is_prefix_of(&p)
+    }
+
+    /// **Cover Order** (paper Fig. 4): combine two interesting orders into
+    /// one specification `C` such that any order property satisfying `C`
+    /// satisfies both inputs. Returns `None` when no cover exists.
+    pub fn cover(&self, i1: &OrderSpec, i2: &OrderSpec) -> Option<OrderSpec> {
+        let r1 = self.reduce(i1);
+        let r2 = self.reduce(i2);
+        if r1.is_prefix_of(&r2) {
+            Some(r2)
+        } else if r2.is_prefix_of(&r1) {
+            Some(r1)
+        } else {
+            None
+        }
+    }
+
+    /// **Homogenize Order** (paper Fig. 5): rewrite interesting order
+    /// `interest` in terms of the target columns `targets`, substituting
+    /// each column with an equivalent column from the target set.
+    ///
+    /// Unlike reduction, *any* member of the equivalence class may be
+    /// chosen (the smallest available one, for determinism), and the
+    /// equivalence classes here are typically the query-global ones —
+    /// columns that will only become equivalent through join predicates
+    /// applied later still qualify, because homogenization produces an
+    /// order that must eventually satisfy `interest` (paper §4.4).
+    ///
+    /// Returns `None` when some column has no equivalent in the target.
+    pub fn homogenize(&self, interest: &OrderSpec, targets: &ColSet) -> Option<OrderSpec> {
+        let reduced = self.reduce(interest);
+        let mut out = OrderSpec::empty();
+        for key in reduced.keys() {
+            let subst = self.class_member_in(key.col, targets)?;
+            out.push(SortKey {
+                col: subst,
+                dir: key.dir,
+            });
+        }
+        Some(out)
+    }
+
+    /// The optimistic variant used by the order scan (paper §5.1): when
+    /// full homogenization fails, the largest homogenizable *prefix* is
+    /// returned, in the hope that a functional dependency discovered during
+    /// planning makes the lost suffix redundant. The boolean reports
+    /// whether the whole specification was homogenized.
+    pub fn homogenize_prefix(&self, interest: &OrderSpec, targets: &ColSet) -> (OrderSpec, bool) {
+        let reduced = self.reduce(interest);
+        let mut out = OrderSpec::empty();
+        for key in reduced.keys() {
+            match self.class_member_in(key.col, targets) {
+                Some(subst) => out.push(SortKey {
+                    col: subst,
+                    dir: key.dir,
+                }),
+                None => return (out, false),
+            }
+        }
+        (out, true)
+    }
+
+    /// The smallest member of `col`'s equivalence class contained in
+    /// `targets`, if any.
+    fn class_member_in(&self, col: ColId, targets: &ColSet) -> Option<ColId> {
+        if targets.contains(col) {
+            return Some(col);
+        }
+        self.eq
+            .members(col)
+            .into_iter()
+            .find(|m| targets.contains(*m))
+    }
+}
+
+/// Enumerates the heads of constant-bound equivalence classes.
+fn eq_constant_heads(eq: &EquivalenceClasses) -> Vec<ColId> {
+    // `members` only enumerates columns mentioned in merges/bindings, which
+    // is exactly the set we need: untouched columns have no constants.
+    let mut heads = Vec::new();
+    let mut seen = ColSet::new();
+    let upper = eq_universe(eq);
+    for i in 0..upper {
+        let c = ColId(i);
+        let h = eq.head(c);
+        if !seen.insert(h) {
+            continue;
+        }
+        if eq.is_constant(h) {
+            heads.push(h);
+        }
+    }
+    heads
+}
+
+fn eq_universe(eq: &EquivalenceClasses) -> u32 {
+    // The union-find only stores columns that were mentioned; probing heads
+    // beyond that range returns the column itself with no constant, so a
+    // generous upper bound would also be correct but wasteful. We recover
+    // the exact bound through members() of column 0 being cheap; instead
+    // EquivalenceClasses exposes its size via known_columns().
+    eq.known_columns()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fto_common::Value;
+
+    fn c(i: u32) -> ColId {
+        ColId(i)
+    }
+
+    fn cs(ids: &[u32]) -> ColSet {
+        ids.iter().map(|&i| ColId(i)).collect()
+    }
+
+    fn asc(ids: &[u32]) -> OrderSpec {
+        OrderSpec::ascending(ids.iter().map(|&i| ColId(i)))
+    }
+
+    /// Paper §4.1 motivating example: I = (x, y), OP = (y), predicate
+    /// x = 10 applied. x is bound to a constant, so I reduces to (y) and
+    /// OP satisfies it — no sort needed.
+    #[test]
+    fn reduce_removes_constant_bound_column() {
+        let mut eq = EquivalenceClasses::new();
+        eq.bind_constant(c(0), Value::Int(10)); // x = 10
+        let ctx = OrderContext::new(eq, &FdSet::new());
+        let interest = asc(&[0, 1]); // (x, y)
+        let prop = asc(&[1]); // (y)
+        assert_eq!(ctx.reduce(&interest), asc(&[1]));
+        assert!(ctx.test_order(&interest, &prop));
+    }
+
+    /// Paper §4.1: I = (x, z), OP = (y, z), predicate x = y applied.
+    /// The equivalence class lets OP rewrite to (x, z), satisfying I.
+    #[test]
+    fn reduce_uses_equivalence_classes() {
+        let mut eq = EquivalenceClasses::new();
+        eq.merge(c(0), c(1)); // x = y
+        let ctx = OrderContext::new(eq, &FdSet::new());
+        let interest = asc(&[0, 2]); // (x, z)
+        let prop = asc(&[1, 2]); // (y, z)
+        assert!(ctx.test_order(&interest, &prop));
+        // Both reduce to head space: x is the head of {x, y}.
+        assert_eq!(ctx.reduce(&prop), asc(&[0, 2]));
+    }
+
+    /// Paper §4.1: I = (x, y), OP = (x, z), x a key. Both reduce to (x).
+    #[test]
+    fn reduce_uses_keys_via_fds() {
+        let mut fds = FdSet::new();
+        fds.add_key(cs(&[0]), cs(&[0, 1, 2]));
+        let ctx = OrderContext::new(EquivalenceClasses::new(), &fds);
+        assert_eq!(ctx.reduce(&asc(&[0, 1])), asc(&[0]));
+        assert_eq!(ctx.reduce(&asc(&[0, 2])), asc(&[0]));
+        assert!(ctx.test_order(&asc(&[0, 1]), &asc(&[0, 2])));
+    }
+
+    /// Paper §4.1: an order on a constant-bound column reduces to empty,
+    /// which any stream satisfies.
+    #[test]
+    fn reduce_to_empty() {
+        let mut eq = EquivalenceClasses::new();
+        eq.bind_constant(c(3), Value::Int(7));
+        let ctx = OrderContext::new(eq, &FdSet::new());
+        assert!(ctx.reduce(&asc(&[3])).is_empty());
+        assert!(ctx.test_order(&asc(&[3]), &OrderSpec::empty()));
+    }
+
+    #[test]
+    fn reduce_removes_duplicates_via_reflexivity() {
+        let ctx = OrderContext::trivial();
+        let spec = asc(&[1, 2, 1]);
+        assert_eq!(ctx.reduce(&spec), asc(&[1, 2]));
+    }
+
+    #[test]
+    fn reduce_is_idempotent() {
+        let mut eq = EquivalenceClasses::new();
+        eq.merge(c(0), c(4));
+        eq.bind_constant(c(2), Value::Int(1));
+        let mut fds = FdSet::new();
+        fds.add_key(cs(&[4]), cs(&[0, 1, 2, 3, 4, 5]));
+        let ctx = OrderContext::new(eq, &fds);
+        let spec = asc(&[2, 4, 1, 5]);
+        let once = ctx.reduce(&spec);
+        assert_eq!(ctx.reduce(&once), once);
+    }
+
+    #[test]
+    fn directions_survive_reduction() {
+        let mut eq = EquivalenceClasses::new();
+        eq.merge(c(0), c(5));
+        let ctx = OrderContext::new(eq, &FdSet::new());
+        let spec = OrderSpec::new(vec![SortKey::desc(c(5)), SortKey::asc(c(1))]);
+        let reduced = ctx.reduce(&spec);
+        assert_eq!(
+            reduced,
+            OrderSpec::new(vec![SortKey::desc(c(0)), SortKey::asc(c(1))])
+        );
+    }
+
+    #[test]
+    fn test_order_respects_direction() {
+        let ctx = OrderContext::trivial();
+        let i = OrderSpec::new(vec![SortKey::desc(c(1))]);
+        let p = OrderSpec::new(vec![SortKey::asc(c(1))]);
+        assert!(!ctx.test_order(&i, &p));
+        assert!(ctx.test_order(&i, &i));
+    }
+
+    /// Paper §4.3: cover of (x) and (x, y) is (x, y); (y, x) and (x, y, z)
+    /// have no cover — unless x = 10 is applied, after which they reduce
+    /// to (y) and (y, z) with cover (y, z).
+    #[test]
+    fn cover_examples_from_paper() {
+        let ctx = OrderContext::trivial();
+        assert_eq!(ctx.cover(&asc(&[0]), &asc(&[0, 1])), Some(asc(&[0, 1])));
+        assert_eq!(ctx.cover(&asc(&[0, 1]), &asc(&[0])), Some(asc(&[0, 1])));
+        assert_eq!(ctx.cover(&asc(&[1, 0]), &asc(&[0, 1, 2])), None);
+
+        let mut eq = EquivalenceClasses::new();
+        eq.bind_constant(c(0), Value::Int(10));
+        let ctx = OrderContext::new(eq, &FdSet::new());
+        assert_eq!(
+            ctx.cover(&asc(&[1, 0]), &asc(&[0, 1, 2])),
+            Some(asc(&[1, 2]))
+        );
+    }
+
+    #[test]
+    fn cover_of_identical_orders() {
+        let ctx = OrderContext::trivial();
+        assert_eq!(ctx.cover(&asc(&[1, 2]), &asc(&[1, 2])), Some(asc(&[1, 2])));
+        assert_eq!(ctx.cover(&OrderSpec::empty(), &asc(&[1])), Some(asc(&[1])));
+    }
+
+    /// Paper §4.4: ORDER BY a.x, b.y over a join a.x = b.x. Homogenizing
+    /// to b's columns yields (b.x, b.y); homogenizing to a's columns fails
+    /// (b.y unavailable) — unless a.x is a key of the join result, in
+    /// which case the order first reduces to (a.x).
+    #[test]
+    fn homogenize_example_from_paper() {
+        // Columns: 0 = a.x, 1 = a.y, 2 = b.x, 3 = b.y.
+        let mut eq = EquivalenceClasses::new();
+        eq.merge(c(0), c(2)); // a.x = b.x
+        let ctx = OrderContext::new(eq.clone(), &FdSet::new());
+        let interest = asc(&[0, 3]); // (a.x, b.y)
+
+        let to_b = ctx.homogenize(&interest, &cs(&[2, 3])).unwrap();
+        assert_eq!(to_b, asc(&[2, 3])); // (b.x, b.y)
+
+        assert_eq!(ctx.homogenize(&interest, &cs(&[0, 1])), None);
+
+        // With a.x a key that survives the join: {a.x} -> {b.y}.
+        let mut fds = FdSet::new();
+        fds.add_key(cs(&[0]), cs(&[0, 1, 2, 3]));
+        let ctx = OrderContext::new(eq, &fds);
+        let to_a = ctx.homogenize(&interest, &cs(&[0, 1])).unwrap();
+        assert_eq!(to_a, asc(&[0]));
+    }
+
+    #[test]
+    fn homogenize_prefix_returns_largest_prefix() {
+        let mut eq = EquivalenceClasses::new();
+        eq.merge(c(0), c(2));
+        let ctx = OrderContext::new(eq, &FdSet::new());
+        let interest = asc(&[0, 3, 1]);
+        let (prefix, complete) = ctx.homogenize_prefix(&interest, &cs(&[2]));
+        assert!(!complete);
+        assert_eq!(prefix, asc(&[2]));
+        let (full, complete) = ctx.homogenize_prefix(&asc(&[0]), &cs(&[2]));
+        assert!(complete);
+        assert_eq!(full, asc(&[2]));
+    }
+
+    #[test]
+    fn homogenize_prefers_identity_when_available() {
+        let mut eq = EquivalenceClasses::new();
+        eq.merge(c(1), c(4));
+        let ctx = OrderContext::new(eq, &FdSet::new());
+        let out = ctx.homogenize(&asc(&[4]), &cs(&[1, 4])).unwrap();
+        // Reduction maps to head c1 first; both are in the target, so the
+        // head itself (already in targets) is chosen.
+        assert_eq!(out, asc(&[1]));
+    }
+
+    #[test]
+    fn homogenize_preserves_directions() {
+        let mut eq = EquivalenceClasses::new();
+        eq.merge(c(0), c(2));
+        let ctx = OrderContext::new(eq, &FdSet::new());
+        let interest = OrderSpec::new(vec![SortKey::desc(c(0))]);
+        let out = ctx.homogenize(&interest, &cs(&[2])).unwrap();
+        assert_eq!(out, OrderSpec::new(vec![SortKey::desc(c(2))]));
+    }
+
+    /// Transitive FD chains (beyond the paper's single-step test).
+    #[test]
+    fn reduce_uses_transitive_fds() {
+        let mut fds = FdSet::new();
+        fds.add(crate::fd::Fd::implies(c(0), c(1)));
+        fds.add(crate::fd::Fd::implies(c(1), c(2)));
+        let ctx = OrderContext::new(EquivalenceClasses::new(), &fds);
+        assert_eq!(ctx.reduce(&asc(&[0, 2])), asc(&[0]));
+    }
+
+    /// FDs stated over non-head members must still apply after predicates
+    /// merge the classes (normalization into head space).
+    #[test]
+    fn fds_normalize_into_head_space() {
+        let mut eq = EquivalenceClasses::new();
+        eq.merge(c(1), c(5)); // head is c1
+        let mut fds = FdSet::new();
+        fds.add(crate::fd::Fd::implies(c(5), c(3))); // stated over member c5
+        let ctx = OrderContext::new(eq, &fds);
+        assert_eq!(ctx.reduce(&asc(&[1, 3])), asc(&[1]));
+    }
+}

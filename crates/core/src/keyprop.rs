@@ -1,0 +1,342 @@
+//! The key property of a stream and its propagation rules (paper §5.2.1).
+//!
+//! A *key* here is a set of columns whose values are unique within the
+//! stream. The paper's *one-record condition* — "at most one record is in
+//! the stream" — is represented as the **empty key**: zero columns suffice
+//! to identify a record exactly when there is at most one. This single
+//! representation makes all the paper's rules compositional:
+//!
+//! * a key that becomes fully qualified by equality predicates reduces to
+//!   the empty key, flagging the one-record condition;
+//! * the empty key trivially subsumes every other key during redundant-key
+//!   removal;
+//! * an n-to-1 join test ("some key of the inner is fully qualified by the
+//!   join predicates") is trivially passed by a one-record inner.
+
+use crate::context::OrderContext;
+use fto_common::{ColId, ColSet};
+use std::fmt;
+
+/// The key property: a set of keys, canonicalized and minimal.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct KeyProperty {
+    keys: Vec<ColSet>,
+}
+
+impl KeyProperty {
+    /// No known keys.
+    pub fn none() -> KeyProperty {
+        KeyProperty::default()
+    }
+
+    /// Builds a property from keys.
+    pub fn from_keys(keys: impl Into<Vec<ColSet>>) -> KeyProperty {
+        let mut kp = KeyProperty { keys: keys.into() };
+        kp.remove_redundant();
+        kp
+    }
+
+    /// The one-record property.
+    pub fn one_record() -> KeyProperty {
+        KeyProperty {
+            keys: vec![ColSet::new()],
+        }
+    }
+
+    /// The keys currently known.
+    pub fn keys(&self) -> &[ColSet] {
+        &self.keys
+    }
+
+    /// True when no key is known.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// True when the stream is known to hold at most one record.
+    pub fn is_one_record(&self) -> bool {
+        self.keys.iter().any(|k| k.is_empty())
+    }
+
+    /// Adds a key and re-minimizes.
+    pub fn add_key(&mut self, key: ColSet) {
+        self.keys.push(key);
+        self.remove_redundant();
+    }
+
+    /// True when `cols` is (a superset of) some known key — i.e. `cols`
+    /// values identify records.
+    pub fn determined_by(&self, cols: &ColSet) -> bool {
+        self.keys.iter().any(|k| k.is_subset(cols))
+    }
+
+    /// Canonicalizes each key against the context (paper §5.2.1):
+    /// rewrite columns to their equivalence-class heads, then drop any
+    /// column functionally determined by the key's remaining columns
+    /// (constant-bound columns are the common case). A key emptied by this
+    /// process flags the one-record condition. Finally redundant keys are
+    /// removed using the `<=` dominance of key sets (a subset key makes a
+    /// superset key redundant).
+    pub fn canonicalize(&mut self, ctx: &OrderContext) {
+        for key in &mut self.keys {
+            let mut k: ColSet = key.iter().map(|c| ctx.equivalences().head(c)).collect();
+            loop {
+                let mut removed = false;
+                let members: Vec<ColId> = k.iter().collect();
+                for col in members {
+                    let mut rest = k.clone();
+                    rest.remove(col);
+                    if ctx.fds().determines(&rest, col) {
+                        k = rest;
+                        removed = true;
+                        break;
+                    }
+                }
+                if !removed {
+                    break;
+                }
+            }
+            *key = k;
+        }
+        self.remove_redundant();
+    }
+
+    /// Keys whose columns survive a projection to `available`.
+    pub fn project(&self, available: &ColSet) -> KeyProperty {
+        KeyProperty {
+            keys: self
+                .keys
+                .iter()
+                .filter(|k| k.is_subset(available))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Key propagation through a join (paper §5.2.1).
+    ///
+    /// * If every column of some key of the **right** input is equated by
+    ///   join predicates to columns of the left input, each left row
+    ///   matches at most one right row (the join is n-to-1) and the left
+    ///   keys propagate.
+    /// * Symmetrically, a fully qualified left key makes the join 1-to-n
+    ///   and the right keys propagate.
+    /// * When neither holds, the concatenated key pairs `K₁ ∪ K₂` form the
+    ///   join's key property.
+    ///
+    /// `equates` lists the equi-join column pairs `(left_col, right_col)`.
+    pub fn join(
+        left: &KeyProperty,
+        right: &KeyProperty,
+        equates: &[(ColId, ColId)],
+    ) -> KeyProperty {
+        let left_equated: ColSet = equates.iter().map(|&(l, _)| l).collect();
+        let right_equated: ColSet = equates.iter().map(|&(_, r)| r).collect();
+
+        let n_to_1 = right.keys.iter().any(|k| k.is_subset(&right_equated));
+        let one_to_n = left.keys.iter().any(|k| k.is_subset(&left_equated));
+
+        let mut keys = Vec::new();
+        if n_to_1 {
+            keys.extend(left.keys.iter().cloned());
+        }
+        if one_to_n {
+            keys.extend(right.keys.iter().cloned());
+        }
+        if !n_to_1 && !one_to_n {
+            for k1 in &left.keys {
+                for k2 in &right.keys {
+                    keys.push(k1.union(k2));
+                }
+            }
+        }
+        let mut kp = KeyProperty { keys };
+        kp.remove_redundant();
+        kp
+    }
+
+    fn remove_redundant(&mut self) {
+        let mut minimal: Vec<ColSet> = Vec::with_capacity(self.keys.len());
+        // Sort by size so subset keys are considered first.
+        let mut keys = std::mem::take(&mut self.keys);
+        keys.sort_by_key(|k| k.len());
+        for k in keys {
+            if !minimal.iter().any(|m| m.is_subset(&k)) {
+                minimal.push(k);
+            }
+        }
+        self.keys = minimal;
+    }
+}
+
+impl fmt::Debug for KeyProperty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_one_record() {
+            return f.write_str("KeyProperty[one-record]");
+        }
+        f.write_str("KeyProperty[")?;
+        for (i, k) in self.keys.iter().enumerate() {
+            if i > 0 {
+                f.write_str("; ")?;
+            }
+            write!(f, "{k:?}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eqclass::EquivalenceClasses;
+    use crate::fd::FdSet;
+    use fto_common::Value;
+
+    fn c(i: u32) -> ColId {
+        ColId(i)
+    }
+
+    fn cs(ids: &[u32]) -> ColSet {
+        ids.iter().map(|&i| ColId(i)).collect()
+    }
+
+    #[test]
+    fn redundant_keys_removed() {
+        let kp = KeyProperty::from_keys(vec![cs(&[0, 1]), cs(&[0]), cs(&[0, 2])]);
+        assert_eq!(kp.keys(), &[cs(&[0])]);
+    }
+
+    #[test]
+    fn duplicate_keys_removed() {
+        let kp = KeyProperty::from_keys(vec![cs(&[1, 2]), cs(&[2, 1])]);
+        assert_eq!(kp.keys().len(), 1);
+    }
+
+    #[test]
+    fn one_record_is_empty_key() {
+        let kp = KeyProperty::one_record();
+        assert!(kp.is_one_record());
+        assert!(kp.determined_by(&ColSet::new()));
+        // The empty key subsumes everything.
+        let kp = KeyProperty::from_keys(vec![cs(&[1]), ColSet::new()]);
+        assert_eq!(kp.keys().len(), 1);
+        assert!(kp.is_one_record());
+    }
+
+    #[test]
+    fn determined_by() {
+        let kp = KeyProperty::from_keys(vec![cs(&[1, 2])]);
+        assert!(kp.determined_by(&cs(&[1, 2, 3])));
+        assert!(!kp.determined_by(&cs(&[1])));
+        assert!(!KeyProperty::none().determined_by(&cs(&[1])));
+    }
+
+    #[test]
+    fn canonicalize_rewrites_heads_and_drops_constants() {
+        // Key {x, y} with y = 10 applied: y is constant, key becomes {x}.
+        let mut eq = EquivalenceClasses::new();
+        eq.bind_constant(c(1), Value::Int(10));
+        let ctx = OrderContext::new(eq, &FdSet::new());
+        let mut kp = KeyProperty::from_keys(vec![cs(&[0, 1])]);
+        kp.canonicalize(&ctx);
+        assert_eq!(kp.keys(), &[cs(&[0])]);
+    }
+
+    #[test]
+    fn canonicalize_detects_one_record() {
+        // Key {x} with x = 5: fully qualified, at most one record.
+        let mut eq = EquivalenceClasses::new();
+        eq.bind_constant(c(0), Value::Int(5));
+        let ctx = OrderContext::new(eq, &FdSet::new());
+        let mut kp = KeyProperty::from_keys(vec![cs(&[0])]);
+        kp.canonicalize(&ctx);
+        assert!(kp.is_one_record());
+    }
+
+    #[test]
+    fn canonicalize_merges_equivalent_columns() {
+        // Key {x, y} with x = y: rewrites to {x} (head).
+        let mut eq = EquivalenceClasses::new();
+        eq.merge(c(0), c(1));
+        let ctx = OrderContext::new(eq, &FdSet::new());
+        let mut kp = KeyProperty::from_keys(vec![cs(&[0, 1])]);
+        kp.canonicalize(&ctx);
+        assert_eq!(kp.keys(), &[cs(&[0])]);
+    }
+
+    #[test]
+    fn project_drops_keys_with_lost_columns() {
+        let kp = KeyProperty::from_keys(vec![cs(&[0, 5]), cs(&[1, 2])]);
+        let p = kp.project(&cs(&[1, 2, 3]));
+        assert_eq!(p.keys(), &[cs(&[1, 2])]);
+        let none = kp.project(&cs(&[9]));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn n_to_1_join_propagates_left_keys() {
+        // left key {0}; right key {10}; join predicate l.5 = r.10 fully
+        // qualifies the right key, so the join is n-to-1.
+        let left = KeyProperty::from_keys(vec![cs(&[0])]);
+        let right = KeyProperty::from_keys(vec![cs(&[10])]);
+        let joined = KeyProperty::join(&left, &right, &[(c(5), c(10))]);
+        assert_eq!(joined.keys(), &[cs(&[0])]);
+    }
+
+    #[test]
+    fn one_to_n_join_propagates_right_keys() {
+        let left = KeyProperty::from_keys(vec![cs(&[0])]);
+        let right = KeyProperty::from_keys(vec![cs(&[10])]);
+        let joined = KeyProperty::join(&left, &right, &[(c(0), c(11))]);
+        assert_eq!(joined.keys(), &[cs(&[10])]);
+    }
+
+    #[test]
+    fn one_to_one_join_propagates_both() {
+        let left = KeyProperty::from_keys(vec![cs(&[0])]);
+        let right = KeyProperty::from_keys(vec![cs(&[10])]);
+        let joined = KeyProperty::join(&left, &right, &[(c(0), c(10))]);
+        assert_eq!(joined.keys().len(), 2);
+        assert!(joined.determined_by(&cs(&[0])));
+        assert!(joined.determined_by(&cs(&[10])));
+    }
+
+    #[test]
+    fn m_to_n_join_concatenates_keys() {
+        let left = KeyProperty::from_keys(vec![cs(&[0]), cs(&[1])]);
+        let right = KeyProperty::from_keys(vec![cs(&[10])]);
+        let joined = KeyProperty::join(&left, &right, &[(c(2), c(11))]);
+        assert_eq!(joined.keys().len(), 2);
+        assert!(joined.determined_by(&cs(&[0, 10])));
+        assert!(joined.determined_by(&cs(&[1, 10])));
+        assert!(!joined.determined_by(&cs(&[0])));
+    }
+
+    #[test]
+    fn join_with_one_record_inner_is_n_to_1() {
+        let left = KeyProperty::from_keys(vec![cs(&[0])]);
+        let right = KeyProperty::one_record();
+        // No equates needed: the empty key is trivially fully qualified.
+        let joined = KeyProperty::join(&left, &right, &[]);
+        assert_eq!(joined.keys(), &[cs(&[0])]);
+    }
+
+    #[test]
+    fn join_with_no_keys_yields_no_keys() {
+        let joined = KeyProperty::join(&KeyProperty::none(), &KeyProperty::none(), &[]);
+        assert!(joined.is_empty());
+        let left = KeyProperty::from_keys(vec![cs(&[0])]);
+        let joined = KeyProperty::join(&left, &KeyProperty::none(), &[]);
+        assert!(joined.is_empty());
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(
+            format!("{:?}", KeyProperty::one_record()),
+            "KeyProperty[one-record]"
+        );
+        let kp = KeyProperty::from_keys(vec![cs(&[1])]);
+        assert!(format!("{kp:?}").contains("c1"));
+    }
+}

@@ -1,0 +1,266 @@
+//! Order specifications: the common representation of both *order
+//! properties* (what a stream is actually ordered by) and *interesting
+//! orders* (what some operation would like it to be ordered by).
+//!
+//! Per the paper (§3), an order specification is a list of columns in
+//! major-to-minor significance. The paper assumes ascending columns
+//! without loss of generality; this implementation carries an explicit
+//! [`Direction`] per column.
+
+use fto_common::{ColId, ColSet, Direction};
+use std::fmt;
+
+/// One column of an order specification.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct SortKey {
+    /// The ordering column.
+    pub col: ColId,
+    /// Ascending or descending.
+    pub dir: Direction,
+}
+
+impl SortKey {
+    /// Ascending sort key.
+    pub fn asc(col: ColId) -> SortKey {
+        SortKey {
+            col,
+            dir: Direction::Asc,
+        }
+    }
+
+    /// Descending sort key.
+    pub fn desc(col: ColId) -> SortKey {
+        SortKey {
+            col,
+            dir: Direction::Desc,
+        }
+    }
+}
+
+impl fmt::Display for SortKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.dir {
+            Direction::Asc => write!(f, "{}", self.col),
+            Direction::Desc => write!(f, "{} desc", self.col),
+        }
+    }
+}
+
+/// An order specification: columns in major-to-minor order.
+///
+/// The empty specification is trivially satisfied by any stream (paper
+/// §4.1: an order can become empty after reduction, e.g. ordering on a
+/// column bound to a constant).
+#[derive(Clone, PartialEq, Eq, Debug, Hash, Default)]
+pub struct OrderSpec {
+    keys: Vec<SortKey>,
+}
+
+impl OrderSpec {
+    /// The empty order.
+    pub fn empty() -> OrderSpec {
+        OrderSpec::default()
+    }
+
+    /// Builds a specification from sort keys.
+    pub fn new(keys: impl Into<Vec<SortKey>>) -> OrderSpec {
+        OrderSpec { keys: keys.into() }
+    }
+
+    /// Builds an all-ascending specification from columns (the paper's
+    /// `(c1, c2, ..., cn)` notation).
+    pub fn ascending(cols: impl IntoIterator<Item = ColId>) -> OrderSpec {
+        OrderSpec {
+            keys: cols.into_iter().map(SortKey::asc).collect(),
+        }
+    }
+
+    /// The sort keys, major to minor.
+    pub fn keys(&self) -> &[SortKey] {
+        &self.keys
+    }
+
+    /// Number of sort columns.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no columns remain.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The columns of the specification as a set.
+    pub fn col_set(&self) -> ColSet {
+        self.keys.iter().map(|k| k.col).collect()
+    }
+
+    /// Iterates over the columns, major to minor.
+    pub fn cols(&self) -> impl Iterator<Item = ColId> + '_ {
+        self.keys.iter().map(|k| k.col)
+    }
+
+    /// Appends a sort key.
+    pub fn push(&mut self, key: SortKey) {
+        self.keys.push(key);
+    }
+
+    /// Removes the key at `idx`.
+    pub fn remove(&mut self, idx: usize) -> SortKey {
+        self.keys.remove(idx)
+    }
+
+    /// Truncates to the first `n` keys.
+    pub fn truncate(&mut self, n: usize) {
+        self.keys.truncate(n);
+    }
+
+    /// True when `self` is a prefix of `other`, respecting directions.
+    ///
+    /// This is the satisfaction test of Fig. 3 *after* both sides have been
+    /// reduced: a stream ordered `(a, b, c)` satisfies the interesting
+    /// order `(a, b)` but not `(b)` and not `(a, b desc)`.
+    pub fn is_prefix_of(&self, other: &OrderSpec) -> bool {
+        self.keys.len() <= other.keys.len()
+            && self.keys.iter().zip(&other.keys).all(|(a, b)| a == b)
+    }
+
+    /// The concatenation of `self` and `other` (used when extending a
+    /// cover, e.g. appending merge-join columns).
+    pub fn concat(&self, other: &OrderSpec) -> OrderSpec {
+        let mut keys = self.keys.clone();
+        keys.extend_from_slice(&other.keys);
+        OrderSpec { keys }
+    }
+
+    /// Rewrites every column through `f`, preserving directions.
+    pub fn map_cols(&self, mut f: impl FnMut(ColId) -> ColId) -> OrderSpec {
+        OrderSpec {
+            keys: self
+                .keys
+                .iter()
+                .map(|k| SortKey {
+                    col: f(k.col),
+                    dir: k.dir,
+                })
+                .collect(),
+        }
+    }
+
+    /// The specification with every direction reversed; a stream ordered by
+    /// `O` can be read backwards to satisfy `O.reversed()` (used when an
+    /// index supports reverse scans).
+    pub fn reversed(&self) -> OrderSpec {
+        OrderSpec {
+            keys: self
+                .keys
+                .iter()
+                .map(|k| SortKey {
+                    col: k.col,
+                    dir: k.dir.reversed(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl FromIterator<SortKey> for OrderSpec {
+    fn from_iter<T: IntoIterator<Item = SortKey>>(iter: T) -> Self {
+        OrderSpec {
+            keys: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for OrderSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, k) in self.keys.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{k}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> ColId {
+        ColId(i)
+    }
+
+    #[test]
+    fn prefix_respects_direction() {
+        let a = OrderSpec::new(vec![SortKey::asc(c(1))]);
+        let ab = OrderSpec::new(vec![SortKey::asc(c(1)), SortKey::asc(c(2))]);
+        let a_desc = OrderSpec::new(vec![SortKey::desc(c(1))]);
+        assert!(a.is_prefix_of(&ab));
+        assert!(!ab.is_prefix_of(&a));
+        assert!(!a_desc.is_prefix_of(&ab));
+        assert!(OrderSpec::empty().is_prefix_of(&a));
+        assert!(a.is_prefix_of(&a));
+    }
+
+    #[test]
+    fn ascending_constructor() {
+        let o = OrderSpec::ascending([c(3), c(1)]);
+        assert_eq!(o.keys()[0], SortKey::asc(c(3)));
+        assert_eq!(o.len(), 2);
+        assert!(!o.is_empty());
+    }
+
+    #[test]
+    fn col_set_and_iter() {
+        let o = OrderSpec::ascending([c(2), c(5)]);
+        assert_eq!(o.col_set(), ColSet::from_cols([c(2), c(5)]));
+        assert_eq!(o.cols().collect::<Vec<_>>(), vec![c(2), c(5)]);
+    }
+
+    #[test]
+    fn concat_and_truncate() {
+        let a = OrderSpec::ascending([c(1)]);
+        let b = OrderSpec::ascending([c(2), c(3)]);
+        let mut ab = a.concat(&b);
+        assert_eq!(ab.len(), 3);
+        ab.truncate(2);
+        assert_eq!(ab, OrderSpec::ascending([c(1), c(2)]));
+    }
+
+    #[test]
+    fn reversed_flips_every_direction() {
+        let o = OrderSpec::new(vec![SortKey::asc(c(1)), SortKey::desc(c(2))]);
+        let r = o.reversed();
+        assert_eq!(
+            r,
+            OrderSpec::new(vec![SortKey::desc(c(1)), SortKey::asc(c(2))])
+        );
+        assert_eq!(r.reversed(), o);
+    }
+
+    #[test]
+    fn map_cols_preserves_direction() {
+        let o = OrderSpec::new(vec![SortKey::desc(c(1))]);
+        let m = o.map_cols(|col| ColId(col.0 + 1));
+        assert_eq!(m.keys()[0], SortKey::desc(c(2)));
+    }
+
+    #[test]
+    fn display() {
+        let o = OrderSpec::new(vec![SortKey::asc(c(1)), SortKey::desc(c(2))]);
+        assert_eq!(o.to_string(), "(c1, c2 desc)");
+        assert_eq!(OrderSpec::empty().to_string(), "()");
+    }
+
+    #[test]
+    fn push_remove() {
+        let mut o = OrderSpec::empty();
+        o.push(SortKey::asc(c(1)));
+        o.push(SortKey::asc(c(2)));
+        assert_eq!(o.remove(0), SortKey::asc(c(1)));
+        assert_eq!(o, OrderSpec::ascending([c(2)]));
+    }
+}

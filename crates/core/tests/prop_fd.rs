@@ -1,0 +1,135 @@
+//! Property-based laws of the functional-dependency algebra and the key
+//! property.
+
+use fto_common::{ColId, ColSet};
+use fto_order::{EquivalenceClasses, Fd, FdSet, KeyProperty, OrderContext};
+use proptest::prelude::*;
+
+const NCOLS: u32 = 8;
+
+fn colset() -> impl Strategy<Value = ColSet> {
+    proptest::collection::btree_set(0u32..NCOLS, 0..4)
+        .prop_map(|s| s.into_iter().map(ColId).collect())
+}
+
+fn fdset() -> impl Strategy<Value = FdSet> {
+    proptest::collection::vec((colset(), colset()), 0..8).prop_map(|fds| {
+        let mut set = FdSet::new();
+        for (head, tail) in fds {
+            set.add(Fd::new(head, tail));
+        }
+        set
+    })
+}
+
+proptest! {
+    /// Closure is extensive, monotone, and idempotent (a closure
+    /// operator in the lattice-theoretic sense).
+    #[test]
+    fn closure_is_a_closure_operator(fds in fdset(), a in colset(), b in colset()) {
+        let ca = fds.closure(&a);
+        // extensive
+        prop_assert!(a.is_subset(&ca));
+        // idempotent
+        prop_assert_eq!(fds.closure(&ca).clone(), ca.clone());
+        // monotone
+        if a.is_subset(&b) {
+            prop_assert!(ca.is_subset(&fds.closure(&b)));
+        }
+    }
+
+    /// Every stored FD is honoured by the closure.
+    #[test]
+    fn closure_honours_stored_fds(fds in fdset()) {
+        for fd in fds.iter() {
+            prop_assert!(fds.determines_all(&fd.head, &fd.tail));
+        }
+    }
+
+    /// `determines` agrees with closure membership, and adding FDs never
+    /// removes derivations.
+    #[test]
+    fn adding_fds_is_monotone(
+        fds in fdset(),
+        extra_head in colset(),
+        extra_tail in colset(),
+        probe in colset(),
+        col in 0u32..NCOLS,
+    ) {
+        let col = ColId(col);
+        let before = fds.determines(&probe, col);
+        let mut bigger = fds.clone();
+        bigger.add(Fd::new(extra_head, extra_tail));
+        if before {
+            prop_assert!(bigger.determines(&probe, col));
+        }
+    }
+
+    /// map_cols through an injective rename preserves derivations.
+    #[test]
+    fn rename_preserves_derivations(fds in fdset(), probe in colset(), col in 0u32..NCOLS) {
+        let col = ColId(col);
+        let shift = |c: ColId| ColId(c.0 + 100);
+        let renamed = fds.map_cols(shift);
+        let probe_renamed: ColSet = probe.iter().map(shift).collect();
+        prop_assert_eq!(
+            fds.determines(&probe, col),
+            renamed.determines(&probe_renamed, shift(col))
+        );
+    }
+
+    /// Key-property minimization: no kept key is a superset of another,
+    /// and `determined_by` is preserved by minimization.
+    #[test]
+    fn key_property_is_minimal(keys in proptest::collection::vec(colset(), 0..6), probe in colset()) {
+        let kp = KeyProperty::from_keys(keys.clone());
+        for (i, a) in kp.keys().iter().enumerate() {
+            for (j, b) in kp.keys().iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.is_subset(b), "{a:?} subsumes {b:?}");
+                }
+            }
+        }
+        // Anything determined by the raw keys is determined by the
+        // minimized property.
+        let raw_hit = keys.iter().any(|k| k.is_subset(&probe));
+        prop_assert_eq!(kp.determined_by(&probe), raw_hit);
+    }
+
+    /// Canonicalization never weakens the property: anything determined
+    /// before is determined after (under closure reasoning).
+    #[test]
+    fn canonicalize_never_weakens(keys in proptest::collection::vec(colset(), 0..5), fds in fdset()) {
+        let ctx = OrderContext::new(EquivalenceClasses::new(), &fds);
+        let mut kp = KeyProperty::from_keys(keys.clone());
+        kp.canonicalize(&ctx);
+        for k in keys {
+            // The original key (closed under the FDs) must still be
+            // recognized as determining records.
+            let closed = fds.closure(&k);
+            prop_assert!(
+                kp.is_empty() || kp.determined_by(&closed),
+                "lost key {k:?}; kp = {kp:?}"
+            );
+        }
+    }
+
+    /// Join propagation returns only keys derivable from the inputs'
+    /// columns (no invented columns).
+    #[test]
+    fn join_keys_use_input_columns(
+        lk in proptest::collection::vec(colset(), 0..3),
+        rk in proptest::collection::vec(colset(), 0..3),
+    ) {
+        let left = KeyProperty::from_keys(lk.clone());
+        let right = KeyProperty::from_keys(rk.clone());
+        let mut universe = ColSet::new();
+        for k in lk.iter().chain(rk.iter()) {
+            universe.union_with(k);
+        }
+        let joined = KeyProperty::join(&left, &right, &[]);
+        for k in joined.keys() {
+            prop_assert!(k.is_subset(&universe));
+        }
+    }
+}

@@ -1,0 +1,774 @@
+//! The recursive plan interpreter.
+
+use fto_common::{FtoError, Result, Row, Value};
+use fto_expr::{AggCall, RowLayout};
+use fto_order::OrderSpec;
+use fto_planner::{Plan, PlanNode, ScanRange};
+use fto_qgm::QueryGraph;
+use fto_storage::{Database, IoStats, PageCursor};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// The result of executing a plan.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// Output rows, in the plan's output layout and order.
+    pub rows: Vec<Row>,
+    /// Simulated page I/O accumulated across the whole plan.
+    pub io: IoStats,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+}
+
+/// Executes a plan to completion.
+pub fn run_plan(db: &Database, graph: &QueryGraph, plan: &Plan) -> Result<QueryResult> {
+    let mut io = IoStats::new();
+    let start = Instant::now();
+    let rows = exec(db, graph, plan, &mut io)?;
+    Ok(QueryResult {
+        rows,
+        io,
+        elapsed: start.elapsed(),
+    })
+}
+
+fn exec(db: &Database, graph: &QueryGraph, plan: &Plan, io: &mut IoStats) -> Result<Vec<Row>> {
+    match &plan.node {
+        PlanNode::TableScan { table, .. } => {
+            let heap = db.heap(*table)?;
+            io.sequential_pages += heap.page_count();
+            io.rows_read += heap.row_count();
+            Ok(heap.rows().to_vec())
+        }
+        PlanNode::IndexScan {
+            index,
+            table,
+            range,
+            reverse,
+            ..
+        } => {
+            let heap = db.heap(*table)?;
+            let ix = db.index(*index)?;
+            io.index_pages += ix.leaf_pages();
+            let mut cursor = PageCursor::new();
+            let mut rids: Vec<usize> = match range {
+                Some(ScanRange { lo, hi }) => {
+                    ix.range(lo.as_ref(), hi.as_ref()).map(|(_, r)| r).collect()
+                }
+                None => ix.scan().map(|(_, r)| r).collect(),
+            };
+            if *reverse {
+                rids.reverse();
+            }
+            let mut out = Vec::with_capacity(rids.len());
+            for rid in rids {
+                cursor.touch(heap.page_of(rid), io);
+                io.rows_read += 1;
+                out.push(heap.row(rid).clone());
+            }
+            Ok(out)
+        }
+        PlanNode::Filter { input, predicates } => {
+            let rows = exec(db, graph, input, io)?;
+            let layout = &input.layout;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                if eval_preds(graph, predicates, &row, layout)? {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        PlanNode::Project { input, exprs } => {
+            let rows = exec(db, graph, input, io)?;
+            let layout = &input.layout;
+            rows.iter()
+                .map(|row| {
+                    exprs
+                        .iter()
+                        .map(|(_, e)| e.eval(row, layout))
+                        .collect::<Result<Row>>()
+                })
+                .collect()
+        }
+        PlanNode::Sort { input, spec } => {
+            let mut rows = exec(db, graph, input, io)?;
+            io.sort_rows += rows.len() as u64;
+            sort_rows(&mut rows, spec, &input.layout)?;
+            Ok(rows)
+        }
+        PlanNode::NestedLoopJoin {
+            outer,
+            inner,
+            predicates,
+        } => {
+            let outer_rows = exec(db, graph, outer, io)?;
+            let inner_rows = exec(db, graph, inner, io)?;
+            let layout = &plan.layout;
+            let mut out = Vec::new();
+            for orow in &outer_rows {
+                for irow in &inner_rows {
+                    let joined = concat(orow, irow);
+                    if eval_preds(graph, predicates, &joined, layout)? {
+                        out.push(joined);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        PlanNode::IndexNestedLoopJoin {
+            outer,
+            table,
+            index,
+            probe_cols,
+            predicates,
+            ..
+        } => {
+            let outer_rows = exec(db, graph, outer, io)?;
+            let heap = db.heap(*table)?;
+            let ix = db.index(*index)?;
+            let layout = &plan.layout;
+            let olayout = &outer.layout;
+            let mut cursor = PageCursor::new();
+            let mut out = Vec::new();
+            let probe_positions: Vec<usize> = probe_cols
+                .iter()
+                .map(|&c| {
+                    olayout.position(c).ok_or_else(|| {
+                        FtoError::internal(format!("probe column {c} missing from outer"))
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?;
+            for orow in &outer_rows {
+                let key: Vec<Value> = probe_positions.iter().map(|&p| orow[p].clone()).collect();
+                io.index_pages += 1; // descent touches one leaf
+                for (_, rid) in ix.probe(&key) {
+                    cursor.touch(heap.page_of(*rid), io);
+                    io.rows_read += 1;
+                    let joined = concat(orow, heap.row(*rid));
+                    if eval_preds(graph, predicates, &joined, layout)? {
+                        out.push(joined);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        PlanNode::MergeJoin {
+            outer,
+            inner,
+            outer_keys,
+            inner_keys,
+            predicates,
+        } => {
+            let outer_rows = exec(db, graph, outer, io)?;
+            let inner_rows = exec(db, graph, inner, io)?;
+            merge_join(
+                graph,
+                &outer_rows,
+                &inner_rows,
+                &outer.layout,
+                &inner.layout,
+                outer_keys,
+                inner_keys,
+                predicates,
+                &plan.layout,
+            )
+        }
+        PlanNode::LeftOuterJoin {
+            outer,
+            inner,
+            outer_keys,
+            inner_keys,
+            predicates,
+        } => {
+            let outer_rows = exec(db, graph, outer, io)?;
+            let inner_rows = exec(db, graph, inner, io)?;
+            let layout = &plan.layout;
+            let null_pad: Row = vec![Value::Null; inner.layout.arity()].into();
+            let mut out = Vec::with_capacity(outer_rows.len());
+
+            if outer_keys.is_empty() {
+                // No equi keys: nested loop with ON residuals.
+                for orow in &outer_rows {
+                    let mut matched = false;
+                    for irow in &inner_rows {
+                        let joined = concat(orow, irow);
+                        if eval_preds(graph, predicates, &joined, layout)? {
+                            out.push(joined);
+                            matched = true;
+                        }
+                    }
+                    if !matched {
+                        out.push(concat(orow, &null_pad));
+                    }
+                }
+            } else {
+                let ipos = positions(&inner.layout, inner_keys)?;
+                let opos = positions(&outer.layout, outer_keys)?;
+                let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
+                for irow in &inner_rows {
+                    let key: Vec<Value> = ipos.iter().map(|&p| irow[p].clone()).collect();
+                    if key.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    table.entry(key).or_default().push(irow);
+                }
+                for orow in &outer_rows {
+                    let key: Vec<Value> = opos.iter().map(|&p| orow[p].clone()).collect();
+                    let mut matched = false;
+                    if !key.iter().any(Value::is_null) {
+                        if let Some(candidates) = table.get(&key) {
+                            for irow in candidates {
+                                let joined = concat(orow, irow);
+                                if eval_preds(graph, predicates, &joined, layout)? {
+                                    out.push(joined);
+                                    matched = true;
+                                }
+                            }
+                        }
+                    }
+                    if !matched {
+                        out.push(concat(orow, &null_pad));
+                    }
+                }
+            }
+            Ok(out)
+        }
+        PlanNode::HashJoin {
+            outer,
+            inner,
+            outer_keys,
+            inner_keys,
+            predicates,
+        } => {
+            let outer_rows = exec(db, graph, outer, io)?;
+            let inner_rows = exec(db, graph, inner, io)?;
+            let ipos: Vec<usize> = positions(&inner.layout, inner_keys)?;
+            let opos: Vec<usize> = positions(&outer.layout, outer_keys)?;
+            let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
+            for irow in &inner_rows {
+                let key: Vec<Value> = ipos.iter().map(|&p| irow[p].clone()).collect();
+                if key.iter().any(Value::is_null) {
+                    continue; // NULL never joins
+                }
+                table.entry(key).or_default().push(irow);
+            }
+            let mut out = Vec::new();
+            for orow in &outer_rows {
+                let key: Vec<Value> = opos.iter().map(|&p| orow[p].clone()).collect();
+                if key.iter().any(Value::is_null) {
+                    continue;
+                }
+                if let Some(matches) = table.get(&key) {
+                    for irow in matches {
+                        let joined = concat(orow, irow);
+                        if eval_preds(graph, predicates, &joined, &plan.layout)? {
+                            out.push(joined);
+                        }
+                    }
+                }
+            }
+            Ok(out)
+        }
+        PlanNode::StreamGroupBy {
+            input,
+            grouping,
+            aggs,
+        } => {
+            let rows = exec(db, graph, input, io)?;
+            stream_group_by(&rows, &input.layout, grouping, aggs)
+        }
+        PlanNode::HashGroupBy {
+            input,
+            grouping,
+            aggs,
+        } => {
+            let rows = exec(db, graph, input, io)?;
+            hash_group_by(&rows, &input.layout, grouping, aggs)
+        }
+        PlanNode::StreamDistinct { input } => {
+            let rows = exec(db, graph, input, io)?;
+            let mut out: Vec<Row> = Vec::new();
+            for row in rows {
+                if out.last().map(|prev| prev != &row).unwrap_or(true) {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        PlanNode::HashDistinct { input } => {
+            let rows = exec(db, graph, input, io)?;
+            let mut seen: std::collections::HashSet<Row> = Default::default();
+            let mut out = Vec::new();
+            for row in rows {
+                if seen.insert(row.clone()) {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        PlanNode::UnionAll { inputs } => {
+            let mut out = Vec::new();
+            for input in inputs {
+                out.extend(exec(db, graph, input, io)?);
+            }
+            Ok(out)
+        }
+        PlanNode::Limit { input, n } => {
+            let mut rows = exec(db, graph, input, io)?;
+            rows.truncate(*n as usize);
+            Ok(rows)
+        }
+        PlanNode::TopN { input, spec, n } => {
+            let mut rows = exec(db, graph, input, io)?;
+            let n = *n as usize;
+            let layout = &input.layout;
+            let keys: Vec<(usize, fto_common::Direction)> = spec
+                .keys()
+                .iter()
+                .map(|k| {
+                    layout.position(k.col).map(|p| (p, k.dir)).ok_or_else(|| {
+                        FtoError::internal(format!("top-n column {} missing from layout", k.col))
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?;
+            let cmp = |a: &Row, b: &Row| {
+                for &(pos, dir) in &keys {
+                    let ord = dir.apply(a[pos].total_cmp(&b[pos]));
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            };
+            if n == 0 {
+                return Ok(Vec::new());
+            }
+            if rows.len() > n {
+                // Selection first: only the winning prefix pays the sort.
+                rows.select_nth_unstable_by(n - 1, cmp);
+                rows.truncate(n);
+            }
+            io.sort_rows += rows.len() as u64;
+            rows.sort_by(cmp);
+            Ok(rows)
+        }
+    }
+}
+
+fn positions(layout: &RowLayout, cols: &[fto_common::ColId]) -> Result<Vec<usize>> {
+    cols.iter()
+        .map(|&c| {
+            layout
+                .position(c)
+                .ok_or_else(|| FtoError::internal(format!("column {c} missing from layout")))
+        })
+        .collect()
+}
+
+fn eval_preds(
+    graph: &QueryGraph,
+    preds: &[fto_expr::PredId],
+    row: &Row,
+    layout: &RowLayout,
+) -> Result<bool> {
+    for &pid in preds {
+        if !graph.predicate(pid).eval(row, layout)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn concat(a: &Row, b: &Row) -> Row {
+    a.iter().chain(b.iter()).cloned().collect()
+}
+
+fn sort_rows(rows: &mut [Row], spec: &OrderSpec, layout: &RowLayout) -> Result<()> {
+    let keys: Vec<(usize, fto_common::Direction)> = spec
+        .keys()
+        .iter()
+        .map(|k| {
+            layout.position(k.col).map(|p| (p, k.dir)).ok_or_else(|| {
+                FtoError::internal(format!("sort column {} missing from layout", k.col))
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    rows.sort_by(|a, b| {
+        for &(pos, dir) in &keys {
+            let ord = dir.apply(a[pos].total_cmp(&b[pos]));
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(())
+}
+
+fn stream_group_by(
+    rows: &[Row],
+    layout: &RowLayout,
+    grouping: &[fto_common::ColId],
+    aggs: &[(fto_common::ColId, AggCall)],
+) -> Result<Vec<Row>> {
+    let gpos = positions(layout, grouping)?;
+    let mut out = Vec::new();
+    // A global aggregate (no grouping columns) over an empty input still
+    // produces one row (COUNT(*) = 0, SUM = NULL), per SQL.
+    if rows.is_empty() && grouping.is_empty() {
+        let accs: Vec<_> = aggs.iter().map(|(_, c)| c.accumulator()).collect();
+        let row: Vec<Value> = accs.iter().map(|a| a.finish()).collect();
+        return Ok(vec![row.into_boxed_slice()]);
+    }
+    let mut current: Option<(Vec<Value>, Vec<fto_expr::agg::Accumulator>)> = None;
+
+    let flush = |key: Vec<Value>, accs: Vec<fto_expr::agg::Accumulator>, out: &mut Vec<Row>| {
+        let mut row: Vec<Value> = key;
+        row.extend(accs.iter().map(|a| a.finish()));
+        out.push(row.into_boxed_slice());
+    };
+
+    for row in rows {
+        let key: Vec<Value> = gpos.iter().map(|&p| row[p].clone()).collect();
+        match &mut current {
+            Some((ckey, accs)) if *ckey == key => {
+                for (acc, (_, call)) in accs.iter_mut().zip(aggs) {
+                    acc.update(call, row, layout)?;
+                }
+            }
+            _ => {
+                if let Some((ckey, accs)) = current.take() {
+                    flush(ckey, accs, &mut out);
+                }
+                let mut accs: Vec<_> = aggs.iter().map(|(_, c)| c.accumulator()).collect();
+                for (acc, (_, call)) in accs.iter_mut().zip(aggs) {
+                    acc.update(call, row, layout)?;
+                }
+                current = Some((key, accs));
+            }
+        }
+    }
+    if let Some((ckey, accs)) = current.take() {
+        flush(ckey, accs, &mut out);
+    }
+    Ok(out)
+}
+
+fn hash_group_by(
+    rows: &[Row],
+    layout: &RowLayout,
+    grouping: &[fto_common::ColId],
+    aggs: &[(fto_common::ColId, AggCall)],
+) -> Result<Vec<Row>> {
+    let gpos = positions(layout, grouping)?;
+    if rows.is_empty() && grouping.is_empty() {
+        let accs: Vec<_> = aggs.iter().map(|(_, c)| c.accumulator()).collect();
+        let row: Vec<Value> = accs.iter().map(|a| a.finish()).collect();
+        return Ok(vec![row.into_boxed_slice()]);
+    }
+    let mut groups: Vec<(Vec<Value>, Vec<fto_expr::agg::Accumulator>)> = Vec::new();
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+    for row in rows {
+        let key: Vec<Value> = gpos.iter().map(|&p| row[p].clone()).collect();
+        let slot = *index.entry(key.clone()).or_insert_with(|| {
+            groups.push((key, aggs.iter().map(|(_, c)| c.accumulator()).collect()));
+            groups.len() - 1
+        });
+        for (acc, (_, call)) in groups[slot].1.iter_mut().zip(aggs) {
+            acc.update(call, row, layout)?;
+        }
+    }
+    Ok(groups
+        .into_iter()
+        .map(|(key, accs)| {
+            let mut row: Vec<Value> = key;
+            row.extend(accs.iter().map(|a| a.finish()));
+            row.into_boxed_slice()
+        })
+        .collect())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn merge_join(
+    graph: &QueryGraph,
+    outer: &[Row],
+    inner: &[Row],
+    olayout: &RowLayout,
+    ilayout: &RowLayout,
+    outer_keys: &[fto_common::ColId],
+    inner_keys: &[fto_common::ColId],
+    predicates: &[fto_expr::PredId],
+    layout: &RowLayout,
+) -> Result<Vec<Row>> {
+    let opos = positions(olayout, outer_keys)?;
+    let ipos = positions(ilayout, inner_keys)?;
+    let key_cmp = |orow: &Row, irow: &Row| {
+        for (&op, &ip) in opos.iter().zip(&ipos) {
+            let ord = orow[op].total_cmp(&irow[ip]);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    };
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < outer.len() && j < inner.len() {
+        // NULL keys never join; skip them on either side.
+        if opos.iter().any(|&p| outer[i][p].is_null()) {
+            i += 1;
+            continue;
+        }
+        if ipos.iter().any(|&p| inner[j][p].is_null()) {
+            j += 1;
+            continue;
+        }
+        match key_cmp(&outer[i], &inner[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Find the extent of the tie group on both sides.
+                let i_end = (i..outer.len())
+                    .take_while(|&x| key_cmp(&outer[x], &inner[j]).is_eq())
+                    .last()
+                    .unwrap()
+                    + 1;
+                let j_end = (j..inner.len())
+                    .take_while(|&y| key_cmp(&outer[i], &inner[y]).is_eq())
+                    .last()
+                    .unwrap()
+                    + 1;
+                for orow in &outer[i..i_end] {
+                    for irow in &inner[j..j_end] {
+                        let joined = concat(orow, irow);
+                        if eval_preds(graph, predicates, &joined, layout)? {
+                            out.push(joined);
+                        }
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fto_catalog::{Catalog, ColumnDef, KeyDef};
+    use fto_common::{DataType, Direction};
+    use fto_expr::{CompareOp, Expr, Predicate};
+    use fto_planner::{OptimizerConfig, Planner};
+    use fto_qgm::graph::{BoxKind, OutputCol, OutputExpr};
+    use fto_qgm::OrderScan;
+
+    fn db_two_tables() -> Database {
+        let mut cat = Catalog::new();
+        let a = cat
+            .create_table(
+                "a",
+                vec![
+                    ColumnDef::new("x", DataType::Int),
+                    ColumnDef::new("y", DataType::Int),
+                ],
+                vec![KeyDef::primary([0])],
+            )
+            .unwrap();
+        let b = cat
+            .create_table(
+                "b",
+                vec![
+                    ColumnDef::new("x", DataType::Int),
+                    ColumnDef::new("z", DataType::Int),
+                ],
+                vec![],
+            )
+            .unwrap();
+        cat.create_index("b_x", b, vec![(0, Direction::Asc)], false, true)
+            .unwrap();
+        let mut db = Database::new(cat);
+        db.load_table(
+            a,
+            (0..50)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 7)].into_boxed_slice())
+                .collect(),
+        )
+        .unwrap();
+        db.load_table(
+            b,
+            (0..100)
+                .map(|i| vec![Value::Int(i / 2), Value::Int(i)].into_boxed_slice())
+                .collect(),
+        )
+        .unwrap();
+        db
+    }
+
+    /// select a.x, a.y, b.z from a, b where a.x = b.x and a.y = 3
+    /// order by a.x — planned and executed; results must match a naive
+    /// nested-loop reference for EVERY optimizer configuration.
+    fn plan_and_run(db: &Database, config: OptimizerConfig) -> Vec<Row> {
+        let cat = db.catalog();
+        let mut g = fto_qgm::QueryGraph::new();
+        let sel = g.add_box(BoxKind::Select);
+        g.add_table_quantifier(sel, cat.table_by_name("a").unwrap());
+        g.add_table_quantifier(sel, cat.table_by_name("b").unwrap());
+        let ac = g.boxed(sel).quantifiers[0].cols.clone();
+        let bc = g.boxed(sel).quantifiers[1].cols.clone();
+        for pred in [
+            Predicate::col_eq_col(ac[0], bc[0]),
+            Predicate::new(CompareOp::Eq, Expr::col(ac[1]), Expr::int(3)),
+        ] {
+            let pid = g.add_predicate(pred);
+            g.boxed_mut(sel).predicates.push(pid);
+        }
+        g.boxed_mut(sel).output = vec![
+            OutputCol::passthrough(ac[0]),
+            OutputCol::passthrough(ac[1]),
+            OutputCol::passthrough(bc[1]),
+        ];
+        g.boxed_mut(sel).output_order = Some(OrderSpec::ascending([ac[0]]));
+        g.root = sel;
+        OrderScan::run(&mut g, cat);
+        let mut planner = Planner::new(&g, cat, config);
+        let plan = planner.plan_query().unwrap();
+        let result = run_plan(db, &g, &plan).unwrap();
+        result.rows
+    }
+
+    fn reference(db: &Database) -> Vec<Row> {
+        let a = db.heap(fto_common::TableId(0)).unwrap().rows();
+        let b = db.heap(fto_common::TableId(1)).unwrap().rows();
+        let mut out: Vec<Row> = Vec::new();
+        for ar in a {
+            if ar[1] != Value::Int(3) {
+                continue;
+            }
+            for br in b {
+                if ar[0] == br[0] {
+                    out.push(vec![ar[0].clone(), ar[1].clone(), br[1].clone()].into_boxed_slice());
+                }
+            }
+        }
+        out.sort_by(|x, y| x[0].total_cmp(&y[0]));
+        out
+    }
+
+    #[test]
+    fn join_query_matches_reference_all_configs() {
+        let db = db_two_tables();
+        let expected = reference(&db);
+        assert!(!expected.is_empty());
+        for config in [
+            OptimizerConfig::default(),
+            OptimizerConfig::disabled(),
+            OptimizerConfig {
+                enable_hash_join: false,
+                ..OptimizerConfig::default()
+            },
+            OptimizerConfig {
+                enable_merge_join: false,
+                enable_hash_join: false,
+                ..OptimizerConfig::default()
+            },
+            OptimizerConfig {
+                enable_nested_loop: false,
+                ..OptimizerConfig::default()
+            },
+            OptimizerConfig {
+                sort_ahead: false,
+                ..OptimizerConfig::default()
+            },
+        ] {
+            let got = plan_and_run(&db, config.clone());
+            assert_eq!(got, expected, "config {config:?}");
+        }
+    }
+
+    #[test]
+    fn group_by_executes() {
+        let db = db_two_tables();
+        let cat = db.catalog();
+        // select y, count(1), sum(x) from a group by y
+        let mut g = fto_qgm::QueryGraph::new();
+        let sel = g.add_box(BoxKind::Select);
+        g.add_table_quantifier(sel, cat.table_by_name("a").unwrap());
+        let ac = g.boxed(sel).quantifiers[0].cols.clone();
+        g.boxed_mut(sel).output = ac.iter().map(|&c| OutputCol::passthrough(c)).collect();
+        let gb = g.add_box(BoxKind::GroupBy {
+            grouping: vec![ac[1]],
+        });
+        g.add_box_quantifier(gb, sel);
+        let cnt = g.fresh_derived(gb, "cnt", DataType::Int);
+        let sm = g.fresh_derived(gb, "sm", DataType::Int);
+        g.boxed_mut(gb).output = vec![
+            OutputCol::passthrough(ac[1]),
+            OutputCol {
+                col: cnt,
+                expr: OutputExpr::Agg(AggCall::new(fto_expr::AggFunc::Count, Expr::int(1))),
+            },
+            OutputCol {
+                col: sm,
+                expr: OutputExpr::Agg(AggCall::new(fto_expr::AggFunc::Sum, Expr::col(ac[0]))),
+            },
+        ];
+        g.boxed_mut(gb).output_order = Some(OrderSpec::ascending([ac[1]]));
+        g.root = gb;
+        OrderScan::run(&mut g, cat);
+        let mut planner = Planner::new(&g, cat, OptimizerConfig::default());
+        let plan = planner.plan_query().unwrap();
+        let result = run_plan(&db, &g, &plan).unwrap();
+        // y in 0..7, 50 rows: groups of 8 or 7.
+        assert_eq!(result.rows.len(), 7);
+        let total: i64 = result.rows.iter().map(|r| r[1].as_int().unwrap()).sum();
+        assert_eq!(total, 50);
+        let sum_total: i64 = result.rows.iter().map(|r| r[2].as_int().unwrap()).sum();
+        assert_eq!(sum_total, (0..50).sum::<i64>());
+        // Ordered by y.
+        let ys: Vec<i64> = result.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        let mut sorted = ys.clone();
+        sorted.sort_unstable();
+        assert_eq!(ys, sorted);
+    }
+
+    #[test]
+    fn merge_join_handles_duplicate_keys() {
+        // b has two rows per x; join a ⋈ b on x must produce 2 rows per
+        // matching a row. Force merge join.
+        let db = db_two_tables();
+        let expected = reference(&db);
+        let got = plan_and_run(
+            &db,
+            OptimizerConfig {
+                enable_hash_join: false,
+                enable_nested_loop: false,
+                ..OptimizerConfig::default()
+            },
+        );
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn io_stats_accumulate() {
+        let db = db_two_tables();
+        let cat = db.catalog();
+        let mut g = fto_qgm::QueryGraph::new();
+        let sel = g.add_box(BoxKind::Select);
+        g.add_table_quantifier(sel, cat.table_by_name("a").unwrap());
+        let ac = g.boxed(sel).quantifiers[0].cols.clone();
+        g.boxed_mut(sel).output = ac.iter().map(|&c| OutputCol::passthrough(c)).collect();
+        g.root = sel;
+        OrderScan::run(&mut g, cat);
+        let mut planner = Planner::new(&g, cat, OptimizerConfig::default());
+        let plan = planner.plan_query().unwrap();
+        let result = run_plan(&db, &g, &plan).unwrap();
+        assert_eq!(result.rows.len(), 50);
+        assert!(result.io.rows_read >= 50);
+        assert!(result.io.sequential_pages + result.io.random_pages > 0);
+    }
+
+    use fto_expr::AggCall;
+}

@@ -1,0 +1,16 @@
+//! The execution engine: an interpreter for [`fto_planner::PlanNode`]
+//! trees against an [`fto_storage::Database`].
+//!
+//! Each operator materializes its output (a row set in a defined layout),
+//! which keeps the engine simple and the measured work honest: every
+//! avoidable sort the optimizer fails to avoid is really executed, every
+//! index probe really walks the simulated page model. [`run_plan`]
+//! returns the rows, the simulated [`IoStats`](fto_storage::IoStats), and
+//! wall-clock time — the three observables the benchmark harness reports
+//! for the paper's Table 1.
+
+#![deny(missing_docs)]
+
+pub mod interp;
+
+pub use interp::{run_plan, QueryResult};

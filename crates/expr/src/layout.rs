@@ -1,0 +1,125 @@
+//! [`RowLayout`]: the mapping from query-scoped [`ColId`]s to positions in
+//! a physical row.
+//!
+//! Every stream in a plan carries a layout describing which columns its
+//! rows contain and in what order. Expression evaluation resolves column
+//! references through the layout.
+
+use fto_common::{ColId, ColSet};
+
+/// Maps [`ColId`]s to row positions.
+///
+/// Lookup is O(1) via a dense reverse table indexed by `ColId`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowLayout {
+    cols: Vec<ColId>,
+    /// reverse[col.index()] = position + 1; 0 means absent.
+    reverse: Vec<u32>,
+}
+
+impl RowLayout {
+    /// Builds a layout from the column order of a row.
+    ///
+    /// # Panics
+    /// Panics if the same column appears twice.
+    pub fn new(cols: impl Into<Vec<ColId>>) -> Self {
+        let cols = cols.into();
+        let max = cols.iter().map(|c| c.index()).max().map_or(0, |m| m + 1);
+        let mut reverse = vec![0u32; max];
+        for (pos, c) in cols.iter().enumerate() {
+            assert_eq!(reverse[c.index()], 0, "duplicate column {c} in layout");
+            reverse[c.index()] = pos as u32 + 1;
+        }
+        RowLayout { cols, reverse }
+    }
+
+    /// The columns of the row, in physical order.
+    pub fn cols(&self) -> &[ColId] {
+        &self.cols
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Position of `col` in the row, if present.
+    #[inline]
+    pub fn position(&self, col: ColId) -> Option<usize> {
+        match self.reverse.get(col.index()) {
+            Some(&p) if p != 0 => Some(p as usize - 1),
+            _ => None,
+        }
+    }
+
+    /// True when the layout carries `col`.
+    pub fn contains(&self, col: ColId) -> bool {
+        self.position(col).is_some()
+    }
+
+    /// True when the layout carries every column of `set`.
+    pub fn contains_all(&self, set: &ColSet) -> bool {
+        set.iter().all(|c| self.contains(c))
+    }
+
+    /// The columns as a [`ColSet`].
+    pub fn col_set(&self) -> ColSet {
+        self.cols.iter().copied().collect()
+    }
+
+    /// Builds the layout of `self` concatenated with `other`
+    /// (left row followed by right row, as join operators produce).
+    pub fn concat(&self, other: &RowLayout) -> RowLayout {
+        let mut cols = self.cols.clone();
+        cols.extend_from_slice(&other.cols);
+        RowLayout::new(cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> ColId {
+        ColId(i)
+    }
+
+    #[test]
+    fn positions() {
+        let l = RowLayout::new(vec![c(5), c(2), c(9)]);
+        assert_eq!(l.position(c(5)), Some(0));
+        assert_eq!(l.position(c(2)), Some(1));
+        assert_eq!(l.position(c(9)), Some(2));
+        assert_eq!(l.position(c(0)), None);
+        assert_eq!(l.position(c(100)), None);
+        assert_eq!(l.arity(), 3);
+    }
+
+    #[test]
+    fn contains_all() {
+        let l = RowLayout::new(vec![c(1), c(2)]);
+        assert!(l.contains_all(&ColSet::from_cols([c(1)])));
+        assert!(l.contains_all(&ColSet::from_cols([c(1), c(2)])));
+        assert!(!l.contains_all(&ColSet::from_cols([c(1), c(3)])));
+        assert!(l.contains_all(&ColSet::new()));
+    }
+
+    #[test]
+    fn concat_layouts() {
+        let l = RowLayout::new(vec![c(1)]).concat(&RowLayout::new(vec![c(4), c(2)]));
+        assert_eq!(l.cols(), &[c(1), c(4), c(2)]);
+        assert_eq!(l.position(c(2)), Some(2));
+    }
+
+    #[test]
+    fn col_set_roundtrip() {
+        let l = RowLayout::new(vec![c(3), c(1)]);
+        assert_eq!(l.col_set(), ColSet::from_cols([c(1), c(3)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_column_panics() {
+        let _ = RowLayout::new(vec![c(1), c(1)]);
+    }
+}

@@ -1,0 +1,25 @@
+//! Scalar expressions, predicates, and aggregates for the fto engine.
+//!
+//! This crate supplies the expression substrate the paper's techniques
+//! analyse:
+//!
+//! * [`Expr`] — scalar expressions over query columns, evaluated against
+//!   rows via a [`RowLayout`].
+//! * [`Predicate`] — comparisons between expressions, with the structural
+//!   *analysis* that order optimization feeds on: classifying a predicate
+//!   as `col = col` (an equivalence-class generator), `col = constant`
+//!   (an "empty-headed" functional dependency, per §4.1 of the paper), or
+//!   opaque.
+//! * [`AggCall`] — aggregate function calls for GROUP BY processing.
+
+#![deny(missing_docs)]
+
+pub mod agg;
+pub mod expr;
+pub mod layout;
+pub mod predicate;
+
+pub use agg::{AggCall, AggFunc};
+pub use expr::{ArithOp, Expr};
+pub use layout::RowLayout;
+pub use predicate::{CompareOp, PredClass, PredId, Predicate};

@@ -1,0 +1,205 @@
+//! Cardinality estimation: classic System-R style selectivities driven by
+//! catalog statistics.
+
+use fto_catalog::{Catalog, ColStats};
+use fto_common::ColId;
+use fto_expr::{CompareOp, Expr, PredClass, Predicate};
+use fto_qgm::graph::ColumnOrigin;
+use fto_qgm::QueryGraph;
+
+/// Estimates predicate selectivities against base-table statistics.
+pub struct CardEstimator<'a> {
+    graph: &'a QueryGraph,
+    catalog: &'a Catalog,
+}
+
+impl<'a> CardEstimator<'a> {
+    /// Creates an estimator over a query and its catalog.
+    pub fn new(graph: &'a QueryGraph, catalog: &'a Catalog) -> Self {
+        CardEstimator { graph, catalog }
+    }
+
+    /// Statistics for a column, when it maps to a base-table column with
+    /// gathered stats.
+    pub fn col_stats(&self, col: ColId) -> Option<&ColStats> {
+        match self.graph.registry.info(col).origin {
+            ColumnOrigin::Base(_, table, ordinal) => self.catalog.stats(table).columns.get(ordinal),
+            ColumnOrigin::Derived(_) => None,
+        }
+    }
+
+    /// Number of distinct values of a column (1 minimum), defaulting when
+    /// unknown.
+    pub fn ndv(&self, col: ColId, default: f64) -> f64 {
+        match self.col_stats(col) {
+            Some(s) if s.ndv > 0 => s.ndv as f64,
+            _ => default,
+        }
+    }
+
+    /// Selectivity of one predicate.
+    pub fn selectivity(&self, pred: &Predicate) -> f64 {
+        match pred.classify() {
+            PredClass::ColEqConst(col, _) => self
+                .col_stats(col)
+                .map(|s| s.eq_selectivity())
+                .unwrap_or(0.1),
+            PredClass::ColEqCol(a, b) => {
+                let na = self.ndv(a, 10.0);
+                let nb = self.ndv(b, 10.0);
+                1.0 / na.max(nb)
+            }
+            PredClass::Opaque => self.opaque_selectivity(pred),
+        }
+    }
+
+    fn opaque_selectivity(&self, pred: &Predicate) -> f64 {
+        // Range predicates between a column and a constant interpolate
+        // against min/max; anything else uses textbook defaults.
+        match pred.op {
+            CompareOp::IsNull => return 0.05,
+            CompareOp::IsNotNull => return 0.95,
+            _ => {}
+        }
+        let (col, val, op) = match (&pred.left, &pred.right) {
+            (Expr::Col(c), Expr::Lit(v)) => (*c, v, pred.op),
+            (Expr::Lit(v), Expr::Col(c)) => (*c, v, pred.op.flipped()),
+            _ => {
+                return match pred.op {
+                    CompareOp::Eq => 0.1,
+                    CompareOp::Ne => 0.9,
+                    _ => 0.33,
+                }
+            }
+        };
+        match op {
+            CompareOp::Lt | CompareOp::Le => self
+                .col_stats(col)
+                .map(|s| s.range_selectivity(val, true))
+                .unwrap_or(0.33),
+            CompareOp::Gt | CompareOp::Ge => self
+                .col_stats(col)
+                .map(|s| s.range_selectivity(val, false))
+                .unwrap_or(0.33),
+            CompareOp::Ne => 0.9,
+            CompareOp::Eq => 0.1, // unreachable via classify, kept sound
+            // Handled by the early return above; kept sound.
+            CompareOp::IsNull => 0.05,
+            CompareOp::IsNotNull => 0.95,
+        }
+    }
+
+    /// Combined selectivity of a conjunction (independence assumption).
+    pub fn conjunction_selectivity<'p>(
+        &self,
+        preds: impl IntoIterator<Item = &'p Predicate>,
+    ) -> f64 {
+        preds
+            .into_iter()
+            .map(|p| self.selectivity(p))
+            .product::<f64>()
+            .clamp(0.0, 1.0)
+    }
+
+    /// Estimated group count for a GROUP BY over `rows` input rows:
+    /// product of grouping-column NDVs, capped by the row count.
+    pub fn group_count(&self, grouping: &[ColId], rows: f64) -> f64 {
+        let ndv: f64 = grouping.iter().map(|&c| self.ndv(c, 10.0)).product();
+        ndv.min(rows).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fto_catalog::{ColumnDef, KeyDef};
+    use fto_common::{DataType, Value};
+    use fto_qgm::graph::BoxKind;
+    use fto_storage::Database;
+
+    fn setup() -> (Database, QueryGraph, Vec<ColId>) {
+        let mut cat = Catalog::new();
+        let t = cat
+            .create_table(
+                "t",
+                vec![
+                    ColumnDef::new("k", DataType::Int),
+                    ColumnDef::new("g", DataType::Int),
+                ],
+                vec![KeyDef::primary([0])],
+            )
+            .unwrap();
+        let mut db = Database::new(cat);
+        let rows: Vec<fto_common::Row> = (0..100)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 10)].into_boxed_slice())
+            .collect();
+        db.load_table(t, rows).unwrap();
+
+        let mut g = QueryGraph::new();
+        let b = g.add_box(BoxKind::Select);
+        g.add_table_quantifier(b, db.catalog().table_by_name("t").unwrap());
+        let cols = g.boxed(b).quantifiers[0].cols.clone();
+        g.root = b;
+        (db, g, cols)
+    }
+
+    #[test]
+    fn eq_const_uses_ndv() {
+        let (db, g, cols) = setup();
+        let est = CardEstimator::new(&g, db.catalog());
+        let p = Predicate::col_eq_const(cols[0], Value::Int(5));
+        assert!((est.selectivity(&p) - 0.01).abs() < 1e-9); // ndv(k)=100
+        let p = Predicate::col_eq_const(cols[1], Value::Int(5));
+        assert!((est.selectivity(&p) - 0.1).abs() < 1e-9); // ndv(g)=10
+    }
+
+    #[test]
+    fn join_selectivity_uses_max_ndv() {
+        let (db, g, cols) = setup();
+        let est = CardEstimator::new(&g, db.catalog());
+        let p = Predicate::col_eq_col(cols[0], cols[1]);
+        assert!((est.selectivity(&p) - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_selectivity_interpolates() {
+        let (db, g, cols) = setup();
+        let est = CardEstimator::new(&g, db.catalog());
+        // k in 0..99; k < 25 → ~25%.
+        let p = Predicate::new(CompareOp::Lt, Expr::col(cols[0]), Expr::int(25));
+        let s = est.selectivity(&p);
+        assert!((s - 25.0 / 99.0).abs() < 0.01, "{s}");
+        // Literal on the left flips the operator.
+        let p = Predicate::new(CompareOp::Gt, Expr::int(25), Expr::col(cols[0]));
+        assert!((est.selectivity(&p) - s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conjunction_multiplies() {
+        let (db, g, cols) = setup();
+        let est = CardEstimator::new(&g, db.catalog());
+        let p1 = Predicate::col_eq_const(cols[1], Value::Int(5));
+        let p2 = Predicate::new(CompareOp::Ne, Expr::col(cols[0]), Expr::int(3));
+        let s = est.conjunction_selectivity([&p1, &p2]);
+        assert!((s - 0.1 * 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_count_caps_at_rows() {
+        let (db, g, cols) = setup();
+        let est = CardEstimator::new(&g, db.catalog());
+        assert_eq!(est.group_count(&[cols[1]], 100.0), 10.0);
+        assert_eq!(est.group_count(&[cols[0]], 50.0), 50.0);
+        assert_eq!(est.group_count(&[], 50.0), 1.0);
+    }
+
+    #[test]
+    fn derived_columns_have_no_stats() {
+        let (db, mut g, _) = setup();
+        let b = g.root;
+        let d = g.fresh_derived(b, "d", DataType::Int);
+        let est = CardEstimator::new(&g, db.catalog());
+        assert!(est.col_stats(d).is_none());
+        assert_eq!(est.ndv(d, 7.0), 7.0);
+    }
+}

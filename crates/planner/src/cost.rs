@@ -1,0 +1,201 @@
+//! The cost model.
+//!
+//! Costs are abstract units calibrated so that one sequentially read page
+//! costs 1.0. Random pages cost a multiple of that (seek + rotational
+//! penalty on the paper's hardware; cache-miss penalty on ours), and CPU
+//! work is charged per row. The absolute values matter less than the
+//! ratios: the model must rank an ordered (clustered) probe stream ahead
+//! of random probes, and an avoided sort ahead of a redundant one — the
+//! decisions the paper's Figure 7 plan embodies.
+
+/// Cost of one sequentially read page.
+pub const SEQ_PAGE: f64 = 1.0;
+/// Cost of one randomly read page.
+pub const RAND_PAGE: f64 = 4.0;
+/// CPU cost of processing one row through an operator.
+pub const CPU_ROW: f64 = 0.001;
+/// CPU cost of one comparison inside a sort.
+pub const CPU_SORT_CMP: f64 = 0.002;
+/// CPU cost of one hash-table insert/lookup.
+pub const CPU_HASH: f64 = 0.002;
+/// CPU cost of evaluating one predicate on one row.
+pub const CPU_PRED: f64 = 0.0005;
+/// B-tree descent cost per probe (root/internal pages are cached).
+pub const PROBE_DESCENT: f64 = 0.004;
+
+/// An accumulated plan cost with its cardinality estimate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Cost {
+    /// Total abstract cost.
+    pub total: f64,
+    /// Estimated output rows.
+    pub rows: f64,
+}
+
+impl Cost {
+    /// A zero cost producing `rows` rows.
+    pub fn rows(rows: f64) -> Cost {
+        Cost { total: 0.0, rows }
+    }
+
+    /// Adds `amount` to the total, keeping cardinality.
+    pub fn plus(mut self, amount: f64) -> Cost {
+        self.total += amount;
+        self
+    }
+
+    /// Replaces the cardinality estimate.
+    pub fn with_rows(mut self, rows: f64) -> Cost {
+        self.rows = rows.max(0.0);
+        self
+    }
+}
+
+/// Cost of a full table scan.
+pub fn table_scan(pages: u64, rows: f64) -> f64 {
+    pages as f64 * SEQ_PAGE + rows * CPU_ROW
+}
+
+/// Cost of an index scan fetching `fetch_rows` of a table with
+/// `table_pages` data pages. A clustered index reads data pages in order;
+/// an unclustered one pays a random page per fetched row, capped at a full
+/// random read of the table (every page touched out of order).
+pub fn index_scan(
+    leaf_pages: u64,
+    table_pages: u64,
+    fetch_rows: f64,
+    fraction: f64,
+    clustered: bool,
+) -> f64 {
+    let frac = fraction.clamp(0.0, 1.0);
+    let leaf = leaf_pages as f64 * frac * SEQ_PAGE;
+    let data = if clustered {
+        table_pages as f64 * frac * SEQ_PAGE
+    } else {
+        (fetch_rows * RAND_PAGE).min(table_pages as f64 * RAND_PAGE)
+    };
+    leaf + data + fetch_rows * CPU_ROW
+}
+
+/// Cost of sorting `rows` rows of `row_width` bytes with `memory` bytes of
+/// work space: n·log₂(n) comparisons plus, when the input exceeds memory,
+/// one spill write + read of every page.
+pub fn sort(rows: f64, row_width: usize, memory: usize) -> f64 {
+    if rows <= 1.0 {
+        return rows * CPU_SORT_CMP;
+    }
+    let cmp = rows * rows.log2() * CPU_SORT_CMP;
+    let bytes = rows * row_width as f64;
+    let spill = if bytes > memory as f64 {
+        let pages = bytes / crate::plan::SIM_PAGE_BYTES;
+        2.0 * pages * SEQ_PAGE
+    } else {
+        0.0
+    };
+    cmp + spill
+}
+
+/// Per-probe cost of an index nested-loop join into a table.
+///
+/// `matches_per_probe` rows are fetched per probe. When the outer stream
+/// is ordered on the probe column *and* the inner index is clustered, the
+/// probes walk the inner table forward — the model amortizes the whole
+/// inner table as one sequential pass split across the probes, the effect
+/// the paper's ordered nested-loop join exists to create. Otherwise every
+/// distinct fetched row costs a random page.
+pub fn index_probe(
+    probes: f64,
+    matches_per_probe: f64,
+    table_pages: u64,
+    ordered_and_clustered: bool,
+) -> f64 {
+    let descent = probes * PROBE_DESCENT;
+    let fetched = probes * matches_per_probe;
+    let data = if ordered_and_clustered {
+        (table_pages as f64 * SEQ_PAGE).min(fetched * SEQ_PAGE) + fetched * CPU_ROW
+    } else {
+        fetched * RAND_PAGE + fetched * CPU_ROW
+    };
+    descent + data
+}
+
+/// Cost of the merge phase of a merge join (inputs costed separately).
+pub fn merge_join(outer_rows: f64, inner_rows: f64) -> f64 {
+    (outer_rows + inner_rows) * CPU_ROW
+}
+
+/// Cost of a hash join given both input cardinalities.
+pub fn hash_join(build_rows: f64, probe_rows: f64) -> f64 {
+    build_rows * (CPU_HASH + CPU_ROW) + probe_rows * (CPU_HASH + CPU_ROW)
+}
+
+/// Cost of a streaming (order-based) group-by.
+pub fn stream_group_by(rows: f64) -> f64 {
+    rows * CPU_ROW
+}
+
+/// Cost of a hash group-by.
+pub fn hash_group_by(rows: f64, groups: f64) -> f64 {
+    rows * (CPU_HASH + CPU_ROW) + groups * CPU_ROW
+}
+
+/// Cost of applying `n_preds` predicates to `rows` rows.
+pub fn filter(rows: f64, n_preds: usize) -> f64 {
+    rows * n_preds as f64 * CPU_PRED
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clustered_index_beats_unclustered_for_big_fractions() {
+        let clustered = index_scan(10, 100, 5000.0, 1.0, true);
+        let unclustered = index_scan(10, 100, 5000.0, 1.0, false);
+        assert!(clustered < unclustered);
+    }
+
+    #[test]
+    fn unclustered_cost_caps_at_table_random_read() {
+        let huge = index_scan(10, 100, 1e9, 1.0, false);
+        let capped = 10.0 * SEQ_PAGE + 100.0 * RAND_PAGE + 1e9 * CPU_ROW;
+        assert!((huge - capped).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ordered_probes_beat_random_probes() {
+        let ordered = index_probe(10_000.0, 2.0, 500, true);
+        let random = index_probe(10_000.0, 2.0, 500, false);
+        assert!(ordered < random / 2.0, "{ordered} vs {random}");
+    }
+
+    #[test]
+    fn sort_grows_superlinearly() {
+        let small = sort(1_000.0, 32, 1 << 30);
+        let big = sort(10_000.0, 32, 1 << 30);
+        assert!(big > 10.0 * small);
+        assert_eq!(sort(0.0, 32, 1024), 0.0);
+        assert!(sort(1.0, 32, 1024) > 0.0);
+    }
+
+    #[test]
+    fn sort_spill_charges_io() {
+        let in_mem = sort(10_000.0, 100, 10_000 * 100 + 1);
+        let spilled = sort(10_000.0, 100, 1 << 10);
+        assert!(spilled > in_mem);
+    }
+
+    #[test]
+    fn cost_builder() {
+        let c = Cost::rows(10.0).plus(5.0).with_rows(3.0);
+        assert_eq!(c.total, 5.0);
+        assert_eq!(c.rows, 3.0);
+        assert_eq!(Cost::rows(1.0).with_rows(-4.0).rows, 0.0);
+    }
+
+    #[test]
+    fn table_scan_charges_pages_and_rows() {
+        let c = table_scan(10, 400.0);
+        assert!((c - (10.0 + 0.4)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,604 @@
+//! Left-deep join enumeration with interesting orders and sort-ahead
+//! (paper §5.2).
+//!
+//! Dynamic programming over quantifier subsets. Each subset keeps a
+//! *Pareto set* of plans: two join subtrees over the same tables but with
+//! different order properties are **not** compared against each other
+//! (paper §5.2 — the very source of the O(n²) enumeration growth measured
+//! by the complexity bench). For every subset the planner additionally
+//! offers sorted variants of its plans, one per interesting order hung off
+//! the box by the order scan — this is *sort-ahead*, letting the sort for
+//! an ORDER BY or GROUP BY sink an arbitrary number of join levels.
+//!
+//! Join methods per step: nested-loop, index nested-loop (the paper's
+//! *ordered* nested-loop join when the outer's order property covers the
+//! probe columns and the inner index is clustered), sort-merge, and hash.
+
+use crate::cost::{self, Cost};
+use crate::plan::{Plan, PlanNode};
+use crate::planner::Planner;
+use fto_common::{ColId, ColSet, FtoError, Result};
+use fto_expr::{PredClass, PredId};
+use fto_order::{OrderSpec, StreamProps};
+use fto_qgm::graph::{QgmBox, QuantifierInput};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Enumerates join orders for a multi-quantifier select box.
+///
+/// `inputs[i]` holds the access-path alternatives for quantifier `i`
+/// (already filtered by their single-table predicates).
+pub fn enumerate(
+    planner: &mut Planner<'_>,
+    qbox: &QgmBox,
+    inputs: Vec<Vec<Plan>>,
+) -> Result<Vec<Plan>> {
+    let n = inputs.len();
+    if n > 20 {
+        return Err(FtoError::Plan(format!("{n}-way joins not supported")));
+    }
+
+    let interesting: Vec<OrderSpec> = if planner.config.sort_ahead {
+        qbox.interesting
+            .iter()
+            .take(planner.config.max_sort_ahead)
+            .cloned()
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut best: HashMap<u32, Vec<Plan>> = HashMap::new();
+    for (i, plans) in inputs.iter().enumerate() {
+        let mut set = plans.clone();
+        set.extend(sorted_variants(planner, &interesting, plans));
+        best.insert(1 << i, planner.prune(set));
+    }
+
+    // Grow subsets by one quantifier at a time (left-deep).
+    for size in 1..n {
+        let masks: Vec<u32> = best
+            .keys()
+            .copied()
+            .filter(|m| m.count_ones() as usize == size)
+            .collect();
+        for mask in masks {
+            for (i, inner_paths) in inputs.iter().enumerate() {
+                let bit = 1u32 << i;
+                if mask & bit != 0 {
+                    continue;
+                }
+                let outers = best.get(&mask).cloned().unwrap_or_default();
+                let mut new_plans = Vec::new();
+                for outer in &outers {
+                    for inner in inner_paths {
+                        new_plans.extend(join_pair(planner, qbox, outer, inner));
+                    }
+                }
+                if new_plans.is_empty() {
+                    continue;
+                }
+                new_plans.extend(sorted_variants(planner, &interesting, &new_plans));
+                let entry = best.entry(mask | bit).or_default();
+                entry.extend(new_plans);
+                let merged = std::mem::take(entry);
+                *entry = planner.prune(merged);
+            }
+        }
+    }
+
+    let full = (1u32 << n) - 1;
+    best.remove(&full)
+        .filter(|p| !p.is_empty())
+        .ok_or_else(|| FtoError::Plan("join enumeration produced no plan".into()))
+}
+
+/// Sorted variants of `plans` for each interesting order (sort-ahead).
+fn sorted_variants(
+    planner: &mut Planner<'_>,
+    interesting: &[OrderSpec],
+    plans: &[Plan],
+) -> Vec<Plan> {
+    let mut out = Vec::new();
+    for interest in interesting {
+        for plan in plans {
+            let ctx = planner.effective_ctx(&plan.props);
+            let (homog, _) = ctx.homogenize_prefix(interest, &plan.props.cols);
+            if homog.is_empty() || ctx.test_order(&homog, &plan.props.order) {
+                continue;
+            }
+            out.push(planner.add_sort(plan.clone(), &homog));
+            planner.stats.plans_generated += 1;
+        }
+    }
+    out
+}
+
+/// All join methods for one (outer plan, inner access path) pair.
+fn join_pair(planner: &mut Planner<'_>, qbox: &QgmBox, outer: &Plan, inner: &Plan) -> Vec<Plan> {
+    planner.stats.joins_considered += 1;
+
+    // Predicates that become applicable at this join.
+    let combined: ColSet = outer.props.cols.union(&inner.props.cols);
+    let applicable: Vec<PredId> = qbox
+        .predicates
+        .iter()
+        .copied()
+        .filter(|&pid| {
+            outer.props.preds.binary_search(&pid).is_err()
+                && inner.props.preds.binary_search(&pid).is_err()
+                && planner.graph.predicate(pid).cols().is_subset(&combined)
+                && !planner
+                    .graph
+                    .predicate(pid)
+                    .cols()
+                    .is_subset(&outer.props.cols)
+                && !planner
+                    .graph
+                    .predicate(pid)
+                    .cols()
+                    .is_subset(&inner.props.cols)
+        })
+        .collect();
+
+    // Equi-join column pairs (outer col, inner col).
+    let equates: Vec<(ColId, ColId)> = applicable
+        .iter()
+        .filter_map(|&pid| match planner.graph.predicate(pid).classify() {
+            PredClass::ColEqCol(a, b) => {
+                if outer.props.cols.contains(a) && inner.props.cols.contains(b) {
+                    Some((a, b))
+                } else if outer.props.cols.contains(b) && inner.props.cols.contains(a) {
+                    Some((b, a))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        })
+        .collect();
+
+    let sel = planner
+        .estimator()
+        .conjunction_selectivity(applicable.iter().map(|&p| planner.graph.predicate(p)));
+    let out_rows = (outer.cost.rows * inner.cost.rows * sel).max(0.0);
+    let layout = outer.layout.concat(&inner.layout);
+
+    let mut plans = Vec::new();
+
+    // --- Nested-loop join (inner rescanned per outer row) ---------------
+    if planner.config.enable_nested_loop {
+        let props = join_props(planner, qbox, outer, inner, &equates, &applicable, true);
+        let total = outer.cost.total
+            + outer.cost.rows.max(1.0) * inner.cost.total
+            + cost::filter(outer.cost.rows * inner.cost.rows, applicable.len().max(1));
+        plans.push(Plan {
+            node: PlanNode::NestedLoopJoin {
+                outer: Arc::new(outer.clone()),
+                inner: Arc::new(inner.clone()),
+                predicates: applicable.clone(),
+            },
+            layout: layout.clone(),
+            props,
+            cost: Cost {
+                total,
+                rows: out_rows,
+            },
+        });
+    }
+
+    // --- Index nested-loop join ------------------------------------------
+    if planner.config.enable_nested_loop {
+        plans.extend(index_nlj(
+            planner,
+            qbox,
+            outer,
+            inner,
+            &equates,
+            &applicable,
+            out_rows,
+            &layout,
+        ));
+    }
+
+    // --- Merge join -------------------------------------------------------
+    if planner.config.enable_merge_join && !equates.is_empty() {
+        let (ocols, icols): (Vec<ColId>, Vec<ColId>) = equates.iter().copied().unzip();
+        let o_order = OrderSpec::ascending(ocols.iter().copied());
+        let i_order = OrderSpec::ascending(icols.iter().copied());
+        let outer_sorted = if planner.order_satisfied(outer, &o_order) {
+            planner.stats.sorts_avoided += 1;
+            outer.clone()
+        } else {
+            planner.add_sort(outer.clone(), &o_order)
+        };
+        let inner_sorted = if planner.order_satisfied(inner, &i_order) {
+            planner.stats.sorts_avoided += 1;
+            inner.clone()
+        } else {
+            planner.add_sort(inner.clone(), &i_order)
+        };
+        let props = join_props(
+            planner,
+            qbox,
+            &outer_sorted,
+            &inner_sorted,
+            &equates,
+            &applicable,
+            true,
+        );
+        let total = outer_sorted.cost.total
+            + inner_sorted.cost.total
+            + cost::merge_join(outer_sorted.cost.rows, inner_sorted.cost.rows)
+            + cost::filter(out_rows, applicable.len());
+        plans.push(Plan {
+            node: PlanNode::MergeJoin {
+                outer: Arc::new(outer_sorted),
+                inner: Arc::new(inner_sorted),
+                outer_keys: ocols,
+                inner_keys: icols,
+                predicates: applicable.clone(),
+            },
+            layout: layout.clone(),
+            props,
+            cost: Cost {
+                total,
+                rows: out_rows,
+            },
+        });
+    }
+
+    // --- Hash join ---------------------------------------------------------
+    if planner.config.enable_hash_join && !equates.is_empty() {
+        let (ocols, icols): (Vec<ColId>, Vec<ColId>) = equates.iter().copied().unzip();
+        // Streaming probe preserves the outer's order.
+        let props = join_props(planner, qbox, outer, inner, &equates, &applicable, true);
+        let total = outer.cost.total
+            + inner.cost.total
+            + cost::hash_join(inner.cost.rows, outer.cost.rows)
+            + cost::filter(out_rows, applicable.len());
+        plans.push(Plan {
+            node: PlanNode::HashJoin {
+                outer: Arc::new(outer.clone()),
+                inner: Arc::new(inner.clone()),
+                outer_keys: ocols,
+                inner_keys: icols,
+                predicates: applicable.clone(),
+            },
+            layout,
+            props,
+            cost: Cost {
+                total,
+                rows: out_rows,
+            },
+        });
+    }
+
+    planner.stats.plans_generated += plans.len() as u64;
+    plans
+}
+
+/// Index nested-loop joins: one per inner-table index whose leading key
+/// columns are all equated to outer columns.
+#[allow(clippy::too_many_arguments)]
+fn index_nlj(
+    planner: &mut Planner<'_>,
+    qbox: &QgmBox,
+    outer: &Plan,
+    inner: &Plan,
+    equates: &[(ColId, ColId)],
+    applicable: &[PredId],
+    out_rows: f64,
+    layout: &fto_expr::RowLayout,
+) -> Vec<Plan> {
+    // The inner must be a bare access path over a base table (the probe
+    // replaces the scan); reuse its quantifier/table identity.
+    let (table, quantifier) = match base_scan_identity(inner) {
+        Some(t) => t,
+        None => return Vec::new(),
+    };
+    let inner_local_preds: Vec<PredId> = collect_filter_preds(inner);
+
+    let mut plans = Vec::new();
+    if planner.catalog.table(table).is_err() {
+        return plans;
+    }
+    let inner_q = qbox
+        .quantifiers
+        .iter()
+        .find(|q| q.id == quantifier)
+        .cloned();
+    let Some(inner_q) = inner_q else { return plans };
+
+    let stats = planner.catalog.stats(table);
+    let inner_rows = stats.row_count as f64;
+    let inner_pages = stats.pages;
+
+    let indexes: Vec<_> = planner.catalog.indexes_for(table).cloned().collect();
+    for ix in indexes {
+        // Map each leading key part to an equated outer column.
+        let mut probe_cols = Vec::new();
+        for ord in ix.key_ordinals() {
+            let inner_col = inner_q.cols[ord];
+            match equates.iter().find(|&&(_, ic)| ic == inner_col) {
+                Some(&(oc, _)) => probe_cols.push(oc),
+                None => break,
+            }
+        }
+        if probe_cols.is_empty() {
+            continue;
+        }
+
+        // Is this the paper's *ordered* nested-loop join? The outer's
+        // order property must cover the probe columns (reduction makes a
+        // one-column prefix sufficient when FDs imply the rest).
+        let probe_order = OrderSpec::ascending(probe_cols.iter().copied());
+        let ordered = planner.order_satisfied(outer, &probe_order)
+            || planner.order_satisfied(outer, &OrderSpec::ascending([probe_cols[0]]));
+
+        let matches_per_probe =
+            (inner_rows / planner.estimator().ndv(inner_q.cols[ix.key[0].0], 10.0)).max(0.05);
+        let probe_cost = cost::index_probe(
+            outer.cost.rows,
+            matches_per_probe,
+            inner_pages,
+            ordered && ix.clustered,
+        );
+
+        // Properties: outer order survives; inner contributes its base
+        // props (keys, columns); the join predicates apply; the inner's
+        // local predicates are evaluated as residuals too.
+        let mut all_preds: Vec<PredId> = applicable.to_vec();
+        all_preds.extend(inner_local_preds.iter().copied());
+        let inner_base = StreamProps::base_table(inner_q.col_set(), base_keys(planner, &inner_q));
+        let mut props = StreamProps::join(
+            &outer.props,
+            &inner_base,
+            equates,
+            outer.props.order.clone(),
+        );
+        for &pid in &all_preds {
+            props.apply_predicate(pid, planner.graph.predicate(pid));
+        }
+
+        let local_sel = planner.estimator().conjunction_selectivity(
+            inner_local_preds
+                .iter()
+                .map(|&p| planner.graph.predicate(p)),
+        );
+        let rows = (out_rows * local_sel).max(0.0);
+        let total = outer.cost.total
+            + probe_cost
+            + cost::filter(outer.cost.rows * matches_per_probe, all_preds.len().max(1));
+        plans.push(Plan {
+            node: PlanNode::IndexNestedLoopJoin {
+                outer: Arc::new(outer.clone()),
+                table,
+                quantifier,
+                index: ix.id,
+                probe_cols: probe_cols.clone(),
+                predicates: all_preds,
+            },
+            layout: layout.clone(),
+            props,
+            cost: Cost { total, rows },
+        });
+        planner.stats.plans_generated += 1;
+    }
+    plans
+}
+
+/// Combined stream properties for a join output.
+fn join_props(
+    planner: &Planner<'_>,
+    _qbox: &QgmBox,
+    outer: &Plan,
+    inner: &Plan,
+    equates: &[(ColId, ColId)],
+    applicable: &[PredId],
+    preserve_outer_order: bool,
+) -> StreamProps {
+    let order = if preserve_outer_order {
+        outer.props.order.clone()
+    } else {
+        OrderSpec::empty()
+    };
+    let mut props = StreamProps::join(&outer.props, &inner.props, equates, order);
+    for &pid in applicable {
+        props.apply_predicate(pid, planner.graph.predicate(pid));
+    }
+    props
+}
+
+/// If `plan` is a (possibly filtered) bare scan of a base table, returns
+/// its (table, quantifier) identity.
+fn base_scan_identity(plan: &Plan) -> Option<(fto_common::TableId, fto_common::QuantifierId)> {
+    match &plan.node {
+        PlanNode::TableScan { table, quantifier }
+        | PlanNode::IndexScan {
+            table, quantifier, ..
+        } => Some((*table, *quantifier)),
+        PlanNode::Filter { input, .. } => base_scan_identity(input),
+        _ => None,
+    }
+}
+
+/// Filter predicates wrapped around a scan (to re-apply as probe
+/// residuals).
+fn collect_filter_preds(plan: &Plan) -> Vec<PredId> {
+    match &plan.node {
+        PlanNode::Filter { input, predicates } => {
+            let mut out = collect_filter_preds(input);
+            out.extend(predicates.iter().copied());
+            out
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Keys of a base-table quantifier mapped to query columns.
+fn base_keys(planner: &Planner<'_>, q: &fto_qgm::graph::Quantifier) -> Vec<ColSet> {
+    let QuantifierInput::Table(tid) = q.input else {
+        return Vec::new();
+    };
+    let Ok(table) = planner.catalog.table(tid) else {
+        return Vec::new();
+    };
+    let mut keys: Vec<ColSet> = table
+        .keys
+        .iter()
+        .map(|k| k.columns.iter().map(|&o| q.cols[o]).collect())
+        .collect();
+    for ix in planner.catalog.indexes_for(tid).filter(|ix| ix.unique) {
+        keys.push(ix.key_ordinals().map(|o| q.cols[o]).collect());
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OptimizerConfig;
+    use crate::planner::tests_support::q3_like_db;
+    use fto_common::Value;
+    use fto_expr::{CompareOp, Expr, Predicate};
+    use fto_qgm::graph::{BoxKind, OutputCol};
+    use fto_qgm::{OrderScan, QueryGraph};
+
+    /// customer ⋈ orders ⋈ lineitem with the Q3 predicates.
+    fn q3_join_graph(db: &fto_storage::Database) -> (QueryGraph, Vec<ColId>) {
+        let cat = db.catalog();
+        let mut g = QueryGraph::new();
+        let b = g.add_box(BoxKind::Select);
+        g.add_table_quantifier(b, cat.table_by_name("customer").unwrap());
+        g.add_table_quantifier(b, cat.table_by_name("orders").unwrap());
+        g.add_table_quantifier(b, cat.table_by_name("lineitem").unwrap());
+        let c = g.boxed(b).quantifiers[0].cols.clone();
+        let o = g.boxed(b).quantifiers[1].cols.clone();
+        let l = g.boxed(b).quantifiers[2].cols.clone();
+        for pred in [
+            Predicate::col_eq_col(c[0], o[1]), // c_custkey = o_custkey
+            Predicate::col_eq_col(o[0], l[0]), // o_orderkey = l_orderkey
+            Predicate::col_eq_const(c[1], Value::str("building")),
+            Predicate::new(CompareOp::Lt, Expr::col(o[2]), Expr::Lit(Value::Date(45))),
+            Predicate::new(CompareOp::Gt, Expr::col(l[3]), Expr::Lit(Value::Date(45))),
+        ] {
+            let pid = g.add_predicate(pred);
+            g.boxed_mut(b).predicates.push(pid);
+        }
+        let mut all = Vec::new();
+        all.extend(c.iter().copied());
+        all.extend(o.iter().copied());
+        all.extend(l.iter().copied());
+        g.boxed_mut(b).output = all.iter().map(|&cc| OutputCol::passthrough(cc)).collect();
+        g.root = b;
+        (g, all)
+    }
+
+    #[test]
+    fn three_way_join_plans() {
+        let db = q3_like_db(500);
+        let (mut g, _) = q3_join_graph(&db);
+        OrderScan::run(&mut g, db.catalog());
+        let mut p = Planner::new(&g, db.catalog(), OptimizerConfig::default());
+        let plan = p.plan_query().unwrap();
+        // All three tables appear.
+        let scans = plan.count_ops(&|n| {
+            matches!(
+                n,
+                PlanNode::TableScan { .. }
+                    | PlanNode::IndexScan { .. }
+                    | PlanNode::IndexNestedLoopJoin { .. }
+            )
+        });
+        assert!(scans >= 3, "{}", plan.explain(&|c| c.to_string()));
+        // Every predicate is applied somewhere.
+        assert_eq!(plan.props.preds.len(), 5);
+        assert!(p.stats.joins_considered > 0);
+    }
+
+    #[test]
+    fn sort_ahead_produces_ordered_join_output() {
+        let db = q3_like_db(500);
+        let (mut g, all) = q3_join_graph(&db);
+        // Ask for the join result ordered by o_orderkey (col index 2+0=2).
+        let o_orderkey = all[2];
+        let root = g.root;
+        g.boxed_mut(root).output_order = Some(OrderSpec::ascending([o_orderkey]));
+        OrderScan::run(&mut g, db.catalog());
+        let mut p = Planner::new(&g, db.catalog(), OptimizerConfig::default());
+        let plan = p.plan_query().unwrap();
+        // The output is ordered on o_orderkey...
+        assert!(p.order_satisfied(&plan, &OrderSpec::ascending([o_orderkey])));
+        // ...and any sort, if present, is NOT the top operator: it was
+        // pushed below at least one join (or an ordered index made it
+        // unnecessary).
+        if let PlanNode::Sort { .. } = plan.node {
+            panic!(
+                "sort should have been pushed down:\n{}",
+                plan.explain(&|c| c.to_string())
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_mode_still_plans() {
+        let db = q3_like_db(300);
+        let (mut g, _) = q3_join_graph(&db);
+        OrderScan::run(&mut g, db.catalog());
+        let mut p = Planner::new(&g, db.catalog(), OptimizerConfig::disabled());
+        let plan = p.plan_query().unwrap();
+        assert_eq!(plan.props.preds.len(), 5);
+    }
+
+    #[test]
+    fn more_sort_ahead_orders_grow_enumeration() {
+        // The §5.2 complexity claim, in miniature: more interesting
+        // orders → more subplans generated.
+        let db = q3_like_db(300);
+        let counts: Vec<u64> = [0usize, 4]
+            .iter()
+            .map(|&max| {
+                let (mut g, all) = q3_join_graph(&db);
+                let root = g.root;
+                g.boxed_mut(root).output_order = Some(OrderSpec::ascending([all[2]]));
+                OrderScan::run(&mut g, db.catalog());
+                let cfg = OptimizerConfig {
+                    max_sort_ahead: max,
+                    sort_ahead: max > 0,
+                    ..OptimizerConfig::default()
+                };
+                let mut p = Planner::new(&g, db.catalog(), cfg);
+                p.plan_query().unwrap();
+                p.stats.plans_generated
+            })
+            .collect();
+        assert!(counts[1] > counts[0], "{counts:?}");
+    }
+
+    #[test]
+    fn equates_direction_is_normalized() {
+        // Join predicate written "l_orderkey = o_orderkey" (reversed
+        // sides) still joins.
+        let db = q3_like_db(200);
+        let cat = db.catalog();
+        let mut g = QueryGraph::new();
+        let b = g.add_box(BoxKind::Select);
+        g.add_table_quantifier(b, cat.table_by_name("orders").unwrap());
+        g.add_table_quantifier(b, cat.table_by_name("lineitem").unwrap());
+        let o = g.boxed(b).quantifiers[0].cols.clone();
+        let l = g.boxed(b).quantifiers[1].cols.clone();
+        let pid = g.add_predicate(Predicate::col_eq_col(l[0], o[0]));
+        g.boxed_mut(b).predicates.push(pid);
+        g.boxed_mut(b).output = o
+            .iter()
+            .chain(&l)
+            .map(|&c| OutputCol::passthrough(c))
+            .collect();
+        g.root = b;
+        OrderScan::run(&mut g, db.catalog());
+        let mut p = Planner::new(&g, db.catalog(), OptimizerConfig::default());
+        let plan = p.plan_query().unwrap();
+        assert!(plan.props.preds.contains(&pid));
+    }
+}

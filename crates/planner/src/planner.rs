@@ -1,0 +1,1019 @@
+//! The bottom-up box planner (paper §5.2).
+
+use crate::access;
+use crate::cardinality::CardEstimator;
+use crate::config::{OptimizerConfig, PlannerStats};
+use crate::cost::{self, Cost};
+use crate::join;
+use crate::plan::{Plan, PlanNode};
+use fto_catalog::Catalog;
+use fto_common::{ColSet, FtoError, IndexId, Result};
+use fto_expr::{Expr, PredId, RowLayout};
+use fto_order::{FlexOrder, OrderContext, OrderSpec, StreamProps};
+use fto_qgm::graph::{BoxId, BoxKind, OutputExpr, QgmBox, QuantifierInput};
+use fto_qgm::QueryGraph;
+use std::sync::Arc;
+
+/// Estimated bytes per row for sort costing when the exact layout width
+/// is unknown; declared widths refine this at access time.
+const DEFAULT_ROW_WIDTH: usize = 48;
+
+/// The cost-based planner for one query.
+pub struct Planner<'a> {
+    /// The query being planned (after rewrites and the order scan).
+    pub graph: &'a QueryGraph,
+    /// The schema.
+    pub catalog: &'a Catalog,
+    /// Configuration knobs.
+    pub config: OptimizerConfig,
+    /// Work counters.
+    pub stats: PlannerStats,
+}
+
+impl<'a> Planner<'a> {
+    /// Creates a planner. The graph should already have been through the
+    /// QGM rewrites and the order scan (`OrderScan::run`).
+    pub fn new(graph: &'a QueryGraph, catalog: &'a Catalog, config: OptimizerConfig) -> Self {
+        Planner {
+            graph,
+            catalog,
+            config,
+            stats: PlannerStats::default(),
+        }
+    }
+
+    /// Plans the whole query, returning the cheapest valid plan.
+    pub fn plan_query(&mut self) -> Result<Plan> {
+        let candidates = self.plan_box(self.graph.root)?;
+        candidates
+            .into_iter()
+            .min_by(|a, b| a.cost.total.total_cmp(&b.cost.total))
+            .ok_or_else(|| FtoError::Plan("no plan produced".into()))
+    }
+
+    /// Plans one box, returning a Pareto set of alternatives (pruned by
+    /// cost + property dominance).
+    pub fn plan_box(&mut self, id: BoxId) -> Result<Vec<Plan>> {
+        let qbox = self.graph.boxed(id).clone();
+        let mut plans = match &qbox.kind {
+            BoxKind::Select => self.plan_select(&qbox)?,
+            BoxKind::GroupBy { grouping } => self.plan_group_by(&qbox, grouping)?,
+            BoxKind::Union => self.plan_union(&qbox)?,
+            BoxKind::OuterJoin { on } => self.plan_outer_join(&qbox, on)?,
+        };
+
+        // DISTINCT on the box's output.
+        if qbox.distinct {
+            plans = self.plan_distinct(&qbox, plans);
+        }
+
+        // Output order requirement (ORDER BY).
+        if let Some(req) = &qbox.output_order {
+            plans = plans
+                .into_iter()
+                .map(|p| self.ensure_order(p, req))
+                .collect();
+        }
+
+        // Row budget (LIMIT). A top-level sort fuses with the limit into
+        // Top-N selection — the classic payoff of ORDER BY + LIMIT.
+        if let Some(n) = qbox.limit {
+            plans = plans.into_iter().map(|p| self.apply_limit(p, n)).collect();
+        }
+
+        Ok(self.prune(plans))
+    }
+
+    /// Wraps a plan in a Limit, fusing with a top-level Sort into Top-N.
+    fn apply_limit(&mut self, plan: Plan, n: u64) -> Plan {
+        let rows = plan.cost.rows.min(n as f64);
+        if let PlanNode::Sort { input, spec } = &plan.node {
+            // Selection + small sort instead of a full sort:
+            // O(N + n log n) rather than O(N log N).
+            let input_rows = input.cost.rows;
+            let cost = input
+                .cost
+                .plus(input_rows * cost::CPU_ROW)
+                .plus(rows * rows.max(2.0).log2() * cost::CPU_SORT_CMP)
+                .with_rows(rows);
+            return Plan {
+                node: PlanNode::TopN {
+                    input: input.clone(),
+                    spec: spec.clone(),
+                    n,
+                },
+                layout: plan.layout.clone(),
+                props: plan.props.clone(),
+                cost,
+            };
+        }
+        let cost = plan.cost.with_rows(rows);
+        Plan {
+            layout: plan.layout.clone(),
+            props: plan.props.clone(),
+            node: PlanNode::Limit {
+                input: Arc::new(plan),
+                n,
+            },
+            cost,
+        }
+    }
+
+    // ----- Select boxes -------------------------------------------------
+
+    fn plan_select(&mut self, qbox: &QgmBox) -> Result<Vec<Plan>> {
+        // Candidate plans per quantifier.
+        let mut inputs: Vec<Vec<Plan>> = Vec::with_capacity(qbox.quantifiers.len());
+        for q in &qbox.quantifiers {
+            let local = self.local_preds(qbox, &q.col_set());
+            let candidates = match q.input {
+                QuantifierInput::Table(_) => access::access_paths(self, q, &local),
+                QuantifierInput::Box(child) => {
+                    let plans = self.plan_box(child)?;
+                    plans
+                        .into_iter()
+                        .map(|p| self.apply_filter(p, &local))
+                        .collect()
+                }
+            };
+            inputs.push(self.prune(candidates));
+        }
+
+        let mut plans = if inputs.len() == 1 {
+            let mut plans = inputs.pop().expect("one input");
+            // Sort-ahead on single-input boxes: offer sorted variants for
+            // the box's interesting orders so parents can stream.
+            if self.config.sort_ahead {
+                let extra = self.sort_ahead_variants(qbox, &plans);
+                plans.extend(extra);
+            }
+            plans
+        } else if inputs.is_empty() {
+            return Err(FtoError::Plan("select box with no quantifiers".into()));
+        } else {
+            join::enumerate(self, qbox, inputs)?
+        };
+
+        // Apply any predicates not yet applied (correctness backstop; in
+        // practice local + join predicates cover everything).
+        plans = plans
+            .into_iter()
+            .map(|p| {
+                let missing: Vec<PredId> = qbox
+                    .predicates
+                    .iter()
+                    .copied()
+                    .filter(|pid| p.props.preds.binary_search(pid).is_err())
+                    .collect();
+                self.apply_filter(p, &missing)
+            })
+            .collect();
+
+        // Project to the box's outputs.
+        Ok(plans
+            .into_iter()
+            .map(|p| self.project_outputs(p, qbox))
+            .collect())
+    }
+
+    /// Sorted variants of existing plans for each interesting order
+    /// (sort-ahead below whatever the parent box will add).
+    fn sort_ahead_variants(&mut self, qbox: &QgmBox, plans: &[Plan]) -> Vec<Plan> {
+        let mut extra = Vec::new();
+        for interest in qbox.interesting.iter().take(self.config.max_sort_ahead) {
+            for plan in plans {
+                let ctx = self.effective_ctx(&plan.props);
+                let (homog, _) = ctx.homogenize_prefix(interest, &plan.props.cols);
+                if homog.is_empty() || ctx.test_order(&homog, &plan.props.order) {
+                    continue;
+                }
+                extra.push(self.add_sort(plan.clone(), &homog));
+            }
+        }
+        extra
+    }
+
+    // ----- Group-by boxes -----------------------------------------------
+
+    fn plan_group_by(
+        &mut self,
+        qbox: &QgmBox,
+        grouping: &[fto_common::ColId],
+    ) -> Result<Vec<Plan>> {
+        let q = qbox
+            .quantifiers
+            .first()
+            .ok_or_else(|| FtoError::Plan("group-by box with no input".into()))?;
+        let local = self.local_preds(qbox, &q.col_set());
+        let child_plans: Vec<Plan> = match q.input {
+            QuantifierInput::Table(_) => access::access_paths(self, &q.clone(), &local),
+            QuantifierInput::Box(child) => self
+                .plan_box(child)?
+                .into_iter()
+                .map(|p| self.apply_filter(p, &local))
+                .collect(),
+        };
+
+        let aggs: Vec<(fto_common::ColId, fto_expr::AggCall)> = qbox
+            .output
+            .iter()
+            .filter_map(|o| match &o.expr {
+                OutputExpr::Agg(call) => Some((o.col, call.clone())),
+                OutputExpr::Scalar(_) => None,
+            })
+            .collect();
+        let flex = qbox.group_order.clone().unwrap_or_else(|| {
+            FlexOrder::group_by(
+                grouping.iter().copied(),
+                aggs.iter()
+                    .filter(|(_, c)| c.distinct)
+                    .filter_map(|(_, c)| c.arg.as_col()),
+            )
+        });
+
+        let grouping_set: ColSet = grouping.iter().copied().collect();
+        let agg_cols: ColSet = aggs.iter().map(|(c, _)| *c).collect();
+        let out_layout = RowLayout::new(
+            grouping
+                .iter()
+                .copied()
+                .chain(aggs.iter().map(|(c, _)| *c))
+                .collect::<Vec<_>>(),
+        );
+
+        let mut plans = Vec::new();
+        for child in child_plans {
+            let groups = self
+                .estimator()
+                .group_count(grouping, child.cost.rows)
+                .max(1.0);
+
+            // Order-based: stream directly when the child's order already
+            // groups rows; otherwise sort first.
+            let ctx = self.effective_ctx(&child.props);
+            let streaming_child = if flex.satisfied_by(&child.props.order, &ctx) {
+                self.stats.sorts_avoided += 1;
+                child.clone()
+            } else {
+                let spec = flex.concretize(&child.props.order, &ctx);
+                self.add_sort(child.clone(), &spec)
+            };
+            let props = streaming_child.props.group_by(
+                &grouping_set,
+                &agg_cols,
+                streaming_child.props.order.clone(),
+            );
+            plans.push(Plan {
+                node: PlanNode::StreamGroupBy {
+                    input: Arc::new(streaming_child.clone()),
+                    grouping: grouping.to_vec(),
+                    aggs: aggs.clone(),
+                },
+                layout: out_layout.clone(),
+                props,
+                cost: streaming_child
+                    .cost
+                    .plus(cost::stream_group_by(streaming_child.cost.rows))
+                    .with_rows(groups),
+            });
+
+            // Hash-based alternative (paper §5.1: recording an input order
+            // requirement "does not preclude hash-based GROUP BY").
+            if self.config.enable_hash_grouping {
+                let props = child
+                    .props
+                    .group_by(&grouping_set, &agg_cols, OrderSpec::empty());
+                plans.push(Plan {
+                    node: PlanNode::HashGroupBy {
+                        input: Arc::new(child.clone()),
+                        grouping: grouping.to_vec(),
+                        aggs: aggs.clone(),
+                    },
+                    layout: out_layout.clone(),
+                    props,
+                    cost: child
+                        .cost
+                        .plus(cost::hash_group_by(child.cost.rows, groups))
+                        .with_rows(groups),
+                });
+            }
+        }
+        self.stats.plans_generated += plans.len() as u64;
+
+        Ok(plans
+            .into_iter()
+            .map(|p| self.project_outputs(p, qbox))
+            .collect())
+    }
+
+    // ----- Union boxes ----------------------------------------------------
+
+    fn plan_union(&mut self, qbox: &QgmBox) -> Result<Vec<Plan>> {
+        let mut branch_plans = Vec::new();
+        let mut total_cost = 0.0;
+        let mut total_rows = 0.0;
+        for q in &qbox.quantifiers {
+            let QuantifierInput::Box(child) = q.input else {
+                return Err(FtoError::Plan(
+                    "union quantifiers must range over boxes".into(),
+                ));
+            };
+            let best = self
+                .plan_box(child)?
+                .into_iter()
+                .min_by(|a, b| a.cost.total.total_cmp(&b.cost.total))
+                .ok_or_else(|| FtoError::Plan("empty union branch".into()))?;
+            total_cost += best.cost.total;
+            total_rows += best.cost.rows;
+            branch_plans.push(Arc::new(best));
+        }
+        let out_cols: Vec<fto_common::ColId> = qbox.output_cols();
+        let props = StreamProps::base_table(out_cols.iter().copied().collect(), vec![]);
+        Ok(vec![Plan {
+            node: PlanNode::UnionAll {
+                inputs: branch_plans,
+            },
+            layout: RowLayout::new(out_cols),
+            props,
+            cost: Cost {
+                total: total_cost + total_rows * cost::CPU_ROW,
+                rows: total_rows,
+            },
+        }])
+    }
+
+    // ----- Outer joins ------------------------------------------------------
+
+    /// Plans a left outer join box: every (outer, inner) candidate pair
+    /// yields one LeftOuterJoin plan. The outer's order survives; ON
+    /// equalities feed only one-directional FDs (paper §4.1).
+    fn plan_outer_join(&mut self, qbox: &QgmBox, on: &[PredId]) -> Result<Vec<Plan>> {
+        let [lq, rq] = qbox.quantifiers.as_slice() else {
+            return Err(FtoError::Plan(
+                "outer-join box needs exactly two quantifiers".into(),
+            ));
+        };
+        let plan_side = |planner: &mut Self, q: &fto_qgm::graph::Quantifier| -> Result<Vec<Plan>> {
+            Ok(match q.input {
+                QuantifierInput::Table(_) => access::access_paths(planner, q, &[]),
+                QuantifierInput::Box(child) => planner.plan_box(child)?,
+            })
+        };
+        let lefts = plan_side(self, lq)?;
+        let rights = plan_side(self, rq)?;
+        let preserved = lq.col_set();
+
+        // Equi pairs (outer col, inner col) from the ON conjunction.
+        let equates: Vec<(fto_common::ColId, fto_common::ColId)> = on
+            .iter()
+            .filter_map(|&pid| match self.graph.predicate(pid).classify() {
+                fto_expr::PredClass::ColEqCol(a, b) => {
+                    if preserved.contains(a) && rq.cols.contains(&b) {
+                        Some((a, b))
+                    } else if preserved.contains(b) && rq.cols.contains(&a) {
+                        Some((b, a))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            })
+            .collect();
+        let (okeys, ikeys): (Vec<_>, Vec<_>) = equates.iter().copied().unzip();
+
+        let sel = self
+            .estimator()
+            .conjunction_selectivity(on.iter().map(|&p| self.graph.predicate(p)));
+
+        let mut plans = Vec::new();
+        for left in &lefts {
+            for right in &rights {
+                self.stats.joins_considered += 1;
+                // Null padding invalidates every fact local to the inner
+                // side (its constants, equivalences, and FDs no longer
+                // hold once unmatched rows carry NULLs), so the output
+                // keeps only the preserved side's facts plus the key
+                // property and the one-directional ON FDs.
+                let mut preds = left.props.preds.clone();
+                for p in &right.props.preds {
+                    if let Err(pos) = preds.binary_search(p) {
+                        preds.insert(pos, *p);
+                    }
+                }
+                let mut props = StreamProps {
+                    cols: left.props.cols.union(&right.props.cols),
+                    order: fto_order::OrderSpec::empty(),
+                    preds,
+                    keys: fto_order::KeyProperty::join(
+                        &left.props.keys,
+                        &right.props.keys,
+                        &equates,
+                    ),
+                    fds: left.props.fds.clone(),
+                    eq: left.props.eq.clone(),
+                };
+                props.order = props.ctx().reduce(&left.props.order);
+                for &pid in on {
+                    props.apply_outer_join_predicate(pid, self.graph.predicate(pid), &preserved);
+                }
+                // Matched rows plus padded rows: never fewer than the
+                // preserved side.
+                let rows = (left.cost.rows * right.cost.rows * sel).max(left.cost.rows);
+                let total = left.cost.total
+                    + right.cost.total
+                    + if equates.is_empty() {
+                        left.cost.rows.max(1.0) * right.cost.rows * cost::CPU_ROW
+                    } else {
+                        cost::hash_join(right.cost.rows, left.cost.rows)
+                    }
+                    + cost::filter(rows, on.len());
+                plans.push(Plan {
+                    node: PlanNode::LeftOuterJoin {
+                        outer: Arc::new(left.clone()),
+                        inner: Arc::new(right.clone()),
+                        outer_keys: okeys.clone(),
+                        inner_keys: ikeys.clone(),
+                        predicates: on.to_vec(),
+                    },
+                    layout: left.layout.concat(&right.layout),
+                    props,
+                    cost: Cost { total, rows },
+                });
+            }
+        }
+        self.stats.plans_generated += plans.len() as u64;
+
+        Ok(plans
+            .into_iter()
+            .map(|p| self.project_outputs(p, qbox))
+            .collect())
+    }
+
+    // ----- Distinct -------------------------------------------------------
+
+    fn plan_distinct(&mut self, qbox: &QgmBox, plans: Vec<Plan>) -> Vec<Plan> {
+        let flex = qbox
+            .group_order
+            .clone()
+            .unwrap_or_else(|| FlexOrder::group_by(qbox.output_cols(), []));
+        let mut out = Vec::new();
+        for plan in plans {
+            let rows = plan.cost.rows;
+            let distinct_rows = (rows * 0.5).max(1.0);
+            let ctx = self.effective_ctx(&plan.props);
+
+            // Order-based distinct.
+            let ordered = if flex.satisfied_by(&plan.props.order, &ctx) {
+                self.stats.sorts_avoided += 1;
+                plan.clone()
+            } else {
+                let spec = flex.concretize(&plan.props.order, &ctx);
+                self.add_sort(plan.clone(), &spec)
+            };
+            let props = ordered.props.distinct();
+            out.push(Plan {
+                node: PlanNode::StreamDistinct {
+                    input: Arc::new(ordered.clone()),
+                },
+                layout: ordered.layout.clone(),
+                props,
+                cost: ordered
+                    .cost
+                    .plus(ordered.cost.rows * cost::CPU_ROW)
+                    .with_rows(distinct_rows),
+            });
+
+            // Hash-based distinct.
+            if self.config.enable_hash_grouping {
+                let props = plan.props.distinct();
+                out.push(Plan {
+                    node: PlanNode::HashDistinct {
+                        input: Arc::new(plan.clone()),
+                    },
+                    layout: plan.layout.clone(),
+                    props,
+                    cost: plan
+                        .cost
+                        .plus(cost::hash_group_by(rows, distinct_rows))
+                        .with_rows(distinct_rows),
+                });
+            }
+        }
+        self.stats.plans_generated += out.len() as u64;
+        out
+    }
+
+    // ----- Shared helpers -------------------------------------------------
+
+    /// The reasoning context the configuration allows: the stream's full
+    /// context when order optimization is on, the trivial context when it
+    /// is disabled (orders compare verbatim).
+    pub fn effective_ctx(&self, props: &StreamProps) -> OrderContext {
+        if self.config.order_optimization {
+            props.ctx()
+        } else {
+            OrderContext::trivial()
+        }
+    }
+
+    /// Does `plan` already provide `interest`?
+    pub fn order_satisfied(&self, plan: &Plan, interest: &OrderSpec) -> bool {
+        self.effective_ctx(&plan.props)
+            .test_order(interest, &plan.props.order)
+    }
+
+    /// Wraps `plan` in a sort producing `spec` (reduced to its minimal
+    /// column list under the effective context).
+    ///
+    /// Reduction rewrites columns to equivalence-class heads, which may
+    /// not be physically present in the plan (projected away in favour of
+    /// an equivalent column), so the reduced specification is homogenized
+    /// back onto the plan's actual layout before the sort is built.
+    pub fn add_sort(&mut self, plan: Plan, spec: &OrderSpec) -> Plan {
+        let ctx = self.effective_ctx(&plan.props);
+        let reduced = ctx.reduce(spec);
+        if reduced.is_empty() {
+            return plan;
+        }
+        let layout_cols = plan.layout.col_set();
+        let minimal = match ctx.homogenize(&reduced, &layout_cols) {
+            Some(physical) => physical,
+            None => {
+                // Fall back to the caller's columns verbatim (they must be
+                // in the layout for the request to make sense at all).
+                spec.clone()
+            }
+        };
+        if minimal.is_empty() {
+            return plan;
+        }
+        self.stats.sorts_added += 1;
+        let rows = plan.cost.rows;
+        let width = plan.layout.arity() * 8 + 16;
+        let props = plan.props.sorted(&minimal);
+        let layout = plan.layout.clone();
+        let cost = plan.cost.plus(cost::sort(
+            rows,
+            width.max(DEFAULT_ROW_WIDTH / 2),
+            self.config.sort_memory,
+        ));
+        Plan {
+            node: PlanNode::Sort {
+                input: Arc::new(plan),
+                spec: minimal,
+            },
+            layout,
+            props,
+            cost,
+        }
+    }
+
+    /// Ensures `plan` satisfies the order requirement `req`, adding a sort
+    /// when the property test fails (paper Fig. 3 drives this decision).
+    pub fn ensure_order(&mut self, plan: Plan, req: &OrderSpec) -> Plan {
+        if self.order_satisfied(&plan, req) {
+            self.stats.sorts_avoided += 1;
+            plan
+        } else {
+            self.add_sort(plan, req)
+        }
+    }
+
+    /// Applies predicates via a Filter node (no-op on an empty list).
+    pub fn apply_filter(&mut self, plan: Plan, preds: &[PredId]) -> Plan {
+        if preds.is_empty() {
+            return plan;
+        }
+        let mut props = plan.props.clone();
+        let mut sel = 1.0;
+        for &pid in preds {
+            let pred = self.graph.predicate(pid);
+            props.apply_predicate(pid, pred);
+            sel *= self.estimator().selectivity(pred);
+        }
+        let rows = (plan.cost.rows * sel).max(0.0);
+        let cost = plan
+            .cost
+            .plus(cost::filter(plan.cost.rows, preds.len()))
+            .with_rows(rows);
+        Plan {
+            layout: plan.layout.clone(),
+            node: PlanNode::Filter {
+                input: Arc::new(plan),
+                predicates: preds.to_vec(),
+            },
+            props,
+            cost,
+        }
+    }
+
+    /// Projects a plan to the box's output list, minting computed columns.
+    pub fn project_outputs(&mut self, plan: Plan, qbox: &QgmBox) -> Plan {
+        let out_cols: Vec<fto_common::ColId> = qbox.output_cols();
+        let passthrough_only = qbox.output.iter().all(|o| o.is_passthrough());
+        if passthrough_only && plan.layout.cols() == out_cols.as_slice() {
+            return plan;
+        }
+        let exprs: Vec<(fto_common::ColId, Expr)> = qbox
+            .output
+            .iter()
+            .map(|o| match &o.expr {
+                OutputExpr::Scalar(e) => (o.col, e.clone()),
+                // Aggregates were computed by the group-by below; forward.
+                OutputExpr::Agg(_) => (o.col, Expr::col(o.col)),
+            })
+            .collect();
+
+        // Properties: keep what survives for pass-through columns, then
+        // add computed columns and their defining FDs.
+        let keep: ColSet = exprs
+            .iter()
+            .filter_map(|(c, e)| (e.as_col() == Some(*c)).then_some(*c))
+            .collect();
+        let mut props = plan.props.project(&keep);
+        for (c, e) in &exprs {
+            if e.as_col() != Some(*c) {
+                props.cols.insert(*c);
+                props
+                    .fds
+                    .add(fto_order::Fd::new(e.cols(), ColSet::singleton(*c)));
+            }
+        }
+        let rows = plan.cost.rows;
+        let cost = plan.cost.plus(rows * cost::CPU_ROW * 0.5);
+        Plan {
+            node: PlanNode::Project {
+                input: Arc::new(plan),
+                exprs,
+            },
+            layout: RowLayout::new(out_cols),
+            props,
+            cost,
+        }
+    }
+
+    /// Predicates of `qbox` whose columns all come from `cols`.
+    pub fn local_preds(&self, qbox: &QgmBox, cols: &ColSet) -> Vec<PredId> {
+        qbox.predicates
+            .iter()
+            .copied()
+            .filter(|&pid| self.graph.predicate(pid).cols().is_subset(cols))
+            .collect()
+    }
+
+    /// Cost/property pruning: a plan survives unless another plan is both
+    /// at least as cheap and at least as good on every property dimension
+    /// (paper §5.2.1's `<=` comparison).
+    pub fn prune(&mut self, plans: Vec<Plan>) -> Vec<Plan> {
+        let mut kept: Vec<Plan> = Vec::with_capacity(plans.len());
+        for plan in plans {
+            let dominated = kept.iter().any(|k| self.plan_dominates(k, &plan));
+            if dominated {
+                self.stats.plans_pruned += 1;
+                continue;
+            }
+            kept.retain(|k| {
+                let gone = self.plan_dominates(&plan, k);
+                if gone {
+                    self.stats.plans_pruned += 1;
+                }
+                !gone
+            });
+            kept.push(plan);
+        }
+        kept
+    }
+
+    fn plan_dominates(&self, a: &Plan, b: &Plan) -> bool {
+        if a.cost.total > b.cost.total {
+            return false;
+        }
+        let ctx = self.effective_ctx(&a.props);
+        a.props.dominates_under(&b.props, &ctx)
+    }
+
+    /// The cardinality estimator for this query.
+    pub fn estimator(&self) -> CardEstimator<'_> {
+        CardEstimator::new(self.graph, self.catalog)
+    }
+
+    /// Simulated leaf-page count of an index, from table statistics.
+    pub fn index_leaf_pages(&self, index: IndexId) -> Option<u64> {
+        let ix = self.catalog.index(index).ok()?;
+        let stats = self.catalog.stats(ix.table);
+        Some(stats.row_count.div_ceil(256).max(1))
+    }
+}
+
+/// Shared fixtures for the planner test suites.
+#[cfg(any(test, debug_assertions))]
+pub mod tests_support {
+    use fto_catalog::{Catalog, ColumnDef, KeyDef};
+    use fto_common::{DataType, Direction, Row, Value};
+    use fto_storage::Database;
+
+    /// A one-table database: t(k int primary key, v int, s varchar) with a
+    /// secondary index on v, loaded with `k ∈ 0..200`, `v = k % 20`.
+    pub fn simple_db() -> Database {
+        let mut cat = Catalog::new();
+        let t = cat
+            .create_table(
+                "t",
+                vec![
+                    ColumnDef::new("k", DataType::Int),
+                    ColumnDef::new("v", DataType::Int),
+                    ColumnDef::new("s", DataType::Str),
+                ],
+                vec![KeyDef::primary([0])],
+            )
+            .unwrap();
+        cat.create_index("t_v", t, vec![(1, Direction::Asc)], false, false)
+            .unwrap();
+        let mut db = Database::new(cat);
+        let rows: Vec<Row> = (0..200)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 20),
+                    Value::str(format!("s{i}")),
+                ]
+                .into_boxed_slice()
+            })
+            .collect();
+        db.load_table(t, rows).unwrap();
+        db
+    }
+
+    /// A three-table schema shaped like the paper's Q3: customer, orders
+    /// (clustered pk o_orderkey), lineitem (clustered index on
+    /// l_orderkey). `n` scales the order count.
+    pub fn q3_like_db(n: i64) -> Database {
+        let mut cat = Catalog::new();
+        let customer = cat
+            .create_table(
+                "customer",
+                vec![
+                    ColumnDef::new("c_custkey", DataType::Int),
+                    ColumnDef::new("c_mktsegment", DataType::Str),
+                ],
+                vec![KeyDef::primary([0])],
+            )
+            .unwrap();
+        let orders = cat
+            .create_table(
+                "orders",
+                vec![
+                    ColumnDef::new("o_orderkey", DataType::Int),
+                    ColumnDef::new("o_custkey", DataType::Int),
+                    ColumnDef::new("o_orderdate", DataType::Date),
+                    ColumnDef::new("o_shippriority", DataType::Int),
+                ],
+                vec![KeyDef::primary([0])],
+            )
+            .unwrap();
+        let lineitem = cat
+            .create_table(
+                "lineitem",
+                vec![
+                    ColumnDef::new("l_orderkey", DataType::Int),
+                    ColumnDef::new("l_extendedprice", DataType::Double),
+                    ColumnDef::new("l_discount", DataType::Double),
+                    ColumnDef::new("l_shipdate", DataType::Date),
+                ],
+                vec![],
+            )
+            .unwrap();
+        cat.create_index(
+            "l_orderkey_ix",
+            lineitem,
+            vec![(0, Direction::Asc)],
+            false,
+            true,
+        )
+        .unwrap();
+        let mut db = Database::new(cat);
+
+        let customers = n / 10 + 1;
+        db.load_table(
+            customer,
+            (0..customers)
+                .map(|i| {
+                    vec![
+                        Value::Int(i),
+                        Value::str(if i % 5 == 0 { "building" } else { "auto" }),
+                    ]
+                    .into_boxed_slice()
+                })
+                .collect(),
+        )
+        .unwrap();
+        db.load_table(
+            orders,
+            (0..n)
+                .map(|i| {
+                    vec![
+                        Value::Int(i),
+                        Value::Int(i % customers),
+                        Value::Date((i % 90) as i32),
+                        Value::Int(i % 3),
+                    ]
+                    .into_boxed_slice()
+                })
+                .collect(),
+        )
+        .unwrap();
+        db.load_table(
+            lineitem,
+            (0..n * 4)
+                .map(|i| {
+                    vec![
+                        Value::Int(i / 4),
+                        Value::Double(100.0 + (i % 900) as f64),
+                        Value::Double(0.01 * (i % 10) as f64),
+                        Value::Date((i % 120) as i32),
+                    ]
+                    .into_boxed_slice()
+                })
+                .collect(),
+        )
+        .unwrap();
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::simple_db;
+    use super::*;
+    use fto_common::Value;
+    use fto_expr::Predicate;
+    use fto_qgm::graph::OutputCol;
+    use fto_qgm::{OrderScan, QueryGraph};
+
+    fn single_table_query(
+        db: &fto_storage::Database,
+        order_by: Option<usize>,
+    ) -> (QueryGraph, Vec<fto_common::ColId>) {
+        let mut g = QueryGraph::new();
+        let b = g.add_box(BoxKind::Select);
+        g.add_table_quantifier(b, db.catalog().table_by_name("t").unwrap());
+        let cols = g.boxed(b).quantifiers[0].cols.clone();
+        g.boxed_mut(b).output = cols.iter().map(|&c| OutputCol::passthrough(c)).collect();
+        if let Some(ord) = order_by {
+            g.boxed_mut(b).output_order = Some(OrderSpec::ascending([cols[ord]]));
+        }
+        g.root = b;
+        (g, cols)
+    }
+
+    #[test]
+    fn plans_simple_scan() {
+        let db = simple_db();
+        let (mut g, _) = single_table_query(&db, None);
+        OrderScan::run(&mut g, db.catalog());
+        let mut p = Planner::new(&g, db.catalog(), OptimizerConfig::default());
+        let plan = p.plan_query().unwrap();
+        assert!(plan.cost.rows > 0.0);
+        // Cheapest access with no requirement: plain table scan.
+        assert_eq!(
+            plan.count_ops(&|n| matches!(n, PlanNode::TableScan { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn order_by_key_uses_index_not_sort() {
+        let db = simple_db();
+        let (mut g, _) = single_table_query(&db, Some(0));
+        OrderScan::run(&mut g, db.catalog());
+        let mut p = Planner::new(&g, db.catalog(), OptimizerConfig::default());
+        let plan = p.plan_query().unwrap();
+        assert_eq!(plan.count_ops(&|n| matches!(n, PlanNode::Sort { .. })), 0);
+        assert_eq!(
+            plan.count_ops(&|n| matches!(n, PlanNode::IndexScan { .. })),
+            1
+        );
+        assert!(p.stats.sorts_avoided > 0);
+    }
+
+    #[test]
+    fn order_by_desc_uses_reverse_index_scan() {
+        let db = simple_db();
+        let (mut g, cols) = single_table_query(&db, None);
+        let root = g.root;
+        g.boxed_mut(root).output_order =
+            Some(OrderSpec::new(vec![fto_order::SortKey::desc(cols[0])]));
+        OrderScan::run(&mut g, db.catalog());
+        let mut p = Planner::new(&g, db.catalog(), OptimizerConfig::default());
+        let plan = p.plan_query().unwrap();
+        assert_eq!(plan.count_ops(&|n| matches!(n, PlanNode::Sort { .. })), 0);
+        assert_eq!(
+            plan.count_ops(&|n| matches!(n, PlanNode::IndexScan { reverse: true, .. })),
+            1,
+            "{}",
+            plan.explain(&|c| c.to_string())
+        );
+    }
+
+    #[test]
+    fn order_by_unindexed_column_sorts_minimally() {
+        let db = simple_db();
+        let (mut g, cols) = single_table_query(&db, None);
+        // ORDER BY s, k with s = 'x' applied: the requirement reduces to
+        // (k), so whichever plan wins, any sort it contains uses the
+        // minimal single column (paper §4.2) — never both.
+        let root = g.root;
+        g.boxed_mut(root).output_order = Some(OrderSpec::ascending([cols[2], cols[0]]));
+        let p0 = g.add_predicate(Predicate::col_eq_const(cols[2], Value::str("x")));
+        g.boxed_mut(root).predicates.push(p0);
+        OrderScan::run(&mut g, db.catalog());
+        let mut p = Planner::new(&g, db.catalog(), OptimizerConfig::default());
+        let plan = p.plan_query().unwrap();
+        assert!(plan.count_ops(&|n| matches!(n, PlanNode::Sort { .. })) <= 1);
+        if let Some(len) = find_sort_len(&plan) {
+            assert_eq!(len, 1, "{}", plan.explain(&|c| c.to_string()));
+        }
+    }
+
+    #[test]
+    fn disabled_mode_sorts_verbatim() {
+        let db = simple_db();
+        let (mut g, cols) = single_table_query(&db, None);
+        let root = g.root;
+        g.boxed_mut(root).output_order = Some(OrderSpec::ascending([cols[2], cols[0]]));
+        let p0 = g.add_predicate(Predicate::col_eq_const(cols[2], Value::str("x")));
+        g.boxed_mut(root).predicates.push(p0);
+        OrderScan::run(&mut g, db.catalog());
+        let mut p = Planner::new(&g, db.catalog(), OptimizerConfig::disabled());
+        let plan = p.plan_query().unwrap();
+        // Without reduction the optimizer cannot see that (s, k) collapses
+        // to (k): it must sort on both columns.
+        assert_eq!(plan.count_ops(&|n| matches!(n, PlanNode::Sort { .. })), 1);
+        let sort_len = find_sort_len(&plan);
+        assert_eq!(sort_len, Some(2));
+    }
+
+    fn find_sort_len(plan: &Plan) -> Option<usize> {
+        if let PlanNode::Sort { spec, .. } = &plan.node {
+            return Some(spec.len());
+        }
+        plan.children().iter().find_map(|c| find_sort_len(c))
+    }
+
+    #[test]
+    fn filter_applies_predicates_to_props() {
+        let db = simple_db();
+        let (mut g, cols) = single_table_query(&db, None);
+        let root = g.root;
+        let p0 = g.add_predicate(Predicate::col_eq_const(cols[1], Value::Int(3)));
+        g.boxed_mut(root).predicates.push(p0);
+        OrderScan::run(&mut g, db.catalog());
+        let mut p = Planner::new(&g, db.catalog(), OptimizerConfig::default());
+        let plan = p.plan_query().unwrap();
+        assert!(plan.props.preds.contains(&p0));
+        assert!(plan.cost.rows < 200.0);
+    }
+
+    #[test]
+    fn prune_keeps_pareto_set() {
+        let db = simple_db();
+        let (mut g, _) = single_table_query(&db, None);
+        OrderScan::run(&mut g, db.catalog());
+        let mut p = Planner::new(&g, db.catalog(), OptimizerConfig::default());
+        let plans = p.plan_box(g.root).unwrap();
+        // The cheap unordered scan and the ordered index scans coexist.
+        assert!(!plans.is_empty());
+        for a in &plans {
+            for b in &plans {
+                if !std::ptr::eq(a, b) {
+                    assert!(
+                        !(a.cost.total <= b.cost.total
+                            && a.props.dominates_under(&b.props, &a.props.ctx())),
+                        "pruning left a dominated plan"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_prefers_order_when_available() {
+        let db = simple_db();
+        // select distinct k from t order by nothing: k is the key, so the
+        // stream is already duplicate-free; both distinct variants exist
+        // but stream-distinct over the index needs no sort.
+        let mut g = QueryGraph::new();
+        let b = g.add_box(BoxKind::Select);
+        g.add_table_quantifier(b, db.catalog().table_by_name("t").unwrap());
+        let cols = g.boxed(b).quantifiers[0].cols.clone();
+        g.boxed_mut(b).output = vec![OutputCol::passthrough(cols[1])];
+        g.boxed_mut(b).distinct = true;
+        g.root = b;
+        OrderScan::run(&mut g, db.catalog());
+        let mut p = Planner::new(&g, db.catalog(), OptimizerConfig::default());
+        let plan = p.plan_query().unwrap();
+        // Either a hash distinct on the cheap scan or a stream distinct on
+        // the v-index; both avoid an explicit sort.
+        assert_eq!(plan.count_ops(&|n| matches!(n, PlanNode::Sort { .. })), 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! The Query Graph Model (QGM) and the top-down *order scan*.
+//!
+//! The paper (§3) describes DB2's intermediate query representation:
+//! *boxes* for relational operations (SELECT, GROUP BY, ...) connected by
+//! *quantifiers* (table references). This crate implements
+//!
+//! * the graph itself ([`QueryGraph`], [`QgmBox`], [`Quantifier`]) with a
+//!   global, query-scoped column registry;
+//! * rewrites applied before planning: predicate pushdown and view merging
+//!   ([`rewrite`]);
+//! * the **order scan** (§5.1): the four-stage top-down pass that derives
+//!   interesting orders from ORDER BY, GROUP BY, DISTINCT, and joins,
+//!   pushes them down through quantifier arcs (homogenizing and covering
+//!   on the way), and hangs them off each box as sort-ahead candidates for
+//!   the planner.
+
+#![deny(missing_docs)]
+
+pub mod graph;
+pub mod orderscan;
+pub mod rewrite;
+
+pub use graph::{
+    BoxId, BoxKind, ColumnInfo, ColumnRegistry, OutputCol, QgmBox, Quantifier, QuantifierInput,
+    QueryGraph,
+};
+pub use orderscan::{global_context, OrderScan};

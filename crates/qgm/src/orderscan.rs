@@ -1,0 +1,567 @@
+//! The top-down **order scan** of QGM (paper §5.1).
+//!
+//! Interesting orders are generated before cost-based planning:
+//!
+//! 1. input/output order *requirements* are determined per box (ORDER BY
+//!    gives an output requirement; order-based GROUP BY gives an input
+//!    requirement, represented with §7 degrees of freedom);
+//! 2. interesting orders for DISTINCT boxes are determined;
+//! 3. interesting orders for merge-joins are determined from equi-join
+//!    predicates;
+//! 4. the graph is traversed top-down, pushing interesting orders along
+//!    quantifier arcs — homogenizing them to the columns available below
+//!    each arc and covering them with the target's own requirements — so
+//!    that a single sort low in the plan can satisfy several operations
+//!    high in the plan (*sort-ahead*).
+//!
+//! The scan is *optimistic* (paper §5.1): it reasons with the equivalence
+//! classes and functional dependencies of **all** predicates of the query,
+//! assuming everything below a box has been applied; if full
+//! homogenization fails, the largest homogenizable prefix is pushed in the
+//! hope that an FD discovered during planning makes the suffix redundant.
+//! The planning phase re-checks every assumption against the real stream
+//! properties before relying on an order.
+
+use crate::graph::{BoxKind, OutputExpr, QuantifierInput, QueryGraph};
+use fto_catalog::Catalog;
+use fto_common::ColSet;
+use fto_expr::PredClass;
+use fto_order::{EquivalenceClasses, FdSet, FlexOrder, OrderContext, OrderSpec};
+
+/// Builds the query-global optimistic [`OrderContext`]: equivalences and
+/// constants from *every* predicate, plus functional dependencies from
+/// base-table keys, computed outputs, and group-by boxes.
+pub fn global_context(graph: &QueryGraph, catalog: &Catalog) -> OrderContext {
+    let mut eq = EquivalenceClasses::new();
+    let mut fds = FdSet::new();
+
+    // ON predicates of outer joins must not feed equivalence classes or
+    // constants: null-padded rows violate them (paper §4.1). Collect
+    // their ids first and skip them in the global predicate sweep; the
+    // box loop below adds their one-directional FDs instead.
+    let mut outer_on = std::collections::HashSet::new();
+    for qbox in &graph.boxes {
+        if let BoxKind::OuterJoin { on } = &qbox.kind {
+            outer_on.extend(on.iter().copied());
+        }
+    }
+    for (i, pred) in graph.predicates.iter().enumerate() {
+        if outer_on.contains(&fto_expr::PredId(i as u32)) {
+            continue;
+        }
+        match pred.classify() {
+            PredClass::ColEqCol(a, b) => {
+                eq.merge(a, b);
+                fds.add_equivalence(a, b);
+            }
+            PredClass::ColEqConst(c, v) => {
+                eq.bind_constant(c, v);
+                fds.add_constant(c);
+            }
+            PredClass::Opaque => {}
+        }
+    }
+
+    for qbox in &graph.boxes {
+        for q in &qbox.quantifiers {
+            if let QuantifierInput::Table(tid) = q.input {
+                let Ok(table) = catalog.table(tid) else {
+                    continue;
+                };
+                let all: ColSet = q.cols.iter().copied().collect();
+                for key in &table.keys {
+                    let head: ColSet = key.columns.iter().map(|&o| q.cols[o]).collect();
+                    fds.add_key(head, all.clone());
+                }
+                for ix in catalog.indexes_for(tid).filter(|ix| ix.unique) {
+                    let head: ColSet = ix.key_ordinals().map(|o| q.cols[o]).collect();
+                    fds.add_key(head, all.clone());
+                }
+            }
+        }
+        match &qbox.kind {
+            BoxKind::GroupBy { grouping } => {
+                let head: ColSet = grouping.iter().copied().collect();
+                let tail = qbox.output_col_set();
+                fds.add_key(head, tail);
+            }
+            BoxKind::Select | BoxKind::Union => {
+                for out in &qbox.output {
+                    if let OutputExpr::Scalar(e) = &out.expr {
+                        if e.as_col() != Some(out.col) {
+                            // A computed value is a function of its inputs.
+                            fds.add(fto_order::Fd::new(e.cols(), ColSet::singleton(out.col)));
+                        }
+                    }
+                }
+            }
+            BoxKind::OuterJoin { on } => {
+                // §4.1: for an outer-join predicate x = y, {x} → {y}
+                // holds only when x comes from the non-null-supplying
+                // (preserved) side — and no equivalence class forms.
+                let preserved: ColSet = qbox
+                    .quantifiers
+                    .first()
+                    .map(|q| q.cols.iter().copied().collect())
+                    .unwrap_or_default();
+                for &pid in on {
+                    if let PredClass::ColEqCol(a, b) = graph.predicate(pid).classify() {
+                        if preserved.contains(a) {
+                            fds.add(fto_order::Fd::implies(a, b));
+                        } else if preserved.contains(b) {
+                            fds.add(fto_order::Fd::implies(b, a));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    OrderContext::new(eq, &fds)
+}
+
+/// The order scan pass.
+pub struct OrderScan {
+    ctx: OrderContext,
+}
+
+impl OrderScan {
+    /// Runs the scan, mutating the graph in place: every box ends up with
+    /// its `group_order` requirement (stages 1–2) and its list of
+    /// interesting / sort-ahead orders (stages 3–4). Returns the global
+    /// optimistic context so the planner can reuse it.
+    pub fn run(graph: &mut QueryGraph, catalog: &Catalog) -> OrderContext {
+        let scan = OrderScan {
+            ctx: global_context(graph, catalog),
+        };
+        scan.stage1_and_2_requirements(graph);
+        scan.stage3_merge_join_orders(graph);
+        scan.stage4_push_down(graph);
+        scan.ctx
+    }
+
+    /// Stages 1–2: order requirements for GROUP BY and DISTINCT, in the
+    /// generalized (§7) representation.
+    fn stage1_and_2_requirements(&self, graph: &mut QueryGraph) {
+        for qbox in &mut graph.boxes {
+            match &qbox.kind {
+                BoxKind::GroupBy { grouping } => {
+                    let distinct_args: Vec<_> = qbox
+                        .output
+                        .iter()
+                        .filter_map(|o| match &o.expr {
+                            OutputExpr::Agg(call) if call.distinct => call.arg.as_col(),
+                            _ => None,
+                        })
+                        .collect();
+                    qbox.group_order =
+                        Some(FlexOrder::group_by(grouping.iter().copied(), distinct_args));
+                }
+                BoxKind::Select | BoxKind::Union if qbox.distinct => {
+                    qbox.group_order =
+                        Some(FlexOrder::group_by(qbox.output.iter().map(|o| o.col), []));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Stage 3: each cross-quantifier equi-join predicate makes the order
+    /// on either side's column interesting (a merge-join could consume
+    /// it).
+    fn stage3_merge_join_orders(&self, graph: &mut QueryGraph) {
+        for bi in 0..graph.boxes.len() {
+            if graph.boxes[bi].quantifiers.len() < 2 {
+                continue;
+            }
+            let pred_ids = graph.boxes[bi].predicates.clone();
+            for pid in pred_ids {
+                if let PredClass::ColEqCol(a, b) = graph.predicate(pid).classify() {
+                    let qbox = &graph.boxes[bi];
+                    let qa = qbox.quantifiers.iter().position(|q| q.cols.contains(&a));
+                    let qb = qbox.quantifiers.iter().position(|q| q.cols.contains(&b));
+                    if let (Some(qa), Some(qb)) = (qa, qb) {
+                        if qa != qb {
+                            let qbox = &mut graph.boxes[bi];
+                            qbox.add_interesting(OrderSpec::ascending([a]));
+                            qbox.add_interesting(OrderSpec::ascending([b]));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stage 4: top-down push along quantifier arcs.
+    fn stage4_push_down(&self, graph: &mut QueryGraph) {
+        // Root-first order = reverse of bottom-up.
+        let mut order = graph.bottom_up();
+        order.reverse();
+
+        for box_id in order {
+            // Collect what this box wants of its own output.
+            let mut pushing: Vec<OrderSpec> = Vec::new();
+            {
+                let qbox = graph.boxed(box_id);
+                if let Some(req) = &qbox.output_order {
+                    pushing.push(self.ctx.reduce(req));
+                }
+                for i in &qbox.interesting {
+                    let r = self.ctx.reduce(i);
+                    if !r.is_empty() && !pushing.contains(&r) {
+                        pushing.push(r);
+                    }
+                }
+            }
+
+            // A GROUP BY / DISTINCT requirement intercepts the push: try
+            // to cover each pushed order with the generalized requirement
+            // so one sort below the box serves both; always push the
+            // requirement itself as well.
+            if let Some(flex) = graph.boxed(box_id).group_order.clone() {
+                let mut below: Vec<OrderSpec> = Vec::new();
+                for o in &pushing {
+                    let combined = flex.concretize(o, &self.ctx);
+                    if self.ctx.test_order(o, &combined) {
+                        below.push(combined);
+                    }
+                }
+                let own = flex.concretize(&OrderSpec::empty(), &self.ctx);
+                if !own.is_empty() && !below.contains(&own) {
+                    below.push(own);
+                }
+                pushing = below;
+            }
+
+            // Record the box's final interesting-order list (reduced,
+            // covered where possible).
+            {
+                let merged = merge_covers(&self.ctx, pushing.clone());
+                let qbox = graph.boxed_mut(box_id);
+                qbox.interesting.clear();
+                for o in merged {
+                    qbox.add_interesting(o);
+                }
+            }
+
+            // Push into child boxes: homogenize to the columns visible
+            // below each quantifier arc, then cover with the child's own
+            // output requirement.
+            let quantifiers = graph.boxed(box_id).quantifiers.clone();
+            let pushing = graph.boxed(box_id).interesting.clone();
+            for q in quantifiers {
+                let QuantifierInput::Box(child) = q.input else {
+                    continue;
+                };
+                let targets: ColSet = q.cols.iter().copied().collect();
+                for order in &pushing {
+                    let (homog, _complete) = self.ctx.homogenize_prefix(order, &targets);
+                    if homog.is_empty() {
+                        continue;
+                    }
+                    let child_box = graph.boxed_mut(child);
+                    if let Some(child_req) = child_box.output_order.clone() {
+                        if let Some(covered) = self.ctx.cover(&homog, &child_req) {
+                            child_box.add_interesting(covered);
+                        }
+                        // No cover: the child's own requirement stands;
+                        // the pushed order dies here.
+                    } else {
+                        child_box.add_interesting(homog);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Repeatedly covers pairs in the list until no two entries can be
+/// combined, so one sort can satisfy several interesting orders (§4.3).
+fn merge_covers(ctx: &OrderContext, mut orders: Vec<OrderSpec>) -> Vec<OrderSpec> {
+    let mut changed = true;
+    while changed {
+        changed = false;
+        'outer: for i in 0..orders.len() {
+            for j in (i + 1)..orders.len() {
+                if let Some(c) = ctx.cover(&orders[i], &orders[j]) {
+                    orders.remove(j);
+                    orders[i] = c;
+                    changed = true;
+                    break 'outer;
+                }
+            }
+        }
+    }
+    orders
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{BoxKind, OutputCol, QueryGraph};
+    use fto_catalog::{Catalog, ColumnDef, KeyDef};
+    use fto_common::{ColId, DataType, Value};
+    use fto_expr::{AggCall, AggFunc, Expr, Predicate};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        for name in ["a", "b", "c"] {
+            cat.create_table(
+                name,
+                vec![
+                    ColumnDef::new("x", DataType::Int),
+                    ColumnDef::new("y", DataType::Int),
+                ],
+                vec![KeyDef::primary([0])],
+            )
+            .unwrap();
+        }
+        cat
+    }
+
+    /// select * from a, b where a.x = b.x order by a.x, b.y
+    /// (the paper's §4.4 example query).
+    fn join_query(cat: &Catalog) -> (QueryGraph, Vec<ColId>, Vec<ColId>) {
+        let mut g = QueryGraph::new();
+        let sel = g.add_box(BoxKind::Select);
+        g.add_table_quantifier(sel, cat.table_by_name("a").unwrap());
+        g.add_table_quantifier(sel, cat.table_by_name("b").unwrap());
+        let a_cols = g.boxed(sel).quantifiers[0].cols.clone();
+        let b_cols = g.boxed(sel).quantifiers[1].cols.clone();
+        let p = g.add_predicate(Predicate::col_eq_col(a_cols[0], b_cols[0]));
+        g.boxed_mut(sel).predicates.push(p);
+        g.boxed_mut(sel).output = a_cols
+            .iter()
+            .chain(&b_cols)
+            .map(|&c| OutputCol::passthrough(c))
+            .collect();
+        g.boxed_mut(sel).output_order = Some(OrderSpec::ascending([a_cols[0], b_cols[1]]));
+        g.root = sel;
+        (g, a_cols, b_cols)
+    }
+
+    #[test]
+    fn global_context_collects_keys_and_equivalences() {
+        let cat = catalog();
+        let (g, a_cols, b_cols) = join_query(&cat);
+        let ctx = global_context(&g, &cat);
+        assert!(ctx.equivalences().same_class(a_cols[0], b_cols[0]));
+        // a.x is a's key: {a.x} -> {a.y}.
+        assert!(ctx
+            .fds()
+            .determines(&ColSet::singleton(a_cols[0]), a_cols[1]));
+    }
+
+    #[test]
+    fn merge_join_orders_recorded() {
+        let cat = catalog();
+        let (mut g, a_cols, b_cols) = join_query(&cat);
+        let ctx = OrderScan::run(&mut g, &cat);
+        let interesting = &g.boxed(g.root).interesting;
+        // The ORDER BY (a.x, b.y) and the merge-join orders (a.x), (b.x)
+        // all reduce/cover: (a.x, b.y) covers (a.x) and — via the class
+        // {a.x, b.x} — covers (b.x) too.
+        assert!(!interesting.is_empty());
+        let order_by = OrderSpec::ascending([a_cols[0], b_cols[1]]);
+        assert!(
+            interesting.iter().any(|i| ctx.test_order(&order_by, i)),
+            "{interesting:?}"
+        );
+        // After cover-merging, a single order suffices here.
+        assert_eq!(interesting.len(), 1, "{interesting:?}");
+    }
+
+    #[test]
+    fn group_by_requirement_uses_degrees_of_freedom() {
+        let cat = catalog();
+        let mut g = QueryGraph::new();
+        let sel = g.add_box(BoxKind::Select);
+        g.add_table_quantifier(sel, cat.table_by_name("a").unwrap());
+        let cols = g.boxed(sel).quantifiers[0].cols.clone();
+        g.boxed_mut(sel).output = cols.iter().map(|&c| OutputCol::passthrough(c)).collect();
+
+        let gb = g.add_box(BoxKind::GroupBy {
+            grouping: vec![cols[1]],
+        });
+        g.add_box_quantifier(gb, sel);
+        let agg_col = g.fresh_derived(gb, "s", DataType::Int);
+        g.boxed_mut(gb).output = vec![
+            OutputCol::passthrough(cols[1]),
+            OutputCol {
+                col: agg_col,
+                expr: OutputExpr::Agg(AggCall::new(AggFunc::Sum, Expr::col(cols[0]))),
+            },
+        ];
+        g.root = gb;
+        let ctx = OrderScan::run(&mut g, &cat);
+        let flex = g.boxed(gb).group_order.clone().unwrap();
+        assert!(flex.satisfied_by(&OrderSpec::ascending([cols[1]]), &ctx));
+        // The requirement was pushed into the select box as an
+        // interesting order.
+        assert!(g
+            .boxed(sel)
+            .interesting
+            .contains(&OrderSpec::ascending([cols[1]])));
+    }
+
+    /// ORDER BY over GROUP BY on the same leading column: one sort
+    /// below the group-by serves both (cover through the generalized
+    /// order).
+    #[test]
+    fn order_by_covers_group_by_requirement() {
+        let cat = catalog();
+        let mut g = QueryGraph::new();
+        let sel = g.add_box(BoxKind::Select);
+        g.add_table_quantifier(sel, cat.table_by_name("a").unwrap());
+        let cols = g.boxed(sel).quantifiers[0].cols.clone();
+        g.boxed_mut(sel).output = cols.iter().map(|&c| OutputCol::passthrough(c)).collect();
+
+        let gb = g.add_box(BoxKind::GroupBy {
+            grouping: vec![cols[0], cols[1]],
+        });
+        g.add_box_quantifier(gb, sel);
+        g.boxed_mut(gb).output = vec![
+            OutputCol::passthrough(cols[0]),
+            OutputCol::passthrough(cols[1]),
+        ];
+        // ORDER BY y (the second grouping column).
+        g.boxed_mut(gb).output_order = Some(OrderSpec::ascending([cols[1]]));
+        g.root = gb;
+
+        let ctx = OrderScan::run(&mut g, &cat);
+        // The select box receives a sort-ahead order starting with y that
+        // also satisfies the grouping requirement.
+        let pushed = &g.boxed(sel).interesting;
+        assert!(!pushed.is_empty());
+        let flex = g.boxed(gb).group_order.clone().unwrap();
+        assert!(
+            pushed.iter().any(|o| {
+                o.keys().first().map(|k| k.col) == Some(cols[1]) && flex.satisfied_by(o, &ctx)
+            }),
+            "{pushed:?}"
+        );
+    }
+
+    #[test]
+    fn constants_shorten_pushed_orders() {
+        let cat = catalog();
+        let (mut g, a_cols, b_cols) = join_query(&cat);
+        // ORDER BY a.y, b.y with a.y = 10 applied: reduces to (b.y), which
+        // then covers with the merge-join order on b.x? No — (b.y) and
+        // (b.x) have no cover, so both remain interesting.
+        let root = g.root;
+        g.boxed_mut(root).output_order = Some(OrderSpec::ascending([a_cols[1], b_cols[1]]));
+        let p = g.add_predicate(Predicate::col_eq_const(a_cols[1], Value::Int(10)));
+        g.boxed_mut(root).predicates.push(p);
+        let _ctx = OrderScan::run(&mut g, &cat);
+        let interesting = &g.boxed(root).interesting;
+        assert!(
+            interesting.contains(&OrderSpec::ascending([b_cols[1]])),
+            "{interesting:?}"
+        );
+    }
+
+    /// When a constant on the join column combines with the inner table's
+    /// key, the whole ORDER BY becomes redundant: one customer row means
+    /// every order column is constant. The scan correctly records *no*
+    /// interesting orders.
+    #[test]
+    fn constant_on_key_join_column_eliminates_order() {
+        let cat = catalog();
+        let (mut g, a_cols, _b_cols) = join_query(&cat);
+        // a.x = 10 with a.x = b.x and b.x the key of b: at most one b row,
+        // so b.y is constant and (a.x, b.y) reduces to ().
+        let root = g.root;
+        let p = g.add_predicate(Predicate::col_eq_const(a_cols[0], Value::Int(10)));
+        g.boxed_mut(root).predicates.push(p);
+        OrderScan::run(&mut g, &cat);
+        assert!(g.boxed(root).interesting.is_empty());
+    }
+
+    #[test]
+    fn distinct_box_gets_flex_requirement() {
+        let cat = catalog();
+        let mut g = QueryGraph::new();
+        let sel = g.add_box(BoxKind::Select);
+        g.add_table_quantifier(sel, cat.table_by_name("a").unwrap());
+        let cols = g.boxed(sel).quantifiers[0].cols.clone();
+        g.boxed_mut(sel).output = cols.iter().map(|&c| OutputCol::passthrough(c)).collect();
+        g.boxed_mut(sel).distinct = true;
+        g.root = sel;
+        let ctx = OrderScan::run(&mut g, &cat);
+        let flex = g.boxed(sel).group_order.clone().unwrap();
+        // Any permutation of the two output columns qualifies.
+        assert!(flex.satisfied_by(&OrderSpec::ascending([cols[0], cols[1]]), &ctx));
+        assert!(flex.satisfied_by(&OrderSpec::ascending([cols[1], cols[0]]), &ctx));
+    }
+
+    #[test]
+    fn push_through_view_homogenizes() {
+        // Inner box (view) over table a; outer ORDER BY on the view's
+        // passthrough column must reach the inner box.
+        let cat = catalog();
+        let mut g = QueryGraph::new();
+        let inner = g.add_box(BoxKind::Select);
+        g.add_table_quantifier(inner, cat.table_by_name("a").unwrap());
+        let cols = g.boxed(inner).quantifiers[0].cols.clone();
+        g.boxed_mut(inner).output = cols.iter().map(|&c| OutputCol::passthrough(c)).collect();
+
+        let outer = g.add_box(BoxKind::Select);
+        g.add_box_quantifier(outer, inner);
+        g.boxed_mut(outer).output = cols.iter().map(|&c| OutputCol::passthrough(c)).collect();
+        g.boxed_mut(outer).output_order = Some(OrderSpec::ascending([cols[1]]));
+        g.root = outer;
+
+        OrderScan::run(&mut g, &cat);
+        assert!(g
+            .boxed(inner)
+            .interesting
+            .contains(&OrderSpec::ascending([cols[1]])));
+    }
+
+    /// Outer-join ON predicates feed one-directional FDs only: the
+    /// global context must not merge their columns into one class.
+    #[test]
+    fn outer_join_on_predicates_stay_one_directional() {
+        let cat = catalog();
+        let mut g = QueryGraph::new();
+        let oj = g.add_box(BoxKind::OuterJoin { on: vec![] });
+        g.add_table_quantifier(oj, cat.table_by_name("a").unwrap());
+        g.add_table_quantifier(oj, cat.table_by_name("b").unwrap());
+        let a_cols = g.boxed(oj).quantifiers[0].cols.clone();
+        let b_cols = g.boxed(oj).quantifiers[1].cols.clone();
+        let pid = g.add_predicate(Predicate::col_eq_col(a_cols[0], b_cols[0]));
+        g.boxed_mut(oj).kind = BoxKind::OuterJoin { on: vec![pid] };
+        g.boxed_mut(oj).output = a_cols
+            .iter()
+            .chain(&b_cols)
+            .map(|&c| OutputCol::passthrough(c))
+            .collect();
+        g.root = oj;
+        let ctx = global_context(&g, &cat);
+        // No equivalence class across the outer join...
+        assert!(!ctx.equivalences().same_class(a_cols[0], b_cols[0]));
+        // ...but the preserved-side FD holds: {a.x} -> {b.x}.
+        assert!(ctx
+            .fds()
+            .determines(&ColSet::singleton(a_cols[0]), b_cols[0]));
+        // And not the reverse.
+        assert!(!ctx
+            .fds()
+            .determines(&ColSet::singleton(b_cols[0]), a_cols[0]));
+    }
+
+    #[test]
+    fn merge_covers_combines_prefixes() {
+        let ctx = OrderContext::trivial();
+        let orders = vec![
+            OrderSpec::ascending([ColId(0)]),
+            OrderSpec::ascending([ColId(0), ColId(1)]),
+            OrderSpec::ascending([ColId(5)]),
+        ];
+        let merged = merge_covers(&ctx, orders);
+        assert_eq!(merged.len(), 2);
+        assert!(merged.contains(&OrderSpec::ascending([ColId(0), ColId(1)])));
+        assert!(merged.contains(&OrderSpec::ascending([ColId(5)])));
+    }
+}

@@ -1,0 +1,250 @@
+//! QGM-to-QGM rewrites applied before cost-based planning (paper §3:
+//! "the original QGM is transformed into a semantically equivalent but
+//! more efficient QGM using heuristics such as predicate push-down
+//! \[and\] view merging").
+
+use crate::graph::{BoxKind, QuantifierInput, QueryGraph};
+use fto_common::ColSet;
+use fto_expr::PredId;
+
+/// Pushes predicates from a box into the child boxes that can evaluate
+/// them: a predicate moves down a quantifier arc when every column it
+/// references is visible below that arc. Predicates never move into a
+/// GROUP BY box unless they touch only grouping columns (filtering groups
+/// early is then equivalent to filtering rows late).
+///
+/// Returns the number of predicates moved.
+pub fn push_down_predicates(graph: &mut QueryGraph) -> usize {
+    let mut moved = 0;
+    // Iterate to a fixpoint so predicates can sink through several levels.
+    loop {
+        let mut any = false;
+        for bi in 0..graph.boxes.len() {
+            let pred_ids: Vec<PredId> = graph.boxes[bi].predicates.clone();
+            for pid in pred_ids {
+                let cols = graph.predicate(pid).cols();
+                let Some(child) = pushable_target(graph, bi, &cols) else {
+                    continue;
+                };
+                let parent = &mut graph.boxes[bi];
+                parent.predicates.retain(|&p| p != pid);
+                graph.boxes[child].predicates.push(pid);
+                moved += 1;
+                any = true;
+            }
+        }
+        if !any {
+            return moved;
+        }
+    }
+}
+
+/// Finds the single child box of `parent` that can absorb a predicate over
+/// `cols`, if any.
+fn pushable_target(graph: &QueryGraph, parent: usize, cols: &ColSet) -> Option<usize> {
+    if cols.is_empty() {
+        return None;
+    }
+    for q in &graph.boxes[parent].quantifiers {
+        let QuantifierInput::Box(child) = q.input else {
+            continue;
+        };
+        let visible: ColSet = q.cols.iter().copied().collect();
+        if !cols.is_subset(&visible) {
+            continue;
+        }
+        let child_box = &graph.boxes[child.index()];
+        match &child_box.kind {
+            BoxKind::Select if !child_box.distinct && child_box.output_order.is_none() => {
+                return Some(child.index());
+            }
+            BoxKind::GroupBy { grouping } => {
+                let g: ColSet = grouping.iter().copied().collect();
+                if cols.is_subset(&g) {
+                    return Some(child.index());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Merges trivial view boxes into their consumers: a child SELECT box
+/// whose outputs are all pass-through, with no DISTINCT and no ORDER BY,
+/// dissolves into the parent SELECT box — its quantifiers and predicates
+/// move up. Because boxes reuse pass-through column ids, no column
+/// translation is needed.
+///
+/// Returns the number of boxes merged.
+pub fn merge_views(graph: &mut QueryGraph) -> usize {
+    let mut merged = 0;
+    loop {
+        let Some((parent, qidx, child)) = find_mergeable(graph) else {
+            return merged;
+        };
+        let child_box = graph.boxes[child].clone();
+        let parent_box = &mut graph.boxes[parent];
+        parent_box.quantifiers.remove(qidx);
+        parent_box
+            .quantifiers
+            .extend(child_box.quantifiers.iter().cloned());
+        parent_box.predicates.extend(child_box.predicates.iter());
+        merged += 1;
+    }
+}
+
+fn find_mergeable(graph: &QueryGraph) -> Option<(usize, usize, usize)> {
+    for (bi, qbox) in graph.boxes.iter().enumerate() {
+        if qbox.kind != BoxKind::Select {
+            continue;
+        }
+        for (qi, q) in qbox.quantifiers.iter().enumerate() {
+            let QuantifierInput::Box(child) = q.input else {
+                continue;
+            };
+            let child_box = &graph.boxes[child.index()];
+            let mergeable = child_box.kind == BoxKind::Select
+                && !child_box.distinct
+                && child_box.output_order.is_none()
+                && child_box.output.iter().all(|o| o.is_passthrough());
+            if mergeable {
+                return Some((bi, qi, child.index()));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{OutputCol, QueryGraph};
+    use fto_catalog::{Catalog, ColumnDef, KeyDef};
+    use fto_common::{DataType, Value};
+    use fto_expr::Predicate;
+    use fto_order::OrderSpec;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        for name in ["a", "b"] {
+            cat.create_table(
+                name,
+                vec![
+                    ColumnDef::new("x", DataType::Int),
+                    ColumnDef::new("y", DataType::Int),
+                ],
+                vec![KeyDef::primary([0])],
+            )
+            .unwrap();
+        }
+        cat
+    }
+
+    /// outer select (pred on view column) over inner select over table a.
+    fn view_query(
+        cat: &Catalog,
+        passthrough: bool,
+    ) -> (QueryGraph, usize, usize, Vec<fto_common::ColId>) {
+        let mut g = QueryGraph::new();
+        let inner = g.add_box(BoxKind::Select);
+        g.add_table_quantifier(inner, cat.table_by_name("a").unwrap());
+        let cols = g.boxed(inner).quantifiers[0].cols.clone();
+        if passthrough {
+            g.boxed_mut(inner).output = cols.iter().map(|&c| OutputCol::passthrough(c)).collect();
+        } else {
+            // A computed output blocks merging.
+            let d = g.fresh_derived(inner, "d", DataType::Int);
+            g.boxed_mut(inner).output = vec![OutputCol {
+                col: d,
+                expr: crate::graph::OutputExpr::Scalar(fto_expr::Expr::col(cols[0])),
+            }];
+        }
+        let outer = g.add_box(BoxKind::Select);
+        g.add_box_quantifier(outer, inner);
+        let visible = g.boxed(outer).quantifiers[0].cols.clone();
+        let p = g.add_predicate(Predicate::col_eq_const(visible[0], Value::Int(1)));
+        g.boxed_mut(outer).predicates.push(p);
+        g.boxed_mut(outer).output = visible.iter().map(|&c| OutputCol::passthrough(c)).collect();
+        g.root = outer;
+        (g, inner.index(), outer.index(), cols)
+    }
+
+    #[test]
+    fn predicate_pushes_into_view() {
+        let cat = catalog();
+        let (mut g, inner, outer, _) = view_query(&cat, true);
+        let moved = push_down_predicates(&mut g);
+        assert_eq!(moved, 1);
+        assert!(g.boxes[outer].predicates.is_empty());
+        assert_eq!(g.boxes[inner].predicates.len(), 1);
+    }
+
+    #[test]
+    fn predicate_stays_when_child_has_order_requirement() {
+        let cat = catalog();
+        let (mut g, inner, outer, cols) = view_query(&cat, true);
+        g.boxes[inner].output_order = Some(OrderSpec::ascending([cols[0]]));
+        let moved = push_down_predicates(&mut g);
+        assert_eq!(moved, 0);
+        assert_eq!(g.boxes[outer].predicates.len(), 1);
+    }
+
+    #[test]
+    fn predicate_pushes_into_group_by_on_grouping_cols_only() {
+        let cat = catalog();
+        let mut g = QueryGraph::new();
+        let sel = g.add_box(BoxKind::Select);
+        g.add_table_quantifier(sel, cat.table_by_name("a").unwrap());
+        let cols = g.boxed(sel).quantifiers[0].cols.clone();
+        g.boxed_mut(sel).output = cols.iter().map(|&c| OutputCol::passthrough(c)).collect();
+        let gb = g.add_box(BoxKind::GroupBy {
+            grouping: vec![cols[0]],
+        });
+        g.add_box_quantifier(gb, sel);
+        g.boxed_mut(gb).output = vec![OutputCol::passthrough(cols[0])];
+        let outer = g.add_box(BoxKind::Select);
+        g.add_box_quantifier(outer, gb);
+        g.boxed_mut(outer).output = vec![OutputCol::passthrough(cols[0])];
+        let p = g.add_predicate(Predicate::col_eq_const(cols[0], Value::Int(1)));
+        g.boxed_mut(outer).predicates.push(p);
+        g.root = outer;
+
+        let moved = push_down_predicates(&mut g);
+        // Sinks through the group-by into the select: two hops.
+        assert_eq!(moved, 2);
+        assert_eq!(g.boxes[sel.index()].predicates.len(), 1);
+    }
+
+    #[test]
+    fn merge_passthrough_view() {
+        let cat = catalog();
+        let (mut g, _inner, outer, _) = view_query(&cat, true);
+        let merged = merge_views(&mut g);
+        assert_eq!(merged, 1);
+        let root = &g.boxes[outer];
+        // The outer box now ranges directly over the base table.
+        assert_eq!(root.quantifiers.len(), 1);
+        assert!(matches!(
+            root.quantifiers[0].input,
+            QuantifierInput::Table(_)
+        ));
+    }
+
+    #[test]
+    fn computed_view_not_merged() {
+        let cat = catalog();
+        let (mut g, _, _, _) = view_query(&cat, false);
+        assert_eq!(merge_views(&mut g), 0);
+    }
+
+    #[test]
+    fn merge_hoists_view_predicates() {
+        let cat = catalog();
+        let (mut g, inner, outer, cols) = view_query(&cat, true);
+        let p2 = g.add_predicate(Predicate::col_eq_const(cols[1], Value::Int(2)));
+        g.boxes[inner].predicates.push(p2);
+        merge_views(&mut g);
+        assert_eq!(g.boxes[outer].predicates.len(), 2);
+    }
+}

@@ -1,0 +1,215 @@
+//! The abstract syntax tree produced by the parser.
+
+use fto_common::Value;
+use fto_expr::{AggFunc, ArithOp, CompareOp};
+
+/// A column reference, optionally qualified with a table alias.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnRef {
+    /// Table name or alias, when written `t.c`.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+}
+
+/// A scalar expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SqlExpr {
+    /// Column reference.
+    Column(ColumnRef),
+    /// Literal value.
+    Literal(Value),
+    /// Binary arithmetic.
+    Arith {
+        /// Operator.
+        op: ArithOp,
+        /// Left operand.
+        left: Box<SqlExpr>,
+        /// Right operand.
+        right: Box<SqlExpr>,
+    },
+    /// An aggregate call — legal only inside HAVING predicates, where it
+    /// refers to (or introduces) a per-group aggregate.
+    Agg(Box<SqlAgg>),
+}
+
+/// An aggregate call in the select list.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SqlAgg {
+    /// The function.
+    pub func: AggFunc,
+    /// The argument; `None` for `count(*)`.
+    pub arg: Option<SqlExpr>,
+    /// `DISTINCT` inside the call.
+    pub distinct: bool,
+}
+
+/// One item of the select list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectItem {
+    /// `*` — every column of every FROM item.
+    Wildcard,
+    /// A scalar expression with an optional alias.
+    Expr {
+        /// The expression.
+        expr: SqlExpr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+    /// An aggregate call with an optional alias.
+    Agg {
+        /// The call.
+        agg: SqlAgg,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// A comparison predicate in the WHERE clause.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SqlPredicate {
+    /// The operator.
+    pub op: CompareOp,
+    /// Left operand.
+    pub left: SqlExpr,
+    /// Right operand.
+    pub right: SqlExpr,
+}
+
+/// One WHERE conjunct: a plain comparison or an `IN (subquery)` test.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WherePred {
+    /// `expr op expr`.
+    Compare(SqlPredicate),
+    /// `expr IN (select ...)` — desugared by the binder into a join
+    /// against the DISTINCT subquery (the QGM subquery-to-join
+    /// transformation the paper's §3 references).
+    InSubquery {
+        /// The tested expression.
+        expr: SqlExpr,
+        /// The one-column subquery.
+        query: Box<Query>,
+    },
+}
+
+/// One FROM item.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TableRef {
+    /// A base table with an optional alias.
+    Table {
+        /// Table name.
+        name: String,
+        /// Alias (defaults to the table name).
+        alias: Option<String>,
+    },
+    /// A derived table: `(query) AS alias`.
+    Subquery {
+        /// The nested query.
+        query: Box<Query>,
+        /// Mandatory alias.
+        alias: String,
+    },
+    /// An explicit join: `left [LEFT [OUTER]] JOIN right ON preds`.
+    /// Chains associate left-deep.
+    Join {
+        /// Left operand.
+        left: Box<TableRef>,
+        /// Join kind.
+        kind: JoinKind,
+        /// Right operand.
+        right: Box<TableRef>,
+        /// ON-clause conjuncts.
+        on: Vec<SqlPredicate>,
+    },
+}
+
+/// Explicit-join kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinKind {
+    /// INNER JOIN (equivalent to a comma plus WHERE predicates).
+    Inner,
+    /// `LEFT [OUTER] JOIN`: the left side is preserved.
+    LeftOuter,
+}
+
+impl TableRef {
+    /// The name the item is known by in the query; explicit joins have
+    /// no single binding name.
+    pub fn binding_name(&self) -> &str {
+        match self {
+            TableRef::Table { name, alias } => alias.as_deref().unwrap_or(name),
+            TableRef::Subquery { alias, .. } => alias,
+            TableRef::Join { .. } => "",
+        }
+    }
+}
+
+/// One ORDER BY item.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SortItem {
+    /// What to sort by.
+    pub target: SortTarget,
+    /// True for DESC.
+    pub desc: bool,
+}
+
+/// The target of a sort item.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SortTarget {
+    /// A column reference or select-list alias.
+    Name(ColumnRef),
+    /// A 1-based select-list ordinal.
+    Ordinal(usize),
+}
+
+/// A parsed SELECT query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    /// DISTINCT flag.
+    pub distinct: bool,
+    /// The select list.
+    pub items: Vec<SelectItem>,
+    /// FROM items.
+    pub from: Vec<TableRef>,
+    /// WHERE conjuncts.
+    pub predicates: Vec<WherePred>,
+    /// GROUP BY columns.
+    pub group_by: Vec<ColumnRef>,
+    /// HAVING conjuncts (may contain aggregate calls).
+    pub having: Vec<SqlPredicate>,
+    /// UNION branches appended to this query; `order_by` and `limit`
+    /// then apply to the whole union.
+    pub union_branches: Vec<UnionBranch>,
+    /// ORDER BY items.
+    pub order_by: Vec<SortItem>,
+    /// LIMIT row budget.
+    pub limit: Option<u64>,
+}
+
+/// One `UNION [ALL] select ...` continuation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UnionBranch {
+    /// True for UNION ALL (bag semantics); false for set UNION.
+    pub all: bool,
+    /// The branch query (its own order_by/limit are always empty).
+    pub query: Query,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binding_names() {
+        let t = TableRef::Table {
+            name: "orders".into(),
+            alias: None,
+        };
+        assert_eq!(t.binding_name(), "orders");
+        let t = TableRef::Table {
+            name: "orders".into(),
+            alias: Some("o".into()),
+        };
+        assert_eq!(t.binding_name(), "o");
+    }
+}

@@ -1,0 +1,98 @@
+//! Civil-date ↔ day-number conversion (days since 1970-01-01).
+//!
+//! Implements Howard Hinnant's `days_from_civil` algorithm; no external
+//! dependency needed for the `date('YYYY-MM-DD')` literals in workloads.
+
+use fto_common::{FtoError, Result};
+
+/// Converts a civil date to days since the Unix epoch.
+pub fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = i64::from((m + 9) % 12); // [0, 11], Mar = 0
+    let doy = (153 * mp + 2) / 5 + i64::from(d) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Converts days since the Unix epoch back to (year, month, day).
+pub fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Parses `YYYY-MM-DD` into days since the epoch.
+pub fn parse_date(s: &str) -> Result<i32> {
+    let parts: Vec<&str> = s.split('-').collect();
+    let err = || FtoError::Parse(format!("invalid date literal '{s}'"));
+    if parts.len() != 3 {
+        return Err(err());
+    }
+    let y: i64 = parts[0].parse().map_err(|_| err())?;
+    let m: u32 = parts[1].parse().map_err(|_| err())?;
+    let d: u32 = parts[2].parse().map_err(|_| err())?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return Err(err());
+    }
+    Ok(days_from_civil(y, m, d) as i32)
+}
+
+/// Formats days since the epoch as `YYYY-MM-DD`.
+pub fn format_date(days: i32) -> String {
+    let (y, m, d) = civil_from_days(days as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates() {
+        // The paper's TPC-D date.
+        assert_eq!(days_from_civil(1995, 3, 15), 9204);
+        assert_eq!(civil_from_days(9204), (1995, 3, 15));
+        // Leap-year boundary.
+        assert_eq!(
+            days_from_civil(2000, 3, 1) - days_from_civil(2000, 2, 28),
+            2
+        );
+        assert_eq!(
+            days_from_civil(1900, 3, 1) - days_from_civil(1900, 2, 28),
+            1
+        );
+    }
+
+    #[test]
+    fn roundtrip_range() {
+        for z in (-200_000..200_000).step_by(733) {
+            let (y, m, d) = civil_from_days(z);
+            assert_eq!(days_from_civil(y, m, d), z);
+        }
+    }
+
+    #[test]
+    fn parse_and_format() {
+        assert_eq!(parse_date("1995-03-15").unwrap(), 9204);
+        assert_eq!(format_date(9204), "1995-03-15");
+        assert!(parse_date("1995-3").is_err());
+        assert!(parse_date("abcd-ef-gh").is_err());
+        assert!(parse_date("1995-13-01").is_err());
+        assert!(parse_date("1995-00-01").is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! The SQL tokenizer.
+
+use fto_common::{FtoError, Result};
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (lower-cased).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal (unescaped).
+    Str(String),
+    /// A punctuation or operator symbol.
+    Symbol(&'static str),
+}
+
+impl Token {
+    /// The identifier text, if this is an identifier.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            Token::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenizes SQL text.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' | ')' | ',' | '*' | '+' | '-' | '/' | '.' => {
+                tokens.push(Token::Symbol(match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '*' => "*",
+                    '+' => "+",
+                    '-' => "-",
+                    '/' => "/",
+                    _ => ".",
+                }));
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Symbol("="));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol("<="));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::Symbol("<>"));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol(">="));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(">"));
+                    i += 1;
+                }
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token::Symbol("<>"));
+                i += 2;
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(FtoError::Parse("unterminated string literal".into()));
+                }
+                tokens.push(Token::Str(input[start..j].to_string()));
+                i = j + 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len() {
+                    match bytes[j] as char {
+                        '0'..='9' => j += 1,
+                        '.' if !is_float
+                            && bytes.get(j + 1).is_some_and(|b| b.is_ascii_digit()) =>
+                        {
+                            is_float = true;
+                            j += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &input[start..j];
+                if is_float {
+                    tokens
+                        .push(Token::Float(text.parse().map_err(|_| {
+                            FtoError::Parse(format!("bad number '{text}'"))
+                        })?));
+                } else {
+                    tokens
+                        .push(Token::Int(text.parse().map_err(|_| {
+                            FtoError::Parse(format!("bad number '{text}'"))
+                        })?));
+                }
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() {
+                    let c = bytes[j] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(input[start..j].to_ascii_lowercase()));
+                i = j;
+            }
+            other => {
+                return Err(FtoError::Parse(format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_query() {
+        let t = tokenize("SELECT a.x, 10 FROM t WHERE a.x <= 'hi'").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("select".into()),
+                Token::Ident("a".into()),
+                Token::Symbol("."),
+                Token::Ident("x".into()),
+                Token::Symbol(","),
+                Token::Int(10),
+                Token::Ident("from".into()),
+                Token::Ident("t".into()),
+                Token::Ident("where".into()),
+                Token::Ident("a".into()),
+                Token::Symbol("."),
+                Token::Ident("x".into()),
+                Token::Symbol("<="),
+                Token::Str("hi".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        let t = tokenize("1 2.5 0.01").unwrap();
+        assert_eq!(
+            t,
+            vec![Token::Int(1), Token::Float(2.5), Token::Float(0.01)]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let t = tokenize("= <> != < <= > >= + - * /").unwrap();
+        let syms: Vec<&str> = t
+            .iter()
+            .map(|tok| match tok {
+                Token::Symbol(s) => *s,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(
+            syms,
+            vec!["=", "<>", "<>", "<", "<=", ">", ">=", "+", "-", "*", "/"]
+        );
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let t = tokenize("select -- comment\n 1").unwrap();
+        assert_eq!(t, vec![Token::Ident("select".into()), Token::Int(1)]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("select #").is_err());
+    }
+
+    #[test]
+    fn keywords_lowercased() {
+        let t = tokenize("SeLeCt FROM").unwrap();
+        assert_eq!(t[0].as_ident(), Some("select"));
+        assert_eq!(t[1].as_ident(), Some("from"));
+    }
+}

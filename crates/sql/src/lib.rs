@@ -1,0 +1,34 @@
+//! A SQL subset front end: lexer, recursive-descent parser, and binder
+//! producing an [`fto_qgm::QueryGraph`].
+//!
+//! Supported grammar (enough for the paper's workloads, including TPC-D
+//! Query 3):
+//!
+//! ```text
+//! query      := SELECT [DISTINCT] item ("," item)*
+//!               FROM table_ref ("," table_ref)*
+//!               [WHERE pred (AND pred)*]
+//!               [GROUP BY column ("," column)*]
+//!               [ORDER BY sort_item ("," sort_item)*]
+//! item       := expr [AS ident] | agg "(" [DISTINCT] expr | "*" ")" [AS ident]
+//! table_ref  := ident [AS ident] | "(" query ")" AS ident
+//! pred       := expr ("=" | "<>" | "<" | "<=" | ">" | ">=") expr
+//! expr       := additive arithmetic over columns, numbers, strings,
+//!               date('YYYY-MM-DD')
+//! sort_item  := (alias | column | ordinal) [ASC | DESC]
+//! ```
+//!
+//! Limitations (documented, deliberate): conjunctive WHERE only, no outer
+//! joins, no HAVING, no subqueries outside FROM, ORDER BY columns must
+//! appear in the select list.
+
+#![deny(missing_docs)]
+
+pub mod ast;
+pub mod binder;
+pub mod dates;
+pub mod lexer;
+pub mod parser;
+
+pub use binder::bind;
+pub use parser::parse_query;

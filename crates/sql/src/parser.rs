@@ -1,0 +1,763 @@
+//! The recursive-descent parser.
+
+use crate::ast::*;
+use crate::dates::parse_date;
+use crate::lexer::{tokenize, Token};
+use fto_common::{FtoError, Result, Value};
+use fto_expr::{AggFunc, ArithOp, CompareOp};
+
+/// Parses a SELECT query.
+pub fn parse_query(sql: &str) -> Result<Query> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    if p.pos != p.tokens.len() {
+        return Err(FtoError::Parse(format!(
+            "trailing tokens after query: {:?}",
+            &p.tokens[p.pos..]
+        )));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek().and_then(Token::as_ident) == Some(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(FtoError::Parse(format!(
+                "expected '{kw}', found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<()> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(FtoError::Parse(format!(
+                "expected '{sym}', found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(FtoError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        let mut query = self.select_core()?;
+        while self.eat_keyword("union") {
+            let all = self.eat_keyword("all");
+            let branch = self.select_core()?;
+            query
+                .union_branches
+                .push(UnionBranch { all, query: branch });
+        }
+        if self.eat_keyword("order") {
+            self.expect_keyword("by")?;
+            query.order_by.push(self.sort_item()?);
+            while self.eat_symbol(",") {
+                query.order_by.push(self.sort_item()?);
+            }
+        }
+        if self.eat_keyword("limit") {
+            query.limit = match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as u64),
+                other => {
+                    return Err(FtoError::Parse(format!(
+                        "LIMIT expects a non-negative integer, found {other:?}"
+                    )))
+                }
+            };
+        }
+        Ok(query)
+    }
+
+    /// One SELECT without trailing ORDER BY / LIMIT / UNION.
+    fn select_core(&mut self) -> Result<Query> {
+        self.expect_keyword("select")?;
+        let distinct = self.eat_keyword("distinct");
+        let mut items = vec![self.select_item()?];
+        while self.eat_symbol(",") {
+            items.push(self.select_item()?);
+        }
+        self.expect_keyword("from")?;
+        let mut from = vec![self.table_ref()?];
+        while self.eat_symbol(",") {
+            from.push(self.table_ref()?);
+        }
+        let mut predicates = Vec::new();
+        if self.eat_keyword("where") {
+            predicates.push(self.where_pred()?);
+            while self.eat_keyword("and") {
+                predicates.push(self.where_pred()?);
+            }
+        }
+        let mut group_by = Vec::new();
+        if self.eat_keyword("group") {
+            self.expect_keyword("by")?;
+            group_by.push(self.column_ref()?);
+            while self.eat_symbol(",") {
+                group_by.push(self.column_ref()?);
+            }
+        }
+        let mut having = Vec::new();
+        if self.eat_keyword("having") {
+            having.push(self.predicate_with_aggs()?);
+            while self.eat_keyword("and") {
+                having.push(self.predicate_with_aggs()?);
+            }
+        }
+        Ok(Query {
+            distinct,
+            items,
+            from,
+            predicates,
+            group_by,
+            having,
+            union_branches: Vec::new(),
+            order_by: Vec::new(),
+            limit: None,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.eat_symbol("*") {
+            return Ok(SelectItem::Wildcard);
+        }
+        // Aggregate call?
+        if let Some(func) = self.peek().and_then(Token::as_ident).and_then(agg_func) {
+            if matches!(self.tokens.get(self.pos + 1), Some(Token::Symbol("("))) {
+                self.pos += 2; // func (
+                let distinct = self.eat_keyword("distinct");
+                let arg = if self.eat_symbol("*") {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_symbol(")")?;
+                let alias = self.alias()?;
+                return Ok(SelectItem::Agg {
+                    agg: SqlAgg {
+                        func,
+                        arg,
+                        distinct,
+                    },
+                    alias,
+                });
+            }
+        }
+        let expr = self.expr()?;
+        let alias = self.alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn alias(&mut self) -> Result<Option<String>> {
+        if self.eat_keyword("as") {
+            Ok(Some(self.ident()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let mut item = self.table_primary()?;
+        loop {
+            let kind = if self.eat_keyword("left") {
+                self.eat_keyword("outer");
+                self.expect_keyword("join")?;
+                JoinKind::LeftOuter
+            } else if self.eat_keyword("inner") {
+                self.expect_keyword("join")?;
+                JoinKind::Inner
+            } else if self.eat_keyword("join") {
+                JoinKind::Inner
+            } else {
+                return Ok(item);
+            };
+            let right = self.table_primary()?;
+            self.expect_keyword("on")?;
+            let mut on = vec![self.predicate()?];
+            while self.eat_keyword("and") {
+                on.push(self.predicate()?);
+            }
+            item = TableRef::Join {
+                left: Box::new(item),
+                kind,
+                right: Box::new(right),
+                on,
+            };
+        }
+    }
+
+    fn table_primary(&mut self) -> Result<TableRef> {
+        if self.eat_symbol("(") {
+            let query = self.query()?;
+            self.expect_symbol(")")?;
+            self.eat_keyword("as");
+            let alias = self.ident()?;
+            return Ok(TableRef::Subquery {
+                query: Box::new(query),
+                alias,
+            });
+        }
+        let name = self.ident()?;
+        // Optional alias: a bare identifier that is not a clause keyword.
+        let alias = match self.peek().and_then(Token::as_ident) {
+            Some(kw) if is_clause_keyword(kw) => None,
+            Some(_) => Some(self.ident()?),
+            None => None,
+        };
+        Ok(TableRef::Table { name, alias })
+    }
+
+    fn predicate(&mut self) -> Result<SqlPredicate> {
+        let left = self.expr()?;
+        if let Some(p) = self.null_test(&left)? {
+            return Ok(p);
+        }
+        let op = self.comparison_op()?;
+        let right = self.expr()?;
+        Ok(SqlPredicate { op, left, right })
+    }
+
+    /// A WHERE conjunct: comparison, null test, or `IN (subquery)`.
+    fn where_pred(&mut self) -> Result<WherePred> {
+        let left = self.expr()?;
+        if let Some(p) = self.null_test(&left)? {
+            return Ok(WherePred::Compare(p));
+        }
+        if self.eat_keyword("in") {
+            self.expect_symbol("(")?;
+            let query = self.query()?;
+            self.expect_symbol(")")?;
+            return Ok(WherePred::InSubquery {
+                expr: left,
+                query: Box::new(query),
+            });
+        }
+        let op = self.comparison_op()?;
+        let right = self.expr()?;
+        Ok(WherePred::Compare(SqlPredicate { op, left, right }))
+    }
+
+    /// A HAVING predicate: operands may contain aggregate calls.
+    fn predicate_with_aggs(&mut self) -> Result<SqlPredicate> {
+        let left = self.expr_in(true)?;
+        if let Some(p) = self.null_test(&left)? {
+            return Ok(p);
+        }
+        let op = self.comparison_op()?;
+        let right = self.expr_in(true)?;
+        Ok(SqlPredicate { op, left, right })
+    }
+
+    /// Parses a trailing `IS [NOT] NULL`, if present.
+    fn null_test(&mut self, left: &SqlExpr) -> Result<Option<SqlPredicate>> {
+        if !self.eat_keyword("is") {
+            return Ok(None);
+        }
+        let negated = self.eat_keyword("not");
+        self.expect_keyword("null")?;
+        Ok(Some(SqlPredicate {
+            op: if negated {
+                CompareOp::IsNotNull
+            } else {
+                CompareOp::IsNull
+            },
+            left: left.clone(),
+            right: SqlExpr::Literal(Value::Null),
+        }))
+    }
+
+    fn comparison_op(&mut self) -> Result<CompareOp> {
+        match self.next() {
+            Some(Token::Symbol("=")) => Ok(CompareOp::Eq),
+            Some(Token::Symbol("<>")) => Ok(CompareOp::Ne),
+            Some(Token::Symbol("<")) => Ok(CompareOp::Lt),
+            Some(Token::Symbol("<=")) => Ok(CompareOp::Le),
+            Some(Token::Symbol(">")) => Ok(CompareOp::Gt),
+            Some(Token::Symbol(">=")) => Ok(CompareOp::Ge),
+            other => Err(FtoError::Parse(format!(
+                "expected comparison operator, found {other:?}"
+            ))),
+        }
+    }
+
+    fn sort_item(&mut self) -> Result<SortItem> {
+        let target = match self.peek() {
+            Some(Token::Int(n)) => {
+                let n = *n;
+                self.pos += 1;
+                if n < 1 {
+                    return Err(FtoError::Parse(format!("bad ORDER BY ordinal {n}")));
+                }
+                SortTarget::Ordinal(n as usize)
+            }
+            _ => SortTarget::Name(self.column_ref()?),
+        };
+        let desc = if self.eat_keyword("desc") {
+            true
+        } else {
+            self.eat_keyword("asc");
+            false
+        };
+        Ok(SortItem { target, desc })
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef> {
+        let first = self.ident()?;
+        if self.eat_symbol(".") {
+            let name = self.ident()?;
+            Ok(ColumnRef {
+                qualifier: Some(first),
+                name,
+            })
+        } else {
+            Ok(ColumnRef {
+                qualifier: None,
+                name: first,
+            })
+        }
+    }
+
+    // expr := term (("+" | "-") term)*
+    fn expr(&mut self) -> Result<SqlExpr> {
+        self.expr_in(false)
+    }
+
+    fn expr_in(&mut self, allow_agg: bool) -> Result<SqlExpr> {
+        let mut left = self.term(allow_agg)?;
+        loop {
+            let op = if self.eat_symbol("+") {
+                ArithOp::Add
+            } else if self.eat_symbol("-") {
+                ArithOp::Sub
+            } else {
+                return Ok(left);
+            };
+            let right = self.term(allow_agg)?;
+            left = SqlExpr::Arith {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+    }
+
+    // term := factor (("*" | "/") factor)*
+    fn term(&mut self, allow_agg: bool) -> Result<SqlExpr> {
+        let mut left = self.factor(allow_agg)?;
+        loop {
+            let op = if self.eat_symbol("*") {
+                ArithOp::Mul
+            } else if self.eat_symbol("/") {
+                ArithOp::Div
+            } else {
+                return Ok(left);
+            };
+            let right = self.factor(allow_agg)?;
+            left = SqlExpr::Arith {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn factor(&mut self, allow_agg: bool) -> Result<SqlExpr> {
+        if allow_agg {
+            if let Some(func) = self.peek().and_then(Token::as_ident).and_then(agg_func) {
+                if matches!(self.tokens.get(self.pos + 1), Some(Token::Symbol("("))) {
+                    self.pos += 2;
+                    let distinct = self.eat_keyword("distinct");
+                    let arg = if self.eat_symbol("*") {
+                        None
+                    } else {
+                        Some(self.expr_in(false)?)
+                    };
+                    self.expect_symbol(")")?;
+                    return Ok(SqlExpr::Agg(Box::new(SqlAgg {
+                        func,
+                        arg,
+                        distinct,
+                    })));
+                }
+            }
+        }
+        match self.peek().cloned() {
+            Some(Token::Symbol("(")) => {
+                self.pos += 1;
+                let e = self.expr_in(allow_agg)?;
+                self.expect_symbol(")")?;
+                Ok(e)
+            }
+            Some(Token::Symbol("-")) => {
+                self.pos += 1;
+                let e = self.factor(allow_agg)?;
+                Ok(SqlExpr::Arith {
+                    op: ArithOp::Sub,
+                    left: Box::new(SqlExpr::Literal(Value::Int(0))),
+                    right: Box::new(e),
+                })
+            }
+            Some(Token::Int(v)) => {
+                self.pos += 1;
+                Ok(SqlExpr::Literal(Value::Int(v)))
+            }
+            Some(Token::Float(v)) => {
+                self.pos += 1;
+                Ok(SqlExpr::Literal(Value::Double(v)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(SqlExpr::Literal(Value::str(s)))
+            }
+            Some(Token::Ident(id)) if id == "date" => {
+                self.pos += 1;
+                self.expect_symbol("(")?;
+                let lit = match self.next() {
+                    Some(Token::Str(s)) => s,
+                    other => {
+                        return Err(FtoError::Parse(format!(
+                            "date() expects a string literal, found {other:?}"
+                        )))
+                    }
+                };
+                self.expect_symbol(")")?;
+                Ok(SqlExpr::Literal(Value::Date(parse_date(&lit)?)))
+            }
+            Some(Token::Ident(_)) => Ok(SqlExpr::Column(self.column_ref()?)),
+            other => Err(FtoError::Parse(format!(
+                "expected expression, found {other:?}"
+            ))),
+        }
+    }
+}
+
+fn agg_func(name: &str) -> Option<AggFunc> {
+    match name {
+        "sum" => Some(AggFunc::Sum),
+        "count" => Some(AggFunc::Count),
+        "min" => Some(AggFunc::Min),
+        "max" => Some(AggFunc::Max),
+        "avg" => Some(AggFunc::Avg),
+        _ => None,
+    }
+}
+
+fn is_clause_keyword(kw: &str) -> bool {
+    matches!(
+        kw,
+        "where"
+            | "group"
+            | "order"
+            | "as"
+            | "on"
+            | "and"
+            | "select"
+            | "from"
+            | "limit"
+            | "having"
+            | "union"
+            | "left"
+            | "inner"
+            | "join"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_q3() {
+        let q = parse_query(
+            "select l_orderkey, sum(l_extendedprice * (1 - l_discount)) as rev, \
+             o_orderdate, o_shippriority \
+             from customer, orders, lineitem \
+             where c_custkey = o_custkey and l_orderkey = o_orderkey \
+             and c_mktsegment = 'building' \
+             and o_orderdate < date('1995-03-15') \
+             and l_shipdate > date('1995-03-15') \
+             group by l_orderkey, o_orderdate, o_shippriority \
+             order by rev desc, o_orderdate",
+        )
+        .unwrap();
+        assert_eq!(q.items.len(), 4);
+        assert_eq!(q.from.len(), 3);
+        assert_eq!(q.predicates.len(), 5);
+        assert_eq!(q.group_by.len(), 3);
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].desc);
+        assert!(!q.order_by[1].desc);
+        match &q.items[1] {
+            SelectItem::Agg { agg, alias } => {
+                assert_eq!(agg.func, AggFunc::Sum);
+                assert!(!agg.distinct);
+                assert_eq!(alias.as_deref(), Some("rev"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Date literal resolved to day number.
+        match &q.predicates[3] {
+            WherePred::Compare(SqlPredicate {
+                right: SqlExpr::Literal(Value::Date(d)),
+                ..
+            }) => assert_eq!(*d, 9204),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_aliases_and_wildcard() {
+        let q = parse_query("select * from orders o, lineitem l where o.k = l.k").unwrap();
+        assert_eq!(q.items, vec![SelectItem::Wildcard]);
+        assert_eq!(q.from[0].binding_name(), "o");
+        assert_eq!(q.from[1].binding_name(), "l");
+    }
+
+    #[test]
+    fn parses_subquery_in_from() {
+        let q =
+            parse_query("select v.x from (select x from t where x > 3) as v order by v.x").unwrap();
+        match &q.from[0] {
+            TableRef::Subquery { query, alias } => {
+                assert_eq!(alias, "v");
+                assert_eq!(query.predicates.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_distinct_and_count_star() {
+        let q = parse_query("select distinct count(*) from t").unwrap();
+        assert!(q.distinct);
+        match &q.items[0] {
+            SelectItem::Agg { agg, .. } => {
+                assert_eq!(agg.func, AggFunc::Count);
+                assert!(agg.arg.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        let q = parse_query("select sum(distinct x) from t").unwrap();
+        match &q.items[0] {
+            SelectItem::Agg { agg, .. } => assert!(agg.distinct),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_order_by_ordinal() {
+        let q = parse_query("select x, y from t order by 2 desc, 1").unwrap();
+        assert_eq!(q.order_by[0].target, SortTarget::Ordinal(2));
+        assert!(q.order_by[0].desc);
+        assert!(parse_query("select x from t order by 0").is_err());
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let q = parse_query("select 1 + 2 * 3 from t").unwrap();
+        match &q.items[0] {
+            SelectItem::Expr { expr, .. } => match expr {
+                SqlExpr::Arith {
+                    op: ArithOp::Add,
+                    right,
+                    ..
+                } => {
+                    assert!(matches!(
+                        **right,
+                        SqlExpr::Arith {
+                            op: ArithOp::Mul,
+                            ..
+                        }
+                    ));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus() {
+        let q = parse_query("select -5 from t").unwrap();
+        match &q.items[0] {
+            SelectItem::Expr { expr, .. } => {
+                assert!(matches!(
+                    expr,
+                    SqlExpr::Arith {
+                        op: ArithOp::Sub,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_in_subquery() {
+        let q = parse_query("select x from t where x in (select y from u where y > 3) and x < 9")
+            .unwrap();
+        assert_eq!(q.predicates.len(), 2);
+        match &q.predicates[0] {
+            WherePred::InSubquery { query, .. } => {
+                assert_eq!(query.predicates.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(q.predicates[1], WherePred::Compare(_)));
+        assert!(parse_query("select x from t where x in select y from u").is_err());
+    }
+
+    #[test]
+    fn parses_null_tests() {
+        let q = parse_query("select x from t where x is null and y is not null").unwrap();
+        let op_of = |p: &WherePred| match p {
+            WherePred::Compare(c) => c.op,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(op_of(&q.predicates[0]), CompareOp::IsNull);
+        assert_eq!(op_of(&q.predicates[1]), CompareOp::IsNotNull);
+        let q =
+            parse_query("select g, count(*) from t group by g having sum(v) is not null").unwrap();
+        assert_eq!(q.having[0].op, CompareOp::IsNotNull);
+        assert!(parse_query("select x from t where x is 3").is_err());
+    }
+
+    #[test]
+    fn parses_explicit_joins() {
+        let q = parse_query(
+            "select * from a join b on a.x = b.x              left outer join c on b.y = c.y and c.z > 1",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 1);
+        match &q.from[0] {
+            TableRef::Join { kind, on, left, .. } => {
+                assert_eq!(*kind, JoinKind::LeftOuter);
+                assert_eq!(on.len(), 2);
+                assert!(matches!(
+                    **left,
+                    TableRef::Join {
+                        kind: JoinKind::Inner,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+        // `left join` without `outer` also parses.
+        let q = parse_query("select * from a left join b on a.x = b.x").unwrap();
+        assert!(matches!(
+            q.from[0],
+            TableRef::Join {
+                kind: JoinKind::LeftOuter,
+                ..
+            }
+        ));
+        // `inner join` is explicit too.
+        let q = parse_query("select * from a inner join b on a.x = b.x").unwrap();
+        assert!(matches!(
+            q.from[0],
+            TableRef::Join {
+                kind: JoinKind::Inner,
+                ..
+            }
+        ));
+        // ON is mandatory.
+        assert!(parse_query("select * from a join b").is_err());
+    }
+
+    #[test]
+    fn parses_union() {
+        let q = parse_query(
+            "select x from t union all select y from u union select z from v              order by 1 limit 3",
+        )
+        .unwrap();
+        assert_eq!(q.union_branches.len(), 2);
+        assert!(q.union_branches[0].all);
+        assert!(!q.union_branches[1].all);
+        assert_eq!(q.limit, Some(3));
+        assert_eq!(q.order_by.len(), 1);
+        // Branch queries carry no trailing clauses of their own.
+        assert!(q.union_branches[0].query.order_by.is_empty());
+    }
+
+    #[test]
+    fn parses_having() {
+        let q = parse_query(
+            "select g, count(*) from t group by g              having count(*) > 5 and g <> 2 and sum(v) <= 100",
+        )
+        .unwrap();
+        assert_eq!(q.having.len(), 3);
+        assert!(matches!(q.having[0].left, SqlExpr::Agg(_)));
+        assert!(matches!(q.having[2].left, SqlExpr::Agg(_)));
+        // Aggregates outside select/having stay rejected.
+        assert!(parse_query("select x from t where sum(x) > 1").is_err());
+    }
+
+    #[test]
+    fn parses_limit() {
+        let q = parse_query("select x from t order by x desc limit 10").unwrap();
+        assert_eq!(q.limit, Some(10));
+        let q = parse_query("select x from t").unwrap();
+        assert_eq!(q.limit, None);
+        assert!(parse_query("select x from t limit x").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_query("frobnicate").is_err());
+        assert!(parse_query("select from t").is_err());
+        // "t extra" parses as an alias; real trailing junk is an error.
+        assert!(parse_query("select x from t where").is_err());
+        assert!(parse_query("select x from t order by x junk junk").is_err());
+        assert!(parse_query("select x from t where x ~ 3").is_err());
+        assert!(parse_query("select date(5) from t").is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! [`Database`]: the catalog plus physical storage for every table.
+
+use crate::heap::HeapTable;
+use crate::index::OrderedIndex;
+use fto_catalog::{Catalog, TableStats};
+use fto_common::{FtoError, IndexId, Result, Row, TableId};
+use std::collections::HashMap;
+
+/// A complete in-memory database: schema, heaps, and indexes.
+#[derive(Debug)]
+pub struct Database {
+    catalog: Catalog,
+    heaps: HashMap<TableId, HeapTable>,
+    indexes: HashMap<IndexId, OrderedIndex>,
+}
+
+impl Database {
+    /// Wraps a catalog with empty storage.
+    pub fn new(catalog: Catalog) -> Database {
+        Database {
+            catalog,
+            heaps: HashMap::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// The schema.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the schema (for creating tables/indexes before
+    /// loading).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Loads rows into a table: clusters them if the table has a clustered
+    /// index, builds every declared index, and refreshes statistics.
+    pub fn load_table(&mut self, table: TableId, mut rows: Vec<Row>) -> Result<()> {
+        let def = self.catalog.table(table)?.clone();
+        let mut heap = HeapTable::new(table, def.row_width());
+
+        // Cluster the heap by the clustered index key, if any.
+        let clustered = self
+            .catalog
+            .indexes_for(table)
+            .find(|ix| ix.clustered)
+            .cloned();
+        if let Some(cix) = &clustered {
+            let key = cix.key.clone();
+            rows.sort_by(|a, b| {
+                for &(ord, dir) in &key {
+                    let cmp = dir.apply(a[ord].total_cmp(&b[ord]));
+                    if cmp != std::cmp::Ordering::Equal {
+                        return cmp;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+        for row in rows {
+            if row.len() != def.arity() {
+                return Err(FtoError::Catalog(format!(
+                    "row arity {} does not match table '{}' arity {}",
+                    row.len(),
+                    def.name,
+                    def.arity()
+                )));
+            }
+            heap.append(row);
+        }
+
+        // Build all indexes.
+        let index_defs: Vec<_> = self.catalog.indexes_for(table).cloned().collect();
+        for ixdef in index_defs {
+            let ordinals: Vec<usize> = ixdef.key.iter().map(|&(o, _)| o).collect();
+            let dirs: Vec<_> = ixdef.key.iter().map(|&(_, d)| d).collect();
+            let ix = OrderedIndex::build(&heap, &ordinals, &dirs);
+            self.indexes.insert(ixdef.id, ix);
+        }
+
+        // Refresh statistics (the engine's RUNSTATS).
+        let stats = TableStats::from_rows(
+            heap.rows().iter().map(|r| r.as_ref()),
+            def.arity(),
+            heap.rows_per_page(),
+        );
+        self.catalog.set_stats(table, stats);
+
+        self.heaps.insert(table, heap);
+        Ok(())
+    }
+
+    /// The heap for a table (must be loaded).
+    pub fn heap(&self, table: TableId) -> Result<&HeapTable> {
+        self.heaps
+            .get(&table)
+            .ok_or_else(|| FtoError::Exec(format!("table {table} has no data loaded")))
+    }
+
+    /// The physical structure of an index (must be built).
+    pub fn index(&self, index: IndexId) -> Result<&OrderedIndex> {
+        self.indexes
+            .get(&index)
+            .ok_or_else(|| FtoError::Exec(format!("index {index} not built")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fto_catalog::{ColumnDef, KeyDef};
+    use fto_common::{DataType, Direction, Value};
+
+    fn make_db() -> (Database, TableId) {
+        let mut cat = Catalog::new();
+        let t = cat
+            .create_table(
+                "t",
+                vec![
+                    ColumnDef::new("k", DataType::Int),
+                    ColumnDef::new("v", DataType::Int),
+                ],
+                vec![KeyDef::primary([0])],
+            )
+            .unwrap();
+        (Database::new(cat), t)
+    }
+
+    fn row2(a: i64, b: i64) -> Row {
+        vec![Value::Int(a), Value::Int(b)].into_boxed_slice()
+    }
+
+    #[test]
+    fn load_clusters_by_primary_key() {
+        let (mut db, t) = make_db();
+        db.load_table(t, vec![row2(3, 30), row2(1, 10), row2(2, 20)])
+            .unwrap();
+        let heap = db.heap(t).unwrap();
+        let keys: Vec<i64> = heap.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn load_builds_indexes_and_stats() {
+        let (mut db, t) = make_db();
+        let ix2 = db
+            .catalog_mut()
+            .create_index("t_v", t, vec![(1, Direction::Asc)], false, false)
+            .unwrap();
+        db.load_table(t, vec![row2(1, 30), row2(2, 10)]).unwrap();
+        let ix = db.index(ix2).unwrap();
+        let vs: Vec<i64> = ix.scan().map(|(k, _)| k[0].as_int().unwrap()).collect();
+        assert_eq!(vs, vec![10, 30]);
+        let stats = db.catalog().stats(t);
+        assert_eq!(stats.row_count, 2);
+        assert_eq!(stats.columns[1].ndv, 2);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let (mut db, t) = make_db();
+        let bad: Row = vec![Value::Int(1)].into_boxed_slice();
+        assert!(db.load_table(t, vec![bad]).is_err());
+    }
+
+    #[test]
+    fn unloaded_table_errors() {
+        let (db, t) = make_db();
+        assert!(db.heap(t).is_err());
+        assert!(db.index(IndexId(99)).is_err());
+    }
+
+    #[test]
+    fn reload_replaces_data() {
+        let (mut db, t) = make_db();
+        db.load_table(t, vec![row2(1, 1)]).unwrap();
+        db.load_table(t, vec![row2(5, 5), row2(4, 4)]).unwrap();
+        assert_eq!(db.heap(t).unwrap().row_count(), 2);
+        assert_eq!(db.catalog().stats(t).row_count, 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Heap tables: rows packed into simulated fixed-size pages.
+
+use crate::io::PAGE_SIZE;
+use fto_common::{Row, TableId};
+
+/// An in-memory heap table with logical page geometry.
+#[derive(Debug)]
+pub struct HeapTable {
+    table: TableId,
+    rows: Vec<Row>,
+    rows_per_page: u64,
+}
+
+impl HeapTable {
+    /// Creates a heap for `table` whose declared row width is
+    /// `row_width` bytes; geometry is derived from [`PAGE_SIZE`].
+    pub fn new(table: TableId, row_width: usize) -> HeapTable {
+        let rows_per_page = (PAGE_SIZE / row_width.max(1)).max(1) as u64;
+        HeapTable {
+            table,
+            rows: Vec::new(),
+            rows_per_page,
+        }
+    }
+
+    /// The table this heap stores.
+    pub fn table(&self) -> TableId {
+        self.table
+    }
+
+    /// Appends a row, returning its row id.
+    pub fn append(&mut self, row: Row) -> usize {
+        self.rows.push(row);
+        self.rows.len() - 1
+    }
+
+    /// Bulk-replaces the heap contents (used when clustering).
+    pub fn replace_rows(&mut self, rows: Vec<Row>) {
+        self.rows = rows;
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> u64 {
+        self.rows.len() as u64
+    }
+
+    /// Number of logical pages occupied (at least one).
+    pub fn page_count(&self) -> u64 {
+        self.row_count().div_ceil(self.rows_per_page).max(1)
+    }
+
+    /// Rows stored per logical page.
+    pub fn rows_per_page(&self) -> u64 {
+        self.rows_per_page
+    }
+
+    /// The logical page holding row `rid`.
+    pub fn page_of(&self, rid: usize) -> u64 {
+        rid as u64 / self.rows_per_page
+    }
+
+    /// Fetches a row by id.
+    pub fn row(&self, rid: usize) -> &Row {
+        &self.rows[rid]
+    }
+
+    /// All rows, in heap order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fto_common::Value;
+
+    fn int_row(v: i64) -> Row {
+        vec![Value::Int(v)].into_boxed_slice()
+    }
+
+    #[test]
+    fn geometry() {
+        // 100-byte rows: 40 rows per 4096-byte page.
+        let mut h = HeapTable::new(TableId(0), 100);
+        assert_eq!(h.rows_per_page(), 40);
+        for i in 0..100 {
+            h.append(int_row(i));
+        }
+        assert_eq!(h.row_count(), 100);
+        assert_eq!(h.page_count(), 3);
+        assert_eq!(h.page_of(0), 0);
+        assert_eq!(h.page_of(39), 0);
+        assert_eq!(h.page_of(40), 1);
+        assert_eq!(h.page_of(99), 2);
+    }
+
+    #[test]
+    fn empty_heap_has_one_page() {
+        let h = HeapTable::new(TableId(0), 8);
+        assert_eq!(h.page_count(), 1);
+        assert_eq!(h.row_count(), 0);
+    }
+
+    #[test]
+    fn wide_rows_one_per_page() {
+        let h = HeapTable::new(TableId(0), 10_000);
+        assert_eq!(h.rows_per_page(), 1);
+    }
+
+    #[test]
+    fn append_and_fetch() {
+        let mut h = HeapTable::new(TableId(2), 8);
+        let rid = h.append(int_row(7));
+        assert_eq!(rid, 0);
+        assert_eq!(h.row(rid)[0], Value::Int(7));
+        assert_eq!(h.table(), TableId(2));
+    }
+
+    #[test]
+    fn replace_rows() {
+        let mut h = HeapTable::new(TableId(0), 8);
+        h.append(int_row(2));
+        h.append(int_row(1));
+        h.replace_rows(vec![int_row(1), int_row(2)]);
+        assert_eq!(h.row(0)[0], Value::Int(1));
+        assert_eq!(h.rows().len(), 2);
+    }
+}

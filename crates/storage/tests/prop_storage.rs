@@ -1,0 +1,179 @@
+//! Property-based tests for the storage layer: ordered indexes must
+//! agree with a naive model on scans, probes, and ranges.
+
+use fto_common::{Direction, TableId, Value};
+use fto_storage::{HeapTable, OrderedIndex};
+use proptest::prelude::*;
+
+fn heap_from(values: &[(i64, i64)]) -> HeapTable {
+    let mut h = HeapTable::new(TableId(0), 16);
+    for &(a, b) in values {
+        h.append(vec![Value::Int(a), Value::Int(b)].into_boxed_slice());
+    }
+    h
+}
+
+proptest! {
+    /// A full index scan visits every row exactly once, in key order.
+    #[test]
+    fn scan_is_a_sorted_permutation(
+        values in proptest::collection::vec((-20i64..20, -5i64..5), 0..60),
+        desc in any::<bool>(),
+    ) {
+        let heap = heap_from(&values);
+        let dir = if desc { Direction::Desc } else { Direction::Asc };
+        let ix = OrderedIndex::build(&heap, &[0], &[dir]);
+        let scanned: Vec<i64> = ix
+            .scan()
+            .map(|(k, _)| k[0].as_int().unwrap())
+            .collect();
+        let mut expected: Vec<i64> = values.iter().map(|&(a, _)| a).collect();
+        expected.sort_unstable();
+        if desc {
+            expected.reverse();
+        }
+        prop_assert_eq!(scanned, expected);
+        // Row ids cover the heap exactly once.
+        let mut rids: Vec<usize> = ix.scan().map(|(_, r)| r).collect();
+        rids.sort_unstable();
+        prop_assert_eq!(rids, (0..values.len()).collect::<Vec<_>>());
+    }
+
+    /// Probes return exactly the rows whose key equals the probe value.
+    #[test]
+    fn probe_matches_model(
+        values in proptest::collection::vec((-8i64..8, -5i64..5), 0..60),
+        probe in -10i64..10,
+    ) {
+        let heap = heap_from(&values);
+        let ix = OrderedIndex::build(&heap, &[0], &[Direction::Asc]);
+        let got: Vec<usize> = ix
+            .probe(&[Value::Int(probe)])
+            .iter()
+            .map(|(_, r)| *r)
+            .collect();
+        let want: Vec<usize> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, &(a, _))| a == probe)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Range scans return exactly the rows within [lo, hi], in order.
+    #[test]
+    fn range_matches_model(
+        values in proptest::collection::vec((-15i64..15, 0i64..3), 0..60),
+        lo in proptest::option::of(-20i64..20),
+        hi in proptest::option::of(-20i64..20),
+    ) {
+        let heap = heap_from(&values);
+        let ix = OrderedIndex::build(&heap, &[0], &[Direction::Asc]);
+        let lo_v = lo.map(Value::Int);
+        let hi_v = hi.map(Value::Int);
+        let got: Vec<i64> = ix
+            .range(lo_v.as_ref(), hi_v.as_ref())
+            .map(|(k, _)| k[0].as_int().unwrap())
+            .collect();
+        let mut want: Vec<i64> = values
+            .iter()
+            .map(|&(a, _)| a)
+            .filter(|&a| lo.is_none_or(|l| a >= l) && hi.is_none_or(|h| a <= h))
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Composite keys sort lexicographically with mixed directions.
+    #[test]
+    fn composite_mixed_directions(
+        values in proptest::collection::vec((-5i64..5, -5i64..5), 0..40),
+    ) {
+        let heap = heap_from(&values);
+        let ix = OrderedIndex::build(&heap, &[0, 1], &[Direction::Asc, Direction::Desc]);
+        let keys: Vec<(i64, i64)> = ix
+            .scan()
+            .map(|(k, _)| (k[0].as_int().unwrap(), k[1].as_int().unwrap()))
+            .collect();
+        for w in keys.windows(2) {
+            let ((a1, b1), (a2, b2)) = (w[0], w[1]);
+            prop_assert!(a1 < a2 || (a1 == a2 && b1 >= b2), "{w:?}");
+        }
+    }
+
+    /// NULL keys sort last (nulls-high) and round-trip through probes.
+    #[test]
+    fn null_keys_sort_high(n_null in 0usize..5, values in proptest::collection::vec(-5i64..5, 0..20)) {
+        let mut h = HeapTable::new(TableId(0), 16);
+        for &v in &values {
+            h.append(vec![Value::Int(v), Value::Int(0)].into_boxed_slice());
+        }
+        for _ in 0..n_null {
+            h.append(vec![Value::Null, Value::Int(0)].into_boxed_slice());
+        }
+        let ix = OrderedIndex::build(&h, &[0], &[Direction::Asc]);
+        let scanned: Vec<Value> = ix.scan().map(|(k, _)| k[0].clone()).collect();
+        // All NULLs at the end.
+        let first_null = scanned.iter().position(Value::is_null);
+        if let Some(p) = first_null {
+            prop_assert!(scanned[p..].iter().all(Value::is_null));
+            prop_assert_eq!(scanned.len() - p, n_null);
+        } else {
+            prop_assert_eq!(n_null, 0);
+        }
+    }
+}
+
+/// Page geometry stays consistent for arbitrary row widths.
+#[test]
+fn page_geometry_invariants() {
+    for width in [1usize, 7, 100, 4096, 9000] {
+        let mut h = HeapTable::new(TableId(1), width);
+        assert!(h.rows_per_page() >= 1);
+        for i in 0..50 {
+            h.append(vec![Value::Int(i), Value::Int(0)].into_boxed_slice());
+        }
+        assert_eq!(h.page_of(0), 0);
+        assert!(h.page_of(49) < h.page_count());
+        assert_eq!(
+            h.page_count(),
+            50u64.div_ceil(h.rows_per_page()),
+            "width {width}"
+        );
+    }
+}
+
+/// The model that justifies the ordered nested-loop join: probing in
+/// sorted order touches each heap page once; probing in scattered order
+/// touches many more.
+#[test]
+fn ordered_probe_page_locality() {
+    let mut h = HeapTable::new(TableId(0), 400); // ~10 rows per page
+    let n = 1000i64;
+    for i in 0..n {
+        h.append(vec![Value::Int(i), Value::Int(0)].into_boxed_slice());
+    }
+    let ix = OrderedIndex::build(&h, &[0], &[Direction::Asc]);
+
+    use fto_storage::{IoStats, PageCursor};
+    let probe_sequences: [Box<dyn Fn(i64) -> i64>; 2] =
+        [Box::new(|i| i), Box::new(|i| (i * 617) % 1000)];
+    let mut costs = Vec::new();
+    for seq in &probe_sequences {
+        let mut io = IoStats::new();
+        let mut cursor = PageCursor::new();
+        for i in 0..n {
+            for (_, rid) in ix.probe(&[Value::Int(seq(i))]) {
+                cursor.touch(h.page_of(*rid), &mut io);
+            }
+        }
+        costs.push(io.weighted_page_cost());
+    }
+    assert!(
+        costs[0] * 5.0 < costs[1],
+        "ordered {} vs scattered {}",
+        costs[0],
+        costs[1]
+    );
+}

@@ -1,0 +1,172 @@
+//! The TPC-D-style schema definition.
+
+use fto_catalog::{Catalog, ColumnDef, KeyDef};
+use fto_common::{DataType, Direction, Result};
+
+/// Creates the seven-table TPC-D schema in a fresh catalog.
+pub fn create_schema() -> Result<Catalog> {
+    let mut cat = Catalog::new();
+
+    cat.create_table(
+        "region",
+        vec![
+            ColumnDef::new("r_regionkey", DataType::Int),
+            ColumnDef::new("r_name", DataType::Str),
+        ],
+        vec![KeyDef::primary([0])],
+    )?;
+
+    cat.create_table(
+        "nation",
+        vec![
+            ColumnDef::new("n_nationkey", DataType::Int),
+            ColumnDef::new("n_regionkey", DataType::Int),
+            ColumnDef::new("n_name", DataType::Str),
+        ],
+        vec![KeyDef::primary([0])],
+    )?;
+
+    let supplier = cat.create_table(
+        "supplier",
+        vec![
+            ColumnDef::new("s_suppkey", DataType::Int),
+            ColumnDef::new("s_nationkey", DataType::Int),
+            ColumnDef::new("s_name", DataType::Str),
+            ColumnDef::new("s_acctbal", DataType::Double),
+        ],
+        vec![KeyDef::primary([0])],
+    )?;
+    cat.create_index(
+        "s_nation_ix",
+        supplier,
+        vec![(1, Direction::Asc)],
+        false,
+        false,
+    )?;
+
+    let customer = cat.create_table(
+        "customer",
+        vec![
+            ColumnDef::new("c_custkey", DataType::Int),
+            ColumnDef::new("c_name", DataType::Str),
+            ColumnDef::new("c_mktsegment", DataType::Str),
+            ColumnDef::new("c_nationkey", DataType::Int),
+            ColumnDef::new("c_acctbal", DataType::Double),
+        ],
+        vec![KeyDef::primary([0])],
+    )?;
+    cat.create_index(
+        "c_mktsegment_ix",
+        customer,
+        vec![(2, Direction::Asc)],
+        false,
+        false,
+    )?;
+
+    let part = cat.create_table(
+        "part",
+        vec![
+            ColumnDef::new("p_partkey", DataType::Int),
+            ColumnDef::new("p_name", DataType::Str),
+            ColumnDef::new("p_brand", DataType::Str),
+            ColumnDef::new("p_retailprice", DataType::Double),
+        ],
+        vec![KeyDef::primary([0])],
+    )?;
+    let _ = part;
+
+    let orders = cat.create_table(
+        "orders",
+        vec![
+            ColumnDef::new("o_orderkey", DataType::Int),
+            ColumnDef::new("o_custkey", DataType::Int),
+            ColumnDef::new("o_orderdate", DataType::Date),
+            ColumnDef::new("o_shippriority", DataType::Int),
+            ColumnDef::new("o_totalprice", DataType::Double),
+        ],
+        vec![KeyDef::primary([0])],
+    )?;
+    cat.create_index(
+        "o_custkey_ix",
+        orders,
+        vec![(1, Direction::Asc)],
+        false,
+        false,
+    )?;
+    cat.create_index(
+        "o_orderdate_ix",
+        orders,
+        vec![(2, Direction::Asc)],
+        false,
+        false,
+    )?;
+
+    let lineitem = cat.create_table(
+        "lineitem",
+        vec![
+            ColumnDef::new("l_orderkey", DataType::Int),
+            ColumnDef::new("l_linenumber", DataType::Int),
+            ColumnDef::new("l_partkey", DataType::Int),
+            ColumnDef::new("l_suppkey", DataType::Int),
+            ColumnDef::new("l_quantity", DataType::Double),
+            ColumnDef::new("l_extendedprice", DataType::Double),
+            ColumnDef::new("l_discount", DataType::Double),
+            ColumnDef::new("l_shipdate", DataType::Date),
+            ColumnDef::new("l_returnflag", DataType::Str),
+            ColumnDef::new("l_linestatus", DataType::Str),
+        ],
+        vec![KeyDef::unique([0, 1])],
+    )?;
+    // The clustered index on l_orderkey: the paper's ordered nested-loop
+    // join into lineitem depends on it (Figure 7's "clustered index on
+    // l_orderkey").
+    cat.create_index(
+        "l_orderkey_ix",
+        lineitem,
+        vec![(0, Direction::Asc), (1, Direction::Asc)],
+        true,
+        true,
+    )?;
+    cat.create_index(
+        "l_shipdate_ix",
+        lineitem,
+        vec![(7, Direction::Asc)],
+        false,
+        false,
+    )?;
+
+    Ok(cat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_builds_with_expected_tables() {
+        let cat = create_schema().unwrap();
+        for t in [
+            "region", "nation", "supplier", "customer", "part", "orders", "lineitem",
+        ] {
+            assert!(cat.table_by_name(t).is_ok(), "{t}");
+        }
+    }
+
+    #[test]
+    fn lineitem_clustered_on_orderkey() {
+        let cat = create_schema().unwrap();
+        let li = cat.table_by_name("lineitem").unwrap();
+        let clustered: Vec<_> = cat.indexes_for(li.id).filter(|ix| ix.clustered).collect();
+        assert_eq!(clustered.len(), 1);
+        assert_eq!(clustered[0].key[0].0, 0); // leads with l_orderkey
+        assert!(clustered[0].unique);
+    }
+
+    #[test]
+    fn orders_has_pk_and_secondary_indexes() {
+        let cat = create_schema().unwrap();
+        let orders = cat.table_by_name("orders").unwrap();
+        assert_eq!(cat.indexes_for(orders.id).count(), 3);
+        assert!(orders.primary_key().is_some());
+    }
+}

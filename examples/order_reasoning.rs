@@ -1,0 +1,124 @@
+//! The paper's §4 walk-through, driven directly through the `fto-order`
+//! public API: Reduce Order, Test Order, Cover Order, and Homogenize
+//! Order on the examples the paper uses to motivate them.
+//!
+//! ```text
+//! cargo run -p fto-bench --example order_reasoning
+//! ```
+
+use fto_common::{ColId, ColSet, Value};
+use fto_order::{EquivalenceClasses, FdSet, OrderContext, OrderSpec};
+
+fn main() {
+    // Name some columns: x=c0, y=c1, z=c2.
+    let (x, y, z) = (ColId(0), ColId(1), ColId(2));
+    let named = |o: &OrderSpec| {
+        let name = |c: ColId| ["x", "y", "z"][c.index()].to_string();
+        let parts: Vec<String> = o.keys().iter().map(|k| name(k.col)).collect();
+        format!("({})", parts.join(", "))
+    };
+
+    println!("§4.1 — Reduce Order");
+    println!("-------------------");
+
+    // "Consider I = (x, y) and an input stream with OP = (y). Suppose
+    //  x = 10 has been applied: x is constant, so I rewrites to (y)."
+    let mut eq = EquivalenceClasses::new();
+    eq.bind_constant(x, Value::Int(10));
+    let ctx = OrderContext::new(eq, &FdSet::new());
+    let interest = OrderSpec::ascending([x, y]);
+    let prop = OrderSpec::ascending([y]);
+    println!(
+        "with x = 10 applied:      reduce (x, y) = {}",
+        named(&ctx.reduce(&interest))
+    );
+    println!(
+        "                          (y) satisfies (x, y)? {}",
+        ctx.test_order(&interest, &prop)
+    );
+
+    // "Suppose I = (x, z) and OP = (y, z) with x = y applied."
+    let mut eq = EquivalenceClasses::new();
+    eq.merge(x, y);
+    let ctx = OrderContext::new(eq, &FdSet::new());
+    println!(
+        "with x = y applied:       (y, z) satisfies (x, z)? {}",
+        ctx.test_order(&OrderSpec::ascending([x, z]), &OrderSpec::ascending([y, z]))
+    );
+
+    // "Suppose I = (x, y) and OP = (x, z), x a key: both rewrite to (x)."
+    let mut fds = FdSet::new();
+    fds.add_key(ColSet::singleton(x), ColSet::from_cols([x, y, z]));
+    let ctx = OrderContext::new(EquivalenceClasses::new(), &fds);
+    println!(
+        "with x a key:             reduce (x, y) = {}, (x, z) satisfies (x, y)? {}",
+        named(&ctx.reduce(&OrderSpec::ascending([x, y]))),
+        ctx.test_order(&OrderSpec::ascending([x, y]), &OrderSpec::ascending([x, z]))
+    );
+
+    println!();
+    println!("§4.3 — Cover Order");
+    println!("------------------");
+    let ctx = OrderContext::trivial();
+    let i1 = OrderSpec::ascending([x]);
+    let i2 = OrderSpec::ascending([x, y]);
+    println!(
+        "cover((x), (x, y))              = {}",
+        ctx.cover(&i1, &i2)
+            .map(|c| named(&c))
+            .unwrap_or("none".into())
+    );
+    let i1 = OrderSpec::ascending([y, x]);
+    let i2 = OrderSpec::ascending([x, y, z]);
+    println!(
+        "cover((y, x), (x, y, z))        = {}",
+        ctx.cover(&i1, &i2)
+            .map(|c| named(&c))
+            .unwrap_or("none".into())
+    );
+    let mut eq = EquivalenceClasses::new();
+    eq.bind_constant(x, Value::Int(10));
+    let ctx10 = OrderContext::new(eq, &FdSet::new());
+    println!(
+        "... but with x = 10 applied     = {}",
+        ctx10
+            .cover(&i1, &i2)
+            .map(|c| named(&c))
+            .unwrap_or("none".into())
+    );
+
+    println!();
+    println!("§4.4 — Homogenize Order");
+    println!("-----------------------");
+    // ORDER BY a.x, b.y over a join a.x = b.x. Columns: a.x=c0, a.y=c1,
+    // b.x=c2, b.y=c3.
+    let (ax, ay, bx, by) = (ColId(0), ColId(1), ColId(2), ColId(3));
+    let named2 = |o: &OrderSpec| {
+        let name = |c: ColId| ["a.x", "a.y", "b.x", "b.y"][c.index()].to_string();
+        let parts: Vec<String> = o.keys().iter().map(|k| name(k.col)).collect();
+        format!("({})", parts.join(", "))
+    };
+    let mut eq = EquivalenceClasses::new();
+    eq.merge(ax, bx);
+    let ctx = OrderContext::new(eq.clone(), &FdSet::new());
+    let interest = OrderSpec::ascending([ax, by]);
+    let to_b = ctx.homogenize(&interest, &ColSet::from_cols([bx, by]));
+    println!(
+        "(a.x, b.y) homogenized to b's columns = {}",
+        to_b.map(|o| named2(&o)).unwrap_or("impossible".into())
+    );
+    let to_a = ctx.homogenize(&interest, &ColSet::from_cols([ax, ay]));
+    println!(
+        "(a.x, b.y) homogenized to a's columns = {}",
+        to_a.map(|o| named2(&o)).unwrap_or("impossible".into())
+    );
+    // ...unless a.x is a key that survives the join: {a.x} -> {b.y}.
+    let mut fds = FdSet::new();
+    fds.add_key(ColSet::singleton(ax), ColSet::from_cols([ax, ay, bx, by]));
+    let ctx = OrderContext::new(eq, &fds);
+    let to_a = ctx.homogenize(&interest, &ColSet::from_cols([ax, ay]));
+    println!(
+        "... with a.x a key of the join        = {}",
+        to_a.map(|o| named2(&o)).unwrap_or("impossible".into())
+    );
+}

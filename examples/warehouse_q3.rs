@@ -1,0 +1,54 @@
+//! The paper's headline workload: TPC-D Query 3 on a generated warehouse,
+//! with and without order optimization.
+//!
+//! ```text
+//! cargo run -p fto-bench --release --example warehouse_q3 [-- <scale>]
+//! ```
+
+use fto_bench::Session;
+use fto_planner::OptimizerConfig;
+use fto_sql::dates::format_date;
+use fto_tpcd::{build_database, queries, TpcdConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01);
+
+    println!("generating TPC-D data at scale {scale}...");
+    let session = Session::new(build_database(TpcdConfig {
+        scale,
+        ..TpcdConfig::default()
+    })?);
+    let sql = queries::q3_default();
+
+    for (label, config) in [
+        ("order optimization ON ", OptimizerConfig::db2_1996()),
+        (
+            "order optimization OFF",
+            OptimizerConfig::db2_1996_disabled(),
+        ),
+    ] {
+        let (compiled, result) = session.run(&sql, config)?;
+        println!("\n=== {label} ===");
+        println!("{}", compiled.explain());
+        println!(
+            "elapsed {:?}, {} rows, sorts avoided by the optimizer: {}",
+            result.elapsed,
+            result.rows.len(),
+            compiled.stats.sorts_avoided
+        );
+        println!("top orders by potential revenue:");
+        for row in result.rows.iter().take(5) {
+            println!(
+                "  order {:>8}  rev {:>10.2}  date {}  priority {}",
+                row[0],
+                row[1].as_double().unwrap_or(0.0),
+                row[2].as_date().map(format_date).unwrap_or_default(),
+                row[3]
+            );
+        }
+    }
+    Ok(())
+}

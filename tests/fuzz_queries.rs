@@ -1,0 +1,243 @@
+//! Randomized end-to-end differential testing: generated SQL queries run
+//! under every optimizer configuration must produce identical results —
+//! whatever join order, join method, access path, sort placement, or
+//! group-by strategy each configuration picks.
+//!
+//! Output determinism is guaranteed by always ordering by every output
+//! column (a total order on the output multiset).
+
+use fto_bench::Session;
+use fto_catalog::{Catalog, ColumnDef, KeyDef};
+use fto_common::{DataType, Direction, Value};
+use fto_planner::OptimizerConfig;
+use fto_storage::Database;
+use proptest::prelude::*;
+
+fn fuzz_db() -> Database {
+    let mut cat = Catalog::new();
+    let t1 = cat
+        .create_table(
+            "t1",
+            vec![
+                ColumnDef::new("a", DataType::Int),
+                ColumnDef::new("b", DataType::Int),
+                ColumnDef::new("c", DataType::Int),
+            ],
+            vec![KeyDef::primary([0])],
+        )
+        .unwrap();
+    cat.create_index("t1_b", t1, vec![(1, Direction::Asc)], false, false)
+        .unwrap();
+    let t2 = cat
+        .create_table(
+            "t2",
+            vec![
+                ColumnDef::new("d", DataType::Int),
+                ColumnDef::new("e", DataType::Int),
+                ColumnDef::new("f", DataType::Int),
+            ],
+            vec![KeyDef::primary([0])],
+        )
+        .unwrap();
+    cat.create_index("t2_e", t2, vec![(1, Direction::Asc)], false, false)
+        .unwrap();
+
+    let mut db = Database::new(cat);
+    db.load_table(
+        t1,
+        (0..90)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int((i * 7) % 10),
+                    Value::Int((i * 3) % 5),
+                ]
+                .into_boxed_slice()
+            })
+            .collect(),
+    )
+    .unwrap();
+    db.load_table(
+        t2,
+        (0..60)
+            .map(|i| {
+                vec![Value::Int(i), Value::Int(i % 10), Value::Int((i * 11) % 7)].into_boxed_slice()
+            })
+            .collect(),
+    )
+    .unwrap();
+    db
+}
+
+#[derive(Clone, Debug)]
+struct GenQuery {
+    join: Option<&'static str>, // join predicate
+    left_outer: bool,
+    preds: Vec<String>,
+    select: Vec<&'static str>,
+    group: bool,
+    desc_mask: u8,
+    limit: Option<u8>,
+}
+
+const T1_COLS: [&str; 3] = ["a", "b", "c"];
+const T2_COLS: [&str; 3] = ["d", "e", "f"];
+
+fn query_strategy() -> impl Strategy<Value = GenQuery> {
+    let join = prop_oneof![
+        2 => Just(None),
+        2 => Just(Some("b = e")),
+        1 => Just(Some("a = d")),
+    ];
+    let pred = (0usize..6, 0usize..4, -2i64..12).prop_map(|(c, op, v)| {
+        let col = if c < 3 { T1_COLS[c] } else { T2_COLS[c - 3] };
+        let op = ["=", "<", ">", "<>"][op];
+        format!("{col} {op} {v}")
+    });
+    (
+        join,
+        any::<bool>(),
+        proptest::collection::vec(pred, 0..3),
+        proptest::sample::subsequence(vec![0usize, 1, 2, 3, 4, 5], 1..4),
+        any::<bool>(),
+        any::<u8>(),
+        proptest::option::of(1u8..20),
+    )
+        .prop_map(
+            |(join, left_outer, preds, select_idx, group, desc_mask, limit)| {
+                let all = [T1_COLS, T2_COLS].concat();
+                GenQuery {
+                    join,
+                    left_outer,
+                    preds,
+                    select: select_idx.into_iter().map(|i| all[i]).collect(),
+                    group,
+                    desc_mask,
+                    limit,
+                }
+            },
+        )
+}
+
+fn render(q: &GenQuery) -> String {
+    let two_tables = q.join.is_some();
+    // Without a join, restrict references to t1 columns.
+    let select: Vec<&str> = if two_tables {
+        q.select.clone()
+    } else {
+        let filtered: Vec<&str> = q
+            .select
+            .iter()
+            .copied()
+            .filter(|c| T1_COLS.contains(c))
+            .collect();
+        if filtered.is_empty() {
+            vec!["a"]
+        } else {
+            filtered
+        }
+    };
+    let preds: Vec<&String> = q
+        .preds
+        .iter()
+        .filter(|p| two_tables || T1_COLS.iter().any(|c| p.starts_with(c)))
+        .collect();
+
+    let from = match (&q.join, q.left_outer) {
+        (None, _) => "t1".to_string(),
+        (Some(on), false) => format!("t1 join t2 on {on}"),
+        (Some(on), true) => format!("t1 left join t2 on {on}"),
+    };
+    let mut sql = String::from("select ");
+    let items: Vec<String> = if q.group {
+        let mut v: Vec<String> = select.iter().map(|c| c.to_string()).collect();
+        v.push("count(*) as cnt".into());
+        v.push(format!("sum({}) as sm", select[0]));
+        v
+    } else {
+        select.iter().map(|c| c.to_string()).collect()
+    };
+    sql.push_str(&items.join(", "));
+    sql.push_str(&format!(" from {from}"));
+    if !preds.is_empty() {
+        sql.push_str(" where ");
+        sql.push_str(
+            &preds
+                .iter()
+                .map(|p| p.as_str())
+                .collect::<Vec<_>>()
+                .join(" and "),
+        );
+    }
+    if q.group {
+        sql.push_str(" group by ");
+        sql.push_str(&select.join(", "));
+    }
+    // Total order over every output for cross-config determinism.
+    let n_out = if q.group {
+        select.len() + 2
+    } else {
+        select.len()
+    };
+    let order: Vec<String> = (0..n_out)
+        .map(|i| {
+            let dir = if q.desc_mask >> (i % 8) & 1 == 1 {
+                " desc"
+            } else {
+                ""
+            };
+            format!("{}{}", i + 1, dir)
+        })
+        .collect();
+    sql.push_str(" order by ");
+    sql.push_str(&order.join(", "));
+    if let Some(n) = q.limit {
+        sql.push_str(&format!(" limit {n}"));
+    }
+    sql
+}
+
+fn configs() -> Vec<OptimizerConfig> {
+    vec![
+        OptimizerConfig::default(),
+        OptimizerConfig::disabled(),
+        OptimizerConfig::db2_1996(),
+        OptimizerConfig::db2_1996_disabled(),
+        OptimizerConfig {
+            sort_ahead: false,
+            enable_merge_join: false,
+            ..OptimizerConfig::default()
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn all_configs_agree(q in query_strategy()) {
+        let session = Session::new(fuzz_db());
+        let sql = render(&q);
+        let mut reference: Option<Vec<fto_common::Row>> = None;
+        for config in configs() {
+            let (compiled, result) = session
+                .run(&sql, config.clone())
+                .unwrap_or_else(|e| panic!("{sql}\nunder {config:?}: {e}"));
+            match &reference {
+                None => reference = Some(result.rows),
+                Some(expected) => prop_assert_eq!(
+                    &result.rows,
+                    expected,
+                    "row mismatch\nsql: {}\nconfig: {:?}\nplan:\n{}",
+                    sql,
+                    config,
+                    compiled.explain()
+                ),
+            }
+        }
+        // LIMIT respected.
+        if let Some(n) = q.limit {
+            prop_assert!(reference.unwrap().len() <= n as usize);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Plan-shape assertions for the paper's figures: the optimizer must
+//! *choose* the published plan structures, not merely execute correctly.
+
+use fto_bench::harness::{paper_example_db, q3_plans, FIG1_SQL, FIG6_SQL};
+use fto_bench::Session;
+use fto_planner::{OptimizerConfig, Plan, PlanNode};
+
+fn count(plan: &Plan, pred: fn(&PlanNode) -> bool) -> usize {
+    plan.count_ops(&pred)
+}
+
+/// True when some StreamGroupBy is fed directly by a Sort.
+fn sort_feeds_group_by(plan: &Plan) -> bool {
+    if let PlanNode::StreamGroupBy { input, .. } = &plan.node {
+        if matches!(input.node, PlanNode::Sort { .. }) {
+            return true;
+        }
+    }
+    plan.children().iter().any(|c| sort_feeds_group_by(c))
+}
+
+/// Depth of the highest Sort node (root = 0); deeper = pushed further down.
+fn max_sort_depth(plan: &Plan, depth: usize) -> Option<usize> {
+    let own = matches!(plan.node, PlanNode::Sort { .. }).then_some(depth);
+    plan.children()
+        .iter()
+        .filter_map(|c| max_sort_depth(c, depth + 1))
+        .chain(own)
+        .max()
+}
+
+#[test]
+fn figure7_shape_order_opt_enabled() {
+    let (enabled, _) = q3_plans(0.005).unwrap();
+    let plan = &enabled.plan;
+    // An ordered index nested-loop join drives lineitem.
+    assert!(
+        count(plan, |n| matches!(n, PlanNode::IndexNestedLoopJoin { .. })) >= 1,
+        "{}",
+        enabled.explain()
+    );
+    // The streaming group-by consumes the join order directly — no sort
+    // of its own.
+    assert!(
+        count(plan, |n| matches!(n, PlanNode::StreamGroupBy { .. })) == 1,
+        "{}",
+        enabled.explain()
+    );
+    assert!(!sort_feeds_group_by(plan), "{}", enabled.explain());
+    // The ORDER BY on the computed `rev` column still requires the final
+    // sort (rev only exists after aggregation), exactly as in Figure 7.
+    assert!(
+        matches!(plan.node, PlanNode::Sort { .. }),
+        "{}",
+        enabled.explain()
+    );
+}
+
+#[test]
+fn figure8_shape_order_opt_disabled() {
+    let (_, disabled) = q3_plans(0.005).unwrap();
+    let plan = &disabled.plan;
+    // Without reduction/equivalence reasoning the group-by cannot reuse
+    // any join order: it must sort on all three grouping columns.
+    assert!(sort_feeds_group_by(plan), "{}", disabled.explain());
+    let widest = widest_sort(plan);
+    assert!(widest >= 3, "widest sort {widest}\n{}", disabled.explain());
+}
+
+fn widest_sort(plan: &Plan) -> usize {
+    let own = match &plan.node {
+        PlanNode::Sort { spec, .. } => spec.len(),
+        _ => 0,
+    };
+    plan.children()
+        .iter()
+        .map(|c| widest_sort(c))
+        .max()
+        .unwrap_or(0)
+        .max(own)
+}
+
+#[test]
+fn enabled_plan_sorts_deeper_than_disabled() {
+    // Sort-ahead pushes sorts down the join tree; the disabled build
+    // sorts late (high in the plan).
+    let (enabled, disabled) = q3_plans(0.005).unwrap();
+    let e = max_sort_depth(&enabled.plan, 0).unwrap_or(0);
+    let d = max_sort_depth(&disabled.plan, 0).unwrap_or(0);
+    assert!(
+        e >= d,
+        "enabled depth {e} vs disabled {d}\n{}\n{}",
+        enabled.explain(),
+        disabled.explain()
+    );
+}
+
+#[test]
+fn figure1_shape() {
+    let session = Session::new(paper_example_db(1000).unwrap());
+    let compiled = session
+        .compile(FIG1_SQL, OptimizerConfig::db2_1996())
+        .unwrap();
+    // Order-based group-by over a sort on a.y, as the figure draws.
+    assert_eq!(
+        count(&compiled.plan, |n| matches!(
+            n,
+            PlanNode::StreamGroupBy { .. }
+        )),
+        1,
+        "{}",
+        compiled.explain()
+    );
+    assert!(
+        count(&compiled.plan, |n| matches!(n, PlanNode::Sort { .. })) >= 1,
+        "{}",
+        compiled.explain()
+    );
+}
+
+#[test]
+fn figure6_single_sort_ahead_serves_everything() {
+    let session = Session::new(paper_example_db(1000).unwrap());
+    let compiled = session
+        .compile(FIG6_SQL, OptimizerConfig::db2_1996())
+        .unwrap();
+    let plan = &compiled.plan;
+    // No top-level sort: the ORDER BY a.x is satisfied below.
+    assert!(
+        !matches!(plan.node, PlanNode::Sort { .. }),
+        "{}",
+        compiled.explain()
+    );
+    // Group-by streams without its own sort.
+    assert_eq!(
+        count(plan, |n| matches!(n, PlanNode::StreamGroupBy { .. })),
+        1,
+        "{}",
+        compiled.explain()
+    );
+    assert!(!sort_feeds_group_by(plan), "{}", compiled.explain());
+    // The one descending sort below the joins (or an index order) covers
+    // merge-join + GROUP BY + ORDER BY; executing confirms the order.
+    let result = session.execute(&compiled).unwrap();
+    let mut last = i64::MIN;
+    for row in &result.rows {
+        let x = row[0].as_int().unwrap();
+        assert!(x >= last);
+        last = x;
+    }
+}
+
+#[test]
+fn modern_inventory_still_beats_disabled_on_cost() {
+    // Even with hash operators available everywhere, the optimizer with
+    // order reasoning never produces a costlier plan than without it.
+    let session = Session::new(
+        fto_tpcd::build_database(fto_tpcd::TpcdConfig {
+            scale: 0.005,
+            ..fto_tpcd::TpcdConfig::default()
+        })
+        .unwrap(),
+    );
+    let sql = fto_tpcd::queries::q3_default();
+    let on = session.compile(&sql, OptimizerConfig::default()).unwrap();
+    let off = session.compile(&sql, OptimizerConfig::disabled()).unwrap();
+    assert!(
+        on.plan.cost.total <= off.plan.cost.total * 1.0001,
+        "on {} vs off {}",
+        on.plan.cost.total,
+        off.plan.cost.total
+    );
+}

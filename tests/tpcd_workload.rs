@@ -1,0 +1,160 @@
+//! The full TPC-D-style workload through the stack, checked for
+//! cross-configuration agreement and for the semantic invariants each
+//! query's definition implies.
+
+use fto_bench::Session;
+use fto_planner::OptimizerConfig;
+use fto_sql::dates::parse_date;
+use fto_tpcd::{build_database, queries, TpcdConfig};
+
+fn session() -> Session {
+    Session::new(
+        build_database(TpcdConfig {
+            scale: 0.003,
+            seed: 77,
+        })
+        .unwrap(),
+    )
+}
+
+fn configs() -> [OptimizerConfig; 4] {
+    [
+        OptimizerConfig::default(),
+        OptimizerConfig::disabled(),
+        OptimizerConfig::db2_1996(),
+        OptimizerConfig::db2_1996_disabled(),
+    ]
+}
+
+fn agree(session: &Session, sql: &str) -> Vec<fto_common::Row> {
+    let mut reference: Option<Vec<fto_common::Row>> = None;
+    for config in configs() {
+        let (compiled, result) = session
+            .run(sql, config.clone())
+            .unwrap_or_else(|e| panic!("{sql}\n{config:?}: {e}"));
+        match &reference {
+            None => reference = Some(result.rows),
+            Some(expected) => assert_eq!(
+                &result.rows,
+                expected,
+                "mismatch under {config:?}\n{}",
+                compiled.explain()
+            ),
+        }
+    }
+    reference.unwrap()
+}
+
+#[test]
+fn q3_semantics() {
+    let s = session();
+    let rows = agree(&s, &queries::q3_default());
+    assert!(!rows.is_empty());
+    let cutoff = parse_date("1995-03-15").unwrap();
+    // Every result order predates the cutoff and revenues are positive,
+    // sorted descending.
+    let mut last_rev = f64::INFINITY;
+    for r in &rows {
+        let rev = r[1].as_double().unwrap();
+        let date = r[2].as_date().unwrap();
+        assert!(date < cutoff);
+        assert!(rev > 0.0);
+        assert!(rev <= last_rev);
+        last_rev = rev;
+    }
+    // l_orderkey values are unique (grouping key).
+    let mut keys: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    assert_eq!(keys.len(), rows.len());
+}
+
+#[test]
+fn q1_pricing_summary() {
+    let s = session();
+    let rows = agree(&s, &queries::q1("1998-09-02"));
+    // 3 return flags × 2 statuses = at most 6 groups.
+    assert!(!rows.is_empty() && rows.len() <= 6);
+    for r in &rows {
+        let sum_qty = r[2].as_double().unwrap();
+        let count = r[7].as_int().unwrap();
+        let avg_qty = r[5].as_double().unwrap();
+        assert!(count > 0);
+        assert!((sum_qty / count as f64 - avg_qty).abs() < 1e-6);
+        let disc_price = r[4].as_double().unwrap();
+        let base_price = r[3].as_double().unwrap();
+        assert!(disc_price <= base_price);
+    }
+    // Ordered by (flag, status).
+    for w in rows.windows(2) {
+        let a = (w[0][0].as_str().unwrap(), w[0][1].as_str().unwrap());
+        let b = (w[1][0].as_str().unwrap(), w[1][1].as_str().unwrap());
+        assert!(a <= b);
+    }
+}
+
+#[test]
+fn order_report_groups_on_key_without_wide_sort() {
+    let s = session();
+    let sql = queries::order_report();
+    let rows = agree(&s, &sql);
+    // One output row per order (o_orderkey is the key).
+    let orders = s
+        .database()
+        .catalog()
+        .stats(s.database().catalog().table_by_name("orders").unwrap().id)
+        .row_count;
+    assert_eq!(rows.len() as u64, orders);
+
+    // With order optimization the grouping-on-key redundancy disappears:
+    // the widest sort in the plan is at most one column.
+    let compiled = s.compile(&sql, OptimizerConfig::default()).unwrap();
+    fn widest_sort(plan: &fto_planner::Plan) -> usize {
+        let own = match &plan.node {
+            fto_planner::PlanNode::Sort { spec, .. } => spec.len(),
+            _ => 0,
+        };
+        plan.children()
+            .iter()
+            .map(|c| widest_sort(c))
+            .max()
+            .unwrap_or(0)
+            .max(own)
+    }
+    assert!(widest_sort(&compiled.plan) <= 1, "{}", compiled.explain());
+    // Without it, the optimizer must sort on all four grouping columns
+    // (or hash); under the 1996 inventory the wide sort is forced.
+    let disabled = s
+        .compile(&sql, OptimizerConfig::db2_1996_disabled())
+        .unwrap();
+    assert!(widest_sort(&disabled.plan) >= 4, "{}", disabled.explain());
+}
+
+#[test]
+fn section6_example_streams() {
+    let s = session();
+    let rows = agree(&s, &queries::section6_example());
+    assert!(!rows.is_empty());
+    let mut last = i64::MIN;
+    for r in &rows {
+        let k = r[0].as_int().unwrap();
+        assert!(k >= last);
+        last = k;
+    }
+}
+
+#[test]
+fn q3_parameter_variations() {
+    let s = session();
+    for (date, segment) in [
+        ("1994-06-30", "automobile"),
+        ("1996-01-01", "machinery"),
+        ("1993-12-31", "household"),
+    ] {
+        let rows = agree(&s, &queries::q3(date, segment));
+        let cutoff = parse_date(date).unwrap();
+        for r in &rows {
+            assert!(r[2].as_date().unwrap() < cutoff);
+        }
+    }
+}
