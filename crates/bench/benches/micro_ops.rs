@@ -1,10 +1,30 @@
 //! Microbenchmarks of the four fundamental operations themselves
 //! (paper §4): reduction must be cheap enough to run on every order
-//! comparison the planner makes.
+//! comparison the planner makes. Plain timing harness (the container is
+//! offline, so no external bench framework): each op runs in a batch of
+//! `ITERS` iterations, best of `RUNS` batches.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fto_common::{ColId, ColSet, Value};
 use fto_order::{EquivalenceClasses, FdSet, FlexOrder, OrderContext, OrderSpec};
+use std::time::{Duration, Instant};
+
+const ITERS: usize = 10_000;
+const RUNS: usize = 20;
+
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    let mut best = Duration::MAX;
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(f());
+        }
+        best = best.min(start.elapsed());
+    }
+    println!(
+        "{name:<24} {:>10.1?}/iter (best of {RUNS} x {ITERS})",
+        best / ITERS as u32
+    );
+}
 
 /// A context with 32 columns, 8 equivalence pairs, 4 constants, and 4
 /// key FDs — a busy multi-join query's worth of facts.
@@ -32,71 +52,49 @@ fn specs() -> Vec<OrderSpec> {
     ]
 }
 
-fn bench_reduce(c: &mut Criterion) {
+fn main() {
     let ctx = busy_context();
     let specs = specs();
-    c.bench_function("ops/reduce", |b| {
-        b.iter(|| {
-            specs
-                .iter()
-                .map(|s| ctx.reduce(std::hint::black_box(s)).len())
-                .sum::<usize>()
-        })
-    });
-}
 
-fn bench_test_order(c: &mut Criterion) {
-    let ctx = busy_context();
-    let specs = specs();
-    c.bench_function("ops/test_order", |b| {
-        b.iter(|| {
-            let mut hits = 0;
-            for i in &specs {
-                for p in &specs {
-                    if ctx.test_order(std::hint::black_box(i), p) {
-                        hits += 1;
-                    }
+    bench("ops/reduce", || {
+        specs
+            .iter()
+            .map(|s| ctx.reduce(std::hint::black_box(s)).len())
+            .sum::<usize>()
+    });
+
+    bench("ops/test_order", || {
+        let mut hits = 0;
+        for i in &specs {
+            for p in &specs {
+                if ctx.test_order(std::hint::black_box(i), p) {
+                    hits += 1;
                 }
             }
-            hits
-        })
+        }
+        hits
     });
-}
 
-fn bench_cover(c: &mut Criterion) {
-    let ctx = busy_context();
-    let specs = specs();
-    c.bench_function("ops/cover", |b| {
-        b.iter(|| {
-            let mut covers = 0;
-            for i in &specs {
-                for j in &specs {
-                    if ctx.cover(i, j).is_some() {
-                        covers += 1;
-                    }
+    bench("ops/cover", || {
+        let mut covers = 0;
+        for i in &specs {
+            for j in &specs {
+                if ctx.cover(i, j).is_some() {
+                    covers += 1;
                 }
             }
-            covers
-        })
+        }
+        covers
     });
-}
 
-fn bench_homogenize(c: &mut Criterion) {
-    let ctx = busy_context();
-    let specs = specs();
     let targets: ColSet = (16..32u32).map(ColId).collect();
-    c.bench_function("ops/homogenize", |b| {
-        b.iter(|| {
-            specs
-                .iter()
-                .filter(|s| ctx.homogenize(s, &targets).is_some())
-                .count()
-        })
+    bench("ops/homogenize", || {
+        specs
+            .iter()
+            .filter(|s| ctx.homogenize(s, &targets).is_some())
+            .count()
     });
-}
 
-fn bench_flex_satisfaction(c: &mut Criterion) {
-    let ctx = busy_context();
     let flex = FlexOrder::group_by((0..6u32).map(ColId), [ColId(7)]);
     let prop = OrderSpec::ascending([
         ColId(2),
@@ -107,14 +105,7 @@ fn bench_flex_satisfaction(c: &mut Criterion) {
         ColId(4),
         ColId(7),
     ]);
-    c.bench_function("ops/flex_satisfied_by", |b| {
-        b.iter(|| flex.satisfied_by(std::hint::black_box(&prop), &ctx))
+    bench("ops/flex_satisfied_by", || {
+        flex.satisfied_by(std::hint::black_box(&prop), &ctx)
     });
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_reduce, bench_test_order, bench_cover, bench_homogenize, bench_flex_satisfaction
-);
-criterion_main!(benches);

@@ -1,118 +1,101 @@
-//! Criterion benches regenerating the paper's evaluation under a
-//! statistical harness:
+//! Timing benches regenerating the paper's evaluation with a plain
+//! best-of-N harness (the container is offline, so no external bench
+//! framework — `cargo bench -p fto-bench --bench paper`):
 //!
 //! * `table1/q3_order_opt_{on,off}` — Table 1's two cells;
 //! * `fig6/section6_{on,off}` — the §6 example query;
-//! * `ablation/*` — the design-choice ablations from DESIGN.md.
+//! * `ablation/*` — the design-choice ablations from DESIGN.md;
+//! * `enumeration/*` — planning cost vs admitted sort-ahead orders.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use fto_bench::harness::{paper_example_db, FIG6_SQL};
+use fto_bench::harness::{paper_example_db, tpcd_db, FIG6_SQL};
 use fto_bench::Session;
 use fto_planner::OptimizerConfig;
-use fto_tpcd::{build_database, queries, TpcdConfig};
+use fto_storage::Database;
+use fto_tpcd::queries;
+use std::time::{Duration, Instant};
 
 const SCALE: f64 = 0.005;
+const RUNS: usize = 10;
 
-fn q3_session() -> Session {
-    Session::new(
-        build_database(TpcdConfig {
-            scale: SCALE,
-            ..TpcdConfig::default()
-        })
-        .expect("tpcd generation"),
-    )
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    let mut best = Duration::MAX;
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed());
+    }
+    println!("{name:<40} best of {RUNS}: {best:>12.3?}");
 }
 
-fn bench_table1(c: &mut Criterion) {
-    let session = q3_session();
-    let sql = queries::q3_default();
-    let mut group = c.benchmark_group("table1");
-    for (name, cfg) in [
-        ("q3_order_opt_on", OptimizerConfig::db2_1996()),
-        ("q3_order_opt_off", OptimizerConfig::db2_1996_disabled()),
-    ] {
-        let compiled = session.compile(&sql, cfg).expect("compile");
-        group.bench_function(name, |b| {
-            b.iter(|| session.execute(&compiled).expect("execute").rows.len())
+fn bench_execution(db: &Database, group: &str, cases: &[(&str, OptimizerConfig)]) {
+    for (name, cfg) in cases {
+        let prepared = Session::new(db)
+            .config(cfg.clone())
+            .plan(&queries::q3_default())
+            .expect("compile");
+        bench(&format!("{group}/{name}"), || {
+            prepared.execute().expect("execute").rows.len()
         });
     }
-    group.finish();
 }
 
-fn bench_fig6(c: &mut Criterion) {
-    let session = Session::new(paper_example_db(3000).expect("example db"));
-    let mut group = c.benchmark_group("fig6");
+fn main() {
+    let db = tpcd_db(SCALE).expect("tpcd generation");
+
+    bench_execution(
+        &db,
+        "table1",
+        &[
+            ("q3_order_opt_on", OptimizerConfig::db2_1996()),
+            ("q3_order_opt_off", OptimizerConfig::db2_1996_disabled()),
+        ],
+    );
+
+    let example = paper_example_db(3000).expect("example db");
     for (name, cfg) in [
         ("section6_on", OptimizerConfig::db2_1996()),
         ("section6_off", OptimizerConfig::db2_1996_disabled()),
     ] {
-        let compiled = session.compile(FIG6_SQL, cfg).expect("compile");
-        group.bench_function(name, |b| {
-            b.iter(|| session.execute(&compiled).expect("execute").rows.len())
+        let prepared = Session::new(&example)
+            .config(cfg)
+            .plan(FIG6_SQL)
+            .expect("compile");
+        bench(&format!("fig6/{name}"), || {
+            prepared.execute().expect("execute").rows.len()
         });
     }
-    group.finish();
-}
 
-fn bench_ablations(c: &mut Criterion) {
-    let session = q3_session();
-    let sql = queries::q3_default();
-    let mut group = c.benchmark_group("ablation");
-    let configs = [
-        ("full_modern", OptimizerConfig::default()),
-        (
-            "no_sort_ahead",
-            OptimizerConfig {
-                sort_ahead: false,
-                ..OptimizerConfig::db2_1996()
-            },
-        ),
-        (
-            "no_merge_join",
-            OptimizerConfig {
-                enable_merge_join: false,
-                ..OptimizerConfig::db2_1996()
-            },
-        ),
-        ("modern_disabled", OptimizerConfig::disabled()),
-    ];
-    for (name, cfg) in configs {
-        let compiled = session.compile(&sql, cfg).expect("compile");
-        group.bench_function(name, |b| {
-            b.iter(|| session.execute(&compiled).expect("execute").rows.len())
-        });
-    }
-    group.finish();
-}
+    bench_execution(
+        &db,
+        "ablation",
+        &[
+            ("full_modern", OptimizerConfig::default()),
+            (
+                "no_sort_ahead",
+                OptimizerConfig::db2_1996().with_sort_ahead(false),
+            ),
+            (
+                "no_merge_join",
+                OptimizerConfig::db2_1996().with_merge_join(false),
+            ),
+            ("modern_disabled", OptimizerConfig::disabled()),
+        ],
+    );
 
-fn bench_planning_time(c: &mut Criterion) {
     // The §5.2 complexity observation as a timing: planning cost vs
     // number of admitted sort-ahead orders.
-    let session = q3_session();
     let sql = queries::q3_default();
-    let mut group = c.benchmark_group("enumeration");
     for n in [0usize, 2, 4] {
-        let cfg = OptimizerConfig {
-            sort_ahead: n > 0,
-            max_sort_ahead: n,
-            ..OptimizerConfig::default()
-        };
-        group.bench_function(format!("plan_q3_sort_ahead_{n}"), |b| {
-            b.iter(|| {
-                session
-                    .compile(&sql, cfg.clone())
-                    .expect("compile")
-                    .stats
-                    .plans_generated
-            })
+        let cfg = OptimizerConfig::default()
+            .with_sort_ahead(n > 0)
+            .with_max_sort_ahead(n);
+        bench(&format!("enumeration/plan_q3_sort_ahead_{n}"), || {
+            Session::new(&db)
+                .config(cfg.clone())
+                .plan(&sql)
+                .expect("compile")
+                .planner_stats()
+                .plans_generated
         });
     }
-    group.finish();
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_table1, bench_fig6, bench_ablations, bench_planning_time
-);
-criterion_main!(benches);

@@ -16,9 +16,10 @@
 //! * **Figure 8** — Q3 with order optimization disabled: the group-by
 //!   needs its own three-column sort.
 
-use fto_bench::harness::{paper_example_db, q3_plans, FIG1_SQL, FIG6_SQL};
+use fto_bench::harness::{paper_example_db, tpcd_db, FIG1_SQL, FIG6_SQL};
 use fto_bench::Session;
 use fto_planner::{OptimizerConfig, PlanNode};
+use fto_tpcd::queries;
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
@@ -35,32 +36,34 @@ fn main() {
 }
 
 fn fig1() {
-    let session = Session::new(paper_example_db(2000).unwrap());
-    let compiled = session
-        .compile(FIG1_SQL, OptimizerConfig::db2_1996())
+    let db = paper_example_db(2000).unwrap();
+    let prepared = Session::new(&db)
+        .config(OptimizerConfig::db2_1996())
+        .plan(FIG1_SQL)
         .unwrap();
     println!("── Figure 1: simple QGM and QEP example ──");
     println!("{FIG1_SQL}\n");
-    println!("{}", compiled.explain());
-    let (_, result) = session.run(FIG1_SQL, OptimizerConfig::db2_1996()).unwrap();
-    println!("({} groups)\n", result.rows.len());
+    println!("{}", prepared.explain());
+    let out = prepared.execute().unwrap();
+    println!("({} groups)\n", out.rows.len());
 }
 
 fn fig6() {
-    let session = Session::new(paper_example_db(2000).unwrap());
-    let compiled = session
-        .compile(FIG6_SQL, OptimizerConfig::db2_1996())
+    let db = paper_example_db(2000).unwrap();
+    let prepared = Session::new(&db)
+        .config(OptimizerConfig::db2_1996())
+        .plan(FIG6_SQL)
         .unwrap();
     println!("── Figure 6: one sort-ahead satisfies merge-join, GROUP BY, and ORDER BY ──");
     println!("{FIG6_SQL}\n");
-    println!("{}", compiled.explain());
+    println!("{}", prepared.explain());
 
     // Structural check: the group-by streams (no sort directly beneath
     // it) and the plan output needs no final sort for the ORDER BY.
-    let streaming = compiled
-        .plan
+    let streaming = prepared
+        .plan()
         .count_ops(&|n| matches!(n, PlanNode::StreamGroupBy { .. }));
-    let top_is_sort = matches!(compiled.plan.node, PlanNode::Sort { .. });
+    let top_is_sort = matches!(prepared.plan().node, PlanNode::Sort { .. });
     println!(
         "[check] streaming group-by: {}  |  top-level sort avoided: {}\n",
         yes(streaming > 0),
@@ -69,14 +72,23 @@ fn fig6() {
 }
 
 fn fig7_fig8(which: &str) {
-    let (enabled, disabled) = q3_plans(0.02).unwrap();
+    let db = tpcd_db(0.02).unwrap();
+    let sql = queries::q3_default();
+    let enabled = Session::new(&db)
+        .config(OptimizerConfig::db2_1996())
+        .plan(&sql)
+        .unwrap();
+    let disabled = Session::new(&db)
+        .config(OptimizerConfig::db2_1996_disabled())
+        .plan(&sql)
+        .unwrap();
     if which == "all" || which == "fig7" {
         println!("── Figure 7: Query 3 in the production version (order optimization on) ──\n");
         println!("{}", enabled.explain());
         let ordered_nlj = enabled
-            .plan
+            .plan()
             .count_ops(&|n| matches!(n, PlanNode::IndexNestedLoopJoin { .. }));
-        let group_sort = sort_feeding_group_by(&enabled.plan);
+        let group_sort = sort_feeding_group_by(enabled.plan());
         println!(
             "[check] ordered nested-loop join into lineitem: {}  |  group-by needs no own sort: {}\n",
             yes(ordered_nlj > 0),
@@ -86,7 +98,7 @@ fn fig7_fig8(which: &str) {
     if which == "all" || which == "fig8" {
         println!("── Figure 8: Query 3 with order optimization disabled ──\n");
         println!("{}", disabled.explain());
-        let group_sort = sort_feeding_group_by(&disabled.plan);
+        let group_sort = sort_feeding_group_by(disabled.plan());
         println!(
             "[check] group-by forced to sort on all three grouping columns: {}\n",
             yes(group_sort)

@@ -17,6 +17,7 @@
 
 use fto_bench::Session;
 use fto_planner::OptimizerConfig;
+use fto_storage::Database;
 use fto_tpcd::{build_database, TpcdConfig};
 use std::io::{BufRead, Write};
 
@@ -26,13 +27,11 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.01);
     eprintln!("loading TPC-D at scale {scale}...");
-    let session = Session::new(
-        build_database(TpcdConfig {
-            scale,
-            ..TpcdConfig::default()
-        })
-        .expect("tpcd generation"),
-    );
+    let db = build_database(TpcdConfig {
+        scale,
+        ..TpcdConfig::default()
+    })
+    .expect("tpcd generation");
     eprintln!("ready. end statements with ';'. try: .tables, explain <sql>;, compare <sql>;");
 
     let stdin = std::io::stdin();
@@ -49,8 +48,8 @@ fn main() {
             match trimmed {
                 ".quit" | ".exit" => break,
                 ".tables" => {
-                    for t in session.database().catalog().tables() {
-                        let stats = session.database().catalog().stats(t.id);
+                    for t in db.catalog().tables() {
+                        let stats = db.catalog().stats(t.id);
                         println!("  {} ({} rows)", t.name, stats.row_count);
                     }
                 }
@@ -75,7 +74,7 @@ fn main() {
         let statement = buffer.trim().trim_end_matches(';').trim().to_string();
         buffer.clear();
         if !statement.is_empty() {
-            dispatch(&session, &statement, modern);
+            dispatch(&db, &statement, modern);
         }
         print_prompt();
     }
@@ -102,16 +101,17 @@ fn disabled_config(modern: bool) -> OptimizerConfig {
     }
 }
 
-fn dispatch(session: &Session, statement: &str, modern: bool) {
+fn dispatch(db: &Database, statement: &str, modern: bool) {
     let lower = statement.to_ascii_lowercase();
+    let compile = |sql: &str, cfg: OptimizerConfig| Session::new(db).config(cfg).plan(sql);
     if let Some(sql) = lower.strip_prefix("explain+ ") {
-        match session.compile(sql, base_config(modern)) {
-            Ok(c) => println!("{}", c.explain_properties()),
+        match compile(sql, base_config(modern)) {
+            Ok(q) => println!("{}", q.explain_properties()),
             Err(e) => println!("error: {e}"),
         }
     } else if let Some(sql) = lower.strip_prefix("explain ") {
-        match session.compile(sql, base_config(modern)) {
-            Ok(c) => println!("{}", c.explain()),
+        match compile(sql, base_config(modern)) {
+            Ok(q) => println!("{}", q.explain()),
             Err(e) => println!("error: {e}"),
         }
     } else if let Some(sql) = lower.strip_prefix("compare ") {
@@ -119,24 +119,24 @@ fn dispatch(session: &Session, statement: &str, modern: bool) {
             ("order optimization ON", base_config(modern)),
             ("order optimization OFF", disabled_config(modern)),
         ] {
-            match session.run(sql, cfg) {
-                Ok((c, r)) => {
+            match compile(sql, cfg).and_then(|q| q.execute().map(|r| (q, r))) {
+                Ok((q, r)) => {
                     println!("── {label} ──");
-                    println!("{}", c.explain());
+                    println!("{}", q.explain());
                     println!("{} rows in {:?}  ({})\n", r.rows.len(), r.elapsed, r.io);
                 }
                 Err(e) => println!("error: {e}"),
             }
         }
     } else {
-        match session.run(&lower, base_config(modern)) {
-            Ok((c, r)) => {
-                let names: Vec<&str> = c
-                    .graph
-                    .boxed(c.graph.root)
+        match compile(&lower, base_config(modern)).and_then(|q| q.execute().map(|r| (q, r))) {
+            Ok((q, r)) => {
+                let graph = q.graph();
+                let names: Vec<&str> = graph
+                    .boxed(graph.root)
                     .output
                     .iter()
-                    .map(|o| c.graph.registry.name(o.col))
+                    .map(|o| graph.registry.name(o.col))
                     .collect();
                 println!("{}", names.join(" | "));
                 for row in r.rows.iter().take(20) {

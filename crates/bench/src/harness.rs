@@ -1,12 +1,21 @@
 //! Reusable experiment runners behind the table/figure binaries and the
-//! Criterion benches. Each function regenerates one artifact of the
+//! timing benches. Each function regenerates one artifact of the
 //! paper's evaluation; DESIGN.md maps artifacts to these entry points.
 
-use crate::session::{Compiled, Session};
 use fto_common::Result;
+use fto_exec::Session;
 use fto_planner::{OptimizerConfig, PlanNode};
+use fto_storage::Database;
 use fto_tpcd::{build_database, queries, TpcdConfig};
 use std::time::Duration;
+
+/// Builds the TPC-D database the Q3 experiments run over.
+pub fn tpcd_db(scale: f64) -> Result<Database> {
+    build_database(TpcdConfig {
+        scale,
+        ..TpcdConfig::default()
+    })
+}
 
 /// Outcome of one Table 1 cell: a timed Q3 execution.
 #[derive(Debug, Clone)]
@@ -23,95 +32,70 @@ pub struct Table1Cell {
 
 /// Table 1: Q3 elapsed time with order optimization enabled vs disabled.
 pub fn table1(scale: f64, runs: usize) -> Result<(Table1Cell, Table1Cell)> {
-    let session = Session::new(build_database(TpcdConfig {
-        scale,
-        ..TpcdConfig::default()
-    })?);
+    let db = tpcd_db(scale)?;
     let sql = queries::q3_default();
     // The paper's comparison isolates order *reasoning* over the 1996
     // operator inventory (no hash join / hash grouping existed in DB2/CS
     // when the paper was written; Figures 7-8 are pure sort/merge/NLJ).
-    let enabled = run_cell(&session, &sql, OptimizerConfig::db2_1996(), runs)?;
-    let disabled = run_cell(&session, &sql, OptimizerConfig::db2_1996_disabled(), runs)?;
+    let enabled = run_cell(&db, &sql, OptimizerConfig::db2_1996(), runs)?;
+    let disabled = run_cell(&db, &sql, OptimizerConfig::db2_1996_disabled(), runs)?;
     Ok((enabled, disabled))
 }
 
-fn run_cell(
-    session: &Session,
+/// Compiles once, executes `runs` times through the streaming engine,
+/// and reports the best run.
+pub fn run_cell(
+    db: &Database,
     sql: &str,
     config: OptimizerConfig,
     runs: usize,
 ) -> Result<Table1Cell> {
-    let compiled = session.compile(sql, config)?;
+    let prepared = Session::new(db).config(config).plan(sql)?;
     let mut best = Duration::MAX;
     let mut rows = 0;
     let mut page_cost = 0.0;
     for _ in 0..runs.max(1) {
-        let result = session.execute(&compiled)?;
-        best = best.min(result.elapsed);
-        rows = result.rows.len();
-        page_cost = result.io.weighted_page_cost();
+        let out = prepared.execute()?;
+        best = best.min(out.elapsed);
+        rows = out.rows.len();
+        page_cost = out.io.weighted_page_cost();
     }
     Ok(Table1Cell {
         elapsed: best,
         page_cost,
-        sorts: compiled
-            .plan
+        sorts: prepared
+            .plan()
             .count_ops(&|n| matches!(n, PlanNode::Sort { .. })),
         rows,
     })
 }
 
-/// Compiles Q3 in both modes and returns the two explain trees
-/// (Figures 7 and 8).
-pub fn q3_plans(scale: f64) -> Result<(Compiled, Compiled)> {
-    let session = Session::new(build_database(TpcdConfig {
-        scale,
-        ..TpcdConfig::default()
-    })?);
-    let sql = queries::q3_default();
-    let enabled = session.compile(&sql, OptimizerConfig::db2_1996())?;
-    let disabled = session.compile(&sql, OptimizerConfig::db2_1996_disabled())?;
-    Ok((enabled, disabled))
-}
-
 /// The §5.2 enumeration-complexity experiment: planner work vs the number
 /// of sort-ahead orders admitted. Returns `(n, plans_generated)` pairs.
 pub fn enumeration_complexity(scale: f64, max_orders: usize) -> Result<Vec<(usize, u64)>> {
-    let session = Session::new(build_database(TpcdConfig {
-        scale,
-        ..TpcdConfig::default()
-    })?);
+    let db = tpcd_db(scale)?;
     let sql = queries::q3_default();
     let mut out = Vec::new();
     for n in 0..=max_orders {
-        let cfg = OptimizerConfig {
-            sort_ahead: n > 0,
-            max_sort_ahead: n,
-            ..OptimizerConfig::default()
-        };
-        let compiled = session.compile(&sql, cfg)?;
-        out.push((n, compiled.stats.plans_generated));
+        let cfg = OptimizerConfig::default()
+            .with_sort_ahead(n > 0)
+            .with_max_sort_ahead(n);
+        let prepared = Session::new(&db).config(cfg).plan(&sql)?;
+        out.push((n, prepared.planner_stats().plans_generated));
     }
     Ok(out)
 }
 
 /// One ablation run: Q3 with a single technique disabled.
 pub fn ablation(scale: f64) -> Result<Vec<(String, Table1Cell)>> {
-    let session = Session::new(build_database(TpcdConfig {
-        scale,
-        ..TpcdConfig::default()
-    })?);
+    let db = tpcd_db(scale)?;
     let sql = queries::q3_default();
     let configs: Vec<(&str, OptimizerConfig)> = vec![
         ("full (modern: hash ops on)", OptimizerConfig::default()),
         ("1996 inventory, order opt on", OptimizerConfig::db2_1996()),
         (
             "1996, no sort-ahead",
-            OptimizerConfig {
-                sort_ahead: false,
-                ..OptimizerConfig::db2_1996()
-            },
+            OptimizerConfig::db2_1996().with_sort_ahead(false),
         ),
         (
             "1996, order opt disabled",
@@ -121,7 +105,7 @@ pub fn ablation(scale: f64) -> Result<Vec<(String, Table1Cell)>> {
     ];
     let mut out = Vec::new();
     for (name, cfg) in configs {
-        out.push((name.to_string(), run_cell(&session, &sql, cfg, 3)?));
+        out.push((name.to_string(), run_cell(&db, &sql, cfg, 3)?));
     }
     Ok(out)
 }
@@ -193,6 +177,7 @@ pub const FIG6_SQL: &str = "select a.x, a.y, b.y, sum(c.z) \
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fto_exec::PreparedQuery;
 
     #[test]
     fn table1_shape_holds_at_small_scale() {
@@ -207,5 +192,65 @@ mod tests {
         let points = enumeration_complexity(0.001, 2).unwrap();
         assert_eq!(points.len(), 3);
         assert!(points[2].1 >= points[0].1);
+    }
+
+    #[test]
+    fn q3_runs_in_both_modes_with_same_rows() {
+        let db = tpcd_db(0.002).unwrap();
+        let sql = queries::q3_default();
+        let enabled = Session::new(&db)
+            .config(OptimizerConfig::db2_1996())
+            .plan(&sql)
+            .unwrap();
+        let disabled = Session::new(&db)
+            .config(OptimizerConfig::db2_1996_disabled())
+            .plan(&sql)
+            .unwrap();
+        let r1 = enabled.execute().unwrap();
+        let r2 = disabled.execute().unwrap();
+        // Same answer regardless of optimization.
+        assert_eq!(r1.rows, r2.rows);
+        assert!(!r1.rows.is_empty());
+        // Output ordered by rev desc, o_orderdate.
+        for w in r1.rows.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            let ra = a[1].as_double().unwrap();
+            let rb = b[1].as_double().unwrap();
+            assert!(
+                ra > rb || (ra == rb && a[2].total_cmp(&b[2]).is_le()),
+                "order violated"
+            );
+        }
+        // The enabled plan does strictly less sorting work.
+        let sorts = |q: &PreparedQuery| q.plan().count_ops(&|n| matches!(n, PlanNode::Sort { .. }));
+        assert!(sorts(&enabled) <= sorts(&disabled), "{}", enabled.explain());
+    }
+
+    #[test]
+    fn explain_uses_column_names() {
+        let db = tpcd_db(0.002).unwrap();
+        let q = Session::new(&db).plan(&queries::q3_default()).unwrap();
+        let text = q.explain();
+        assert!(text.contains("group-by"), "{text}");
+        assert!(
+            text.contains("rev") || text.contains("o_orderdate"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn section6_example_runs() {
+        let db = tpcd_db(0.002).unwrap();
+        let out = Session::new(&db)
+            .execute(&queries::section6_example())
+            .unwrap();
+        assert!(!out.rows.is_empty());
+        // Ordered by o_orderkey.
+        let mut last = i64::MIN;
+        for row in &out.rows {
+            let k = row[0].as_int().unwrap();
+            assert!(k >= last);
+            last = k;
+        }
     }
 }

@@ -1,14 +1,13 @@
-//! The benchmark harness and the `Session` facade tying the whole stack
-//! together: SQL → QGM → rewrites → order scan → cost-based plan →
-//! execution.
+//! Benchmark harnesses regenerating the paper's tables and figures.
 //!
-//! The binaries in `src/bin/` regenerate every table and figure of the
-//! paper (see DESIGN.md's experiment index); the Criterion benches in
-//! `benches/` measure the same workloads under the harness.
+//! The compile-and-execute pipeline itself lives in
+//! [`fto_exec::Session`]; this crate layers the paper's experiments on
+//! top. The binaries in `src/bin/` regenerate every table and figure of
+//! the paper (see DESIGN.md's experiment index); the benches in
+//! `benches/` time the same workloads with a plain best-of-N harness.
 
 #![deny(missing_docs)]
 
 pub mod harness;
-pub mod session;
 
-pub use session::{Compiled, Session};
+pub use fto_exec::{PreparedQuery, QueryOutput, Session};

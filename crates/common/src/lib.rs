@@ -18,11 +18,13 @@
 pub mod bitset;
 pub mod error;
 pub mod ids;
+pub mod rng;
 pub mod sort;
 pub mod value;
 
 pub use bitset::ColSet;
 pub use error::{FtoError, Result};
 pub use ids::{ColId, IndexId, QuantifierId, TableId};
+pub use rng::Rng;
 pub use sort::Direction;
 pub use value::{DataType, Row, Value};

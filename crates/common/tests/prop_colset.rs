@@ -1,78 +1,113 @@
 //! Algebraic laws of the [`ColSet`] bitset, checked against
-//! `BTreeSet<u32>` as the model.
+//! `BTreeSet<u32>` as the model over many deterministic random cases.
 
-use fto_common::{ColId, ColSet};
-use proptest::prelude::*;
+use fto_common::{ColId, ColSet, Rng};
 use std::collections::BTreeSet;
 
-fn model_pair() -> impl Strategy<Value = (BTreeSet<u32>, BTreeSet<u32>)> {
-    let set = proptest::collection::btree_set(0u32..300, 0..24);
-    (set.clone(), set)
+const CASES: u64 = 300;
+
+fn random_model(rng: &mut Rng) -> BTreeSet<u32> {
+    let n = rng.range_usize(0, 24);
+    (0..n).map(|_| rng.range_i64(0, 300) as u32).collect()
 }
 
 fn to_colset(m: &BTreeSet<u32>) -> ColSet {
     m.iter().map(|&i| ColId(i)).collect()
 }
 
-proptest! {
-    #[test]
-    fn union_matches_model((a, b) in model_pair()) {
+#[test]
+fn union_matches_model() {
+    let mut rng = Rng::new(0xC01_5E71);
+    for case in 0..CASES {
+        let (a, b) = (random_model(&mut rng), random_model(&mut rng));
         let u = to_colset(&a).union(&to_colset(&b));
         let m: BTreeSet<u32> = a.union(&b).copied().collect();
-        prop_assert_eq!(u, to_colset(&m));
+        assert_eq!(u, to_colset(&m), "case {case}: {a:?} ∪ {b:?}");
     }
+}
 
-    #[test]
-    fn intersection_matches_model((a, b) in model_pair()) {
+#[test]
+fn intersection_matches_model() {
+    let mut rng = Rng::new(0xC01_5E72);
+    for case in 0..CASES {
+        let (a, b) = (random_model(&mut rng), random_model(&mut rng));
         let i = to_colset(&a).intersection(&to_colset(&b));
         let m: BTreeSet<u32> = a.intersection(&b).copied().collect();
-        prop_assert_eq!(i, to_colset(&m));
+        assert_eq!(i, to_colset(&m), "case {case}: {a:?} ∩ {b:?}");
     }
+}
 
-    #[test]
-    fn difference_matches_model((a, b) in model_pair()) {
+#[test]
+fn difference_matches_model() {
+    let mut rng = Rng::new(0xC01_5E73);
+    for case in 0..CASES {
+        let (a, b) = (random_model(&mut rng), random_model(&mut rng));
         let d = to_colset(&a).difference(&to_colset(&b));
         let m: BTreeSet<u32> = a.difference(&b).copied().collect();
-        prop_assert_eq!(d, to_colset(&m));
+        assert_eq!(d, to_colset(&m), "case {case}: {a:?} ∖ {b:?}");
     }
+}
 
-    #[test]
-    fn subset_matches_model((a, b) in model_pair()) {
-        prop_assert_eq!(to_colset(&a).is_subset(&to_colset(&b)), a.is_subset(&b));
-        prop_assert_eq!(to_colset(&a).is_disjoint(&to_colset(&b)), a.is_disjoint(&b));
+#[test]
+fn subset_matches_model() {
+    let mut rng = Rng::new(0xC01_5E74);
+    for case in 0..CASES {
+        let (a, b) = (random_model(&mut rng), random_model(&mut rng));
+        assert_eq!(
+            to_colset(&a).is_subset(&to_colset(&b)),
+            a.is_subset(&b),
+            "case {case}"
+        );
+        assert_eq!(
+            to_colset(&a).is_disjoint(&to_colset(&b)),
+            a.is_disjoint(&b),
+            "case {case}"
+        );
+        // And reflexively with a subset of itself.
+        assert!(to_colset(&a).is_subset(&to_colset(&a)));
     }
+}
 
-    #[test]
-    fn iteration_is_sorted_and_complete(a in proptest::collection::btree_set(0u32..300, 0..24)) {
+#[test]
+fn iteration_is_sorted_and_complete() {
+    let mut rng = Rng::new(0xC01_5E75);
+    for case in 0..CASES {
+        let a = random_model(&mut rng);
         let s = to_colset(&a);
         let got: Vec<u32> = s.iter().map(|c| c.0).collect();
         let want: Vec<u32> = a.iter().copied().collect();
-        prop_assert_eq!(got, want);
-        prop_assert_eq!(s.len(), a.len());
-        prop_assert_eq!(s.is_empty(), a.is_empty());
+        assert_eq!(got, want, "case {case}");
+        assert_eq!(s.len(), a.len());
+        assert_eq!(s.is_empty(), a.is_empty());
     }
+}
 
-    #[test]
-    fn insert_remove_roundtrip(
-        a in proptest::collection::btree_set(0u32..300, 0..24),
-        extra in 0u32..300,
-    ) {
+#[test]
+fn insert_remove_roundtrip() {
+    let mut rng = Rng::new(0xC01_5E76);
+    for case in 0..CASES {
+        let a = random_model(&mut rng);
+        let extra = rng.range_i64(0, 300) as u32;
         let mut s = to_colset(&a);
         let was_present = a.contains(&extra);
-        prop_assert_eq!(s.insert(ColId(extra)), !was_present);
-        prop_assert!(s.contains(ColId(extra)));
-        prop_assert!(s.remove(ColId(extra)));
+        assert_eq!(s.insert(ColId(extra)), !was_present, "case {case}");
+        assert!(s.contains(ColId(extra)));
+        assert!(s.remove(ColId(extra)));
         if was_present {
-            prop_assert_ne!(s.clone(), to_colset(&a));
+            assert_ne!(s, to_colset(&a), "case {case}");
         } else {
-            prop_assert_eq!(s, to_colset(&a));
+            assert_eq!(s, to_colset(&a), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn union_with_grows_exactly_when_needed((a, b) in model_pair()) {
+#[test]
+fn union_with_grows_exactly_when_needed() {
+    let mut rng = Rng::new(0xC01_5E77);
+    for case in 0..CASES {
+        let (a, b) = (random_model(&mut rng), random_model(&mut rng));
         let mut s = to_colset(&a);
         let grew = s.union_with(&to_colset(&b));
-        prop_assert_eq!(grew, !b.is_subset(&a));
+        assert_eq!(grew, !b.is_subset(&a), "case {case}: {a:?} ∪= {b:?}");
     }
 }

@@ -1,126 +1,163 @@
-//! Property-based laws of the functional-dependency algebra and the key
-//! property.
+//! Randomized laws of the functional-dependency algebra and the key
+//! property, generated deterministically with the in-repo PRNG.
 
-use fto_common::{ColId, ColSet};
+use fto_common::{ColId, ColSet, Rng};
 use fto_order::{EquivalenceClasses, Fd, FdSet, KeyProperty, OrderContext};
-use proptest::prelude::*;
 
 const NCOLS: u32 = 8;
+const CASES: u64 = 400;
 
-fn colset() -> impl Strategy<Value = ColSet> {
-    proptest::collection::btree_set(0u32..NCOLS, 0..4)
-        .prop_map(|s| s.into_iter().map(ColId).collect())
+fn colset(rng: &mut Rng) -> ColSet {
+    let n = rng.range_usize(0, 4);
+    let mut s = ColSet::new();
+    for _ in 0..n {
+        s.insert(ColId(rng.range_i64(0, NCOLS as i64) as u32));
+    }
+    s
 }
 
-fn fdset() -> impl Strategy<Value = FdSet> {
-    proptest::collection::vec((colset(), colset()), 0..8).prop_map(|fds| {
-        let mut set = FdSet::new();
-        for (head, tail) in fds {
-            set.add(Fd::new(head, tail));
-        }
-        set
-    })
+fn fdset(rng: &mut Rng) -> FdSet {
+    let n = rng.range_usize(0, 8);
+    let mut set = FdSet::new();
+    for _ in 0..n {
+        let head = colset(rng);
+        let tail = colset(rng);
+        set.add(Fd::new(head, tail));
+    }
+    set
 }
 
-proptest! {
-    /// Closure is extensive, monotone, and idempotent (a closure
-    /// operator in the lattice-theoretic sense).
-    #[test]
-    fn closure_is_a_closure_operator(fds in fdset(), a in colset(), b in colset()) {
+fn keys(rng: &mut Rng, max: usize) -> Vec<ColSet> {
+    let n = rng.range_usize(0, max);
+    (0..n).map(|_| colset(rng)).collect()
+}
+
+/// Closure is extensive, monotone, and idempotent (a closure operator in
+/// the lattice-theoretic sense).
+#[test]
+fn closure_is_a_closure_operator() {
+    let mut rng = Rng::new(0xFD_01);
+    for case in 0..CASES {
+        let fds = fdset(&mut rng);
+        let a = colset(&mut rng);
+        let b = colset(&mut rng);
         let ca = fds.closure(&a);
         // extensive
-        prop_assert!(a.is_subset(&ca));
+        assert!(a.is_subset(&ca), "case {case}");
         // idempotent
-        prop_assert_eq!(fds.closure(&ca).clone(), ca.clone());
+        assert_eq!(fds.closure(&ca).clone(), ca.clone(), "case {case}");
         // monotone
         if a.is_subset(&b) {
-            prop_assert!(ca.is_subset(&fds.closure(&b)));
+            assert!(ca.is_subset(&fds.closure(&b)), "case {case}");
         }
     }
+}
 
-    /// Every stored FD is honoured by the closure.
-    #[test]
-    fn closure_honours_stored_fds(fds in fdset()) {
+/// Every stored FD is honoured by the closure.
+#[test]
+fn closure_honours_stored_fds() {
+    let mut rng = Rng::new(0xFD_02);
+    for case in 0..CASES {
+        let fds = fdset(&mut rng);
         for fd in fds.iter() {
-            prop_assert!(fds.determines_all(&fd.head, &fd.tail));
+            assert!(fds.determines_all(&fd.head, &fd.tail), "case {case}");
         }
     }
+}
 
-    /// `determines` agrees with closure membership, and adding FDs never
-    /// removes derivations.
-    #[test]
-    fn adding_fds_is_monotone(
-        fds in fdset(),
-        extra_head in colset(),
-        extra_tail in colset(),
-        probe in colset(),
-        col in 0u32..NCOLS,
-    ) {
-        let col = ColId(col);
+/// `determines` agrees with closure membership, and adding FDs never
+/// removes derivations.
+#[test]
+fn adding_fds_is_monotone() {
+    let mut rng = Rng::new(0xFD_03);
+    for case in 0..CASES {
+        let fds = fdset(&mut rng);
+        let extra_head = colset(&mut rng);
+        let extra_tail = colset(&mut rng);
+        let probe = colset(&mut rng);
+        let col = ColId(rng.range_i64(0, NCOLS as i64) as u32);
         let before = fds.determines(&probe, col);
         let mut bigger = fds.clone();
         bigger.add(Fd::new(extra_head, extra_tail));
         if before {
-            prop_assert!(bigger.determines(&probe, col));
+            assert!(bigger.determines(&probe, col), "case {case}");
         }
     }
+}
 
-    /// map_cols through an injective rename preserves derivations.
-    #[test]
-    fn rename_preserves_derivations(fds in fdset(), probe in colset(), col in 0u32..NCOLS) {
-        let col = ColId(col);
+/// map_cols through an injective rename preserves derivations.
+#[test]
+fn rename_preserves_derivations() {
+    let mut rng = Rng::new(0xFD_04);
+    for case in 0..CASES {
+        let fds = fdset(&mut rng);
+        let probe = colset(&mut rng);
+        let col = ColId(rng.range_i64(0, NCOLS as i64) as u32);
         let shift = |c: ColId| ColId(c.0 + 100);
         let renamed = fds.map_cols(shift);
         let probe_renamed: ColSet = probe.iter().map(shift).collect();
-        prop_assert_eq!(
+        assert_eq!(
             fds.determines(&probe, col),
-            renamed.determines(&probe_renamed, shift(col))
+            renamed.determines(&probe_renamed, shift(col)),
+            "case {case}"
         );
     }
+}
 
-    /// Key-property minimization: no kept key is a superset of another,
-    /// and `determined_by` is preserved by minimization.
-    #[test]
-    fn key_property_is_minimal(keys in proptest::collection::vec(colset(), 0..6), probe in colset()) {
-        let kp = KeyProperty::from_keys(keys.clone());
+/// Key-property minimization: no kept key is a superset of another, and
+/// `determined_by` is preserved by minimization.
+#[test]
+fn key_property_is_minimal() {
+    let mut rng = Rng::new(0xFD_05);
+    for case in 0..CASES {
+        let ks = keys(&mut rng, 6);
+        let probe = colset(&mut rng);
+        let kp = KeyProperty::from_keys(ks.clone());
         for (i, a) in kp.keys().iter().enumerate() {
             for (j, b) in kp.keys().iter().enumerate() {
                 if i != j {
-                    prop_assert!(!a.is_subset(b), "{a:?} subsumes {b:?}");
+                    assert!(!a.is_subset(b), "case {case}: {a:?} subsumes {b:?}");
                 }
             }
         }
         // Anything determined by the raw keys is determined by the
         // minimized property.
-        let raw_hit = keys.iter().any(|k| k.is_subset(&probe));
-        prop_assert_eq!(kp.determined_by(&probe), raw_hit);
+        let raw_hit = ks.iter().any(|k| k.is_subset(&probe));
+        assert_eq!(kp.determined_by(&probe), raw_hit, "case {case}");
     }
+}
 
-    /// Canonicalization never weakens the property: anything determined
-    /// before is determined after (under closure reasoning).
-    #[test]
-    fn canonicalize_never_weakens(keys in proptest::collection::vec(colset(), 0..5), fds in fdset()) {
+/// Canonicalization never weakens the property: anything determined
+/// before is determined after (under closure reasoning).
+#[test]
+fn canonicalize_never_weakens() {
+    let mut rng = Rng::new(0xFD_06);
+    for case in 0..CASES {
+        let ks = keys(&mut rng, 5);
+        let fds = fdset(&mut rng);
         let ctx = OrderContext::new(EquivalenceClasses::new(), &fds);
-        let mut kp = KeyProperty::from_keys(keys.clone());
+        let mut kp = KeyProperty::from_keys(ks.clone());
         kp.canonicalize(&ctx);
-        for k in keys {
+        for k in ks {
             // The original key (closed under the FDs) must still be
             // recognized as determining records.
             let closed = fds.closure(&k);
-            prop_assert!(
+            assert!(
                 kp.is_empty() || kp.determined_by(&closed),
-                "lost key {k:?}; kp = {kp:?}"
+                "case {case}: lost key {k:?}; kp = {kp:?}"
             );
         }
     }
+}
 
-    /// Join propagation returns only keys derivable from the inputs'
-    /// columns (no invented columns).
-    #[test]
-    fn join_keys_use_input_columns(
-        lk in proptest::collection::vec(colset(), 0..3),
-        rk in proptest::collection::vec(colset(), 0..3),
-    ) {
+/// Join propagation returns only keys derivable from the inputs' columns
+/// (no invented columns).
+#[test]
+fn join_keys_use_input_columns() {
+    let mut rng = Rng::new(0xFD_07);
+    for case in 0..CASES {
+        let lk = keys(&mut rng, 3);
+        let rk = keys(&mut rng, 3);
         let left = KeyProperty::from_keys(lk.clone());
         let right = KeyProperty::from_keys(rk.clone());
         let mut universe = ColSet::new();
@@ -129,7 +166,7 @@ proptest! {
         }
         let joined = KeyProperty::join(&left, &right, &[]);
         for k in joined.keys() {
-            prop_assert!(k.is_subset(&universe));
+            assert!(k.is_subset(&universe), "case {case}");
         }
     }
 }

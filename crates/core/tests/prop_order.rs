@@ -1,4 +1,4 @@
-//! Property-based soundness tests for the fundamental operations.
+//! Randomized soundness tests for the fundamental operations.
 //!
 //! Strategy: generate a random *world* — a table whose columns are built
 //! so that a known set of facts (constants, column equivalences,
@@ -11,19 +11,22 @@
 //! * `cover(I1, I2) = C` ⟹ data sorted by `C` is ordered by both;
 //! * `homogenize(I, T) = H` ⟹ data sorted by `H` is ordered by `I`;
 //! * `FlexOrder::satisfied_by(P)` ⟹ groups are contiguous under `P`.
+//!
+//! Cases are generated from a fixed seed with the in-repo PRNG, so every
+//! failure is reproducible from the printed case number.
 
-use fto_common::{ColId, ColSet, Direction, Value};
+use fto_common::{ColId, ColSet, Direction, Rng, Value};
 use fto_order::{EquivalenceClasses, FdSet, FlexOrder, OrderContext, OrderSpec, SortKey};
-use proptest::prelude::*;
 use std::cmp::Ordering;
 
 const NCOLS: usize = 6;
+const CASES: u64 = 400;
 
 /// How each column's values are produced (indices may only look left, so
 /// generation is single-pass).
 #[derive(Clone, Debug)]
 enum ColSpec {
-    /// Independent small random values (provided by the value matrix).
+    /// Independent small random values.
     Free,
     /// Identical to an earlier column: yields an equivalence class.
     EqCol(usize),
@@ -35,23 +38,14 @@ enum ColSpec {
     RowId,
 }
 
-fn col_spec(i: usize) -> impl Strategy<Value = ColSpec> {
-    if i == 0 {
-        prop_oneof![
-            3 => Just(ColSpec::Free),
-            1 => (0i64..3).prop_map(ColSpec::Const),
-            1 => Just(ColSpec::RowId),
-        ]
-        .boxed()
-    } else {
-        prop_oneof![
-            3 => Just(ColSpec::Free),
-            1 => (0..i).prop_map(ColSpec::EqCol),
-            1 => (0i64..3).prop_map(ColSpec::Const),
-            1 => (0..i).prop_map(ColSpec::FnOf),
-            1 => Just(ColSpec::RowId),
-        ]
-        .boxed()
+fn col_spec(rng: &mut Rng, i: usize) -> ColSpec {
+    let roll = rng.range_usize(0, if i == 0 { 5 } else { 7 });
+    match roll {
+        0..=2 => ColSpec::Free,
+        3 => ColSpec::Const(rng.range_i64(0, 3)),
+        4 => ColSpec::RowId,
+        5 => ColSpec::EqCol(rng.range_usize(0, i)),
+        _ => ColSpec::FnOf(rng.range_usize(0, i)),
     }
 }
 
@@ -61,66 +55,72 @@ struct World {
     ctx: OrderContext,
 }
 
-fn world() -> impl Strategy<Value = World> {
-    let specs = (0..NCOLS).map(col_spec).collect::<Vec<_>>();
-    let free_values = proptest::collection::vec(proptest::collection::vec(0i64..4, NCOLS), 0..40);
-    (specs, free_values).prop_map(|(specs, free)| {
-        let mut rows: Vec<Vec<i64>> = Vec::with_capacity(free.len());
-        for (rid, seed) in free.iter().enumerate() {
-            let mut row = vec![0i64; NCOLS];
-            for (i, spec) in specs.iter().enumerate() {
-                row[i] = match spec {
-                    ColSpec::Free => seed[i],
-                    ColSpec::EqCol(j) => row[*j],
-                    ColSpec::Const(v) => *v,
-                    ColSpec::FnOf(j) => row[*j] * 7 + 1,
-                    ColSpec::RowId => rid as i64,
-                };
-            }
-            rows.push(row);
-        }
-        // Facts that hold by construction.
-        let mut eq = EquivalenceClasses::new();
-        let mut fds = FdSet::new();
-        let all: ColSet = (0..NCOLS as u32).map(ColId).collect();
+fn world(rng: &mut Rng) -> World {
+    let specs: Vec<ColSpec> = (0..NCOLS).map(|i| col_spec(rng, i)).collect();
+    let n_rows = rng.range_usize(0, 40);
+    let mut rows: Vec<Vec<i64>> = Vec::with_capacity(n_rows);
+    for rid in 0..n_rows {
+        let mut row = vec![0i64; NCOLS];
         for (i, spec) in specs.iter().enumerate() {
-            match spec {
-                ColSpec::Free => {}
-                ColSpec::EqCol(j) => {
-                    eq.merge(ColId(i as u32), ColId(*j as u32));
-                    fds.add_equivalence(ColId(i as u32), ColId(*j as u32));
-                }
-                ColSpec::Const(v) => {
-                    eq.bind_constant(ColId(i as u32), Value::Int(*v));
-                    fds.add_constant(ColId(i as u32));
-                }
-                ColSpec::FnOf(j) => fds.add(fto_order::Fd::new(
-                    ColSet::singleton(ColId(*j as u32)),
-                    ColSet::singleton(ColId(i as u32)),
-                )),
-                ColSpec::RowId => fds.add_key(ColSet::singleton(ColId(i as u32)), all.clone()),
+            row[i] = match spec {
+                ColSpec::Free => rng.range_i64(0, 4),
+                ColSpec::EqCol(j) => row[*j],
+                ColSpec::Const(v) => *v,
+                ColSpec::FnOf(j) => row[*j] * 7 + 1,
+                ColSpec::RowId => rid as i64,
+            };
+        }
+        rows.push(row);
+    }
+    // Facts that hold by construction.
+    let mut eq = EquivalenceClasses::new();
+    let mut fds = FdSet::new();
+    let all: ColSet = (0..NCOLS as u32).map(ColId).collect();
+    for (i, spec) in specs.iter().enumerate() {
+        match spec {
+            ColSpec::Free => {}
+            ColSpec::EqCol(j) => {
+                eq.merge(ColId(i as u32), ColId(*j as u32));
+                fds.add_equivalence(ColId(i as u32), ColId(*j as u32));
             }
+            ColSpec::Const(v) => {
+                eq.bind_constant(ColId(i as u32), Value::Int(*v));
+                fds.add_constant(ColId(i as u32));
+            }
+            ColSpec::FnOf(j) => fds.add(fto_order::Fd::new(
+                ColSet::singleton(ColId(*j as u32)),
+                ColSet::singleton(ColId(i as u32)),
+            )),
+            ColSpec::RowId => fds.add_key(ColSet::singleton(ColId(i as u32)), all.clone()),
         }
-        World {
-            rows,
-            ctx: OrderContext::new(eq, &fds),
-        }
-    })
+    }
+    World {
+        rows,
+        ctx: OrderContext::new(eq, &fds),
+    }
 }
 
-fn spec_strategy() -> impl Strategy<Value = OrderSpec> {
-    proptest::collection::vec((0u32..NCOLS as u32, any::<bool>()), 0..5).prop_map(|keys| {
-        keys.into_iter()
-            .map(|(c, desc)| SortKey {
-                col: ColId(c),
-                dir: if desc {
-                    Direction::Desc
-                } else {
-                    Direction::Asc
-                },
-            })
-            .collect()
-    })
+fn spec_strategy(rng: &mut Rng) -> OrderSpec {
+    let n = rng.range_usize(0, 5);
+    (0..n)
+        .map(|_| SortKey {
+            col: ColId(rng.range_i64(0, NCOLS as i64) as u32),
+            dir: if rng.bool() {
+                Direction::Desc
+            } else {
+                Direction::Asc
+            },
+        })
+        .collect()
+}
+
+fn random_colset(rng: &mut Rng, min: usize, max: usize) -> ColSet {
+    let n = rng.range_usize(min, max);
+    let mut s = ColSet::new();
+    while s.len() < n {
+        s.insert(ColId(rng.range_i64(0, NCOLS as i64) as u32));
+    }
+    s
 }
 
 fn cmp_by_spec(a: &[i64], b: &[i64], spec: &OrderSpec) -> Ordering {
@@ -144,140 +144,194 @@ fn is_ordered_by(rows: &[Vec<i64>], spec: &OrderSpec) -> bool {
         .all(|w| cmp_by_spec(&w[0], &w[1], spec) != Ordering::Greater)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Sorting by the reduced specification orders the data by the full
-    /// specification (the correctness claim of Fig. 2).
-    #[test]
-    fn reduce_is_sound(w in world(), spec in spec_strategy()) {
+/// Sorting by the reduced specification orders the data by the full
+/// specification (the correctness claim of Fig. 2).
+#[test]
+fn reduce_is_sound() {
+    let mut rng = Rng::new(0x01);
+    for case in 0..CASES {
+        let w = world(&mut rng);
+        let spec = spec_strategy(&mut rng);
         let reduced = w.ctx.reduce(&spec);
         let rows = sorted_by(&w.rows, &reduced);
-        prop_assert!(is_ordered_by(&rows, &spec),
-            "reduce({spec}) = {reduced} lost ordering");
+        assert!(
+            is_ordered_by(&rows, &spec),
+            "case {case}: reduce({spec}) = {reduced} lost ordering"
+        );
     }
+}
 
-    /// Reduction is idempotent and never grows the specification.
-    #[test]
-    fn reduce_is_idempotent_and_shrinking(w in world(), spec in spec_strategy()) {
+/// Reduction is idempotent and never grows the specification.
+#[test]
+fn reduce_is_idempotent_and_shrinking() {
+    let mut rng = Rng::new(0x02);
+    for case in 0..CASES {
+        let w = world(&mut rng);
+        let spec = spec_strategy(&mut rng);
         let once = w.ctx.reduce(&spec);
-        prop_assert!(once.len() <= spec.len());
-        prop_assert_eq!(w.ctx.reduce(&once), once);
+        assert!(once.len() <= spec.len(), "case {case}");
+        assert_eq!(w.ctx.reduce(&once), once, "case {case}");
     }
+}
 
-    /// Test Order is sound: a stream sorted by the order property really
-    /// is ordered by the interesting order (Fig. 3).
-    #[test]
-    fn test_order_is_sound(w in world(), interest in spec_strategy(), prop in spec_strategy()) {
+/// Test Order is sound: a stream sorted by the order property really is
+/// ordered by the interesting order (Fig. 3).
+#[test]
+fn test_order_is_sound() {
+    let mut rng = Rng::new(0x03);
+    for case in 0..CASES {
+        let w = world(&mut rng);
+        let interest = spec_strategy(&mut rng);
+        let prop = spec_strategy(&mut rng);
         if w.ctx.test_order(&interest, &prop) {
             let rows = sorted_by(&w.rows, &prop);
-            prop_assert!(is_ordered_by(&rows, &interest),
-                "test_order said {prop} satisfies {interest}");
+            assert!(
+                is_ordered_by(&rows, &interest),
+                "case {case}: test_order said {prop} satisfies {interest}"
+            );
         }
     }
+}
 
-    /// Test Order is reflexive and closed under reduction.
-    #[test]
-    fn test_order_reflexive(w in world(), spec in spec_strategy()) {
-        prop_assert!(w.ctx.test_order(&spec, &spec));
-        prop_assert!(w.ctx.test_order(&spec, &w.ctx.reduce(&spec)));
+/// Test Order is reflexive and closed under reduction.
+#[test]
+fn test_order_reflexive() {
+    let mut rng = Rng::new(0x04);
+    for case in 0..CASES {
+        let w = world(&mut rng);
+        let spec = spec_strategy(&mut rng);
+        assert!(w.ctx.test_order(&spec, &spec), "case {case}");
+        assert!(w.ctx.test_order(&spec, &w.ctx.reduce(&spec)), "case {case}");
     }
+}
 
-    /// Cover Order is sound: one sort satisfies both inputs (Fig. 4).
-    #[test]
-    fn cover_is_sound(w in world(), i1 in spec_strategy(), i2 in spec_strategy()) {
+/// Cover Order is sound: one sort satisfies both inputs (Fig. 4).
+#[test]
+fn cover_is_sound() {
+    let mut rng = Rng::new(0x05);
+    for case in 0..CASES {
+        let w = world(&mut rng);
+        let i1 = spec_strategy(&mut rng);
+        let i2 = spec_strategy(&mut rng);
         if let Some(cover) = w.ctx.cover(&i1, &i2) {
-            prop_assert!(w.ctx.test_order(&i1, &cover));
-            prop_assert!(w.ctx.test_order(&i2, &cover));
+            assert!(w.ctx.test_order(&i1, &cover), "case {case}");
+            assert!(w.ctx.test_order(&i2, &cover), "case {case}");
             let rows = sorted_by(&w.rows, &cover);
-            prop_assert!(is_ordered_by(&rows, &i1));
-            prop_assert!(is_ordered_by(&rows, &i2));
+            assert!(is_ordered_by(&rows, &i1), "case {case}");
+            assert!(is_ordered_by(&rows, &i2), "case {case}");
         }
     }
+}
 
-    /// Cover is symmetric in satisfiability.
-    #[test]
-    fn cover_is_symmetric(w in world(), i1 in spec_strategy(), i2 in spec_strategy()) {
+/// Cover is symmetric in satisfiability.
+#[test]
+fn cover_is_symmetric() {
+    let mut rng = Rng::new(0x06);
+    for case in 0..CASES {
+        let w = world(&mut rng);
+        let i1 = spec_strategy(&mut rng);
+        let i2 = spec_strategy(&mut rng);
         let a = w.ctx.cover(&i1, &i2);
         let b = w.ctx.cover(&i2, &i1);
-        prop_assert_eq!(a.is_some(), b.is_some());
+        assert_eq!(a.is_some(), b.is_some(), "case {case}: {i1} vs {i2}");
     }
+}
 
-    /// Homogenize Order is sound: the homogenized order still delivers
-    /// the original interesting order once the (already applied here)
-    /// equivalences hold (Fig. 5).
-    #[test]
-    fn homogenize_is_sound(
-        w in world(),
-        interest in spec_strategy(),
-        targets in proptest::collection::btree_set(0u32..NCOLS as u32, 1..NCOLS),
-    ) {
-        let target_set: ColSet = targets.into_iter().map(ColId).collect();
+/// Homogenize Order is sound: the homogenized order still delivers the
+/// original interesting order once the (already applied here)
+/// equivalences hold (Fig. 5).
+#[test]
+fn homogenize_is_sound() {
+    let mut rng = Rng::new(0x07);
+    for case in 0..CASES {
+        let w = world(&mut rng);
+        let interest = spec_strategy(&mut rng);
+        let target_set = random_colset(&mut rng, 1, NCOLS);
         if let Some(h) = w.ctx.homogenize(&interest, &target_set) {
-            prop_assert!(h.col_set().is_subset(&target_set));
+            assert!(h.col_set().is_subset(&target_set), "case {case}");
             let rows = sorted_by(&w.rows, &h);
-            prop_assert!(is_ordered_by(&rows, &interest),
-                "homogenize({interest}) = {h} lost ordering");
+            assert!(
+                is_ordered_by(&rows, &interest),
+                "case {case}: homogenize({interest}) = {h} lost ordering"
+            );
         }
     }
+}
 
-    /// The generalized GROUP BY order test is sound: when satisfied,
-    /// sorting by the property makes every group (rows equal on all flex
-    /// columns) contiguous (§7).
-    #[test]
-    fn flex_satisfaction_is_sound(
-        w in world(),
-        grouping in proptest::collection::btree_set(0u32..NCOLS as u32, 1..4),
-        prop in spec_strategy(),
-    ) {
-        let cols: Vec<ColId> = grouping.into_iter().map(ColId).collect();
+/// The generalized GROUP BY order test is sound: when satisfied, sorting
+/// by the property makes every group (rows equal on all flex columns)
+/// contiguous (§7).
+#[test]
+fn flex_satisfaction_is_sound() {
+    let mut rng = Rng::new(0x08);
+    for case in 0..CASES {
+        let w = world(&mut rng);
+        let cols: Vec<ColId> = random_colset(&mut rng, 1, 4).iter().collect();
+        let prop = spec_strategy(&mut rng);
         let flex = FlexOrder::group_by(cols.iter().copied(), []);
         if flex.satisfied_by(&prop, &w.ctx) {
             let rows = sorted_by(&w.rows, &prop);
             // Groups must be contiguous: once a group key is left, it
             // never reappears.
-            let key = |r: &Vec<i64>| -> Vec<i64> {
-                cols.iter().map(|c| r[c.index()]).collect()
-            };
+            let key = |r: &Vec<i64>| -> Vec<i64> { cols.iter().map(|c| r[c.index()]).collect() };
             let mut seen: Vec<Vec<i64>> = Vec::new();
             for r in &rows {
                 let k = key(r);
                 match seen.last() {
                     Some(last) if *last == k => {}
                     _ => {
-                        prop_assert!(!seen.contains(&k),
-                            "group {k:?} split under {prop}");
+                        assert!(
+                            !seen.contains(&k),
+                            "case {case}: group {k:?} split under {prop}"
+                        );
                         seen.push(k);
                     }
                 }
             }
         }
     }
+}
 
-    /// The flex concretization always satisfies its own requirement and
-    /// extends the supplied property when it claimed to.
-    #[test]
-    fn flex_concretize_satisfies(
-        w in world(),
-        grouping in proptest::collection::btree_set(0u32..NCOLS as u32, 1..4),
-        prop in spec_strategy(),
-    ) {
-        let cols: Vec<ColId> = grouping.into_iter().map(ColId).collect();
+/// The flex concretization always satisfies its own requirement and
+/// extends the supplied property when it claimed to.
+#[test]
+fn flex_concretize_satisfies() {
+    let mut rng = Rng::new(0x09);
+    for case in 0..CASES {
+        let w = world(&mut rng);
+        let cols: Vec<ColId> = random_colset(&mut rng, 1, 4).iter().collect();
+        let prop = spec_strategy(&mut rng);
         let flex = FlexOrder::group_by(cols.iter().copied(), []);
         let sort = flex.concretize(&prop, &w.ctx);
-        prop_assert!(flex.satisfied_by(&sort, &w.ctx),
-            "concretize({prop}) = {sort} does not satisfy {flex}");
+        assert!(
+            flex.satisfied_by(&sort, &w.ctx),
+            "case {case}: concretize({prop}) = {sort} does not satisfy {flex}"
+        );
     }
+}
 
-    /// Reduced specifications mention only equivalence-class heads and
-    /// contain no duplicate columns.
-    #[test]
-    fn reduce_yields_canonical_form(w in world(), spec in spec_strategy()) {
+/// Reduced specifications mention only equivalence-class heads and
+/// contain no duplicate columns.
+#[test]
+fn reduce_yields_canonical_form() {
+    let mut rng = Rng::new(0x0A);
+    for case in 0..CASES {
+        let w = world(&mut rng);
+        let spec = spec_strategy(&mut rng);
         let reduced = w.ctx.reduce(&spec);
         let mut seen = ColSet::new();
         for k in reduced.keys() {
-            prop_assert_eq!(w.ctx.equivalences().head(k.col), k.col);
-            prop_assert!(seen.insert(k.col), "duplicate {} in {}", k.col, reduced);
+            assert_eq!(
+                w.ctx.equivalences().head(k.col),
+                k.col,
+                "case {case}: non-head in {reduced}"
+            );
+            assert!(
+                seen.insert(k.col),
+                "case {case}: duplicate {} in {}",
+                k.col,
+                reduced
+            );
         }
     }
 }

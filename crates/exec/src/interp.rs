@@ -1,4 +1,12 @@
-//! The recursive plan interpreter.
+//! The recursive, fully materializing plan interpreter.
+//!
+//! This is the original engine: every operator computes its complete
+//! output before the parent sees a row, and scans charge their whole
+//! table up front. It is kept as the *reference* implementation — the
+//! differential tests execute every query through both this interpreter
+//! and the streaming executor in [`crate::stream`] and require identical
+//! rows. New code should go through [`crate::Session`] or
+//! [`crate::execute_plan`], which use the streaming engine.
 
 use fto_common::{FtoError, Result, Row, Value};
 use fto_expr::{AggCall, RowLayout};
@@ -20,8 +28,16 @@ pub struct QueryResult {
     pub elapsed: Duration,
 }
 
-/// Executes a plan to completion.
-pub fn run_plan(db: &Database, graph: &QueryGraph, plan: &Plan) -> Result<QueryResult> {
+/// Executes a plan to completion with the materializing interpreter.
+///
+/// Prefer [`crate::execute_plan`] (streaming); this entry point exists as
+/// the reference engine for differential testing and for measuring the
+/// cost of full materialization.
+pub fn run_plan_materialized(
+    db: &Database,
+    graph: &QueryGraph,
+    plan: &Plan,
+) -> Result<QueryResult> {
     let mut io = IoStats::new();
     let start = Instant::now();
     let rows = exec(db, graph, plan, &mut io)?;
@@ -356,7 +372,7 @@ fn exec(db: &Database, graph: &QueryGraph, plan: &Plan, io: &mut IoStats) -> Res
     }
 }
 
-fn positions(layout: &RowLayout, cols: &[fto_common::ColId]) -> Result<Vec<usize>> {
+pub(crate) fn positions(layout: &RowLayout, cols: &[fto_common::ColId]) -> Result<Vec<usize>> {
     cols.iter()
         .map(|&c| {
             layout
@@ -366,7 +382,7 @@ fn positions(layout: &RowLayout, cols: &[fto_common::ColId]) -> Result<Vec<usize
         .collect()
 }
 
-fn eval_preds(
+pub(crate) fn eval_preds(
     graph: &QueryGraph,
     preds: &[fto_expr::PredId],
     row: &Row,
@@ -380,11 +396,11 @@ fn eval_preds(
     Ok(true)
 }
 
-fn concat(a: &Row, b: &Row) -> Row {
+pub(crate) fn concat(a: &Row, b: &Row) -> Row {
     a.iter().chain(b.iter()).cloned().collect()
 }
 
-fn sort_rows(rows: &mut [Row], spec: &OrderSpec, layout: &RowLayout) -> Result<()> {
+pub(crate) fn sort_rows(rows: &mut [Row], spec: &OrderSpec, layout: &RowLayout) -> Result<()> {
     let keys: Vec<(usize, fto_common::Direction)> = spec
         .keys()
         .iter()
@@ -455,7 +471,7 @@ fn stream_group_by(
     Ok(out)
 }
 
-fn hash_group_by(
+pub(crate) fn hash_group_by(
     rows: &[Row],
     layout: &RowLayout,
     grouping: &[fto_common::ColId],
@@ -635,7 +651,7 @@ mod tests {
         OrderScan::run(&mut g, cat);
         let mut planner = Planner::new(&g, cat, config);
         let plan = planner.plan_query().unwrap();
-        let result = run_plan(db, &g, &plan).unwrap();
+        let result = run_plan_materialized(db, &g, &plan).unwrap();
         result.rows
     }
 
@@ -665,23 +681,12 @@ mod tests {
         for config in [
             OptimizerConfig::default(),
             OptimizerConfig::disabled(),
-            OptimizerConfig {
-                enable_hash_join: false,
-                ..OptimizerConfig::default()
-            },
-            OptimizerConfig {
-                enable_merge_join: false,
-                enable_hash_join: false,
-                ..OptimizerConfig::default()
-            },
-            OptimizerConfig {
-                enable_nested_loop: false,
-                ..OptimizerConfig::default()
-            },
-            OptimizerConfig {
-                sort_ahead: false,
-                ..OptimizerConfig::default()
-            },
+            OptimizerConfig::default().with_hash_join(false),
+            OptimizerConfig::default()
+                .with_merge_join(false)
+                .with_hash_join(false),
+            OptimizerConfig::default().with_nested_loop(false),
+            OptimizerConfig::default().with_sort_ahead(false),
         ] {
             let got = plan_and_run(&db, config.clone());
             assert_eq!(got, expected, "config {config:?}");
@@ -720,7 +725,7 @@ mod tests {
         OrderScan::run(&mut g, cat);
         let mut planner = Planner::new(&g, cat, OptimizerConfig::default());
         let plan = planner.plan_query().unwrap();
-        let result = run_plan(&db, &g, &plan).unwrap();
+        let result = run_plan_materialized(&db, &g, &plan).unwrap();
         // y in 0..7, 50 rows: groups of 8 or 7.
         assert_eq!(result.rows.len(), 7);
         let total: i64 = result.rows.iter().map(|r| r[1].as_int().unwrap()).sum();
@@ -742,11 +747,9 @@ mod tests {
         let expected = reference(&db);
         let got = plan_and_run(
             &db,
-            OptimizerConfig {
-                enable_hash_join: false,
-                enable_nested_loop: false,
-                ..OptimizerConfig::default()
-            },
+            OptimizerConfig::default()
+                .with_hash_join(false)
+                .with_nested_loop(false),
         );
         assert_eq!(got, expected);
     }
@@ -764,7 +767,7 @@ mod tests {
         OrderScan::run(&mut g, cat);
         let mut planner = Planner::new(&g, cat, OptimizerConfig::default());
         let plan = planner.plan_query().unwrap();
-        let result = run_plan(&db, &g, &plan).unwrap();
+        let result = run_plan_materialized(&db, &g, &plan).unwrap();
         assert_eq!(result.rows.len(), 50);
         assert!(result.io.rows_read >= 50);
         assert!(result.io.sequential_pages + result.io.random_pages > 0);

@@ -1,16 +1,54 @@
-//! The execution engine: an interpreter for [`fto_planner::PlanNode`]
-//! trees against an [`fto_storage::Database`].
+//! The execution engine: a streaming, batched (Volcano-style) executor
+//! for [`fto_planner::PlanNode`] trees against an
+//! [`fto_storage::Database`], plus the [`Session`] API that wraps the
+//! whole compile-and-execute pipeline.
 //!
-//! Each operator materializes its output (a row set in a defined layout),
-//! which keeps the engine simple and the measured work honest: every
-//! avoidable sort the optimizer fails to avoid is really executed, every
-//! index probe really walks the simulated page model. [`run_plan`]
-//! returns the rows, the simulated [`IoStats`](fto_storage::IoStats), and
-//! wall-clock time — the three observables the benchmark harness reports
-//! for the paper's Table 1.
+//! # Architecture
+//!
+//! * [`stream`] — the default engine. Plans lower to a tree of
+//!   [`Operator`]s (`open` / `next_batch` / `close`); rows flow upward in
+//!   batches of at most `batch_size` rows. Scans charge simulated page
+//!   I/O incrementally as batches are pulled, so early-terminating
+//!   queries (LIMIT, Top-N) pay only for the pages behind the rows they
+//!   actually produce. The only general pipeline breaker is the in-memory
+//!   sort; hash group-by and Top-N are inherently blocking, and joins
+//!   materialize only their build side.
+//! * [`interp`] — the original fully materializing interpreter, kept as
+//!   the reference engine. The differential test suite runs every query
+//!   through both engines and requires identical rows in identical order.
+//! * [`session`] — [`Session`] / [`PreparedQuery`] / [`QueryOutput`]:
+//!   `Session::new(&db).config(cfg).plan(sql)?.execute()?`.
+//!
+//! Entry points: [`Session`] for SQL, [`execute_plan`] for an
+//! already-planned query, [`compile_pipeline`] to drive batches by hand.
 
 #![deny(missing_docs)]
 
 pub mod interp;
+pub mod session;
+pub mod stream;
 
-pub use interp::{run_plan, QueryResult};
+pub use interp::{run_plan_materialized, QueryResult};
+pub use session::{PreparedQuery, QueryOutput, Session};
+pub use stream::{compile_pipeline, execute_plan, Batch, ExecContext, ExecOptions, Operator};
+
+/// Executes a plan to completion through the streaming executor with the
+/// default batch size.
+///
+/// Retained for source compatibility with the materializing engine's old
+/// entry point; new code should use [`Session`] or [`execute_plan`].
+#[deprecated(note = "use Session::plan(..)?.execute() or execute_plan()")]
+pub fn run_plan(
+    db: &fto_storage::Database,
+    graph: &fto_qgm::QueryGraph,
+    plan: &fto_planner::Plan,
+) -> fto_common::Result<QueryResult> {
+    execute_plan(db, graph, plan, &ExecOptions::default())
+}
+
+/// Convenience re-exports for the common execution workflow.
+pub mod prelude {
+    pub use crate::{execute_plan, ExecOptions, PreparedQuery, QueryOutput, QueryResult, Session};
+    pub use fto_planner::{OptimizerConfig, PlannerStats};
+    pub use fto_storage::{Database, IoStats};
+}

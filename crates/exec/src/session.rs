@@ -1,0 +1,236 @@
+//! [`Session`]: the public entry point for compiling and executing SQL.
+//!
+//! A session borrows a loaded [`Database`] and carries an
+//! [`OptimizerConfig`]; queries flow parse → bind → rewrite → order scan →
+//! cost-based planning → streaming execution:
+//!
+//! ```no_run
+//! use fto_exec::prelude::*;
+//! # fn demo(db: &fto_storage::Database) -> fto_common::Result<()> {
+//! let out = Session::new(db)
+//!     .config(OptimizerConfig::default().with_batch_size(512))
+//!     .plan("select k, v from t order by k")?
+//!     .execute()?;
+//! println!("{} rows, {}", out.rows.len(), out.io);
+//! # Ok(()) }
+//! ```
+
+use crate::interp::{run_plan_materialized, QueryResult};
+use crate::stream::{execute_plan, ExecOptions};
+use fto_common::{Result, Row};
+use fto_planner::{OptimizerConfig, Plan, Planner, PlannerStats};
+use fto_qgm::{rewrite, OrderScan, QueryGraph};
+use fto_sql::{bind, parse_query};
+use fto_storage::{Database, IoStats};
+use std::time::Duration;
+
+/// Everything a query execution produced: the rows plus the three
+/// observables the paper's evaluation reports (simulated I/O, planner
+/// work, wall-clock time).
+#[derive(Debug)]
+pub struct QueryOutput {
+    /// Output rows, in the plan's output layout and order.
+    pub rows: Vec<Row>,
+    /// Simulated page I/O accumulated across the whole plan.
+    pub io: IoStats,
+    /// How much work the planner did choosing the plan.
+    pub planner: PlannerStats,
+    /// Wall-clock execution time (excluding planning).
+    pub elapsed: Duration,
+}
+
+/// A query pipeline over one database under one optimizer configuration.
+pub struct Session<'db> {
+    db: &'db Database,
+    config: OptimizerConfig,
+}
+
+impl<'db> Session<'db> {
+    /// Opens a session over a loaded database with the default
+    /// configuration.
+    pub fn new(db: &'db Database) -> Session<'db> {
+        Session {
+            db,
+            config: OptimizerConfig::default(),
+        }
+    }
+
+    /// Replaces the optimizer/executor configuration (builder style).
+    pub fn config(mut self, config: OptimizerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The active configuration.
+    pub fn current_config(&self) -> &OptimizerConfig {
+        &self.config
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &'db Database {
+        self.db
+    }
+
+    /// Compiles SQL to an executable query: parse → bind → predicate
+    /// pushdown → view merging → order scan → cost-based planning.
+    pub fn plan(&self, sql: &str) -> Result<PreparedQuery<'db>> {
+        let ast = parse_query(sql)?;
+        let mut graph = bind(&ast, self.db.catalog())?;
+        rewrite::push_down_predicates(&mut graph);
+        rewrite::merge_views(&mut graph);
+        OrderScan::run(&mut graph, self.db.catalog());
+        let mut planner = Planner::new(&graph, self.db.catalog(), self.config.clone());
+        let plan = planner.plan_query()?;
+        let planner_stats = planner.stats;
+        Ok(PreparedQuery {
+            db: self.db,
+            graph,
+            plan,
+            planner: planner_stats,
+            batch_size: self.config.batch_size,
+        })
+    }
+
+    /// Compile + execute in one call.
+    pub fn execute(&self, sql: &str) -> Result<QueryOutput> {
+        self.plan(sql)?.execute()
+    }
+}
+
+/// A compiled query bound to its database, ready to execute (repeatedly).
+pub struct PreparedQuery<'db> {
+    db: &'db Database,
+    graph: QueryGraph,
+    plan: Plan,
+    planner: PlannerStats,
+    batch_size: usize,
+}
+
+impl PreparedQuery<'_> {
+    /// Executes through the streaming batched executor (the default
+    /// engine).
+    pub fn execute(&self) -> Result<QueryOutput> {
+        let opts = ExecOptions {
+            batch_size: self.batch_size,
+        };
+        let result = execute_plan(self.db, &self.graph, &self.plan, &opts)?;
+        Ok(self.wrap(result))
+    }
+
+    /// Executes through the materializing reference interpreter. Exists
+    /// for differential testing and engine comparisons; the rows are
+    /// identical to [`PreparedQuery::execute`], the I/O accounting is the
+    /// old all-up-front model.
+    pub fn execute_materialized(&self) -> Result<QueryOutput> {
+        let result = run_plan_materialized(self.db, &self.graph, &self.plan)?;
+        Ok(self.wrap(result))
+    }
+
+    fn wrap(&self, result: QueryResult) -> QueryOutput {
+        QueryOutput {
+            rows: result.rows,
+            io: result.io,
+            planner: self.planner,
+            elapsed: result.elapsed,
+        }
+    }
+
+    /// The chosen physical plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The rewritten query graph the plan was built from.
+    pub fn graph(&self) -> &QueryGraph {
+        &self.graph
+    }
+
+    /// Planner work counters for this compilation.
+    pub fn planner_stats(&self) -> PlannerStats {
+        self.planner
+    }
+
+    /// Renders the plan with resolved column names.
+    pub fn explain(&self) -> String {
+        let registry = &self.graph.registry;
+        self.plan.explain(&|c| registry.name(c).to_string())
+    }
+
+    /// Renders the plan with the order/key/predicate properties the
+    /// optimizer tracked for every stream (paper §5.2.1).
+    pub fn explain_properties(&self) -> String {
+        let registry = &self.graph.registry;
+        self.plan
+            .explain_properties(&|c| registry.name(c).to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut cat = fto_catalog::Catalog::new();
+        let t = cat
+            .create_table(
+                "t",
+                vec![
+                    fto_catalog::ColumnDef::new("k", fto_common::DataType::Int),
+                    fto_catalog::ColumnDef::new("v", fto_common::DataType::Int),
+                ],
+                vec![fto_catalog::KeyDef::primary([0])],
+            )
+            .unwrap();
+        let mut db = Database::new(cat);
+        db.load_table(
+            t,
+            (0..40)
+                .map(|i| {
+                    vec![fto_common::Value::Int(i), fto_common::Value::Int(i % 4)]
+                        .into_boxed_slice()
+                })
+                .collect(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn builder_chain_plans_and_executes() {
+        let db = db();
+        let out = Session::new(&db)
+            .config(OptimizerConfig::default().with_batch_size(8))
+            .plan("select k, v from t order by k desc")
+            .unwrap()
+            .execute()
+            .unwrap();
+        assert_eq!(out.rows.len(), 40);
+        assert_eq!(out.rows[0][0], fto_common::Value::Int(39));
+        assert!(out.io.rows_read >= 40);
+    }
+
+    #[test]
+    fn both_engines_agree_through_prepared_query() {
+        let db = db();
+        let session = Session::new(&db);
+        let q = session
+            .plan("select v, count(*) as n from t group by v order by v")
+            .unwrap();
+        let streaming = q.execute().unwrap();
+        let materialized = q.execute_materialized().unwrap();
+        assert_eq!(streaming.rows, materialized.rows);
+        assert_eq!(streaming.rows.len(), 4);
+    }
+
+    #[test]
+    fn explain_names_columns() {
+        let db = db();
+        let q = Session::new(&db)
+            .plan("select k from t order by k")
+            .unwrap();
+        let text = q.explain();
+        assert!(text.contains('k'), "{text}");
+        let props = q.explain_properties();
+        assert!(props.contains("order") || props.contains("keys"), "{props}");
+    }
+}

@@ -1,0 +1,1376 @@
+//! The streaming, batched (Volcano-style) executor.
+//!
+//! Plans are lowered to a tree of [`Operator`]s. Each operator exposes
+//! `open` / `next_batch` / `close` and rows flow upward in batches of at
+//! most [`ExecContext::batch_size`] rows (default 1024). Scans pull
+//! through the batched cursors in `fto_storage::scan`, so simulated page
+//! I/O is charged as pages are actually touched — a `LIMIT 10` over a
+//! million-row table pays for the handful of pages behind the ten rows it
+//! returns, not the whole heap.
+//!
+//! Pipeline breakers: [`PlanNode::Sort`], [`PlanNode::TopN`], and
+//! [`PlanNode::HashGroupBy`] must consume their whole input before
+//! producing anything and drain it at `open`. Join operators materialize
+//! only their *inner* (build) side; the outer side streams. Everything
+//! else — filter, project, order-based group-by / distinct, merge join,
+//! limit, union — is fully streaming.
+//!
+//! The executor is row-for-row equivalent to the materializing reference
+//! interpreter in [`crate::interp`] (enforced by the differential test
+//! suite), including output order: streaming operators reproduce the
+//! reference engine's exact emission order, not merely the same bag of
+//! rows.
+
+use crate::interp::{concat, eval_preds, hash_group_by, positions, sort_rows, QueryResult};
+use fto_common::{ColId, Direction, FtoError, IndexId, Result, Row, TableId, Value};
+use fto_expr::{agg::Accumulator, AggCall, Expr, PredId, RowLayout};
+use fto_order::OrderSpec;
+use fto_planner::{Plan, PlanNode, ScanRange};
+use fto_qgm::QueryGraph;
+use fto_storage::{Database, HeapScanState, IndexScanState, IoStats, PageCursor};
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::Instant;
+
+/// A batch of rows. Operators never return an empty batch: exhaustion is
+/// signalled by `None` from [`Operator::next_batch`].
+pub type Batch = Vec<Row>;
+
+/// Execution-wide state passed to every operator call.
+pub struct ExecContext<'a> {
+    /// The database supplying heaps and indexes.
+    pub db: &'a Database,
+    /// The query graph (predicate definitions live here).
+    pub graph: &'a QueryGraph,
+    /// Maximum rows per batch (always ≥ 1).
+    pub batch_size: usize,
+}
+
+/// A streaming operator in the lowered plan tree.
+///
+/// Lifecycle: `open` once, `next_batch` until it returns `Ok(None)`,
+/// then `close`. Operators own their children and drive them through the
+/// same protocol.
+pub trait Operator {
+    /// Acquires resources and opens children. Pipeline breakers drain
+    /// their input here, charging any buffering I/O (e.g. `sort_rows`).
+    fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()>;
+
+    /// Produces the next non-empty batch, or `None` when exhausted.
+    fn next_batch(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<Option<Batch>>;
+
+    /// Releases buffered state. Called once; also safe to call early to
+    /// abandon a partially consumed stream.
+    fn close(&mut self) {}
+}
+
+/// Tuning options for [`execute_plan`].
+#[derive(Clone, Debug)]
+pub struct ExecOptions {
+    /// Rows per batch (clamped to ≥ 1).
+    pub batch_size: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { batch_size: 1024 }
+    }
+}
+
+/// Lowers a plan to its streaming operator tree without running it.
+///
+/// Most callers want [`execute_plan`] (or [`crate::Session`]); this is
+/// exposed for drivers that consume batches incrementally.
+pub fn compile_pipeline(plan: &Plan) -> Result<Box<dyn Operator>> {
+    lower(plan)
+}
+
+/// Executes a plan to completion through the streaming executor.
+pub fn execute_plan(
+    db: &Database,
+    graph: &QueryGraph,
+    plan: &Plan,
+    opts: &ExecOptions,
+) -> Result<QueryResult> {
+    let start = Instant::now();
+    let mut io = IoStats::new();
+    let cx = ExecContext {
+        db,
+        graph,
+        batch_size: opts.batch_size.max(1),
+    };
+    let mut root = lower(plan)?;
+    root.open(&cx, &mut io)?;
+    let mut rows = Vec::new();
+    while let Some(batch) = root.next_batch(&cx, &mut io)? {
+        rows.extend(batch);
+    }
+    root.close();
+    Ok(QueryResult {
+        rows,
+        io,
+        elapsed: start.elapsed(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Shared bits
+// ---------------------------------------------------------------------
+
+/// Rows produced faster than they are consumed; drained in batch-size
+/// chunks.
+#[derive(Default)]
+struct OutQueue {
+    rows: VecDeque<Row>,
+}
+
+impl OutQueue {
+    fn push(&mut self, row: Row) {
+        self.rows.push_back(row);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn take(&mut self, n: usize) -> Batch {
+        let n = n.min(self.rows.len());
+        self.rows.drain(..n).collect()
+    }
+
+    fn clear(&mut self) {
+        self.rows.clear();
+    }
+}
+
+type SortKeys = Vec<(usize, Direction)>;
+
+fn resolve_sort_keys(spec: &OrderSpec, layout: &RowLayout) -> Result<SortKeys> {
+    spec.keys()
+        .iter()
+        .map(|k| {
+            layout.position(k.col).map(|p| (p, k.dir)).ok_or_else(|| {
+                FtoError::internal(format!("sort column {} missing from layout", k.col))
+            })
+        })
+        .collect()
+}
+
+fn cmp_rows(a: &Row, b: &Row, keys: &SortKeys) -> Ordering {
+    for &(pos, dir) in keys {
+        let ord = dir.apply(a[pos].total_cmp(&b[pos]));
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+fn drain_all(
+    child: &mut Box<dyn Operator>,
+    cx: &ExecContext<'_>,
+    io: &mut IoStats,
+) -> Result<Vec<Row>> {
+    child.open(cx, io)?;
+    let mut rows = Vec::new();
+    while let Some(batch) = child.next_batch(cx, io)? {
+        rows.extend(batch);
+    }
+    child.close();
+    Ok(rows)
+}
+
+fn key_of(row: &Row, pos: &[usize]) -> Vec<Value> {
+    pos.iter().map(|&p| row[p].clone()).collect()
+}
+
+// ---------------------------------------------------------------------
+// Leaves
+// ---------------------------------------------------------------------
+
+struct ScanOp {
+    table: TableId,
+    state: HeapScanState,
+}
+
+impl Operator for ScanOp {
+    fn open(&mut self, _cx: &ExecContext<'_>, _io: &mut IoStats) -> Result<()> {
+        self.state = HeapScanState::new();
+        Ok(())
+    }
+
+    fn next_batch(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<Option<Batch>> {
+        let heap = cx.db.heap(self.table)?;
+        let batch = self.state.next_batch(heap, cx.batch_size, io);
+        Ok(if batch.is_empty() { None } else { Some(batch) })
+    }
+}
+
+struct IndexScanOp {
+    index: IndexId,
+    table: TableId,
+    range: Option<ScanRange>,
+    reverse: bool,
+    state: Option<IndexScanState>,
+}
+
+impl Operator for IndexScanOp {
+    fn open(&mut self, cx: &ExecContext<'_>, _io: &mut IoStats) -> Result<()> {
+        let ix = cx.db.index(self.index)?;
+        let (lo, hi) = match &self.range {
+            Some(ScanRange { lo, hi }) => (lo.as_ref(), hi.as_ref()),
+            None => (None, None),
+        };
+        self.state = Some(IndexScanState::open(ix, lo, hi, self.reverse));
+        Ok(())
+    }
+
+    fn next_batch(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<Option<Batch>> {
+        let heap = cx.db.heap(self.table)?;
+        let state = self
+            .state
+            .as_mut()
+            .ok_or_else(|| FtoError::internal("index scan used before open"))?;
+        let batch = state.next_batch(heap, cx.batch_size, io);
+        Ok(if batch.is_empty() { None } else { Some(batch) })
+    }
+
+    fn close(&mut self) {
+        self.state = None;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Row-at-a-time streamers
+// ---------------------------------------------------------------------
+
+struct FilterOp {
+    child: Box<dyn Operator>,
+    predicates: Vec<PredId>,
+    layout: RowLayout,
+}
+
+impl Operator for FilterOp {
+    fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
+        self.child.open(cx, io)
+    }
+
+    fn next_batch(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<Option<Batch>> {
+        loop {
+            let Some(batch) = self.child.next_batch(cx, io)? else {
+                return Ok(None);
+            };
+            let mut out = Vec::with_capacity(batch.len());
+            for row in batch {
+                if eval_preds(cx.graph, &self.predicates, &row, &self.layout)? {
+                    out.push(row);
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+}
+
+struct ProjectOp {
+    child: Box<dyn Operator>,
+    exprs: Vec<(ColId, Expr)>,
+    layout: RowLayout,
+}
+
+impl Operator for ProjectOp {
+    fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
+        self.child.open(cx, io)
+    }
+
+    fn next_batch(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<Option<Batch>> {
+        let Some(batch) = self.child.next_batch(cx, io)? else {
+            return Ok(None);
+        };
+        let out: Batch = batch
+            .iter()
+            .map(|row| {
+                self.exprs
+                    .iter()
+                    .map(|(_, e)| e.eval(row, &self.layout))
+                    .collect::<Result<Row>>()
+            })
+            .collect::<Result<_>>()?;
+        Ok(Some(out))
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+}
+
+struct LimitOp {
+    child: Box<dyn Operator>,
+    remaining: u64,
+}
+
+impl Operator for LimitOp {
+    fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
+        self.child.open(cx, io)
+    }
+
+    fn next_batch(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<Option<Batch>> {
+        if self.remaining == 0 {
+            // Early termination: the child is never pulled again, so the
+            // pages behind unproduced rows are never charged.
+            self.child.close();
+            return Ok(None);
+        }
+        let Some(mut batch) = self.child.next_batch(cx, io)? else {
+            return Ok(None);
+        };
+        if batch.len() as u64 > self.remaining {
+            batch.truncate(self.remaining as usize);
+        }
+        self.remaining -= batch.len() as u64;
+        Ok(Some(batch))
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+}
+
+struct StreamDistinctOp {
+    child: Box<dyn Operator>,
+    last: Option<Row>,
+}
+
+impl Operator for StreamDistinctOp {
+    fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
+        self.last = None;
+        self.child.open(cx, io)
+    }
+
+    fn next_batch(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<Option<Batch>> {
+        loop {
+            let Some(batch) = self.child.next_batch(cx, io)? else {
+                return Ok(None);
+            };
+            let mut out = Vec::new();
+            for row in batch {
+                if self.last.as_ref().map(|prev| prev != &row).unwrap_or(true) {
+                    self.last = Some(row.clone());
+                    out.push(row);
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.last = None;
+        self.child.close();
+    }
+}
+
+struct HashDistinctOp {
+    child: Box<dyn Operator>,
+    seen: HashSet<Row>,
+}
+
+impl Operator for HashDistinctOp {
+    fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
+        self.seen.clear();
+        self.child.open(cx, io)
+    }
+
+    fn next_batch(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<Option<Batch>> {
+        loop {
+            let Some(batch) = self.child.next_batch(cx, io)? else {
+                return Ok(None);
+            };
+            let mut out = Vec::new();
+            for row in batch {
+                if self.seen.insert(row.clone()) {
+                    out.push(row);
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.seen.clear();
+        self.child.close();
+    }
+}
+
+struct UnionAllOp {
+    children: Vec<Box<dyn Operator>>,
+    current: usize,
+    opened: bool,
+}
+
+impl Operator for UnionAllOp {
+    fn open(&mut self, _cx: &ExecContext<'_>, _io: &mut IoStats) -> Result<()> {
+        // Children open lazily, one at a time, as the union advances.
+        self.current = 0;
+        self.opened = false;
+        Ok(())
+    }
+
+    fn next_batch(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<Option<Batch>> {
+        while self.current < self.children.len() {
+            let child = &mut self.children[self.current];
+            if !self.opened {
+                child.open(cx, io)?;
+                self.opened = true;
+            }
+            match child.next_batch(cx, io)? {
+                Some(batch) => return Ok(Some(batch)),
+                None => {
+                    child.close();
+                    self.current += 1;
+                    self.opened = false;
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self) {
+        for c in &mut self.children {
+            c.close();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pipeline breakers
+// ---------------------------------------------------------------------
+
+struct SortOp {
+    child: Box<dyn Operator>,
+    spec: OrderSpec,
+    layout: RowLayout,
+    buf: Vec<Row>,
+    pos: usize,
+}
+
+impl Operator for SortOp {
+    fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
+        let mut rows = drain_all(&mut self.child, cx, io)?;
+        io.sort_rows += rows.len() as u64;
+        sort_rows(&mut rows, &self.spec, &self.layout)?;
+        self.buf = rows;
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next_batch(&mut self, cx: &ExecContext<'_>, _io: &mut IoStats) -> Result<Option<Batch>> {
+        if self.pos >= self.buf.len() {
+            return Ok(None);
+        }
+        let end = (self.pos + cx.batch_size).min(self.buf.len());
+        let batch = self.buf[self.pos..end].to_vec();
+        self.pos = end;
+        Ok(Some(batch))
+    }
+
+    fn close(&mut self) {
+        self.buf = Vec::new();
+    }
+}
+
+struct TopNOp {
+    child: Box<dyn Operator>,
+    keys: SortKeys,
+    n: u64,
+    buf: Vec<Row>,
+    pos: usize,
+}
+
+impl Operator for TopNOp {
+    fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
+        let mut rows = drain_all(&mut self.child, cx, io)?;
+        let n = self.n as usize;
+        if n == 0 {
+            self.buf = Vec::new();
+            return Ok(());
+        }
+        let keys = &self.keys;
+        let cmp = |a: &Row, b: &Row| cmp_rows(a, b, keys);
+        if rows.len() > n {
+            // Selection first: only the winning prefix pays the sort.
+            rows.select_nth_unstable_by(n - 1, cmp);
+            rows.truncate(n);
+        }
+        io.sort_rows += rows.len() as u64;
+        rows.sort_by(cmp);
+        self.buf = rows;
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next_batch(&mut self, cx: &ExecContext<'_>, _io: &mut IoStats) -> Result<Option<Batch>> {
+        if self.pos >= self.buf.len() {
+            return Ok(None);
+        }
+        let end = (self.pos + cx.batch_size).min(self.buf.len());
+        let batch = self.buf[self.pos..end].to_vec();
+        self.pos = end;
+        Ok(Some(batch))
+    }
+
+    fn close(&mut self) {
+        self.buf = Vec::new();
+    }
+}
+
+struct HashGroupByOp {
+    child: Box<dyn Operator>,
+    grouping: Vec<ColId>,
+    aggs: Vec<(ColId, AggCall)>,
+    layout: RowLayout,
+    buf: Vec<Row>,
+    pos: usize,
+}
+
+impl Operator for HashGroupByOp {
+    fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
+        let rows = drain_all(&mut self.child, cx, io)?;
+        self.buf = hash_group_by(&rows, &self.layout, &self.grouping, &self.aggs)?;
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next_batch(&mut self, cx: &ExecContext<'_>, _io: &mut IoStats) -> Result<Option<Batch>> {
+        if self.pos >= self.buf.len() {
+            return Ok(None);
+        }
+        let end = (self.pos + cx.batch_size).min(self.buf.len());
+        let batch = self.buf[self.pos..end].to_vec();
+        self.pos = end;
+        Ok(Some(batch))
+    }
+
+    fn close(&mut self) {
+        self.buf = Vec::new();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Order-based group-by (fully streaming)
+// ---------------------------------------------------------------------
+
+struct StreamGroupByOp {
+    child: Box<dyn Operator>,
+    aggs: Vec<(ColId, AggCall)>,
+    layout: RowLayout,
+    gpos: Vec<usize>,
+    grouping_is_empty: bool,
+    current: Option<(Vec<Value>, Vec<Accumulator>)>,
+    saw_input: bool,
+    input_done: bool,
+    out: OutQueue,
+}
+
+impl StreamGroupByOp {
+    fn flush(&mut self, key: Vec<Value>, accs: Vec<Accumulator>) {
+        let mut row: Vec<Value> = key;
+        row.extend(accs.iter().map(|a| a.finish()));
+        self.out.push(row.into_boxed_slice());
+    }
+
+    fn absorb(&mut self, batch: Batch) -> Result<()> {
+        for row in batch {
+            let key = key_of(&row, &self.gpos);
+            match &mut self.current {
+                Some((ckey, accs)) if *ckey == key => {
+                    for (acc, (_, call)) in accs.iter_mut().zip(&self.aggs) {
+                        acc.update(call, &row, &self.layout)?;
+                    }
+                }
+                _ => {
+                    if let Some((ckey, accs)) = self.current.take() {
+                        self.flush(ckey, accs);
+                    }
+                    let mut accs: Vec<_> = self.aggs.iter().map(|(_, c)| c.accumulator()).collect();
+                    for (acc, (_, call)) in accs.iter_mut().zip(&self.aggs) {
+                        acc.update(call, &row, &self.layout)?;
+                    }
+                    self.current = Some((key, accs));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Operator for StreamGroupByOp {
+    fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
+        self.current = None;
+        self.saw_input = false;
+        self.input_done = false;
+        self.child.open(cx, io)
+    }
+
+    fn next_batch(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<Option<Batch>> {
+        loop {
+            if !self.out.is_empty() {
+                return Ok(Some(self.out.take(cx.batch_size)));
+            }
+            if self.input_done {
+                return Ok(None);
+            }
+            match self.child.next_batch(cx, io)? {
+                Some(batch) => {
+                    self.saw_input |= !batch.is_empty();
+                    self.absorb(batch)?;
+                }
+                None => {
+                    self.input_done = true;
+                    if let Some((ckey, accs)) = self.current.take() {
+                        self.flush(ckey, accs);
+                    } else if !self.saw_input && self.grouping_is_empty {
+                        // A global aggregate over an empty input still
+                        // produces one row (COUNT(*) = 0, SUM = NULL).
+                        let accs: Vec<_> = self.aggs.iter().map(|(_, c)| c.accumulator()).collect();
+                        self.flush(Vec::new(), accs);
+                    }
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.current = None;
+        self.out.clear();
+        self.child.close();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------
+
+/// Nested-loop join: inner side materialized once at open, outer side
+/// streamed through it batch by batch.
+struct NestedLoopJoinOp {
+    outer: Box<dyn Operator>,
+    inner: Box<dyn Operator>,
+    predicates: Vec<PredId>,
+    layout: RowLayout,
+    inner_rows: Vec<Row>,
+    out: OutQueue,
+}
+
+impl Operator for NestedLoopJoinOp {
+    fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
+        self.inner_rows = drain_all(&mut self.inner, cx, io)?;
+        self.outer.open(cx, io)
+    }
+
+    fn next_batch(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<Option<Batch>> {
+        loop {
+            if !self.out.is_empty() {
+                return Ok(Some(self.out.take(cx.batch_size)));
+            }
+            let Some(batch) = self.outer.next_batch(cx, io)? else {
+                return Ok(None);
+            };
+            for orow in &batch {
+                for irow in &self.inner_rows {
+                    let joined = concat(orow, irow);
+                    if eval_preds(cx.graph, &self.predicates, &joined, &self.layout)? {
+                        self.out.push(joined);
+                    }
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.inner_rows = Vec::new();
+        self.out.clear();
+        self.outer.close();
+    }
+}
+
+/// Index nested-loop join: streams the outer, probing the inner table's
+/// index per row. One [`PageCursor`] persists for the operator's
+/// lifetime, so probes arriving in inner-page order (the paper's ordered
+/// nested-loop join) hit the just-read page for free.
+struct IndexNestedLoopJoinOp {
+    outer: Box<dyn Operator>,
+    table: TableId,
+    index: IndexId,
+    probe_pos: Vec<usize>,
+    predicates: Vec<PredId>,
+    layout: RowLayout,
+    cursor: PageCursor,
+    out: OutQueue,
+}
+
+impl Operator for IndexNestedLoopJoinOp {
+    fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
+        self.cursor = PageCursor::new();
+        self.outer.open(cx, io)
+    }
+
+    fn next_batch(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<Option<Batch>> {
+        let heap = cx.db.heap(self.table)?;
+        let ix = cx.db.index(self.index)?;
+        loop {
+            if !self.out.is_empty() {
+                return Ok(Some(self.out.take(cx.batch_size)));
+            }
+            let Some(batch) = self.outer.next_batch(cx, io)? else {
+                return Ok(None);
+            };
+            for orow in &batch {
+                let key = key_of(orow, &self.probe_pos);
+                io.index_pages += 1; // descent touches one leaf
+                for (_, rid) in ix.probe(&key) {
+                    self.cursor.touch(heap.page_of(*rid), io);
+                    io.rows_read += 1;
+                    let joined = concat(orow, heap.row(*rid));
+                    if eval_preds(cx.graph, &self.predicates, &joined, &self.layout)? {
+                        self.out.push(joined);
+                    }
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.out.clear();
+        self.outer.close();
+    }
+}
+
+/// Hash join: build side (inner) materialized at open, probe side
+/// streamed. Output preserves the outer's order.
+struct HashJoinOp {
+    outer: Box<dyn Operator>,
+    inner: Box<dyn Operator>,
+    opos: Vec<usize>,
+    predicates: Vec<PredId>,
+    layout: RowLayout,
+    /// Inner rows in materialization order; the table maps keys to
+    /// indexes so matches come back in build order, like the reference
+    /// engine.
+    build_rows: Vec<Row>,
+    table: HashMap<Vec<Value>, Vec<usize>>,
+    out: OutQueue,
+}
+
+impl HashJoinOp {
+    fn build(&mut self, cx: &ExecContext<'_>, io: &mut IoStats, ipos: &[usize]) -> Result<()> {
+        self.build_rows = drain_all(&mut self.inner, cx, io)?;
+        self.table.clear();
+        for (i, irow) in self.build_rows.iter().enumerate() {
+            let key = key_of(irow, ipos);
+            if key.iter().any(Value::is_null) {
+                continue; // NULL never joins
+            }
+            self.table.entry(key).or_default().push(i);
+        }
+        Ok(())
+    }
+}
+
+struct HashJoinWrap {
+    op: HashJoinOp,
+    ipos: Vec<usize>,
+}
+
+impl Operator for HashJoinWrap {
+    fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
+        let ipos = self.ipos.clone();
+        self.op.build(cx, io, &ipos)?;
+        self.op.outer.open(cx, io)
+    }
+
+    fn next_batch(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<Option<Batch>> {
+        let op = &mut self.op;
+        loop {
+            if !op.out.is_empty() {
+                return Ok(Some(op.out.take(cx.batch_size)));
+            }
+            let Some(batch) = op.outer.next_batch(cx, io)? else {
+                return Ok(None);
+            };
+            for orow in &batch {
+                let key = key_of(orow, &op.opos);
+                if key.iter().any(Value::is_null) {
+                    continue;
+                }
+                if let Some(matches) = op.table.get(&key) {
+                    for &i in matches {
+                        let joined = concat(orow, &op.build_rows[i]);
+                        if eval_preds(cx.graph, &op.predicates, &joined, &op.layout)? {
+                            op.out.push(joined);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.op.build_rows = Vec::new();
+        self.op.table.clear();
+        self.op.out.clear();
+        self.op.outer.close();
+    }
+}
+
+/// Left outer join: inner materialized at open (hash build when equi keys
+/// exist), outer streamed; unmatched outer rows are null-padded in place,
+/// preserving the outer's order.
+struct LeftOuterJoinOp {
+    outer: Box<dyn Operator>,
+    inner: Box<dyn Operator>,
+    opos: Vec<usize>,
+    ipos: Vec<usize>,
+    keyed: bool,
+    predicates: Vec<PredId>,
+    layout: RowLayout,
+    null_pad: Row,
+    build_rows: Vec<Row>,
+    table: HashMap<Vec<Value>, Vec<usize>>,
+    out: OutQueue,
+}
+
+impl Operator for LeftOuterJoinOp {
+    fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
+        self.build_rows = drain_all(&mut self.inner, cx, io)?;
+        self.table.clear();
+        if self.keyed {
+            for (i, irow) in self.build_rows.iter().enumerate() {
+                let key = key_of(irow, &self.ipos);
+                if key.iter().any(Value::is_null) {
+                    continue;
+                }
+                self.table.entry(key).or_default().push(i);
+            }
+        }
+        self.outer.open(cx, io)
+    }
+
+    fn next_batch(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<Option<Batch>> {
+        loop {
+            if !self.out.is_empty() {
+                return Ok(Some(self.out.take(cx.batch_size)));
+            }
+            let Some(batch) = self.outer.next_batch(cx, io)? else {
+                return Ok(None);
+            };
+            for orow in &batch {
+                let mut matched = false;
+                if self.keyed {
+                    let key = key_of(orow, &self.opos);
+                    if !key.iter().any(Value::is_null) {
+                        if let Some(candidates) = self.table.get(&key) {
+                            for &i in candidates {
+                                let joined = concat(orow, &self.build_rows[i]);
+                                if eval_preds(cx.graph, &self.predicates, &joined, &self.layout)? {
+                                    self.out.push(joined);
+                                    matched = true;
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    // No equi keys: nested loop with ON residuals.
+                    for irow in &self.build_rows {
+                        let joined = concat(orow, irow);
+                        if eval_preds(cx.graph, &self.predicates, &joined, &self.layout)? {
+                            self.out.push(joined);
+                            matched = true;
+                        }
+                    }
+                }
+                if !matched {
+                    self.out.push(concat(orow, &self.null_pad));
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.build_rows = Vec::new();
+        self.table.clear();
+        self.out.clear();
+        self.outer.close();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Merge join (fully streaming)
+// ---------------------------------------------------------------------
+
+/// One side of an in-progress merge join: a window of buffered rows plus
+/// the cursor into it. Consumed prefixes are dropped on refill, so memory
+/// stays bounded by the current tie group plus one batch.
+struct MergeSide {
+    buf: Vec<Row>,
+    pos: usize,
+    done: bool,
+    kpos: Vec<usize>,
+}
+
+impl MergeSide {
+    fn new(kpos: Vec<usize>) -> MergeSide {
+        MergeSide {
+            buf: Vec::new(),
+            pos: 0,
+            done: false,
+            kpos,
+        }
+    }
+
+    fn key_is_null(&self) -> bool {
+        self.kpos.iter().any(|&p| self.buf[self.pos][p].is_null())
+    }
+}
+
+/// Ensures `side.buf[side.pos]` exists; returns false when the input is
+/// exhausted.
+fn merge_fill(
+    side: &mut MergeSide,
+    child: &mut Box<dyn Operator>,
+    cx: &ExecContext<'_>,
+    io: &mut IoStats,
+) -> Result<bool> {
+    while side.pos >= side.buf.len() && !side.done {
+        if side.pos > 0 {
+            side.buf.drain(..side.pos);
+            side.pos = 0;
+        }
+        match child.next_batch(cx, io)? {
+            Some(batch) => side.buf.extend(batch),
+            None => side.done = true,
+        }
+    }
+    Ok(side.pos < side.buf.len())
+}
+
+/// Removes and returns the full run of rows sharing the current row's
+/// key, pulling more input as needed to find the run's end.
+fn merge_take_group(
+    side: &mut MergeSide,
+    child: &mut Box<dyn Operator>,
+    cx: &ExecContext<'_>,
+    io: &mut IoStats,
+) -> Result<Vec<Row>> {
+    let start = side.pos;
+    let mut end = start + 1;
+    loop {
+        while end < side.buf.len() && same_key(&side.buf[start], &side.buf[end], &side.kpos) {
+            end += 1;
+        }
+        if end < side.buf.len() || side.done {
+            break;
+        }
+        match child.next_batch(cx, io)? {
+            Some(batch) => side.buf.extend(batch),
+            None => side.done = true,
+        }
+    }
+    let group: Vec<Row> = side.buf.drain(start..end).collect();
+    Ok(group)
+}
+
+fn same_key(a: &Row, b: &Row, kpos: &[usize]) -> bool {
+    kpos.iter()
+        .all(|&p| a[p].total_cmp(&b[p]) == Ordering::Equal)
+}
+
+struct MergeJoinOp {
+    outer: Box<dyn Operator>,
+    inner: Box<dyn Operator>,
+    o: MergeSide,
+    i: MergeSide,
+    predicates: Vec<PredId>,
+    layout: RowLayout,
+    done: bool,
+    out: OutQueue,
+}
+
+impl Operator for MergeJoinOp {
+    fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
+        self.done = false;
+        self.outer.open(cx, io)?;
+        self.inner.open(cx, io)
+    }
+
+    fn next_batch(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<Option<Batch>> {
+        loop {
+            if !self.out.is_empty() {
+                return Ok(Some(self.out.take(cx.batch_size)));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            if !merge_fill(&mut self.o, &mut self.outer, cx, io)?
+                || !merge_fill(&mut self.i, &mut self.inner, cx, io)?
+            {
+                self.done = true;
+                continue;
+            }
+            // NULL keys never join; skip them on either side.
+            if self.o.key_is_null() {
+                self.o.pos += 1;
+                continue;
+            }
+            if self.i.key_is_null() {
+                self.i.pos += 1;
+                continue;
+            }
+            let ord = {
+                let orow = &self.o.buf[self.o.pos];
+                let irow = &self.i.buf[self.i.pos];
+                let mut ord = Ordering::Equal;
+                for (&op, &ip) in self.o.kpos.iter().zip(&self.i.kpos) {
+                    ord = orow[op].total_cmp(&irow[ip]);
+                    if ord != Ordering::Equal {
+                        break;
+                    }
+                }
+                ord
+            };
+            match ord {
+                Ordering::Less => self.o.pos += 1,
+                Ordering::Greater => self.i.pos += 1,
+                Ordering::Equal => {
+                    let ogroup = merge_take_group(&mut self.o, &mut self.outer, cx, io)?;
+                    let igroup = merge_take_group(&mut self.i, &mut self.inner, cx, io)?;
+                    for orow in &ogroup {
+                        for irow in &igroup {
+                            let joined = concat(orow, irow);
+                            if eval_preds(cx.graph, &self.predicates, &joined, &self.layout)? {
+                                self.out.push(joined);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.o.buf = Vec::new();
+        self.i.buf = Vec::new();
+        self.out.clear();
+        self.outer.close();
+        self.inner.close();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------
+
+fn lower(plan: &Plan) -> Result<Box<dyn Operator>> {
+    Ok(match &plan.node {
+        PlanNode::TableScan { table, .. } => Box::new(ScanOp {
+            table: *table,
+            state: HeapScanState::new(),
+        }),
+        PlanNode::IndexScan {
+            index,
+            table,
+            range,
+            reverse,
+            ..
+        } => Box::new(IndexScanOp {
+            index: *index,
+            table: *table,
+            range: range.clone(),
+            reverse: *reverse,
+            state: None,
+        }),
+        PlanNode::Filter { input, predicates } => Box::new(FilterOp {
+            child: lower(input)?,
+            predicates: predicates.clone(),
+            layout: input.layout.clone(),
+        }),
+        PlanNode::Project { input, exprs } => Box::new(ProjectOp {
+            child: lower(input)?,
+            exprs: exprs.clone(),
+            layout: input.layout.clone(),
+        }),
+        PlanNode::Sort { input, spec } => Box::new(SortOp {
+            child: lower(input)?,
+            spec: spec.clone(),
+            layout: input.layout.clone(),
+            buf: Vec::new(),
+            pos: 0,
+        }),
+        PlanNode::NestedLoopJoin {
+            outer,
+            inner,
+            predicates,
+        } => Box::new(NestedLoopJoinOp {
+            outer: lower(outer)?,
+            inner: lower(inner)?,
+            predicates: predicates.clone(),
+            layout: plan.layout.clone(),
+            inner_rows: Vec::new(),
+            out: OutQueue::default(),
+        }),
+        PlanNode::IndexNestedLoopJoin {
+            outer,
+            table,
+            index,
+            probe_cols,
+            predicates,
+            ..
+        } => Box::new(IndexNestedLoopJoinOp {
+            outer: lower(outer)?,
+            table: *table,
+            index: *index,
+            probe_pos: probe_cols
+                .iter()
+                .map(|&c| {
+                    outer.layout.position(c).ok_or_else(|| {
+                        FtoError::internal(format!("probe column {c} missing from outer"))
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?,
+            predicates: predicates.clone(),
+            layout: plan.layout.clone(),
+            cursor: PageCursor::new(),
+            out: OutQueue::default(),
+        }),
+        PlanNode::MergeJoin {
+            outer,
+            inner,
+            outer_keys,
+            inner_keys,
+            predicates,
+        } => Box::new(MergeJoinOp {
+            o: MergeSide::new(positions(&outer.layout, outer_keys)?),
+            i: MergeSide::new(positions(&inner.layout, inner_keys)?),
+            outer: lower(outer)?,
+            inner: lower(inner)?,
+            predicates: predicates.clone(),
+            layout: plan.layout.clone(),
+            done: false,
+            out: OutQueue::default(),
+        }),
+        PlanNode::LeftOuterJoin {
+            outer,
+            inner,
+            outer_keys,
+            inner_keys,
+            predicates,
+        } => Box::new(LeftOuterJoinOp {
+            opos: positions(&outer.layout, outer_keys)?,
+            ipos: positions(&inner.layout, inner_keys)?,
+            keyed: !outer_keys.is_empty(),
+            null_pad: vec![Value::Null; inner.layout.arity()].into(),
+            outer: lower(outer)?,
+            inner: lower(inner)?,
+            predicates: predicates.clone(),
+            layout: plan.layout.clone(),
+            build_rows: Vec::new(),
+            table: HashMap::new(),
+            out: OutQueue::default(),
+        }),
+        PlanNode::HashJoin {
+            outer,
+            inner,
+            outer_keys,
+            inner_keys,
+            predicates,
+        } => Box::new(HashJoinWrap {
+            ipos: positions(&inner.layout, inner_keys)?,
+            op: HashJoinOp {
+                opos: positions(&outer.layout, outer_keys)?,
+                outer: lower(outer)?,
+                inner: lower(inner)?,
+                predicates: predicates.clone(),
+                layout: plan.layout.clone(),
+                build_rows: Vec::new(),
+                table: HashMap::new(),
+                out: OutQueue::default(),
+            },
+        }),
+        PlanNode::StreamGroupBy {
+            input,
+            grouping,
+            aggs,
+        } => Box::new(StreamGroupByOp {
+            gpos: positions(&input.layout, grouping)?,
+            grouping_is_empty: grouping.is_empty(),
+            child: lower(input)?,
+            aggs: aggs.clone(),
+            layout: input.layout.clone(),
+            current: None,
+            saw_input: false,
+            input_done: false,
+            out: OutQueue::default(),
+        }),
+        PlanNode::HashGroupBy {
+            input,
+            grouping,
+            aggs,
+        } => Box::new(HashGroupByOp {
+            child: lower(input)?,
+            grouping: grouping.clone(),
+            aggs: aggs.clone(),
+            layout: input.layout.clone(),
+            buf: Vec::new(),
+            pos: 0,
+        }),
+        PlanNode::StreamDistinct { input } => Box::new(StreamDistinctOp {
+            child: lower(input)?,
+            last: None,
+        }),
+        PlanNode::HashDistinct { input } => Box::new(HashDistinctOp {
+            child: lower(input)?,
+            seen: HashSet::new(),
+        }),
+        PlanNode::UnionAll { inputs } => Box::new(UnionAllOp {
+            children: inputs
+                .iter()
+                .map(|p| lower(p))
+                .collect::<Result<Vec<_>>>()?,
+            current: 0,
+            opened: false,
+        }),
+        PlanNode::Limit { input, n } => Box::new(LimitOp {
+            child: lower(input)?,
+            remaining: *n,
+        }),
+        PlanNode::TopN { input, spec, n } => Box::new(TopNOp {
+            keys: resolve_sort_keys(spec, &input.layout)?,
+            child: lower(input)?,
+            n: *n,
+            buf: Vec::new(),
+            pos: 0,
+        }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run_plan_materialized;
+    use fto_common::{ColId, ColSet, QuantifierId};
+    use fto_order::StreamProps;
+    use fto_planner::cost::Cost;
+    use fto_storage::Database;
+    use std::sync::Arc;
+
+    fn test_db(rows: i64) -> Database {
+        let mut cat = fto_catalog::Catalog::new();
+        let t = cat
+            .create_table(
+                "t",
+                vec![
+                    fto_catalog::ColumnDef::new("k", fto_common::DataType::Int),
+                    fto_catalog::ColumnDef::new("v", fto_common::DataType::Int),
+                ],
+                vec![fto_catalog::KeyDef::primary([0])],
+            )
+            .unwrap();
+        let mut db = Database::new(cat);
+        db.load_table(
+            t,
+            (0..rows)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 5)].into_boxed_slice())
+                .collect(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn scan_plan() -> Arc<Plan> {
+        Arc::new(Plan {
+            node: PlanNode::TableScan {
+                table: TableId(0),
+                quantifier: QuantifierId(0),
+            },
+            layout: RowLayout::new(vec![ColId(0), ColId(1)]),
+            props: StreamProps::base_table(ColSet::from_cols([ColId(0), ColId(1)]), vec![]),
+            cost: Cost {
+                total: 0.0,
+                rows: 0.0,
+            },
+        })
+    }
+
+    #[test]
+    fn streaming_scan_matches_materialized() {
+        let db = test_db(500);
+        let graph = QueryGraph::new();
+        let plan = scan_plan();
+        let old = run_plan_materialized(&db, &graph, &plan).unwrap();
+        let new = execute_plan(&db, &graph, &plan, &ExecOptions { batch_size: 64 }).unwrap();
+        assert_eq!(old.rows, new.rows);
+        assert_eq!(old.io.sequential_pages, new.io.sequential_pages);
+        assert_eq!(old.io.rows_read, new.io.rows_read);
+    }
+
+    #[test]
+    fn limit_reads_strictly_fewer_pages() {
+        let db = test_db(5000);
+        let graph = QueryGraph::new();
+        let scan = scan_plan();
+        let limit = Plan {
+            node: PlanNode::Limit {
+                input: scan.clone(),
+                n: 10,
+            },
+            layout: scan.layout.clone(),
+            props: scan.props.clone(),
+            cost: scan.cost,
+        };
+        let old = run_plan_materialized(&db, &graph, &limit).unwrap();
+        let new = execute_plan(&db, &graph, &limit, &ExecOptions::default()).unwrap();
+        assert_eq!(old.rows, new.rows);
+        assert_eq!(new.rows.len(), 10);
+        let full_pages = db.heap(TableId(0)).unwrap().page_count();
+        assert_eq!(old.io.sequential_pages, full_pages);
+        assert!(
+            new.io.sequential_pages < full_pages,
+            "streaming LIMIT read {} of {} pages",
+            new.io.sequential_pages,
+            full_pages
+        );
+    }
+
+    #[test]
+    fn tiny_batches_still_agree() {
+        let db = test_db(97);
+        let graph = QueryGraph::new();
+        let scan = scan_plan();
+        let sort = Plan {
+            node: PlanNode::Sort {
+                input: scan.clone(),
+                spec: [fto_order::SortKey {
+                    col: ColId(1),
+                    dir: Direction::Desc,
+                }]
+                .into_iter()
+                .collect(),
+            },
+            layout: scan.layout.clone(),
+            props: scan.props.clone(),
+            cost: scan.cost,
+        };
+        let old = run_plan_materialized(&db, &graph, &sort).unwrap();
+        let new = execute_plan(&db, &graph, &sort, &ExecOptions { batch_size: 1 }).unwrap();
+        assert_eq!(old.rows, new.rows);
+        assert_eq!(old.io.sort_rows, new.io.sort_rows);
+    }
+}

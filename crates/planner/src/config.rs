@@ -1,13 +1,28 @@
 //! Optimizer configuration and planning statistics.
 
-/// Tunable knobs of the optimizer.
+/// Tunable knobs of the optimizer and the execution engine.
 ///
 /// The defaults model the paper's "production DB2". Setting
 /// [`order_optimization`](OptimizerConfig::order_optimization) to `false`
 /// reproduces the disabled build used for Table 1: reduction, covering,
 /// homogenization, and sort-ahead all stop; order properties only satisfy
 /// requirements by verbatim column-prefix match.
+///
+/// The struct is `#[non_exhaustive]`: construct it through
+/// [`Default`], the named presets ([`disabled`](OptimizerConfig::disabled),
+/// [`db2_1996`](OptimizerConfig::db2_1996), ...), and the fluent
+/// `with_*` builder methods, so future knobs are not breaking changes:
+///
+/// ```
+/// use fto_planner::OptimizerConfig;
+/// let cfg = OptimizerConfig::default()
+///     .with_hash_join(false)
+///     .with_batch_size(512);
+/// assert!(!cfg.enable_hash_join);
+/// assert_eq!(cfg.batch_size, 512);
+/// ```
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct OptimizerConfig {
     /// Master switch for the paper's techniques.
     pub order_optimization: bool,
@@ -28,6 +43,9 @@ pub struct OptimizerConfig {
     /// Maximum number of sort-ahead orders tried per join step (the paper
     /// notes n < 3 in practice; the complexity bench raises this).
     pub max_sort_ahead: usize,
+    /// Rows per batch in the streaming executor. Operators pull and
+    /// produce batches of (at most) this many rows.
+    pub batch_size: usize,
 }
 
 impl Default for OptimizerConfig {
@@ -41,18 +59,23 @@ impl Default for OptimizerConfig {
             enable_nested_loop: true,
             sort_memory: 16 << 20,
             max_sort_ahead: 4,
+            batch_size: 1024,
         }
     }
 }
 
 impl OptimizerConfig {
+    /// The default configuration (alias of [`Default::default`], handy as
+    /// the head of a builder chain).
+    pub fn new() -> Self {
+        OptimizerConfig::default()
+    }
+
     /// The paper's "order optimization disabled" baseline.
     pub fn disabled() -> Self {
-        OptimizerConfig {
-            order_optimization: false,
-            sort_ahead: false,
-            ..OptimizerConfig::default()
-        }
+        OptimizerConfig::default()
+            .with_order_optimization(false)
+            .with_sort_ahead(false)
     }
 
     /// The 1996 DB2/CS operator inventory: order-based joins and grouping
@@ -62,21 +85,71 @@ impl OptimizerConfig {
     /// reproduction so the enabled/disabled comparison isolates order
     /// *reasoning*, as the paper's experiment did.
     pub fn db2_1996() -> Self {
-        OptimizerConfig {
-            enable_hash_join: false,
-            enable_hash_grouping: false,
-            ..OptimizerConfig::default()
-        }
+        OptimizerConfig::default()
+            .with_hash_join(false)
+            .with_hash_grouping(false)
     }
 
     /// [`OptimizerConfig::db2_1996`] with order optimization disabled —
     /// the exact build the paper benchmarked against in Table 1.
     pub fn db2_1996_disabled() -> Self {
-        OptimizerConfig {
-            order_optimization: false,
-            sort_ahead: false,
-            ..OptimizerConfig::db2_1996()
-        }
+        OptimizerConfig::db2_1996()
+            .with_order_optimization(false)
+            .with_sort_ahead(false)
+    }
+
+    /// Sets the master order-optimization switch.
+    pub fn with_order_optimization(mut self, on: bool) -> Self {
+        self.order_optimization = on;
+        self
+    }
+
+    /// Enables or disables sort-ahead.
+    pub fn with_sort_ahead(mut self, on: bool) -> Self {
+        self.sort_ahead = on;
+        self
+    }
+
+    /// Enables or disables merge joins.
+    pub fn with_merge_join(mut self, on: bool) -> Self {
+        self.enable_merge_join = on;
+        self
+    }
+
+    /// Enables or disables hash joins.
+    pub fn with_hash_join(mut self, on: bool) -> Self {
+        self.enable_hash_join = on;
+        self
+    }
+
+    /// Enables or disables hash-based GROUP BY / DISTINCT.
+    pub fn with_hash_grouping(mut self, on: bool) -> Self {
+        self.enable_hash_grouping = on;
+        self
+    }
+
+    /// Enables or disables (index) nested-loop joins.
+    pub fn with_nested_loop(mut self, on: bool) -> Self {
+        self.enable_nested_loop = on;
+        self
+    }
+
+    /// Sets the simulated sort memory in bytes.
+    pub fn with_sort_memory(mut self, bytes: usize) -> Self {
+        self.sort_memory = bytes;
+        self
+    }
+
+    /// Sets the maximum number of sort-ahead orders per join step.
+    pub fn with_max_sort_ahead(mut self, n: usize) -> Self {
+        self.max_sort_ahead = n;
+        self
+    }
+
+    /// Sets the streaming executor's batch size (rows per batch, ≥ 1).
+    pub fn with_batch_size(mut self, rows: usize) -> Self {
+        self.batch_size = rows.max(1);
+        self
     }
 }
 
@@ -106,6 +179,7 @@ mod tests {
         assert!(c.order_optimization);
         assert!(c.sort_ahead);
         assert!(c.enable_merge_join && c.enable_hash_join && c.enable_nested_loop);
+        assert_eq!(c.batch_size, 1024);
     }
 
     #[test]
@@ -114,5 +188,19 @@ mod tests {
         assert!(!c.order_optimization);
         assert!(!c.sort_ahead);
         assert!(c.enable_merge_join);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = OptimizerConfig::new()
+            .with_merge_join(false)
+            .with_nested_loop(false)
+            .with_max_sort_ahead(9)
+            .with_batch_size(0);
+        assert!(!c.enable_merge_join);
+        assert!(!c.enable_nested_loop);
+        assert_eq!(c.max_sort_ahead, 9);
+        // Batch size is clamped to at least one row.
+        assert_eq!(c.batch_size, 1);
     }
 }

@@ -11,7 +11,7 @@ use fto_common::{Direction, Value};
 use std::cmp::Ordering;
 
 /// Entries per simulated index leaf page (keys are small).
-const ENTRIES_PER_LEAF: u64 = 256;
+pub(crate) const ENTRIES_PER_LEAF: u64 = 256;
 
 /// An ordered index over a heap table.
 #[derive(Debug)]

@@ -20,8 +20,10 @@ pub mod db;
 pub mod heap;
 pub mod index;
 pub mod io;
+pub mod scan;
 
 pub use db::Database;
 pub use heap::HeapTable;
 pub use index::OrderedIndex;
 pub use io::{IoStats, PageCursor, PAGE_SIZE};
+pub use scan::{HeapScanState, IndexScanState};

@@ -1,9 +1,11 @@
-//! Property-based tests for the storage layer: ordered indexes must
-//! agree with a naive model on scans, probes, and ranges.
+//! Randomized tests for the storage layer: ordered indexes must agree
+//! with a naive model on scans, probes, and ranges, across many
+//! deterministic random cases.
 
-use fto_common::{Direction, TableId, Value};
+use fto_common::{Direction, Rng, TableId, Value};
 use fto_storage::{HeapTable, OrderedIndex};
-use proptest::prelude::*;
+
+const CASES: u64 = 200;
 
 fn heap_from(values: &[(i64, i64)]) -> HeapTable {
     let mut h = HeapTable::new(TableId(0), 16);
@@ -13,38 +15,48 @@ fn heap_from(values: &[(i64, i64)]) -> HeapTable {
     h
 }
 
-proptest! {
-    /// A full index scan visits every row exactly once, in key order.
-    #[test]
-    fn scan_is_a_sorted_permutation(
-        values in proptest::collection::vec((-20i64..20, -5i64..5), 0..60),
-        desc in any::<bool>(),
-    ) {
+fn random_pairs(rng: &mut Rng, max_len: usize, lo: i64, hi: i64) -> Vec<(i64, i64)> {
+    let n = rng.range_usize(0, max_len);
+    (0..n)
+        .map(|_| (rng.range_i64(lo, hi), rng.range_i64(-5, 5)))
+        .collect()
+}
+
+/// A full index scan visits every row exactly once, in key order.
+#[test]
+fn scan_is_a_sorted_permutation() {
+    let mut rng = Rng::new(0x5704_0001);
+    for case in 0..CASES {
+        let values = random_pairs(&mut rng, 60, -20, 20);
+        let desc = rng.bool();
         let heap = heap_from(&values);
-        let dir = if desc { Direction::Desc } else { Direction::Asc };
+        let dir = if desc {
+            Direction::Desc
+        } else {
+            Direction::Asc
+        };
         let ix = OrderedIndex::build(&heap, &[0], &[dir]);
-        let scanned: Vec<i64> = ix
-            .scan()
-            .map(|(k, _)| k[0].as_int().unwrap())
-            .collect();
+        let scanned: Vec<i64> = ix.scan().map(|(k, _)| k[0].as_int().unwrap()).collect();
         let mut expected: Vec<i64> = values.iter().map(|&(a, _)| a).collect();
         expected.sort_unstable();
         if desc {
             expected.reverse();
         }
-        prop_assert_eq!(scanned, expected);
+        assert_eq!(scanned, expected, "case {case}");
         // Row ids cover the heap exactly once.
         let mut rids: Vec<usize> = ix.scan().map(|(_, r)| r).collect();
         rids.sort_unstable();
-        prop_assert_eq!(rids, (0..values.len()).collect::<Vec<_>>());
+        assert_eq!(rids, (0..values.len()).collect::<Vec<_>>(), "case {case}");
     }
+}
 
-    /// Probes return exactly the rows whose key equals the probe value.
-    #[test]
-    fn probe_matches_model(
-        values in proptest::collection::vec((-8i64..8, -5i64..5), 0..60),
-        probe in -10i64..10,
-    ) {
+/// Probes return exactly the rows whose key equals the probe value.
+#[test]
+fn probe_matches_model() {
+    let mut rng = Rng::new(0x5704_0002);
+    for case in 0..CASES {
+        let values = random_pairs(&mut rng, 60, -8, 8);
+        let probe = rng.range_i64(-10, 10);
         let heap = heap_from(&values);
         let ix = OrderedIndex::build(&heap, &[0], &[Direction::Asc]);
         let got: Vec<usize> = ix
@@ -58,16 +70,18 @@ proptest! {
             .filter(|(_, &(a, _))| a == probe)
             .map(|(i, _)| i)
             .collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}: probe {probe} in {values:?}");
     }
+}
 
-    /// Range scans return exactly the rows within [lo, hi], in order.
-    #[test]
-    fn range_matches_model(
-        values in proptest::collection::vec((-15i64..15, 0i64..3), 0..60),
-        lo in proptest::option::of(-20i64..20),
-        hi in proptest::option::of(-20i64..20),
-    ) {
+/// Range scans return exactly the rows within [lo, hi], in order.
+#[test]
+fn range_matches_model() {
+    let mut rng = Rng::new(0x5704_0003);
+    for case in 0..CASES {
+        let values = random_pairs(&mut rng, 60, -15, 15);
+        let lo = rng.chance(0.7).then(|| rng.range_i64(-20, 20));
+        let hi = rng.chance(0.7).then(|| rng.range_i64(-20, 20));
         let heap = heap_from(&values);
         let ix = OrderedIndex::build(&heap, &[0], &[Direction::Asc]);
         let lo_v = lo.map(Value::Int);
@@ -82,14 +96,16 @@ proptest! {
             .filter(|&a| lo.is_none_or(|l| a >= l) && hi.is_none_or(|h| a <= h))
             .collect();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}: range [{lo:?}, {hi:?}]");
     }
+}
 
-    /// Composite keys sort lexicographically with mixed directions.
-    #[test]
-    fn composite_mixed_directions(
-        values in proptest::collection::vec((-5i64..5, -5i64..5), 0..40),
-    ) {
+/// Composite keys sort lexicographically with mixed directions.
+#[test]
+fn composite_mixed_directions() {
+    let mut rng = Rng::new(0x5704_0004);
+    for case in 0..CASES {
+        let values = random_pairs(&mut rng, 40, -5, 5);
         let heap = heap_from(&values);
         let ix = OrderedIndex::build(&heap, &[0, 1], &[Direction::Asc, Direction::Desc]);
         let keys: Vec<(i64, i64)> = ix
@@ -98,13 +114,19 @@ proptest! {
             .collect();
         for w in keys.windows(2) {
             let ((a1, b1), (a2, b2)) = (w[0], w[1]);
-            prop_assert!(a1 < a2 || (a1 == a2 && b1 >= b2), "{w:?}");
+            assert!(a1 < a2 || (a1 == a2 && b1 >= b2), "case {case}: {w:?}");
         }
     }
+}
 
-    /// NULL keys sort last (nulls-high) and round-trip through probes.
-    #[test]
-    fn null_keys_sort_high(n_null in 0usize..5, values in proptest::collection::vec(-5i64..5, 0..20)) {
+/// NULL keys sort last (nulls-high) and round-trip through probes.
+#[test]
+fn null_keys_sort_high() {
+    let mut rng = Rng::new(0x5704_0005);
+    for case in 0..CASES {
+        let n_null = rng.range_usize(0, 5);
+        let n_vals = rng.range_usize(0, 20);
+        let values: Vec<i64> = (0..n_vals).map(|_| rng.range_i64(-5, 5)).collect();
         let mut h = HeapTable::new(TableId(0), 16);
         for &v in &values {
             h.append(vec![Value::Int(v), Value::Int(0)].into_boxed_slice());
@@ -117,10 +139,10 @@ proptest! {
         // All NULLs at the end.
         let first_null = scanned.iter().position(Value::is_null);
         if let Some(p) = first_null {
-            prop_assert!(scanned[p..].iter().all(Value::is_null));
-            prop_assert_eq!(scanned.len() - p, n_null);
+            assert!(scanned[p..].iter().all(Value::is_null), "case {case}");
+            assert_eq!(scanned.len() - p, n_null, "case {case}");
         } else {
-            prop_assert_eq!(n_null, 0);
+            assert_eq!(n_null, 0, "case {case}");
         }
     }
 }

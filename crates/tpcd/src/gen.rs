@@ -1,10 +1,8 @@
 //! The deterministic data generator.
 
 use crate::schema::create_schema;
-use fto_common::{Result, Row, Value};
+use fto_common::{Result, Rng, Row, Value};
 use fto_storage::Database;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Days-since-epoch bounds of the TPC-D order-date window (1992-01-01 to
 /// 1998-08-02, as in the specification).
@@ -71,7 +69,7 @@ pub struct Cardinalities {
 pub fn build_database(cfg: TpcdConfig) -> Result<Database> {
     let cat = create_schema()?;
     let mut db = Database::new(cat);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::new(cfg.seed);
     let n = cfg.cardinalities();
 
     // region / nation: fixed small dimensions.
@@ -98,9 +96,9 @@ pub fn build_database(cfg: TpcdConfig) -> Result<Database> {
         .map(|i| {
             row(vec![
                 Value::Int(i),
-                Value::Int(rng.gen_range(0..25)),
+                Value::Int(rng.range_i64(0, 25)),
                 Value::str(format!("supplier{i}")),
-                Value::Double(round2(rng.gen_range(-999.0..9999.0))),
+                Value::Double(round2(rng.range_f64(-999.0, 9999.0))),
             ])
         })
         .collect();
@@ -111,9 +109,9 @@ pub fn build_database(cfg: TpcdConfig) -> Result<Database> {
             row(vec![
                 Value::Int(i),
                 Value::str(format!("customer{i}")),
-                Value::str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
-                Value::Int(rng.gen_range(0..25)),
-                Value::Double(round2(rng.gen_range(-999.0..9999.0))),
+                Value::str(SEGMENTS[rng.range_usize(0, SEGMENTS.len())]),
+                Value::Int(rng.range_i64(0, 25)),
+                Value::Double(round2(rng.range_f64(-999.0, 9999.0))),
             ])
         })
         .collect();
@@ -124,8 +122,8 @@ pub fn build_database(cfg: TpcdConfig) -> Result<Database> {
             row(vec![
                 Value::Int(i),
                 Value::str(format!("part{i}")),
-                Value::str(format!("brand#{}", rng.gen_range(10..60))),
-                Value::Double(round2(rng.gen_range(900.0..2000.0))),
+                Value::str(format!("brand#{}", rng.range_i64(10, 60))),
+                Value::Double(round2(rng.range_f64(900.0, 2000.0))),
             ])
         })
         .collect();
@@ -138,34 +136,34 @@ pub fn build_database(cfg: TpcdConfig) -> Result<Database> {
     let flags = ["a", "n", "r"];
     let statuses = ["f", "o"];
     for okey in 0..n.orders {
-        let custkey = rng.gen_range(0..n.customers);
-        let orderdate = rng.gen_range(DATE_LO..DATE_HI - 150);
-        let nlines = rng.gen_range(1..=7);
+        let custkey = rng.range_i64(0, n.customers);
+        let orderdate = rng.range_i32(DATE_LO, DATE_HI - 150);
+        let nlines = rng.range_incl_i64(1, 7);
         let mut total = 0.0;
         for line in 0..nlines {
-            let qty = rng.gen_range(1..=50) as f64;
-            let price = round2(qty * rng.gen_range(900.0..2000.0) / 10.0);
-            let discount = (rng.gen_range(0..=10) as f64) / 100.0;
-            let shipdate = orderdate + rng.gen_range(1..=121);
+            let qty = rng.range_incl_i64(1, 50) as f64;
+            let price = round2(qty * rng.range_f64(900.0, 2000.0) / 10.0);
+            let discount = (rng.range_incl_i64(0, 10) as f64) / 100.0;
+            let shipdate = orderdate + rng.range_incl_i64(1, 121) as i32;
             total += price * (1.0 - discount);
             lineitems.push(row(vec![
                 Value::Int(okey),
                 Value::Int(line),
-                Value::Int(rng.gen_range(0..n.parts)),
-                Value::Int(rng.gen_range(0..n.suppliers)),
+                Value::Int(rng.range_i64(0, n.parts)),
+                Value::Int(rng.range_i64(0, n.suppliers)),
                 Value::Double(qty),
                 Value::Double(price),
                 Value::Double(discount),
                 Value::Date(shipdate),
-                Value::str(flags[rng.gen_range(0..flags.len())]),
-                Value::str(statuses[rng.gen_range(0..statuses.len())]),
+                Value::str(*rng.pick(&flags)),
+                Value::str(*rng.pick(&statuses)),
             ]));
         }
         orders.push(row(vec![
             Value::Int(okey),
             Value::Int(custkey),
             Value::Date(orderdate),
-            Value::Int(rng.gen_range(0..3)),
+            Value::Int(rng.range_i64(0, 3)),
             Value::Double(round2(total)),
         ]));
     }

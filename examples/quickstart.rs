@@ -4,11 +4,9 @@
 //! cargo run -p fto-bench --example quickstart
 //! ```
 
-use fto_bench::Session;
 use fto_catalog::{Catalog, ColumnDef, KeyDef};
 use fto_common::{DataType, Direction, Value};
-use fto_planner::OptimizerConfig;
-use fto_storage::Database;
+use fto_exec::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Define a schema: employees with a primary key and a secondary
@@ -42,18 +40,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect(),
     )?;
 
-    // 3. Compile and execute SQL. Note the ORDER BY includes `id`, the
-    //    primary key: order optimization knows `{id} -> everything`, so
-    //    the sort needs just one column, and grouping on `id, dept` is
-    //    really grouping on `id`.
-    let session = Session::new(db);
+    // 3. Compile and execute SQL through the streaming executor. Note the
+    //    ORDER BY includes `id`, the primary key: order optimization
+    //    knows `{id} -> everything`, so the sort needs just one column,
+    //    and grouping on `id, dept` is really grouping on `id`.
     let sql = "select id, dept, sum(salary) as total \
                from emp \
                where dept = 'eng' \
                group by id, dept \
                order by id, dept";
 
-    let (compiled, result) = session.run(sql, OptimizerConfig::default())?;
+    let compiled = Session::new(&db).plan(sql)?;
+    let result = compiled.execute()?;
     println!("plan:\n{}", compiled.explain());
     println!("first rows:");
     for row in result.rows.iter().take(5) {
@@ -62,9 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("(total {} rows, {})", result.rows.len(), result.io);
 
     // 4. The same query with order optimization disabled sorts more.
-    let (naive, _) = session.run(sql, OptimizerConfig::disabled())?;
-    let sorts = |c: &fto_bench::Compiled| {
-        c.plan
+    let naive = Session::new(&db)
+        .config(OptimizerConfig::disabled())
+        .plan(sql)?;
+    let sorts = |q: &PreparedQuery| {
+        q.plan()
             .count_ops(&|n| matches!(n, fto_planner::PlanNode::Sort { .. }))
     };
     println!(

@@ -6,11 +6,10 @@
 //! cargo run -p fto-bench --example sort_avoidance
 //! ```
 
-use fto_bench::Session;
 use fto_catalog::{Catalog, ColumnDef, KeyDef};
 use fto_common::{DataType, Direction, Value};
-use fto_planner::{OptimizerConfig, PlanNode};
-use fto_storage::Database;
+use fto_exec::prelude::*;
+use fto_planner::PlanNode;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut catalog = Catalog::new();
@@ -42,7 +41,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             })
             .collect(),
     )?;
-    let session = Session::new(db);
 
     let cases = [
         (
@@ -69,11 +67,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ("with order optimization", OptimizerConfig::default()),
             ("without", OptimizerConfig::disabled()),
         ] {
-            let compiled = session.compile(sql, cfg)?;
+            let compiled = Session::new(&db).config(cfg).plan(sql)?;
             let sorts = compiled
-                .plan
+                .plan()
                 .count_ops(&|n| matches!(n, PlanNode::Sort { .. }));
-            let sort_cols = max_sort_width(&compiled.plan);
+            let sort_cols = max_sort_width(compiled.plan());
             println!("  {mode:<24} sorts: {sorts}, widest sort: {sort_cols} column(s)");
         }
         println!();

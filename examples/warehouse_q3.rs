@@ -5,8 +5,7 @@
 //! cargo run -p fto-bench --release --example warehouse_q3 [-- <scale>]
 //! ```
 
-use fto_bench::Session;
-use fto_planner::OptimizerConfig;
+use fto_exec::prelude::*;
 use fto_sql::dates::format_date;
 use fto_tpcd::{build_database, queries, TpcdConfig};
 
@@ -17,10 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or(0.01);
 
     println!("generating TPC-D data at scale {scale}...");
-    let session = Session::new(build_database(TpcdConfig {
+    let db = build_database(TpcdConfig {
         scale,
         ..TpcdConfig::default()
-    })?);
+    })?;
     let sql = queries::q3_default();
 
     for (label, config) in [
@@ -30,14 +29,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             OptimizerConfig::db2_1996_disabled(),
         ),
     ] {
-        let (compiled, result) = session.run(&sql, config)?;
+        let compiled = Session::new(&db).config(config).plan(&sql)?;
+        let result = compiled.execute()?;
         println!("\n=== {label} ===");
         println!("{}", compiled.explain());
         println!(
             "elapsed {:?}, {} rows, sorts avoided by the optimizer: {}",
             result.elapsed,
             result.rows.len(),
-            compiled.stats.sorts_avoided
+            result.planner.sorts_avoided
         );
         println!("top orders by potential revenue:");
         for row in result.rows.iter().take(5) {

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Local CI: the full gate a change must pass before merging.
+#
+#   scripts/ci.sh          # fmt + clippy + release build + tests
+#   scripts/ci.sh quick    # skip the release build
+#
+# Everything runs offline against the vendored toolchain; no network.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" != "quick" ]]; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+echo "==> cargo test -q (includes the engine differential suite)"
+cargo test -q
+
+echo "CI green."

@@ -1,7 +1,9 @@
 //! Cross-crate end-to-end tests: SQL through parse → bind → rewrite →
 //! order scan → plan → execute, validated against a naive reference
 //! evaluator, across every optimizer configuration. Any plan the
-//! optimizer can pick must produce the same rows.
+//! optimizer can pick must produce the same rows — through both the
+//! streaming executor (the default) and the materializing reference
+//! engine.
 
 use fto_bench::Session;
 use fto_catalog::{Catalog, ColumnDef, KeyDef};
@@ -11,26 +13,19 @@ use fto_storage::Database;
 
 /// Every configuration combination worth exercising.
 fn all_configs() -> Vec<OptimizerConfig> {
-    let mut configs = vec![
+    vec![
         OptimizerConfig::default(),
         OptimizerConfig::disabled(),
         OptimizerConfig::db2_1996(),
         OptimizerConfig::db2_1996_disabled(),
-    ];
-    configs.push(OptimizerConfig {
-        sort_ahead: false,
-        ..OptimizerConfig::default()
-    });
-    configs.push(OptimizerConfig {
-        enable_merge_join: false,
-        ..OptimizerConfig::default()
-    });
-    configs.push(OptimizerConfig {
-        enable_hash_join: false,
-        enable_nested_loop: false,
-        ..OptimizerConfig::default()
-    });
-    configs
+        OptimizerConfig::default().with_sort_ahead(false),
+        OptimizerConfig::default().with_merge_join(false),
+        OptimizerConfig::default()
+            .with_hash_join(false)
+            .with_nested_loop(false),
+        // Tiny batches stress operator boundaries in the streaming engine.
+        OptimizerConfig::default().with_batch_size(3),
+    ]
 }
 
 fn test_db() -> Database {
@@ -102,21 +97,35 @@ fn test_db() -> Database {
     db
 }
 
-/// Executes `sql` under every configuration and checks all runs agree;
-/// returns the first run's rows.
-fn run_all_configs(session: &Session, sql: &str) -> Vec<Row> {
+/// Executes `sql` under every configuration — through the streaming
+/// engine *and* the materializing reference engine — and checks all runs
+/// agree; returns the first run's rows.
+fn run_all_configs(db: &Database, sql: &str) -> Vec<Row> {
     let mut reference: Option<Vec<Row>> = None;
     for config in all_configs() {
-        let (compiled, result) = session
-            .run(sql, config.clone())
+        let prepared = Session::new(db)
+            .config(config.clone())
+            .plan(sql)
             .unwrap_or_else(|e| panic!("{sql} under {config:?}: {e}"));
+        let streamed = prepared
+            .execute()
+            .unwrap_or_else(|e| panic!("{sql} under {config:?}: {e}"));
+        let materialized = prepared
+            .execute_materialized()
+            .unwrap_or_else(|e| panic!("{sql} under {config:?}: {e}"));
+        assert_eq!(
+            streamed.rows,
+            materialized.rows,
+            "engine mismatch for {sql} under {config:?}\nplan:\n{}",
+            prepared.explain()
+        );
         match &reference {
-            None => reference = Some(result.rows),
+            None => reference = Some(streamed.rows),
             Some(expected) => assert_eq!(
-                &result.rows,
+                &streamed.rows,
                 expected,
                 "row mismatch for {sql} under {config:?}\nplan:\n{}",
-                compiled.explain()
+                prepared.explain()
             ),
         }
     }
@@ -125,9 +134,9 @@ fn run_all_configs(session: &Session, sql: &str) -> Vec<Row> {
 
 #[test]
 fn single_table_order_by_key() {
-    let session = Session::new(test_db());
+    let db = test_db();
     let rows = run_all_configs(
-        &session,
+        &db,
         "select emp_id, salary from emp where grade = 3 order by emp_id",
     );
     assert_eq!(rows.len(), 80);
@@ -141,9 +150,9 @@ fn single_table_order_by_key() {
 
 #[test]
 fn order_by_desc() {
-    let session = Session::new(test_db());
+    let db = test_db();
     let rows = run_all_configs(
-        &session,
+        &db,
         "select emp_id, grade from emp where emp_dept = 2 order by grade desc, emp_id",
     );
     assert!(!rows.is_empty());
@@ -155,9 +164,9 @@ fn order_by_desc() {
 
 #[test]
 fn join_with_group_by_and_order_by() {
-    let session = Session::new(test_db());
+    let db = test_db();
     let rows = run_all_configs(
-        &session,
+        &db,
         "select dept_name, count(*) as n, sum(salary) as total \
          from dept, emp where dept_id = emp_dept \
          group by dept_name order by dept_name",
@@ -171,9 +180,9 @@ fn join_with_group_by_and_order_by() {
 fn group_by_key_plus_dependents() {
     // The redundancy pattern the paper highlights: grouping on a key and
     // functionally dependent columns.
-    let session = Session::new(test_db());
+    let db = test_db();
     let rows = run_all_configs(
-        &session,
+        &db,
         "select dept_id, dept_name, budget, count(*) as n \
          from dept, emp where dept_id = emp_dept \
          group by dept_id, dept_name, budget \
@@ -184,11 +193,11 @@ fn group_by_key_plus_dependents() {
 
 #[test]
 fn distinct_queries() {
-    let session = Session::new(test_db());
-    let rows = run_all_configs(&session, "select distinct grade from emp order by grade");
+    let db = test_db();
+    let rows = run_all_configs(&db, "select distinct grade from emp order by grade");
     assert_eq!(rows.len(), 5);
     let rows = run_all_configs(
-        &session,
+        &db,
         "select distinct emp_dept, grade from emp order by emp_dept, grade",
     );
     assert_eq!(rows.len(), 60);
@@ -196,9 +205,9 @@ fn distinct_queries() {
 
 #[test]
 fn derived_table_with_sort_pushdown() {
-    let session = Session::new(test_db());
+    let db = test_db();
     let rows = run_all_configs(
-        &session,
+        &db,
         "select v.emp_id, v.salary from \
          (select emp_id, salary from emp where grade = 1) as v \
          order by v.emp_id",
@@ -208,9 +217,9 @@ fn derived_table_with_sort_pushdown() {
 
 #[test]
 fn computed_expressions_and_aggregates() {
-    let session = Session::new(test_db());
+    let db = test_db();
     let rows = run_all_configs(
-        &session,
+        &db,
         "select emp_dept, sum(salary * 2) as double_pay, avg(salary) as pay, \
          min(salary) as lo, max(salary) as hi \
          from emp group by emp_dept order by emp_dept",
@@ -227,9 +236,9 @@ fn computed_expressions_and_aggregates() {
 
 #[test]
 fn distinct_aggregate() {
-    let session = Session::new(test_db());
+    let db = test_db();
     let rows = run_all_configs(
-        &session,
+        &db,
         "select emp_dept, count(distinct grade) as g from emp \
          group by emp_dept order by emp_dept",
     );
@@ -241,9 +250,9 @@ fn distinct_aggregate() {
 
 #[test]
 fn range_predicates() {
-    let session = Session::new(test_db());
+    let db = test_db();
     let rows = run_all_configs(
-        &session,
+        &db,
         "select emp_id from emp \
          where salary >= 40000 and salary < 60000 and grade <> 0 \
          order by emp_id",
@@ -260,10 +269,10 @@ fn range_predicates() {
 
 #[test]
 fn three_way_join() {
-    let session = Session::new(test_db());
+    let db = test_db();
     // Self-join emp to dept twice through different aliases.
     let rows = run_all_configs(
-        &session,
+        &db,
         "select e.emp_id, d.dept_name, b.emp_id \
          from emp e, dept d, emp b \
          where e.emp_dept = d.dept_id and b.emp_id = e.emp_id \
@@ -274,10 +283,10 @@ fn three_way_join() {
 
 #[test]
 fn top_n_query() {
-    let session = Session::new(test_db());
+    let db = test_db();
     // Total order (salary, emp_id) so every configuration agrees on ties.
     let rows = run_all_configs(
-        &session,
+        &db,
         "select emp_id, salary from emp order by salary desc, emp_id limit 7",
     );
     assert_eq!(rows.len(), 7);
@@ -295,27 +304,28 @@ fn top_n_query() {
 
 #[test]
 fn limit_without_order() {
-    let session = Session::new(test_db());
+    let db = test_db();
     for config in all_configs() {
-        let (_, result) = session
-            .run("select emp_id from emp limit 5", config)
+        let out = Session::new(&db)
+            .config(config)
+            .execute("select emp_id from emp limit 5")
             .unwrap();
-        assert_eq!(result.rows.len(), 5);
+        assert_eq!(out.rows.len(), 5);
     }
 }
 
 #[test]
 fn union_all_and_union_distinct() {
-    let session = Session::new(test_db());
+    let db = test_db();
     // Every grade appears in both branches: UNION ALL keeps duplicates,
     // UNION removes them.
     let all = run_all_configs(
-        &session,
+        &db,
         "select grade from emp where grade < 2          union all select grade from emp where grade < 2          order by 1",
     );
     assert_eq!(all.len(), 320);
     let set = run_all_configs(
-        &session,
+        &db,
         "select grade from emp where grade < 2          union select grade from emp where grade < 2          order by 1",
     );
     assert_eq!(set.len(), 2);
@@ -325,9 +335,9 @@ fn union_all_and_union_distinct() {
 
 #[test]
 fn union_with_limit() {
-    let session = Session::new(test_db());
+    let db = test_db();
     let rows = run_all_configs(
-        &session,
+        &db,
         "select emp_id from emp where grade = 0          union all select emp_id from emp where grade = 1          order by emp_id desc limit 4",
     );
     assert_eq!(rows.len(), 4);
@@ -338,11 +348,10 @@ fn union_with_limit() {
 
 #[test]
 fn union_arity_mismatch_is_an_error() {
-    let session = Session::new(test_db());
-    let err = match session.compile(
-        "select emp_id, grade from emp union select emp_id from emp",
-        OptimizerConfig::default(),
-    ) {
+    let db = test_db();
+    let err = match Session::new(&db)
+        .plan("select emp_id, grade from emp union select emp_id from emp")
+    {
         Err(e) => e,
         Ok(_) => panic!("arity mismatch accepted"),
     };
@@ -351,10 +360,10 @@ fn union_arity_mismatch_is_an_error() {
 
 #[test]
 fn having_filters_groups() {
-    let session = Session::new(test_db());
+    let db = test_db();
     // 400 emps over 12 depts: dept 0..3 have 34 emps, 4..11 have 33.
     let rows = run_all_configs(
-        &session,
+        &db,
         "select emp_dept, count(*) as n from emp          group by emp_dept having count(*) > 33 order by emp_dept",
     );
     assert_eq!(rows.len(), 4);
@@ -365,11 +374,11 @@ fn having_filters_groups() {
 
 #[test]
 fn having_with_hidden_aggregate() {
-    let session = Session::new(test_db());
+    let db = test_db();
     // The HAVING aggregate (min) is not in the select list: it is
     // computed as a hidden group-by output.
     let rows = run_all_configs(
-        &session,
+        &db,
         "select emp_dept, count(*) as n from emp          group by emp_dept having min(salary) < 31000 order by emp_dept",
     );
     let expected: Vec<i64> = (0..12i64)
@@ -388,9 +397,9 @@ fn having_with_hidden_aggregate() {
 
 #[test]
 fn having_on_grouping_column_arithmetic() {
-    let session = Session::new(test_db());
+    let db = test_db();
     let rows = run_all_configs(
-        &session,
+        &db,
         "select emp_dept, count(*) as n from emp          group by emp_dept having emp_dept * 2 >= 20 order by emp_dept",
     );
     assert_eq!(rows.len(), 2); // depts 10, 11
@@ -398,13 +407,13 @@ fn having_on_grouping_column_arithmetic() {
 
 #[test]
 fn inner_join_syntax_equals_comma_syntax() {
-    let session = Session::new(test_db());
+    let db = test_db();
     let explicit = run_all_configs(
-        &session,
+        &db,
         "select dept_name, emp_id from dept join emp on dept_id = emp_dept          order by emp_id",
     );
     let comma = run_all_configs(
-        &session,
+        &db,
         "select dept_name, emp_id from dept, emp where dept_id = emp_dept          order by emp_id",
     );
     assert_eq!(explicit, comma);
@@ -413,10 +422,10 @@ fn inner_join_syntax_equals_comma_syntax() {
 
 #[test]
 fn left_outer_join_pads_with_nulls() {
-    let session = Session::new(test_db());
+    let db = test_db();
     // grade = 9 matches nothing: every dept row survives with NULL emp.
     let rows = run_all_configs(
-        &session,
+        &db,
         "select dept_id, emp_id from dept          left join emp on dept_id = emp_dept and grade = 9          order by dept_id",
     );
     assert_eq!(rows.len(), 12);
@@ -425,7 +434,7 @@ fn left_outer_join_pads_with_nulls() {
     }
     // A selective but satisfiable ON: matched rows join, others pad.
     let rows = run_all_configs(
-        &session,
+        &db,
         "select dept_id, emp_id from dept          left join emp on dept_id = emp_dept and emp_id < 3          order by dept_id, emp_id",
     );
     // Depts 0,1,2 match emp 0,1,2; the other nine pad.
@@ -436,9 +445,9 @@ fn left_outer_join_pads_with_nulls() {
 
 #[test]
 fn left_join_then_group_by() {
-    let session = Session::new(test_db());
+    let db = test_db();
     let rows = run_all_configs(
-        &session,
+        &db,
         "select dept_id, count(emp_id) as n from dept          left join emp on dept_id = emp_dept and grade = 0          group by dept_id order by dept_id",
     );
     assert_eq!(rows.len(), 12);
@@ -450,17 +459,15 @@ fn left_join_then_group_by() {
 
 #[test]
 fn global_aggregate_over_empty_input_yields_one_row() {
-    let session = Session::new(test_db());
+    let db = test_db();
     for config in all_configs() {
-        let (_, result) = session
-            .run(
-                "select count(*) as n, sum(salary) as s from emp where grade = 99",
-                config,
-            )
+        let out = Session::new(&db)
+            .config(config)
+            .execute("select count(*) as n, sum(salary) as s from emp where grade = 99")
             .unwrap();
-        assert_eq!(result.rows.len(), 1);
-        assert_eq!(result.rows[0][0], Value::Int(0));
-        assert!(result.rows[0][1].is_null());
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0][0], Value::Int(0));
+        assert!(out.rows[0][1].is_null());
     }
 }
 
@@ -468,9 +475,9 @@ fn global_aggregate_over_empty_input_yields_one_row() {
 fn anti_join_via_left_join_is_null() {
     // The classic pattern the outer join + IS NULL combination exists
     // for: departments with no grade-0 employee below id 50.
-    let session = Session::new(test_db());
+    let db = test_db();
     let rows = run_all_configs(
-        &session,
+        &db,
         "select dept_id, emp_id from dept          left join emp on dept_id = emp_dept and grade = 0 and emp_id < 50          where emp_id is null order by dept_id",
     );
     // grade = 0 ⇒ emp_id % 5 == 0; emp_id < 50 ⇒ ids 0,5,...,45, which
@@ -486,9 +493,9 @@ fn anti_join_via_left_join_is_null() {
 
 #[test]
 fn is_not_null_filter() {
-    let session = Session::new(test_db());
+    let db = test_db();
     let rows = run_all_configs(
-        &session,
+        &db,
         "select dept_id, emp_id from dept          left join emp on dept_id = emp_dept and grade = 9          where emp_id is not null order by dept_id",
     );
     assert!(rows.is_empty()); // grade 9 never matches
@@ -496,11 +503,11 @@ fn is_not_null_filter() {
 
 #[test]
 fn in_subquery_is_a_semi_join() {
-    let session = Session::new(test_db());
+    let db = test_db();
     // Employees in departments with budget 0 (depts 0, 5, 10). Each dept
     // id appears once despite the subquery being over a joinable table.
     let rows = run_all_configs(
-        &session,
+        &db,
         "select emp_id, emp_dept from emp          where emp_dept in (select dept_id from dept where budget = 0)          order by emp_id",
     );
     let expected = (0..400i64)
@@ -515,11 +522,11 @@ fn in_subquery_is_a_semi_join() {
 
 #[test]
 fn in_subquery_with_duplicates_in_subquery_side() {
-    let session = Session::new(test_db());
+    let db = test_db();
     // The subquery side (emp_dept) is full of duplicates; DISTINCT
     // desugaring must still yield one row per dept.
     let rows = run_all_configs(
-        &session,
+        &db,
         "select dept_id from dept          where dept_id in (select emp_dept from emp where grade = 1)          order by dept_id",
     );
     assert_eq!(rows.len(), 12);
@@ -527,9 +534,9 @@ fn in_subquery_with_duplicates_in_subquery_side() {
 
 #[test]
 fn empty_result_is_consistent() {
-    let session = Session::new(test_db());
+    let db = test_db();
     let rows = run_all_configs(
-        &session,
+        &db,
         "select emp_id from emp where grade = 99 order by emp_id",
     );
     assert!(rows.is_empty());
@@ -539,9 +546,9 @@ fn empty_result_is_consistent() {
 fn constant_bound_order_column() {
     // ORDER BY over a column fixed by a predicate: correct results in all
     // configurations, and the optimized plan may skip the sort entirely.
-    let session = Session::new(test_db());
+    let db = test_db();
     let rows = run_all_configs(
-        &session,
+        &db,
         "select grade, emp_id from emp where grade = 2 order by grade, emp_id",
     );
     assert_eq!(rows.len(), 80);

@@ -1,17 +1,19 @@
 //! Randomized end-to-end differential testing: generated SQL queries run
 //! under every optimizer configuration must produce identical results —
 //! whatever join order, join method, access path, sort placement, or
-//! group-by strategy each configuration picks.
+//! group-by strategy each configuration picks. Every query also runs
+//! through both the streaming and the materializing engine.
 //!
 //! Output determinism is guaranteed by always ordering by every output
-//! column (a total order on the output multiset).
+//! column (a total order on the output multiset). Generation is a
+//! seeded deterministic sweep (the container is offline, so no external
+//! property-testing framework).
 
 use fto_bench::Session;
 use fto_catalog::{Catalog, ColumnDef, KeyDef};
-use fto_common::{DataType, Direction, Value};
+use fto_common::{DataType, Direction, Rng, Value};
 use fto_planner::OptimizerConfig;
 use fto_storage::Database;
-use proptest::prelude::*;
 
 fn fuzz_db() -> Database {
     let mut cat = Catalog::new();
@@ -83,40 +85,41 @@ struct GenQuery {
 const T1_COLS: [&str; 3] = ["a", "b", "c"];
 const T2_COLS: [&str; 3] = ["d", "e", "f"];
 
-fn query_strategy() -> impl Strategy<Value = GenQuery> {
-    let join = prop_oneof![
-        2 => Just(None),
-        2 => Just(Some("b = e")),
-        1 => Just(Some("a = d")),
-    ];
-    let pred = (0usize..6, 0usize..4, -2i64..12).prop_map(|(c, op, v)| {
-        let col = if c < 3 { T1_COLS[c] } else { T2_COLS[c - 3] };
-        let op = ["=", "<", ">", "<>"][op];
-        format!("{col} {op} {v}")
-    });
-    (
+fn gen_query(rng: &mut Rng) -> GenQuery {
+    let join = match rng.range_usize(0, 5) {
+        0 | 1 => None,
+        2 | 3 => Some("b = e"),
+        _ => Some("a = d"),
+    };
+    let n_preds = rng.range_usize(0, 3);
+    let preds = (0..n_preds)
+        .map(|_| {
+            let c = rng.range_usize(0, 6);
+            let col = if c < 3 { T1_COLS[c] } else { T2_COLS[c - 3] };
+            let op = ["=", "<", ">", "<>"][rng.range_usize(0, 4)];
+            let v = rng.range_incl_i64(-2, 11);
+            format!("{col} {op} {v}")
+        })
+        .collect();
+    // A non-empty subsequence of 1..4 columns out of the six.
+    let all = [T1_COLS, T2_COLS].concat();
+    let n_select = rng.range_usize(1, 4);
+    let mut idx: Vec<usize> = (0..6).collect();
+    for i in 0..n_select {
+        let j = rng.range_usize(i, 6);
+        idx.swap(i, j);
+    }
+    let mut select_idx: Vec<usize> = idx[..n_select].to_vec();
+    select_idx.sort_unstable();
+    GenQuery {
         join,
-        any::<bool>(),
-        proptest::collection::vec(pred, 0..3),
-        proptest::sample::subsequence(vec![0usize, 1, 2, 3, 4, 5], 1..4),
-        any::<bool>(),
-        any::<u8>(),
-        proptest::option::of(1u8..20),
-    )
-        .prop_map(
-            |(join, left_outer, preds, select_idx, group, desc_mask, limit)| {
-                let all = [T1_COLS, T2_COLS].concat();
-                GenQuery {
-                    join,
-                    left_outer,
-                    preds,
-                    select: select_idx.into_iter().map(|i| all[i]).collect(),
-                    group,
-                    desc_mask,
-                    limit,
-                }
-            },
-        )
+        left_outer: rng.bool(),
+        preds,
+        select: select_idx.into_iter().map(|i| all[i]).collect(),
+        group: rng.bool(),
+        desc_mask: rng.range_i64(0, 256) as u8,
+        limit: rng.bool().then(|| rng.range_incl_i64(1, 19) as u8),
+    }
 }
 
 fn render(q: &GenQuery) -> String {
@@ -203,41 +206,51 @@ fn configs() -> Vec<OptimizerConfig> {
         OptimizerConfig::disabled(),
         OptimizerConfig::db2_1996(),
         OptimizerConfig::db2_1996_disabled(),
-        OptimizerConfig {
-            sort_ahead: false,
-            enable_merge_join: false,
-            ..OptimizerConfig::default()
-        },
+        OptimizerConfig::default()
+            .with_sort_ahead(false)
+            .with_merge_join(false),
+        OptimizerConfig::default().with_batch_size(7),
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn all_configs_agree(q in query_strategy()) {
-        let session = Session::new(fuzz_db());
+#[test]
+fn all_configs_agree() {
+    let db = fuzz_db();
+    let mut rng = Rng::new(0xF02D_5EED);
+    for case in 0..96 {
+        let q = gen_query(&mut rng);
         let sql = render(&q);
         let mut reference: Option<Vec<fto_common::Row>> = None;
         for config in configs() {
-            let (compiled, result) = session
-                .run(&sql, config.clone())
-                .unwrap_or_else(|e| panic!("{sql}\nunder {config:?}: {e}"));
+            let prepared = Session::new(&db)
+                .config(config.clone())
+                .plan(&sql)
+                .unwrap_or_else(|e| panic!("case {case}: {sql}\nunder {config:?}: {e}"));
+            let streamed = prepared
+                .execute()
+                .unwrap_or_else(|e| panic!("case {case}: {sql}\nunder {config:?}: {e}"));
+            let materialized = prepared
+                .execute_materialized()
+                .unwrap_or_else(|e| panic!("case {case}: {sql}\nunder {config:?}: {e}"));
+            assert_eq!(
+                streamed.rows,
+                materialized.rows,
+                "engine mismatch\ncase {case}\nsql: {sql}\nconfig: {config:?}\nplan:\n{}",
+                prepared.explain()
+            );
             match &reference {
-                None => reference = Some(result.rows),
-                Some(expected) => prop_assert_eq!(
-                    &result.rows,
+                None => reference = Some(streamed.rows),
+                Some(expected) => assert_eq!(
+                    &streamed.rows,
                     expected,
-                    "row mismatch\nsql: {}\nconfig: {:?}\nplan:\n{}",
-                    sql,
-                    config,
-                    compiled.explain()
+                    "row mismatch\ncase {case}\nsql: {sql}\nconfig: {config:?}\nplan:\n{}",
+                    prepared.explain()
                 ),
             }
         }
         // LIMIT respected.
         if let Some(n) = q.limit {
-            prop_assert!(reference.unwrap().len() <= n as usize);
+            assert!(reference.unwrap().len() <= n as usize);
         }
     }
 }

@@ -1,12 +1,21 @@
 //! Plan-shape assertions for the paper's figures: the optimizer must
 //! *choose* the published plan structures, not merely execute correctly.
 
-use fto_bench::harness::{paper_example_db, q3_plans, FIG1_SQL, FIG6_SQL};
-use fto_bench::Session;
+use fto_bench::harness::{paper_example_db, tpcd_db, FIG1_SQL, FIG6_SQL};
+use fto_bench::{PreparedQuery, Session};
 use fto_planner::{OptimizerConfig, Plan, PlanNode};
+use fto_storage::Database;
 
 fn count(plan: &Plan, pred: fn(&PlanNode) -> bool) -> usize {
     plan.count_ops(&pred)
+}
+
+/// Compiles Q3 under one configuration against a borrowed TPC-D db.
+fn q3<'a>(db: &'a Database, config: OptimizerConfig) -> PreparedQuery<'a> {
+    Session::new(db)
+        .config(config)
+        .plan(&fto_tpcd::queries::q3_default())
+        .unwrap()
 }
 
 /// True when some StreamGroupBy is fed directly by a Sort.
@@ -31,8 +40,9 @@ fn max_sort_depth(plan: &Plan, depth: usize) -> Option<usize> {
 
 #[test]
 fn figure7_shape_order_opt_enabled() {
-    let (enabled, _) = q3_plans(0.005).unwrap();
-    let plan = &enabled.plan;
+    let db = tpcd_db(0.005).unwrap();
+    let enabled = q3(&db, OptimizerConfig::db2_1996());
+    let plan = enabled.plan();
     // An ordered index nested-loop join drives lineitem.
     assert!(
         count(plan, |n| matches!(n, PlanNode::IndexNestedLoopJoin { .. })) >= 1,
@@ -58,8 +68,9 @@ fn figure7_shape_order_opt_enabled() {
 
 #[test]
 fn figure8_shape_order_opt_disabled() {
-    let (_, disabled) = q3_plans(0.005).unwrap();
-    let plan = &disabled.plan;
+    let db = tpcd_db(0.005).unwrap();
+    let disabled = q3(&db, OptimizerConfig::db2_1996_disabled());
+    let plan = disabled.plan();
     // Without reduction/equivalence reasoning the group-by cannot reuse
     // any join order: it must sort on all three grouping columns.
     assert!(sort_feeds_group_by(plan), "{}", disabled.explain());
@@ -84,9 +95,11 @@ fn widest_sort(plan: &Plan) -> usize {
 fn enabled_plan_sorts_deeper_than_disabled() {
     // Sort-ahead pushes sorts down the join tree; the disabled build
     // sorts late (high in the plan).
-    let (enabled, disabled) = q3_plans(0.005).unwrap();
-    let e = max_sort_depth(&enabled.plan, 0).unwrap_or(0);
-    let d = max_sort_depth(&disabled.plan, 0).unwrap_or(0);
+    let db = tpcd_db(0.005).unwrap();
+    let enabled = q3(&db, OptimizerConfig::db2_1996());
+    let disabled = q3(&db, OptimizerConfig::db2_1996_disabled());
+    let e = max_sort_depth(enabled.plan(), 0).unwrap_or(0);
+    let d = max_sort_depth(disabled.plan(), 0).unwrap_or(0);
     assert!(
         e >= d,
         "enabled depth {e} vs disabled {d}\n{}\n{}",
@@ -97,13 +110,14 @@ fn enabled_plan_sorts_deeper_than_disabled() {
 
 #[test]
 fn figure1_shape() {
-    let session = Session::new(paper_example_db(1000).unwrap());
-    let compiled = session
-        .compile(FIG1_SQL, OptimizerConfig::db2_1996())
+    let db = paper_example_db(1000).unwrap();
+    let compiled = Session::new(&db)
+        .config(OptimizerConfig::db2_1996())
+        .plan(FIG1_SQL)
         .unwrap();
     // Order-based group-by over a sort on a.y, as the figure draws.
     assert_eq!(
-        count(&compiled.plan, |n| matches!(
+        count(compiled.plan(), |n| matches!(
             n,
             PlanNode::StreamGroupBy { .. }
         )),
@@ -112,7 +126,7 @@ fn figure1_shape() {
         compiled.explain()
     );
     assert!(
-        count(&compiled.plan, |n| matches!(n, PlanNode::Sort { .. })) >= 1,
+        count(compiled.plan(), |n| matches!(n, PlanNode::Sort { .. })) >= 1,
         "{}",
         compiled.explain()
     );
@@ -120,11 +134,12 @@ fn figure1_shape() {
 
 #[test]
 fn figure6_single_sort_ahead_serves_everything() {
-    let session = Session::new(paper_example_db(1000).unwrap());
-    let compiled = session
-        .compile(FIG6_SQL, OptimizerConfig::db2_1996())
+    let db = paper_example_db(1000).unwrap();
+    let compiled = Session::new(&db)
+        .config(OptimizerConfig::db2_1996())
+        .plan(FIG6_SQL)
         .unwrap();
-    let plan = &compiled.plan;
+    let plan = compiled.plan();
     // No top-level sort: the ORDER BY a.x is satisfied below.
     assert!(
         !matches!(plan.node, PlanNode::Sort { .. }),
@@ -141,7 +156,7 @@ fn figure6_single_sort_ahead_serves_everything() {
     assert!(!sort_feeds_group_by(plan), "{}", compiled.explain());
     // The one descending sort below the joins (or an index order) covers
     // merge-join + GROUP BY + ORDER BY; executing confirms the order.
-    let result = session.execute(&compiled).unwrap();
+    let result = compiled.execute().unwrap();
     let mut last = i64::MIN;
     for row in &result.rows {
         let x = row[0].as_int().unwrap();
@@ -154,20 +169,13 @@ fn figure6_single_sort_ahead_serves_everything() {
 fn modern_inventory_still_beats_disabled_on_cost() {
     // Even with hash operators available everywhere, the optimizer with
     // order reasoning never produces a costlier plan than without it.
-    let session = Session::new(
-        fto_tpcd::build_database(fto_tpcd::TpcdConfig {
-            scale: 0.005,
-            ..fto_tpcd::TpcdConfig::default()
-        })
-        .unwrap(),
-    );
-    let sql = fto_tpcd::queries::q3_default();
-    let on = session.compile(&sql, OptimizerConfig::default()).unwrap();
-    let off = session.compile(&sql, OptimizerConfig::disabled()).unwrap();
+    let db = tpcd_db(0.005).unwrap();
+    let on = q3(&db, OptimizerConfig::default());
+    let off = q3(&db, OptimizerConfig::disabled());
     assert!(
-        on.plan.cost.total <= off.plan.cost.total * 1.0001,
+        on.plan().cost.total <= off.plan().cost.total * 1.0001,
         "on {} vs off {}",
-        on.plan.cost.total,
-        off.plan.cost.total
+        on.plan().cost.total,
+        off.plan().cost.total
     );
 }

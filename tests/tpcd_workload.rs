@@ -1,20 +1,20 @@
 //! The full TPC-D-style workload through the stack, checked for
-//! cross-configuration agreement and for the semantic invariants each
-//! query's definition implies.
+//! cross-configuration agreement, for streaming-vs-materialized engine
+//! agreement, and for the semantic invariants each query's definition
+//! implies.
 
 use fto_bench::Session;
 use fto_planner::OptimizerConfig;
 use fto_sql::dates::parse_date;
+use fto_storage::Database;
 use fto_tpcd::{build_database, queries, TpcdConfig};
 
-fn session() -> Session {
-    Session::new(
-        build_database(TpcdConfig {
-            scale: 0.003,
-            seed: 77,
-        })
-        .unwrap(),
-    )
+fn tpcd() -> Database {
+    build_database(TpcdConfig {
+        scale: 0.003,
+        seed: 77,
+    })
+    .unwrap()
 }
 
 fn configs() -> [OptimizerConfig; 4] {
@@ -26,19 +26,34 @@ fn configs() -> [OptimizerConfig; 4] {
     ]
 }
 
-fn agree(session: &Session, sql: &str) -> Vec<fto_common::Row> {
+/// Runs `sql` under every configuration through both engines and checks
+/// all runs agree; returns the first run's rows.
+fn agree(db: &Database, sql: &str) -> Vec<fto_common::Row> {
     let mut reference: Option<Vec<fto_common::Row>> = None;
     for config in configs() {
-        let (compiled, result) = session
-            .run(sql, config.clone())
+        let prepared = Session::new(db)
+            .config(config.clone())
+            .plan(sql)
             .unwrap_or_else(|e| panic!("{sql}\n{config:?}: {e}"));
+        let streamed = prepared
+            .execute()
+            .unwrap_or_else(|e| panic!("{sql}\n{config:?}: {e}"));
+        let materialized = prepared
+            .execute_materialized()
+            .unwrap_or_else(|e| panic!("{sql}\n{config:?}: {e}"));
+        assert_eq!(
+            streamed.rows,
+            materialized.rows,
+            "engine mismatch under {config:?}\n{}",
+            prepared.explain()
+        );
         match &reference {
-            None => reference = Some(result.rows),
+            None => reference = Some(streamed.rows),
             Some(expected) => assert_eq!(
-                &result.rows,
+                &streamed.rows,
                 expected,
                 "mismatch under {config:?}\n{}",
-                compiled.explain()
+                prepared.explain()
             ),
         }
     }
@@ -47,8 +62,8 @@ fn agree(session: &Session, sql: &str) -> Vec<fto_common::Row> {
 
 #[test]
 fn q3_semantics() {
-    let s = session();
-    let rows = agree(&s, &queries::q3_default());
+    let db = tpcd();
+    let rows = agree(&db, &queries::q3_default());
     assert!(!rows.is_empty());
     let cutoff = parse_date("1995-03-15").unwrap();
     // Every result order predates the cutoff and revenues are positive,
@@ -71,8 +86,8 @@ fn q3_semantics() {
 
 #[test]
 fn q1_pricing_summary() {
-    let s = session();
-    let rows = agree(&s, &queries::q1("1998-09-02"));
+    let db = tpcd();
+    let rows = agree(&db, &queries::q1("1998-09-02"));
     // 3 return flags × 2 statuses = at most 6 groups.
     assert!(!rows.is_empty() && rows.len() <= 6);
     for r in &rows {
@@ -95,20 +110,19 @@ fn q1_pricing_summary() {
 
 #[test]
 fn order_report_groups_on_key_without_wide_sort() {
-    let s = session();
+    let db = tpcd();
     let sql = queries::order_report();
-    let rows = agree(&s, &sql);
+    let rows = agree(&db, &sql);
     // One output row per order (o_orderkey is the key).
-    let orders = s
-        .database()
+    let orders = db
         .catalog()
-        .stats(s.database().catalog().table_by_name("orders").unwrap().id)
+        .stats(db.catalog().table_by_name("orders").unwrap().id)
         .row_count;
     assert_eq!(rows.len() as u64, orders);
 
     // With order optimization the grouping-on-key redundancy disappears:
     // the widest sort in the plan is at most one column.
-    let compiled = s.compile(&sql, OptimizerConfig::default()).unwrap();
+    let compiled = Session::new(&db).plan(&sql).unwrap();
     fn widest_sort(plan: &fto_planner::Plan) -> usize {
         let own = match &plan.node {
             fto_planner::PlanNode::Sort { spec, .. } => spec.len(),
@@ -121,19 +135,20 @@ fn order_report_groups_on_key_without_wide_sort() {
             .unwrap_or(0)
             .max(own)
     }
-    assert!(widest_sort(&compiled.plan) <= 1, "{}", compiled.explain());
+    assert!(widest_sort(compiled.plan()) <= 1, "{}", compiled.explain());
     // Without it, the optimizer must sort on all four grouping columns
     // (or hash); under the 1996 inventory the wide sort is forced.
-    let disabled = s
-        .compile(&sql, OptimizerConfig::db2_1996_disabled())
+    let disabled = Session::new(&db)
+        .config(OptimizerConfig::db2_1996_disabled())
+        .plan(&sql)
         .unwrap();
-    assert!(widest_sort(&disabled.plan) >= 4, "{}", disabled.explain());
+    assert!(widest_sort(disabled.plan()) >= 4, "{}", disabled.explain());
 }
 
 #[test]
 fn section6_example_streams() {
-    let s = session();
-    let rows = agree(&s, &queries::section6_example());
+    let db = tpcd();
+    let rows = agree(&db, &queries::section6_example());
     assert!(!rows.is_empty());
     let mut last = i64::MIN;
     for r in &rows {
@@ -145,13 +160,13 @@ fn section6_example_streams() {
 
 #[test]
 fn q3_parameter_variations() {
-    let s = session();
+    let db = tpcd();
     for (date, segment) in [
         ("1994-06-30", "automobile"),
         ("1996-01-01", "machinery"),
         ("1993-12-31", "household"),
     ] {
-        let rows = agree(&s, &queries::q3(date, segment));
+        let rows = agree(&db, &queries::q3(date, segment));
         let cutoff = parse_date(date).unwrap();
         for r in &rows {
             assert!(r[2].as_date().unwrap() < cutoff);
