@@ -1,0 +1,68 @@
+//! Cost-model calibration report: per-operator estimated self cost vs
+//! the weighted page cost actually charged, over the TPC-D workload
+//! queries.
+//!
+//! ```text
+//! cargo run -p fto-bench --release --bin calibrate [-- <scale> [factor]]
+//! ```
+//!
+//! Operators whose actual cost diverges from the estimate by more than
+//! `factor` (default 3) in either direction are marked `!!` — those are
+//! the places where the model's ranking can no longer be trusted and
+//! future cost-model work should start.
+
+use fto_bench::harness::{calibration_report, tpcd_db};
+use fto_planner::OptimizerConfig;
+use fto_tpcd::queries;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.01);
+    let factor: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3.0);
+
+    let db = match tpcd_db(scale) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("cost-model calibration (scale {scale}, divergence factor {factor})");
+    let workload: Vec<(&str, String)> = vec![
+        ("tpcd q3", queries::q3_default()),
+        ("tpcd q1", queries::q1("1998-09-02")),
+        ("order report", queries::order_report()),
+        ("section 6 example", queries::section6_example()),
+    ];
+    let mut total = 0usize;
+    let mut flagged = 0usize;
+    for (name, sql) in workload {
+        println!("\n== {name} ==");
+        let report = match calibration_report(&db, &sql, OptimizerConfig::default(), factor) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!(
+            "{:>3} {:2} {:24} {:>10} {:>10} {:>10} {:>10}",
+            "id", "", "operator", "est rows", "act rows", "est wpc", "act wpc"
+        );
+        for op in &report {
+            println!(
+                "{:>3} {:2} {:24} {:>10.0} {:>10} {:>10.1} {:>10.1}",
+                op.id,
+                if op.flagged { "!!" } else { "" },
+                op.name,
+                op.est_rows,
+                op.actual_rows,
+                op.est_self_cost,
+                op.actual_wpc,
+            );
+        }
+        total += report.len();
+        flagged += report.iter().filter(|o| o.flagged).count();
+    }
+    println!("\n{flagged} of {total} operators diverge by more than {factor}x");
+}

@@ -9,13 +9,15 @@
 //!
 //! * `<sql>;`            — run a query, print rows (first 20) + timing
 //! * `explain <sql>;`    — show the chosen plan without running it
+//! * `explain analyze <sql>;` — run it and show the plan annotated with
+//!   per-operator actuals (rows, batches, self pages vs estimate, time)
 //! * `explain+ <sql>;`   — the plan with per-stream order/key properties
 //! * `compare <sql>;`    — plans + timings with order optimization on/off
 //! * `.mode modern|1996` — operator inventory (hash ops on/off)
 //! * `.tables`           — list tables
 //! * `.quit`             — exit
 
-use fto_bench::Session;
+use fto_bench::{Session, StatementOutput};
 use fto_planner::OptimizerConfig;
 use fto_storage::Database;
 use fto_tpcd::{build_database, TpcdConfig};
@@ -109,9 +111,12 @@ fn dispatch(db: &Database, statement: &str, modern: bool) {
             Ok(q) => println!("{}", q.explain_properties()),
             Err(e) => println!("error: {e}"),
         }
-    } else if let Some(sql) = lower.strip_prefix("explain ") {
-        match compile(sql, base_config(modern)) {
-            Ok(q) => println!("{}", q.explain()),
+    } else if lower.starts_with("explain ") || lower.starts_with("explain\t") {
+        // `explain [analyze] <sql>` is part of the statement grammar;
+        // Session::run parses and dispatches it.
+        match Session::new(db).config(base_config(modern)).run(&lower) {
+            Ok(StatementOutput::Explain(text)) => println!("{text}"),
+            Ok(StatementOutput::Rows(r)) => println!("{} rows", r.rows.len()),
             Err(e) => println!("error: {e}"),
         }
     } else if let Some(sql) = lower.strip_prefix("compare ") {

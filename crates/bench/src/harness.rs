@@ -2,9 +2,9 @@
 //! timing benches. Each function regenerates one artifact of the
 //! paper's evaluation; DESIGN.md maps artifacts to these entry points.
 
-use fto_common::Result;
+use fto_common::{FtoError, Result};
 use fto_exec::Session;
-use fto_planner::{OptimizerConfig, PlanNode};
+use fto_planner::{OptimizerConfig, Plan, PlanNode};
 use fto_storage::Database;
 use fto_tpcd::{build_database, queries, TpcdConfig};
 use std::time::Duration;
@@ -68,6 +68,75 @@ pub fn run_cell(
             .count_ops(&|n| matches!(n, PlanNode::Sort { .. })),
         rows,
     })
+}
+
+/// One row of a cost-model calibration report: an operator's estimated
+/// self cost against the weighted page cost it actually incurred.
+#[derive(Debug, Clone)]
+pub struct OpCalibration {
+    /// Pre-order plan-node id (matches `PlanMetrics` slots and
+    /// `explain_annotated` numbering).
+    pub id: usize,
+    /// Operator name (`Plan::op_name`).
+    pub name: String,
+    /// Estimated output rows.
+    pub est_rows: f64,
+    /// Rows actually produced.
+    pub actual_rows: u64,
+    /// Estimated self cost, net of children (page-calibrated units).
+    pub est_self_cost: f64,
+    /// Weighted page cost the operator itself actually charged.
+    pub actual_wpc: f64,
+    /// True when estimate and actual diverge by more than the report's
+    /// factor (and the operator's I/O footprint is at least a page).
+    pub flagged: bool,
+}
+
+/// Executes `sql` instrumented and compares, per operator, the
+/// optimizer's estimated self cost against the
+/// [`fto_storage::IoStats::weighted_page_cost`] the operator actually
+/// charged. An operator is flagged when the two diverge by more than
+/// `factor` in either direction; operators whose footprint stays under
+/// one page on both sides are never flagged (pure-CPU operators measure
+/// nothing the page model can confirm).
+pub fn calibration_report(
+    db: &Database,
+    sql: &str,
+    config: OptimizerConfig,
+    factor: f64,
+) -> Result<Vec<OpCalibration>> {
+    fn walk(p: &Plan, ests: &mut Vec<(String, f64, f64)>) {
+        ests.push((p.op_name().to_string(), p.cost.rows, p.self_cost()));
+        for c in p.children() {
+            walk(c, ests);
+        }
+    }
+    let prepared = Session::new(db).config(config).plan(sql)?;
+    let (_, metrics) = prepared.execute_instrumented()?;
+    metrics.validate().map_err(FtoError::internal)?;
+    let mut ests = Vec::new();
+    walk(prepared.plan(), &mut ests);
+    let factor = factor.max(1.0);
+    let mut out = Vec::with_capacity(ests.len());
+    for (id, (name, est_rows, est_self_cost)) in ests.into_iter().enumerate() {
+        let self_io = metrics
+            .self_io(id)
+            .ok_or_else(|| FtoError::internal("inconsistent metric attribution"))?;
+        let actual_wpc = self_io.weighted_page_cost();
+        let material = actual_wpc.max(est_self_cost) >= 1.0;
+        let flagged = material
+            && (actual_wpc > est_self_cost * factor || est_self_cost > actual_wpc * factor);
+        out.push(OpCalibration {
+            id,
+            name,
+            est_rows,
+            actual_rows: metrics.ops[id].rows,
+            est_self_cost,
+            actual_wpc,
+            flagged,
+        });
+    }
+    Ok(out)
 }
 
 /// The §5.2 enumeration-complexity experiment: planner work vs the number
@@ -224,6 +293,24 @@ mod tests {
         // The enabled plan does strictly less sorting work.
         let sorts = |q: &PreparedQuery| q.plan().count_ops(&|n| matches!(n, PlanNode::Sort { .. }));
         assert!(sorts(&enabled) <= sorts(&disabled), "{}", enabled.explain());
+    }
+
+    #[test]
+    fn calibration_report_covers_every_operator() {
+        let db = tpcd_db(0.002).unwrap();
+        let sql = queries::q3_default();
+        let report = calibration_report(&db, &sql, OptimizerConfig::default(), 3.0).unwrap();
+        let prepared = Session::new(&db).plan(&sql).unwrap();
+        assert_eq!(report.len(), prepared.plan().count_ops(&|_| true));
+        assert_eq!(report[0].id, 0);
+        // Something in the plan actually touched pages.
+        assert!(report.iter().any(|o| o.actual_wpc > 0.0), "{report:?}");
+        // CPU-only operators (filters, projects) are never flagged.
+        for op in &report {
+            if op.actual_wpc < 1.0 && op.est_self_cost < 1.0 {
+                assert!(!op.flagged, "{op:?}");
+            }
+        }
     }
 
     #[test]

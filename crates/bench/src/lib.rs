@@ -10,4 +10,4 @@
 
 pub mod harness;
 
-pub use fto_exec::{PreparedQuery, QueryOutput, Session};
+pub use fto_exec::{PlanMetrics, PreparedQuery, QueryOutput, Session, StatementOutput};

@@ -145,7 +145,8 @@ fn exec(db: &Database, graph: &QueryGraph, plan: &Plan, io: &mut IoStats) -> Res
             let ix = db.index(*index)?;
             let layout = &plan.layout;
             let olayout = &outer.layout;
-            let mut cursor = PageCursor::new();
+            // Probe streams pay a full seek on their first fetch.
+            let mut cursor = PageCursor::probing();
             let mut out = Vec::new();
             let probe_positions: Vec<usize> = probe_cols
                 .iter()

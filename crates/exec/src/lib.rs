@@ -18,6 +18,11 @@
 //!   through both engines and requires identical rows in identical order.
 //! * [`session`] — [`Session`] / [`PreparedQuery`] / [`QueryOutput`]:
 //!   `Session::new(&db).config(cfg).plan(sql)?.execute()?`.
+//! * [`metrics`] — per-operator observability. Executing through
+//!   [`execute_plan_instrumented`] (or
+//!   `PreparedQuery::execute_instrumented` / `explain_analyze`) records
+//!   rows, batches, I/O, and time per plan node into a [`PlanMetrics`],
+//!   with per-operator I/O deltas that sum exactly to the session totals.
 //!
 //! Entry points: [`Session`] for SQL, [`execute_plan`] for an
 //! already-planned query, [`compile_pipeline`] to drive batches by hand.
@@ -25,12 +30,17 @@
 #![deny(missing_docs)]
 
 pub mod interp;
+pub mod metrics;
 pub mod session;
 pub mod stream;
 
 pub use interp::{run_plan_materialized, QueryResult};
-pub use session::{PreparedQuery, QueryOutput, Session};
-pub use stream::{compile_pipeline, execute_plan, Batch, ExecContext, ExecOptions, Operator};
+pub use metrics::{OpMetrics, PlanMetrics};
+pub use session::{PreparedQuery, QueryOutput, Session, StatementOutput};
+pub use stream::{
+    compile_pipeline, execute_plan, execute_plan_instrumented, Batch, ExecContext, ExecOptions,
+    Operator,
+};
 
 /// Executes a plan to completion through the streaming executor with the
 /// default batch size.
@@ -48,7 +58,10 @@ pub fn run_plan(
 
 /// Convenience re-exports for the common execution workflow.
 pub mod prelude {
-    pub use crate::{execute_plan, ExecOptions, PreparedQuery, QueryOutput, QueryResult, Session};
+    pub use crate::{
+        execute_plan, ExecOptions, PlanMetrics, PreparedQuery, QueryOutput, QueryResult, Session,
+        StatementOutput,
+    };
     pub use fto_planner::{OptimizerConfig, PlannerStats};
     pub use fto_storage::{Database, IoStats};
 }

@@ -1,0 +1,183 @@
+//! Machine-readable per-operator execution metrics.
+//!
+//! [`crate::stream::execute_plan_instrumented`] wraps every operator in
+//! the lowered tree and records, per plan node, the rows and batches it
+//! produced, the simulated I/O charged while its subtree was running, and
+//! the wall-clock time spent inside it. Nodes are identified by their
+//! *pre-order* position in the plan tree (root = 0, children visited
+//! outer/left first) — the same numbering
+//! [`fto_planner::Plan::explain_annotated`] passes to its annotation
+//! callback, so metrics line up with rendered plans without any joins.
+//!
+//! Recorded counters are **inclusive** of children: an operator's slot
+//! accumulates everything charged between entering and leaving its
+//! subtree. Exclusive ("self") figures are derived by subtracting the
+//! children's inclusive counters, which makes the rollup loss-free by
+//! construction: summing every node's self delta telescopes back to the
+//! root's inclusive total, which is exactly the session-level
+//! [`IoStats`]. The subtraction is checked — a child charging more than
+//! its parent observed is an attribution bug and surfaces as `None`
+//! rather than a silently wrong report.
+
+use fto_storage::IoStats;
+use std::time::Duration;
+
+/// Execution metrics recorded for one plan operator.
+///
+/// `io` and `elapsed` are inclusive of the operator's children; see the
+/// module docs. Use [`PlanMetrics::self_io`] / [`PlanMetrics::self_elapsed`]
+/// for exclusive figures.
+#[derive(Clone, Debug, Default)]
+pub struct OpMetrics {
+    /// Operator name, as [`fto_planner::Plan::op_name`] renders it.
+    pub name: String,
+    /// Rows this operator returned to its parent.
+    pub rows: u64,
+    /// Non-empty batches this operator returned to its parent.
+    pub batches: u64,
+    /// Simulated I/O charged while this operator's subtree was running
+    /// (inclusive of children).
+    pub io: IoStats,
+    /// Wall-clock time spent inside this operator's subtree (inclusive).
+    pub elapsed: Duration,
+}
+
+/// Per-operator metrics for one execution of a plan.
+///
+/// `ops[id]` holds the metrics of the plan node with pre-order id `id`;
+/// `children[id]` lists that node's direct children's ids.
+#[derive(Clone, Debug)]
+pub struct PlanMetrics {
+    /// One entry per plan node, indexed by pre-order id.
+    pub ops: Vec<OpMetrics>,
+    /// Direct-children ids per node, parallel to `ops`.
+    pub children: Vec<Vec<usize>>,
+}
+
+impl PlanMetrics {
+    /// Number of instrumented operators.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no operators were instrumented.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// I/O charged by operator `id` itself, excluding its children:
+    /// the node's inclusive counters minus each child's inclusive
+    /// counters. Returns `None` when a child recorded more than the
+    /// parent observed — an attribution bug, never a legitimate state.
+    pub fn self_io(&self, id: usize) -> Option<IoStats> {
+        let mut acc = self.ops[id].io;
+        for &c in &self.children[id] {
+            acc = acc.checked_sub(&self.ops[c].io)?;
+        }
+        Some(acc)
+    }
+
+    /// Wall-clock time spent in operator `id` itself, excluding children
+    /// (saturating: timer jitter can make the difference marginally
+    /// negative).
+    pub fn self_elapsed(&self, id: usize) -> Duration {
+        let mut acc = self.ops[id].elapsed;
+        for &c in &self.children[id] {
+            acc = acc.saturating_sub(self.ops[c].elapsed);
+        }
+        acc
+    }
+
+    /// The root's inclusive I/O — equal to the session-level totals for
+    /// the execution that produced these metrics.
+    pub fn total_io(&self) -> IoStats {
+        self.ops.first().map(|m| m.io).unwrap_or_default()
+    }
+
+    /// Sum of every operator's *self* I/O. Equals [`PlanMetrics::total_io`]
+    /// whenever attribution is consistent (the sum telescopes); `None` if
+    /// any node fails [`PlanMetrics::self_io`].
+    pub fn summed_self_io(&self) -> Option<IoStats> {
+        let mut total = IoStats::new();
+        for id in 0..self.ops.len() {
+            total.merge(&self.self_io(id)?);
+        }
+        Some(total)
+    }
+
+    /// Checks the rollup invariant: every node's self delta is
+    /// well-defined and their sum equals the root's inclusive total.
+    /// Returns a description of the first violation, if any.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        for id in 0..self.ops.len() {
+            if self.self_io(id).is_none() {
+                return Err(format!(
+                    "operator {id} ({}): children charged more I/O than the node observed",
+                    self.ops[id].name
+                ));
+            }
+        }
+        let summed = self.summed_self_io().expect("checked above");
+        let total = self.total_io();
+        if summed != total {
+            return Err(format!(
+                "summed self I/O ({summed}) != root inclusive I/O ({total})"
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn io(seq: u64, rand: u64) -> IoStats {
+        IoStats {
+            sequential_pages: seq,
+            random_pages: rand,
+            ..IoStats::new()
+        }
+    }
+
+    fn m(name: &str, rows: u64, io: IoStats) -> OpMetrics {
+        OpMetrics {
+            name: name.to_string(),
+            rows,
+            batches: 1,
+            io,
+            elapsed: Duration::from_micros(10),
+        }
+    }
+
+    #[test]
+    fn self_io_subtracts_children_and_sums_to_total() {
+        // sort(0) -> filter(1) -> scan(2); scan charges 5 seq pages,
+        // filter adds nothing, sort adds 2 random (spill proxy).
+        let pm = PlanMetrics {
+            ops: vec![
+                m("sort", 10, io(5, 2)),
+                m("filter", 10, io(5, 0)),
+                m("table-scan", 40, io(5, 0)),
+            ],
+            children: vec![vec![1], vec![2], vec![]],
+        };
+        assert_eq!(pm.self_io(0), Some(io(0, 2)));
+        assert_eq!(pm.self_io(1), Some(io(0, 0)));
+        assert_eq!(pm.self_io(2), Some(io(5, 0)));
+        assert_eq!(pm.summed_self_io(), Some(io(5, 2)));
+        assert_eq!(pm.total_io(), io(5, 2));
+        assert!(pm.validate().is_ok());
+    }
+
+    #[test]
+    fn inconsistent_attribution_is_detected() {
+        // Child claims more pages than the parent observed.
+        let pm = PlanMetrics {
+            ops: vec![m("limit", 1, io(1, 0)), m("table-scan", 1, io(3, 0))],
+            children: vec![vec![1], vec![]],
+        };
+        assert_eq!(pm.self_io(0), None);
+        assert!(pm.validate().is_err());
+    }
+}

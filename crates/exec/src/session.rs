@@ -16,12 +16,14 @@
 //! ```
 
 use crate::interp::{run_plan_materialized, QueryResult};
-use crate::stream::{execute_plan, ExecOptions};
+use crate::metrics::PlanMetrics;
+use crate::stream::{execute_plan, execute_plan_instrumented, ExecOptions};
 use fto_common::{Result, Row};
 use fto_planner::{OptimizerConfig, Plan, Planner, PlannerStats};
 use fto_qgm::{rewrite, OrderScan, QueryGraph};
-use fto_sql::{bind, parse_query};
+use fto_sql::{bind, parse_query, parse_statement, Statement};
 use fto_storage::{Database, IoStats};
+use std::fmt::Write as _;
 use std::time::Duration;
 
 /// Everything a query execution produced: the rows plus the three
@@ -74,8 +76,12 @@ impl<'db> Session<'db> {
     /// Compiles SQL to an executable query: parse → bind → predicate
     /// pushdown → view merging → order scan → cost-based planning.
     pub fn plan(&self, sql: &str) -> Result<PreparedQuery<'db>> {
-        let ast = parse_query(sql)?;
-        let mut graph = bind(&ast, self.db.catalog())?;
+        self.plan_parsed(&parse_query(sql)?)
+    }
+
+    /// [`Session::plan`] starting from an already-parsed query AST.
+    pub fn plan_parsed(&self, ast: &fto_sql::ast::Query) -> Result<PreparedQuery<'db>> {
+        let mut graph = bind(ast, self.db.catalog())?;
         rewrite::push_down_predicates(&mut graph);
         rewrite::merge_views(&mut graph);
         OrderScan::run(&mut graph, self.db.catalog());
@@ -95,6 +101,41 @@ impl<'db> Session<'db> {
     pub fn execute(&self, sql: &str) -> Result<QueryOutput> {
         self.plan(sql)?.execute()
     }
+
+    /// Renders the chosen plan for `sql` (estimates only) without
+    /// executing it.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        Ok(self.plan(sql)?.explain())
+    }
+
+    /// Parses and runs a top-level statement, dispatching the
+    /// `EXPLAIN [ANALYZE]` forms to the plan renderers: plain queries
+    /// return rows, `EXPLAIN` returns the estimated plan tree, and
+    /// `EXPLAIN ANALYZE` executes the query and returns the tree
+    /// annotated with per-operator actuals.
+    pub fn run(&self, sql: &str) -> Result<StatementOutput> {
+        match parse_statement(sql)? {
+            Statement::Query(q) => Ok(StatementOutput::Rows(self.plan_parsed(&q)?.execute()?)),
+            Statement::Explain { analyze, query } => {
+                let prepared = self.plan_parsed(&query)?;
+                let text = if analyze {
+                    prepared.explain_analyze()?
+                } else {
+                    prepared.explain()
+                };
+                Ok(StatementOutput::Explain(text))
+            }
+        }
+    }
+}
+
+/// What one top-level statement produced (see [`Session::run`]).
+#[derive(Debug)]
+pub enum StatementOutput {
+    /// A plain query: its rows and observables.
+    Rows(QueryOutput),
+    /// An `EXPLAIN [ANALYZE]` form: the rendered plan tree.
+    Explain(String),
 }
 
 /// A compiled query bound to its database, ready to execute (repeatedly).
@@ -115,6 +156,19 @@ impl PreparedQuery<'_> {
         };
         let result = execute_plan(self.db, &self.graph, &self.plan, &opts)?;
         Ok(self.wrap(result))
+    }
+
+    /// [`PreparedQuery::execute`] with per-operator instrumentation:
+    /// alongside the normal output, returns a [`PlanMetrics`] recording
+    /// rows/batches, [`IoStats`] deltas, and elapsed time per plan node
+    /// (pre-order ids, root = 0). The rows and session totals are
+    /// identical to the uninstrumented path.
+    pub fn execute_instrumented(&self) -> Result<(QueryOutput, PlanMetrics)> {
+        let opts = ExecOptions {
+            batch_size: self.batch_size,
+        };
+        let (result, metrics) = execute_plan_instrumented(self.db, &self.graph, &self.plan, &opts)?;
+        Ok((self.wrap(result), metrics))
     }
 
     /// Executes through the materializing reference interpreter. Exists
@@ -162,6 +216,46 @@ impl PreparedQuery<'_> {
         let registry = &self.graph.registry;
         self.plan
             .explain_properties(&|c| registry.name(c).to_string())
+    }
+
+    /// Executes the query and renders the plan tree with each operator's
+    /// estimates (`rows`, `cost` — the optimizer's view) annotated with
+    /// what actually happened: rows and batches produced, the pages the
+    /// operator itself charged (children excluded), the resulting
+    /// [`IoStats::weighted_page_cost`] against the estimated self cost,
+    /// and time spent. A totals line closes the report; the per-operator
+    /// page deltas sum exactly to it.
+    pub fn explain_analyze(&self) -> Result<String> {
+        let (out, metrics) = self.execute_instrumented()?;
+        let registry = &self.graph.registry;
+        let mut text =
+            self.plan
+                .explain_annotated(&|c| registry.name(c).to_string(), &|id, node| {
+                    let m = &metrics.ops[id];
+                    match metrics.self_io(id) {
+                        Some(s) => format!(
+                            "actual: rows={} batches={} | self pages: seq={} rand={} index={} \
+                         (wpc {:.1} vs est {:.1}) | {:.1?}",
+                            m.rows,
+                            m.batches,
+                            s.sequential_pages,
+                            s.random_pages,
+                            s.index_pages,
+                            s.weighted_page_cost(),
+                            node.self_cost(),
+                            metrics.self_elapsed(id),
+                        ),
+                        None => "actual: <inconsistent I/O attribution>".to_string(),
+                    }
+                });
+        let _ = writeln!(
+            text,
+            "totals: {} | {} rows in {:.1?}",
+            out.io,
+            out.rows.len(),
+            out.elapsed
+        );
+        Ok(text)
     }
 }
 
@@ -220,6 +314,42 @@ mod tests {
         let materialized = q.execute_materialized().unwrap();
         assert_eq!(streaming.rows, materialized.rows);
         assert_eq!(streaming.rows.len(), 4);
+    }
+
+    #[test]
+    fn explain_analyze_annotates_actuals() {
+        let db = db();
+        let q = Session::new(&db)
+            .plan("select k, v from t order by v limit 5")
+            .unwrap();
+        let text = q.explain_analyze().unwrap();
+        assert!(text.contains("actual: rows="), "{text}");
+        assert!(text.contains("totals:"), "{text}");
+        let (out, metrics) = q.execute_instrumented().unwrap();
+        assert!(metrics.validate().is_ok(), "{:?}", metrics.validate());
+        assert_eq!(metrics.total_io(), out.io);
+        assert_eq!(out.rows.len(), 5);
+    }
+
+    #[test]
+    fn run_dispatches_statements() {
+        let db = db();
+        let s = Session::new(&db);
+        match s.run("select k from t limit 3").unwrap() {
+            StatementOutput::Rows(out) => assert_eq!(out.rows.len(), 3),
+            other => panic!("expected rows, got {other:?}"),
+        }
+        match s.run("explain select k from t order by k").unwrap() {
+            StatementOutput::Explain(text) => {
+                assert!(text.contains("rows="), "{text}");
+                assert!(!text.contains("actual:"), "{text}");
+            }
+            other => panic!("expected explain text, got {other:?}"),
+        }
+        match s.run("explain analyze select k from t order by k").unwrap() {
+            StatementOutput::Explain(text) => assert!(text.contains("actual:"), "{text}"),
+            other => panic!("expected explain text, got {other:?}"),
+        }
     }
 
     #[test]

@@ -22,14 +22,17 @@
 //! rows.
 
 use crate::interp::{concat, eval_preds, hash_group_by, positions, sort_rows, QueryResult};
+use crate::metrics::{OpMetrics, PlanMetrics};
 use fto_common::{ColId, Direction, FtoError, IndexId, Result, Row, TableId, Value};
 use fto_expr::{agg::Accumulator, AggCall, Expr, PredId, RowLayout};
 use fto_order::OrderSpec;
 use fto_planner::{Plan, PlanNode, ScanRange};
 use fto_qgm::QueryGraph;
 use fto_storage::{Database, HeapScanState, IndexScanState, IoStats, PageCursor};
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
 use std::time::Instant;
 
 /// A batch of rows. Operators never return an empty batch: exhaustion is
@@ -111,6 +114,73 @@ pub fn execute_plan(
         io,
         elapsed: start.elapsed(),
     })
+}
+
+/// [`execute_plan`] with per-operator instrumentation: every lowered
+/// operator is wrapped so that rows/batches produced, subtree-inclusive
+/// [`IoStats`] deltas, and elapsed time are recorded per plan node,
+/// returned as a [`PlanMetrics`] alongside the normal result.
+///
+/// Metric slots are indexed by the plan's pre-order node id (root = 0,
+/// children outer/left first), matching
+/// [`fto_planner::Plan::explain_annotated`]. The query result is
+/// identical to the uninstrumented path — the wrappers only observe.
+pub fn execute_plan_instrumented(
+    db: &Database,
+    graph: &QueryGraph,
+    plan: &Plan,
+    opts: &ExecOptions,
+) -> Result<(QueryResult, PlanMetrics)> {
+    let start = Instant::now();
+    let mut io = IoStats::new();
+    let cx = ExecContext {
+        db,
+        graph,
+        batch_size: opts.batch_size.max(1),
+    };
+    let instr = InstrState {
+        slots: Rc::new(RefCell::new(Vec::new())),
+    };
+    let mut root = lower_impl(plan, Some(&instr))?;
+    root.open(&cx, &mut io)?;
+    let mut rows = Vec::new();
+    while let Some(batch) = root.next_batch(&cx, &mut io)? {
+        rows.extend(batch);
+    }
+    root.close();
+    drop(root);
+    let ops = Rc::try_unwrap(instr.slots)
+        .expect("all operator wrappers dropped")
+        .into_inner();
+    let metrics = PlanMetrics {
+        ops,
+        children: preorder_children(plan),
+    };
+    Ok((
+        QueryResult {
+            rows,
+            io,
+            elapsed: start.elapsed(),
+        },
+        metrics,
+    ))
+}
+
+/// Direct-children ids per plan node under pre-order numbering — the
+/// tree shape half of [`PlanMetrics`].
+fn preorder_children(plan: &Plan) -> Vec<Vec<usize>> {
+    fn walk(p: &Plan, out: &mut Vec<Vec<usize>>) -> usize {
+        let id = out.len();
+        out.push(Vec::new());
+        for c in p.children() {
+            let cid = walk(c, out);
+            out[id].push(cid);
+        }
+        id
+    }
+    let mut out = Vec::new();
+    walk(plan, &mut out);
+    out
 }
 
 // ---------------------------------------------------------------------
@@ -226,12 +296,13 @@ impl Operator for IndexScanOp {
     }
 
     fn next_batch(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<Option<Batch>> {
+        let ix = cx.db.index(self.index)?;
         let heap = cx.db.heap(self.table)?;
         let state = self
             .state
             .as_mut()
             .ok_or_else(|| FtoError::internal("index scan used before open"))?;
-        let batch = state.next_batch(heap, cx.batch_size, io);
+        let batch = state.next_batch(ix, heap, cx.batch_size, io);
         Ok(if batch.is_empty() { None } else { Some(batch) })
     }
 
@@ -719,7 +790,8 @@ struct IndexNestedLoopJoinOp {
 
 impl Operator for IndexNestedLoopJoinOp {
     fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
-        self.cursor = PageCursor::new();
+        // Probe streams pay a full seek on their first fetch.
+        self.cursor = PageCursor::probing();
         self.outer.open(cx, io)
     }
 
@@ -1078,8 +1150,83 @@ impl Operator for MergeJoinOp {
 // Lowering
 // ---------------------------------------------------------------------
 
+/// Shared state while lowering an instrumented pipeline: the metric
+/// slots, one per plan node, pushed in pre-order as lowering reaches
+/// each node.
+struct InstrState {
+    slots: Rc<RefCell<Vec<OpMetrics>>>,
+}
+
+/// Records subtree-inclusive metrics for one operator into its slot.
+///
+/// The wrapper snapshots the session [`IoStats`] before delegating and
+/// merges the delta afterwards, so a slot accumulates everything charged
+/// while control was inside its subtree — children included. Exclusive
+/// figures are derived later by [`PlanMetrics::self_io`]; recording
+/// inclusively here is what makes that subtraction telescope exactly to
+/// the session totals.
+struct InstrumentedOp {
+    inner: Box<dyn Operator>,
+    id: usize,
+    slots: Rc<RefCell<Vec<OpMetrics>>>,
+}
+
+impl InstrumentedOp {
+    fn record(&self, before: &IoStats, after: &IoStats, started: Instant) {
+        let mut slots = self.slots.borrow_mut();
+        let m = &mut slots[self.id];
+        m.elapsed += started.elapsed();
+        m.io.merge(&after.delta_since(before));
+    }
+}
+
+impl Operator for InstrumentedOp {
+    fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
+        let before = *io;
+        let started = Instant::now();
+        let result = self.inner.open(cx, io);
+        self.record(&before, io, started);
+        result
+    }
+
+    fn next_batch(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<Option<Batch>> {
+        let before = *io;
+        let started = Instant::now();
+        let result = self.inner.next_batch(cx, io);
+        self.record(&before, io, started);
+        if let Ok(Some(batch)) = &result {
+            let mut slots = self.slots.borrow_mut();
+            let m = &mut slots[self.id];
+            m.rows += batch.len() as u64;
+            m.batches += 1;
+        }
+        result
+    }
+
+    fn close(&mut self) {
+        self.inner.close();
+    }
+}
+
 fn lower(plan: &Plan) -> Result<Box<dyn Operator>> {
-    Ok(match &plan.node {
+    lower_impl(plan, None)
+}
+
+/// Lowers `plan`, optionally wrapping every operator in an
+/// [`InstrumentedOp`]. Slots are reserved parent-before-children and
+/// children in [`Plan::children`] order, which is exactly pre-order —
+/// the numbering [`PlanMetrics`] documents.
+fn lower_impl(plan: &Plan, instr: Option<&InstrState>) -> Result<Box<dyn Operator>> {
+    let slot = instr.map(|s| {
+        let mut slots = s.slots.borrow_mut();
+        let id = slots.len();
+        slots.push(OpMetrics {
+            name: plan.op_name().to_string(),
+            ..OpMetrics::default()
+        });
+        (id, Rc::clone(&s.slots))
+    });
+    let op: Box<dyn Operator> = match &plan.node {
         PlanNode::TableScan { table, .. } => Box::new(ScanOp {
             table: *table,
             state: HeapScanState::new(),
@@ -1098,17 +1245,17 @@ fn lower(plan: &Plan) -> Result<Box<dyn Operator>> {
             state: None,
         }),
         PlanNode::Filter { input, predicates } => Box::new(FilterOp {
-            child: lower(input)?,
+            child: lower_impl(input, instr)?,
             predicates: predicates.clone(),
             layout: input.layout.clone(),
         }),
         PlanNode::Project { input, exprs } => Box::new(ProjectOp {
-            child: lower(input)?,
+            child: lower_impl(input, instr)?,
             exprs: exprs.clone(),
             layout: input.layout.clone(),
         }),
         PlanNode::Sort { input, spec } => Box::new(SortOp {
-            child: lower(input)?,
+            child: lower_impl(input, instr)?,
             spec: spec.clone(),
             layout: input.layout.clone(),
             buf: Vec::new(),
@@ -1119,8 +1266,8 @@ fn lower(plan: &Plan) -> Result<Box<dyn Operator>> {
             inner,
             predicates,
         } => Box::new(NestedLoopJoinOp {
-            outer: lower(outer)?,
-            inner: lower(inner)?,
+            outer: lower_impl(outer, instr)?,
+            inner: lower_impl(inner, instr)?,
             predicates: predicates.clone(),
             layout: plan.layout.clone(),
             inner_rows: Vec::new(),
@@ -1134,7 +1281,7 @@ fn lower(plan: &Plan) -> Result<Box<dyn Operator>> {
             predicates,
             ..
         } => Box::new(IndexNestedLoopJoinOp {
-            outer: lower(outer)?,
+            outer: lower_impl(outer, instr)?,
             table: *table,
             index: *index,
             probe_pos: probe_cols
@@ -1159,8 +1306,8 @@ fn lower(plan: &Plan) -> Result<Box<dyn Operator>> {
         } => Box::new(MergeJoinOp {
             o: MergeSide::new(positions(&outer.layout, outer_keys)?),
             i: MergeSide::new(positions(&inner.layout, inner_keys)?),
-            outer: lower(outer)?,
-            inner: lower(inner)?,
+            outer: lower_impl(outer, instr)?,
+            inner: lower_impl(inner, instr)?,
             predicates: predicates.clone(),
             layout: plan.layout.clone(),
             done: false,
@@ -1177,8 +1324,8 @@ fn lower(plan: &Plan) -> Result<Box<dyn Operator>> {
             ipos: positions(&inner.layout, inner_keys)?,
             keyed: !outer_keys.is_empty(),
             null_pad: vec![Value::Null; inner.layout.arity()].into(),
-            outer: lower(outer)?,
-            inner: lower(inner)?,
+            outer: lower_impl(outer, instr)?,
+            inner: lower_impl(inner, instr)?,
             predicates: predicates.clone(),
             layout: plan.layout.clone(),
             build_rows: Vec::new(),
@@ -1195,8 +1342,8 @@ fn lower(plan: &Plan) -> Result<Box<dyn Operator>> {
             ipos: positions(&inner.layout, inner_keys)?,
             op: HashJoinOp {
                 opos: positions(&outer.layout, outer_keys)?,
-                outer: lower(outer)?,
-                inner: lower(inner)?,
+                outer: lower_impl(outer, instr)?,
+                inner: lower_impl(inner, instr)?,
                 predicates: predicates.clone(),
                 layout: plan.layout.clone(),
                 build_rows: Vec::new(),
@@ -1211,7 +1358,7 @@ fn lower(plan: &Plan) -> Result<Box<dyn Operator>> {
         } => Box::new(StreamGroupByOp {
             gpos: positions(&input.layout, grouping)?,
             grouping_is_empty: grouping.is_empty(),
-            child: lower(input)?,
+            child: lower_impl(input, instr)?,
             aggs: aggs.clone(),
             layout: input.layout.clone(),
             current: None,
@@ -1224,7 +1371,7 @@ fn lower(plan: &Plan) -> Result<Box<dyn Operator>> {
             grouping,
             aggs,
         } => Box::new(HashGroupByOp {
-            child: lower(input)?,
+            child: lower_impl(input, instr)?,
             grouping: grouping.clone(),
             aggs: aggs.clone(),
             layout: input.layout.clone(),
@@ -1232,32 +1379,40 @@ fn lower(plan: &Plan) -> Result<Box<dyn Operator>> {
             pos: 0,
         }),
         PlanNode::StreamDistinct { input } => Box::new(StreamDistinctOp {
-            child: lower(input)?,
+            child: lower_impl(input, instr)?,
             last: None,
         }),
         PlanNode::HashDistinct { input } => Box::new(HashDistinctOp {
-            child: lower(input)?,
+            child: lower_impl(input, instr)?,
             seen: HashSet::new(),
         }),
         PlanNode::UnionAll { inputs } => Box::new(UnionAllOp {
             children: inputs
                 .iter()
-                .map(|p| lower(p))
+                .map(|p| lower_impl(p, instr))
                 .collect::<Result<Vec<_>>>()?,
             current: 0,
             opened: false,
         }),
         PlanNode::Limit { input, n } => Box::new(LimitOp {
-            child: lower(input)?,
+            child: lower_impl(input, instr)?,
             remaining: *n,
         }),
         PlanNode::TopN { input, spec, n } => Box::new(TopNOp {
             keys: resolve_sort_keys(spec, &input.layout)?,
-            child: lower(input)?,
+            child: lower_impl(input, instr)?,
             n: *n,
             buf: Vec::new(),
             pos: 0,
         }),
+    };
+    Ok(match slot {
+        Some((id, slots)) => Box::new(InstrumentedOp {
+            inner: op,
+            id,
+            slots,
+        }),
+        None => op,
     })
 }
 

@@ -120,8 +120,17 @@ pub fn index_probe(
 }
 
 /// Cost of the merge phase of a merge join (inputs costed separately).
-pub fn merge_join(outer_rows: f64, inner_rows: f64) -> f64 {
-    (outer_rows + inner_rows) * CPU_ROW
+///
+/// `avg_inner_ties` is the expected number of inner rows per distinct
+/// join-key value (≥ 1). The streaming merge join buffers each inner tie
+/// group and rescans it for every outer row sharing the key, so each
+/// outer row touches `avg_inner_ties` buffered rows, not one: with heavy
+/// duplication the merge phase does `outer_rows × avg_inner_ties` row
+/// visits. Ignoring that term (i.e. assuming ties = 1) systematically
+/// under-costs duplicate-heavy merge joins against hash joins.
+pub fn merge_join(outer_rows: f64, inner_rows: f64, avg_inner_ties: f64) -> f64 {
+    let rescans = outer_rows * (avg_inner_ties.max(1.0) - 1.0);
+    (outer_rows + inner_rows + rescans) * CPU_ROW
 }
 
 /// Cost of a hash join given both input cardinalities.
@@ -183,6 +192,21 @@ mod tests {
         let in_mem = sort(10_000.0, 100, 10_000 * 100 + 1);
         let spilled = sort(10_000.0, 100, 1 << 10);
         assert!(spilled > in_mem);
+    }
+
+    #[test]
+    fn merge_join_charges_tie_rescans() {
+        // Unique inner keys: the tie term vanishes and the cost is the
+        // plain two-stream pass.
+        let unique = merge_join(1_000.0, 1_000.0, 1.0);
+        assert!((unique - 2_000.0 * CPU_ROW).abs() < 1e-12);
+        // 10 inner duplicates per key: each outer row rescans 9 extra
+        // buffered rows.
+        let dup = merge_join(1_000.0, 1_000.0, 10.0);
+        assert!((dup - (2_000.0 + 9_000.0) * CPU_ROW).abs() < 1e-12);
+        assert!(dup > unique);
+        // Ties below 1 (estimator noise) are clamped, never a discount.
+        assert_eq!(merge_join(1_000.0, 1_000.0, 0.5), unique);
     }
 
     #[test]

@@ -227,9 +227,18 @@ fn join_pair(planner: &mut Planner<'_>, qbox: &QgmBox, outer: &Plan, inner: &Pla
             &applicable,
             true,
         );
+        // Expected inner rows per distinct join-key value: the tie groups
+        // the streaming merge join buffers and rescans per outer row.
+        let inner_rows = inner_sorted.cost.rows;
+        let inner_groups = planner.estimator().group_count(&icols, inner_rows);
+        let avg_inner_ties = if inner_groups > 0.0 {
+            (inner_rows / inner_groups).max(1.0)
+        } else {
+            1.0
+        };
         let total = outer_sorted.cost.total
             + inner_sorted.cost.total
-            + cost::merge_join(outer_sorted.cost.rows, inner_sorted.cost.rows)
+            + cost::merge_join(outer_sorted.cost.rows, inner_rows, avg_inner_ties)
             + cost::filter(out_rows, applicable.len());
         plans.push(Plan {
             node: PlanNode::MergeJoin {

@@ -271,6 +271,54 @@ impl Plan {
         out
     }
 
+    /// [`Plan::explain`] with a caller-supplied annotation appended under
+    /// every operator line. `annotate` receives each node's *pre-order*
+    /// id (root = 0, children visited in [`Plan::children`] order — i.e.
+    /// outer/left first) and the node itself; a non-empty return is
+    /// rendered as an indented `· ...` sub-line. The id numbering matches
+    /// the executor's instrumentation slots, so per-operator metrics can
+    /// be printed next to estimates without any tree matching.
+    pub fn explain_annotated(
+        &self,
+        name: &dyn Fn(ColId) -> String,
+        annotate: &dyn Fn(usize, &Plan) -> String,
+    ) -> String {
+        let mut out = String::new();
+        let mut next_id = 0usize;
+        self.explain_annotated_into(&mut out, 0, name, annotate, &mut next_id);
+        out
+    }
+
+    fn explain_annotated_into(
+        &self,
+        out: &mut String,
+        depth: usize,
+        name: &dyn Fn(ColId) -> String,
+        annotate: &dyn Fn(usize, &Plan) -> String,
+        next_id: &mut usize,
+    ) {
+        let id = *next_id;
+        *next_id += 1;
+        let indent = "  ".repeat(depth);
+        let detail = self.detail(name);
+        let _ = writeln!(
+            out,
+            "{indent}{}{}{} [rows={:.0} cost={:.1}]",
+            self.op_name(),
+            if detail.is_empty() { "" } else { " " },
+            detail,
+            self.cost.rows,
+            self.cost.total,
+        );
+        let note = annotate(id, self);
+        if !note.is_empty() {
+            let _ = writeln!(out, "{indent}    · {note}");
+        }
+        for child in self.children() {
+            child.explain_annotated_into(out, depth + 1, name, annotate, next_id);
+        }
+    }
+
     fn explain_into(
         &self,
         out: &mut String,
@@ -419,6 +467,16 @@ impl Plan {
             PlanNode::Limit { n, .. } => format!("{n}"),
             PlanNode::TopN { spec: s2, n, .. } => format!("{n} by ({})", spec(s2)),
         }
+    }
+
+    /// This node's estimated cost net of its inputs: `cost.total` minus
+    /// the children's `cost.total`, floored at zero. Costs accumulate
+    /// bottom-up, so this is the estimate-side analogue of the executor's
+    /// per-operator "self" I/O delta and what calibration reports compare
+    /// against actual `weighted_page_cost`.
+    pub fn self_cost(&self) -> f64 {
+        let children: f64 = self.children().iter().map(|c| c.cost.total).sum();
+        (self.cost.total - children).max(0.0)
     }
 
     /// Counts operators of a kind in the tree (used by plan-shape tests,

@@ -186,6 +186,23 @@ pub struct Query {
     pub limit: Option<u64>,
 }
 
+/// A top-level SQL statement: a query, optionally wrapped in
+/// `EXPLAIN [ANALYZE]`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    /// A plain SELECT query.
+    Query(Query),
+    /// `EXPLAIN [ANALYZE] <query>`: render the chosen plan rather than
+    /// the result rows; with ANALYZE the query is also executed so the
+    /// rendering can annotate estimates with actuals.
+    Explain {
+        /// True for `EXPLAIN ANALYZE`.
+        analyze: bool,
+        /// The explained query.
+        query: Query,
+    },
+}
+
 /// One `UNION [ALL] select ...` continuation.
 #[derive(Clone, Debug, PartialEq)]
 pub struct UnionBranch {

@@ -20,6 +20,29 @@ pub fn parse_query(sql: &str) -> Result<Query> {
     Ok(q)
 }
 
+/// Parses a top-level statement: a SELECT query optionally preceded by
+/// `EXPLAIN [ANALYZE]`.
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = if p.eat_keyword("explain") {
+        let analyze = p.eat_keyword("analyze");
+        Statement::Explain {
+            analyze,
+            query: p.query()?,
+        }
+    } else {
+        Statement::Query(p.query()?)
+    };
+    if p.pos != p.tokens.len() {
+        return Err(FtoError::Parse(format!(
+            "trailing tokens after query: {:?}",
+            &p.tokens[p.pos..]
+        )));
+    }
+    Ok(stmt)
+}
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
@@ -748,6 +771,19 @@ mod tests {
         let q = parse_query("select x from t").unwrap();
         assert_eq!(q.limit, None);
         assert!(parse_query("select x from t limit x").is_err());
+    }
+
+    #[test]
+    fn parses_explain_statements() {
+        let s = parse_statement("select x from t").unwrap();
+        assert!(matches!(s, Statement::Query(_)));
+        let s = parse_statement("explain select x from t order by x").unwrap();
+        assert!(matches!(s, Statement::Explain { analyze: false, .. }));
+        let s = parse_statement("EXPLAIN ANALYZE select x from t").unwrap();
+        assert!(matches!(s, Statement::Explain { analyze: true, .. }));
+        // EXPLAIN needs a query behind it; ANALYZE alone is not one.
+        assert!(parse_statement("explain analyze").is_err());
+        assert!(parse_statement("explain select x from t trailing !").is_err());
     }
 
     #[test]

@@ -91,6 +91,17 @@ impl OrderedIndex {
         lo: Option<&Value>,
         hi: Option<&Value>,
     ) -> impl Iterator<Item = (&[Value], usize)> + '_ {
+        let (start, end) = self.range_positions(lo, hi);
+        self.entries[start..end]
+            .iter()
+            .map(|(k, r)| (k.as_slice(), *r))
+    }
+
+    /// The half-open entry-position interval `[start, end)` matched by a
+    /// leading-key range — the positions [`range`](OrderedIndex::range)
+    /// iterates. Lets scan cursors hold a position pair instead of
+    /// materializing row ids, so resolving entries stays O(1) per row.
+    pub fn range_positions(&self, lo: Option<&Value>, hi: Option<&Value>) -> (usize, usize) {
         let start = match lo {
             Some(v) => self
                 .entries
@@ -103,9 +114,12 @@ impl OrderedIndex {
                 .partition_point(|(k, _)| k[0].total_cmp(v) != Ordering::Greater),
             None => self.entries.len(),
         };
-        self.entries[start..end.max(start)]
-            .iter()
-            .map(|(k, r)| (k.as_slice(), *r))
+        (start, end.max(start))
+    }
+
+    /// Row id stored at entry position `pos` (index order).
+    pub(crate) fn rid_at(&self, pos: usize) -> usize {
+        self.entries[pos].1
     }
 }
 

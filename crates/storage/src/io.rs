@@ -45,6 +45,33 @@ impl IoStats {
     pub fn weighted_page_cost(&self) -> f64 {
         self.sequential_pages as f64 + 4.0 * self.random_pages as f64 + self.index_pages as f64
     }
+
+    /// The counters accumulated since `earlier` was captured, i.e.
+    /// `self - earlier` field by field. Counters are monotonically
+    /// increasing, so `earlier` must be a snapshot of this same stream
+    /// taken before `self`.
+    pub fn delta_since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            sequential_pages: self.sequential_pages - earlier.sequential_pages,
+            random_pages: self.random_pages - earlier.random_pages,
+            index_pages: self.index_pages - earlier.index_pages,
+            sort_rows: self.sort_rows - earlier.sort_rows,
+            rows_read: self.rows_read - earlier.rows_read,
+        }
+    }
+
+    /// `self - other` when every field of `other` is ≤ the matching field
+    /// of `self`; `None` otherwise. Used by metric rollups to detect
+    /// attribution bugs (a child charged more than its parent observed).
+    pub fn checked_sub(&self, other: &IoStats) -> Option<IoStats> {
+        Some(IoStats {
+            sequential_pages: self.sequential_pages.checked_sub(other.sequential_pages)?,
+            random_pages: self.random_pages.checked_sub(other.random_pages)?,
+            index_pages: self.index_pages.checked_sub(other.index_pages)?,
+            sort_rows: self.sort_rows.checked_sub(other.sort_rows)?,
+            rows_read: self.rows_read.checked_sub(other.rows_read)?,
+        })
+    }
 }
 
 impl fmt::Display for IoStats {
@@ -64,19 +91,39 @@ impl fmt::Display for IoStats {
 /// Tracks the most recently touched page of one access path, so that
 /// consecutive touches of the same page cost nothing and forward moves to
 /// the adjacent page count as sequential rather than random I/O.
+///
+/// The very first touch has no predecessor, so its charge is a policy
+/// choice: a heap scan's first page is the head of a sequential walk
+/// ([`PageCursor::new`]), while an unclustered probe stream's first fetch
+/// is a seek like every other ([`PageCursor::probing`]).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PageCursor {
     last_page: Option<u64>,
+    first_touch_random: bool,
 }
 
 impl PageCursor {
-    /// A cursor that has touched nothing.
+    /// A cursor that has touched nothing; the first touch is charged as
+    /// sequential (scan semantics).
     pub fn new() -> PageCursor {
         PageCursor::default()
     }
 
+    /// A cursor for unclustered probe streams: the first touch is charged
+    /// as a random page, since a probe's opening fetch pays a full seek —
+    /// charging it as sequential undercounts random I/O by one page per
+    /// probe stream.
+    pub fn probing() -> PageCursor {
+        PageCursor {
+            last_page: None,
+            first_touch_random: true,
+        }
+    }
+
     /// Records a touch of `page`, charging `stats` appropriately:
     /// same page — free; next page — sequential; anything else — random.
+    /// The first touch follows the cursor's policy (see [`PageCursor::new`]
+    /// vs [`PageCursor::probing`]).
     pub fn touch(&mut self, page: u64, stats: &mut IoStats) {
         match self.last_page {
             Some(last) if last == page => {}
@@ -85,7 +132,11 @@ impl PageCursor {
                 self.last_page = Some(page);
             }
             None => {
-                stats.sequential_pages += 1;
+                if self.first_touch_random {
+                    stats.random_pages += 1;
+                } else {
+                    stats.sequential_pages += 1;
+                }
                 self.last_page = Some(page);
             }
             _ => {
@@ -153,6 +204,44 @@ mod tests {
         }
         assert!(s_sorted.weighted_page_cost() < s_rand.weighted_page_cost() / 2.0);
         assert_eq!(s_sorted.random_pages, 0);
+    }
+
+    #[test]
+    fn probing_cursor_charges_first_touch_as_random() {
+        let mut c = PageCursor::probing();
+        let mut s = IoStats::new();
+        c.touch(7, &mut s);
+        assert_eq!(s.random_pages, 1);
+        assert_eq!(s.sequential_pages, 0);
+        // After the first touch the usual adjacency rules apply.
+        c.touch(7, &mut s);
+        c.touch(8, &mut s);
+        assert_eq!(s.random_pages, 1);
+        assert_eq!(s.sequential_pages, 1);
+    }
+
+    #[test]
+    fn delta_and_checked_sub() {
+        let a = IoStats {
+            sequential_pages: 5,
+            random_pages: 3,
+            index_pages: 2,
+            sort_rows: 1,
+            rows_read: 9,
+        };
+        let b = IoStats {
+            sequential_pages: 2,
+            random_pages: 1,
+            index_pages: 2,
+            sort_rows: 0,
+            rows_read: 4,
+        };
+        let d = a.delta_since(&b);
+        assert_eq!(d.sequential_pages, 3);
+        assert_eq!(d.rows_read, 5);
+        assert_eq!(a.checked_sub(&b), Some(d));
+        // Subtracting more than was charged is an attribution bug.
+        assert_eq!(b.checked_sub(&a), None);
     }
 
     #[test]

@@ -55,58 +55,87 @@ impl HeapScanState {
 
 /// Position of an in-progress (possibly reversed, possibly range-limited)
 /// index scan that fetches full heap rows.
+///
+/// The state is a pair of entry positions into the index, not a
+/// materialized row-id list: opening costs two binary searches regardless
+/// of how many entries match, and a scan abandoned after `k` rows (LIMIT,
+/// Top-N) has done O(k) work total. Reverse scans walk the same interval
+/// from the high end.
 #[derive(Debug)]
 pub struct IndexScanState {
-    /// Row ids in delivery order, resolved when the scan opens.
-    rids: Vec<usize>,
-    pos: usize,
+    /// Remaining unconsumed entry positions, `[start, end)` in index order.
+    start: usize,
+    end: usize,
+    reverse: bool,
+    /// Leaf page of the most recently consumed entry, for incremental
+    /// leaf-page charging.
+    last_leaf: Option<u64>,
     cursor: PageCursor,
 }
 
 impl IndexScanState {
     /// Opens a scan over `index` restricted to leading-key values in
     /// `[lo, hi]` (either bound optional), delivering rows in index order
-    /// or, with `reverse`, in exactly the reversed order.
+    /// or, with `reverse`, in exactly the reversed order. No row ids are
+    /// resolved here; entries are consumed lazily per batch.
     pub fn open(
         index: &OrderedIndex,
         lo: Option<&Value>,
         hi: Option<&Value>,
         reverse: bool,
     ) -> IndexScanState {
-        let mut rids: Vec<usize> = index.range(lo, hi).map(|(_, r)| r).collect();
-        if reverse {
-            rids.reverse();
-        }
+        let (start, end) = index.range_positions(lo, hi);
         IndexScanState {
-            rids,
-            pos: 0,
+            start,
+            end,
+            reverse,
+            last_leaf: None,
             cursor: PageCursor::new(),
         }
     }
 
     /// True once every matching row has been returned.
     pub fn exhausted(&self) -> bool {
-        self.pos >= self.rids.len()
+        self.start >= self.end
     }
 
-    /// Returns the next batch of at most `max_rows` rows. Each consumed
-    /// run of [`ENTRIES_PER_LEAF`] index entries charges one index page,
+    /// Returns the next batch of at most `max_rows` rows, resolving row
+    /// ids from `index` as it goes. Each index leaf of
+    /// [`ENTRIES_PER_LEAF`] entries is charged once when first entered,
     /// and each fetched heap row goes through a [`PageCursor`], so probes
     /// landing on the page just read are free — the clustering effect the
-    /// paper's ordered access paths exploit.
-    pub fn next_batch(&mut self, heap: &HeapTable, max_rows: usize, io: &mut IoStats) -> Vec<Row> {
-        let end = (self.pos + max_rows.max(1)).min(self.rids.len());
-        let mut out = Vec::with_capacity(end.saturating_sub(self.pos));
-        for i in self.pos..end {
-            if (i as u64).is_multiple_of(ENTRIES_PER_LEAF) {
+    /// paper's ordered access paths exploit. Pages past the point where
+    /// the caller stops pulling are never charged.
+    pub fn next_batch(
+        &mut self,
+        index: &OrderedIndex,
+        heap: &HeapTable,
+        max_rows: usize,
+        io: &mut IoStats,
+    ) -> Vec<Row> {
+        let take = max_rows.max(1).min(self.end - self.start.min(self.end));
+        let mut out = Vec::with_capacity(take);
+        for _ in 0..take {
+            let pos = if self.reverse {
+                self.end - 1
+            } else {
+                self.start
+            };
+            let leaf = pos as u64 / ENTRIES_PER_LEAF;
+            if self.last_leaf != Some(leaf) {
                 io.index_pages += 1;
+                self.last_leaf = Some(leaf);
             }
-            let rid = self.rids[i];
+            let rid = index.rid_at(pos);
             self.cursor.touch(heap.page_of(rid), io);
             io.rows_read += 1;
             out.push(heap.row(rid).clone());
+            if self.reverse {
+                self.end -= 1;
+            } else {
+                self.start += 1;
+            }
         }
-        self.pos = end;
         out
     }
 }
@@ -177,7 +206,7 @@ mod tests {
         let mut s = IndexScanState::open(&ix, None, None, false);
         let mut keys = Vec::new();
         loop {
-            let b = s.next_batch(&h, 2, &mut io);
+            let b = s.next_batch(&ix, &h, 2, &mut io);
             if b.is_empty() {
                 break;
             }
@@ -188,7 +217,7 @@ mod tests {
 
         let mut rio = IoStats::new();
         let mut s = IndexScanState::open(&ix, None, None, true);
-        let b = s.next_batch(&h, 10, &mut rio);
+        let b = s.next_batch(&ix, &h, 10, &mut rio);
         let keys: Vec<i64> = b.iter().map(|r| r[0].as_int().unwrap()).collect();
         assert_eq!(keys, vec![5, 4, 3, 2, 1]);
     }
@@ -202,7 +231,7 @@ mod tests {
         let ix = OrderedIndex::build(&h, &[0], &[Direction::Asc]);
         let mut io = IoStats::new();
         let mut s = IndexScanState::open(&ix, Some(&Value::Int(3)), Some(&Value::Int(6)), false);
-        let b = s.next_batch(&h, 100, &mut io);
+        let b = s.next_batch(&ix, &h, 100, &mut io);
         let keys: Vec<i64> = b.iter().map(|r| r[0].as_int().unwrap()).collect();
         assert_eq!(keys, vec![3, 4, 5, 6]);
     }
@@ -219,13 +248,33 @@ mod tests {
         // Consuming only the first batch touches one leaf.
         let mut io = IoStats::new();
         let mut s = IndexScanState::open(&ix, None, None, false);
-        s.next_batch(&h, 100, &mut io);
+        s.next_batch(&ix, &h, 100, &mut io);
         assert_eq!(io.index_pages, 1);
 
         // Run to completion: exactly leaf_pages() leaves.
         let mut io = IoStats::new();
         let mut s = IndexScanState::open(&ix, None, None, false);
-        while !s.next_batch(&h, 100, &mut io).is_empty() {}
+        while !s.next_batch(&ix, &h, 100, &mut io).is_empty() {}
         assert_eq!(io.index_pages, ix.leaf_pages());
+    }
+
+    #[test]
+    fn reverse_index_scan_stays_lazy_and_bounded() {
+        let mut h = HeapTable::new(TableId(0), 100);
+        for i in 0..1000i64 {
+            h.append(vec![Value::Int(i), Value::Int(0)].into_boxed_slice());
+        }
+        let ix = OrderedIndex::build(&h, &[0], &[Direction::Asc]);
+
+        // Pulling 10 rows in reverse touches one leaf (the last) and only
+        // the heap pages behind those 10 rows.
+        let mut io = IoStats::new();
+        let mut s = IndexScanState::open(&ix, None, None, true);
+        let b = s.next_batch(&ix, &h, 10, &mut io);
+        let keys: Vec<i64> = b.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(keys, (990..1000).rev().collect::<Vec<i64>>());
+        assert_eq!(io.index_pages, 1);
+        assert_eq!(io.rows_read, 10);
+        assert!(!s.exhausted());
     }
 }

@@ -23,4 +23,15 @@ fi
 echo "==> cargo test -q (includes the engine differential suite)"
 cargo test -q
 
+if [[ "${1:-}" != "quick" ]]; then
+    echo "==> smoke: EXPLAIN ANALYZE TPC-D Q3 through the REPL"
+    smoke_out=$(printf "explain analyze select l_orderkey, sum(l_extendedprice * (1 - l_discount)) as rev, o_orderdate, o_shippriority from customer, orders, lineitem where o_orderkey = l_orderkey and c_custkey = o_custkey and c_mktsegment = 'building' and o_orderdate < date('1995-03-15') and l_shipdate > date('1995-03-15') group by l_orderkey, o_orderdate, o_shippriority order by rev desc, o_orderdate;\n.quit\n" \
+        | cargo run -q -p fto-bench --release --bin repl -- 0.005)
+    echo "$smoke_out"
+    if ! grep -q "actual: rows=" <<<"$smoke_out"; then
+        echo "smoke failed: no actuals in EXPLAIN ANALYZE output"
+        exit 1
+    fi
+fi
+
 echo "CI green."
