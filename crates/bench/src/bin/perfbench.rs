@@ -1,0 +1,158 @@
+//! Morsel-parallelism benchmark: the TPC-D workload run serially and at
+//! parallel degrees 1, 2 and 4, reporting wall-clock time, simulated
+//! page I/O and row counts per (query, degree) cell, and asserting along
+//! the way that every parallel run returns exactly the serial answer and
+//! passes the instrumented rollup check.
+//!
+//! ```text
+//! cargo run -p fto-bench --release --bin perfbench [-- <scale> [runs]]
+//! ```
+//!
+//! Results are printed as a table and written to `BENCH_PR3.json` in the
+//! current directory (machine cores included, so single-core containers
+//! don't read as regressions).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use fto_bench::harness::tpcd_db;
+use fto_bench::Session;
+use fto_planner::OptimizerConfig;
+use fto_tpcd::queries;
+
+const DEGREES: &[usize] = &[1, 2, 4];
+
+struct Cell {
+    threads: usize,
+    elapsed: Duration,
+    pages: u64,
+    rows: usize,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let runs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let db = match tpcd_db(scale) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let workload: Vec<(&str, String)> = vec![
+        ("q3", queries::q3_default()),
+        ("q1", queries::q1("1998-09-02")),
+        ("order_report", queries::order_report()),
+        (
+            "orders_by_date",
+            "select o_orderdate, o_orderkey, o_totalprice from orders \
+             order by o_orderdate, o_orderkey"
+                .to_string(),
+        ),
+    ];
+
+    println!("Morsel-parallelism benchmark (scale {scale}, {runs} runs, {cores} core(s))");
+    println!();
+    println!("| query          | threads | elapsed      | sim. pages | rows  |");
+    println!("|----------------|---------|--------------|------------|-------|");
+
+    let mut results: Vec<(&str, Vec<Cell>)> = Vec::new();
+    for (name, sql) in &workload {
+        let serial_rows = Session::new(&db)
+            .config(OptimizerConfig::default().with_threads(1))
+            .plan(sql)
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .execute()
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .rows;
+        let mut cells = Vec::new();
+        for &p in DEGREES {
+            let prepared = Session::new(&db)
+                .config(OptimizerConfig::default().with_threads(p))
+                .plan(sql)
+                .unwrap_or_else(|e| panic!("{name} threads {p}: {e}"));
+            // Correctness gates first: identical rows, exact rollup.
+            let (out, metrics) = prepared
+                .execute_instrumented()
+                .unwrap_or_else(|e| panic!("{name} threads {p}: {e}"));
+            assert_eq!(
+                out.rows, serial_rows,
+                "{name} threads {p}: parallel answer diverged from serial"
+            );
+            metrics
+                .validate()
+                .unwrap_or_else(|e| panic!("{name} threads {p}: rollup broken: {e}"));
+            // Then time the plain execution path, best of `runs`.
+            let mut best = Duration::MAX;
+            let mut last = None;
+            for _ in 0..runs {
+                let start = Instant::now();
+                let out = prepared
+                    .execute()
+                    .unwrap_or_else(|e| panic!("{name} threads {p}: {e}"));
+                best = best.min(start.elapsed());
+                last = Some(out);
+            }
+            let out = last.expect("runs >= 1");
+            let cell = Cell {
+                threads: p,
+                elapsed: best,
+                pages: out.io.sequential_pages + out.io.random_pages,
+                rows: out.rows.len(),
+            };
+            println!(
+                "| {:<14} | {:>7} | {:>10.3?} | {:>10} | {:>5} |",
+                name, cell.threads, cell.elapsed, cell.pages, cell.rows
+            );
+            cells.push(cell);
+        }
+        results.push((name, cells));
+    }
+
+    let json = render_json(scale, runs, cores, &results);
+    std::fs::write("BENCH_PR3.json", &json).expect("write BENCH_PR3.json");
+    println!();
+    println!("wrote BENCH_PR3.json");
+}
+
+/// Hand-rolled JSON writer — the workspace is offline and carries no
+/// serde dependency; the schema is flat enough to emit directly.
+fn render_json(scale: f64, runs: usize, cores: usize, results: &[(&str, Vec<Cell>)]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"morsel_parallelism\",");
+    let _ = writeln!(s, "  \"scale\": {scale},");
+    let _ = writeln!(s, "  \"runs\": {runs},");
+    let _ = writeln!(s, "  \"cores\": {cores},");
+    s.push_str("  \"queries\": [\n");
+    for (qi, (name, cells)) in results.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{name}\",");
+        s.push_str("      \"cells\": [\n");
+        for (ci, c) in cells.iter().enumerate() {
+            let _ = write!(
+                s,
+                "        {{\"threads\": {}, \"elapsed_ms\": {:.3}, \"pages\": {}, \"rows\": {}}}",
+                c.threads,
+                c.elapsed.as_secs_f64() * 1e3,
+                c.pages,
+                c.rows
+            );
+            s.push_str(if ci + 1 < cells.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("      ]\n");
+        s.push_str(if qi + 1 < results.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -16,6 +16,10 @@
 //! * `.mode modern|1996` — operator inventory (hash ops on/off)
 //! * `.tables`           — list tables
 //! * `.quit`             — exit
+//!
+//! Set `FTO_THREADS=<p>` to run every query morsel-parallel at degree
+//! `p`; `explain analyze` then shows per-worker actuals under each
+//! exchange.
 
 use fto_bench::{Session, StatementOutput};
 use fto_planner::OptimizerConfig;
@@ -87,20 +91,31 @@ fn print_prompt() {
     let _ = std::io::stdout().flush();
 }
 
+/// Parallel degree for every query the shell runs, from `FTO_THREADS`
+/// (default 1 = serial).
+fn env_threads() -> usize {
+    std::env::var("FTO_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
 fn base_config(modern: bool) -> OptimizerConfig {
-    if modern {
+    let cfg = if modern {
         OptimizerConfig::default()
     } else {
         OptimizerConfig::db2_1996()
-    }
+    };
+    cfg.with_threads(env_threads())
 }
 
 fn disabled_config(modern: bool) -> OptimizerConfig {
-    if modern {
+    let cfg = if modern {
         OptimizerConfig::disabled()
     } else {
         OptimizerConfig::db2_1996_disabled()
-    }
+    };
+    cfg.with_threads(env_threads())
 }
 
 fn dispatch(db: &Database, statement: &str, modern: bool) {

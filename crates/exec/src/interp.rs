@@ -337,38 +337,11 @@ fn exec(db: &Database, graph: &QueryGraph, plan: &Plan, io: &mut IoStats) -> Res
             Ok(rows)
         }
         PlanNode::TopN { input, spec, n } => {
-            let mut rows = exec(db, graph, input, io)?;
-            let n = *n as usize;
-            let layout = &input.layout;
-            let keys: Vec<(usize, fto_common::Direction)> = spec
-                .keys()
-                .iter()
-                .map(|k| {
-                    layout.position(k.col).map(|p| (p, k.dir)).ok_or_else(|| {
-                        FtoError::internal(format!("top-n column {} missing from layout", k.col))
-                    })
-                })
-                .collect::<Result<Vec<_>>>()?;
-            let cmp = |a: &Row, b: &Row| {
-                for &(pos, dir) in &keys {
-                    let ord = dir.apply(a[pos].total_cmp(&b[pos]));
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            };
-            if n == 0 {
-                return Ok(Vec::new());
-            }
-            if rows.len() > n {
-                // Selection first: only the winning prefix pays the sort.
-                rows.select_nth_unstable_by(n - 1, cmp);
-                rows.truncate(n);
-            }
-            io.sort_rows += rows.len() as u64;
-            rows.sort_by(cmp);
-            Ok(rows)
+            let rows = exec(db, graph, input, io)?;
+            let keys = crate::sortkernel::resolve_keys(spec, &input.layout)?;
+            let top = crate::sortkernel::top_n(rows, &keys, *n as usize);
+            io.sort_rows += top.len() as u64;
+            Ok(top)
         }
     }
 }
@@ -401,25 +374,9 @@ pub(crate) fn concat(a: &Row, b: &Row) -> Row {
     a.iter().chain(b.iter()).cloned().collect()
 }
 
-pub(crate) fn sort_rows(rows: &mut [Row], spec: &OrderSpec, layout: &RowLayout) -> Result<()> {
-    let keys: Vec<(usize, fto_common::Direction)> = spec
-        .keys()
-        .iter()
-        .map(|k| {
-            layout.position(k.col).map(|p| (p, k.dir)).ok_or_else(|| {
-                FtoError::internal(format!("sort column {} missing from layout", k.col))
-            })
-        })
-        .collect::<Result<Vec<_>>>()?;
-    rows.sort_by(|a, b| {
-        for &(pos, dir) in &keys {
-            let ord = dir.apply(a[pos].total_cmp(&b[pos]));
-            if ord != std::cmp::Ordering::Equal {
-                return ord;
-            }
-        }
-        std::cmp::Ordering::Equal
-    });
+pub(crate) fn sort_rows(rows: &mut Vec<Row>, spec: &OrderSpec, layout: &RowLayout) -> Result<()> {
+    let keys = crate::sortkernel::resolve_keys(spec, layout)?;
+    crate::sortkernel::sort_rows(rows, &keys);
     Ok(())
 }
 

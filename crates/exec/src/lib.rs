@@ -13,6 +13,18 @@
 //!   actually produce. The only general pipeline breaker is the in-memory
 //!   sort; hash group-by and Top-N are inherently blocking, and joins
 //!   materialize only their build side.
+//! * [`sortkernel`] — the shared decorate–sort–undecorate sort kernel
+//!   (stable sorts, Top-N selection, order-preserving K-way merge of
+//!   sorted runs) used by both engines and by the exchange layer. Its
+//!   stability/tie-order contract is what makes parallel merges
+//!   deterministic.
+//! * [`parallel`] — the exchange layer. At parallel degree `p > 1`,
+//!   lowering fans partitionable pipeline segments out over `p`
+//!   `std::thread` workers: `Gather` concatenates partition outputs in
+//!   partition order, `MergeExchange` sorts per-partition runs and
+//!   K-way-merges them order-preservingly, and `Repartition` deals a
+//!   serial stream round-robin to parallel bucket sorts. Results are
+//!   bit-identical to serial execution at every degree.
 //! * [`interp`] — the original fully materializing interpreter, kept as
 //!   the reference engine. The differential test suite runs every query
 //!   through both engines and requires identical rows in identical order.
@@ -31,11 +43,13 @@
 
 pub mod interp;
 pub mod metrics;
+pub mod parallel;
 pub mod session;
+pub mod sortkernel;
 pub mod stream;
 
 pub use interp::{run_plan_materialized, QueryResult};
-pub use metrics::{OpMetrics, PlanMetrics};
+pub use metrics::{OpMetrics, PlanMetrics, WorkerOpMetrics};
 pub use session::{PreparedQuery, QueryOutput, Session, StatementOutput};
 pub use stream::{
     compile_pipeline, execute_plan, execute_plan_instrumented, Batch, ExecContext, ExecOptions,

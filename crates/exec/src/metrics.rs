@@ -40,6 +40,25 @@ pub struct OpMetrics {
     pub io: IoStats,
     /// Wall-clock time spent inside this operator's subtree (inclusive).
     pub elapsed: Duration,
+    /// Per-worker contributions when this node ran under an exchange at
+    /// parallel degree > 1. Empty for serial execution. The workers'
+    /// rows sum to the exchange input's total; their `io` sums into this
+    /// node's inclusive `io`, so the rollup invariant is unaffected.
+    pub workers: Vec<WorkerOpMetrics>,
+}
+
+/// One worker's share of an exchange-parallel operator's work.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerOpMetrics {
+    /// Rows this worker produced into the exchange.
+    pub rows: u64,
+    /// Non-empty batches this worker pulled from its partition pipeline.
+    pub batches: u64,
+    /// Simulated I/O charged by this worker's partition pipeline.
+    pub io: IoStats,
+    /// Wall-clock time this worker spent draining (and, for parallel
+    /// sorts, sorting) its partition.
+    pub elapsed: Duration,
 }
 
 /// Per-operator metrics for one execution of a plan.
@@ -147,6 +166,7 @@ mod tests {
             batches: 1,
             io,
             elapsed: Duration::from_micros(10),
+            workers: Vec::new(),
         }
     }
 

@@ -94,6 +94,7 @@ impl<'db> Session<'db> {
             plan,
             planner: planner_stats,
             batch_size: self.config.batch_size,
+            threads: self.config.threads,
         })
     }
 
@@ -145,16 +146,22 @@ pub struct PreparedQuery<'db> {
     plan: Plan,
     planner: PlannerStats,
     batch_size: usize,
+    threads: usize,
 }
 
 impl PreparedQuery<'_> {
-    /// Executes through the streaming batched executor (the default
-    /// engine).
-    pub fn execute(&self) -> Result<QueryOutput> {
-        let opts = ExecOptions {
+    fn exec_options(&self) -> ExecOptions {
+        ExecOptions {
             batch_size: self.batch_size,
-        };
-        let result = execute_plan(self.db, &self.graph, &self.plan, &opts)?;
+            threads: self.threads,
+        }
+    }
+
+    /// Executes through the streaming batched executor (the default
+    /// engine), at the parallel degree the session's
+    /// [`OptimizerConfig::threads`] selected.
+    pub fn execute(&self) -> Result<QueryOutput> {
+        let result = execute_plan(self.db, &self.graph, &self.plan, &self.exec_options())?;
         Ok(self.wrap(result))
     }
 
@@ -164,10 +171,8 @@ impl PreparedQuery<'_> {
     /// (pre-order ids, root = 0). The rows and session totals are
     /// identical to the uninstrumented path.
     pub fn execute_instrumented(&self) -> Result<(QueryOutput, PlanMetrics)> {
-        let opts = ExecOptions {
-            batch_size: self.batch_size,
-        };
-        let (result, metrics) = execute_plan_instrumented(self.db, &self.graph, &self.plan, &opts)?;
+        let (result, metrics) =
+            execute_plan_instrumented(self.db, &self.graph, &self.plan, &self.exec_options())?;
         Ok((self.wrap(result), metrics))
     }
 
@@ -233,18 +238,31 @@ impl PreparedQuery<'_> {
                 .explain_annotated(&|c| registry.name(c).to_string(), &|id, node| {
                     let m = &metrics.ops[id];
                     match metrics.self_io(id) {
-                        Some(s) => format!(
-                            "actual: rows={} batches={} | self pages: seq={} rand={} index={} \
+                        Some(s) => {
+                            let mut note = format!(
+                                "actual: rows={} batches={} | self pages: seq={} rand={} index={} \
                          (wpc {:.1} vs est {:.1}) | {:.1?}",
-                            m.rows,
-                            m.batches,
-                            s.sequential_pages,
-                            s.random_pages,
-                            s.index_pages,
-                            s.weighted_page_cost(),
-                            node.self_cost(),
-                            metrics.self_elapsed(id),
-                        ),
+                                m.rows,
+                                m.batches,
+                                s.sequential_pages,
+                                s.random_pages,
+                                s.index_pages,
+                                s.weighted_page_cost(),
+                                node.self_cost(),
+                                metrics.self_elapsed(id),
+                            );
+                            if !m.workers.is_empty() {
+                                let _ = write!(note, " | workers:");
+                                for (k, w) in m.workers.iter().enumerate() {
+                                    let _ = write!(
+                                        note,
+                                        " p{k} rows={} batches={} ({:.1?})",
+                                        w.rows, w.batches, w.elapsed
+                                    );
+                                }
+                            }
+                            note
+                        }
                         None => "actual: <inconsistent I/O attribution>".to_string(),
                     }
                 });

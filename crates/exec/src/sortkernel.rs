@@ -1,0 +1,354 @@
+//! The shared sort kernel: one implementation of row comparison, full
+//! sort, top-N selection, and order-preserving run merging, used by the
+//! materializing interpreter, the streaming executor, and the parallel
+//! exchange operators.
+//!
+//! # Stability and tie-order contract
+//!
+//! Every entry point in this module implements the same total ordering:
+//! rows compare by the resolved sort keys (each column through
+//! [`Direction::apply`], NULLs per [`Value::total_cmp`]), and rows whose
+//! keys compare equal stay in **input order**. Equivalently: the output is
+//! what a stable sort of the input produces.
+//!
+//! This is not a cosmetic choice — it is the determinism anchor for the
+//! whole engine:
+//!
+//! * the differential suite requires the streaming and materializing
+//!   engines to emit bit-identical rows, which forces one tie order;
+//! * parallel execution splits the input into runs, sorts each run
+//!   independently, and merges; the merge reproduces the serial output
+//!   *only because* each run is stably sorted and [`merge_runs`] breaks
+//!   key ties by the runs' global sequence tags (or, absent tags, by run
+//!   index — valid whenever run `i` holds rows that precede run `i+1`'s
+//!   in the serial input).
+//!
+//! Sorting is decorate–sort–undecorate: key columns are extracted once
+//! per row into a contiguous key array, so comparisons during the sort
+//! touch only the extracted keys instead of re-indexing the full row per
+//! key column per comparison (the old `cmp_rows` pattern).
+
+use fto_common::{Direction, FtoError, Result, Row, Value};
+use fto_expr::RowLayout;
+use fto_order::OrderSpec;
+use std::cmp::Ordering;
+
+/// Resolved sort keys: (position in the row, direction) per key column.
+pub type SortKeys = Vec<(usize, Direction)>;
+
+/// Resolves an [`OrderSpec`]'s columns to row positions under `layout`.
+pub fn resolve_keys(spec: &OrderSpec, layout: &RowLayout) -> Result<SortKeys> {
+    spec.keys()
+        .iter()
+        .map(|k| {
+            layout.position(k.col).map(|p| (p, k.dir)).ok_or_else(|| {
+                FtoError::internal(format!("sort column {} missing from layout", k.col))
+            })
+        })
+        .collect()
+}
+
+/// Compares two rows by `keys` — the kernel's key ordering, exposed for
+/// callers that compare without decorating (e.g. run merging).
+pub fn cmp_rows(a: &Row, b: &Row, keys: &SortKeys) -> Ordering {
+    for &(pos, dir) in keys {
+        let ord = dir.apply(a[pos].total_cmp(&b[pos]));
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Extracted key columns for one row, compared positionally with the
+/// keys' directions.
+fn extract(row: &Row, keys: &SortKeys) -> Box<[Value]> {
+    keys.iter().map(|&(pos, _)| row[pos].clone()).collect()
+}
+
+fn cmp_extracted(a: &[Value], b: &[Value], keys: &SortKeys) -> Ordering {
+    for (i, &(_, dir)) in keys.iter().enumerate() {
+        let ord = dir.apply(a[i].total_cmp(&b[i]));
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Stably sorts `rows` by `keys` (ties keep input order) using
+/// decorate–sort–undecorate.
+pub fn sort_rows(rows: &mut Vec<Row>, keys: &SortKeys) {
+    if rows.len() <= 1 || keys.is_empty() {
+        return;
+    }
+    let mut decorated: Vec<(Box<[Value]>, Row)> = std::mem::take(rows)
+        .into_iter()
+        .map(|row| (extract(&row, keys), row))
+        .collect();
+    decorated.sort_by(|a, b| cmp_extracted(&a.0, &b.0, keys));
+    *rows = decorated.into_iter().map(|(_, row)| row).collect();
+}
+
+/// Sorts tagged rows by `(keys, seq)` into a [`SortedRun`] — the
+/// per-bucket sort of a round-robin repartition, where each tag is the
+/// row's global position in the serial stream. The tag makes the order
+/// total, so the unstable sort is deterministic, and merging the buckets'
+/// runs by `(keys, seq)` reproduces the serial stable sort exactly.
+pub fn sort_tagged(pairs: Vec<(u64, Row)>, keys: &SortKeys) -> SortedRun {
+    let mut decorated: Vec<(Box<[Value]>, u64, Row)> = pairs
+        .into_iter()
+        .map(|(seq, row)| (extract(&row, keys), seq, row))
+        .collect();
+    decorated.sort_unstable_by(|a, b| cmp_extracted(&a.0, &b.0, keys).then(a.1.cmp(&b.1)));
+    SortedRun {
+        seqs: decorated.iter().map(|d| d.1).collect(),
+        rows: decorated.into_iter().map(|d| d.2).collect(),
+    }
+}
+
+/// The first `n` rows of the stable sort of `rows` by `keys`, each tagged
+/// with its original input position. Selection runs before the sort, so
+/// only the winning prefix pays `O(n log n)`; the input-position tag makes
+/// the comparator a total order, which is what pins the *choice* of
+/// boundary ties (the earliest tied input rows win) as well as their
+/// output order.
+pub fn top_n_tagged(rows: Vec<(u64, Row)>, keys: &SortKeys, n: usize) -> Vec<(u64, Row)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut decorated: Vec<(Box<[Value]>, u64, Row)> = rows
+        .into_iter()
+        .map(|(seq, row)| (extract(&row, keys), seq, row))
+        .collect();
+    let cmp = |a: &(Box<[Value]>, u64, Row), b: &(Box<[Value]>, u64, Row)| {
+        cmp_extracted(&a.0, &b.0, keys).then(a.1.cmp(&b.1))
+    };
+    if decorated.len() > n {
+        decorated.select_nth_unstable_by(n - 1, cmp);
+        decorated.truncate(n);
+    }
+    // The tag makes the order total, so an unstable sort is deterministic.
+    decorated.sort_unstable_by(cmp);
+    decorated
+        .into_iter()
+        .map(|(_, seq, row)| (seq, row))
+        .collect()
+}
+
+/// The first `n` rows of the stable sort of `rows` by `keys` (see
+/// [`top_n_tagged`]; tags here are the input positions themselves).
+pub fn top_n(rows: Vec<Row>, keys: &SortKeys, n: usize) -> Vec<Row> {
+    top_n_tagged(
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, r)| (i as u64, r))
+            .collect(),
+        keys,
+        n,
+    )
+    .into_iter()
+    .map(|(_, row)| row)
+    .collect()
+}
+
+/// One sorted run entering a merge: rows sorted by `(keys, seq)`, with
+/// `seqs[i]` the global sequence tag of `rows[i]`. Tags must be unique
+/// across all runs of one merge and consistent with the serial emission
+/// order the merge is meant to reproduce.
+#[derive(Debug, Default)]
+pub struct SortedRun {
+    /// The run's rows, sorted by `(keys, seq)`.
+    pub rows: Vec<Row>,
+    /// Global sequence tags, parallel to `rows` (strictly increasing
+    /// within a tie group by construction).
+    pub seqs: Vec<u64>,
+}
+
+impl SortedRun {
+    /// Tags `rows` (already stably sorted by the merge keys) with
+    /// consecutive sequence numbers starting at `base`. Correct whenever
+    /// the run's rows occupied the contiguous serial-input interval
+    /// `[base, base + rows.len())` in input order before sorting — which
+    /// a stable sort preserves within tie groups.
+    pub fn from_contiguous(rows: Vec<Row>, base: u64) -> SortedRun {
+        // After a stable sort the original positions are no longer
+        // consecutive, but within any tie group they stay in input order,
+        // so re-tagging 0..len in run order keeps ties correctly ranked
+        // *within* this run; across runs only the run-interval order
+        // matters, which `base` encodes.
+        let seqs = (base..base + rows.len() as u64).collect();
+        SortedRun { rows, seqs }
+    }
+}
+
+/// K-way merges sorted runs into one stream ordered by `(keys, seq)` —
+/// the order-preserving half of a merge exchange. Given runs produced by
+/// stably sorting disjoint pieces of one serial input and tagged
+/// consistently with that input's order, the output is bit-identical to
+/// stably sorting the serial input whole.
+pub fn merge_runs(runs: Vec<SortedRun>, keys: &SortKeys) -> Vec<Row> {
+    let total: usize = runs.iter().map(|r| r.rows.len()).sum();
+    let mut runs: Vec<(std::vec::IntoIter<Row>, std::vec::IntoIter<u64>)> = runs
+        .into_iter()
+        .map(|r| (r.rows.into_iter(), r.seqs.into_iter()))
+        .collect();
+    // Current head of each run.
+    let mut heads: Vec<Option<(Row, u64)>> = runs
+        .iter_mut()
+        .map(|(rows, seqs)| rows.next().map(|r| (r, seqs.next().unwrap_or(0))))
+        .collect();
+    let mut out = Vec::with_capacity(total);
+    loop {
+        // Linear scan over the (few) run heads for the minimum by
+        // (keys, seq); ties cannot occur because seqs are unique.
+        let mut best: Option<usize> = None;
+        for (k, head) in heads.iter().enumerate() {
+            let Some((row, seq)) = head else { continue };
+            best = match best {
+                None => Some(k),
+                Some(b) => {
+                    let (brow, bseq) = heads[b].as_ref().unwrap();
+                    if cmp_rows(row, brow, keys).then(seq.cmp(bseq)) == Ordering::Less {
+                        Some(k)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        let Some(k) = best else { break };
+        let (rows, seqs) = &mut runs[k];
+        let next = rows.next().map(|r| (r, seqs.next().unwrap_or(0)));
+        let (row, _) = std::mem::replace(&mut heads[k], next).unwrap();
+        out.push(row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fto_common::ColId;
+    use fto_order::SortKey;
+
+    fn row(vals: &[i64]) -> Row {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    fn keys_from(cols: &[(usize, Direction)]) -> SortKeys {
+        cols.to_vec()
+    }
+
+    fn spec_desc_asc() -> (OrderSpec, RowLayout) {
+        let spec: OrderSpec = [
+            SortKey {
+                col: ColId(1),
+                dir: Direction::Desc,
+            },
+            SortKey {
+                col: ColId(0),
+                dir: Direction::Asc,
+            },
+        ]
+        .into_iter()
+        .collect();
+        (spec, RowLayout::new(vec![ColId(0), ColId(1)]))
+    }
+
+    #[test]
+    fn resolve_and_sort_matches_naive_stable_sort() {
+        let (spec, layout) = spec_desc_asc();
+        let keys = resolve_keys(&spec, &layout).unwrap();
+        let mut rows: Vec<Row> = (0..200).map(|i| row(&[i % 7, i % 3])).collect();
+        let mut expected = rows.clone();
+        expected.sort_by(|a, b| b[1].total_cmp(&a[1]).then_with(|| a[0].total_cmp(&b[0])));
+        sort_rows(&mut rows, &keys);
+        assert_eq!(rows, expected);
+    }
+
+    #[test]
+    fn sort_is_stable_on_full_ties() {
+        // Key column is constant; payload column must keep input order.
+        let keys = keys_from(&[(0, Direction::Asc)]);
+        let mut rows: Vec<Row> = (0..50).map(|i| row(&[7, i])).collect();
+        let expected = rows.clone();
+        sort_rows(&mut rows, &keys);
+        assert_eq!(rows, expected, "stable sort must preserve tie order");
+    }
+
+    #[test]
+    fn empty_keys_leave_input_untouched() {
+        let mut rows: Vec<Row> = vec![row(&[3]), row(&[1]), row(&[2])];
+        let expected = rows.clone();
+        sort_rows(&mut rows, &Vec::new());
+        assert_eq!(rows, expected);
+    }
+
+    #[test]
+    fn top_n_equals_stable_sort_prefix_including_boundary_ties() {
+        let keys = keys_from(&[(0, Direction::Asc)]);
+        // Many ties across the n boundary; payload distinguishes rows.
+        let rows: Vec<Row> = (0..40).map(|i| row(&[i % 4, i])).collect();
+        let mut sorted = rows.clone();
+        sort_rows(&mut sorted, &keys);
+        for n in [0usize, 1, 5, 10, 11, 39, 40, 100] {
+            let got = top_n(rows.clone(), &keys, n);
+            let want: Vec<Row> = sorted.iter().take(n).cloned().collect();
+            assert_eq!(got, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn merge_of_contiguous_runs_reproduces_serial_stable_sort() {
+        let keys = keys_from(&[(0, Direction::Desc)]);
+        let input: Vec<Row> = (0..120).map(|i| row(&[(i * 13) % 5, i])).collect();
+        let mut serial = input.clone();
+        sort_rows(&mut serial, &keys);
+        for parts in [1usize, 2, 3, 4, 5] {
+            let chunk = input.len().div_ceil(parts);
+            let mut runs = Vec::new();
+            let mut base = 0u64;
+            for piece in input.chunks(chunk) {
+                let mut rows = piece.to_vec();
+                let len = rows.len() as u64;
+                sort_rows(&mut rows, &keys);
+                runs.push(SortedRun::from_contiguous(rows, base));
+                base += len;
+            }
+            assert_eq!(merge_runs(runs, &keys), serial, "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn merge_with_explicit_tags_restores_round_robin_deal() {
+        let keys = keys_from(&[(0, Direction::Asc)]);
+        let input: Vec<Row> = (0..90).map(|i| row(&[(i * 7) % 6, i])).collect();
+        let mut serial = input.clone();
+        sort_rows(&mut serial, &keys);
+        let parts = 4;
+        // Round-robin deal, remembering global positions.
+        let mut buckets: Vec<Vec<(u64, Row)>> = vec![Vec::new(); parts];
+        for (g, r) in input.into_iter().enumerate() {
+            buckets[g % parts].push((g as u64, r));
+        }
+        let runs: Vec<SortedRun> = buckets
+            .into_iter()
+            .map(|bucket| sort_tagged(bucket, &keys))
+            .collect();
+        assert_eq!(merge_runs(runs, &keys), serial);
+    }
+
+    #[test]
+    fn merge_handles_empty_and_unbalanced_runs() {
+        let keys = keys_from(&[(0, Direction::Asc)]);
+        let runs = vec![
+            SortedRun::from_contiguous(vec![], 0),
+            SortedRun::from_contiguous(vec![row(&[1, 0]), row(&[3, 1])], 0),
+            SortedRun::from_contiguous(vec![row(&[2, 2])], 2),
+        ];
+        let merged = merge_runs(runs, &keys);
+        let got: Vec<i64> = merged.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+}

@@ -21,18 +21,20 @@
 //! reference engine's exact emission order, not merely the same bag of
 //! rows.
 
-use crate::interp::{concat, eval_preds, hash_group_by, positions, sort_rows, QueryResult};
+use crate::interp::{concat, eval_preds, hash_group_by, positions, QueryResult};
 use crate::metrics::{OpMetrics, PlanMetrics};
-use fto_common::{ColId, Direction, FtoError, IndexId, Result, Row, TableId, Value};
+use crate::parallel::{
+    GatherOp, MergeExchangeOp, PartitionSpec, RepartitionSortOp, TopNExchangeOp,
+};
+use crate::sortkernel::{self, resolve_keys, SortKeys};
+use fto_common::{ColId, FtoError, IndexId, Result, Row, TableId, Value};
 use fto_expr::{agg::Accumulator, AggCall, Expr, PredId, RowLayout};
-use fto_order::OrderSpec;
 use fto_planner::{Plan, PlanNode, ScanRange};
 use fto_qgm::QueryGraph;
 use fto_storage::{Database, HeapScanState, IndexScanState, IoStats, PageCursor};
-use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// A batch of rows. Operators never return an empty batch: exhaustion is
@@ -47,6 +49,25 @@ pub struct ExecContext<'a> {
     pub graph: &'a QueryGraph,
     /// Maximum rows per batch (always ≥ 1).
     pub batch_size: usize,
+    /// Degree of parallelism this execution was lowered with (always ≥ 1;
+    /// worker-side contexts are always 1 so pipelines never nest
+    /// exchanges).
+    pub threads: usize,
+}
+
+impl<'a> ExecContext<'a> {
+    /// The single construction site for execution contexts: clamps
+    /// `batch_size` and `threads` to at least 1 in one place, so the
+    /// serial, instrumented, and per-worker contexts cannot diverge on
+    /// the clamping rule.
+    pub fn new(db: &'a Database, graph: &'a QueryGraph, opts: &ExecOptions) -> ExecContext<'a> {
+        ExecContext {
+            db,
+            graph,
+            batch_size: opts.batch_size.max(1),
+            threads: opts.threads.max(1),
+        }
+    }
 }
 
 /// A streaming operator in the lowered plan tree.
@@ -72,11 +93,18 @@ pub trait Operator {
 pub struct ExecOptions {
     /// Rows per batch (clamped to ≥ 1).
     pub batch_size: usize,
+    /// Degree of intra-query parallelism (clamped to ≥ 1). With `1`,
+    /// lowering inserts no exchange operators and execution is exactly
+    /// the classic single-threaded pipeline.
+    pub threads: usize,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { batch_size: 1024 }
+        ExecOptions {
+            batch_size: 1024,
+            threads: 1,
+        }
     }
 }
 
@@ -97,12 +125,8 @@ pub fn execute_plan(
 ) -> Result<QueryResult> {
     let start = Instant::now();
     let mut io = IoStats::new();
-    let cx = ExecContext {
-        db,
-        graph,
-        batch_size: opts.batch_size.max(1),
-    };
-    let mut root = lower(plan)?;
+    let cx = ExecContext::new(db, graph, opts);
+    let mut root = lower_impl(plan, &mut LowerCx::new(None, cx.threads))?;
     root.open(&cx, &mut io)?;
     let mut rows = Vec::new();
     while let Some(batch) = root.next_batch(&cx, &mut io)? {
@@ -133,15 +157,12 @@ pub fn execute_plan_instrumented(
 ) -> Result<(QueryResult, PlanMetrics)> {
     let start = Instant::now();
     let mut io = IoStats::new();
-    let cx = ExecContext {
-        db,
-        graph,
-        batch_size: opts.batch_size.max(1),
-    };
-    let instr = InstrState {
-        slots: Rc::new(RefCell::new(Vec::new())),
-    };
-    let mut root = lower_impl(plan, Some(&instr))?;
+    let cx = ExecContext::new(db, graph, opts);
+    let slots = Arc::new(Mutex::new(Vec::new()));
+    let mut root = lower_impl(
+        plan,
+        &mut LowerCx::new(Some(Arc::clone(&slots)), cx.threads),
+    )?;
     root.open(&cx, &mut io)?;
     let mut rows = Vec::new();
     while let Some(batch) = root.next_batch(&cx, &mut io)? {
@@ -149,9 +170,10 @@ pub fn execute_plan_instrumented(
     }
     root.close();
     drop(root);
-    let ops = Rc::try_unwrap(instr.slots)
+    let ops = Arc::try_unwrap(slots)
         .expect("all operator wrappers dropped")
-        .into_inner();
+        .into_inner()
+        .expect("metrics mutex poisoned");
     let metrics = PlanMetrics {
         ops,
         children: preorder_children(plan),
@@ -213,30 +235,7 @@ impl OutQueue {
     }
 }
 
-type SortKeys = Vec<(usize, Direction)>;
-
-fn resolve_sort_keys(spec: &OrderSpec, layout: &RowLayout) -> Result<SortKeys> {
-    spec.keys()
-        .iter()
-        .map(|k| {
-            layout.position(k.col).map(|p| (p, k.dir)).ok_or_else(|| {
-                FtoError::internal(format!("sort column {} missing from layout", k.col))
-            })
-        })
-        .collect()
-}
-
-fn cmp_rows(a: &Row, b: &Row, keys: &SortKeys) -> Ordering {
-    for &(pos, dir) in keys {
-        let ord = dir.apply(a[pos].total_cmp(&b[pos]));
-        if ord != Ordering::Equal {
-            return ord;
-        }
-    }
-    Ordering::Equal
-}
-
-fn drain_all(
+pub(crate) fn drain_all(
     child: &mut Box<dyn Operator>,
     cx: &ExecContext<'_>,
     io: &mut IoStats,
@@ -260,12 +259,17 @@ fn key_of(row: &Row, pos: &[usize]) -> Vec<Value> {
 
 struct ScanOp {
     table: TableId,
+    /// Which page-aligned partition of the heap this cursor walks;
+    /// `(0, 1)` outside worker pipelines, i.e. the whole heap.
+    part: usize,
+    parts: usize,
     state: HeapScanState,
 }
 
 impl Operator for ScanOp {
-    fn open(&mut self, _cx: &ExecContext<'_>, _io: &mut IoStats) -> Result<()> {
-        self.state = HeapScanState::new();
+    fn open(&mut self, cx: &ExecContext<'_>, _io: &mut IoStats) -> Result<()> {
+        let heap = cx.db.heap(self.table)?;
+        self.state = HeapScanState::partition(heap, self.part, self.parts);
         Ok(())
     }
 
@@ -281,6 +285,10 @@ struct IndexScanOp {
     table: TableId,
     range: Option<ScanRange>,
     reverse: bool,
+    /// Which leaf-aligned partition of the matching entries this cursor
+    /// walks, in *emission* order; `(0, 1)` outside worker pipelines.
+    part: usize,
+    parts: usize,
     state: Option<IndexScanState>,
 }
 
@@ -291,7 +299,22 @@ impl Operator for IndexScanOp {
             Some(ScanRange { lo, hi }) => (lo.as_ref(), hi.as_ref()),
             None => (None, None),
         };
-        self.state = Some(IndexScanState::open(ix, lo, hi, self.reverse));
+        // `open_partition` counts partitions in key order; a reverse scan
+        // emits high keys first, so emission-order partition `part` is
+        // key-order partition `parts - 1 - part`.
+        let kpart = if self.reverse {
+            self.parts - 1 - self.part
+        } else {
+            self.part
+        };
+        self.state = Some(IndexScanState::open_partition(
+            ix,
+            lo,
+            hi,
+            self.reverse,
+            kpart,
+            self.parts,
+        ));
         Ok(())
     }
 
@@ -527,8 +550,7 @@ impl Operator for UnionAllOp {
 
 struct SortOp {
     child: Box<dyn Operator>,
-    spec: OrderSpec,
-    layout: RowLayout,
+    keys: SortKeys,
     buf: Vec<Row>,
     pos: usize,
 }
@@ -537,7 +559,7 @@ impl Operator for SortOp {
     fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
         let mut rows = drain_all(&mut self.child, cx, io)?;
         io.sort_rows += rows.len() as u64;
-        sort_rows(&mut rows, &self.spec, &self.layout)?;
+        sortkernel::sort_rows(&mut rows, &self.keys);
         self.buf = rows;
         self.pos = 0;
         Ok(())
@@ -568,22 +590,10 @@ struct TopNOp {
 
 impl Operator for TopNOp {
     fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
-        let mut rows = drain_all(&mut self.child, cx, io)?;
-        let n = self.n as usize;
-        if n == 0 {
-            self.buf = Vec::new();
-            return Ok(());
-        }
-        let keys = &self.keys;
-        let cmp = |a: &Row, b: &Row| cmp_rows(a, b, keys);
-        if rows.len() > n {
-            // Selection first: only the winning prefix pays the sort.
-            rows.select_nth_unstable_by(n - 1, cmp);
-            rows.truncate(n);
-        }
-        io.sort_rows += rows.len() as u64;
-        rows.sort_by(cmp);
-        self.buf = rows;
+        let rows = drain_all(&mut self.child, cx, io)?;
+        let top = sortkernel::top_n(rows, &self.keys, self.n as usize);
+        io.sort_rows += top.len() as u64;
+        self.buf = top;
         self.pos = 0;
         Ok(())
     }
@@ -1150,11 +1160,59 @@ impl Operator for MergeJoinOp {
 // Lowering
 // ---------------------------------------------------------------------
 
-/// Shared state while lowering an instrumented pipeline: the metric
-/// slots, one per plan node, pushed in pre-order as lowering reaches
-/// each node.
-struct InstrState {
-    slots: Rc<RefCell<Vec<OpMetrics>>>,
+/// Lowering context: instrumentation slots, pre-order id assignment, and
+/// the parallelism state.
+///
+/// The coordinator lowers with `push = true` (slots are created as
+/// lowering reaches each node, so slot index == pre-order id) and
+/// `partition = None`. When lowering inserts an exchange, it *reserves*
+/// slots for the exchange's partitioned subtree without building
+/// coordinator-side operators for it; each worker then re-lowers that
+/// subtree via [`lower_worker`] with `push = false` and `next_id` starting
+/// at the subtree root's reserved id, so worker wrappers record into the
+/// already-reserved slots. Workers always lower with `threads = 1`, so
+/// exchanges never nest.
+pub(crate) struct LowerCx {
+    slots: Option<Arc<Mutex<Vec<OpMetrics>>>>,
+    push: bool,
+    next_id: usize,
+    threads: usize,
+    /// `Some((part, parts))` while lowering one worker's partition of an
+    /// exchanged subtree: scans restrict themselves to that partition.
+    partition: Option<(usize, usize)>,
+}
+
+impl LowerCx {
+    pub(crate) fn new(slots: Option<Arc<Mutex<Vec<OpMetrics>>>>, threads: usize) -> LowerCx {
+        LowerCx {
+            slots,
+            push: true,
+            next_id: 0,
+            threads,
+            partition: None,
+        }
+    }
+}
+
+/// Lowers one worker's copy of an exchanged subtree: scans restricted to
+/// partition `part` of `parts`, instrumentation recording into the slots
+/// the coordinator reserved starting at `base_id`. Called from inside the
+/// worker thread, so the built operators never cross threads.
+pub(crate) fn lower_worker(
+    plan: &Plan,
+    part: usize,
+    parts: usize,
+    slots: Option<Arc<Mutex<Vec<OpMetrics>>>>,
+    base_id: usize,
+) -> Result<Box<dyn Operator>> {
+    let mut lw = LowerCx {
+        slots,
+        push: false,
+        next_id: base_id,
+        threads: 1,
+        partition: Some((part, parts)),
+    };
+    lower_impl(plan, &mut lw)
 }
 
 /// Records subtree-inclusive metrics for one operator into its slot.
@@ -1164,16 +1222,20 @@ struct InstrState {
 /// while control was inside its subtree — children included. Exclusive
 /// figures are derived later by [`PlanMetrics::self_io`]; recording
 /// inclusively here is what makes that subtraction telescope exactly to
-/// the session totals.
+/// the session totals. Under an exchange, the workers' wrappers all
+/// record into the same slots (one worker's private I/O stream each), so
+/// a slot accumulates the sum over workers — which is exactly what the
+/// coordinator merges into the session stream, keeping the telescoping
+/// intact at every parallel degree.
 struct InstrumentedOp {
     inner: Box<dyn Operator>,
     id: usize,
-    slots: Rc<RefCell<Vec<OpMetrics>>>,
+    slots: Arc<Mutex<Vec<OpMetrics>>>,
 }
 
 impl InstrumentedOp {
     fn record(&self, before: &IoStats, after: &IoStats, started: Instant) {
-        let mut slots = self.slots.borrow_mut();
+        let mut slots = self.slots.lock().expect("metrics mutex poisoned");
         let m = &mut slots[self.id];
         m.elapsed += started.elapsed();
         m.io.merge(&after.delta_since(before));
@@ -1195,7 +1257,7 @@ impl Operator for InstrumentedOp {
         let result = self.inner.next_batch(cx, io);
         self.record(&before, io, started);
         if let Ok(Some(batch)) = &result {
-            let mut slots = self.slots.borrow_mut();
+            let mut slots = self.slots.lock().expect("metrics mutex poisoned");
             let m = &mut slots[self.id];
             m.rows += batch.len() as u64;
             m.batches += 1;
@@ -1209,65 +1271,168 @@ impl Operator for InstrumentedOp {
 }
 
 fn lower(plan: &Plan) -> Result<Box<dyn Operator>> {
-    lower_impl(plan, None)
+    lower_impl(plan, &mut LowerCx::new(None, 1))
 }
 
-/// Lowers `plan`, optionally wrapping every operator in an
-/// [`InstrumentedOp`]. Slots are reserved parent-before-children and
+/// True when a subtree can run partitioned: a chain of filters and
+/// projections over one table or index scan. Such a pipeline has no
+/// cross-row state, so P workers each running it over a scan partition
+/// together produce exactly the serial row stream, segment by segment.
+fn partitionable(plan: &Plan) -> bool {
+    match &plan.node {
+        PlanNode::TableScan { .. } | PlanNode::IndexScan { .. } => true,
+        PlanNode::Filter { input, .. } | PlanNode::Project { input, .. } => partitionable(input),
+        _ => false,
+    }
+}
+
+/// Reserves metric slots for an exchanged subtree the coordinator will
+/// not itself lower, mirroring [`lower_impl`]'s pre-order id assignment
+/// so worker-side wrappers land in the right slots and sibling nodes
+/// after the subtree keep their ids.
+fn reserve_subtree(plan: &Plan, lw: &mut LowerCx) {
+    lw.next_id += 1;
+    if lw.push {
+        if let Some(slots) = &lw.slots {
+            slots
+                .lock()
+                .expect("metrics mutex poisoned")
+                .push(OpMetrics {
+                    name: plan.op_name().to_string(),
+                    ..OpMetrics::default()
+                });
+        }
+    }
+    for c in plan.children() {
+        reserve_subtree(c, lw);
+    }
+}
+
+/// Builds the [`PartitionSpec`] for exchanging `input` over
+/// `lw.threads` workers, reserving the subtree's metric slots.
+fn exchange_spec(input: &Arc<Plan>, lw: &mut LowerCx) -> PartitionSpec {
+    let base_id = lw.next_id;
+    reserve_subtree(input, lw);
+    PartitionSpec {
+        plan: Arc::clone(input),
+        parts: lw.threads,
+        slots: lw.slots.clone(),
+        base_id,
+    }
+}
+
+/// The (id, slots) handle an exchange operator uses to attach per-worker
+/// metrics to its own plan node.
+fn own_slot(lw: &LowerCx, id: usize) -> Option<(usize, Arc<Mutex<Vec<OpMetrics>>>)> {
+    lw.slots.as_ref().map(|s| (id, Arc::clone(s)))
+}
+
+/// Lowers a child subtree that its parent fully drains at `open` (a join
+/// build side, a hash group-by input). At parallel degree > 1 a
+/// partitionable subtree becomes a [`GatherOp`] that drains the P
+/// partition pipelines on worker threads and concatenates their outputs
+/// in partition order — which *is* the serial order, so parents observe
+/// the exact serial row stream.
+fn lower_drained(plan: &Arc<Plan>, lw: &mut LowerCx) -> Result<Box<dyn Operator>> {
+    if lw.partition.is_none() && lw.threads > 1 && partitionable(plan) {
+        Ok(Box::new(GatherOp::new(exchange_spec(plan, lw))))
+    } else {
+        lower_impl(plan, lw)
+    }
+}
+
+/// Lowers `plan`, wrapping every operator in an [`InstrumentedOp`] when
+/// slots are present. Slots are reserved parent-before-children and
 /// children in [`Plan::children`] order, which is exactly pre-order —
-/// the numbering [`PlanMetrics`] documents.
-fn lower_impl(plan: &Plan, instr: Option<&InstrState>) -> Result<Box<dyn Operator>> {
-    let slot = instr.map(|s| {
-        let mut slots = s.slots.borrow_mut();
-        let id = slots.len();
-        slots.push(OpMetrics {
-            name: plan.op_name().to_string(),
-            ..OpMetrics::default()
-        });
-        (id, Rc::clone(&s.slots))
-    });
+/// the numbering [`PlanMetrics`] documents. At parallel degree > 1 the
+/// coordinator replaces eligible Sort/TopN nodes and fully-drained join
+/// build sides with exchange operators from [`crate::parallel`]; worker
+/// threads then re-lower the exchanged subtrees via [`lower_worker`].
+fn lower_impl(plan: &Plan, lw: &mut LowerCx) -> Result<Box<dyn Operator>> {
+    let id = lw.next_id;
+    lw.next_id += 1;
+    if lw.push {
+        if let Some(slots) = &lw.slots {
+            let mut slots = slots.lock().expect("metrics mutex poisoned");
+            debug_assert_eq!(id, slots.len(), "slot ids must be pre-order");
+            slots.push(OpMetrics {
+                name: plan.op_name().to_string(),
+                ..OpMetrics::default()
+            });
+        }
+    }
+    // Exchange insertion happens only on the coordinator (never inside a
+    // worker's partition pipeline, where `threads` is pinned to 1).
+    let parallel = lw.partition.is_none() && lw.threads > 1;
     let op: Box<dyn Operator> = match &plan.node {
-        PlanNode::TableScan { table, .. } => Box::new(ScanOp {
-            table: *table,
-            state: HeapScanState::new(),
-        }),
+        PlanNode::TableScan { table, .. } => {
+            let (part, parts) = lw.partition.unwrap_or((0, 1));
+            Box::new(ScanOp {
+                table: *table,
+                part,
+                parts,
+                state: HeapScanState::new(),
+            })
+        }
         PlanNode::IndexScan {
             index,
             table,
             range,
             reverse,
             ..
-        } => Box::new(IndexScanOp {
-            index: *index,
-            table: *table,
-            range: range.clone(),
-            reverse: *reverse,
-            state: None,
-        }),
+        } => {
+            let (part, parts) = lw.partition.unwrap_or((0, 1));
+            Box::new(IndexScanOp {
+                index: *index,
+                table: *table,
+                range: range.clone(),
+                reverse: *reverse,
+                part,
+                parts,
+                state: None,
+            })
+        }
         PlanNode::Filter { input, predicates } => Box::new(FilterOp {
-            child: lower_impl(input, instr)?,
+            child: lower_impl(input, lw)?,
             predicates: predicates.clone(),
             layout: input.layout.clone(),
         }),
         PlanNode::Project { input, exprs } => Box::new(ProjectOp {
-            child: lower_impl(input, instr)?,
+            child: lower_impl(input, lw)?,
             exprs: exprs.clone(),
             layout: input.layout.clone(),
         }),
-        PlanNode::Sort { input, spec } => Box::new(SortOp {
-            child: lower_impl(input, instr)?,
-            spec: spec.clone(),
-            layout: input.layout.clone(),
-            buf: Vec::new(),
-            pos: 0,
-        }),
+        PlanNode::Sort { input, spec } => {
+            let keys = resolve_keys(spec, &input.layout)?;
+            if parallel && partitionable(input) {
+                // Merge exchange: workers scan disjoint partitions, sort
+                // their runs, and the coordinator K-way merges — order-
+                // preserving by the kernel's (keys, seq) contract.
+                let slot = own_slot(lw, id);
+                Box::new(MergeExchangeOp::new(exchange_spec(input, lw), keys, slot))
+            } else if parallel {
+                // Repartition: drain the (serial) child on the
+                // coordinator, deal round-robin, sort buckets on worker
+                // threads, merge back by global sequence tags.
+                let slot = own_slot(lw, id);
+                let child = lower_impl(input, lw)?;
+                Box::new(RepartitionSortOp::new(child, keys, lw.threads, slot))
+            } else {
+                Box::new(SortOp {
+                    child: lower_impl(input, lw)?,
+                    keys,
+                    buf: Vec::new(),
+                    pos: 0,
+                })
+            }
+        }
         PlanNode::NestedLoopJoin {
             outer,
             inner,
             predicates,
         } => Box::new(NestedLoopJoinOp {
-            outer: lower_impl(outer, instr)?,
-            inner: lower_impl(inner, instr)?,
+            outer: lower_impl(outer, lw)?,
+            inner: lower_drained(inner, lw)?,
             predicates: predicates.clone(),
             layout: plan.layout.clone(),
             inner_rows: Vec::new(),
@@ -1281,7 +1446,7 @@ fn lower_impl(plan: &Plan, instr: Option<&InstrState>) -> Result<Box<dyn Operato
             predicates,
             ..
         } => Box::new(IndexNestedLoopJoinOp {
-            outer: lower_impl(outer, instr)?,
+            outer: lower_impl(outer, lw)?,
             table: *table,
             index: *index,
             probe_pos: probe_cols
@@ -1306,8 +1471,8 @@ fn lower_impl(plan: &Plan, instr: Option<&InstrState>) -> Result<Box<dyn Operato
         } => Box::new(MergeJoinOp {
             o: MergeSide::new(positions(&outer.layout, outer_keys)?),
             i: MergeSide::new(positions(&inner.layout, inner_keys)?),
-            outer: lower_impl(outer, instr)?,
-            inner: lower_impl(inner, instr)?,
+            outer: lower_impl(outer, lw)?,
+            inner: lower_impl(inner, lw)?,
             predicates: predicates.clone(),
             layout: plan.layout.clone(),
             done: false,
@@ -1324,8 +1489,8 @@ fn lower_impl(plan: &Plan, instr: Option<&InstrState>) -> Result<Box<dyn Operato
             ipos: positions(&inner.layout, inner_keys)?,
             keyed: !outer_keys.is_empty(),
             null_pad: vec![Value::Null; inner.layout.arity()].into(),
-            outer: lower_impl(outer, instr)?,
-            inner: lower_impl(inner, instr)?,
+            outer: lower_impl(outer, lw)?,
+            inner: lower_drained(inner, lw)?,
             predicates: predicates.clone(),
             layout: plan.layout.clone(),
             build_rows: Vec::new(),
@@ -1342,8 +1507,8 @@ fn lower_impl(plan: &Plan, instr: Option<&InstrState>) -> Result<Box<dyn Operato
             ipos: positions(&inner.layout, inner_keys)?,
             op: HashJoinOp {
                 opos: positions(&outer.layout, outer_keys)?,
-                outer: lower_impl(outer, instr)?,
-                inner: lower_impl(inner, instr)?,
+                outer: lower_impl(outer, lw)?,
+                inner: lower_drained(inner, lw)?,
                 predicates: predicates.clone(),
                 layout: plan.layout.clone(),
                 build_rows: Vec::new(),
@@ -1358,7 +1523,7 @@ fn lower_impl(plan: &Plan, instr: Option<&InstrState>) -> Result<Box<dyn Operato
         } => Box::new(StreamGroupByOp {
             gpos: positions(&input.layout, grouping)?,
             grouping_is_empty: grouping.is_empty(),
-            child: lower_impl(input, instr)?,
+            child: lower_impl(input, lw)?,
             aggs: aggs.clone(),
             layout: input.layout.clone(),
             current: None,
@@ -1371,7 +1536,7 @@ fn lower_impl(plan: &Plan, instr: Option<&InstrState>) -> Result<Box<dyn Operato
             grouping,
             aggs,
         } => Box::new(HashGroupByOp {
-            child: lower_impl(input, instr)?,
+            child: lower_drained(input, lw)?,
             grouping: grouping.clone(),
             aggs: aggs.clone(),
             layout: input.layout.clone(),
@@ -1379,38 +1544,51 @@ fn lower_impl(plan: &Plan, instr: Option<&InstrState>) -> Result<Box<dyn Operato
             pos: 0,
         }),
         PlanNode::StreamDistinct { input } => Box::new(StreamDistinctOp {
-            child: lower_impl(input, instr)?,
+            child: lower_impl(input, lw)?,
             last: None,
         }),
         PlanNode::HashDistinct { input } => Box::new(HashDistinctOp {
-            child: lower_impl(input, instr)?,
+            child: lower_impl(input, lw)?,
             seen: HashSet::new(),
         }),
         PlanNode::UnionAll { inputs } => Box::new(UnionAllOp {
             children: inputs
                 .iter()
-                .map(|p| lower_impl(p, instr))
+                .map(|p| lower_impl(p, lw))
                 .collect::<Result<Vec<_>>>()?,
             current: 0,
             opened: false,
         }),
         PlanNode::Limit { input, n } => Box::new(LimitOp {
-            child: lower_impl(input, instr)?,
+            child: lower_impl(input, lw)?,
             remaining: *n,
         }),
-        PlanNode::TopN { input, spec, n } => Box::new(TopNOp {
-            keys: resolve_sort_keys(spec, &input.layout)?,
-            child: lower_impl(input, instr)?,
-            n: *n,
-            buf: Vec::new(),
-            pos: 0,
-        }),
+        PlanNode::TopN { input, spec, n } => {
+            let keys = resolve_keys(spec, &input.layout)?;
+            if parallel && partitionable(input) {
+                let slot = own_slot(lw, id);
+                Box::new(TopNExchangeOp::new(
+                    exchange_spec(input, lw),
+                    keys,
+                    *n as usize,
+                    slot,
+                ))
+            } else {
+                Box::new(TopNOp {
+                    keys,
+                    child: lower_impl(input, lw)?,
+                    n: *n,
+                    buf: Vec::new(),
+                    pos: 0,
+                })
+            }
+        }
     };
-    Ok(match slot {
-        Some((id, slots)) => Box::new(InstrumentedOp {
+    Ok(match &lw.slots {
+        Some(slots) => Box::new(InstrumentedOp {
             inner: op,
             id,
-            slots,
+            slots: Arc::clone(slots),
         }),
         None => op,
     })
@@ -1420,7 +1598,7 @@ fn lower_impl(plan: &Plan, instr: Option<&InstrState>) -> Result<Box<dyn Operato
 mod tests {
     use super::*;
     use crate::interp::run_plan_materialized;
-    use fto_common::{ColId, ColSet, QuantifierId};
+    use fto_common::{ColId, ColSet, Direction, QuantifierId};
     use fto_order::StreamProps;
     use fto_planner::cost::Cost;
     use fto_storage::Database;
@@ -1470,7 +1648,16 @@ mod tests {
         let graph = QueryGraph::new();
         let plan = scan_plan();
         let old = run_plan_materialized(&db, &graph, &plan).unwrap();
-        let new = execute_plan(&db, &graph, &plan, &ExecOptions { batch_size: 64 }).unwrap();
+        let new = execute_plan(
+            &db,
+            &graph,
+            &plan,
+            &ExecOptions {
+                batch_size: 64,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
         assert_eq!(old.rows, new.rows);
         assert_eq!(old.io.sequential_pages, new.io.sequential_pages);
         assert_eq!(old.io.rows_read, new.io.rows_read);
@@ -1524,8 +1711,103 @@ mod tests {
             cost: scan.cost,
         };
         let old = run_plan_materialized(&db, &graph, &sort).unwrap();
-        let new = execute_plan(&db, &graph, &sort, &ExecOptions { batch_size: 1 }).unwrap();
+        let new = execute_plan(
+            &db,
+            &graph,
+            &sort,
+            &ExecOptions {
+                batch_size: 1,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
         assert_eq!(old.rows, new.rows);
         assert_eq!(old.io.sort_rows, new.io.sort_rows);
+    }
+
+    #[test]
+    fn parallel_sort_matches_serial_bit_for_bit() {
+        let db = test_db(1777);
+        let graph = QueryGraph::new();
+        let scan = scan_plan();
+        let sort = Plan {
+            node: PlanNode::Sort {
+                input: scan.clone(),
+                spec: [
+                    fto_order::SortKey {
+                        col: ColId(1),
+                        dir: Direction::Desc,
+                    },
+                    fto_order::SortKey {
+                        col: ColId(0),
+                        dir: Direction::Asc,
+                    },
+                ]
+                .into_iter()
+                .collect(),
+            },
+            layout: scan.layout.clone(),
+            props: scan.props.clone(),
+            cost: scan.cost,
+        };
+        let serial = execute_plan(&db, &graph, &sort, &ExecOptions::default()).unwrap();
+        for threads in [2usize, 3, 4] {
+            let par = execute_plan(
+                &db,
+                &graph,
+                &sort,
+                &ExecOptions {
+                    batch_size: 97,
+                    threads,
+                },
+            )
+            .unwrap();
+            assert_eq!(serial.rows, par.rows, "threads={threads}");
+            // Page-aligned partitions charge exactly the serial totals.
+            assert_eq!(serial.io.sequential_pages, par.io.sequential_pages);
+            assert_eq!(serial.io.rows_read, par.io.rows_read);
+            assert_eq!(serial.io.sort_rows, par.io.sort_rows);
+        }
+    }
+
+    #[test]
+    fn parallel_instrumented_rollup_stays_exact() {
+        let db = test_db(2048);
+        let graph = QueryGraph::new();
+        let scan = scan_plan();
+        let sort = Plan {
+            node: PlanNode::Sort {
+                input: scan.clone(),
+                spec: [fto_order::SortKey {
+                    col: ColId(1),
+                    dir: Direction::Asc,
+                }]
+                .into_iter()
+                .collect(),
+            },
+            layout: scan.layout.clone(),
+            props: scan.props.clone(),
+            cost: scan.cost,
+        };
+        for threads in [1usize, 2, 4] {
+            let opts = ExecOptions {
+                batch_size: 128,
+                threads,
+            };
+            let (result, metrics) = execute_plan_instrumented(&db, &graph, &sort, &opts).unwrap();
+            assert_eq!(result.rows.len(), 2048);
+            assert!(
+                metrics.validate().is_ok(),
+                "threads={threads}: {:?}",
+                metrics.validate()
+            );
+            assert_eq!(metrics.total_io(), result.io, "threads={threads}");
+            if threads > 1 {
+                // The Sort node carries one entry per exchange worker.
+                assert_eq!(metrics.ops[0].workers.len(), threads);
+                let worker_rows: u64 = metrics.ops[0].workers.iter().map(|w| w.rows).sum();
+                assert_eq!(worker_rows, 2048);
+            }
+        }
     }
 }

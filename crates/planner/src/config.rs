@@ -46,6 +46,11 @@ pub struct OptimizerConfig {
     /// Rows per batch in the streaming executor. Operators pull and
     /// produce batches of (at most) this many rows.
     pub batch_size: usize,
+    /// Degree of intra-query parallelism in the streaming executor.
+    /// `1` (the default) runs every operator on the calling thread;
+    /// `p > 1` lets lowering insert exchange operators that fan pipeline
+    /// segments out over `p` workers.
+    pub threads: usize,
 }
 
 impl Default for OptimizerConfig {
@@ -60,6 +65,7 @@ impl Default for OptimizerConfig {
             sort_memory: 16 << 20,
             max_sort_ahead: 4,
             batch_size: 1024,
+            threads: 1,
         }
     }
 }
@@ -151,6 +157,13 @@ impl OptimizerConfig {
         self.batch_size = rows.max(1);
         self
     }
+
+    /// Sets the streaming executor's degree of parallelism (≥ 1).
+    /// `1` disables exchange insertion entirely.
+    pub fn with_threads(mut self, p: usize) -> Self {
+        self.threads = p.max(1);
+        self
+    }
 }
 
 /// Counters describing how much work the planner did; used by the
@@ -180,6 +193,7 @@ mod tests {
         assert!(c.sort_ahead);
         assert!(c.enable_merge_join && c.enable_hash_join && c.enable_nested_loop);
         assert_eq!(c.batch_size, 1024);
+        assert_eq!(c.threads, 1);
     }
 
     #[test]
@@ -196,11 +210,13 @@ mod tests {
             .with_merge_join(false)
             .with_nested_loop(false)
             .with_max_sort_ahead(9)
-            .with_batch_size(0);
+            .with_batch_size(0)
+            .with_threads(0);
         assert!(!c.enable_merge_join);
         assert!(!c.enable_nested_loop);
         assert_eq!(c.max_sort_ahead, 9);
-        // Batch size is clamped to at least one row.
+        // Batch size and parallel degree are clamped to at least one.
         assert_eq!(c.batch_size, 1);
+        assert_eq!(c.threads, 1);
     }
 }

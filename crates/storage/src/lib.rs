@@ -26,4 +26,4 @@ pub use db::Database;
 pub use heap::HeapTable;
 pub use index::OrderedIndex;
 pub use io::{IoStats, PageCursor, PAGE_SIZE};
-pub use scan::{HeapScanState, IndexScanState};
+pub use scan::{partition_bounds, HeapScanState, IndexScanState};

@@ -16,22 +16,83 @@ use crate::index::{OrderedIndex, ENTRIES_PER_LEAF};
 use crate::io::{IoStats, PageCursor};
 use fto_common::{Row, Value};
 
-/// Position of an in-progress sequential heap scan.
-#[derive(Debug, Default)]
+/// Splits `[lo, hi)` into `parts` deterministic contiguous chunks and
+/// returns the bounds of chunk `part`, with every *interior* cut rounded
+/// up to an absolute multiple of `align`. Chunks are balanced to within
+/// one alignment unit, cover the range exactly, and never overlap — the
+/// contract partitioned scans rely on so that P workers together touch
+/// each page (or index leaf) exactly as often as one worker would.
+pub fn partition_bounds(
+    (lo, hi): (usize, usize),
+    part: usize,
+    parts: usize,
+    align: usize,
+) -> (usize, usize) {
+    assert!(parts > 0 && part < parts, "partition {part} of {parts}");
+    assert!(lo <= hi, "inverted range {lo}..{hi}");
+    let align = align.max(1);
+    let len = hi - lo;
+    let cut = |k: usize| -> usize {
+        if k == 0 {
+            return lo;
+        }
+        if k == parts {
+            return hi;
+        }
+        // Proportional cut, rounded up to the alignment boundary.
+        let raw = lo + (len * k) / parts;
+        (raw.div_ceil(align) * align).clamp(lo, hi)
+    };
+    (cut(part), cut(part + 1))
+}
+
+/// Position of an in-progress sequential heap scan, possibly restricted
+/// to one page-aligned partition of the heap.
+#[derive(Debug)]
 pub struct HeapScanState {
     next_rid: usize,
+    /// Exclusive upper bound; `usize::MAX` means "to the end of the heap".
+    end_rid: usize,
     cursor: PageCursor,
 }
 
+impl Default for HeapScanState {
+    fn default() -> Self {
+        HeapScanState::new()
+    }
+}
+
 impl HeapScanState {
-    /// A scan positioned before the first row.
+    /// A scan positioned before the first row, covering the whole heap.
     pub fn new() -> HeapScanState {
-        HeapScanState::default()
+        HeapScanState {
+            next_rid: 0,
+            end_rid: usize::MAX,
+            cursor: PageCursor::new(),
+        }
+    }
+
+    /// A scan over partition `part` of `parts`: the heap's page range is
+    /// split into `parts` contiguous page-aligned chunks, and this cursor
+    /// walks chunk `part`. Partitions are deterministic, disjoint, and
+    /// cover every row; because cuts fall on page boundaries, the
+    /// partitions together charge exactly the pages a full serial scan
+    /// charges.
+    pub fn partition(heap: &HeapTable, part: usize, parts: usize) -> HeapScanState {
+        let pages = heap.page_count() as usize;
+        let (lo_page, hi_page) = partition_bounds((0, pages), part, parts, 1);
+        let rpp = heap.rows_per_page() as usize;
+        let total = heap.row_count() as usize;
+        HeapScanState {
+            next_rid: (lo_page * rpp).min(total),
+            end_rid: (hi_page * rpp).min(total),
+            cursor: PageCursor::new(),
+        }
     }
 
     /// True once every row has been returned.
     pub fn exhausted(&self, heap: &HeapTable) -> bool {
-        self.next_rid >= heap.row_count() as usize
+        self.next_rid >= (heap.row_count() as usize).min(self.end_rid)
     }
 
     /// Returns the next batch of at most `max_rows` rows (empty when the
@@ -40,7 +101,7 @@ impl HeapScanState {
     /// exactly [`HeapTable::page_count`] pages; a scan abandoned early
     /// charges only the pages behind the rows it produced.
     pub fn next_batch(&mut self, heap: &HeapTable, max_rows: usize, io: &mut IoStats) -> Vec<Row> {
-        let total = heap.row_count() as usize;
+        let total = (heap.row_count() as usize).min(self.end_rid);
         let end = (self.next_rid + max_rows.max(1)).min(total);
         let mut out = Vec::with_capacity(end.saturating_sub(self.next_rid));
         for rid in self.next_rid..end {
@@ -88,6 +149,33 @@ impl IndexScanState {
         IndexScanState {
             start,
             end,
+            reverse,
+            last_leaf: None,
+            cursor: PageCursor::new(),
+        }
+    }
+
+    /// [`IndexScanState::open`] restricted to partition `part` of `parts`:
+    /// the matching entry interval is split into `parts` contiguous chunks
+    /// with every interior cut aligned to an index-leaf boundary
+    /// ([`ENTRIES_PER_LEAF`]), so no leaf is shared between partitions and
+    /// the partitions together charge exactly the leaf pages a serial scan
+    /// charges. `part` counts in *key* order regardless of `reverse`; a
+    /// reverse scan's caller should consume partitions from high `part` to
+    /// low to reproduce the serial reverse emission order.
+    pub fn open_partition(
+        index: &OrderedIndex,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+        reverse: bool,
+        part: usize,
+        parts: usize,
+    ) -> IndexScanState {
+        let (start, end) = index.range_positions(lo, hi);
+        let (p_lo, p_hi) = partition_bounds((start, end), part, parts, ENTRIES_PER_LEAF as usize);
+        IndexScanState {
+            start: p_lo,
+            end: p_hi,
             reverse,
             last_leaf: None,
             cursor: PageCursor::new(),
@@ -256,6 +344,139 @@ mod tests {
         let mut s = IndexScanState::open(&ix, None, None, false);
         while !s.next_batch(&ix, &h, 100, &mut io).is_empty() {}
         assert_eq!(io.index_pages, ix.leaf_pages());
+    }
+
+    #[test]
+    fn partition_bounds_cover_disjointly_and_align() {
+        for len in [0usize, 1, 7, 100, 1000, 1024] {
+            for parts in [1usize, 2, 3, 4, 7] {
+                for align in [1usize, 8, 256] {
+                    let mut next = 0usize;
+                    for part in 0..parts {
+                        let (lo, hi) = partition_bounds((0, len), part, parts, align);
+                        assert_eq!(lo, next, "gap/overlap at {len}/{parts}/{align}/{part}");
+                        assert!(lo <= hi);
+                        if part + 1 < parts && hi < len {
+                            assert_eq!(hi % align, 0, "unaligned cut {hi}");
+                        }
+                        next = hi;
+                    }
+                    assert_eq!(next, len, "range not covered");
+                }
+            }
+        }
+        // Non-zero base: interior cuts align on absolute positions.
+        let (lo, hi) = partition_bounds((10, 522), 0, 2, 256);
+        assert_eq!(lo, 10);
+        assert_eq!(hi, 512);
+        assert_eq!(partition_bounds((10, 522), 1, 2, 256), (512, 522));
+    }
+
+    #[test]
+    fn partitioned_heap_scan_equals_serial_rows_and_pages() {
+        let h = heap(1000); // 40 rows/page => 25 pages
+        for parts in [1usize, 2, 3, 4] {
+            let mut io = IoStats::new();
+            let mut rows = Vec::new();
+            for part in 0..parts {
+                let mut s = HeapScanState::partition(&h, part, parts);
+                loop {
+                    let b = s.next_batch(&h, 33, &mut io);
+                    if b.is_empty() {
+                        break;
+                    }
+                    rows.extend(b);
+                }
+                assert!(s.exhausted(&h));
+            }
+            let keys: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+            assert_eq!(keys, (0..1000).collect::<Vec<i64>>(), "parts={parts}");
+            // Page-aligned partitions charge exactly the serial total.
+            assert_eq!(io.sequential_pages, h.page_count(), "parts={parts}");
+            assert_eq!(io.random_pages, 0);
+            assert_eq!(io.rows_read, 1000);
+        }
+    }
+
+    #[test]
+    fn partitioned_index_scan_covers_rows_and_charges_leaves_once() {
+        let mut h = HeapTable::new(TableId(0), 100);
+        for i in 0..1000i64 {
+            h.append(vec![Value::Int((i * 37) % 1000), Value::Int(0)].into_boxed_slice());
+        }
+        let ix = OrderedIndex::build(&h, &[0], &[Direction::Asc]);
+        for parts in [1usize, 2, 4] {
+            let mut io = IoStats::new();
+            let mut keys = Vec::new();
+            for part in 0..parts {
+                let mut s = IndexScanState::open_partition(&ix, None, None, false, part, parts);
+                loop {
+                    let b = s.next_batch(&ix, &h, 57, &mut io);
+                    if b.is_empty() {
+                        break;
+                    }
+                    keys.extend(b.iter().map(|r| r[0].as_int().unwrap()));
+                }
+            }
+            assert_eq!(keys, (0..1000).collect::<Vec<i64>>(), "parts={parts}");
+            // Leaf-aligned cuts: every leaf is charged by exactly one
+            // partition, so the total matches the serial scan.
+            assert_eq!(io.index_pages, ix.leaf_pages(), "parts={parts}");
+            assert_eq!(io.rows_read, 1000);
+        }
+    }
+
+    #[test]
+    fn partitioned_reverse_index_scan_in_reverse_partition_order() {
+        let mut h = HeapTable::new(TableId(0), 100);
+        for i in 0..500i64 {
+            h.append(vec![Value::Int(i), Value::Int(0)].into_boxed_slice());
+        }
+        let ix = OrderedIndex::build(&h, &[0], &[Direction::Asc]);
+        let parts = 3;
+        let mut io = IoStats::new();
+        let mut keys = Vec::new();
+        // Reverse emission: high key-order partition first, each reversed.
+        for part in (0..parts).rev() {
+            let mut s = IndexScanState::open_partition(&ix, None, None, true, part, parts);
+            loop {
+                let b = s.next_batch(&ix, &h, 64, &mut io);
+                if b.is_empty() {
+                    break;
+                }
+                keys.extend(b.iter().map(|r| r[0].as_int().unwrap()));
+            }
+        }
+        assert_eq!(keys, (0..500).rev().collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn partitioned_range_scan_respects_bounds() {
+        let mut h = HeapTable::new(TableId(0), 100);
+        for i in 0..1000i64 {
+            h.append(vec![Value::Int(i), Value::Int(0)].into_boxed_slice());
+        }
+        let ix = OrderedIndex::build(&h, &[0], &[Direction::Asc]);
+        let mut io = IoStats::new();
+        let mut keys = Vec::new();
+        for part in 0..4 {
+            let mut s = IndexScanState::open_partition(
+                &ix,
+                Some(&Value::Int(100)),
+                Some(&Value::Int(899)),
+                false,
+                part,
+                4,
+            );
+            loop {
+                let b = s.next_batch(&ix, &h, 128, &mut io);
+                if b.is_empty() {
+                    break;
+                }
+                keys.extend(b.iter().map(|r| r[0].as_int().unwrap()));
+            }
+        }
+        assert_eq!(keys, (100..900).collect::<Vec<i64>>());
     }
 
     #[test]

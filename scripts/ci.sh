@@ -23,6 +23,9 @@ fi
 echo "==> cargo test -q (includes the engine differential suite)"
 cargo test -q
 
+echo "==> FTO_TEST_THREADS=4 cargo test -q --test differential --test parallel"
+FTO_TEST_THREADS=4 cargo test -q -p fto-bench --test differential --test parallel
+
 if [[ "${1:-}" != "quick" ]]; then
     echo "==> smoke: EXPLAIN ANALYZE TPC-D Q3 through the REPL"
     smoke_out=$(printf "explain analyze select l_orderkey, sum(l_extendedprice * (1 - l_discount)) as rev, o_orderdate, o_shippriority from customer, orders, lineitem where o_orderkey = l_orderkey and c_custkey = o_custkey and c_mktsegment = 'building' and o_orderdate < date('1995-03-15') and l_shipdate > date('1995-03-15') group by l_orderkey, o_orderdate, o_shippriority order by rev desc, o_orderdate;\n.quit\n" \

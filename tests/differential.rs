@@ -135,8 +135,18 @@ const EMP_QUERIES: &[&str] = &[
     "select grade, emp_id from emp where grade = 2 order by grade, emp_id",
 ];
 
+/// Parallel degree to additionally run the whole suite at, from the
+/// `FTO_TEST_THREADS` environment variable (CI sets 4). Unset or 1
+/// means serial-only.
+fn env_threads() -> Option<usize> {
+    std::env::var("FTO_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&p| p > 1)
+}
+
 fn all_configs() -> Vec<OptimizerConfig> {
-    vec![
+    let mut configs = vec![
         OptimizerConfig::default(),
         OptimizerConfig::disabled(),
         OptimizerConfig::db2_1996(),
@@ -145,7 +155,13 @@ fn all_configs() -> Vec<OptimizerConfig> {
         OptimizerConfig::default()
             .with_hash_join(false)
             .with_nested_loop(false),
-    ]
+    ];
+    if let Some(p) = env_threads() {
+        for base in configs.clone() {
+            configs.push(base.with_threads(p));
+        }
+    }
+    configs
 }
 
 fn assert_engines_agree(db: &Database, sql: &str, config: OptimizerConfig) {
@@ -205,14 +221,19 @@ fn tpcd_workload_agrees_across_engines() {
         queries::q3("1996-01-01", "machinery"),
         queries::q3("1993-12-31", "household"),
     ];
+    let mut configs = vec![
+        OptimizerConfig::default(),
+        OptimizerConfig::disabled(),
+        OptimizerConfig::db2_1996(),
+        OptimizerConfig::db2_1996_disabled(),
+        OptimizerConfig::default().with_batch_size(13),
+    ];
+    if let Some(p) = env_threads() {
+        configs.push(OptimizerConfig::default().with_threads(p));
+        configs.push(OptimizerConfig::db2_1996().with_threads(p));
+    }
     for sql in &workload {
-        for config in [
-            OptimizerConfig::default(),
-            OptimizerConfig::disabled(),
-            OptimizerConfig::db2_1996(),
-            OptimizerConfig::db2_1996_disabled(),
-            OptimizerConfig::default().with_batch_size(13),
-        ] {
+        for config in configs.clone() {
             assert_engines_agree(&db, sql, config);
         }
     }
