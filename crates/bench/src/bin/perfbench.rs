@@ -1,14 +1,15 @@
 //! Morsel-parallelism benchmark: the TPC-D workload run serially and at
-//! parallel degrees 1, 2 and 4, reporting wall-clock time, simulated
-//! page I/O and row counts per (query, degree) cell, and asserting along
-//! the way that every parallel run returns exactly the serial answer and
-//! passes the instrumented rollup check.
+//! parallel degrees 1, 2 and 4, reporting wall-clock latency
+//! (best-of-N plus p50/p95/p99 from an [`fto_obs`] log-linear
+//! histogram), simulated page I/O and row counts per (query, degree)
+//! cell, and asserting along the way that every parallel run returns
+//! exactly the serial answer and passes the instrumented rollup check.
 //!
 //! ```text
 //! cargo run -p fto-bench --release --bin perfbench [-- <scale> [runs]]
 //! ```
 //!
-//! Results are printed as a table and written to `BENCH_PR3.json` in the
+//! Results are printed as a table and written to `BENCH_PR4.json` in the
 //! current directory (machine cores included, so single-core containers
 //! don't read as regressions).
 
@@ -17,6 +18,7 @@ use std::time::{Duration, Instant};
 
 use fto_bench::harness::tpcd_db;
 use fto_bench::Session;
+use fto_obs::metrics::Histogram;
 use fto_planner::OptimizerConfig;
 use fto_tpcd::queries;
 
@@ -24,15 +26,18 @@ const DEGREES: &[usize] = &[1, 2, 4];
 
 struct Cell {
     threads: usize,
-    elapsed: Duration,
+    best: Duration,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
     pages: u64,
     rows: usize,
 }
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.02);
-    let runs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let scale: f64 = parse_arg_or_exit(args.next(), "scale", 0.02);
+    let runs: usize = parse_arg_or_exit(args.next(), "runs", 3);
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -59,8 +64,8 @@ fn main() {
 
     println!("Morsel-parallelism benchmark (scale {scale}, {runs} runs, {cores} core(s))");
     println!();
-    println!("| query          | threads | elapsed      | sim. pages | rows  |");
-    println!("|----------------|---------|--------------|------------|-------|");
+    println!("| query          | threads | best         | p50 us  | p95 us  | p99 us  | sim. pages | rows  |");
+    println!("|----------------|---------|--------------|---------|---------|---------|------------|-------|");
 
     let mut results: Vec<(&str, Vec<Cell>)> = Vec::new();
     for (name, sql) in &workload {
@@ -88,7 +93,10 @@ fn main() {
             metrics
                 .validate()
                 .unwrap_or_else(|e| panic!("{name} threads {p}: rollup broken: {e}"));
-            // Then time the plain execution path, best of `runs`.
+            // Then time the plain execution path: best of `runs`, with
+            // every run's latency observed into a histogram so the table
+            // reports tail behavior, not just the flattering minimum.
+            let mut latency = Histogram::new();
             let mut best = Duration::MAX;
             let mut last = None;
             for _ in 0..runs {
@@ -96,19 +104,32 @@ fn main() {
                 let out = prepared
                     .execute()
                     .unwrap_or_else(|e| panic!("{name} threads {p}: {e}"));
-                best = best.min(start.elapsed());
+                let elapsed = start.elapsed();
+                latency.observe(elapsed.as_micros().min(u64::MAX as u128) as u64);
+                best = best.min(elapsed);
                 last = Some(out);
             }
             let out = last.expect("runs >= 1");
+            let snap = latency.snapshot();
             let cell = Cell {
                 threads: p,
-                elapsed: best,
+                best,
+                p50_us: snap.p50,
+                p95_us: snap.p95,
+                p99_us: snap.p99,
                 pages: out.io.sequential_pages + out.io.random_pages,
                 rows: out.rows.len(),
             };
             println!(
-                "| {:<14} | {:>7} | {:>10.3?} | {:>10} | {:>5} |",
-                name, cell.threads, cell.elapsed, cell.pages, cell.rows
+                "| {:<14} | {:>7} | {:>10.3?} | {:>7} | {:>7} | {:>7} | {:>10} | {:>5} |",
+                name,
+                cell.threads,
+                cell.best,
+                cell.p50_us,
+                cell.p95_us,
+                cell.p99_us,
+                cell.pages,
+                cell.rows
             );
             cells.push(cell);
         }
@@ -116,9 +137,27 @@ fn main() {
     }
 
     let json = render_json(scale, runs, cores, &results);
-    std::fs::write("BENCH_PR3.json", &json).expect("write BENCH_PR3.json");
+    std::fs::write("BENCH_PR4.json", &json).expect("write BENCH_PR4.json");
     println!();
-    println!("wrote BENCH_PR3.json");
+    println!("wrote BENCH_PR4.json");
+}
+
+/// Parses an optional positional argument strictly: absent uses the
+/// default, present-but-unparseable reports the error and exits 2.
+fn parse_arg_or_exit<T: std::str::FromStr>(arg: Option<String>, what: &str, default: T) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    match arg {
+        None => default,
+        Some(raw) => match raw.parse() {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: {what} argument {raw:?} is invalid: {e}");
+                std::process::exit(2);
+            }
+        },
+    }
 }
 
 /// Hand-rolled JSON writer — the workspace is offline and carries no
@@ -138,9 +177,13 @@ fn render_json(scale: f64, runs: usize, cores: usize, results: &[(&str, Vec<Cell
         for (ci, c) in cells.iter().enumerate() {
             let _ = write!(
                 s,
-                "        {{\"threads\": {}, \"elapsed_ms\": {:.3}, \"pages\": {}, \"rows\": {}}}",
+                "        {{\"threads\": {}, \"best_ms\": {:.3}, \"p50_us\": {}, \
+                 \"p95_us\": {}, \"p99_us\": {}, \"pages\": {}, \"rows\": {}}}",
                 c.threads,
-                c.elapsed.as_secs_f64() * 1e3,
+                c.best.as_secs_f64() * 1e3,
+                c.p50_us,
+                c.p95_us,
+                c.p99_us,
                 c.pages,
                 c.rows
             );

@@ -11,34 +11,59 @@
 //! * `explain <sql>;`    — show the chosen plan without running it
 //! * `explain analyze <sql>;` — run it and show the plan annotated with
 //!   per-operator actuals (rows, batches, self pages vs estimate, time)
+//! * `explain optimizer <sql>;` — plan it and show the optimizer's
+//!   decision trace (plans generated/pruned, sorts added/avoided,
+//!   sort-ahead variants) with an enumeration summary
 //! * `explain+ <sql>;`   — the plan with per-stream order/key properties
 //! * `compare <sql>;`    — plans + timings with order optimization on/off
+//! * `\metrics`          — dump the session metrics registry (counters,
+//!   latency/rows/pages histograms)
+//! * `\slow`             — dump the slow-query log (queries over
+//!   `FTO_SLOW_MS`, default 100, with plan + optimizer trace)
 //! * `.mode modern|1996` — operator inventory (hash ops on/off)
 //! * `.tables`           — list tables
 //! * `.quit`             — exit
 //!
-//! Set `FTO_THREADS=<p>` to run every query morsel-parallel at degree
-//! `p`; `explain analyze` then shows per-worker actuals under each
-//! exchange.
+//! Environment knobs (an unparseable value is an error, not a silent
+//! default): `FTO_THREADS=<p>` runs every query morsel-parallel at
+//! degree `p` (`explain analyze` then shows per-worker actuals under
+//! each exchange); `FTO_SLOW_MS=<ms>` sets the slow-query threshold.
 
-use fto_bench::{Session, StatementOutput};
+use fto_bench::{envknob, ObsOptions, Observability, Session, StatementOutput};
 use fto_planner::OptimizerConfig;
 use fto_storage::Database;
 use fto_tpcd::{build_database, TpcdConfig};
 use std::io::{BufRead, Write};
+use std::time::Duration;
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.01);
+    let scale: f64 = match std::env::args().nth(1) {
+        None => 0.01,
+        Some(arg) => match arg.parse() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: scale argument {arg:?} is invalid: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
+    let slow_ms = env_knob_or_exit::<u64>("FTO_SLOW_MS").unwrap_or(100);
+    // Fail on a bad FTO_THREADS now, before the data load, rather than
+    // at the first statement that reads it.
+    let _ = env_threads();
+    let obs = Observability::new(ObsOptions {
+        slow_query_threshold: Duration::from_millis(slow_ms),
+        ..ObsOptions::default()
+    });
     eprintln!("loading TPC-D at scale {scale}...");
     let db = build_database(TpcdConfig {
         scale,
         ..TpcdConfig::default()
     })
     .expect("tpcd generation");
-    eprintln!("ready. end statements with ';'. try: .tables, explain <sql>;, compare <sql>;");
+    eprintln!(
+        "ready. end statements with ';'. try: .tables, explain <sql>;, compare <sql>;, \\metrics"
+    );
 
     let stdin = std::io::stdin();
     let mut buffer = String::new();
@@ -50,6 +75,15 @@ fn main() {
             Err(_) => break,
         };
         let trimmed = line.trim();
+        if trimmed.starts_with('\\') {
+            match trimmed {
+                "\\metrics" => print!("{}", obs.metrics_snapshot()),
+                "\\slow" => print!("{}", obs.slow_log().render()),
+                other => println!("unknown command {other}"),
+            }
+            print_prompt();
+            continue;
+        }
         if trimmed.starts_with('.') {
             match trimmed {
                 ".quit" | ".exit" => break,
@@ -80,7 +114,7 @@ fn main() {
         let statement = buffer.trim().trim_end_matches(';').trim().to_string();
         buffer.clear();
         if !statement.is_empty() {
-            dispatch(&db, &statement, modern);
+            dispatch(&db, &obs, &statement, modern);
         }
         print_prompt();
     }
@@ -91,13 +125,25 @@ fn print_prompt() {
     let _ = std::io::stdout().flush();
 }
 
+/// Reads an environment knob strictly: unset returns `None`, an
+/// unparseable value reports the error and exits with status 2.
+fn env_knob_or_exit<T: std::str::FromStr>(name: &str) -> Option<T>
+where
+    T::Err: std::fmt::Display,
+{
+    match envknob::env_parse::<T>(name) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Parallel degree for every query the shell runs, from `FTO_THREADS`
 /// (default 1 = serial).
 fn env_threads() -> usize {
-    std::env::var("FTO_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1)
+    env_knob_or_exit::<usize>("FTO_THREADS").unwrap_or(1)
 }
 
 fn base_config(modern: bool) -> OptimizerConfig {
@@ -118,18 +164,19 @@ fn disabled_config(modern: bool) -> OptimizerConfig {
     cfg.with_threads(env_threads())
 }
 
-fn dispatch(db: &Database, statement: &str, modern: bool) {
+fn dispatch(db: &Database, obs: &Observability, statement: &str, modern: bool) {
     let lower = statement.to_ascii_lowercase();
-    let compile = |sql: &str, cfg: OptimizerConfig| Session::new(db).config(cfg).plan(sql);
+    let session = |cfg: OptimizerConfig| Session::new(db).config(cfg).observe(obs.clone());
+    let compile = |sql: &str, cfg: OptimizerConfig| session(cfg).plan(sql);
     if let Some(sql) = lower.strip_prefix("explain+ ") {
         match compile(sql, base_config(modern)) {
             Ok(q) => println!("{}", q.explain_properties()),
             Err(e) => println!("error: {e}"),
         }
     } else if lower.starts_with("explain ") || lower.starts_with("explain\t") {
-        // `explain [analyze] <sql>` is part of the statement grammar;
-        // Session::run parses and dispatches it.
-        match Session::new(db).config(base_config(modern)).run(&lower) {
+        // `explain [analyze | optimizer] <sql>` is part of the statement
+        // grammar; Session::run parses and dispatches it.
+        match session(base_config(modern)).run(&lower) {
             Ok(StatementOutput::Explain(text)) => println!("{text}"),
             Ok(StatementOutput::Rows(r)) => println!("{} rows", r.rows.len()),
             Err(e) => println!("error: {e}"),

@@ -1,0 +1,63 @@
+//! Strict parsing of environment-variable knobs (`FTO_THREADS`,
+//! `FTO_TEST_THREADS`, `FTO_SLOW_MS`, ...).
+//!
+//! The old pattern — `var(..).ok().and_then(|v| v.parse().ok())
+//! .unwrap_or(default)` — silently swallowed typos: `FTO_THREADS=fourr`
+//! quietly ran serial, which is exactly the wrong behavior for a knob
+//! you set to reproduce a parallel bug. [`env_parse`] distinguishes
+//! "unset" (fine, use the default) from "set but unparseable" (an error
+//! the caller must surface).
+
+use std::str::FromStr;
+
+/// Reads and parses the environment variable `name`.
+///
+/// Returns `Ok(None)` when the variable is unset, `Ok(Some(value))` when
+/// it parses, and `Err(message)` when it is set but does not parse (or
+/// is not valid Unicode). Callers must report the error rather than fall
+/// back to a default.
+pub fn env_parse<T: FromStr>(name: &str) -> Result<Option<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match std::env::var(name) {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err(format!("{name} is set but is not valid Unicode"))
+        }
+        Ok(raw) => raw
+            .trim()
+            .parse()
+            .map(Some)
+            .map_err(|e| format!("{name}={raw:?} is invalid: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each test uses its own variable name: the process environment is
+    // shared across concurrently running tests.
+
+    #[test]
+    fn unset_is_none() {
+        assert_eq!(env_parse::<usize>("FTO_ENVKNOB_TEST_UNSET"), Ok(None));
+    }
+
+    #[test]
+    fn valid_values_parse() {
+        std::env::set_var("FTO_ENVKNOB_TEST_VALID", "4");
+        assert_eq!(env_parse::<usize>("FTO_ENVKNOB_TEST_VALID"), Ok(Some(4)));
+        std::env::set_var("FTO_ENVKNOB_TEST_VALID", " 0.25 ");
+        assert_eq!(env_parse::<f64>("FTO_ENVKNOB_TEST_VALID"), Ok(Some(0.25)));
+    }
+
+    #[test]
+    fn garbage_is_an_error_not_a_default() {
+        std::env::set_var("FTO_ENVKNOB_TEST_BAD", "fourr");
+        let err = env_parse::<usize>("FTO_ENVKNOB_TEST_BAD").unwrap_err();
+        assert!(err.contains("FTO_ENVKNOB_TEST_BAD"), "{err}");
+        assert!(err.contains("fourr"), "{err}");
+    }
+}

@@ -8,6 +8,10 @@
 
 #![deny(missing_docs)]
 
+pub mod corpus;
+pub mod envknob;
 pub mod harness;
 
-pub use fto_exec::{PlanMetrics, PreparedQuery, QueryOutput, Session, StatementOutput};
+pub use fto_exec::{
+    ObsOptions, Observability, PlanMetrics, PreparedQuery, QueryOutput, Session, StatementOutput,
+};

@@ -7,6 +7,8 @@ use crate::eqclass::EquivalenceClasses;
 use crate::fd::FdSet;
 use crate::spec::{OrderSpec, SortKey};
 use fto_common::{ColId, ColSet};
+use fto_obs::trace::emit;
+use fto_obs::TraceEvent;
 
 /// The reasoning context for order operations: the equivalence classes and
 /// functional dependencies that hold on a stream.
@@ -74,6 +76,10 @@ impl OrderContext {
                 reduced.remove(i);
             }
         }
+        emit(|| TraceEvent::Reduce {
+            before: spec.to_string(),
+            after: reduced.to_string(),
+        });
         reduced
     }
 
@@ -85,11 +91,13 @@ impl OrderContext {
     /// property.
     pub fn test_order(&self, interest: &OrderSpec, prop: &OrderSpec) -> bool {
         let i = self.reduce(interest);
-        if i.is_empty() {
-            return true;
-        }
-        let p = self.reduce(prop);
-        i.is_prefix_of(&p)
+        let satisfied = i.is_empty() || i.is_prefix_of(&self.reduce(prop));
+        emit(|| TraceEvent::TestOrder {
+            interest: interest.to_string(),
+            property: prop.to_string(),
+            satisfied,
+        });
+        satisfied
     }
 
     /// **Cover Order** (paper Fig. 4): combine two interesting orders into
@@ -98,13 +106,19 @@ impl OrderContext {
     pub fn cover(&self, i1: &OrderSpec, i2: &OrderSpec) -> Option<OrderSpec> {
         let r1 = self.reduce(i1);
         let r2 = self.reduce(i2);
-        if r1.is_prefix_of(&r2) {
+        let result = if r1.is_prefix_of(&r2) {
             Some(r2)
         } else if r2.is_prefix_of(&r1) {
             Some(r1)
         } else {
             None
-        }
+        };
+        emit(|| TraceEvent::Cover {
+            i1: i1.to_string(),
+            i2: i2.to_string(),
+            cover: result.as_ref().map(OrderSpec::to_string),
+        });
+        result
     }
 
     /// **Homogenize Order** (paper Fig. 5): rewrite interesting order
@@ -120,6 +134,15 @@ impl OrderContext {
     ///
     /// Returns `None` when some column has no equivalent in the target.
     pub fn homogenize(&self, interest: &OrderSpec, targets: &ColSet) -> Option<OrderSpec> {
+        let result = self.homogenize_inner(interest, targets);
+        emit(|| TraceEvent::Homogenize {
+            interest: interest.to_string(),
+            result: result.as_ref().map(OrderSpec::to_string),
+        });
+        result
+    }
+
+    fn homogenize_inner(&self, interest: &OrderSpec, targets: &ColSet) -> Option<OrderSpec> {
         let reduced = self.reduce(interest);
         let mut out = OrderSpec::empty();
         for key in reduced.keys() {
@@ -140,16 +163,24 @@ impl OrderContext {
     pub fn homogenize_prefix(&self, interest: &OrderSpec, targets: &ColSet) -> (OrderSpec, bool) {
         let reduced = self.reduce(interest);
         let mut out = OrderSpec::empty();
+        let mut complete = true;
         for key in reduced.keys() {
             match self.class_member_in(key.col, targets) {
                 Some(subst) => out.push(SortKey {
                     col: subst,
                     dir: key.dir,
                 }),
-                None => return (out, false),
+                None => {
+                    complete = false;
+                    break;
+                }
             }
         }
-        (out, true)
+        emit(|| TraceEvent::Homogenize {
+            interest: interest.to_string(),
+            result: complete.then(|| out.to_string()),
+        });
+        (out, complete)
     }
 
     /// The smallest member of `col`'s equivalence class contained in

@@ -35,6 +35,11 @@
 //!   `PreparedQuery::execute_instrumented` / `explain_analyze`) records
 //!   rows, batches, I/O, and time per plan node into a [`PlanMetrics`],
 //!   with per-operator I/O deltas that sum exactly to the session totals.
+//! * [`obs`] — session-level observability. An [`Observability`] handle
+//!   attached via [`Session::observe`](session::Session::observe)
+//!   aggregates every query into an [`fto_obs::Registry`] (counters,
+//!   latency/rows/pages histograms), keeps a slow-query log, and holds
+//!   the last optimizer decision trace (`EXPLAIN OPTIMIZER`).
 //!
 //! Entry points: [`Session`] for SQL, [`execute_plan`] for an
 //! already-planned query, [`compile_pipeline`] to drive batches by hand.
@@ -43,6 +48,7 @@
 
 pub mod interp;
 pub mod metrics;
+pub mod obs;
 pub mod parallel;
 pub mod session;
 pub mod sortkernel;
@@ -50,6 +56,7 @@ pub mod stream;
 
 pub use interp::{run_plan_materialized, QueryResult};
 pub use metrics::{OpMetrics, PlanMetrics, WorkerOpMetrics};
+pub use obs::{ObsOptions, Observability};
 pub use session::{PreparedQuery, QueryOutput, Session, StatementOutput};
 pub use stream::{
     compile_pipeline, execute_plan, execute_plan_instrumented, Batch, ExecContext, ExecOptions,
@@ -73,8 +80,8 @@ pub fn run_plan(
 /// Convenience re-exports for the common execution workflow.
 pub mod prelude {
     pub use crate::{
-        execute_plan, ExecOptions, PlanMetrics, PreparedQuery, QueryOutput, QueryResult, Session,
-        StatementOutput,
+        execute_plan, ExecOptions, ObsOptions, Observability, PlanMetrics, PreparedQuery,
+        QueryOutput, QueryResult, Session, StatementOutput,
     };
     pub use fto_planner::{OptimizerConfig, PlannerStats};
     pub use fto_storage::{Database, IoStats};

@@ -1,0 +1,236 @@
+//! Session-level observability: a shared metrics [`Registry`], a
+//! [`SlowQueryLog`], and the last optimizer [`Trace`], bundled behind one
+//! cheaply-cloneable handle.
+//!
+//! Attach an [`Observability`] to a [`Session`](crate::Session) with
+//! [`Session::observe`](crate::Session::observe); every query the session
+//! plans and executes is then recorded:
+//!
+//! * **planning** — the planner's decision trace (when
+//!   [`ObsOptions::trace_planning`] is on) and the `planner.*` work
+//!   counters;
+//! * **execution** — `session.*` counters (queries, rows, exact
+//!   [`IoStats`] field totals), the `query.latency_us` / `query.rows` /
+//!   `query.pages` histograms, `exec.worker_*` attribution from
+//!   instrumented runs, and a slow-query log entry whenever a query's
+//!   wall-clock time crosses [`ObsOptions::slow_query_threshold`].
+//!
+//! The registry's `session.io.*` counters are fed from the same
+//! [`IoStats`] values the query outputs report, as exact `u64`s — they
+//! reconcile to the summed per-query totals with no drift. The handle is
+//! `Arc`-shared: clones observe into the same registry, so one
+//! [`Observability`] can aggregate across many sessions (the REPL holds
+//! one for its whole lifetime).
+
+use fto_obs::{Registry, SlowQuery, SlowQueryLog, Trace};
+use fto_planner::PlannerStats;
+use fto_storage::IoStats;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::metrics::PlanMetrics;
+
+/// Tuning knobs for an [`Observability`] handle.
+#[derive(Clone, Debug)]
+pub struct ObsOptions {
+    /// Queries at least this slow are captured in the slow-query log.
+    pub slow_query_threshold: Duration,
+    /// How many slow queries the log retains (oldest evicted first).
+    pub slow_log_capacity: usize,
+    /// Ring capacity for optimizer traces (events beyond it drop oldest
+    /// first; counts stay exact).
+    pub trace_capacity: usize,
+    /// Collect an optimizer trace for every planned query (not just
+    /// `EXPLAIN OPTIMIZER`), so slow-log entries carry their trace.
+    pub trace_planning: bool,
+}
+
+impl Default for ObsOptions {
+    fn default() -> Self {
+        ObsOptions {
+            slow_query_threshold: Duration::from_millis(100),
+            slow_log_capacity: 32,
+            trace_capacity: fto_obs::trace::DEFAULT_CAPACITY,
+            trace_planning: true,
+        }
+    }
+}
+
+struct Inner {
+    registry: Registry,
+    slow_log: SlowQueryLog,
+    last_trace: Mutex<Option<Trace>>,
+    opts: ObsOptions,
+}
+
+/// Shared observability state for one or more sessions. Cloning is cheap
+/// and clones record into the same registry and slow-query log.
+#[derive(Clone)]
+pub struct Observability {
+    inner: Arc<Inner>,
+}
+
+impl Default for Observability {
+    fn default() -> Self {
+        Observability::new(ObsOptions::default())
+    }
+}
+
+impl Observability {
+    /// Creates a fresh registry/slow-log/trace bundle.
+    pub fn new(opts: ObsOptions) -> Observability {
+        Observability {
+            inner: Arc::new(Inner {
+                registry: Registry::new(),
+                slow_log: SlowQueryLog::new(opts.slow_log_capacity),
+                last_trace: Mutex::new(None),
+                opts,
+            }),
+        }
+    }
+
+    /// The options this handle was built with.
+    pub fn options(&self) -> &ObsOptions {
+        &self.inner.opts
+    }
+
+    /// The shared metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    /// The shared slow-query log.
+    pub fn slow_log(&self) -> &SlowQueryLog {
+        &self.inner.slow_log
+    }
+
+    /// The optimizer trace of the most recently planned query, if
+    /// tracing was on for it.
+    pub fn last_trace(&self) -> Option<Trace> {
+        self.inner
+            .last_trace
+            .lock()
+            .expect("trace poisoned")
+            .clone()
+    }
+
+    /// Text exposition of every registered metric (see
+    /// [`Registry::expose`]).
+    pub fn metrics_snapshot(&self) -> String {
+        self.inner.registry.expose()
+    }
+
+    /// Records one compilation: planner work counters, and the optimizer
+    /// trace (if one was collected) as the new "last trace".
+    pub fn record_planning(&self, stats: &PlannerStats, trace: Option<&Trace>) {
+        let r = &self.inner.registry;
+        r.add("planner.joins_considered", stats.joins_considered);
+        r.add("planner.plans_generated", stats.plans_generated);
+        r.add("planner.plans_pruned", stats.plans_pruned);
+        r.add("planner.sorts_added", stats.sorts_added);
+        r.add("planner.sorts_avoided", stats.sorts_avoided);
+        if let Some(t) = trace {
+            *self.inner.last_trace.lock().expect("trace poisoned") = Some(t.clone());
+        }
+    }
+
+    /// Records one query execution: session counters, exact I/O field
+    /// totals, the latency/rows/pages histograms, and — past the slow
+    /// threshold — a slow-query log entry carrying the annotated plan and
+    /// the optimizer trace collected at plan time.
+    pub fn record_execution(
+        &self,
+        sql: Option<&str>,
+        elapsed: Duration,
+        rows: u64,
+        io: &IoStats,
+        plan_text: &str,
+        trace: Option<&Trace>,
+    ) {
+        let r = &self.inner.registry;
+        r.inc("session.queries");
+        r.add("session.rows", rows);
+        r.add("session.io.sequential_pages", io.sequential_pages);
+        r.add("session.io.random_pages", io.random_pages);
+        r.add("session.io.index_pages", io.index_pages);
+        r.add("session.io.sort_rows", io.sort_rows);
+        r.add("session.io.rows_read", io.rows_read);
+        r.observe(
+            "query.latency_us",
+            elapsed.as_micros().min(u64::MAX as u128) as u64,
+        );
+        r.observe("query.rows", rows);
+        r.observe(
+            "query.pages",
+            io.sequential_pages + io.random_pages + io.index_pages,
+        );
+        if elapsed >= self.inner.opts.slow_query_threshold {
+            r.inc("session.slow_queries");
+            self.inner.slow_log.record(SlowQuery {
+                sql: sql.map(str::to_string),
+                elapsed,
+                rows,
+                plan: plan_text.to_string(),
+                trace: trace
+                    .map(|t| format!("{}{}", t.render(), t.summary()))
+                    .unwrap_or_default(),
+            });
+        }
+    }
+
+    /// Records per-worker attribution from an instrumented execution:
+    /// rows and batches each exchange worker produced.
+    pub fn record_workers(&self, metrics: &PlanMetrics) {
+        let r = &self.inner.registry;
+        for op in &metrics.ops {
+            for w in &op.workers {
+                r.add("exec.worker_rows", w.rows);
+                r.add("exec.worker_batches", w.batches);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_one_registry() {
+        let obs = Observability::default();
+        let other = obs.clone();
+        obs.registry().inc("session.queries");
+        other.registry().inc("session.queries");
+        assert!(obs.metrics_snapshot().contains("counter session.queries 2"));
+    }
+
+    #[test]
+    fn slow_threshold_gates_the_log() {
+        let obs = Observability::new(ObsOptions {
+            slow_query_threshold: Duration::from_millis(5),
+            ..ObsOptions::default()
+        });
+        let io = IoStats::default();
+        obs.record_execution(
+            Some("select 1"),
+            Duration::from_millis(1),
+            1,
+            &io,
+            "p",
+            None,
+        );
+        obs.record_execution(
+            Some("select 2"),
+            Duration::from_millis(9),
+            1,
+            &io,
+            "p",
+            None,
+        );
+        assert_eq!(obs.slow_log().total_recorded(), 1);
+        assert!(obs.slow_log().render().contains("select 2"));
+        assert!(obs
+            .metrics_snapshot()
+            .contains("counter session.slow_queries 1"));
+    }
+}

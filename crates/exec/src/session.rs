@@ -17,11 +17,13 @@
 
 use crate::interp::{run_plan_materialized, QueryResult};
 use crate::metrics::PlanMetrics;
+use crate::obs::Observability;
 use crate::stream::{execute_plan, execute_plan_instrumented, ExecOptions};
 use fto_common::{Result, Row};
+use fto_obs::{Trace, TraceGuard};
 use fto_planner::{OptimizerConfig, Plan, Planner, PlannerStats};
 use fto_qgm::{rewrite, OrderScan, QueryGraph};
-use fto_sql::{bind, parse_query, parse_statement, Statement};
+use fto_sql::{bind, parse_query, parse_statement, ExplainMode, Statement};
 use fto_storage::{Database, IoStats};
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -45,6 +47,7 @@ pub struct QueryOutput {
 pub struct Session<'db> {
     db: &'db Database,
     config: OptimizerConfig,
+    obs: Option<Observability>,
 }
 
 impl<'db> Session<'db> {
@@ -54,6 +57,7 @@ impl<'db> Session<'db> {
         Session {
             db,
             config: OptimizerConfig::default(),
+            obs: None,
         }
     }
 
@@ -61,6 +65,32 @@ impl<'db> Session<'db> {
     pub fn config(mut self, config: OptimizerConfig) -> Self {
         self.config = config;
         self
+    }
+
+    /// Attaches an observability handle (builder style): every query this
+    /// session plans and executes is recorded into its registry and
+    /// slow-query log. The handle is `Arc`-shared — attach clones of one
+    /// handle to many sessions to aggregate across them.
+    pub fn observe(mut self, obs: Observability) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The attached observability handle, if any.
+    pub fn observability(&self) -> Option<&Observability> {
+        self.obs.as_ref()
+    }
+
+    /// Text exposition of the attached registry's metrics; `None` when no
+    /// observability handle is attached.
+    pub fn metrics_snapshot(&self) -> Option<String> {
+        self.obs.as_ref().map(Observability::metrics_snapshot)
+    }
+
+    /// The optimizer trace of the most recently planned query; `None`
+    /// when no handle is attached or tracing was off.
+    pub fn last_optimizer_trace(&self) -> Option<Trace> {
+        self.obs.as_ref().and_then(Observability::last_trace)
     }
 
     /// The active configuration.
@@ -76,18 +106,62 @@ impl<'db> Session<'db> {
     /// Compiles SQL to an executable query: parse → bind → predicate
     /// pushdown → view merging → order scan → cost-based planning.
     pub fn plan(&self, sql: &str) -> Result<PreparedQuery<'db>> {
-        self.plan_parsed(&parse_query(sql)?)
+        self.plan_inner(&parse_query(sql)?, Some(sql), false)
+    }
+
+    /// [`Session::plan`] with optimizer tracing forced on for this one
+    /// compilation, whether or not an observability handle is attached.
+    /// The collected trace is available via [`PreparedQuery::trace`] and
+    /// rendered by [`PreparedQuery::explain_optimizer`].
+    pub fn plan_traced(&self, sql: &str) -> Result<PreparedQuery<'db>> {
+        self.plan_inner(&parse_query(sql)?, Some(sql), true)
     }
 
     /// [`Session::plan`] starting from an already-parsed query AST.
     pub fn plan_parsed(&self, ast: &fto_sql::ast::Query) -> Result<PreparedQuery<'db>> {
-        let mut graph = bind(ast, self.db.catalog())?;
-        rewrite::push_down_predicates(&mut graph);
-        rewrite::merge_views(&mut graph);
-        OrderScan::run(&mut graph, self.db.catalog());
-        let mut planner = Planner::new(&graph, self.db.catalog(), self.config.clone());
-        let plan = planner.plan_query()?;
-        let planner_stats = planner.stats;
+        self.plan_inner(ast, None, false)
+    }
+
+    /// Compiles with an optional optimizer trace. The trace collector is
+    /// installed around the whole compile pipeline (order scan included)
+    /// on the calling thread, so the trace never depends on the executor
+    /// thread count.
+    fn plan_inner(
+        &self,
+        ast: &fto_sql::ast::Query,
+        sql: Option<&str>,
+        force_trace: bool,
+    ) -> Result<PreparedQuery<'db>> {
+        let trace_on = force_trace
+            || self
+                .obs
+                .as_ref()
+                .is_some_and(|o| o.options().trace_planning);
+        let capacity = self
+            .obs
+            .as_ref()
+            .map(|o| o.options().trace_capacity)
+            .unwrap_or(fto_obs::trace::DEFAULT_CAPACITY);
+        let guard = trace_on.then(|| TraceGuard::install(capacity));
+
+        let compiled: Result<(QueryGraph, Plan, PlannerStats)> = (|| {
+            let mut graph = bind(ast, self.db.catalog())?;
+            rewrite::push_down_predicates(&mut graph);
+            rewrite::merge_views(&mut graph);
+            OrderScan::run(&mut graph, self.db.catalog());
+            let (plan, stats) = {
+                let mut planner = Planner::new(&graph, self.db.catalog(), self.config.clone());
+                let plan = planner.plan_query()?;
+                (plan, planner.stats)
+            };
+            Ok((graph, plan, stats))
+        })();
+        let trace = guard.map(TraceGuard::finish);
+        let (graph, plan, planner_stats) = compiled?;
+
+        if let Some(obs) = &self.obs {
+            obs.record_planning(&planner_stats, trace.as_ref());
+        }
         Ok(PreparedQuery {
             db: self.db,
             graph,
@@ -95,6 +169,9 @@ impl<'db> Session<'db> {
             planner: planner_stats,
             batch_size: self.config.batch_size,
             threads: self.config.threads,
+            obs: self.obs.clone(),
+            sql: sql.map(str::to_string),
+            trace,
         })
     }
 
@@ -110,19 +187,24 @@ impl<'db> Session<'db> {
     }
 
     /// Parses and runs a top-level statement, dispatching the
-    /// `EXPLAIN [ANALYZE]` forms to the plan renderers: plain queries
-    /// return rows, `EXPLAIN` returns the estimated plan tree, and
+    /// `EXPLAIN [ANALYZE | OPTIMIZER]` forms to the plan renderers: plain
+    /// queries return rows, `EXPLAIN` returns the estimated plan tree,
     /// `EXPLAIN ANALYZE` executes the query and returns the tree
-    /// annotated with per-operator actuals.
+    /// annotated with per-operator actuals, and `EXPLAIN OPTIMIZER`
+    /// returns the optimizer's decision trace with an enumeration
+    /// summary (the query is planned but not executed).
     pub fn run(&self, sql: &str) -> Result<StatementOutput> {
         match parse_statement(sql)? {
-            Statement::Query(q) => Ok(StatementOutput::Rows(self.plan_parsed(&q)?.execute()?)),
-            Statement::Explain { analyze, query } => {
-                let prepared = self.plan_parsed(&query)?;
-                let text = if analyze {
-                    prepared.explain_analyze()?
-                } else {
-                    prepared.explain()
+            Statement::Query(q) => Ok(StatementOutput::Rows(
+                self.plan_inner(&q, Some(sql), false)?.execute()?,
+            )),
+            Statement::Explain { mode, query } => {
+                let force_trace = mode == ExplainMode::Optimizer;
+                let prepared = self.plan_inner(&query, Some(sql), force_trace)?;
+                let text = match mode {
+                    ExplainMode::Plan => prepared.explain(),
+                    ExplainMode::Analyze => prepared.explain_analyze()?,
+                    ExplainMode::Optimizer => prepared.explain_optimizer(),
                 };
                 Ok(StatementOutput::Explain(text))
             }
@@ -147,6 +229,9 @@ pub struct PreparedQuery<'db> {
     planner: PlannerStats,
     batch_size: usize,
     threads: usize,
+    obs: Option<Observability>,
+    sql: Option<String>,
+    trace: Option<Trace>,
 }
 
 impl PreparedQuery<'_> {
@@ -160,7 +245,16 @@ impl PreparedQuery<'_> {
     /// Executes through the streaming batched executor (the default
     /// engine), at the parallel degree the session's
     /// [`OptimizerConfig::threads`] selected.
+    ///
+    /// With an observability handle attached, execution goes through the
+    /// instrumented engine (identical rows and totals) so per-worker
+    /// attribution lands in the registry, and the run is recorded:
+    /// session counters, latency/rows/pages histograms, and — past the
+    /// slow threshold — a slow-query log entry.
     pub fn execute(&self) -> Result<QueryOutput> {
+        if self.obs.is_some() {
+            return self.execute_instrumented().map(|(out, _)| out);
+        }
         let result = execute_plan(self.db, &self.graph, &self.plan, &self.exec_options())?;
         Ok(self.wrap(result))
     }
@@ -169,17 +263,32 @@ impl PreparedQuery<'_> {
     /// alongside the normal output, returns a [`PlanMetrics`] recording
     /// rows/batches, [`IoStats`] deltas, and elapsed time per plan node
     /// (pre-order ids, root = 0). The rows and session totals are
-    /// identical to the uninstrumented path.
+    /// identical to the uninstrumented path. Recorded into the attached
+    /// observability handle, if any.
     pub fn execute_instrumented(&self) -> Result<(QueryOutput, PlanMetrics)> {
         let (result, metrics) =
             execute_plan_instrumented(self.db, &self.graph, &self.plan, &self.exec_options())?;
-        Ok((self.wrap(result), metrics))
+        let out = self.wrap(result);
+        if let Some(obs) = &self.obs {
+            obs.record_execution(
+                self.sql.as_deref(),
+                out.elapsed,
+                out.rows.len() as u64,
+                &out.io,
+                &self.explain(),
+                self.trace.as_ref(),
+            );
+            obs.record_workers(&metrics);
+        }
+        Ok((out, metrics))
     }
 
     /// Executes through the materializing reference interpreter. Exists
     /// for differential testing and engine comparisons; the rows are
     /// identical to [`PreparedQuery::execute`], the I/O accounting is the
-    /// old all-up-front model.
+    /// old all-up-front model. Deliberately *not* recorded into the
+    /// observability registry: its I/O model would skew the `session.io`
+    /// totals that reconcile against the streaming engine.
     pub fn execute_materialized(&self) -> Result<QueryOutput> {
         let result = run_plan_materialized(self.db, &self.graph, &self.plan)?;
         Ok(self.wrap(result))
@@ -192,6 +301,14 @@ impl PreparedQuery<'_> {
             planner: self.planner,
             elapsed: result.elapsed,
         }
+    }
+
+    /// The optimizer trace collected while planning this query, when
+    /// tracing was on ([`Session::plan_traced`], `EXPLAIN OPTIMIZER`, or
+    /// an attached handle with
+    /// [`trace_planning`](crate::obs::ObsOptions::trace_planning)).
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
     }
 
     /// The chosen physical plan.
@@ -274,6 +391,30 @@ impl PreparedQuery<'_> {
             out.elapsed
         );
         Ok(text)
+    }
+
+    /// Renders the optimizer's decision trace for this compilation: the
+    /// chosen plan, then every span/plan/sort decision the planner made
+    /// (pruning losers named with their winners, sort-ahead variants with
+    /// the interesting order that motivated them), closed by the
+    /// enumeration summary. The trace carries no timestamps and planning
+    /// always runs on the calling thread, so the output is byte-identical
+    /// across runs and executor thread counts.
+    pub fn explain_optimizer(&self) -> String {
+        let mut text = String::from("chosen plan:\n");
+        text.push_str(&self.explain());
+        if !text.ends_with('\n') {
+            text.push('\n');
+        }
+        match &self.trace {
+            Some(t) => {
+                text.push_str("optimizer trace:\n");
+                text.push_str(&t.render());
+                text.push_str(&t.summary());
+            }
+            None => text.push_str("optimizer trace: <not collected; tracing was off>\n"),
+        }
+        text
     }
 }
 
@@ -368,6 +509,46 @@ mod tests {
             StatementOutput::Explain(text) => assert!(text.contains("actual:"), "{text}"),
             other => panic!("expected explain text, got {other:?}"),
         }
+        match s
+            .run("explain optimizer select k from t order by k")
+            .unwrap()
+        {
+            StatementOutput::Explain(text) => {
+                assert!(text.contains("chosen plan:"), "{text}");
+                assert!(text.contains("optimizer trace:"), "{text}");
+                assert!(text.contains("summary:"), "{text}");
+            }
+            other => panic!("expected explain text, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn observed_session_records_and_reconciles() {
+        let db = db();
+        let obs = Observability::default();
+        let s = Session::new(&db).observe(obs.clone());
+        let out = s.execute("select k, v from t order by v limit 7").unwrap();
+        let snapshot = obs.metrics_snapshot();
+        assert!(snapshot.contains("counter session.queries 1"), "{snapshot}");
+        assert!(
+            snapshot.contains(&format!("counter session.rows {}", out.rows.len())),
+            "{snapshot}"
+        );
+        assert!(
+            snapshot.contains(&format!(
+                "counter session.io.rows_read {}",
+                out.io.rows_read
+            )),
+            "{snapshot}"
+        );
+        assert!(
+            snapshot.contains("histogram query.latency_us"),
+            "{snapshot}"
+        );
+        assert!(
+            s.last_optimizer_trace().is_some(),
+            "trace_planning default should capture a trace"
+        );
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! A bounded log of the slowest queries.
+//!
+//! The session layer decides *what* counts as slow (its configured
+//! threshold) and records offenders here, each with the artefacts needed
+//! to diagnose it after the fact: the SQL text, the annotated plan, and
+//! the optimizer trace that chose the plan. The log keeps the most
+//! recent `capacity` entries.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One slow-query record.
+#[derive(Clone, Debug)]
+pub struct SlowQuery {
+    /// The SQL text, when known (prepared-by-AST queries have none).
+    pub sql: Option<String>,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+    /// Rows returned.
+    pub rows: u64,
+    /// The annotated plan (estimates + actuals when available).
+    pub plan: String,
+    /// The rendered optimizer trace, empty when planning was not traced.
+    pub trace: String,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: VecDeque<SlowQuery>,
+    total: u64,
+}
+
+/// The bounded slow-query log (newest entries win).
+pub struct SlowQueryLog {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl SlowQueryLog {
+    /// A log retaining at most `capacity` entries.
+    pub fn new(capacity: usize) -> SlowQueryLog {
+        SlowQueryLog {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Appends an entry, evicting the oldest when full.
+    pub fn record(&self, entry: SlowQuery) {
+        let mut inner = self.inner.lock().expect("slow log poisoned");
+        inner.total += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if inner.entries.len() == self.capacity {
+            inner.entries.pop_front();
+        }
+        inner.entries.push_back(entry);
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> Vec<SlowQuery> {
+        let inner = self.inner.lock().expect("slow log poisoned");
+        inner.entries.iter().cloned().collect()
+    }
+
+    /// How many slow queries were ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        let inner = self.inner.lock().expect("slow log poisoned");
+        inner.total
+    }
+
+    /// Renders the retained entries as text (newest last).
+    pub fn render(&self) -> String {
+        let entries = self.entries();
+        if entries.is_empty() {
+            return "slow-query log is empty\n".to_string();
+        }
+        let mut out = String::new();
+        for (i, e) in entries.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "-- slow query {} of {}: {:.1?}, {} rows --",
+                i + 1,
+                entries.len(),
+                e.elapsed,
+                e.rows
+            );
+            let _ = writeln!(out, "sql: {}", e.sql.as_deref().unwrap_or("<prepared>"));
+            out.push_str(&e.plan);
+            if !e.plan.ends_with('\n') {
+                out.push('\n');
+            }
+            if !e.trace.is_empty() {
+                out.push_str("optimizer trace:\n");
+                out.push_str(&e.trace);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(tag: &str) -> SlowQuery {
+        SlowQuery {
+            sql: Some(format!("select {tag}")),
+            elapsed: Duration::from_millis(150),
+            rows: 3,
+            plan: format!("plan-{tag}"),
+            trace: String::new(),
+        }
+    }
+
+    #[test]
+    fn keeps_newest_entries_and_counts_all() {
+        let log = SlowQueryLog::new(2);
+        log.record(entry("a"));
+        log.record(entry("b"));
+        log.record(entry("c"));
+        let kept = log.entries();
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].sql.as_deref(), Some("select b"));
+        assert_eq!(kept[1].sql.as_deref(), Some("select c"));
+        assert_eq!(log.total_recorded(), 3);
+        let text = log.render();
+        assert!(text.contains("select c"), "{text}");
+        assert!(!text.contains("select a"), "{text}");
+    }
+
+    #[test]
+    fn empty_log_renders_placeholder() {
+        let log = SlowQueryLog::new(4);
+        assert!(log.render().contains("empty"));
+    }
+}

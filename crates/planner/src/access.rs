@@ -14,6 +14,8 @@ use crate::planner::Planner;
 use fto_catalog::IndexDef;
 use fto_common::{ColSet, Value};
 use fto_expr::{CompareOp, Expr, PredId, RowLayout};
+use fto_obs::trace::emit;
+use fto_obs::TraceEvent;
 use fto_order::{OrderSpec, SortKey, StreamProps};
 use fto_qgm::graph::Quantifier;
 
@@ -118,6 +120,12 @@ pub fn access_paths(
     }
 
     planner.stats.plans_generated += paths.len() as u64;
+    for p in &paths {
+        emit(|| TraceEvent::PlanGenerated {
+            stage: "access",
+            plan: p.trace_desc(),
+        });
+    }
     paths
 }
 

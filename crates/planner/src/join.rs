@@ -19,6 +19,8 @@ use crate::plan::{Plan, PlanNode};
 use crate::planner::Planner;
 use fto_common::{ColId, ColSet, FtoError, Result};
 use fto_expr::{PredClass, PredId};
+use fto_obs::trace::emit;
+use fto_obs::TraceEvent;
 use fto_order::{OrderSpec, StreamProps};
 use fto_qgm::graph::{QgmBox, QuantifierInput};
 use std::collections::HashMap;
@@ -57,11 +59,14 @@ pub fn enumerate(
 
     // Grow subsets by one quantifier at a time (left-deep).
     for size in 1..n {
-        let masks: Vec<u32> = best
+        // Sorted masks keep enumeration (and hence trace output and
+        // cost-tie winners) deterministic across runs.
+        let mut masks: Vec<u32> = best
             .keys()
             .copied()
             .filter(|m| m.count_ones() as usize == size)
             .collect();
+        masks.sort_unstable();
         for mask in masks {
             for (i, inner_paths) in inputs.iter().enumerate() {
                 let bit = 1u32 << i;
@@ -107,7 +112,18 @@ fn sorted_variants(
             if homog.is_empty() || ctx.test_order(&homog, &plan.props.order) {
                 continue;
             }
-            out.push(planner.add_sort(plan.clone(), &homog));
+            let sorted = planner.add_sort(plan.clone(), &homog);
+            emit(|| TraceEvent::SortAhead {
+                interest: interest.to_string(),
+                plan: sorted.trace_desc(),
+            });
+            // A sort-ahead variant counts as a generated plan, so the
+            // trace must carry both events to reconcile with the stats.
+            emit(|| TraceEvent::PlanGenerated {
+                stage: "sort-ahead",
+                plan: sorted.trace_desc(),
+            });
+            out.push(sorted);
             planner.stats.plans_generated += 1;
         }
     }
@@ -208,12 +224,20 @@ fn join_pair(planner: &mut Planner<'_>, qbox: &QgmBox, outer: &Plan, inner: &Pla
         let i_order = OrderSpec::ascending(icols.iter().copied());
         let outer_sorted = if planner.order_satisfied(outer, &o_order) {
             planner.stats.sorts_avoided += 1;
+            emit(|| TraceEvent::SortAvoided {
+                requirement: o_order.to_string(),
+                order: outer.props.order.to_string(),
+            });
             outer.clone()
         } else {
             planner.add_sort(outer.clone(), &o_order)
         };
         let inner_sorted = if planner.order_satisfied(inner, &i_order) {
             planner.stats.sorts_avoided += 1;
+            emit(|| TraceEvent::SortAvoided {
+                requirement: i_order.to_string(),
+                order: inner.props.order.to_string(),
+            });
             inner.clone()
         } else {
             planner.add_sort(inner.clone(), &i_order)
@@ -284,6 +308,12 @@ fn join_pair(planner: &mut Planner<'_>, qbox: &QgmBox, outer: &Plan, inner: &Pla
     }
 
     planner.stats.plans_generated += plans.len() as u64;
+    for p in &plans {
+        emit(|| TraceEvent::PlanGenerated {
+            stage: "join",
+            plan: p.trace_desc(),
+        });
+    }
     plans
 }
 
@@ -393,6 +423,10 @@ fn index_nlj(
             cost: Cost { total, rows },
         });
         planner.stats.plans_generated += 1;
+        emit(|| TraceEvent::PlanGenerated {
+            stage: "join",
+            plan: plans.last().expect("just pushed").trace_desc(),
+        });
     }
     plans
 }

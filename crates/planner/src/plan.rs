@@ -231,6 +231,21 @@ impl Plan {
         }
     }
 
+    /// One-line description used by optimizer trace events: operator,
+    /// estimated cost and rows, and the order property — enough to
+    /// identify a candidate and see why pruning kept or killed it.
+    /// Raw column ids (`c4`) keep the rendering registry-free and
+    /// deterministic.
+    pub fn trace_desc(&self) -> String {
+        format!(
+            "{} cost={:.1} rows={:.0} order={}",
+            self.op_name(),
+            self.cost.total,
+            self.cost.rows,
+            self.props.order
+        )
+    }
+
     /// Child plans, outer/left first.
     pub fn children(&self) -> Vec<&Arc<Plan>> {
         match &self.node {

@@ -9,6 +9,8 @@ use crate::plan::{Plan, PlanNode};
 use fto_catalog::Catalog;
 use fto_common::{ColSet, FtoError, IndexId, Result};
 use fto_expr::{Expr, PredId, RowLayout};
+use fto_obs::trace::{emit, span};
+use fto_obs::TraceEvent;
 use fto_order::{FlexOrder, OrderContext, OrderSpec, StreamProps};
 use fto_qgm::graph::{BoxId, BoxKind, OutputExpr, QgmBox, QuantifierInput};
 use fto_qgm::QueryGraph;
@@ -55,6 +57,7 @@ impl<'a> Planner<'a> {
     /// cost + property dominance).
     pub fn plan_box(&mut self, id: BoxId) -> Result<Vec<Plan>> {
         let qbox = self.graph.boxed(id).clone();
+        let _span = span(|| format!("box {id} ({})", kind_name(&qbox.kind)));
         let mut plans = match &qbox.kind {
             BoxKind::Select => self.plan_select(&qbox)?,
             BoxKind::GroupBy { grouping } => self.plan_group_by(&qbox, grouping)?,
@@ -81,7 +84,11 @@ impl<'a> Planner<'a> {
             plans = plans.into_iter().map(|p| self.apply_limit(p, n)).collect();
         }
 
-        Ok(self.prune(plans))
+        let kept = self.prune(plans);
+        emit(|| TraceEvent::Note {
+            text: format!("box {id}: {} plan(s) kept", kept.len()),
+        });
+        Ok(kept)
     }
 
     /// Wraps a plan in a Limit, fusing with a top-level Sort into Top-N.
@@ -187,7 +194,12 @@ impl<'a> Planner<'a> {
                 if homog.is_empty() || ctx.test_order(&homog, &plan.props.order) {
                     continue;
                 }
-                extra.push(self.add_sort(plan.clone(), &homog));
+                let sorted = self.add_sort(plan.clone(), &homog);
+                emit(|| TraceEvent::SortAhead {
+                    interest: interest.to_string(),
+                    plan: sorted.trace_desc(),
+                });
+                extra.push(sorted);
             }
         }
         extra
@@ -253,6 +265,10 @@ impl<'a> Planner<'a> {
             let ctx = self.effective_ctx(&child.props);
             let streaming_child = if flex.satisfied_by(&child.props.order, &ctx) {
                 self.stats.sorts_avoided += 1;
+                emit(|| TraceEvent::SortAvoided {
+                    requirement: "group-by".to_string(),
+                    order: child.props.order.to_string(),
+                });
                 child.clone()
             } else {
                 let spec = flex.concretize(&child.props.order, &ctx);
@@ -299,6 +315,12 @@ impl<'a> Planner<'a> {
             }
         }
         self.stats.plans_generated += plans.len() as u64;
+        for p in &plans {
+            emit(|| TraceEvent::PlanGenerated {
+                stage: "group-by",
+                plan: p.trace_desc(),
+            });
+        }
 
         Ok(plans
             .into_iter()
@@ -329,7 +351,7 @@ impl<'a> Planner<'a> {
         }
         let out_cols: Vec<fto_common::ColId> = qbox.output_cols();
         let props = StreamProps::base_table(out_cols.iter().copied().collect(), vec![]);
-        Ok(vec![Plan {
+        let plan = Plan {
             node: PlanNode::UnionAll {
                 inputs: branch_plans,
             },
@@ -339,7 +361,13 @@ impl<'a> Planner<'a> {
                 total: total_cost + total_rows * cost::CPU_ROW,
                 rows: total_rows,
             },
-        }])
+        };
+        self.stats.plans_generated += 1;
+        emit(|| TraceEvent::PlanGenerated {
+            stage: "union",
+            plan: plan.trace_desc(),
+        });
+        Ok(vec![plan])
     }
 
     // ----- Outer joins ------------------------------------------------------
@@ -442,6 +470,12 @@ impl<'a> Planner<'a> {
             }
         }
         self.stats.plans_generated += plans.len() as u64;
+        for p in &plans {
+            emit(|| TraceEvent::PlanGenerated {
+                stage: "outer-join",
+                plan: p.trace_desc(),
+            });
+        }
 
         Ok(plans
             .into_iter()
@@ -465,6 +499,10 @@ impl<'a> Planner<'a> {
             // Order-based distinct.
             let ordered = if flex.satisfied_by(&plan.props.order, &ctx) {
                 self.stats.sorts_avoided += 1;
+                emit(|| TraceEvent::SortAvoided {
+                    requirement: "distinct".to_string(),
+                    order: plan.props.order.to_string(),
+                });
                 plan.clone()
             } else {
                 let spec = flex.concretize(&plan.props.order, &ctx);
@@ -500,6 +538,12 @@ impl<'a> Planner<'a> {
             }
         }
         self.stats.plans_generated += out.len() as u64;
+        for p in &out {
+            emit(|| TraceEvent::PlanGenerated {
+                stage: "distinct",
+                plan: p.trace_desc(),
+            });
+        }
         out
     }
 
@@ -548,6 +592,10 @@ impl<'a> Planner<'a> {
             return plan;
         }
         self.stats.sorts_added += 1;
+        emit(|| TraceEvent::SortAdded {
+            spec: minimal.to_string(),
+            input: plan.trace_desc(),
+        });
         let rows = plan.cost.rows;
         let width = plan.layout.arity() * 8 + 16;
         let props = plan.props.sorted(&minimal);
@@ -573,6 +621,10 @@ impl<'a> Planner<'a> {
     pub fn ensure_order(&mut self, plan: Plan, req: &OrderSpec) -> Plan {
         if self.order_satisfied(&plan, req) {
             self.stats.sorts_avoided += 1;
+            emit(|| TraceEvent::SortAvoided {
+                requirement: req.to_string(),
+                order: plan.props.order.to_string(),
+            });
             plan
         } else {
             self.add_sort(plan, req)
@@ -667,15 +719,24 @@ impl<'a> Planner<'a> {
     pub fn prune(&mut self, plans: Vec<Plan>) -> Vec<Plan> {
         let mut kept: Vec<Plan> = Vec::with_capacity(plans.len());
         for plan in plans {
-            let dominated = kept.iter().any(|k| self.plan_dominates(k, &plan));
-            if dominated {
+            if let Some(winner) = kept.iter().find(|k| self.plan_dominates(k, &plan)) {
                 self.stats.plans_pruned += 1;
+                emit(|| TraceEvent::PlanPruned {
+                    loser: plan.trace_desc(),
+                    winner: winner.trace_desc(),
+                });
                 continue;
             }
+            let stats = &mut self.stats;
+            let config = &self.config;
             kept.retain(|k| {
-                let gone = self.plan_dominates(&plan, k);
+                let gone = plan_dominates_under(config, &plan, k);
                 if gone {
-                    self.stats.plans_pruned += 1;
+                    stats.plans_pruned += 1;
+                    emit(|| TraceEvent::PlanPruned {
+                        loser: k.trace_desc(),
+                        winner: plan.trace_desc(),
+                    });
                 }
                 !gone
             });
@@ -685,11 +746,7 @@ impl<'a> Planner<'a> {
     }
 
     fn plan_dominates(&self, a: &Plan, b: &Plan) -> bool {
-        if a.cost.total > b.cost.total {
-            return false;
-        }
-        let ctx = self.effective_ctx(&a.props);
-        a.props.dominates_under(&b.props, &ctx)
+        plan_dominates_under(&self.config, a, b)
     }
 
     /// The cardinality estimator for this query.
@@ -702,6 +759,30 @@ impl<'a> Planner<'a> {
         let ix = self.catalog.index(index).ok()?;
         let stats = self.catalog.stats(ix.table);
         Some(stats.row_count.div_ceil(256).max(1))
+    }
+}
+
+/// Free-function form of the dominance test so [`Planner::prune`] can
+/// call it while its stats counters are mutably borrowed.
+fn plan_dominates_under(config: &OptimizerConfig, a: &Plan, b: &Plan) -> bool {
+    if a.cost.total > b.cost.total {
+        return false;
+    }
+    let ctx = if config.order_optimization {
+        a.props.ctx()
+    } else {
+        OrderContext::trivial()
+    };
+    a.props.dominates_under(&b.props, &ctx)
+}
+
+/// Short name of a box kind for trace spans.
+fn kind_name(kind: &BoxKind) -> &'static str {
+    match kind {
+        BoxKind::Select => "select",
+        BoxKind::GroupBy { .. } => "group-by",
+        BoxKind::Union => "union",
+        BoxKind::OuterJoin { .. } => "outer-join",
     }
 }
 

@@ -187,20 +187,33 @@ pub struct Query {
 }
 
 /// A top-level SQL statement: a query, optionally wrapped in
-/// `EXPLAIN [ANALYZE]`.
+/// `EXPLAIN [ANALYZE | OPTIMIZER]`.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Statement {
     /// A plain SELECT query.
     Query(Query),
-    /// `EXPLAIN [ANALYZE] <query>`: render the chosen plan rather than
-    /// the result rows; with ANALYZE the query is also executed so the
-    /// rendering can annotate estimates with actuals.
+    /// `EXPLAIN [ANALYZE | OPTIMIZER] <query>`: render the chosen plan
+    /// (or the optimizer's decision trace) rather than the result rows.
     Explain {
-        /// True for `EXPLAIN ANALYZE`.
-        analyze: bool,
+        /// What the explanation should show.
+        mode: ExplainMode,
         /// The explained query.
         query: Query,
     },
+}
+
+/// Variants of the EXPLAIN statement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExplainMode {
+    /// `EXPLAIN`: the chosen plan with cost/row/order estimates.
+    Plan,
+    /// `EXPLAIN ANALYZE`: the query is also executed so the rendering
+    /// can annotate estimates with actuals.
+    Analyze,
+    /// `EXPLAIN OPTIMIZER`: the optimizer's decision trace — every plan
+    /// generated and pruned, every sort added or avoided, every
+    /// sort-ahead variant — plus an enumeration summary.
+    Optimizer,
 }
 
 /// One `UNION [ALL] select ...` continuation.

@@ -5,7 +5,7 @@
 //! Query 3):
 //!
 //! ```text
-//! statement  := [EXPLAIN [ANALYZE]] query
+//! statement  := [EXPLAIN [ANALYZE | OPTIMIZER]] query
 //! query      := SELECT [DISTINCT] item ("," item)*
 //!               FROM table_ref ("," table_ref)*
 //!               [WHERE pred (AND pred)*]
@@ -31,6 +31,6 @@ pub mod dates;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::Statement;
+pub use ast::{ExplainMode, Statement};
 pub use binder::bind;
 pub use parser::{parse_query, parse_statement};

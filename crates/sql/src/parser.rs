@@ -21,14 +21,20 @@ pub fn parse_query(sql: &str) -> Result<Query> {
 }
 
 /// Parses a top-level statement: a SELECT query optionally preceded by
-/// `EXPLAIN [ANALYZE]`.
+/// `EXPLAIN [ANALYZE | OPTIMIZER]`.
 pub fn parse_statement(sql: &str) -> Result<Statement> {
     let tokens = tokenize(sql)?;
     let mut p = Parser { tokens, pos: 0 };
     let stmt = if p.eat_keyword("explain") {
-        let analyze = p.eat_keyword("analyze");
+        let mode = if p.eat_keyword("analyze") {
+            ExplainMode::Analyze
+        } else if p.eat_keyword("optimizer") {
+            ExplainMode::Optimizer
+        } else {
+            ExplainMode::Plan
+        };
         Statement::Explain {
-            analyze,
+            mode,
             query: p.query()?,
         }
     } else {
@@ -778,11 +784,32 @@ mod tests {
         let s = parse_statement("select x from t").unwrap();
         assert!(matches!(s, Statement::Query(_)));
         let s = parse_statement("explain select x from t order by x").unwrap();
-        assert!(matches!(s, Statement::Explain { analyze: false, .. }));
+        assert!(matches!(
+            s,
+            Statement::Explain {
+                mode: ExplainMode::Plan,
+                ..
+            }
+        ));
         let s = parse_statement("EXPLAIN ANALYZE select x from t").unwrap();
-        assert!(matches!(s, Statement::Explain { analyze: true, .. }));
+        assert!(matches!(
+            s,
+            Statement::Explain {
+                mode: ExplainMode::Analyze,
+                ..
+            }
+        ));
+        let s = parse_statement("explain optimizer select x from t").unwrap();
+        assert!(matches!(
+            s,
+            Statement::Explain {
+                mode: ExplainMode::Optimizer,
+                ..
+            }
+        ));
         // EXPLAIN needs a query behind it; ANALYZE alone is not one.
         assert!(parse_statement("explain analyze").is_err());
+        assert!(parse_statement("explain optimizer").is_err());
         assert!(parse_statement("explain select x from t trailing !").is_err());
     }
 

@@ -27,12 +27,28 @@ echo "==> FTO_TEST_THREADS=4 cargo test -q --test differential --test parallel"
 FTO_TEST_THREADS=4 cargo test -q -p fto-bench --test differential --test parallel
 
 if [[ "${1:-}" != "quick" ]]; then
-    echo "==> smoke: EXPLAIN ANALYZE TPC-D Q3 through the REPL"
-    smoke_out=$(printf "explain analyze select l_orderkey, sum(l_extendedprice * (1 - l_discount)) as rev, o_orderdate, o_shippriority from customer, orders, lineitem where o_orderkey = l_orderkey and c_custkey = o_custkey and c_mktsegment = 'building' and o_orderdate < date('1995-03-15') and l_shipdate > date('1995-03-15') group by l_orderkey, o_orderdate, o_shippriority order by rev desc, o_orderdate;\n.quit\n" \
+    echo "==> cost-model calibration report (scale 0.005)"
+    cargo run -q -p fto-bench --release --bin calibrate -- 0.005
+
+    echo "==> smoke: EXPLAIN ANALYZE + EXPLAIN OPTIMIZER + \\metrics through the REPL"
+    q3="select l_orderkey, sum(l_extendedprice * (1 - l_discount)) as rev, o_orderdate, o_shippriority from customer, orders, lineitem where o_orderkey = l_orderkey and c_custkey = o_custkey and c_mktsegment = 'building' and o_orderdate < date('1995-03-15') and l_shipdate > date('1995-03-15') group by l_orderkey, o_orderdate, o_shippriority order by rev desc, o_orderdate"
+    smoke_out=$(printf '%s\n' \
+        "explain analyze ${q3};" \
+        "explain optimizer ${q3};" \
+        '\metrics' \
+        ".quit" \
         | cargo run -q -p fto-bench --release --bin repl -- 0.005)
     echo "$smoke_out"
     if ! grep -q "actual: rows=" <<<"$smoke_out"; then
         echo "smoke failed: no actuals in EXPLAIN ANALYZE output"
+        exit 1
+    fi
+    if ! grep -q "sort-ahead" <<<"$smoke_out"; then
+        echo "smoke failed: no sort-ahead variants in EXPLAIN OPTIMIZER output"
+        exit 1
+    fi
+    if ! grep -q "counter session.queries" <<<"$smoke_out"; then
+        echo "smoke failed: \\metrics did not expose the session counters"
         exit 1
     fi
 fi

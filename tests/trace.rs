@@ -1,0 +1,224 @@
+//! Optimizer-trace and metrics-registry contracts:
+//!
+//! * **determinism** — `EXPLAIN OPTIMIZER` output is byte-identical
+//!   across repeated runs and across executor thread counts, for every
+//!   query in the differential corpus;
+//! * **disabled path** — sessions without observability record zero
+//!   trace events and produce identical rows to observed sessions;
+//! * **reconciliation** — the registry's counters equal the summed
+//!   per-query `IoStats` / `PlannerStats` totals exactly, and the trace's
+//!   own event counts equal the planner's work counters;
+//! * **acceptance** — `EXPLAIN OPTIMIZER` on TPC-D Q3 shows sort-ahead
+//!   variants and the pruning decision for each discarded plan;
+//! * **slow log** — queries past the threshold are captured with their
+//!   SQL, plan, and optimizer trace.
+
+use fto_bench::corpus::{emp_db, EMP_QUERIES};
+use fto_bench::{ObsOptions, Observability, Session};
+use fto_planner::OptimizerConfig;
+use fto_tpcd::{build_database, queries, TpcdConfig};
+use std::time::Duration;
+
+#[test]
+fn explain_optimizer_is_deterministic_across_threads_and_runs() {
+    let db = emp_db();
+    for sql in EMP_QUERIES {
+        let mut reference: Option<String> = None;
+        for threads in [1usize, 2, 4] {
+            for _run in 0..2 {
+                let text = Session::new(&db)
+                    .config(OptimizerConfig::default().with_threads(threads))
+                    .plan_traced(sql)
+                    .unwrap_or_else(|e| panic!("{sql}: {e}"))
+                    .explain_optimizer();
+                match &reference {
+                    None => reference = Some(text),
+                    Some(expect) => assert_eq!(
+                        expect, &text,
+                        "EXPLAIN OPTIMIZER diverged at threads={threads}\nsql: {sql}"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn explain_optimizer_is_deterministic_on_tpcd() {
+    let db = build_database(TpcdConfig {
+        scale: 0.003,
+        seed: 77,
+    })
+    .unwrap();
+    let sql = queries::q3_default();
+    let mut reference: Option<String> = None;
+    for threads in [1usize, 2, 4] {
+        let text = Session::new(&db)
+            .config(OptimizerConfig::default().with_threads(threads))
+            .plan_traced(&sql)
+            .unwrap()
+            .explain_optimizer();
+        match &reference {
+            None => reference = Some(text),
+            Some(expect) => assert_eq!(expect, &text, "diverged at threads={threads}"),
+        }
+    }
+}
+
+#[test]
+fn disabled_path_records_no_events_and_identical_rows() {
+    let db = emp_db();
+    let obs = Observability::default();
+    for sql in EMP_QUERIES {
+        // Observed session first: rows to compare against, trace on.
+        let observed = Session::new(&db)
+            .observe(obs.clone())
+            .execute(sql)
+            .unwrap_or_else(|e| panic!("{sql}: {e}"));
+
+        // Plain session: planning and execution must not run a single
+        // trace-event closure. The counter is thread-local, so parallel
+        // test threads cannot pollute it.
+        let before = fto_obs::trace::events_recorded();
+        let plain = Session::new(&db)
+            .execute(sql)
+            .unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let after = fto_obs::trace::events_recorded();
+        assert_eq!(
+            before, after,
+            "tracing-disabled planning recorded events\nsql: {sql}"
+        );
+        assert_eq!(
+            observed.rows, plain.rows,
+            "observability changed query results\nsql: {sql}"
+        );
+    }
+}
+
+#[test]
+fn registry_reconciles_exactly_with_session_totals() {
+    let db = emp_db();
+    let obs = Observability::default();
+    let session = Session::new(&db).observe(obs.clone());
+
+    let mut queries_run = 0u64;
+    let mut rows_out = 0u64;
+    let mut io = fto_storage::IoStats::default();
+    let mut joins = 0u64;
+    let mut generated = 0u64;
+    let mut pruned = 0u64;
+    let mut sorts_added = 0u64;
+    let mut sorts_avoided = 0u64;
+    for sql in EMP_QUERIES {
+        let out = session
+            .execute(sql)
+            .unwrap_or_else(|e| panic!("{sql}: {e}"));
+        queries_run += 1;
+        rows_out += out.rows.len() as u64;
+        io.merge(&out.io);
+        joins += out.planner.joins_considered;
+        generated += out.planner.plans_generated;
+        pruned += out.planner.plans_pruned;
+        sorts_added += out.planner.sorts_added;
+        sorts_avoided += out.planner.sorts_avoided;
+    }
+
+    let r = obs.registry();
+    assert_eq!(r.counter("session.queries"), queries_run);
+    assert_eq!(r.counter("session.rows"), rows_out);
+    assert_eq!(
+        r.counter("session.io.sequential_pages"),
+        io.sequential_pages
+    );
+    assert_eq!(r.counter("session.io.random_pages"), io.random_pages);
+    assert_eq!(r.counter("session.io.index_pages"), io.index_pages);
+    assert_eq!(r.counter("session.io.sort_rows"), io.sort_rows);
+    assert_eq!(r.counter("session.io.rows_read"), io.rows_read);
+    assert_eq!(r.counter("planner.joins_considered"), joins);
+    assert_eq!(r.counter("planner.plans_generated"), generated);
+    assert_eq!(r.counter("planner.plans_pruned"), pruned);
+    assert_eq!(r.counter("planner.sorts_added"), sorts_added);
+    assert_eq!(r.counter("planner.sorts_avoided"), sorts_avoided);
+
+    let latency = r
+        .histogram("query.latency_us")
+        .expect("latency histogram exists");
+    assert_eq!(latency.count, queries_run);
+    let rows_hist = r.histogram("query.rows").expect("rows histogram exists");
+    assert_eq!(rows_hist.sum, rows_out);
+}
+
+#[test]
+fn trace_counts_reconcile_with_planner_stats() {
+    let db = emp_db();
+    for sql in EMP_QUERIES {
+        let prepared = Session::new(&db)
+            .plan_traced(sql)
+            .unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let stats = prepared.planner_stats();
+        let trace = prepared.trace().expect("forced trace");
+        assert_eq!(
+            trace.counts.plans_pruned, stats.plans_pruned,
+            "pruning events must match the pruned counter\nsql: {sql}"
+        );
+        assert_eq!(
+            trace.counts.plans_generated, stats.plans_generated,
+            "generation events must match the generated counter\nsql: {sql}"
+        );
+        assert_eq!(
+            trace.counts.sorts_added, stats.sorts_added,
+            "sort-added events must match the counter\nsql: {sql}"
+        );
+        assert_eq!(
+            trace.counts.sorts_avoided, stats.sorts_avoided,
+            "sort-avoided events must match the counter\nsql: {sql}"
+        );
+    }
+}
+
+#[test]
+fn q3_trace_shows_sort_ahead_and_pruning() {
+    let db = build_database(TpcdConfig {
+        scale: 0.003,
+        seed: 77,
+    })
+    .unwrap();
+    let prepared = Session::new(&db)
+        .plan_traced(&queries::q3_default())
+        .unwrap();
+    let stats = prepared.planner_stats();
+    let trace = prepared.trace().expect("forced trace").clone();
+    assert_eq!(trace.dropped, 0, "Q3's trace must fit the default ring");
+    assert!(
+        trace.counts.sort_ahead >= 1,
+        "Q3 must consider at least one sort-ahead variant\n{}",
+        trace.render()
+    );
+    assert_eq!(
+        trace.counts.plans_pruned, stats.plans_pruned,
+        "every discarded plan must have its pruning decision traced"
+    );
+    let text = prepared.explain_optimizer();
+    assert!(text.contains("sort-ahead"), "{text}");
+    assert!(text.contains("pruned:"), "{text}");
+    assert!(text.contains("dominated by"), "{text}");
+    assert!(text.contains("summary:"), "{text}");
+}
+
+#[test]
+fn slow_log_captures_sql_plan_and_trace() {
+    let db = emp_db();
+    let obs = Observability::new(ObsOptions {
+        slow_query_threshold: Duration::ZERO,
+        ..ObsOptions::default()
+    });
+    let session = Session::new(&db).observe(obs.clone());
+    let sql = EMP_QUERIES[2];
+    session.execute(sql).unwrap();
+    assert_eq!(obs.slow_log().total_recorded(), 1);
+    let rendered = obs.slow_log().render();
+    assert!(rendered.contains(sql), "{rendered}");
+    assert!(rendered.contains("optimizer trace:"), "{rendered}");
+    assert!(rendered.contains("summary:"), "{rendered}");
+    assert_eq!(obs.registry().counter("session.slow_queries"), 1);
+}
