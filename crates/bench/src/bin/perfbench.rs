@@ -1,15 +1,22 @@
-//! Morsel-parallelism benchmark: the TPC-D workload run serially and at
-//! parallel degrees 1, 2 and 4, reporting wall-clock latency
-//! (best-of-N plus p50/p95/p99 from an [`fto_obs`] log-linear
-//! histogram), simulated page I/O and row counts per (query, degree)
-//! cell, and asserting along the way that every parallel run returns
-//! exactly the serial answer and passes the instrumented rollup check.
+//! Executor performance benchmark, two sections:
+//!
+//! 1. **Sort-kernel microbench** — 100k-row sorts of every key shape
+//!    (int, int pair with desc, double, string, date+bool, mixed with
+//!    NULLs), timed through the legacy `Value`-comparator path and the
+//!    normalized-binary-key codec path ([`fto_common::sortkey`]),
+//!    asserting both orders identical and reporting rows/sec each way.
+//! 2. **Morsel-parallelism** — the TPC-D workload run at parallel
+//!    degrees 1, 2 and 4, reporting wall-clock latency (best-of-N plus
+//!    p50/p95/p99 from an [`fto_obs`] log-linear histogram), simulated
+//!    page I/O and row counts per (query, degree) cell, asserting along
+//!    the way that every parallel run returns exactly the serial answer
+//!    and passes the instrumented rollup check.
 //!
 //! ```text
 //! cargo run -p fto-bench --release --bin perfbench [-- <scale> [runs]]
 //! ```
 //!
-//! Results are printed as a table and written to `BENCH_PR4.json` in the
+//! Results are printed as tables and written to `BENCH_PR5.json` in the
 //! current directory (machine cores included, so single-core containers
 //! don't read as regressions).
 
@@ -18,6 +25,8 @@ use std::time::{Duration, Instant};
 
 use fto_bench::harness::tpcd_db;
 use fto_bench::Session;
+use fto_common::{Direction, Rng, Row, Value};
+use fto_exec::sortkernel::{self, SortKeys};
 use fto_obs::metrics::Histogram;
 use fto_planner::OptimizerConfig;
 use fto_tpcd::queries;
@@ -34,6 +43,147 @@ struct Cell {
     rows: usize,
 }
 
+/// Rows sorted per key shape in the sort-kernel microbench.
+const SORT_ROWS: usize = 100_000;
+
+struct SortCell {
+    shape: &'static str,
+    rows: usize,
+    legacy_best: Duration,
+    codec_best: Duration,
+}
+
+impl SortCell {
+    fn rows_per_sec(&self, d: Duration) -> f64 {
+        self.rows as f64 / d.as_secs_f64()
+    }
+    fn speedup(&self) -> f64 {
+        self.legacy_best.as_secs_f64() / self.codec_best.as_secs_f64()
+    }
+}
+
+/// One 100k-row input per key shape the codec encodes differently:
+/// fixed-width single int (radix path), two-column int with a desc part,
+/// doubles (NaN-free), strings, date+bool, and a mixed nullable column.
+fn sort_workload(rng: &mut Rng) -> Vec<(&'static str, Vec<Row>, SortKeys)> {
+    let asc = |cols: &[usize]| -> SortKeys { cols.iter().map(|&c| (c, Direction::Asc)).collect() };
+    let mut shapes: Vec<(&'static str, Vec<Row>, SortKeys)> = Vec::new();
+
+    let ints: Vec<Row> = (0..SORT_ROWS)
+        .map(|_| {
+            vec![
+                Value::Int(rng.range_i64(-1_000_000, 1_000_000)),
+                Value::Int(0),
+            ]
+            .into()
+        })
+        .collect();
+    shapes.push(("int", ints, asc(&[0])));
+
+    let pairs: Vec<Row> = (0..SORT_ROWS)
+        .map(|_| {
+            vec![
+                Value::Int(rng.range_i64(0, 1000)),
+                Value::Int(rng.range_i64(0, 1_000_000)),
+            ]
+            .into()
+        })
+        .collect();
+    shapes.push((
+        "int_pair_desc",
+        pairs,
+        vec![(0, Direction::Asc), (1, Direction::Desc)],
+    ));
+
+    let doubles: Vec<Row> = (0..SORT_ROWS)
+        .map(|_| vec![Value::Double(rng.range_f64(-1e9, 1e9)), Value::Int(0)].into())
+        .collect();
+    shapes.push(("double", doubles, asc(&[0])));
+
+    let strs: Vec<Row> = (0..SORT_ROWS)
+        .map(|_| {
+            let s = format!(
+                "cust#{:08}-{:04}",
+                rng.range_i64(0, 100_000),
+                rng.range_i64(0, 100)
+            );
+            vec![Value::str(s), Value::Int(0)].into()
+        })
+        .collect();
+    shapes.push(("str", strs, asc(&[0])));
+
+    let datebool: Vec<Row> = (0..SORT_ROWS)
+        .map(|_| {
+            vec![
+                Value::Date(rng.range_i32(8000, 12000)),
+                Value::Bool(rng.bool()),
+            ]
+            .into()
+        })
+        .collect();
+    shapes.push(("date_bool", datebool, asc(&[0, 1])));
+
+    let mixed: Vec<Row> = (0..SORT_ROWS)
+        .map(|_| {
+            let v = if rng.chance(0.1) {
+                Value::Null
+            } else if rng.bool() {
+                Value::Int(rng.range_i64(-1000, 1000))
+            } else {
+                Value::Double(rng.range_f64(-1000.0, 1000.0))
+            };
+            vec![v, Value::Int(rng.range_i64(0, 100))].into()
+        })
+        .collect();
+    shapes.push(("mixed_nulls", mixed, asc(&[0, 1])));
+    shapes
+}
+
+/// Times the legacy `Value`-comparator sort against the normalized-key
+/// codec sort (best of `runs` each, sorting a fresh clone every run),
+/// asserting the two outputs identical.
+fn run_sort_bench(runs: usize) -> Vec<SortCell> {
+    let mut rng = Rng::new(0x5eed_be4c);
+    let mut cells = Vec::new();
+    println!("Sort-kernel microbench ({SORT_ROWS} rows/shape, best of {runs})");
+    println!();
+    println!("| shape          | legacy rows/s | codec rows/s | speedup |");
+    println!("|----------------|---------------|--------------|---------|");
+    for (shape, rows, keys) in sort_workload(&mut rng) {
+        let mut best = [Duration::MAX; 2];
+        let mut outputs: [Option<Vec<Row>>; 2] = [None, None];
+        for _ in 0..runs {
+            for (i, codec) in [false, true].into_iter().enumerate() {
+                let mut input = rows.clone();
+                let start = Instant::now();
+                sortkernel::sort_rows_with(&mut input, &keys, codec);
+                best[i] = best[i].min(start.elapsed());
+                outputs[i] = Some(input);
+            }
+        }
+        assert_eq!(
+            outputs[0], outputs[1],
+            "{shape}: codec order diverged from legacy"
+        );
+        let cell = SortCell {
+            shape,
+            rows: SORT_ROWS,
+            legacy_best: best[0],
+            codec_best: best[1],
+        };
+        println!(
+            "| {:<14} | {:>13.0} | {:>12.0} | {:>6.2}x |",
+            cell.shape,
+            cell.rows_per_sec(cell.legacy_best),
+            cell.rows_per_sec(cell.codec_best),
+            cell.speedup()
+        );
+        cells.push(cell);
+    }
+    println!();
+    cells
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let scale: f64 = parse_arg_or_exit(args.next(), "scale", 0.02);
@@ -41,6 +191,8 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+
+    let sort_cells = run_sort_bench(runs.max(1));
 
     let db = match tpcd_db(scale) {
         Ok(db) => db,
@@ -136,10 +288,10 @@ fn main() {
         results.push((name, cells));
     }
 
-    let json = render_json(scale, runs, cores, &results);
-    std::fs::write("BENCH_PR4.json", &json).expect("write BENCH_PR4.json");
+    let json = render_json(scale, runs, cores, &sort_cells, &results);
+    std::fs::write("BENCH_PR5.json", &json).expect("write BENCH_PR5.json");
     println!();
-    println!("wrote BENCH_PR4.json");
+    println!("wrote BENCH_PR5.json");
 }
 
 /// Parses an optional positional argument strictly: absent uses the
@@ -162,13 +314,38 @@ where
 
 /// Hand-rolled JSON writer — the workspace is offline and carries no
 /// serde dependency; the schema is flat enough to emit directly.
-fn render_json(scale: f64, runs: usize, cores: usize, results: &[(&str, Vec<Cell>)]) -> String {
+fn render_json(
+    scale: f64,
+    runs: usize,
+    cores: usize,
+    sort_cells: &[SortCell],
+    results: &[(&str, Vec<Cell>)],
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"bench\": \"morsel_parallelism\",");
+    let _ = writeln!(s, "  \"bench\": \"sort_key_codec_and_morsel_parallelism\",");
     let _ = writeln!(s, "  \"scale\": {scale},");
     let _ = writeln!(s, "  \"runs\": {runs},");
     let _ = writeln!(s, "  \"cores\": {cores},");
+    s.push_str("  \"sort_kernel\": [\n");
+    for (i, c) in sort_cells.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"shape\": \"{}\", \"rows\": {}, \"legacy_rows_per_sec\": {:.0}, \
+             \"codec_rows_per_sec\": {:.0}, \"speedup\": {:.3}}}",
+            c.shape,
+            c.rows,
+            c.rows_per_sec(c.legacy_best),
+            c.rows_per_sec(c.codec_best),
+            c.speedup()
+        );
+        s.push_str(if i + 1 < sort_cells.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ],\n");
     s.push_str("  \"queries\": [\n");
     for (qi, (name, cells)) in results.iter().enumerate() {
         let _ = writeln!(s, "    {{");

@@ -12,6 +12,9 @@
 //!   `(table, column)` names.
 //! * [`ColSet`] — a growable bitset over `ColId`s, the workhorse of the
 //!   functional-dependency algebra.
+//! * [`sortkey`] — the order-preserving binary key codec: rows become
+//!   memcmp-comparable byte strings for the sort kernel, exchange
+//!   merges, and index probes.
 
 #![deny(missing_docs)]
 
@@ -20,6 +23,7 @@ pub mod error;
 pub mod ids;
 pub mod rng;
 pub mod sort;
+pub mod sortkey;
 pub mod value;
 
 pub use bitset::ColSet;

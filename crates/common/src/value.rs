@@ -48,7 +48,8 @@ pub enum Value {
     Null,
     /// 64-bit integer.
     Int(i64),
-    /// 64-bit float. NaNs are not produced by the engine.
+    /// 64-bit float. NaNs sort after every other numeric value (and all
+    /// NaNs compare equal to each other) under [`Value::total_cmp`].
     Double(f64),
     /// UTF-8 string.
     Str(Arc<str>),
@@ -135,9 +136,14 @@ impl Value {
     /// Total comparison used for sorting and index ordering.
     ///
     /// NULL sorts after every non-null value (DB2's "nulls high" default).
-    /// Numeric values of different width compare numerically. Comparing a
-    /// number with a string or similar type mismatch falls back to a stable
-    /// (but arbitrary) ordering by type tag so sorts never panic.
+    /// Numeric values of different width compare exactly (an `Int` beyond
+    /// 2^53 is *not* rounded to the nearest double before comparing, so
+    /// the relation stays transitive). NaN sorts after every other numeric
+    /// value — including +∞ and every integer — and all NaNs compare
+    /// equal, so the ordering is total and a strict weak order even on
+    /// pathological float inputs. `-0.0` equals `0.0`. Comparing a number
+    /// with a string or similar type mismatch falls back to a stable (but
+    /// arbitrary) ordering by type tag so sorts never panic.
     pub fn total_cmp(&self, other: &Value) -> Ordering {
         use Value::*;
         match (self, other) {
@@ -145,15 +151,49 @@ impl Value {
             (Null, _) => Ordering::Greater,
             (_, Null) => Ordering::Less,
             (Int(a), Int(b)) => a.cmp(b),
-            (Double(a), Double(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
-            (Int(a), Double(b)) => (*a as f64).partial_cmp(b).unwrap_or(Ordering::Equal),
-            (Double(a), Int(b)) => a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Equal),
+            (Double(a), Double(b)) => cmp_f64_nan_high(*a, *b),
+            (Int(a), Double(b)) => cmp_int_double(*a, *b),
+            (Double(a), Int(b)) => cmp_int_double(*b, *a).reverse(),
             (Str(a), Str(b)) => a.as_ref().cmp(b.as_ref()),
             (Date(a), Date(b)) => a.cmp(b),
             (Bool(a), Bool(b)) => a.cmp(b),
             (a, b) => type_rank(a).cmp(&type_rank(b)),
         }
     }
+}
+
+/// NaN-high total order on doubles: all NaNs are equal to each other and
+/// greater than every non-NaN (including +∞); `-0.0 == 0.0`.
+#[inline]
+pub(crate) fn cmp_f64_nan_high(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.partial_cmp(&b).expect("non-NaN doubles compare"),
+    }
+}
+
+/// Exact comparison of an `i64` against an `f64`.
+///
+/// Rounding `a` to the nearest double first (the obvious approach) makes
+/// e.g. `2^60 + 1` compare Equal to `2^60 as f64` while `Int(2^60 + 1) >
+/// Int(2^60)` — an intransitive "order" that corrupts sorts. Instead we
+/// compare the rounded double, then break exact ties with the integer
+/// residual `a - round(a)`, which `i64 as f64` round-to-nearest bounds to
+/// at most half an ulp (≤ 512 for the largest magnitudes).
+#[inline]
+pub(crate) fn cmp_int_double(a: i64, b: f64) -> Ordering {
+    if b.is_nan() {
+        return Ordering::Less;
+    }
+    let g = a as f64;
+    if g != b {
+        return g.partial_cmp(&b).expect("non-NaN doubles compare");
+    }
+    // g == b, so b is finite and integral with |b| <= 2^63; the residual
+    // of the round decides. `g as i128` is exact for such magnitudes.
+    ((a as i128) - (g as i128)).cmp(&0)
 }
 
 fn type_rank(v: &Value) -> u8 {
@@ -198,7 +238,16 @@ impl std::hash::Hash for Value {
             }
             Value::Double(v) => {
                 1u8.hash(state);
-                v.to_bits().hash(state);
+                // Canonicalize: all NaN payloads are Equal under
+                // `total_cmp`, and -0.0 == 0.0, so they must hash alike.
+                let bits = if v.is_nan() {
+                    0x7ff8_0000_0000_0000u64
+                } else if *v == 0.0 {
+                    0u64
+                } else {
+                    v.to_bits()
+                };
+                bits.hash(state);
             }
             Value::Str(s) => {
                 2u8.hash(state);
@@ -336,6 +385,60 @@ mod tests {
         let r = row([Value::Int(1), Value::str("a")]);
         assert_eq!(r.len(), 2);
         assert_eq!(r[0], Value::Int(1));
+    }
+
+    #[test]
+    fn nan_sorts_last_among_numerics() {
+        let nan = Value::Double(f64::NAN);
+        assert_eq!(
+            nan.total_cmp(&Value::Double(f64::INFINITY)),
+            Ordering::Greater
+        );
+        assert_eq!(nan.total_cmp(&Value::Int(i64::MAX)), Ordering::Greater);
+        assert_eq!(Value::Int(0).total_cmp(&nan), Ordering::Less);
+        assert_eq!(Value::Double(1e300).total_cmp(&nan), Ordering::Less);
+        assert_eq!(nan.total_cmp(&Value::Double(-f64::NAN)), Ordering::Equal);
+        // ...but still below NULL.
+        assert_eq!(nan.total_cmp(&Value::Null), Ordering::Less);
+    }
+
+    #[test]
+    fn negative_zero_equals_zero() {
+        assert_eq!(
+            Value::Double(-0.0).total_cmp(&Value::Double(0.0)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            Value::Double(-0.0).total_cmp(&Value::Int(0)),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn large_int_double_comparison_is_exact() {
+        // 2^60 + 1 rounds to 2^60 as f64; the comparison must not.
+        let big = (1i64 << 60) + 1;
+        let rounded = Value::Double((1i64 << 60) as f64);
+        assert_eq!(Value::Int(big).total_cmp(&rounded), Ordering::Greater);
+        assert_eq!(rounded.total_cmp(&Value::Int(big)), Ordering::Less);
+        assert_eq!(Value::Int(1 << 60).total_cmp(&rounded), Ordering::Equal);
+        // i64::MAX rounds *up* to 2^63; the residual keeps it below.
+        let two63 = Value::Double(9.223372036854776e18);
+        assert_eq!(Value::Int(i64::MAX).total_cmp(&two63), Ordering::Less);
+    }
+
+    #[test]
+    fn nan_and_negative_zero_hash_consistently() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&Value::Double(f64::NAN)), h(&Value::Double(-f64::NAN)));
+        assert_eq!(h(&Value::Double(-0.0)), h(&Value::Double(0.0)));
+        assert_eq!(h(&Value::Double(-0.0)), h(&Value::Int(0)));
     }
 
     #[test]

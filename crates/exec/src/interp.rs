@@ -8,7 +8,7 @@
 //! rows. New code should go through [`crate::Session`] or
 //! [`crate::execute_plan`], which use the streaming engine.
 
-use fto_common::{FtoError, Result, Row, Value};
+use fto_common::{sortkey, Direction, FtoError, Result, Row, Value};
 use fto_expr::{AggCall, RowLayout};
 use fto_order::OrderSpec;
 use fto_planner::{Plan, PlanNode, ScanRange};
@@ -502,14 +502,30 @@ fn merge_join(
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
-                // Find the extent of the tie group on both sides.
+                // Find the extent of the tie group on both sides by
+                // encoding the current group's key once and extending
+                // while candidates' encodings memcmp-equal it (same
+                // outcome as the per-column `Value` walk — the codec is
+                // order-preserving and injective up to `total_cmp`
+                // equality).
+                let okeys: Vec<(usize, Direction)> =
+                    opos.iter().map(|&p| (p, Direction::Asc)).collect();
+                let ikeys: Vec<(usize, Direction)> =
+                    ipos.iter().map(|&p| (p, Direction::Asc)).collect();
+                let lead = sortkey::encode_key(&outer[i], &okeys);
+                let mut scratch = Vec::new();
+                let mut tied = |row: &Row, keys: &[(usize, Direction)]| {
+                    scratch.clear();
+                    sortkey::encode_key_into(row, keys, &mut scratch);
+                    scratch == lead
+                };
                 let i_end = (i..outer.len())
-                    .take_while(|&x| key_cmp(&outer[x], &inner[j]).is_eq())
+                    .take_while(|&x| tied(&outer[x], &okeys))
                     .last()
                     .unwrap()
                     + 1;
                 let j_end = (j..inner.len())
-                    .take_while(|&y| key_cmp(&outer[i], &inner[y]).is_eq())
+                    .take_while(|&y| tied(&inner[y], &ikeys))
                     .last()
                     .unwrap()
                     + 1;

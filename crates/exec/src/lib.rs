@@ -17,7 +17,11 @@
 //!   (stable sorts, Top-N selection, order-preserving K-way merge of
 //!   sorted runs) used by both engines and by the exchange layer. Its
 //!   stability/tie-order contract is what makes parallel merges
-//!   deterministic.
+//!   deterministic. With [`fto_planner::OptimizerConfig::sort_key_codec`]
+//!   on (the default) it decorates rows with normalized binary sort keys
+//!   (`fto_common::sortkey`) and sorts/merges by `memcmp`, with an MSB
+//!   radix path for fixed-width keys; output is bit-identical to the
+//!   legacy `Value`-comparator path.
 //! * [`parallel`] — the exchange layer. At parallel degree `p > 1`,
 //!   lowering fans partitionable pipeline segments out over `p`
 //!   `std::thread` workers: `Gather` concatenates partition outputs in
@@ -58,6 +62,7 @@ pub use interp::{run_plan_materialized, QueryResult};
 pub use metrics::{OpMetrics, PlanMetrics, WorkerOpMetrics};
 pub use obs::{ObsOptions, Observability};
 pub use session::{PreparedQuery, QueryOutput, Session, StatementOutput};
+pub use sortkernel::SortStats;
 pub use stream::{
     compile_pipeline, execute_plan, execute_plan_instrumented, Batch, ExecContext, ExecOptions,
     Operator,

@@ -29,6 +29,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crate::metrics::PlanMetrics;
+use crate::sortkernel::SortStats;
 
 /// Tuning knobs for an [`Observability`] handle.
 #[derive(Clone, Debug)]
@@ -135,15 +136,19 @@ impl Observability {
     }
 
     /// Records one query execution: session counters, exact I/O field
-    /// totals, the latency/rows/pages histograms, and — past the slow
-    /// threshold — a slow-query log entry carrying the annotated plan and
-    /// the optimizer trace collected at plan time.
+    /// totals, sort-kernel work (`sort.key_bytes` / `sort.comparisons`,
+    /// the normalized-key codec's observables), the latency/rows/pages
+    /// histograms, and — past the slow threshold — a slow-query log entry
+    /// carrying the annotated plan and the optimizer trace collected at
+    /// plan time.
+    #[allow(clippy::too_many_arguments)]
     pub fn record_execution(
         &self,
         sql: Option<&str>,
         elapsed: Duration,
         rows: u64,
         io: &IoStats,
+        sort: &SortStats,
         plan_text: &str,
         trace: Option<&Trace>,
     ) {
@@ -155,6 +160,8 @@ impl Observability {
         r.add("session.io.index_pages", io.index_pages);
         r.add("session.io.sort_rows", io.sort_rows);
         r.add("session.io.rows_read", io.rows_read);
+        r.add("sort.key_bytes", sort.key_bytes);
+        r.add("sort.comparisons", sort.comparisons);
         r.observe(
             "query.latency_us",
             elapsed.as_micros().min(u64::MAX as u128) as u64,
@@ -211,11 +218,13 @@ mod tests {
             ..ObsOptions::default()
         });
         let io = IoStats::default();
+        let sort = SortStats::default();
         obs.record_execution(
             Some("select 1"),
             Duration::from_millis(1),
             1,
             &io,
+            &sort,
             "p",
             None,
         );
@@ -224,6 +233,7 @@ mod tests {
             Duration::from_millis(9),
             1,
             &io,
+            &sort,
             "p",
             None,
         );

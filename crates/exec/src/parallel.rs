@@ -104,6 +104,7 @@ where
                         &ExecOptions {
                             batch_size: cx.batch_size,
                             threads: 1,
+                            sort_key_codec: cx.sort_key_codec,
                         },
                     );
                     let mut wio = IoStats::new();
@@ -247,12 +248,19 @@ impl MergeExchangeOp {
 impl Operator for MergeExchangeOp {
     fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
         let keys = &self.keys;
+        let codec = cx.sort_key_codec;
         // Each worker charges its run to `sort_rows` and sorts it inside
-        // the thread — the parallel half of the work.
+        // the thread — the parallel half of the work. On the codec path
+        // the worker keeps its normalized keys (tagged with local
+        // positions) so the coordinator's merge is memcmp-only.
         let runs = run_partitions(cx, &self.spec, |mut rows, wio| {
             wio.sort_rows += rows.len() as u64;
-            sortkernel::sort_rows(&mut rows, keys);
-            rows
+            if codec {
+                sortkernel::sort_run_codec(rows, keys)
+            } else {
+                sortkernel::sort_rows(&mut rows, keys);
+                SortedRun::from_contiguous(rows, 0)
+            }
         })?;
         let mut workers = Vec::with_capacity(runs.len());
         let mut sorted = Vec::with_capacity(runs.len());
@@ -260,13 +268,16 @@ impl Operator for MergeExchangeOp {
         for run in runs {
             io.merge(&run.io);
             workers.push(WorkerOpMetrics {
-                rows: run.out.len() as u64,
+                rows: run.out.rows.len() as u64,
                 batches: run.batches,
                 io: run.io,
                 elapsed: run.elapsed,
             });
-            let len = run.out.len() as u64;
-            sorted.push(SortedRun::from_contiguous(run.out, base));
+            let mut srun = run.out;
+            let len = srun.rows.len() as u64;
+            // Rebase local tags onto the partition's serial interval.
+            srun.shift(base);
+            sorted.push(srun);
             base += len;
         }
         record_workers(&self.own_slot, workers);
@@ -325,13 +336,17 @@ impl Operator for RepartitionSortOp {
             buckets[g % self.parts].push((g as u64, row));
         }
         let keys = &self.keys;
+        let codec = cx.sort_key_codec;
         let runs: Vec<(SortedRun, Duration)> = std::thread::scope(|s| {
             let handles: Vec<_> = buckets
                 .into_iter()
                 .map(|bucket| {
                     s.spawn(move || {
                         let started = Instant::now();
-                        (sortkernel::sort_tagged(bucket, keys), started.elapsed())
+                        (
+                            sortkernel::sort_tagged_with(bucket, keys, codec),
+                            started.elapsed(),
+                        )
                     })
                 })
                 .collect();
@@ -405,6 +420,7 @@ impl Operator for TopNExchangeOp {
     fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
         let keys = &self.keys;
         let n = self.n;
+        let codec = cx.sort_key_codec;
         let runs = run_partitions(cx, &self.spec, |rows, _| {
             let total = rows.len() as u64;
             let tagged: Vec<(u64, Row)> = rows
@@ -412,24 +428,24 @@ impl Operator for TopNExchangeOp {
                 .enumerate()
                 .map(|(i, r)| (i as u64, r))
                 .collect();
-            (sortkernel::top_n_tagged(tagged, keys, n), total)
+            (sortkernel::top_n_run(tagged, keys, n, codec), total)
         })?;
         let mut workers = Vec::with_capacity(runs.len());
         let mut sorted = Vec::with_capacity(runs.len());
         let mut base = 0u64;
         for run in runs {
             io.merge(&run.io);
-            let (top, drained) = run.out;
+            let (mut top, drained) = run.out;
             workers.push(WorkerOpMetrics {
-                rows: top.len() as u64,
+                rows: top.rows.len() as u64,
                 batches: run.batches,
                 io: run.io,
                 elapsed: run.elapsed,
             });
-            sorted.push(SortedRun {
-                seqs: top.iter().map(|(seq, _)| base + seq).collect(),
-                rows: top.into_iter().map(|(_, row)| row).collect(),
-            });
+            // Local tags shift onto the partition's serial interval
+            // (stored keys get their seq suffix patched in place).
+            top.shift(base);
+            sorted.push(top);
             base += drained;
         }
         record_workers(&self.own_slot, workers);

@@ -18,6 +18,7 @@
 use crate::interp::{run_plan_materialized, QueryResult};
 use crate::metrics::PlanMetrics;
 use crate::obs::Observability;
+use crate::sortkernel::{self, SortStats};
 use crate::stream::{execute_plan, execute_plan_instrumented, ExecOptions};
 use fto_common::{Result, Row};
 use fto_obs::{Trace, TraceGuard};
@@ -41,6 +42,10 @@ pub struct QueryOutput {
     pub planner: PlannerStats,
     /// Wall-clock execution time (excluding planning).
     pub elapsed: Duration,
+    /// Sort-kernel work this execution performed: normalized key bytes
+    /// encoded and comparator calls, across every sort/merge in the plan
+    /// (all worker threads included).
+    pub sort: SortStats,
 }
 
 /// A query pipeline over one database under one optimizer configuration.
@@ -169,6 +174,7 @@ impl<'db> Session<'db> {
             planner: planner_stats,
             batch_size: self.config.batch_size,
             threads: self.config.threads,
+            sort_key_codec: self.config.sort_key_codec,
             obs: self.obs.clone(),
             sql: sql.map(str::to_string),
             trace,
@@ -229,6 +235,7 @@ pub struct PreparedQuery<'db> {
     planner: PlannerStats,
     batch_size: usize,
     threads: usize,
+    sort_key_codec: bool,
     obs: Option<Observability>,
     sql: Option<String>,
     trace: Option<Trace>,
@@ -239,6 +246,7 @@ impl PreparedQuery<'_> {
         ExecOptions {
             batch_size: self.batch_size,
             threads: self.threads,
+            sort_key_codec: self.sort_key_codec,
         }
     }
 
@@ -255,8 +263,9 @@ impl PreparedQuery<'_> {
         if self.obs.is_some() {
             return self.execute_instrumented().map(|(out, _)| out);
         }
+        let before = sortkernel::stats_snapshot();
         let result = execute_plan(self.db, &self.graph, &self.plan, &self.exec_options())?;
-        Ok(self.wrap(result))
+        Ok(self.wrap(result, sortkernel::stats_snapshot().delta_since(before)))
     }
 
     /// [`PreparedQuery::execute`] with per-operator instrumentation:
@@ -266,15 +275,17 @@ impl PreparedQuery<'_> {
     /// identical to the uninstrumented path. Recorded into the attached
     /// observability handle, if any.
     pub fn execute_instrumented(&self) -> Result<(QueryOutput, PlanMetrics)> {
+        let before = sortkernel::stats_snapshot();
         let (result, metrics) =
             execute_plan_instrumented(self.db, &self.graph, &self.plan, &self.exec_options())?;
-        let out = self.wrap(result);
+        let out = self.wrap(result, sortkernel::stats_snapshot().delta_since(before));
         if let Some(obs) = &self.obs {
             obs.record_execution(
                 self.sql.as_deref(),
                 out.elapsed,
                 out.rows.len() as u64,
                 &out.io,
+                &out.sort,
                 &self.explain(),
                 self.trace.as_ref(),
             );
@@ -290,16 +301,18 @@ impl PreparedQuery<'_> {
     /// observability registry: its I/O model would skew the `session.io`
     /// totals that reconcile against the streaming engine.
     pub fn execute_materialized(&self) -> Result<QueryOutput> {
+        let before = sortkernel::stats_snapshot();
         let result = run_plan_materialized(self.db, &self.graph, &self.plan)?;
-        Ok(self.wrap(result))
+        Ok(self.wrap(result, sortkernel::stats_snapshot().delta_since(before)))
     }
 
-    fn wrap(&self, result: QueryResult) -> QueryOutput {
+    fn wrap(&self, result: QueryResult, sort: SortStats) -> QueryOutput {
         QueryOutput {
             rows: result.rows,
             io: result.io,
             planner: self.planner,
             elapsed: result.elapsed,
+            sort,
         }
     }
 
@@ -385,10 +398,12 @@ impl PreparedQuery<'_> {
                 });
         let _ = writeln!(
             text,
-            "totals: {} | {} rows in {:.1?}",
+            "totals: {} | {} rows in {:.1?} | sort: key_bytes={} comparisons={}",
             out.io,
             out.rows.len(),
-            out.elapsed
+            out.elapsed,
+            out.sort.key_bytes,
+            out.sort.comparisons
         );
         Ok(text)
     }

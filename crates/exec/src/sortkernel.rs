@@ -27,11 +27,83 @@
 //! per row into a contiguous key array, so comparisons during the sort
 //! touch only the extracted keys instead of re-indexing the full row per
 //! key column per comparison (the old `cmp_rows` pattern).
+//!
+//! # Normalized-key (codec) path
+//!
+//! With `OptimizerConfig::sort_key_codec` on (the default), the kernel
+//! decorates each row once with its [`fto_common::sortkey`] encoding —
+//! an order-preserving byte string whose plain `&[u8]` comparison is
+//! bit-identical in outcome to the `Value` comparator — plus the row's
+//! big-endian sequence tag as a suffix. Appending the tag makes every
+//! decorated key unique, so `sort_unstable` on plain byte strings *is*
+//! the stable sort the contract above demands (ties in the logical key
+//! resolve by tag = input order), and runs merge by memcmp on the stored
+//! keys with no per-heap-op `Value` dispatch. The suffix is safe to
+//! compare as part of the same memcmp because each column's encoding is
+//! prefix-free: two rows with different logical keys already differ at a
+//! byte position present in both encodings. When every decorated key in
+//! a sort has the same width (fixed-width key shapes: numerics, dates,
+//! bools, no NULLs), a byte-wise MSB radix sort replaces the comparison
+//! sort entirely.
+//!
+//! The kernel keeps process-wide `sort.key_bytes` / `sort.comparisons`
+//! tallies (see [`stats_snapshot`]); sessions snapshot them around each
+//! execution and feed the deltas to the metrics registry.
 
-use fto_common::{Direction, FtoError, Result, Row, Value};
+use fto_common::{sortkey, Direction, FtoError, Result, Row, Value};
 use fto_expr::RowLayout;
 use fto_order::OrderSpec;
+use std::cell::Cell;
 use std::cmp::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrd};
+
+/// Cumulative count of normalized-key bytes encoded by sort operations
+/// in this process.
+static KEY_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Cumulative count of key comparisons made by sort/merge operations in
+/// this process (byte-string comparisons on the codec path, `Value`
+/// comparisons on the legacy path; radix-distributed rows add none).
+static COMPARISONS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of (or delta between) the kernel's process-wide counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SortStats {
+    /// Normalized-key bytes encoded (decorations, including seq tags).
+    pub key_bytes: u64,
+    /// Key comparisons performed by sorts, selections, and run merges.
+    pub comparisons: u64,
+}
+
+impl SortStats {
+    /// The counters accumulated since `earlier` (saturating).
+    pub fn delta_since(&self, earlier: SortStats) -> SortStats {
+        SortStats {
+            key_bytes: self.key_bytes.saturating_sub(earlier.key_bytes),
+            comparisons: self.comparisons.saturating_sub(earlier.comparisons),
+        }
+    }
+}
+
+/// Reads the kernel's cumulative process-wide counters. Concurrent
+/// sessions share them; callers wanting per-query numbers snapshot
+/// before and after and take [`SortStats::delta_since`].
+pub fn stats_snapshot() -> SortStats {
+    SortStats {
+        key_bytes: KEY_BYTES.load(AtomicOrd::Relaxed),
+        comparisons: COMPARISONS.load(AtomicOrd::Relaxed),
+    }
+}
+
+/// Adds to the process-wide tallies — called once per sort/merge, not
+/// once per comparison (comparators count locally in a [`Cell`]).
+fn charge(key_bytes: u64, comparisons: u64) {
+    if key_bytes != 0 {
+        KEY_BYTES.fetch_add(key_bytes, AtomicOrd::Relaxed);
+    }
+    if comparisons != 0 {
+        COMPARISONS.fetch_add(comparisons, AtomicOrd::Relaxed);
+    }
+}
 
 /// Resolved sort keys: (position in the row, direction) per key column.
 pub type SortKeys = Vec<(usize, Direction)>;
@@ -77,7 +149,8 @@ fn cmp_extracted(a: &[Value], b: &[Value], keys: &SortKeys) -> Ordering {
 }
 
 /// Stably sorts `rows` by `keys` (ties keep input order) using
-/// decorate–sort–undecorate.
+/// decorate–sort–undecorate with the `Value` comparator — the legacy
+/// path, kept as the `sort_key_codec = off` reference.
 pub fn sort_rows(rows: &mut Vec<Row>, keys: &SortKeys) {
     if rows.len() <= 1 || keys.is_empty() {
         return;
@@ -86,8 +159,119 @@ pub fn sort_rows(rows: &mut Vec<Row>, keys: &SortKeys) {
         .into_iter()
         .map(|row| (extract(&row, keys), row))
         .collect();
-    decorated.sort_by(|a, b| cmp_extracted(&a.0, &b.0, keys));
+    let cmps = Cell::new(0u64);
+    decorated.sort_by(|a, b| {
+        cmps.set(cmps.get() + 1);
+        cmp_extracted(&a.0, &b.0, keys)
+    });
+    charge(0, cmps.get());
     *rows = decorated.into_iter().map(|(_, row)| row).collect();
+}
+
+/// Stably sorts `rows` by `keys`, choosing the normalized-key codec path
+/// or the legacy `Value`-comparator path. Both produce bit-identical
+/// output.
+pub fn sort_rows_with(rows: &mut Vec<Row>, keys: &SortKeys, codec: bool) {
+    if codec {
+        sort_rows_codec(rows, keys);
+    } else {
+        sort_rows(rows, keys);
+    }
+}
+
+/// Encodes `row`'s normalized key under `keys` with `seq` appended
+/// big-endian — the decorated byte string the codec sort paths order by.
+fn encode_with_seq(row: &Row, keys: &SortKeys, seq: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(keys.len() * sortkey::NUMERIC_WIDTH + 8);
+    sortkey::encode_key_into(row, keys, &mut buf);
+    buf.extend_from_slice(&seq.to_be_bytes());
+    buf
+}
+
+/// The codec sort: decorate each row once with `(normalized key ‖ seq)`,
+/// sort the byte strings (MSB radix when the keys are fixed-width,
+/// otherwise `sort_unstable` on memcmp), undecorate. Equivalent to the
+/// stable `Value` sort because the seq suffix resolves logical ties in
+/// input order.
+fn sort_rows_codec(rows: &mut Vec<Row>, keys: &SortKeys) {
+    if rows.len() <= 1 || keys.is_empty() {
+        return;
+    }
+    let mut bytes = 0u64;
+    let decorated: Vec<(Vec<u8>, Row)> = std::mem::take(rows)
+        .into_iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let key = encode_with_seq(&row, keys, i as u64);
+            bytes += key.len() as u64;
+            (key, row)
+        })
+        .collect();
+    charge(bytes, 0);
+    let decorated = sort_decorated(decorated, |d| &d.0);
+    *rows = decorated.into_iter().map(|(_, row)| row).collect();
+}
+
+/// Below this many elements a comparison sort beats radix distribution.
+const RADIX_CUTOFF: usize = 64;
+
+/// Sorts decorated items by their byte key. All keys are unique (the seq
+/// suffix guarantees it), so an unstable sort is deterministic. When
+/// every key has the same width — fixed-width key shapes — a byte-wise
+/// MSB radix sort distributes instead of comparing.
+fn sort_decorated<T>(mut items: Vec<T>, key: impl Fn(&T) -> &[u8] + Copy) -> Vec<T> {
+    if items.len() >= RADIX_CUTOFF {
+        let w = key(&items[0]).len();
+        if items.iter().all(|t| key(t).len() == w) {
+            return radix_sort(items, 0, w, key);
+        }
+    }
+    let cmps = Cell::new(0u64);
+    items.sort_unstable_by(|a, b| {
+        cmps.set(cmps.get() + 1);
+        key(a).cmp(key(b))
+    });
+    charge(0, cmps.get());
+    items
+}
+
+/// Recursive MSB radix sort on fixed-width byte keys: distribute on byte
+/// `d`, recurse per bucket. Small buckets fall back to a comparison sort
+/// of the remaining suffix; buckets whose byte `d` is constant (common —
+/// the leading type tag rarely varies) skip the distribution and descend
+/// directly.
+fn radix_sort<T>(items: Vec<T>, d: usize, w: usize, key: impl Fn(&T) -> &[u8] + Copy) -> Vec<T> {
+    if d >= w || items.len() <= 1 {
+        return items;
+    }
+    if items.len() < RADIX_CUTOFF {
+        let mut items = items;
+        let cmps = Cell::new(0u64);
+        items.sort_unstable_by(|a, b| {
+            cmps.set(cmps.get() + 1);
+            key(a)[d..].cmp(&key(b)[d..])
+        });
+        charge(0, cmps.get());
+        return items;
+    }
+    let mut counts = [0usize; 256];
+    for t in &items {
+        counts[key(t)[d] as usize] += 1;
+    }
+    if counts.contains(&items.len()) {
+        return radix_sort(items, d + 1, w, key);
+    }
+    let mut buckets: Vec<Vec<T>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+    for t in items {
+        buckets[key(&t)[d] as usize].push(t);
+    }
+    let mut out = Vec::with_capacity(counts.iter().sum());
+    for bucket in buckets {
+        if !bucket.is_empty() {
+            out.append(&mut radix_sort(bucket, d + 1, w, key));
+        }
+    }
+    out
 }
 
 /// Sorts tagged rows by `(keys, seq)` into a [`SortedRun`] — the
@@ -100,11 +284,70 @@ pub fn sort_tagged(pairs: Vec<(u64, Row)>, keys: &SortKeys) -> SortedRun {
         .into_iter()
         .map(|(seq, row)| (extract(&row, keys), seq, row))
         .collect();
-    decorated.sort_unstable_by(|a, b| cmp_extracted(&a.0, &b.0, keys).then(a.1.cmp(&b.1)));
+    let cmps = Cell::new(0u64);
+    decorated.sort_unstable_by(|a, b| {
+        cmps.set(cmps.get() + 1);
+        cmp_extracted(&a.0, &b.0, keys).then(a.1.cmp(&b.1))
+    });
+    charge(0, cmps.get());
     SortedRun {
         seqs: decorated.iter().map(|d| d.1).collect(),
         rows: decorated.into_iter().map(|d| d.2).collect(),
+        enc: Vec::new(),
     }
+}
+
+/// [`sort_tagged`] on the normalized-key path: the decorated byte
+/// strings embed each tag as their suffix, so one byte sort orders by
+/// `(keys, seq)`, and the run keeps its encodings for a memcmp merge.
+fn sort_tagged_codec(pairs: Vec<(u64, Row)>, keys: &SortKeys) -> SortedRun {
+    let mut bytes = 0u64;
+    let decorated: Vec<(Vec<u8>, u64, Row)> = pairs
+        .into_iter()
+        .map(|(seq, row)| {
+            let key = encode_with_seq(&row, keys, seq);
+            bytes += key.len() as u64;
+            (key, seq, row)
+        })
+        .collect();
+    charge(bytes, 0);
+    let decorated = sort_decorated(decorated, |d| &d.0);
+    let mut run = SortedRun {
+        seqs: Vec::with_capacity(decorated.len()),
+        rows: Vec::with_capacity(decorated.len()),
+        enc: Vec::with_capacity(decorated.len()),
+    };
+    for (key, seq, row) in decorated {
+        run.enc.push(key);
+        run.seqs.push(seq);
+        run.rows.push(row);
+    }
+    run
+}
+
+/// Sorts tagged rows into a [`SortedRun`] on the selected path; the
+/// codec run carries stored keys so the downstream merge is memcmp-only.
+pub fn sort_tagged_with(pairs: Vec<(u64, Row)>, keys: &SortKeys, codec: bool) -> SortedRun {
+    if codec {
+        sort_tagged_codec(pairs, keys)
+    } else {
+        sort_tagged(pairs, keys)
+    }
+}
+
+/// Sorts a contiguous slice of the serial input (rows in input order,
+/// occupying serial positions `[0, len)` locally) into a [`SortedRun`]
+/// on the normalized-key path. Tags are local input positions; the
+/// coordinator rebases them with [`SortedRun::shift`] once the run's
+/// global interval is known.
+pub fn sort_run_codec(rows: Vec<Row>, keys: &SortKeys) -> SortedRun {
+    sort_tagged_codec(
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, r)| (i as u64, r))
+            .collect(),
+        keys,
+    )
 }
 
 /// The first `n` rows of the stable sort of `rows` by `keys`, each tagged
@@ -121,7 +364,9 @@ pub fn top_n_tagged(rows: Vec<(u64, Row)>, keys: &SortKeys, n: usize) -> Vec<(u6
         .into_iter()
         .map(|(seq, row)| (extract(&row, keys), seq, row))
         .collect();
+    let cmps = Cell::new(0u64);
     let cmp = |a: &(Box<[Value]>, u64, Row), b: &(Box<[Value]>, u64, Row)| {
+        cmps.set(cmps.get() + 1);
         cmp_extracted(&a.0, &b.0, keys).then(a.1.cmp(&b.1))
     };
     if decorated.len() > n {
@@ -130,10 +375,72 @@ pub fn top_n_tagged(rows: Vec<(u64, Row)>, keys: &SortKeys, n: usize) -> Vec<(u6
     }
     // The tag makes the order total, so an unstable sort is deterministic.
     decorated.sort_unstable_by(cmp);
+    charge(0, cmps.get());
     decorated
         .into_iter()
         .map(|(_, seq, row)| (seq, row))
         .collect()
+}
+
+/// [`top_n_tagged`] on the normalized-key path, returning a
+/// [`SortedRun`] with stored keys: selection and the winning prefix's
+/// sort both compare decorated byte strings only.
+fn top_n_tagged_codec(rows: Vec<(u64, Row)>, keys: &SortKeys, n: usize) -> SortedRun {
+    if n == 0 {
+        return SortedRun::default();
+    }
+    let mut bytes = 0u64;
+    let mut decorated: Vec<(Vec<u8>, u64, Row)> = rows
+        .into_iter()
+        .map(|(seq, row)| {
+            let key = encode_with_seq(&row, keys, seq);
+            bytes += key.len() as u64;
+            (key, seq, row)
+        })
+        .collect();
+    charge(bytes, 0);
+    if decorated.len() > n {
+        let cmps = Cell::new(0u64);
+        decorated.select_nth_unstable_by(n - 1, |a, b| {
+            cmps.set(cmps.get() + 1);
+            a.0.cmp(&b.0)
+        });
+        charge(0, cmps.get());
+        decorated.truncate(n);
+    }
+    let decorated = sort_decorated(decorated, |d| &d.0);
+    let mut run = SortedRun {
+        seqs: Vec::with_capacity(decorated.len()),
+        rows: Vec::with_capacity(decorated.len()),
+        enc: Vec::with_capacity(decorated.len()),
+    };
+    for (key, seq, row) in decorated {
+        run.enc.push(key);
+        run.seqs.push(seq);
+        run.rows.push(row);
+    }
+    run
+}
+
+/// Tagged top-N into a [`SortedRun`] on the selected path — the
+/// exchange-side entry point (workers tag locally; the coordinator
+/// rebases with [`SortedRun::shift`]).
+pub fn top_n_run(rows: Vec<(u64, Row)>, keys: &SortKeys, n: usize, codec: bool) -> SortedRun {
+    if codec {
+        top_n_tagged_codec(rows, keys, n)
+    } else {
+        let top = top_n_tagged(rows, keys, n);
+        let mut run = SortedRun {
+            seqs: Vec::with_capacity(top.len()),
+            rows: Vec::with_capacity(top.len()),
+            enc: Vec::new(),
+        };
+        for (seq, row) in top {
+            run.seqs.push(seq);
+            run.rows.push(row);
+        }
+        run
+    }
 }
 
 /// The first `n` rows of the stable sort of `rows` by `keys` (see
@@ -152,6 +459,23 @@ pub fn top_n(rows: Vec<Row>, keys: &SortKeys, n: usize) -> Vec<Row> {
     .collect()
 }
 
+/// [`top_n`] on the selected path. Both paths return the identical
+/// stable-sort prefix.
+pub fn top_n_with(rows: Vec<Row>, keys: &SortKeys, n: usize, codec: bool) -> Vec<Row> {
+    if !codec {
+        return top_n(rows, keys, n);
+    }
+    top_n_tagged_codec(
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, r)| (i as u64, r))
+            .collect(),
+        keys,
+        n,
+    )
+    .rows
+}
+
 /// One sorted run entering a merge: rows sorted by `(keys, seq)`, with
 /// `seqs[i]` the global sequence tag of `rows[i]`. Tags must be unique
 /// across all runs of one merge and consistent with the serial emission
@@ -163,6 +487,12 @@ pub struct SortedRun {
     /// Global sequence tags, parallel to `rows` (strictly increasing
     /// within a tie group by construction).
     pub seqs: Vec<u64>,
+    /// Stored normalized keys (`key ‖ big-endian seq`), parallel to
+    /// `rows`, when the run was produced by the codec path; empty on the
+    /// legacy path. A merge uses them for memcmp-only heap compares —
+    /// the seq suffix doubles as the tiebreak, so one byte comparison
+    /// decides `(keys, seq)` in full.
+    pub enc: Vec<Vec<u8>>,
 }
 
 impl SortedRun {
@@ -178,7 +508,29 @@ impl SortedRun {
         // *within* this run; across runs only the run-interval order
         // matters, which `base` encodes.
         let seqs = (base..base + rows.len() as u64).collect();
-        SortedRun { rows, seqs }
+        SortedRun {
+            rows,
+            seqs,
+            enc: Vec::new(),
+        }
+    }
+
+    /// Rebases a run tagged with local positions `[0, len)` onto the
+    /// global interval starting at `base`: shifts each seq and patches
+    /// the big-endian seq suffix of any stored keys in place. Workers
+    /// tag locally (they cannot know their interval's base); the
+    /// coordinator shifts in partition order.
+    pub fn shift(&mut self, base: u64) {
+        if base == 0 {
+            return;
+        }
+        for (i, seq) in self.seqs.iter_mut().enumerate() {
+            *seq += base;
+            if let Some(key) = self.enc.get_mut(i) {
+                let at = key.len() - 8;
+                key[at..].copy_from_slice(&seq.to_be_bytes());
+            }
+        }
     }
 }
 
@@ -188,6 +540,11 @@ impl SortedRun {
 /// consistently with that input's order, the output is bit-identical to
 /// stably sorting the serial input whole.
 pub fn merge_runs(runs: Vec<SortedRun>, keys: &SortKeys) -> Vec<Row> {
+    let encoded =
+        runs.iter().any(|r| !r.enc.is_empty()) && runs.iter().all(|r| r.enc.len() == r.rows.len());
+    if encoded {
+        return merge_runs_encoded(runs);
+    }
     let total: usize = runs.iter().map(|r| r.rows.len()).sum();
     let mut runs: Vec<(std::vec::IntoIter<Row>, std::vec::IntoIter<u64>)> = runs
         .into_iter()
@@ -199,6 +556,7 @@ pub fn merge_runs(runs: Vec<SortedRun>, keys: &SortKeys) -> Vec<Row> {
         .map(|(rows, seqs)| rows.next().map(|r| (r, seqs.next().unwrap_or(0))))
         .collect();
     let mut out = Vec::with_capacity(total);
+    let mut cmps = 0u64;
     loop {
         // Linear scan over the (few) run heads for the minimum by
         // (keys, seq); ties cannot occur because seqs are unique.
@@ -209,6 +567,7 @@ pub fn merge_runs(runs: Vec<SortedRun>, keys: &SortKeys) -> Vec<Row> {
                 None => Some(k),
                 Some(b) => {
                     let (brow, bseq) = heads[b].as_ref().unwrap();
+                    cmps += 1;
                     if cmp_rows(row, brow, keys).then(seq.cmp(bseq)) == Ordering::Less {
                         Some(k)
                     } else {
@@ -223,6 +582,49 @@ pub fn merge_runs(runs: Vec<SortedRun>, keys: &SortKeys) -> Vec<Row> {
         let (row, _) = std::mem::replace(&mut heads[k], next).unwrap();
         out.push(row);
     }
+    charge(0, cmps);
+    out
+}
+
+/// The memcmp merge: every run carries stored `(key ‖ seq)` encodings,
+/// so each heap compare is one byte-slice comparison — no `Value`
+/// dispatch, no separate seq tiebreak.
+fn merge_runs_encoded(runs: Vec<SortedRun>) -> Vec<Row> {
+    let total: usize = runs.iter().map(|r| r.rows.len()).sum();
+    let mut runs: Vec<(std::vec::IntoIter<Row>, std::vec::IntoIter<Vec<u8>>)> = runs
+        .into_iter()
+        .map(|r| (r.rows.into_iter(), r.enc.into_iter()))
+        .collect();
+    let mut heads: Vec<Option<(Row, Vec<u8>)>> = runs
+        .iter_mut()
+        .map(|(rows, enc)| rows.next().map(|r| (r, enc.next().unwrap_or_default())))
+        .collect();
+    let mut out = Vec::with_capacity(total);
+    let mut cmps = 0u64;
+    loop {
+        let mut best: Option<usize> = None;
+        for (k, head) in heads.iter().enumerate() {
+            let Some((_, key)) = head else { continue };
+            best = match best {
+                None => Some(k),
+                Some(b) => {
+                    let (_, bkey) = heads[b].as_ref().unwrap();
+                    cmps += 1;
+                    if key.as_slice() < bkey.as_slice() {
+                        Some(k)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        let Some(k) = best else { break };
+        let (rows, enc) = &mut runs[k];
+        let next = rows.next().map(|r| (r, enc.next().unwrap_or_default()));
+        let (row, _) = std::mem::replace(&mut heads[k], next).unwrap();
+        out.push(row);
+    }
+    charge(0, cmps);
     out
 }
 
@@ -337,6 +739,150 @@ mod tests {
             .map(|bucket| sort_tagged(bucket, &keys))
             .collect();
         assert_eq!(merge_runs(runs, &keys), serial);
+    }
+
+    /// Mixed-shape rows exercising every codec branch: numerics (int and
+    /// double interleaved), strings of varying length, NULLs, dates,
+    /// bools.
+    fn mixed_rows(n: usize) -> Vec<Row> {
+        let mut rng = fto_common::Rng::new(0xfeed);
+        (0..n)
+            .map(|i| {
+                let key: Value = match rng.range_usize(0, 6) {
+                    0 => Value::Null,
+                    1 => Value::Int(rng.range_i64(-50, 50)),
+                    2 => Value::Double(rng.range_f64(-50.0, 50.0)),
+                    3 => Value::str(format!("s{}", rng.range_usize(0, 40))),
+                    4 => Value::Date(rng.range_i32(0, 100)),
+                    _ => Value::Bool(rng.bool()),
+                };
+                [key, Value::Int(i as i64)].into_iter().collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn codec_sort_matches_legacy_sort_on_mixed_shapes() {
+        for dir in [Direction::Asc, Direction::Desc] {
+            let keys = keys_from(&[(0, dir)]);
+            let mut legacy = mixed_rows(500);
+            let mut codec = legacy.clone();
+            sort_rows(&mut legacy, &keys);
+            sort_rows_with(&mut codec, &keys, true);
+            assert_eq!(codec, legacy, "dir={dir:?}");
+        }
+    }
+
+    #[test]
+    fn codec_sort_takes_radix_path_on_fixed_width_keys() {
+        // All-Int composite keys are fixed width (11 bytes per column +
+        // 8-byte seq), so this drives the MSB radix path; the result
+        // must still equal the legacy stable sort.
+        let keys = keys_from(&[(0, Direction::Desc), (1, Direction::Asc)]);
+        let mut rng = fto_common::Rng::new(3);
+        let mut legacy: Vec<Row> = (0..4096)
+            .map(|_| row(&[rng.range_i64(-8, 8), rng.range_i64(0, 4)]))
+            .collect();
+        let mut codec = legacy.clone();
+        let before = stats_snapshot();
+        sort_rows_with(&mut codec, &keys, true);
+        let delta = stats_snapshot().delta_since(before);
+        assert!(delta.key_bytes >= 4096 * 30, "encoded {delta:?}");
+        sort_rows(&mut legacy, &keys);
+        assert_eq!(codec, legacy);
+    }
+
+    #[test]
+    fn codec_top_n_matches_legacy_top_n() {
+        let keys = keys_from(&[(0, Direction::Asc)]);
+        let rows = mixed_rows(300);
+        for n in [0usize, 1, 7, 299, 300, 400] {
+            assert_eq!(
+                top_n_with(rows.clone(), &keys, n, true),
+                top_n(rows.clone(), &keys, n),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn codec_runs_merge_bit_identically_to_legacy() {
+        let keys = keys_from(&[(0, Direction::Asc)]);
+        let input = mixed_rows(240);
+        let mut serial = input.clone();
+        sort_rows(&mut serial, &keys);
+        for parts in [1usize, 2, 3, 5] {
+            let chunk = input.len().div_ceil(parts);
+            let mut runs = Vec::new();
+            let mut base = 0u64;
+            for piece in input.chunks(chunk) {
+                let len = piece.len() as u64;
+                let mut run = sort_run_codec(piece.to_vec(), &keys);
+                run.shift(base);
+                runs.push(run);
+                base += len;
+            }
+            assert_eq!(merge_runs(runs, &keys), serial, "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn codec_tagged_runs_restore_round_robin_deal() {
+        let keys = keys_from(&[(0, Direction::Desc)]);
+        let input = mixed_rows(150);
+        let mut serial = input.clone();
+        sort_rows(&mut serial, &keys);
+        let parts = 3;
+        let mut buckets: Vec<Vec<(u64, Row)>> = vec![Vec::new(); parts];
+        for (g, r) in input.into_iter().enumerate() {
+            buckets[g % parts].push((g as u64, r));
+        }
+        let runs: Vec<SortedRun> = buckets
+            .into_iter()
+            .map(|bucket| sort_tagged_with(bucket, &keys, true))
+            .collect();
+        assert_eq!(merge_runs(runs, &keys), serial);
+    }
+
+    #[test]
+    fn top_n_run_shift_rebases_stored_keys() {
+        let keys = keys_from(&[(0, Direction::Asc)]);
+        // Two "workers" with heavy ties: containment + tag order across
+        // runs must pick the earliest-input rows, exactly like serial.
+        let all: Vec<Row> = (0..60).map(|i| row(&[i % 3, i])).collect();
+        let serial = top_n(all.clone(), &keys, 10);
+        let mut runs = Vec::new();
+        let mut base = 0u64;
+        for piece in all.chunks(30) {
+            let tagged: Vec<(u64, Row)> = piece
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, r)| (i as u64, r))
+                .collect();
+            let mut run = top_n_run(tagged, &keys, 10, true);
+            run.shift(base);
+            runs.push(run);
+            base += 30;
+        }
+        let mut merged = merge_runs(runs, &keys);
+        merged.truncate(10);
+        assert_eq!(merged, serial);
+    }
+
+    #[test]
+    fn stats_counters_accumulate() {
+        let keys = keys_from(&[(0, Direction::Asc)]);
+        let before = stats_snapshot();
+        let mut rows: Vec<Row> = (0..100).map(|i| row(&[(i * 37) % 11, i])).collect();
+        sort_rows_with(&mut rows, &keys, true);
+        let after = stats_snapshot();
+        let delta = after.delta_since(before);
+        assert!(delta.key_bytes > 0, "codec sort must record key bytes");
+        let mut rows2: Vec<Row> = (0..100).map(|i| row(&[(i * 37) % 11, i])).collect();
+        sort_rows(&mut rows2, &keys);
+        let legacy_delta = stats_snapshot().delta_since(after);
+        assert!(legacy_delta.comparisons > 0, "legacy sort counts compares");
     }
 
     #[test]

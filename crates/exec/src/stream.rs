@@ -27,7 +27,7 @@ use crate::parallel::{
     GatherOp, MergeExchangeOp, PartitionSpec, RepartitionSortOp, TopNExchangeOp,
 };
 use crate::sortkernel::{self, resolve_keys, SortKeys};
-use fto_common::{ColId, FtoError, IndexId, Result, Row, TableId, Value};
+use fto_common::{sortkey, ColId, Direction, FtoError, IndexId, Result, Row, TableId, Value};
 use fto_expr::{agg::Accumulator, AggCall, Expr, PredId, RowLayout};
 use fto_planner::{Plan, PlanNode, ScanRange};
 use fto_qgm::QueryGraph;
@@ -53,6 +53,11 @@ pub struct ExecContext<'a> {
     /// worker-side contexts are always 1 so pipelines never nest
     /// exchanges).
     pub threads: usize,
+    /// Whether sort-heavy operators use the normalized binary key codec
+    /// ([`fto_common::sortkey`]) instead of the `Value` comparator. Both
+    /// paths produce bit-identical output; this gates the fast path so
+    /// the differential suite can prove it.
+    pub sort_key_codec: bool,
 }
 
 impl<'a> ExecContext<'a> {
@@ -66,6 +71,7 @@ impl<'a> ExecContext<'a> {
             graph,
             batch_size: opts.batch_size.max(1),
             threads: opts.threads.max(1),
+            sort_key_codec: opts.sort_key_codec,
         }
     }
 }
@@ -97,6 +103,11 @@ pub struct ExecOptions {
     /// lowering inserts no exchange operators and execution is exactly
     /// the classic single-threaded pipeline.
     pub threads: usize,
+    /// Use the normalized binary key codec for sorts, exchange merges,
+    /// merge-join tie detection, and index probes (default on). Off
+    /// keeps the legacy `Value`-comparator paths; output is identical
+    /// either way.
+    pub sort_key_codec: bool,
 }
 
 impl Default for ExecOptions {
@@ -104,6 +115,7 @@ impl Default for ExecOptions {
         ExecOptions {
             batch_size: 1024,
             threads: 1,
+            sort_key_codec: true,
         }
     }
 }
@@ -559,7 +571,7 @@ impl Operator for SortOp {
     fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
         let mut rows = drain_all(&mut self.child, cx, io)?;
         io.sort_rows += rows.len() as u64;
-        sortkernel::sort_rows(&mut rows, &self.keys);
+        sortkernel::sort_rows_with(&mut rows, &self.keys, cx.sort_key_codec);
         self.buf = rows;
         self.pos = 0;
         Ok(())
@@ -591,7 +603,7 @@ struct TopNOp {
 impl Operator for TopNOp {
     fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
         let rows = drain_all(&mut self.child, cx, io)?;
-        let top = sortkernel::top_n(rows, &self.keys, self.n as usize);
+        let top = sortkernel::top_n_with(rows, &self.keys, self.n as usize, cx.sort_key_codec);
         io.sort_rows += top.len() as u64;
         self.buf = top;
         self.pos = 0;
@@ -818,7 +830,15 @@ impl Operator for IndexNestedLoopJoinOp {
             for orow in &batch {
                 let key = key_of(orow, &self.probe_pos);
                 io.index_pages += 1; // descent touches one leaf
-                for (_, rid) in ix.probe(&key) {
+                                     // Codec path: encode the probe once, binary-search the
+                                     // index's stored normalized keys by memcmp. Identical
+                                     // hits either way (asserted in the storage tests).
+                let hits = if cx.sort_key_codec {
+                    ix.probe_encoded(&ix.encode_probe(&key))
+                } else {
+                    ix.probe(&key)
+                };
+                for (_, rid) in hits {
                     self.cursor.touch(heap.page_of(*rid), io);
                     io.rows_read += 1;
                     let joined = concat(orow, heap.row(*rid));
@@ -1006,6 +1026,10 @@ struct MergeSide {
     pos: usize,
     done: bool,
     kpos: Vec<usize>,
+    /// The key positions as ascending sort keys — the codec tie-detection
+    /// path encodes equality keys under these (direction is irrelevant
+    /// for equality; ascending keeps the encoding canonical).
+    keys_asc: SortKeys,
 }
 
 impl MergeSide {
@@ -1014,6 +1038,7 @@ impl MergeSide {
             buf: Vec::new(),
             pos: 0,
             done: false,
+            keys_asc: kpos.iter().map(|&p| (p, Direction::Asc)).collect(),
             kpos,
         }
     }
@@ -1054,8 +1079,25 @@ fn merge_take_group(
 ) -> Result<Vec<Row>> {
     let start = side.pos;
     let mut end = start + 1;
+    // Codec path: encode the group leader's key once; each candidate
+    // re-encodes into a scratch buffer and extends the group on memcmp
+    // equality — same outcome as the per-column `Value` walk, without
+    // re-dispatching on type tags for every candidate column.
+    let lead = cx
+        .sort_key_codec
+        .then(|| sortkey::encode_key(&side.buf[start], &side.keys_asc));
+    let mut scratch = Vec::new();
     loop {
-        while end < side.buf.len() && same_key(&side.buf[start], &side.buf[end], &side.kpos) {
+        while end < side.buf.len() && {
+            match &lead {
+                Some(lead) => {
+                    scratch.clear();
+                    sortkey::encode_key_into(&side.buf[end], &side.keys_asc, &mut scratch);
+                    scratch == *lead
+                }
+                None => same_key(&side.buf[start], &side.buf[end], &side.kpos),
+            }
+        } {
             end += 1;
         }
         if end < side.buf.len() || side.done {
@@ -1759,6 +1801,7 @@ mod tests {
                 &ExecOptions {
                     batch_size: 97,
                     threads,
+                    ..ExecOptions::default()
                 },
             )
             .unwrap();
@@ -1793,6 +1836,7 @@ mod tests {
             let opts = ExecOptions {
                 batch_size: 128,
                 threads,
+                ..ExecOptions::default()
             };
             let (result, metrics) = execute_plan_instrumented(&db, &graph, &sort, &opts).unwrap();
             assert_eq!(result.rows.len(), 2048);

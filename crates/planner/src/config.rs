@@ -51,6 +51,13 @@ pub struct OptimizerConfig {
     /// `p > 1` lets lowering insert exchange operators that fan pipeline
     /// segments out over `p` workers.
     pub threads: usize,
+    /// Use normalized binary sort keys (the `fto_common::sortkey` codec)
+    /// in the execution engine: sorts, exchange merges, merge-join tie
+    /// detection, and index probes compare memcmp-able byte strings
+    /// instead of walking `Value`s. Output is bit-identical either way
+    /// (the differential suite runs both); off keeps the legacy
+    /// `Value`-comparator paths.
+    pub sort_key_codec: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -66,6 +73,7 @@ impl Default for OptimizerConfig {
             max_sort_ahead: 4,
             batch_size: 1024,
             threads: 1,
+            sort_key_codec: true,
         }
     }
 }
@@ -164,6 +172,13 @@ impl OptimizerConfig {
         self.threads = p.max(1);
         self
     }
+
+    /// Enables or disables the normalized binary sort-key codec in the
+    /// execution engine (default on).
+    pub fn with_sort_key_codec(mut self, on: bool) -> Self {
+        self.sort_key_codec = on;
+        self
+    }
 }
 
 /// Counters describing how much work the planner did; used by the
@@ -194,6 +209,7 @@ mod tests {
         assert!(c.enable_merge_join && c.enable_hash_join && c.enable_nested_loop);
         assert_eq!(c.batch_size, 1024);
         assert_eq!(c.threads, 1);
+        assert!(c.sort_key_codec);
     }
 
     #[test]
@@ -211,7 +227,9 @@ mod tests {
             .with_nested_loop(false)
             .with_max_sort_ahead(9)
             .with_batch_size(0)
-            .with_threads(0);
+            .with_threads(0)
+            .with_sort_key_codec(false);
+        assert!(!c.sort_key_codec);
         assert!(!c.enable_merge_join);
         assert!(!c.enable_nested_loop);
         assert_eq!(c.max_sort_ahead, 9);

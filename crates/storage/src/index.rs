@@ -7,7 +7,7 @@
 //! DESIGN.md records the substitution.
 
 use crate::heap::HeapTable;
-use fto_common::{Direction, Value};
+use fto_common::{sortkey, Direction, Value};
 use std::cmp::Ordering;
 
 /// Entries per simulated index leaf page (keys are small).
@@ -19,32 +19,51 @@ pub struct OrderedIndex {
     /// (key values, row id), sorted by key (with per-part directions),
     /// ties broken by row id for determinism.
     entries: Vec<(Vec<Value>, usize)>,
+    /// Normalized binary key per entry (directions baked in at build
+    /// time), parallel to `entries`. Encoded probes binary-search these
+    /// with plain byte comparisons — no per-descent `Value` dispatch.
+    enc: Vec<Vec<u8>>,
     directions: Vec<Direction>,
 }
 
 impl OrderedIndex {
     /// Builds the index over `heap`, extracting key parts with
     /// `key_ordinals` and ordering each part by the matching direction.
+    /// Entries sort by their normalized binary keys (row-id tiebreak) —
+    /// the same order the `Value` comparator defines, partitioned
+    /// byte-wise.
     pub fn build(
         heap: &HeapTable,
         key_ordinals: &[usize],
         directions: &[Direction],
     ) -> OrderedIndex {
         assert_eq!(key_ordinals.len(), directions.len());
-        let mut entries: Vec<(Vec<Value>, usize)> = heap
+        let dir_keys: Vec<(usize, Direction)> = directions
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (i, d))
+            .collect();
+        let mut decorated: Vec<(Vec<u8>, Vec<Value>, usize)> = heap
             .rows()
             .iter()
             .enumerate()
             .map(|(rid, row)| {
                 let key: Vec<Value> = key_ordinals.iter().map(|&o| row[o].clone()).collect();
-                (key, rid)
+                let enc = sortkey::encode_key(&key, &dir_keys);
+                (enc, key, rid)
             })
             .collect();
-        let dirs = directions.to_vec();
-        entries.sort_by(|a, b| compare_keys(&a.0, &b.0, &dirs).then_with(|| a.1.cmp(&b.1)));
+        decorated.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.2.cmp(&b.2)));
+        let mut entries = Vec::with_capacity(decorated.len());
+        let mut enc = Vec::with_capacity(decorated.len());
+        for (e, key, rid) in decorated {
+            enc.push(e);
+            entries.push((key, rid));
+        }
         OrderedIndex {
             entries,
-            directions: dirs,
+            enc,
+            directions: directions.to_vec(),
         }
     }
 
@@ -80,6 +99,45 @@ impl OrderedIndex {
         let hi = self.entries.partition_point(|(k, _)| {
             compare_prefix(k, prefix, &self.directions) != Ordering::Greater
         });
+        &self.entries[lo..hi]
+    }
+
+    /// Encodes a probe prefix into its normalized binary key under this
+    /// index's directions — the input [`probe_encoded`](Self::probe_encoded)
+    /// expects. Callers probing many rows encode once per probe and skip
+    /// the per-comparison `Value` dispatch of [`probe`](Self::probe).
+    pub fn encode_probe(&self, prefix: &[Value]) -> Vec<u8> {
+        debug_assert!(prefix.len() <= self.directions.len());
+        let dir_keys: Vec<(usize, Direction)> = self
+            .directions
+            .iter()
+            .take(prefix.len())
+            .enumerate()
+            .map(|(i, &d)| (i, d))
+            .collect();
+        sortkey::encode_key(prefix, &dir_keys)
+    }
+
+    /// Equality probe on an encoded key prefix (see
+    /// [`encode_probe`](Self::encode_probe)): byte-compares against the
+    /// stored normalized keys. Returns exactly what [`probe`](Self::probe)
+    /// returns for the same prefix — column encodings are prefix-free, so
+    /// an entry matches iff its encoding starts with the probe bytes.
+    pub fn probe_encoded(&self, probe: &[u8]) -> &[(Vec<Value>, usize)] {
+        let cmp = |entry: &[u8]| -> Ordering {
+            let n = probe.len().min(entry.len());
+            match entry[..n].cmp(&probe[..n]) {
+                // Prefix bytes equal: the entry matches when it is at
+                // least as long as the probe (fewer probe columns than
+                // key columns). A shorter entry cannot happen for valid
+                // probes; order it Less for totality.
+                Ordering::Equal if entry.len() >= probe.len() => Ordering::Equal,
+                Ordering::Equal => Ordering::Less,
+                ord => ord,
+            }
+        };
+        let lo = self.enc.partition_point(|e| cmp(e) == Ordering::Less);
+        let hi = self.enc.partition_point(|e| cmp(e) != Ordering::Greater);
         &self.entries[lo..hi]
     }
 
@@ -121,16 +179,6 @@ impl OrderedIndex {
     pub(crate) fn rid_at(&self, pos: usize) -> usize {
         self.entries[pos].1
     }
-}
-
-fn compare_keys(a: &[Value], b: &[Value], dirs: &[Direction]) -> Ordering {
-    for (i, d) in dirs.iter().enumerate() {
-        let ord = d.apply(a[i].total_cmp(&b[i]));
-        if ord != Ordering::Equal {
-            return ord;
-        }
-    }
-    Ordering::Equal
 }
 
 fn compare_prefix(key: &[Value], prefix: &[Value], dirs: &[Direction]) -> Ordering {
@@ -244,6 +292,30 @@ mod tests {
         assert_eq!(ix.leaf_pages(), 4); // 1000 / 256 rounded up
         let empty = OrderedIndex::build(&heap(&[]), &[0], &[Direction::Asc]);
         assert_eq!(empty.leaf_pages(), 1);
+    }
+
+    #[test]
+    fn encoded_probe_matches_value_probe() {
+        let h = heap(&[(1, 5), (1, 3), (2, 1), (2, 2), (3, 0)]);
+        for dirs in [
+            [Direction::Asc, Direction::Asc],
+            [Direction::Desc, Direction::Asc],
+            [Direction::Desc, Direction::Desc],
+        ] {
+            let ix = OrderedIndex::build(&h, &[0, 1], &dirs);
+            for k in 0..5i64 {
+                let prefix = [Value::Int(k)];
+                let enc = ix.encode_probe(&prefix);
+                assert_eq!(ix.probe_encoded(&enc), ix.probe(&prefix), "{dirs:?} k={k}");
+                let full = [Value::Int(k), Value::Int(3)];
+                let enc = ix.encode_probe(&full);
+                assert_eq!(
+                    ix.probe_encoded(&enc),
+                    ix.probe(&full),
+                    "{dirs:?} full k={k}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -20,6 +20,9 @@ if [[ "${1:-}" != "quick" ]]; then
     cargo build --release
 fi
 
+echo "==> sort-key codec property tests (encoded order == Value order)"
+cargo test -q -p fto-common --lib sortkey
+
 echo "==> cargo test -q (includes the engine differential suite)"
 cargo test -q
 
@@ -49,6 +52,14 @@ if [[ "${1:-}" != "quick" ]]; then
     fi
     if ! grep -q "counter session.queries" <<<"$smoke_out"; then
         echo "smoke failed: \\metrics did not expose the session counters"
+        exit 1
+    fi
+    if ! grep -Eq "counter sort.key_bytes [1-9]" <<<"$smoke_out"; then
+        echo "smoke failed: \\metrics sort.key_bytes not populated (codec not running?)"
+        exit 1
+    fi
+    if ! grep -Eq "counter sort.comparisons [1-9]" <<<"$smoke_out"; then
+        echo "smoke failed: \\metrics sort.comparisons not populated"
         exit 1
     fi
 fi

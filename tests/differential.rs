@@ -31,6 +31,10 @@ fn all_configs() -> Vec<OptimizerConfig> {
         OptimizerConfig::default()
             .with_hash_join(false)
             .with_nested_loop(false),
+        // Legacy Value-comparator sort paths (normalized-key codec off):
+        // the interpreter comparison must hold in both key representations.
+        OptimizerConfig::default().with_sort_key_codec(false),
+        OptimizerConfig::db2_1996().with_sort_key_codec(false),
     ];
     if let Some(p) = env_threads() {
         for base in configs.clone() {
@@ -103,14 +107,51 @@ fn tpcd_workload_agrees_across_engines() {
         OptimizerConfig::db2_1996(),
         OptimizerConfig::db2_1996_disabled(),
         OptimizerConfig::default().with_batch_size(13),
+        OptimizerConfig::default().with_sort_key_codec(false),
+        OptimizerConfig::db2_1996().with_sort_key_codec(false),
     ];
     if let Some(p) = env_threads() {
         configs.push(OptimizerConfig::default().with_threads(p));
         configs.push(OptimizerConfig::db2_1996().with_threads(p));
+        configs.push(
+            OptimizerConfig::default()
+                .with_threads(p)
+                .with_sort_key_codec(false),
+        );
     }
     for sql in &workload {
         for config in configs.clone() {
             assert_engines_agree(&db, sql, config);
+        }
+    }
+}
+
+#[test]
+fn sort_key_codec_output_is_bit_identical_to_legacy() {
+    // The streaming engine's two key representations — normalized binary
+    // sort keys (memcmp) and the legacy Value comparator — must produce
+    // byte-identical rows in byte-identical order on every corpus query,
+    // serial and parallel, and the codec must actually run (key bytes
+    // get encoded) whenever the plan sorts.
+    let db = emp_db();
+    let mut degrees = vec![1usize];
+    degrees.extend(env_threads());
+    for sql in EMP_QUERIES {
+        for &p in &degrees {
+            let base = OptimizerConfig::default().with_threads(p);
+            let on = Session::new(&db)
+                .config(base.clone().with_sort_key_codec(true))
+                .execute(sql)
+                .unwrap_or_else(|e| panic!("{sql}\ncodec on, threads {p}: {e}"));
+            let off = Session::new(&db)
+                .config(base.with_sort_key_codec(false))
+                .execute(sql)
+                .unwrap_or_else(|e| panic!("{sql}\ncodec off, threads {p}: {e}"));
+            assert_eq!(
+                on.rows, off.rows,
+                "codec on/off mismatch\nsql: {sql}\nthreads: {p}"
+            );
+            assert_eq!(on.io, off.io, "I/O accounting diverged\nsql: {sql}");
         }
     }
 }
