@@ -34,7 +34,7 @@ fn bench_execution(db: &Database, group: &str, cases: &[(&str, OptimizerConfig)]
             .plan(&queries::q3_default())
             .expect("compile");
         bench(&format!("{group}/{name}"), || {
-            prepared.execute().expect("execute").rows.len()
+            prepared.execute().expect("execute").num_rows()
         });
     }
 }
@@ -61,7 +61,7 @@ fn main() {
             .plan(FIG6_SQL)
             .expect("compile");
         bench(&format!("fig6/{name}"), || {
-            prepared.execute().expect("execute").rows.len()
+            prepared.execute().expect("execute").num_rows()
         });
     }
 

@@ -45,7 +45,7 @@ fn fig1() {
     println!("{FIG1_SQL}\n");
     println!("{}", prepared.explain());
     let out = prepared.execute().unwrap();
-    println!("({} groups)\n", out.rows.len());
+    println!("({} groups)\n", out.num_rows());
 }
 
 fn fig6() {

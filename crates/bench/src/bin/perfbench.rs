@@ -1,11 +1,17 @@
-//! Executor performance benchmark, two sections:
+//! Executor performance benchmark, three sections:
 //!
-//! 1. **Sort-kernel microbench** — 100k-row sorts of every key shape
+//! 1. **Columnar-kernel microbench** — filter, projection, group-by key
+//!    computation and sort-key encoding over typed column batches
+//!    (100k–1M rows per column type), timed row-at-a-time through the
+//!    reference evaluators against the vectorized kernels
+//!    ([`fto_expr::vector`], [`fto_common::column::encode_batch_keys`]),
+//!    asserting identical results and reporting rows/sec each way.
+//! 2. **Sort-kernel microbench** — 100k-row sorts of every key shape
 //!    (int, int pair with desc, double, string, date+bool, mixed with
 //!    NULLs), timed through the legacy `Value`-comparator path and the
 //!    normalized-binary-key codec path ([`fto_common::sortkey`]),
 //!    asserting both orders identical and reporting rows/sec each way.
-//! 2. **Morsel-parallelism** — the TPC-D workload run at parallel
+//! 3. **Morsel-parallelism** — the TPC-D workload run at parallel
 //!    degrees 1, 2 and 4, reporting wall-clock latency (best-of-N plus
 //!    p50/p95/p99 from an [`fto_obs`] log-linear histogram), simulated
 //!    page I/O and row counts per (query, degree) cell, asserting along
@@ -16,17 +22,20 @@
 //! cargo run -p fto-bench --release --bin perfbench [-- <scale> [runs]]
 //! ```
 //!
-//! Results are printed as tables and written to `BENCH_PR5.json` in the
+//! Results are printed as tables and written to `BENCH_PR6.json` in the
 //! current directory (machine cores included, so single-core containers
 //! don't read as regressions).
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use fto_bench::harness::tpcd_db;
 use fto_bench::Session;
-use fto_common::{Direction, Rng, Row, Value};
+use fto_common::column::{encode_batch_keys_arena, Batch};
+use fto_common::{sortkey, ColId, Direction, Rng, Row, Value};
 use fto_exec::sortkernel::{self, SortKeys};
+use fto_expr::{vector, CompareOp, Expr, Predicate, RowLayout};
 use fto_obs::metrics::Histogram;
 use fto_planner::OptimizerConfig;
 use fto_tpcd::queries;
@@ -41,6 +50,323 @@ struct Cell {
     p99_us: u64,
     pages: u64,
     rows: usize,
+}
+
+/// Rows per shape in the columnar-kernel microbench: fixed-width column
+/// types get a full million rows, variable-width strings and the mixed
+/// `Value` fallback run 250k so the row baseline stays affordable.
+const COL_ROWS_FIXED: usize = 1_000_000;
+const COL_ROWS_VAR: usize = 250_000;
+
+/// One input to the columnar-kernel microbench: the same data held both
+/// ways (pre-materialized rows for the row-at-a-time baseline, a typed
+/// [`Batch`] for the vectorized kernels), plus the predicate and key
+/// sets each kernel runs. Two columns per shape: `c0` is high-cardinality
+/// payload (filter + sort keys), `c1` is a low-cardinality group key.
+struct ColShape {
+    name: &'static str,
+    rows: Vec<Row>,
+    batch: Batch,
+    filter: Predicate,
+}
+
+impl ColShape {
+    fn new(name: &'static str, rows: Vec<Row>, filter: Predicate) -> Self {
+        let batch = Batch::from_rows(&rows);
+        ColShape {
+            name,
+            rows,
+            batch,
+            filter,
+        }
+    }
+}
+
+fn columnar_workload(rng: &mut Rng) -> Vec<ColShape> {
+    let gt = |lit: Value| Predicate::new(CompareOp::Gt, Expr::col(ColId(0)), Expr::Lit(lit));
+    let mut shapes = Vec::new();
+
+    let ints: Vec<Row> = (0..COL_ROWS_FIXED)
+        .map(|_| {
+            vec![
+                Value::Int(rng.range_i64(0, 1_000_000)),
+                Value::Int(rng.range_i64(0, 1000)),
+            ]
+            .into()
+        })
+        .collect();
+    shapes.push(ColShape::new("int64", ints, gt(Value::Int(500_000))));
+
+    let doubles: Vec<Row> = (0..COL_ROWS_FIXED)
+        .map(|_| {
+            vec![
+                Value::Double(rng.range_f64(-1e9, 1e9)),
+                Value::Double(rng.range_i64(0, 1000) as f64),
+            ]
+            .into()
+        })
+        .collect();
+    shapes.push(ColShape::new("float64", doubles, gt(Value::Double(0.0))));
+
+    let dates: Vec<Row> = (0..COL_ROWS_FIXED)
+        .map(|_| {
+            vec![
+                Value::Date(rng.range_i32(0, 20_000)),
+                Value::Date(rng.range_i32(8000, 8100)),
+            ]
+            .into()
+        })
+        .collect();
+    shapes.push(ColShape::new("date32", dates, gt(Value::Date(10_000))));
+
+    let bools: Vec<Row> = (0..COL_ROWS_FIXED)
+        .map(|_| vec![Value::Bool(rng.bool()), Value::Bool(rng.bool())].into())
+        .collect();
+    shapes.push(ColShape::new(
+        "bool",
+        bools,
+        Predicate::col_eq_const(ColId(0), Value::Bool(true)),
+    ));
+
+    let strs: Vec<Row> = (0..COL_ROWS_VAR)
+        .map(|_| {
+            let payload = format!("cust#{:08}", rng.range_i64(0, 100_000));
+            let group = format!("grp#{:03}", rng.range_i64(0, 500));
+            vec![Value::str(payload), Value::str(group)].into()
+        })
+        .collect();
+    shapes.push(ColShape::new("utf8", strs, gt(Value::str("cust#00050000"))));
+
+    let mixed: Vec<Row> = (0..COL_ROWS_VAR)
+        .map(|_| {
+            let payload = if rng.chance(0.1) {
+                Value::Null
+            } else if rng.bool() {
+                Value::Int(rng.range_i64(-1000, 1000))
+            } else {
+                Value::Double(rng.range_f64(-1000.0, 1000.0))
+            };
+            let group = if rng.bool() {
+                Value::Int(rng.range_i64(0, 8))
+            } else {
+                Value::Double(rng.range_i64(0, 8) as f64)
+            };
+            vec![payload, group].into()
+        })
+        .collect();
+    shapes.push(ColShape::new("mixed_nulls", mixed, gt(Value::Int(0))));
+    shapes
+}
+
+struct KernelCell {
+    kernel: &'static str,
+    shape: &'static str,
+    rows: usize,
+    row_best: Duration,
+    vec_best: Duration,
+}
+
+impl KernelCell {
+    fn rows_per_sec(&self, d: Duration) -> f64 {
+        self.rows as f64 / d.as_secs_f64()
+    }
+    fn speedup(&self) -> f64 {
+        self.row_best.as_secs_f64() / self.vec_best.as_secs_f64()
+    }
+}
+
+/// Best-of-`runs` timing; returns the last run's result so callers can
+/// cross-check the two implementations against each other.
+fn best_of<R>(runs: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
+    let mut best = Duration::MAX;
+    let mut out = None;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let r = std::hint::black_box(f());
+        best = best.min(start.elapsed());
+        out = Some(r);
+    }
+    (best, out.expect("runs >= 1"))
+}
+
+/// Times the four vectorized executor kernels against their row-at-a-time
+/// reference implementations on every column type, asserting identical
+/// results (selection vectors, projected rows, group counts, key bytes).
+fn run_columnar_bench(runs: usize) -> Vec<KernelCell> {
+    let mut rng = Rng::new(0xC01_BE4C);
+    let layout = RowLayout::new(vec![ColId(0), ColId(1)]);
+    let proj_exprs = [Expr::col(ColId(1)), Expr::col(ColId(0))];
+    let group_keys: SortKeys = vec![(1, Direction::Asc)];
+    let mut cells = Vec::new();
+    println!("Columnar-kernel microbench (best of {runs}; row baseline vs vectorized)");
+    println!();
+    println!(
+        "| kernel          | shape        | rows    | row rows/s   | vec rows/s   | speedup |"
+    );
+    println!(
+        "|-----------------|--------------|---------|--------------|--------------|---------|"
+    );
+    for shape in columnar_workload(&mut rng) {
+        let n = shape.rows.len();
+
+        // Filter: predicate to selection vector.
+        let (row_best, row_sel) = best_of(runs, || {
+            let mut out: Vec<u32> = Vec::new();
+            for (i, row) in shape.rows.iter().enumerate() {
+                if shape.filter.eval(row, &layout).expect("filter eval") {
+                    out.push(i as u32);
+                }
+            }
+            out
+        });
+        let (vec_best, vec_sel) = best_of(runs, || {
+            let mut sel: Vec<u32> = (0..n as u32).collect();
+            vector::filter_selection(&shape.filter, &shape.batch, &layout, &mut sel)
+                .expect("filter_selection");
+            sel
+        });
+        assert_eq!(
+            row_sel, vec_sel,
+            "{}: filter selections diverged",
+            shape.name
+        );
+        cells.push(KernelCell {
+            kernel: "filter",
+            shape: shape.name,
+            rows: n,
+            row_best,
+            vec_best,
+        });
+
+        // Projection: column permutation (vectorized path is an Arc clone
+        // per output column; the row path clones every value).
+        let (row_best, row_proj) = best_of(runs, || {
+            shape
+                .rows
+                .iter()
+                .map(|row| {
+                    proj_exprs
+                        .iter()
+                        .map(|e| e.eval(row, &layout).expect("project eval"))
+                        .collect::<Vec<_>>()
+                        .into_boxed_slice()
+                })
+                .collect::<Vec<Row>>()
+        });
+        let (vec_best, vec_proj) = best_of(runs, || {
+            vector::project_batch(&proj_exprs, &shape.batch, &layout).expect("project_batch")
+        });
+        assert_eq!(
+            row_proj,
+            vec_proj.to_rows(),
+            "{}: projections diverged",
+            shape.name
+        );
+        cells.push(KernelCell {
+            kernel: "projection",
+            shape: shape.name,
+            rows: n,
+            row_best,
+            vec_best,
+        });
+
+        // Group-by key computation: distinct-key table build, value-keyed
+        // (row engine) vs normalized-byte-keyed (columnar engine).
+        let (row_best, row_groups) = best_of(runs, || {
+            let mut map: HashMap<Vec<Value>, u64> = HashMap::new();
+            for row in &shape.rows {
+                *map.entry(vec![row[1].clone()]).or_insert(0) += 1;
+            }
+            map
+        });
+        let (vec_best, vec_groups) = best_of(runs, || {
+            let (mut kb, mut ko) = (Vec::new(), Vec::new());
+            encode_batch_keys_arena(&shape.batch, &group_keys, &mut kb, &mut ko);
+            let mut map: HashMap<Vec<u8>, u64> = HashMap::new();
+            for i in 0..n {
+                let key = &kb[ko[i]..ko[i + 1]];
+                if let Some(c) = map.get_mut(key) {
+                    *c += 1;
+                } else {
+                    map.insert(key.to_vec(), 1);
+                }
+            }
+            map
+        });
+        // Byte keys canonicalize Int 5 == Double 5.0 exactly like Value
+        // equality, so the group sets must correspond one-to-one.
+        assert_eq!(
+            row_groups.len(),
+            vec_groups.len(),
+            "{}: group cardinality diverged",
+            shape.name
+        );
+        let mut row_counts: Vec<u64> = row_groups.values().copied().collect();
+        let mut vec_counts: Vec<u64> = vec_groups.values().copied().collect();
+        row_counts.sort_unstable();
+        vec_counts.sort_unstable();
+        assert_eq!(
+            row_counts, vec_counts,
+            "{}: group counts diverged",
+            shape.name
+        );
+        cells.push(KernelCell {
+            kernel: "group_key",
+            shape: shape.name,
+            rows: n,
+            row_best,
+            vec_best,
+        });
+
+        // Sort-key encoding: per-row codec vs column-at-a-time, on the
+        // engine's most common sort shape (single ORDER BY column —
+        // descending for two shapes so the inversion pass is measured).
+        let dir = match shape.name {
+            "date32" | "utf8" => Direction::Desc,
+            _ => Direction::Asc,
+        };
+        let sort_keys: SortKeys = vec![(0, dir)];
+        let (row_best, row_keys) = best_of(runs, || {
+            shape
+                .rows
+                .iter()
+                .map(|row| sortkey::encode_key(row, &sort_keys))
+                .collect::<Vec<_>>()
+        });
+        let (vec_best, (kb, ko)) = best_of(runs, || {
+            let (mut kb, mut ko) = (Vec::new(), Vec::new());
+            encode_batch_keys_arena(&shape.batch, &sort_keys, &mut kb, &mut ko);
+            (kb, ko)
+        });
+        for (i, expected) in row_keys.iter().enumerate() {
+            assert_eq!(
+                &kb[ko[i]..ko[i + 1]],
+                &expected[..],
+                "{}: key encoding diverged at row {i}",
+                shape.name
+            );
+        }
+        cells.push(KernelCell {
+            kernel: "sortkey_encode",
+            shape: shape.name,
+            rows: n,
+            row_best,
+            vec_best,
+        });
+    }
+    for c in &cells {
+        println!(
+            "| {:<15} | {:<12} | {:>7} | {:>12.0} | {:>12.0} | {:>6.2}x |",
+            c.kernel,
+            c.shape,
+            c.rows,
+            c.rows_per_sec(c.row_best),
+            c.rows_per_sec(c.vec_best),
+            c.speedup()
+        );
+    }
+    println!();
+    cells
 }
 
 /// Rows sorted per key shape in the sort-kernel microbench.
@@ -192,6 +518,7 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
 
+    let kernel_cells = run_columnar_bench(runs.max(1));
     let sort_cells = run_sort_bench(runs.max(1));
 
     let db = match tpcd_db(scale) {
@@ -227,7 +554,8 @@ fn main() {
             .unwrap_or_else(|e| panic!("{name}: {e}"))
             .execute()
             .unwrap_or_else(|e| panic!("{name}: {e}"))
-            .rows;
+            .rows()
+            .to_vec();
         let mut cells = Vec::new();
         for &p in DEGREES {
             let prepared = Session::new(&db)
@@ -239,7 +567,8 @@ fn main() {
                 .execute_instrumented()
                 .unwrap_or_else(|e| panic!("{name} threads {p}: {e}"));
             assert_eq!(
-                out.rows, serial_rows,
+                out.rows(),
+                &serial_rows[..],
                 "{name} threads {p}: parallel answer diverged from serial"
             );
             metrics
@@ -270,7 +599,7 @@ fn main() {
                 p95_us: snap.p95,
                 p99_us: snap.p99,
                 pages: out.io.sequential_pages + out.io.random_pages,
-                rows: out.rows.len(),
+                rows: out.num_rows(),
             };
             println!(
                 "| {:<14} | {:>7} | {:>10.3?} | {:>7} | {:>7} | {:>7} | {:>10} | {:>5} |",
@@ -288,10 +617,10 @@ fn main() {
         results.push((name, cells));
     }
 
-    let json = render_json(scale, runs, cores, &sort_cells, &results);
-    std::fs::write("BENCH_PR5.json", &json).expect("write BENCH_PR5.json");
+    let json = render_json(scale, runs, cores, &kernel_cells, &sort_cells, &results);
+    std::fs::write("BENCH_PR6.json", &json).expect("write BENCH_PR6.json");
     println!();
-    println!("wrote BENCH_PR5.json");
+    println!("wrote BENCH_PR6.json");
 }
 
 /// Parses an optional positional argument strictly: absent uses the
@@ -318,15 +647,36 @@ fn render_json(
     scale: f64,
     runs: usize,
     cores: usize,
+    kernel_cells: &[KernelCell],
     sort_cells: &[SortCell],
     results: &[(&str, Vec<Cell>)],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"bench\": \"sort_key_codec_and_morsel_parallelism\",");
+    let _ = writeln!(s, "  \"bench\": \"columnar_kernels_sort_codec_morsel\",");
     let _ = writeln!(s, "  \"scale\": {scale},");
     let _ = writeln!(s, "  \"runs\": {runs},");
     let _ = writeln!(s, "  \"cores\": {cores},");
+    s.push_str("  \"columnar_kernels\": [\n");
+    for (i, c) in kernel_cells.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"rows\": {}, \
+             \"row_rows_per_sec\": {:.0}, \"vec_rows_per_sec\": {:.0}, \"speedup\": {:.3}}}",
+            c.kernel,
+            c.shape,
+            c.rows,
+            c.rows_per_sec(c.row_best),
+            c.rows_per_sec(c.vec_best),
+            c.speedup()
+        );
+        s.push_str(if i + 1 < kernel_cells.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ],\n");
     s.push_str("  \"sort_kernel\": [\n");
     for (i, c) in sort_cells.iter().enumerate() {
         let _ = write!(

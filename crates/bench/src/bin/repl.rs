@@ -178,7 +178,7 @@ fn dispatch(db: &Database, obs: &Observability, statement: &str, modern: bool) {
         // grammar; Session::run parses and dispatches it.
         match session(base_config(modern)).run(&lower) {
             Ok(StatementOutput::Explain(text)) => println!("{text}"),
-            Ok(StatementOutput::Rows(r)) => println!("{} rows", r.rows.len()),
+            Ok(StatementOutput::Rows(r)) => println!("{} rows", r.num_rows()),
             Err(e) => println!("error: {e}"),
         }
     } else if let Some(sql) = lower.strip_prefix("compare ") {
@@ -190,7 +190,7 @@ fn dispatch(db: &Database, obs: &Observability, statement: &str, modern: bool) {
                 Ok((q, r)) => {
                     println!("── {label} ──");
                     println!("{}", q.explain());
-                    println!("{} rows in {:?}  ({})\n", r.rows.len(), r.elapsed, r.io);
+                    println!("{} rows in {:?}  ({})\n", r.num_rows(), r.elapsed, r.io);
                 }
                 Err(e) => println!("error: {e}"),
             }
@@ -206,14 +206,14 @@ fn dispatch(db: &Database, obs: &Observability, statement: &str, modern: bool) {
                     .map(|o| graph.registry.name(o.col))
                     .collect();
                 println!("{}", names.join(" | "));
-                for row in r.rows.iter().take(20) {
+                for row in r.rows().iter().take(20) {
                     let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
                     println!("{}", cells.join(" | "));
                 }
-                if r.rows.len() > 20 {
-                    println!("... ({} rows total)", r.rows.len());
+                if r.num_rows() > 20 {
+                    println!("... ({} rows total)", r.num_rows());
                 }
-                println!("{} rows in {:?}  ({})", r.rows.len(), r.elapsed, r.io);
+                println!("{} rows in {:?}  ({})", r.num_rows(), r.elapsed, r.io);
             }
             Err(e) => println!("error: {e}"),
         }

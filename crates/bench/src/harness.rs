@@ -57,7 +57,7 @@ pub fn run_cell(
     for _ in 0..runs.max(1) {
         let out = prepared.execute()?;
         best = best.min(out.elapsed);
-        rows = out.rows.len();
+        rows = out.num_rows();
         page_cost = out.io.weighted_page_cost();
     }
     Ok(Table1Cell {
@@ -278,10 +278,10 @@ mod tests {
         let r1 = enabled.execute().unwrap();
         let r2 = disabled.execute().unwrap();
         // Same answer regardless of optimization.
-        assert_eq!(r1.rows, r2.rows);
-        assert!(!r1.rows.is_empty());
+        assert_eq!(r1.rows(), r2.rows());
+        assert!(!r1.rows().is_empty());
         // Output ordered by rev desc, o_orderdate.
-        for w in r1.rows.windows(2) {
+        for w in r1.rows().windows(2) {
             let (a, b) = (&w[0], &w[1]);
             let ra = a[1].as_double().unwrap();
             let rb = b[1].as_double().unwrap();
@@ -331,10 +331,10 @@ mod tests {
         let out = Session::new(&db)
             .execute(&queries::section6_example())
             .unwrap();
-        assert!(!out.rows.is_empty());
+        assert!(!out.rows().is_empty());
         // Ordered by o_orderkey.
         let mut last = i64::MIN;
-        for row in &out.rows {
+        for row in out.rows() {
             let k = row[0].as_int().unwrap();
             assert!(k >= last);
             last = k;

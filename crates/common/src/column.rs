@@ -1,0 +1,978 @@
+//! Columnar batches: typed column vectors, validity bitmaps, and
+//! selection-vector gathers.
+//!
+//! The streaming executor moves data between operators as [`Batch`]es —
+//! fixed collections of equal-length, reference-counted [`Column`]s —
+//! instead of rows of enum-tagged [`Value`]s. Hot operators (filter,
+//! projection, sort-key encoding) then run tight per-type loops over the
+//! typed vectors; everything else falls back to per-row [`Value`]
+//! materialization through [`Batch::row`] / [`Batch::to_rows`], which are
+//! exact inverses of [`Batch::from_rows`] so the row-based reference
+//! interpreter stays a bit-identical differential oracle.
+//!
+//! Layout rules:
+//!
+//! * A typed column ([`ColumnData::Int64`], [`ColumnData::Float64`],
+//!   [`ColumnData::Utf8`], [`ColumnData::Date32`], [`ColumnData::Bool`])
+//!   stores one primitive per slot plus an optional validity [`Bitmap`]
+//!   (`None` means every slot is valid). Invalid slots hold the type's
+//!   default in the data vector and read back as [`Value::Null`].
+//! * A column whose non-null values disagree on type degrades to
+//!   [`ColumnData::Mixed`], a plain `Vec<Value>` with no bitmap — the
+//!   lossless fallback that keeps heterogeneous corners (e.g. an untyped
+//!   UNION branch) correct without widening the typed kernels.
+//! * An all-null column is `Int64` data with an all-zero bitmap: typed, so
+//!   downstream kernels still take their fast path, and round-tripping
+//!   through rows reproduces `Null` in every slot.
+//!
+//! Selection vectors are plain `&[u32]` row-index slices; [`Batch::gather`]
+//! materializes the selected rows with one per-type loop per column.
+
+use crate::sortkey;
+use crate::value::{DataType, Row, Value};
+use crate::{Direction, FtoError, Result};
+use std::sync::Arc;
+
+/// A word-packed validity bitmap: bit `i` set means slot `i` is valid
+/// (non-null). Same u64-word representation as [`crate::ColSet`], but
+/// fixed-length and indexed by row position rather than by `ColId`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// A bitmap of `len` slots, all initialized to `valid`.
+    pub fn new(len: usize, valid: bool) -> Bitmap {
+        let nwords = len.div_ceil(64);
+        let fill = if valid { u64::MAX } else { 0 };
+        let mut words = vec![fill; nwords];
+        if valid && !len.is_multiple_of(64) {
+            // Keep trailing bits zero so count_valid stays exact.
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << (len % 64)) - 1;
+            }
+        }
+        Bitmap { words, len }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether slot `i` is valid.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Marks slot `i` valid (`true`) or null (`false`).
+    #[inline]
+    pub fn set(&mut self, i: usize, valid: bool) {
+        debug_assert!(i < self.len);
+        if valid {
+            self.words[i / 64] |= 1 << (i % 64);
+        } else {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Number of valid slots.
+    pub fn count_valid(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when every slot is valid.
+    pub fn all_valid(&self) -> bool {
+        self.count_valid() == self.len
+    }
+}
+
+/// The typed storage behind one [`Column`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ColumnData {
+    /// 64-bit signed integers ([`Value::Int`]).
+    Int64(Vec<i64>),
+    /// 64-bit IEEE-754 floats ([`Value::Double`]); bit patterns (NaN
+    /// payloads, `-0.0`) are preserved exactly.
+    Float64(Vec<f64>),
+    /// UTF-8 strings in one contiguous byte buffer with `len + 1`
+    /// monotone offsets: string `i` is `bytes[offsets[i]..offsets[i+1]]`.
+    Utf8 {
+        /// Slot boundaries into `bytes`; `offsets.len() == len + 1`.
+        offsets: Vec<u32>,
+        /// Concatenated string payloads.
+        bytes: Vec<u8>,
+    },
+    /// Dates as days since the epoch ([`Value::Date`]).
+    Date32(Vec<i32>),
+    /// Booleans ([`Value::Bool`]).
+    Bool(Vec<bool>),
+    /// Heterogeneously typed values, stored as-is. Never carries a
+    /// validity bitmap: nulls live in the values themselves.
+    Mixed(Vec<Value>),
+}
+
+impl ColumnData {
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int64(v) => v.len(),
+            ColumnData::Float64(v) => v.len(),
+            ColumnData::Utf8 { offsets, .. } => offsets.len() - 1,
+            ColumnData::Date32(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Mixed(v) => v.len(),
+        }
+    }
+
+    /// True when the column has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One equal-length column of a [`Batch`]: typed data plus an optional
+/// validity bitmap (`None` = every slot valid).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Column {
+    /// The typed vector.
+    pub data: ColumnData,
+    /// Validity: `None` means all valid; otherwise bit `i` set means slot
+    /// `i` is non-null. Always `None` for [`ColumnData::Mixed`].
+    pub validity: Option<Bitmap>,
+}
+
+impl Column {
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the column has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The declared element type, or `None` for a [`ColumnData::Mixed`]
+    /// column.
+    pub fn data_type(&self) -> Option<DataType> {
+        match &self.data {
+            ColumnData::Int64(_) => Some(DataType::Int),
+            ColumnData::Float64(_) => Some(DataType::Double),
+            ColumnData::Utf8 { .. } => Some(DataType::Str),
+            ColumnData::Date32(_) => Some(DataType::Date),
+            ColumnData::Bool(_) => Some(DataType::Bool),
+            ColumnData::Mixed(_) => None,
+        }
+    }
+
+    /// Whether slot `i` is valid (non-null).
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        match &self.validity {
+            Some(bm) => bm.get(i),
+            None => match &self.data {
+                ColumnData::Mixed(v) => !v[i].is_null(),
+                _ => true,
+            },
+        }
+    }
+
+    /// Materializes slot `i` as a [`Value`].
+    pub fn value(&self, i: usize) -> Value {
+        if let Some(bm) = &self.validity {
+            if !bm.get(i) {
+                return Value::Null;
+            }
+        }
+        match &self.data {
+            ColumnData::Int64(v) => Value::Int(v[i]),
+            ColumnData::Float64(v) => Value::Double(v[i]),
+            ColumnData::Utf8 { offsets, bytes } => {
+                let s = &bytes[offsets[i] as usize..offsets[i + 1] as usize];
+                Value::Str(Arc::from(
+                    std::str::from_utf8(s).expect("Utf8 column holds valid UTF-8"),
+                ))
+            }
+            ColumnData::Date32(v) => Value::Date(v[i]),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Mixed(v) => v[i].clone(),
+        }
+    }
+
+    /// Builds a column from an iterator of values, inferring the tightest
+    /// typed representation (see module docs for the degradation rules).
+    pub fn from_values<'a>(values: impl Iterator<Item = &'a Value> + Clone) -> Column {
+        // One type-inference pass, then one packing pass.
+        let mut ty: Option<DataType> = None;
+        let mut mixed = false;
+        let mut any_null = false;
+        let mut n = 0usize;
+        for v in values.clone() {
+            n += 1;
+            match v.data_type() {
+                None => any_null = true,
+                Some(t) => match ty {
+                    None => ty = Some(t),
+                    Some(prev) if prev == t => {}
+                    Some(_) => mixed = true,
+                },
+            }
+        }
+        if mixed {
+            return Column {
+                data: ColumnData::Mixed(values.cloned().collect()),
+                validity: None,
+            };
+        }
+        let validity = if any_null {
+            let mut bm = Bitmap::new(n, true);
+            for (i, v) in values.clone().enumerate() {
+                if v.is_null() {
+                    bm.set(i, false);
+                }
+            }
+            Some(bm)
+        } else {
+            None
+        };
+        let data = match ty {
+            // All-null (or empty): typed Int64 with every slot invalid.
+            None => ColumnData::Int64(vec![0; n]),
+            Some(DataType::Int) => {
+                ColumnData::Int64(values.map(|v| v.as_int().unwrap_or_default()).collect())
+            }
+            Some(DataType::Double) => ColumnData::Float64(
+                values
+                    .map(|v| match v {
+                        Value::Double(d) => *d,
+                        _ => 0.0,
+                    })
+                    .collect(),
+            ),
+            Some(DataType::Str) => {
+                let mut offsets = Vec::with_capacity(n + 1);
+                let mut bytes = Vec::new();
+                offsets.push(0u32);
+                for v in values {
+                    if let Value::Str(s) = v {
+                        bytes.extend_from_slice(s.as_bytes());
+                    }
+                    offsets.push(bytes.len() as u32);
+                }
+                ColumnData::Utf8 { offsets, bytes }
+            }
+            Some(DataType::Date) => {
+                ColumnData::Date32(values.map(|v| v.as_date().unwrap_or_default()).collect())
+            }
+            Some(DataType::Bool) => {
+                ColumnData::Bool(values.map(|v| v.as_bool().unwrap_or_default()).collect())
+            }
+        };
+        Column { data, validity }
+    }
+
+    /// Materializes the rows named by `sel` (in order) into a new column.
+    /// Indices must be in bounds; they may repeat or reorder freely.
+    pub fn gather(&self, sel: &[u32]) -> Column {
+        let validity = self.validity.as_ref().map(|bm| {
+            let mut out = Bitmap::new(sel.len(), true);
+            for (j, &i) in sel.iter().enumerate() {
+                if !bm.get(i as usize) {
+                    out.set(j, false);
+                }
+            }
+            out
+        });
+        let data = match &self.data {
+            ColumnData::Int64(v) => ColumnData::Int64(sel.iter().map(|&i| v[i as usize]).collect()),
+            ColumnData::Float64(v) => {
+                ColumnData::Float64(sel.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Utf8 { offsets, bytes } => {
+                let mut out_off = Vec::with_capacity(sel.len() + 1);
+                let mut out_bytes = Vec::new();
+                out_off.push(0u32);
+                for &i in sel {
+                    let (lo, hi) = (
+                        offsets[i as usize] as usize,
+                        offsets[i as usize + 1] as usize,
+                    );
+                    out_bytes.extend_from_slice(&bytes[lo..hi]);
+                    out_off.push(out_bytes.len() as u32);
+                }
+                ColumnData::Utf8 {
+                    offsets: out_off,
+                    bytes: out_bytes,
+                }
+            }
+            ColumnData::Date32(v) => {
+                ColumnData::Date32(sel.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Bool(v) => ColumnData::Bool(sel.iter().map(|&i| v[i as usize]).collect()),
+            ColumnData::Mixed(v) => {
+                ColumnData::Mixed(sel.iter().map(|&i| v[i as usize].clone()).collect())
+            }
+        };
+        Column { data, validity }
+    }
+}
+
+/// A columnar batch: equal-length reference-counted columns.
+///
+/// Columns are `Arc`-shared so projection of a bare column reference and
+/// pass-through operators are pointer copies, not data copies. The row
+/// count is carried explicitly so a zero-column batch (no projected
+/// columns) still knows its cardinality.
+#[derive(Clone, Debug)]
+pub struct Batch {
+    columns: Vec<Arc<Column>>,
+    len: usize,
+}
+
+impl Batch {
+    /// An empty batch with `arity` zero-length columns.
+    pub fn empty(arity: usize) -> Batch {
+        let col = Arc::new(Column {
+            data: ColumnData::Int64(Vec::new()),
+            validity: None,
+        });
+        Batch {
+            columns: vec![col; arity],
+            len: 0,
+        }
+    }
+
+    /// Builds a batch from equal-length columns.
+    ///
+    /// Returns [`FtoError::Internal`] when column lengths disagree.
+    pub fn from_columns(columns: Vec<Arc<Column>>) -> Result<Batch> {
+        let len = columns.first().map(|c| c.len()).unwrap_or(0);
+        for (i, c) in columns.iter().enumerate() {
+            if c.len() != len {
+                return Err(FtoError::internal(format!(
+                    "batch column {i} has length {} but column 0 has {len}",
+                    c.len()
+                )));
+            }
+        }
+        Ok(Batch { columns, len })
+    }
+
+    /// As [`Batch::from_columns`], but with an explicit row count for the
+    /// zero-column case (e.g. `SELECT` lists that project nothing).
+    pub fn from_columns_with_len(columns: Vec<Arc<Column>>, len: usize) -> Result<Batch> {
+        if columns.is_empty() {
+            return Ok(Batch { columns, len });
+        }
+        let b = Batch::from_columns(columns)?;
+        if b.len != len {
+            return Err(FtoError::internal(format!(
+                "batch declared {len} rows but columns hold {}",
+                b.len
+            )));
+        }
+        Ok(b)
+    }
+
+    /// Transposes rows into a columnar batch, inferring per-column types.
+    /// An empty slice yields a zero-row, zero-column batch; use
+    /// [`Batch::from_rows_arity`] when the arity must survive emptiness.
+    pub fn from_rows(rows: &[Row]) -> Batch {
+        let arity = rows.first().map(|r| r.len()).unwrap_or(0);
+        Batch::from_rows_arity(rows, arity)
+    }
+
+    /// Transposes rows into a columnar batch with exactly `arity` columns
+    /// (rows must all have that arity; an empty slice is fine).
+    pub fn from_rows_arity(rows: &[Row], arity: usize) -> Batch {
+        let columns = (0..arity)
+            .map(|c| Arc::new(Column::from_values(rows.iter().map(move |r| &r[c]))))
+            .collect();
+        Batch {
+            columns,
+            len: rows.len(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The columns, in position order.
+    pub fn columns(&self) -> &[Arc<Column>] {
+        &self.columns
+    }
+
+    /// Column at position `i`.
+    pub fn column(&self, i: usize) -> &Arc<Column> {
+        &self.columns[i]
+    }
+
+    /// Materializes row `i`.
+    pub fn row(&self, i: usize) -> Row {
+        self.columns
+            .iter()
+            .map(|c| c.value(i))
+            .collect::<Vec<_>>()
+            .into_boxed_slice()
+    }
+
+    /// Materializes every row. Exact inverse of [`Batch::from_rows`].
+    pub fn to_rows(&self) -> Vec<Row> {
+        (0..self.len).map(|i| self.row(i)).collect()
+    }
+
+    /// Appends every row to `out` without an intermediate vector.
+    pub fn append_rows_to(&self, out: &mut Vec<Row>) {
+        out.reserve(self.len);
+        for i in 0..self.len {
+            out.push(self.row(i));
+        }
+    }
+
+    /// Materializes the rows named by `sel`, in order, as a new batch.
+    pub fn gather(&self, sel: &[u32]) -> Batch {
+        Batch {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Arc::new(c.gather(sel)))
+                .collect(),
+            len: sel.len(),
+        }
+    }
+}
+
+/// Misuse-resistant [`Batch`] construction from row pushes.
+///
+/// The builder fixes the arity up front (optionally with declared
+/// [`DataType`]s), rejects rows of the wrong width with a typed error, and
+/// — when types are declared — rejects non-null values of the wrong type.
+/// Without declared types it infers them, degrading a conflicted column to
+/// [`ColumnData::Mixed`] instead of erroring, which is what operators
+/// flowing untyped intermediate results want.
+#[derive(Debug)]
+pub struct BatchBuilder {
+    types: Option<Vec<DataType>>,
+    cols: Vec<Vec<Value>>,
+    len: usize,
+}
+
+impl BatchBuilder {
+    /// A builder for batches of `arity` columns with inferred types.
+    pub fn new(arity: usize) -> BatchBuilder {
+        BatchBuilder {
+            types: None,
+            cols: vec![Vec::new(); arity],
+            len: 0,
+        }
+    }
+
+    /// A builder whose columns must conform to `types` (nulls always
+    /// admissible).
+    pub fn with_types(types: Vec<DataType>) -> BatchBuilder {
+        let arity = types.len();
+        BatchBuilder {
+            types: Some(types),
+            cols: vec![Vec::new(); arity],
+            len: 0,
+        }
+    }
+
+    /// Number of rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no rows have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one row.
+    ///
+    /// Returns [`FtoError::Internal`] when the row's arity disagrees with
+    /// the builder's, or when a value contradicts a declared column type.
+    pub fn push_row(&mut self, row: &[Value]) -> Result<()> {
+        if row.len() != self.cols.len() {
+            return Err(FtoError::internal(format!(
+                "pushed row of arity {} into batch of arity {}",
+                row.len(),
+                self.cols.len()
+            )));
+        }
+        if let Some(types) = &self.types {
+            for (c, v) in row.iter().enumerate() {
+                if let Some(t) = v.data_type() {
+                    if t != types[c] {
+                        return Err(FtoError::internal(format!(
+                            "column {c} declared {} but row {} holds {t}",
+                            types[c], self.len
+                        )));
+                    }
+                }
+            }
+        }
+        debug_assert!(
+            self.cols.iter().all(|c| c.len() == self.len),
+            "builder columns diverged in length"
+        );
+        for (c, v) in row.iter().enumerate() {
+            self.cols[c].push(v.clone());
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Finishes the batch.
+    pub fn finish(self) -> Batch {
+        let len = self.len;
+        let columns = self
+            .cols
+            .into_iter()
+            .map(|vals| Arc::new(Column::from_values(vals.iter())))
+            .collect();
+        Batch { columns, len }
+    }
+}
+
+/// Encodes the sort key of every batch row straight from the column
+/// vectors, appending to the per-row buffers in `bufs`
+/// (`bufs.len() == batch.len()`). Byte-identical to calling
+/// [`sortkey::encode_value`] on the materialized row values: one
+/// type-dispatch per column instead of one per value, with a tight loop
+/// per fixed-width type.
+pub fn encode_batch_keys(batch: &Batch, keys: &[(usize, Direction)], bufs: &mut [Vec<u8>]) {
+    debug_assert_eq!(batch.len(), bufs.len());
+    for &(pos, dir) in keys {
+        let col = batch.column(pos);
+        // Remember where each buffer started so Desc can invert in place,
+        // exactly as `encode_value` inverts the bytes it just appended.
+        let desc = dir == Direction::Desc;
+        let marks: Vec<usize> = if desc {
+            bufs.iter().map(|b| b.len()).collect()
+        } else {
+            Vec::new()
+        };
+        encode_column_asc(col, bufs);
+        if desc {
+            for (b, &m) in bufs.iter_mut().zip(&marks) {
+                for byte in &mut b[m..] {
+                    *byte = !*byte;
+                }
+            }
+        }
+    }
+}
+
+/// Encodes the sort key of every row of `batch` into one contiguous
+/// arena: `bytes` holds the concatenated per-row keys, `offsets` (length
+/// `batch.len() + 1`) delimits them — row `i`'s key is
+/// `bytes[offsets[i]..offsets[i + 1]]`. Byte-identical to
+/// [`sortkey::encode_key`] per row, like [`encode_batch_keys`], but with
+/// no per-row buffer allocation: the executor's sort and group-by hot
+/// paths build keys through this. Both output vectors are cleared first.
+pub fn encode_batch_keys_arena(
+    batch: &Batch,
+    keys: &[(usize, Direction)],
+    bytes: &mut Vec<u8>,
+    offsets: &mut Vec<usize>,
+) {
+    let n = batch.len();
+    bytes.clear();
+    offsets.clear();
+    if keys.is_empty() {
+        offsets.resize(n + 1, 0);
+        return;
+    }
+    if let [(pos, dir)] = keys {
+        // Single key: encode straight into the arena, no gather pass.
+        encode_column_flat(batch.column(*pos), bytes, offsets);
+        if *dir == Direction::Desc {
+            for b in bytes.iter_mut() {
+                *b = !*b;
+            }
+        }
+        return;
+    }
+    // Encode each key column into its own flat buffer, then gather the
+    // per-row concatenation.
+    let parts: Vec<(Vec<u8>, Vec<usize>)> = keys
+        .iter()
+        .map(|&(pos, dir)| {
+            let mut pb = Vec::new();
+            let mut po = Vec::with_capacity(n + 1);
+            encode_column_flat(batch.column(pos), &mut pb, &mut po);
+            if dir == Direction::Desc {
+                for b in pb.iter_mut() {
+                    *b = !*b;
+                }
+            }
+            (pb, po)
+        })
+        .collect();
+    bytes.reserve(parts.iter().map(|(pb, _)| pb.len()).sum());
+    offsets.reserve(n + 1);
+    offsets.push(0);
+    for i in 0..n {
+        for (pb, po) in &parts {
+            bytes.extend_from_slice(&pb[po[i]..po[i + 1]]);
+        }
+        offsets.push(bytes.len());
+    }
+}
+
+/// Appends the ascending-order encoding of every slot of `col` to
+/// `bytes`, recording slot boundaries in `offsets` (starts by pushing 0,
+/// then one offset per slot).
+fn encode_column_flat(col: &Column, bytes: &mut Vec<u8>, offsets: &mut Vec<usize>) {
+    let validity = col.validity.as_ref();
+    // Size the arena up front so the encoding loops never reallocate
+    // (an overestimate for null slots and zero-free strings is fine).
+    let estimate = match &col.data {
+        ColumnData::Int64(_) | ColumnData::Float64(_) | ColumnData::Mixed(_) => {
+            col.len() * sortkey::NUMERIC_WIDTH
+        }
+        ColumnData::Utf8 { bytes: sb, .. } => sb.len() + 3 * col.len(),
+        ColumnData::Date32(_) => col.len() * 5,
+        ColumnData::Bool(_) => col.len() * 2,
+    };
+    bytes.reserve(estimate);
+    offsets.reserve(col.len() + 1);
+    offsets.push(0);
+    macro_rules! loop_valid {
+        ($vals:ident, $i:ident, $v:ident, $body:block) => {
+            for ($i, $v) in $vals.iter().enumerate() {
+                if validity.is_some_and(|bm| !bm.get($i)) {
+                    bytes.push(sortkey::TAG_NULL);
+                } else {
+                    $body
+                }
+                offsets.push(bytes.len());
+            }
+        };
+    }
+    match &col.data {
+        ColumnData::Int64(vals) => {
+            loop_valid!(vals, i, v, {
+                bytes.push(sortkey::TAG_NUMERIC);
+                let g = *v as f64;
+                let r = (*v as i128 - g as i128) as i16;
+                sortkey::encode_numeric(g, r, bytes);
+            });
+        }
+        ColumnData::Float64(vals) => {
+            loop_valid!(vals, i, v, {
+                bytes.push(sortkey::TAG_NUMERIC);
+                sortkey::encode_numeric(*v, 0, bytes);
+            });
+        }
+        ColumnData::Utf8 {
+            offsets: so,
+            bytes: sb,
+        } => {
+            for i in 0..so.len() - 1 {
+                if validity.is_some_and(|bm| !bm.get(i)) {
+                    bytes.push(sortkey::TAG_NULL);
+                } else {
+                    bytes.push(sortkey::TAG_STR);
+                    for &b in &sb[so[i] as usize..so[i + 1] as usize] {
+                        bytes.push(b);
+                        if b == 0x00 {
+                            bytes.push(0xFF);
+                        }
+                    }
+                    bytes.extend_from_slice(&[0x00, 0x00]);
+                }
+                offsets.push(bytes.len());
+            }
+        }
+        ColumnData::Date32(vals) => {
+            loop_valid!(vals, i, v, {
+                bytes.push(sortkey::TAG_DATE);
+                bytes.extend_from_slice(&((*v as u32) ^ 0x8000_0000).to_be_bytes());
+            });
+        }
+        ColumnData::Bool(vals) => {
+            loop_valid!(vals, i, v, {
+                bytes.push(sortkey::TAG_BOOL);
+                bytes.push(u8::from(*v));
+            });
+        }
+        ColumnData::Mixed(vals) => {
+            for v in vals {
+                sortkey::encode_value_asc(v, bytes);
+                offsets.push(bytes.len());
+            }
+        }
+    }
+}
+
+/// Appends the ascending-order encoding of every slot of `col` to the
+/// matching buffer in `bufs`.
+fn encode_column_asc(col: &Column, bufs: &mut [Vec<u8>]) {
+    let validity = col.validity.as_ref();
+    macro_rules! loop_valid {
+        ($vals:ident, $i:ident, $v:ident, $body:block) => {
+            for ($i, $v) in $vals.iter().enumerate() {
+                if validity.is_some_and(|bm| !bm.get($i)) {
+                    bufs[$i].push(sortkey::TAG_NULL);
+                } else {
+                    $body
+                }
+            }
+        };
+    }
+    match &col.data {
+        ColumnData::Int64(vals) => {
+            loop_valid!(vals, i, v, {
+                let buf = &mut bufs[i];
+                buf.push(sortkey::TAG_NUMERIC);
+                let g = *v as f64;
+                let r = (*v as i128 - g as i128) as i16;
+                sortkey::encode_numeric(g, r, buf);
+            });
+        }
+        ColumnData::Float64(vals) => {
+            loop_valid!(vals, i, v, {
+                let buf = &mut bufs[i];
+                buf.push(sortkey::TAG_NUMERIC);
+                sortkey::encode_numeric(*v, 0, buf);
+            });
+        }
+        ColumnData::Utf8 { offsets, bytes } => {
+            for i in 0..offsets.len() - 1 {
+                if validity.is_some_and(|bm| !bm.get(i)) {
+                    bufs[i].push(sortkey::TAG_NULL);
+                    continue;
+                }
+                let buf = &mut bufs[i];
+                buf.push(sortkey::TAG_STR);
+                for &b in &bytes[offsets[i] as usize..offsets[i + 1] as usize] {
+                    buf.push(b);
+                    if b == 0x00 {
+                        buf.push(0xFF);
+                    }
+                }
+                buf.extend_from_slice(&[0x00, 0x00]);
+            }
+        }
+        ColumnData::Date32(vals) => {
+            loop_valid!(vals, i, v, {
+                let buf = &mut bufs[i];
+                buf.push(sortkey::TAG_DATE);
+                buf.extend_from_slice(&((*v as u32) ^ 0x8000_0000).to_be_bytes());
+            });
+        }
+        ColumnData::Bool(vals) => {
+            loop_valid!(vals, i, v, {
+                let buf = &mut bufs[i];
+                buf.push(sortkey::TAG_BOOL);
+                buf.push(u8::from(*v));
+            });
+        }
+        ColumnData::Mixed(vals) => {
+            for (i, v) in vals.iter().enumerate() {
+                sortkey::encode_value_asc(v, &mut bufs[i]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    fn rows(vals: Vec<Vec<Value>>) -> Vec<Row> {
+        vals.into_iter().map(|r| r.into_boxed_slice()).collect()
+    }
+
+    #[test]
+    fn bitmap_set_get_count() {
+        let mut bm = Bitmap::new(70, true);
+        assert!(bm.all_valid());
+        assert_eq!(bm.count_valid(), 70);
+        bm.set(0, false);
+        bm.set(69, false);
+        assert!(!bm.get(0));
+        assert!(bm.get(1));
+        assert!(!bm.get(69));
+        assert_eq!(bm.count_valid(), 68);
+        let empty = Bitmap::new(0, true);
+        assert!(empty.is_empty());
+        assert_eq!(empty.count_valid(), 0);
+    }
+
+    #[test]
+    fn typed_round_trip_is_identity() {
+        let rs = rows(vec![
+            vec![Value::Int(1), Value::Double(-0.0), Value::str("a\0b")],
+            vec![Value::Null, Value::Double(f64::NAN), Value::str("")],
+            vec![Value::Int(i64::MIN), Value::Null, Value::Null],
+        ]);
+        let b = Batch::from_rows(&rs);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.arity(), 3);
+        let back = b.to_rows();
+        for (a, e) in back.iter().zip(&rs) {
+            assert_eq!(a.len(), e.len());
+            for (x, y) in a.iter().zip(e.iter()) {
+                // Bit-exact, not just total_cmp-equal.
+                match (x, y) {
+                    (Value::Double(p), Value::Double(q)) => {
+                        assert_eq!(p.to_bits(), q.to_bits());
+                    }
+                    _ => assert_eq!(x, y),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_column_degrades_and_round_trips() {
+        let rs = rows(vec![
+            vec![Value::Int(1)],
+            vec![Value::str("x")],
+            vec![Value::Null],
+        ]);
+        let b = Batch::from_rows(&rs);
+        assert!(b.column(0).data_type().is_none());
+        assert_eq!(b.to_rows(), rs);
+    }
+
+    #[test]
+    fn all_null_column_is_typed_and_round_trips() {
+        let rs = rows(vec![vec![Value::Null], vec![Value::Null]]);
+        let b = Batch::from_rows(&rs);
+        assert_eq!(b.column(0).data_type(), Some(DataType::Int));
+        assert_eq!(b.column(0).validity.as_ref().unwrap().count_valid(), 0);
+        assert_eq!(b.to_rows(), rs);
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let b = Batch::from_rows_arity(&[], 4);
+        assert!(b.is_empty());
+        assert_eq!(b.arity(), 4);
+        assert!(b.to_rows().is_empty());
+    }
+
+    #[test]
+    fn gather_selects_reorders_and_repeats() {
+        let rs = rows(vec![
+            vec![Value::Int(0), Value::str("a")],
+            vec![Value::Null, Value::str("b")],
+            vec![Value::Int(2), Value::str("c")],
+        ]);
+        let b = Batch::from_rows(&rs);
+        let g = b.gather(&[2, 0, 2, 1]);
+        assert_eq!(
+            g.to_rows(),
+            rows(vec![
+                vec![Value::Int(2), Value::str("c")],
+                vec![Value::Int(0), Value::str("a")],
+                vec![Value::Int(2), Value::str("c")],
+                vec![Value::Null, Value::str("b")],
+            ])
+        );
+    }
+
+    #[test]
+    fn builder_rejects_arity_mismatch() {
+        let mut b = BatchBuilder::new(2);
+        b.push_row(&[Value::Int(1), Value::Int(2)]).unwrap();
+        assert!(b.push_row(&[Value::Int(1)]).is_err());
+        let batch = b.finish();
+        assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn builder_enforces_declared_types() {
+        let mut b = BatchBuilder::with_types(vec![DataType::Int, DataType::Str]);
+        b.push_row(&[Value::Int(1), Value::str("x")]).unwrap();
+        b.push_row(&[Value::Null, Value::Null]).unwrap();
+        assert!(b.push_row(&[Value::str("oops"), Value::str("y")]).is_err());
+        let batch = b.finish();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.column(0).data_type(), Some(DataType::Int));
+    }
+
+    #[test]
+    fn from_columns_rejects_ragged_lengths() {
+        let a = Arc::new(Column::from_values([Value::Int(1)].iter()));
+        let b = Arc::new(Column::from_values([Value::Int(1), Value::Int(2)].iter()));
+        assert!(Batch::from_columns(vec![a, b]).is_err());
+    }
+
+    #[test]
+    fn columnar_key_encoding_matches_row_encoder() {
+        let mut rng = Rng::new(0x5EED);
+        let mut rs = Vec::new();
+        for _ in 0..300 {
+            let mut row = Vec::new();
+            // Columns 0..5 are homogeneously typed (with nulls); column 5
+            // mixes types so the Mixed fallback is covered too.
+            for c in 0..6usize {
+                let v = if rng.next_u64().is_multiple_of(5) {
+                    Value::Null
+                } else {
+                    match c {
+                        0 => Value::Int(rng.next_u64() as i64),
+                        1 => Value::Double(f64::from_bits(rng.next_u64())),
+                        2 => Value::str(format!("s\0{}", rng.next_u64() % 100)),
+                        3 => Value::Date(rng.next_u64() as i32),
+                        4 => Value::Bool(rng.next_u64().is_multiple_of(2)),
+                        _ => {
+                            if rng.next_u64().is_multiple_of(2) {
+                                Value::Int(rng.next_u64() as i64)
+                            } else {
+                                Value::str("mixed")
+                            }
+                        }
+                    }
+                };
+                row.push(v);
+            }
+            rs.push(row.into_boxed_slice());
+        }
+        let batch = Batch::from_rows(&rs);
+        assert_eq!(batch.column(0).data_type(), Some(DataType::Int));
+        assert!(batch.column(5).data_type().is_none());
+        let keys = vec![
+            (0, Direction::Asc),
+            (2, Direction::Desc),
+            (4, Direction::Asc),
+            (1, Direction::Desc),
+            (3, Direction::Asc),
+            (5, Direction::Desc),
+        ];
+        let mut bufs = vec![Vec::new(); rs.len()];
+        encode_batch_keys(&batch, &keys, &mut bufs);
+        for (row, buf) in rs.iter().zip(&bufs) {
+            let expect = sortkey::encode_key(row, &keys);
+            assert_eq!(buf, &expect, "row {row:?}");
+        }
+    }
+}

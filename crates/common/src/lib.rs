@@ -19,6 +19,7 @@
 #![deny(missing_docs)]
 
 pub mod bitset;
+pub mod column;
 pub mod error;
 pub mod ids;
 pub mod rng;
@@ -27,6 +28,7 @@ pub mod sortkey;
 pub mod value;
 
 pub use bitset::ColSet;
+pub use column::{Batch, BatchBuilder, Bitmap, Column, ColumnData};
 pub use error::{FtoError, Result};
 pub use ids::{ColId, IndexId, QuantifierId, TableId};
 pub use rng::Rng;

@@ -101,8 +101,10 @@ pub fn encode_value_asc(v: &Value, buf: &mut Vec<u8>) {
     }
 }
 
-/// Flipped-double + sign-flipped-residual numeric payload.
-fn encode_numeric(g: f64, r: i16, buf: &mut Vec<u8>) {
+/// Flipped-double + sign-flipped-residual numeric payload. Shared with
+/// the columnar encoder ([`crate::column::encode_batch_keys`]) so both
+/// paths stay byte-identical by construction.
+pub(crate) fn encode_numeric(g: f64, r: i16, buf: &mut Vec<u8>) {
     let bits = if g.is_nan() {
         // Canonical positive quiet NaN: flips above +inf, so NaN sorts
         // last among numerics — the same order as `Value::total_cmp`.

@@ -164,8 +164,11 @@ impl Value {
 
 /// NaN-high total order on doubles: all NaNs are equal to each other and
 /// greater than every non-NaN (including +∞); `-0.0 == 0.0`.
+///
+/// Exposed so vectorized comparison kernels over `f64` column vectors
+/// decide exactly as [`Value::total_cmp`] does on the boxed values.
 #[inline]
-pub(crate) fn cmp_f64_nan_high(a: f64, b: f64) -> Ordering {
+pub fn cmp_f64_nan_high(a: f64, b: f64) -> Ordering {
     match (a.is_nan(), b.is_nan()) {
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Greater,
@@ -182,8 +185,12 @@ pub(crate) fn cmp_f64_nan_high(a: f64, b: f64) -> Ordering {
 /// compare the rounded double, then break exact ties with the integer
 /// residual `a - round(a)`, which `i64 as f64` round-to-nearest bounds to
 /// at most half an ulp (≤ 512 for the largest magnitudes).
+///
+/// Exposed for the same reason as [`cmp_f64_nan_high`]: mixed
+/// `Int64`/`Float64` column kernels must rank exactly as
+/// [`Value::total_cmp`].
 #[inline]
-pub(crate) fn cmp_int_double(a: i64, b: f64) -> Ordering {
+pub fn cmp_int_double(a: i64, b: f64) -> Ordering {
     if b.is_nan() {
         return Ordering::Less;
     }

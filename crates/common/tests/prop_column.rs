@@ -1,0 +1,175 @@
+//! Property tests for the columnar batch layer: `from_rows → to_rows`
+//! must be an exact identity over adversarial value mixes, and the
+//! column-at-a-time sort-key encoder must be byte-identical to the
+//! per-row [`fto_common::sortkey`] encoder on the same fuzz corpus.
+
+use fto_common::column::{encode_batch_keys, encode_batch_keys_arena};
+use fto_common::{sortkey, Batch, Direction, Rng, Row, Value};
+
+const CASES: u64 = 120;
+
+/// One fuzzed value, hitting every corner the codec and the column
+/// round-trip must preserve exactly: NULLs, NaN, signed zeros, huge
+/// integers (f64-inexact), empty strings, strings with embedded 0x00,
+/// and multi-byte UTF-8.
+fn fuzz_value(rng: &mut Rng, type_hint: usize) -> Value {
+    if rng.chance(0.18) {
+        return Value::Null;
+    }
+    match type_hint {
+        0 => Value::Int(match rng.range_usize(0, 5) {
+            0 => i64::MIN,
+            1 => i64::MAX,
+            2 => rng.range_i64(-10, 10),
+            _ => rng.next_u64() as i64,
+        }),
+        1 => Value::Double(match rng.range_usize(0, 8) {
+            0 => f64::NAN,
+            1 => -0.0,
+            2 => 0.0,
+            3 => f64::INFINITY,
+            4 => f64::NEG_INFINITY,
+            5 => f64::from_bits(rng.next_u64()),
+            _ => rng.range_f64(-1e6, 1e6),
+        }),
+        2 => {
+            let n = rng.range_usize(0, 9);
+            let s: String = (0..n)
+                .map(|_| *rng.pick(&['a', 'Z', '0', '\0', 'é', '中', ' ']))
+                .collect();
+            Value::str(s.as_str())
+        }
+        3 => Value::Date(rng.range_i32(-100_000, 100_000)),
+        _ => Value::Bool(rng.bool()),
+    }
+}
+
+/// A fuzzed row set: each column gets a type plan — homogeneous (typed
+/// column with a bitmap), all-null, or per-cell random (Mixed).
+fn fuzz_rows(rng: &mut Rng, arity: usize) -> Vec<Row> {
+    let plans: Vec<usize> = (0..arity).map(|_| rng.range_usize(0, 7)).collect();
+    let nrows = rng.range_usize(0, 40);
+    (0..nrows)
+        .map(|_| {
+            plans
+                .iter()
+                .map(|&plan| match plan {
+                    // 5: all-null column; 6: per-cell random type (Mixed)
+                    5 => Value::Null,
+                    6 => {
+                        let hint = rng.range_usize(0, 5);
+                        fuzz_value(rng, hint)
+                    }
+                    hint => fuzz_value(rng, hint),
+                })
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        })
+        .collect()
+}
+
+/// `Value` equality that is exact on bit patterns: `to_rows` must give
+/// back the NaN payload and zero sign it was handed, which `PartialEq`
+/// (NaN != NaN) can't check.
+fn bit_identical(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Double(x), Value::Double(y)) => x.to_bits() == y.to_bits(),
+        _ => a == b,
+    }
+}
+
+#[test]
+fn row_round_trip_is_identity() {
+    let mut rng = Rng::new(0xC01_BA7C);
+    for case in 0..CASES {
+        let arity = rng.range_usize(0, 6);
+        let rows = fuzz_rows(&mut rng, arity);
+        let batch = Batch::from_rows_arity(&rows, arity);
+        assert_eq!(batch.len(), rows.len(), "case {case}");
+        assert_eq!(batch.arity(), arity, "case {case}");
+        let back = batch.to_rows();
+        assert_eq!(back.len(), rows.len(), "case {case}");
+        for (i, (orig, round)) in rows.iter().zip(&back).enumerate() {
+            for (j, (a, b)) in orig.iter().zip(round.iter()).enumerate() {
+                assert!(
+                    bit_identical(a, b),
+                    "case {case} row {i} col {j}: {a:?} != {b:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_batch_round_trips() {
+    for arity in [0usize, 1, 4] {
+        let batch = Batch::from_rows_arity(&[], arity);
+        assert_eq!(batch.len(), 0);
+        assert_eq!(batch.arity(), arity);
+        assert!(batch.to_rows().is_empty());
+    }
+}
+
+#[test]
+fn columnar_key_encoder_matches_row_encoder() {
+    let mut rng = Rng::new(0xC01_E2C0);
+    for case in 0..CASES {
+        let arity = rng.range_usize(1, 6);
+        let rows = fuzz_rows(&mut rng, arity);
+        let batch = Batch::from_rows_arity(&rows, arity);
+        // Random key set over the columns, random directions, possibly
+        // repeating a column under both directions.
+        let nkeys = rng.range_usize(1, arity + 2);
+        let keys: Vec<(usize, Direction)> = (0..nkeys)
+            .map(|_| {
+                let pos = rng.range_usize(0, arity);
+                let dir = if rng.bool() {
+                    Direction::Asc
+                } else {
+                    Direction::Desc
+                };
+                (pos, dir)
+            })
+            .collect();
+        let mut bufs = vec![Vec::new(); batch.len()];
+        encode_batch_keys(&batch, &keys, &mut bufs);
+        let (mut arena, mut offsets) = (Vec::new(), Vec::new());
+        encode_batch_keys_arena(&batch, &keys, &mut arena, &mut offsets);
+        assert_eq!(offsets.len(), rows.len() + 1, "case {case}");
+        for (i, row) in rows.iter().enumerate() {
+            let expected = sortkey::encode_key(row, &keys);
+            assert_eq!(
+                bufs[i], expected,
+                "case {case} row {i}: columnar encoding diverged\nrow: {row:?}\nkeys: {keys:?}"
+            );
+            assert_eq!(
+                &arena[offsets[i]..offsets[i + 1]],
+                &expected[..],
+                "case {case} row {i}: arena encoding diverged\nrow: {row:?}\nkeys: {keys:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gather_matches_row_selection() {
+    let mut rng = Rng::new(0xC01_6A7E);
+    for case in 0..CASES {
+        let arity = rng.range_usize(1, 5);
+        let rows = fuzz_rows(&mut rng, arity);
+        let batch = Batch::from_rows_arity(&rows, arity);
+        let sel: Vec<u32> = (0..rows.len() as u32).filter(|_| rng.bool()).collect();
+        let gathered = batch.gather(&sel);
+        assert_eq!(gathered.len(), sel.len(), "case {case}");
+        for (k, &i) in sel.iter().enumerate() {
+            let got = gathered.row(k);
+            let want = &rows[i as usize];
+            for (j, (a, b)) in want.iter().zip(got.iter()).enumerate() {
+                assert!(
+                    bit_identical(a, b),
+                    "case {case} slot {k} col {j}: {a:?} != {b:?}"
+                );
+            }
+        }
+    }
+}

@@ -6,12 +6,16 @@
 //! # Architecture
 //!
 //! * [`stream`] — the default engine. Plans lower to a tree of
-//!   [`Operator`]s (`open` / `next_batch` / `close`); rows flow upward in
-//!   batches of at most `batch_size` rows. Scans charge simulated page
-//!   I/O incrementally as batches are pulled, so early-terminating
-//!   queries (LIMIT, Top-N) pay only for the pages behind the rows they
-//!   actually produce. The only general pipeline breaker is the in-memory
-//!   sort; hash group-by and Top-N are inherently blocking, and joins
+//!   [`Operator`]s (`open` / `next_batch` / `close`); data flows upward
+//!   in columnar [`Batch`]es (typed column vectors with validity
+//!   bitmaps, [`fto_common::column`]) of at most `batch_size` rows.
+//!   Filters refine selection vectors with typed kernels, projections
+//!   share untouched columns by `Arc` clone, and sorts/group-bys encode
+//!   their keys column-at-a-time. Scans charge simulated page I/O
+//!   incrementally as batches are pulled, so early-terminating queries
+//!   (LIMIT, Top-N) pay only for the pages behind the rows they actually
+//!   produce. The only general pipeline breaker is the in-memory sort;
+//!   hash group-by and Top-N are inherently blocking, and joins
 //!   materialize only their build side.
 //! * [`sortkernel`] — the shared decorate–sort–undecorate sort kernel
 //!   (stable sorts, Top-N selection, order-preserving K-way merge of
@@ -65,7 +69,7 @@ pub use session::{PreparedQuery, QueryOutput, Session, StatementOutput};
 pub use sortkernel::SortStats;
 pub use stream::{
     compile_pipeline, execute_plan, execute_plan_instrumented, Batch, ExecContext, ExecOptions,
-    Operator,
+    Operator, StreamResult,
 };
 
 /// Executes a plan to completion through the streaming executor with the
@@ -78,7 +82,7 @@ pub fn run_plan(
     db: &fto_storage::Database,
     graph: &fto_qgm::QueryGraph,
     plan: &fto_planner::Plan,
-) -> fto_common::Result<QueryResult> {
+) -> fto_common::Result<StreamResult> {
     execute_plan(db, graph, plan, &ExecOptions::default())
 }
 

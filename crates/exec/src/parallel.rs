@@ -115,7 +115,7 @@ where
                     let mut batches = 0u64;
                     while let Some(batch) = op.next_batch(&wcx, &mut wio)? {
                         batches += 1;
-                        rows.extend(batch);
+                        batch.append_rows_to(&mut rows);
                     }
                     op.close();
                     let out = finish(rows, &mut wio);
@@ -153,7 +153,7 @@ fn emit(buf: &[Row], pos: &mut usize, batch_size: usize) -> Option<Batch> {
         return None;
     }
     let end = (*pos + batch_size).min(buf.len());
-    let batch = buf[*pos..end].to_vec();
+    let batch = Batch::from_rows(&buf[*pos..end]);
     *pos = end;
     Some(batch)
 }

@@ -11,15 +11,15 @@
 //!     .config(OptimizerConfig::default().with_batch_size(512))
 //!     .plan("select k, v from t order by k")?
 //!     .execute()?;
-//! println!("{} rows, {}", out.rows.len(), out.io);
+//! println!("{} rows, {}", out.num_rows(), out.io);
 //! # Ok(()) }
 //! ```
 
-use crate::interp::{run_plan_materialized, QueryResult};
+use crate::interp::run_plan_materialized;
 use crate::metrics::PlanMetrics;
 use crate::obs::Observability;
 use crate::sortkernel::{self, SortStats};
-use crate::stream::{execute_plan, execute_plan_instrumented, ExecOptions};
+use crate::stream::{execute_plan, execute_plan_instrumented, Batch, ExecOptions, StreamResult};
 use fto_common::{Result, Row};
 use fto_obs::{Trace, TraceGuard};
 use fto_planner::{OptimizerConfig, Plan, Planner, PlannerStats};
@@ -27,15 +27,21 @@ use fto_qgm::{rewrite, OrderScan, QueryGraph};
 use fto_sql::{bind, parse_query, parse_statement, ExplainMode, Statement};
 use fto_storage::{Database, IoStats};
 use std::fmt::Write as _;
+use std::sync::OnceLock;
 use std::time::Duration;
 
-/// Everything a query execution produced: the rows plus the three
-/// observables the paper's evaluation reports (simulated I/O, planner
-/// work, wall-clock time).
+/// Everything a query execution produced: the output (columnar batches,
+/// with rows materialized on demand) plus the three observables the
+/// paper's evaluation reports (simulated I/O, planner work, wall-clock
+/// time).
 #[derive(Debug)]
 pub struct QueryOutput {
-    /// Output rows, in the plan's output layout and order.
-    pub rows: Vec<Row>,
+    /// Output batches, in the plan's output layout and order.
+    batches: Vec<Batch>,
+    /// Row materialization of `batches`, built lazily on first
+    /// [`QueryOutput::rows`] call (pre-filled by the reference engine,
+    /// which produces rows natively).
+    rows_cache: OnceLock<Vec<Row>>,
     /// Simulated page I/O accumulated across the whole plan.
     pub io: IoStats,
     /// How much work the planner did choosing the plan.
@@ -46,6 +52,30 @@ pub struct QueryOutput {
     /// encoded and comparator calls, across every sort/merge in the plan
     /// (all worker threads included).
     pub sort: SortStats,
+}
+
+impl QueryOutput {
+    /// The output as columnar batches, in emission order.
+    pub fn batches(&self) -> &[Batch] {
+        &self.batches
+    }
+
+    /// The output as rows, materialized lazily from the batches on first
+    /// call and cached. Order matches [`QueryOutput::batches`].
+    pub fn rows(&self) -> &[Row] {
+        self.rows_cache.get_or_init(|| {
+            let mut out = Vec::with_capacity(self.num_rows());
+            for b in &self.batches {
+                b.append_rows_to(&mut out);
+            }
+            out
+        })
+    }
+
+    /// Total output row count (no materialization).
+    pub fn num_rows(&self) -> usize {
+        self.batches.iter().map(Batch::len).sum()
+    }
 }
 
 /// A query pipeline over one database under one optimizer configuration.
@@ -283,7 +313,7 @@ impl PreparedQuery<'_> {
             obs.record_execution(
                 self.sql.as_deref(),
                 out.elapsed,
-                out.rows.len() as u64,
+                out.num_rows() as u64,
                 &out.io,
                 &out.sort,
                 &self.explain(),
@@ -303,12 +333,28 @@ impl PreparedQuery<'_> {
     pub fn execute_materialized(&self) -> Result<QueryOutput> {
         let before = sortkernel::stats_snapshot();
         let result = run_plan_materialized(self.db, &self.graph, &self.plan)?;
-        Ok(self.wrap(result, sortkernel::stats_snapshot().delta_since(before)))
+        let sort = sortkernel::stats_snapshot().delta_since(before);
+        let batches = if result.rows.is_empty() {
+            Vec::new()
+        } else {
+            vec![Batch::from_rows(&result.rows)]
+        };
+        let rows_cache = OnceLock::new();
+        let _ = rows_cache.set(result.rows);
+        Ok(QueryOutput {
+            batches,
+            rows_cache,
+            io: result.io,
+            planner: self.planner,
+            elapsed: result.elapsed,
+            sort,
+        })
     }
 
-    fn wrap(&self, result: QueryResult, sort: SortStats) -> QueryOutput {
+    fn wrap(&self, result: StreamResult, sort: SortStats) -> QueryOutput {
         QueryOutput {
-            rows: result.rows,
+            batches: result.batches,
+            rows_cache: OnceLock::new(),
             io: result.io,
             planner: self.planner,
             elapsed: result.elapsed,
@@ -400,7 +446,7 @@ impl PreparedQuery<'_> {
             text,
             "totals: {} | {} rows in {:.1?} | sort: key_bytes={} comparisons={}",
             out.io,
-            out.rows.len(),
+            out.num_rows(),
             out.elapsed,
             out.sort.key_bytes,
             out.sort.comparisons
@@ -472,8 +518,8 @@ mod tests {
             .unwrap()
             .execute()
             .unwrap();
-        assert_eq!(out.rows.len(), 40);
-        assert_eq!(out.rows[0][0], fto_common::Value::Int(39));
+        assert_eq!(out.num_rows(), 40);
+        assert_eq!(out.rows()[0][0], fto_common::Value::Int(39));
         assert!(out.io.rows_read >= 40);
     }
 
@@ -486,8 +532,8 @@ mod tests {
             .unwrap();
         let streaming = q.execute().unwrap();
         let materialized = q.execute_materialized().unwrap();
-        assert_eq!(streaming.rows, materialized.rows);
-        assert_eq!(streaming.rows.len(), 4);
+        assert_eq!(streaming.rows(), materialized.rows());
+        assert_eq!(streaming.num_rows(), 4);
     }
 
     #[test]
@@ -502,7 +548,7 @@ mod tests {
         let (out, metrics) = q.execute_instrumented().unwrap();
         assert!(metrics.validate().is_ok(), "{:?}", metrics.validate());
         assert_eq!(metrics.total_io(), out.io);
-        assert_eq!(out.rows.len(), 5);
+        assert_eq!(out.num_rows(), 5);
     }
 
     #[test]
@@ -510,7 +556,7 @@ mod tests {
         let db = db();
         let s = Session::new(&db);
         match s.run("select k from t limit 3").unwrap() {
-            StatementOutput::Rows(out) => assert_eq!(out.rows.len(), 3),
+            StatementOutput::Rows(out) => assert_eq!(out.num_rows(), 3),
             other => panic!("expected rows, got {other:?}"),
         }
         match s.run("explain select k from t order by k").unwrap() {
@@ -546,7 +592,7 @@ mod tests {
         let snapshot = obs.metrics_snapshot();
         assert!(snapshot.contains("counter session.queries 1"), "{snapshot}");
         assert!(
-            snapshot.contains(&format!("counter session.rows {}", out.rows.len())),
+            snapshot.contains(&format!("counter session.rows {}", out.num_rows())),
             "{snapshot}"
         );
         assert!(

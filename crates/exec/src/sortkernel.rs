@@ -212,6 +212,64 @@ fn sort_rows_codec(rows: &mut Vec<Row>, keys: &SortKeys) {
     *rows = decorated.into_iter().map(|(_, row)| row).collect();
 }
 
+/// The codec sort for rows whose normalized keys were already encoded
+/// column-at-a-time ([`fto_common::column::encode_batch_keys`]): appends
+/// the big-endian seq suffix, charges `KEY_BYTES` exactly as
+/// [`sort_rows_codec`] (same bytes per row: key ‖ 8-byte seq), and sorts
+/// the decorated byte strings. `encs[i]` must be row `i`'s key encoding
+/// under the same `keys`; the columnar encoder is byte-identical to
+/// [`sortkey::encode_key_into`] by construction, so this path and the
+/// per-row codec path order identically.
+pub fn sort_rows_preencoded(rows: &mut Vec<Row>, encs: Vec<Vec<u8>>, keys: &SortKeys) {
+    if rows.len() <= 1 || keys.is_empty() {
+        return;
+    }
+    debug_assert_eq!(rows.len(), encs.len());
+    let mut bytes = 0u64;
+    let decorated: Vec<(Vec<u8>, Row)> = std::mem::take(rows)
+        .into_iter()
+        .zip(encs)
+        .enumerate()
+        .map(|(i, (row, mut key))| {
+            key.extend_from_slice(&(i as u64).to_be_bytes());
+            bytes += key.len() as u64;
+            (key, row)
+        })
+        .collect();
+    charge(bytes, 0);
+    let decorated = sort_decorated(decorated, |d| &d.0);
+    *rows = decorated.into_iter().map(|(_, row)| row).collect();
+}
+
+/// The codec sort for rows whose normalized keys were encoded into one
+/// contiguous arena ([`fto_common::column::encode_batch_keys_arena`]):
+/// row `i`'s key is `bytes[offsets[i]..offsets[i + 1]]`. Builds each
+/// decorated key (key ‖ 8-byte seq) in a single exactly-sized
+/// allocation, charges `KEY_BYTES` identically to [`sort_rows_codec`],
+/// and sorts the decorated byte strings.
+pub fn sort_rows_arena(rows: &mut Vec<Row>, bytes: &[u8], offsets: &[usize], keys: &SortKeys) {
+    if rows.len() <= 1 || keys.is_empty() {
+        return;
+    }
+    debug_assert_eq!(rows.len() + 1, offsets.len());
+    let mut total = 0u64;
+    let decorated: Vec<(Vec<u8>, Row)> = std::mem::take(rows)
+        .into_iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let enc = &bytes[offsets[i]..offsets[i + 1]];
+            let mut key = Vec::with_capacity(enc.len() + 8);
+            key.extend_from_slice(enc);
+            key.extend_from_slice(&(i as u64).to_be_bytes());
+            total += key.len() as u64;
+            (key, row)
+        })
+        .collect();
+    charge(total, 0);
+    let decorated = sort_decorated(decorated, |d| &d.0);
+    *rows = decorated.into_iter().map(|(_, row)| row).collect();
+}
+
 /// Below this many elements a comparison sort beats radix distribution.
 const RADIX_CUTOFF: usize = 64;
 

@@ -1,12 +1,23 @@
-//! The streaming, batched (Volcano-style) executor.
+//! The streaming, batched (Volcano-style) executor — columnar batches.
 //!
 //! Plans are lowered to a tree of [`Operator`]s. Each operator exposes
-//! `open` / `next_batch` / `close` and rows flow upward in batches of at
-//! most [`ExecContext::batch_size`] rows (default 1024). Scans pull
-//! through the batched cursors in `fto_storage::scan`, so simulated page
-//! I/O is charged as pages are actually touched — a `LIMIT 10` over a
+//! `open` / `next_batch` / `close` and data flows upward in columnar
+//! [`Batch`]es ([`fto_common::column`]) of at most
+//! [`ExecContext::batch_size`] rows (default 1024). Scans pull through
+//! the batched cursors in `fto_storage::scan`, so simulated page I/O is
+//! charged as pages are actually touched — a `LIMIT 10` over a
 //! million-row table pays for the handful of pages behind the ten rows it
 //! returns, not the whole heap.
+//!
+//! Hot operators run columnar: filters refine a selection vector with
+//! typed kernels and gather survivors (never materializing rows),
+//! projections of bare column references are `Arc` clones, hash group-by
+//! computes its keys by byte-encoding the grouping columns
+//! column-at-a-time, and the sort's codec path encodes normalized keys
+//! straight from the column vectors. Operators with inherently row-wise
+//! logic (joins, order-based group-by, distinct) materialize rows through
+//! `Batch::row`/`to_rows` — the transition shims the columnar redesign
+//! keeps until those paths are vectorized in turn.
 //!
 //! Pipeline breakers: [`PlanNode::Sort`], [`PlanNode::TopN`], and
 //! [`PlanNode::HashGroupBy`] must consume their whole input before
@@ -21,25 +32,57 @@
 //! reference engine's exact emission order, not merely the same bag of
 //! rows.
 
-use crate::interp::{concat, eval_preds, hash_group_by, positions, QueryResult};
+use crate::interp::{concat, eval_preds, positions};
 use crate::metrics::{OpMetrics, PlanMetrics};
 use crate::parallel::{
     GatherOp, MergeExchangeOp, PartitionSpec, RepartitionSortOp, TopNExchangeOp,
 };
 use crate::sortkernel::{self, resolve_keys, SortKeys};
+use fto_common::column::encode_batch_keys_arena;
 use fto_common::{sortkey, ColId, Direction, FtoError, IndexId, Result, Row, TableId, Value};
-use fto_expr::{agg::Accumulator, AggCall, Expr, PredId, RowLayout};
+use fto_expr::{agg::Accumulator, vector, AggCall, Expr, PredId, RowLayout};
 use fto_planner::{Plan, PlanNode, ScanRange};
 use fto_qgm::QueryGraph;
 use fto_storage::{Database, HeapScanState, IndexScanState, IoStats, PageCursor};
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// A batch of rows. Operators never return an empty batch: exhaustion is
-/// signalled by `None` from [`Operator::next_batch`].
-pub type Batch = Vec<Row>;
+/// The columnar batch flowing between operators. Operators never return
+/// an empty batch: exhaustion is signalled by `None` from
+/// [`Operator::next_batch`].
+pub use fto_common::column::Batch;
+
+/// Result of a streaming execution: the produced batches plus I/O and
+/// timing. The row-based reference engine keeps its own
+/// [`crate::interp::QueryResult`]; the differential suites hold the two
+/// bit-identical.
+#[derive(Debug)]
+pub struct StreamResult {
+    /// Output batches in emission order (none of them empty).
+    pub batches: Vec<Batch>,
+    /// Simulated I/O charged during execution.
+    pub io: IoStats,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+}
+
+impl StreamResult {
+    /// Total output row count (no materialization).
+    pub fn num_rows(&self) -> usize {
+        self.batches.iter().map(Batch::len).sum()
+    }
+
+    /// Materializes the output as rows, in emission order.
+    pub fn rows(&self) -> Vec<Row> {
+        let mut out = Vec::with_capacity(self.num_rows());
+        for b in &self.batches {
+            b.append_rows_to(&mut out);
+        }
+        out
+    }
+}
 
 /// Execution-wide state passed to every operator call.
 pub struct ExecContext<'a> {
@@ -134,19 +177,19 @@ pub fn execute_plan(
     graph: &QueryGraph,
     plan: &Plan,
     opts: &ExecOptions,
-) -> Result<QueryResult> {
+) -> Result<StreamResult> {
     let start = Instant::now();
     let mut io = IoStats::new();
     let cx = ExecContext::new(db, graph, opts);
     let mut root = lower_impl(plan, &mut LowerCx::new(None, cx.threads))?;
     root.open(&cx, &mut io)?;
-    let mut rows = Vec::new();
+    let mut batches = Vec::new();
     while let Some(batch) = root.next_batch(&cx, &mut io)? {
-        rows.extend(batch);
+        batches.push(batch);
     }
     root.close();
-    Ok(QueryResult {
-        rows,
+    Ok(StreamResult {
+        batches,
         io,
         elapsed: start.elapsed(),
     })
@@ -166,7 +209,7 @@ pub fn execute_plan_instrumented(
     graph: &QueryGraph,
     plan: &Plan,
     opts: &ExecOptions,
-) -> Result<(QueryResult, PlanMetrics)> {
+) -> Result<(StreamResult, PlanMetrics)> {
     let start = Instant::now();
     let mut io = IoStats::new();
     let cx = ExecContext::new(db, graph, opts);
@@ -176,9 +219,9 @@ pub fn execute_plan_instrumented(
         &mut LowerCx::new(Some(Arc::clone(&slots)), cx.threads),
     )?;
     root.open(&cx, &mut io)?;
-    let mut rows = Vec::new();
+    let mut batches = Vec::new();
     while let Some(batch) = root.next_batch(&cx, &mut io)? {
-        rows.extend(batch);
+        batches.push(batch);
     }
     root.close();
     drop(root);
@@ -191,8 +234,8 @@ pub fn execute_plan_instrumented(
         children: preorder_children(plan),
     };
     Ok((
-        QueryResult {
-            rows,
+        StreamResult {
+            batches,
             io,
             elapsed: start.elapsed(),
         },
@@ -239,7 +282,8 @@ impl OutQueue {
 
     fn take(&mut self, n: usize) -> Batch {
         let n = n.min(self.rows.len());
-        self.rows.drain(..n).collect()
+        let rows: Vec<Row> = self.rows.drain(..n).collect();
+        Batch::from_rows(&rows)
     }
 
     fn clear(&mut self) {
@@ -255,7 +299,7 @@ pub(crate) fn drain_all(
     child.open(cx, io)?;
     let mut rows = Vec::new();
     while let Some(batch) = child.next_batch(cx, io)? {
-        rows.extend(batch);
+        batch.append_rows_to(&mut rows);
     }
     child.close();
     Ok(rows)
@@ -287,7 +331,7 @@ impl Operator for ScanOp {
 
     fn next_batch(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<Option<Batch>> {
         let heap = cx.db.heap(self.table)?;
-        let batch = self.state.next_batch(heap, cx.batch_size, io);
+        let batch = self.state.next_columns(heap, cx.batch_size, io);
         Ok(if batch.is_empty() { None } else { Some(batch) })
     }
 }
@@ -337,7 +381,7 @@ impl Operator for IndexScanOp {
             .state
             .as_mut()
             .ok_or_else(|| FtoError::internal("index scan used before open"))?;
-        let batch = state.next_batch(ix, heap, cx.batch_size, io);
+        let batch = state.next_columns(ix, heap, cx.batch_size, io);
         Ok(if batch.is_empty() { None } else { Some(batch) })
     }
 
@@ -366,14 +410,24 @@ impl Operator for FilterOp {
             let Some(batch) = self.child.next_batch(cx, io)? else {
                 return Ok(None);
             };
-            let mut out = Vec::with_capacity(batch.len());
-            for row in batch {
-                if eval_preds(cx.graph, &self.predicates, &row, &self.layout)? {
-                    out.push(row);
+            // Refine a selection vector predicate by predicate — typed
+            // column kernels where the predicate shape allows, the row
+            // evaluator over still-selected rows otherwise. Sequential
+            // refinement preserves the row path's short-circuit AND:
+            // rows rejected by an earlier predicate never reach (and so
+            // never error in) a later one.
+            let mut sel: Vec<u32> = (0..batch.len() as u32).collect();
+            for pid in &self.predicates {
+                if sel.is_empty() {
+                    break;
                 }
+                vector::filter_selection(cx.graph.predicate(*pid), &batch, &self.layout, &mut sel)?;
             }
-            if !out.is_empty() {
-                return Ok(Some(out));
+            if sel.len() == batch.len() {
+                return Ok(Some(batch));
+            }
+            if !sel.is_empty() {
+                return Ok(Some(batch.gather(&sel)));
             }
         }
     }
@@ -385,7 +439,7 @@ impl Operator for FilterOp {
 
 struct ProjectOp {
     child: Box<dyn Operator>,
-    exprs: Vec<(ColId, Expr)>,
+    exprs: Vec<Expr>,
     layout: RowLayout,
 }
 
@@ -398,16 +452,11 @@ impl Operator for ProjectOp {
         let Some(batch) = self.child.next_batch(cx, io)? else {
             return Ok(None);
         };
-        let out: Batch = batch
-            .iter()
-            .map(|row| {
-                self.exprs
-                    .iter()
-                    .map(|(_, e)| e.eval(row, &self.layout))
-                    .collect::<Result<Row>>()
-            })
-            .collect::<Result<_>>()?;
-        Ok(Some(out))
+        Ok(Some(vector::project_batch(
+            &self.exprs,
+            &batch,
+            &self.layout,
+        )?))
     }
 
     fn close(&mut self) {
@@ -436,7 +485,8 @@ impl Operator for LimitOp {
             return Ok(None);
         };
         if batch.len() as u64 > self.remaining {
-            batch.truncate(self.remaining as usize);
+            let keep: Vec<u32> = (0..self.remaining as u32).collect();
+            batch = batch.gather(&keep);
         }
         self.remaining -= batch.len() as u64;
         Ok(Some(batch))
@@ -464,14 +514,15 @@ impl Operator for StreamDistinctOp {
                 return Ok(None);
             };
             let mut out = Vec::new();
-            for row in batch {
+            for i in 0..batch.len() {
+                let row = batch.row(i);
                 if self.last.as_ref().map(|prev| prev != &row).unwrap_or(true) {
                     self.last = Some(row.clone());
                     out.push(row);
                 }
             }
             if !out.is_empty() {
-                return Ok(Some(out));
+                return Ok(Some(Batch::from_rows(&out)));
             }
         }
     }
@@ -499,13 +550,14 @@ impl Operator for HashDistinctOp {
                 return Ok(None);
             };
             let mut out = Vec::new();
-            for row in batch {
+            for i in 0..batch.len() {
+                let row = batch.row(i);
                 if self.seen.insert(row.clone()) {
                     out.push(row);
                 }
             }
             if !out.is_empty() {
-                return Ok(Some(out));
+                return Ok(Some(Batch::from_rows(&out)));
             }
         }
     }
@@ -569,9 +621,35 @@ struct SortOp {
 
 impl Operator for SortOp {
     fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
-        let mut rows = drain_all(&mut self.child, cx, io)?;
+        // Under the codec, sort keys are encoded column-at-a-time while
+        // the input is still columnar — a tight per-type loop per key
+        // column — and the pre-encoded keys are handed to the kernel.
+        // Byte output (and therefore `sort.key_bytes` accounting) is
+        // identical to the kernel's own per-row encoding pass.
+        let encode = cx.sort_key_codec && !self.keys.is_empty();
+        self.child.open(cx, io)?;
+        let mut rows = Vec::new();
+        // Key arena accumulated across batches: one backing buffer, no
+        // per-row allocation during encoding.
+        let mut key_bytes: Vec<u8> = Vec::new();
+        let mut key_offsets: Vec<usize> = vec![0];
+        let (mut bb, mut bo) = (Vec::new(), Vec::new());
+        while let Some(batch) = self.child.next_batch(cx, io)? {
+            if encode {
+                encode_batch_keys_arena(&batch, &self.keys, &mut bb, &mut bo);
+                let base = key_bytes.len();
+                key_bytes.extend_from_slice(&bb);
+                key_offsets.extend(bo[1..].iter().map(|&o| base + o));
+            }
+            batch.append_rows_to(&mut rows);
+        }
+        self.child.close();
         io.sort_rows += rows.len() as u64;
-        sortkernel::sort_rows_with(&mut rows, &self.keys, cx.sort_key_codec);
+        if encode {
+            sortkernel::sort_rows_arena(&mut rows, &key_bytes, &key_offsets, &self.keys);
+        } else {
+            sortkernel::sort_rows_with(&mut rows, &self.keys, cx.sort_key_codec);
+        }
         self.buf = rows;
         self.pos = 0;
         Ok(())
@@ -582,7 +660,7 @@ impl Operator for SortOp {
             return Ok(None);
         }
         let end = (self.pos + cx.batch_size).min(self.buf.len());
-        let batch = self.buf[self.pos..end].to_vec();
+        let batch = Batch::from_rows(&self.buf[self.pos..end]);
         self.pos = end;
         Ok(Some(batch))
     }
@@ -615,7 +693,7 @@ impl Operator for TopNOp {
             return Ok(None);
         }
         let end = (self.pos + cx.batch_size).min(self.buf.len());
-        let batch = self.buf[self.pos..end].to_vec();
+        let batch = Batch::from_rows(&self.buf[self.pos..end]);
         self.pos = end;
         Ok(Some(batch))
     }
@@ -636,8 +714,69 @@ struct HashGroupByOp {
 
 impl Operator for HashGroupByOp {
     fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
-        let rows = drain_all(&mut self.child, cx, io)?;
-        self.buf = hash_group_by(&rows, &self.layout, &self.grouping, &self.aggs)?;
+        // Columnar grouping: per input batch, grouping keys become
+        // memcmp-comparable byte strings via the sort-key codec (encoded
+        // column-at-a-time) and the hash table is keyed on bytes instead
+        // of `Vec<Value>`. The codec is an order-preserving injection up
+        // to `Value::total_cmp` equality, which canonicalizes exactly
+        // like `Value`'s `Eq`/`Hash` (Int 5 ≡ Double 5.0, one NaN, one
+        // zero) — so byte equality groups precisely the rows the row
+        // engine groups, and insertion order matches its output order.
+        self.child.open(cx, io)?;
+        let gpos: Vec<usize> = self
+            .grouping
+            .iter()
+            .map(|c| {
+                self.layout
+                    .position(*c)
+                    .ok_or_else(|| FtoError::internal("grouping column missing from layout"))
+            })
+            .collect::<Result<_>>()?;
+        let gkeys: SortKeys = gpos.iter().map(|&p| (p, Direction::Asc)).collect();
+        let args: Vec<Expr> = self.aggs.iter().map(|(_, c)| c.arg.clone()).collect();
+        let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
+        let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+        let mut saw_input = false;
+        let (mut key_bytes, mut key_offsets) = (Vec::new(), Vec::new());
+        while let Some(batch) = self.child.next_batch(cx, io)? {
+            saw_input = true;
+            // Keys land in one contiguous arena; only a first-seen group
+            // copies its key out (HashMap probes borrow the slice).
+            encode_batch_keys_arena(&batch, &gkeys, &mut key_bytes, &mut key_offsets);
+            let argcols = vector::eval_agg_args(&args, &batch, &self.layout)?;
+            for i in 0..batch.len() {
+                let key = &key_bytes[key_offsets[i]..key_offsets[i + 1]];
+                let slot = match index.get(key) {
+                    Some(&slot) => slot,
+                    None => {
+                        let kvals: Vec<Value> =
+                            gpos.iter().map(|&p| batch.column(p).value(i)).collect();
+                        let accs: Vec<_> = self.aggs.iter().map(|(_, c)| c.accumulator()).collect();
+                        groups.push((kvals, accs));
+                        index.insert(key.to_vec(), groups.len() - 1);
+                        groups.len() - 1
+                    }
+                };
+                for (acc, col) in groups[slot].1.iter_mut().zip(&argcols) {
+                    acc.update_value(col.value(i));
+                }
+            }
+        }
+        self.child.close();
+        if !saw_input && self.grouping.is_empty() {
+            // A global aggregate over an empty input still produces one
+            // row (COUNT(*) = 0, SUM = NULL).
+            let accs: Vec<_> = self.aggs.iter().map(|(_, c)| c.accumulator()).collect();
+            groups.push((Vec::new(), accs));
+        }
+        self.buf = groups
+            .into_iter()
+            .map(|(key, accs)| {
+                let mut row = key;
+                row.extend(accs.iter().map(|a| a.finish()));
+                row.into_boxed_slice()
+            })
+            .collect();
         self.pos = 0;
         Ok(())
     }
@@ -647,7 +786,7 @@ impl Operator for HashGroupByOp {
             return Ok(None);
         }
         let end = (self.pos + cx.batch_size).min(self.buf.len());
-        let batch = self.buf[self.pos..end].to_vec();
+        let batch = Batch::from_rows(&self.buf[self.pos..end]);
         self.pos = end;
         Ok(Some(batch))
     }
@@ -681,7 +820,8 @@ impl StreamGroupByOp {
     }
 
     fn absorb(&mut self, batch: Batch) -> Result<()> {
-        for row in batch {
+        for i in 0..batch.len() {
+            let row = batch.row(i);
             let key = key_of(&row, &self.gpos);
             match &mut self.current {
                 Some((ckey, accs)) if *ckey == key => {
@@ -777,9 +917,10 @@ impl Operator for NestedLoopJoinOp {
             let Some(batch) = self.outer.next_batch(cx, io)? else {
                 return Ok(None);
             };
-            for orow in &batch {
+            for i in 0..batch.len() {
+                let orow = batch.row(i);
                 for irow in &self.inner_rows {
-                    let joined = concat(orow, irow);
+                    let joined = concat(&orow, irow);
                     if eval_preds(cx.graph, &self.predicates, &joined, &self.layout)? {
                         self.out.push(joined);
                     }
@@ -827,8 +968,9 @@ impl Operator for IndexNestedLoopJoinOp {
             let Some(batch) = self.outer.next_batch(cx, io)? else {
                 return Ok(None);
             };
-            for orow in &batch {
-                let key = key_of(orow, &self.probe_pos);
+            for oi in 0..batch.len() {
+                let orow = batch.row(oi);
+                let key = key_of(&orow, &self.probe_pos);
                 io.index_pages += 1; // descent touches one leaf
                                      // Codec path: encode the probe once, binary-search the
                                      // index's stored normalized keys by memcmp. Identical
@@ -841,7 +983,7 @@ impl Operator for IndexNestedLoopJoinOp {
                 for (_, rid) in hits {
                     self.cursor.touch(heap.page_of(*rid), io);
                     io.rows_read += 1;
-                    let joined = concat(orow, heap.row(*rid));
+                    let joined = concat(&orow, heap.row(*rid));
                     if eval_preds(cx.graph, &self.predicates, &joined, &self.layout)? {
                         self.out.push(joined);
                     }
@@ -908,14 +1050,15 @@ impl Operator for HashJoinWrap {
             let Some(batch) = op.outer.next_batch(cx, io)? else {
                 return Ok(None);
             };
-            for orow in &batch {
-                let key = key_of(orow, &op.opos);
+            for oi in 0..batch.len() {
+                let orow = batch.row(oi);
+                let key = key_of(&orow, &op.opos);
                 if key.iter().any(Value::is_null) {
                     continue;
                 }
                 if let Some(matches) = op.table.get(&key) {
                     for &i in matches {
-                        let joined = concat(orow, &op.build_rows[i]);
+                        let joined = concat(&orow, &op.build_rows[i]);
                         if eval_preds(cx.graph, &op.predicates, &joined, &op.layout)? {
                             op.out.push(joined);
                         }
@@ -974,14 +1117,15 @@ impl Operator for LeftOuterJoinOp {
             let Some(batch) = self.outer.next_batch(cx, io)? else {
                 return Ok(None);
             };
-            for orow in &batch {
+            for oi in 0..batch.len() {
+                let orow = batch.row(oi);
                 let mut matched = false;
                 if self.keyed {
-                    let key = key_of(orow, &self.opos);
+                    let key = key_of(&orow, &self.opos);
                     if !key.iter().any(Value::is_null) {
                         if let Some(candidates) = self.table.get(&key) {
                             for &i in candidates {
-                                let joined = concat(orow, &self.build_rows[i]);
+                                let joined = concat(&orow, &self.build_rows[i]);
                                 if eval_preds(cx.graph, &self.predicates, &joined, &self.layout)? {
                                     self.out.push(joined);
                                     matched = true;
@@ -992,7 +1136,7 @@ impl Operator for LeftOuterJoinOp {
                 } else {
                     // No equi keys: nested loop with ON residuals.
                     for irow in &self.build_rows {
-                        let joined = concat(orow, irow);
+                        let joined = concat(&orow, irow);
                         if eval_preds(cx.graph, &self.predicates, &joined, &self.layout)? {
                             self.out.push(joined);
                             matched = true;
@@ -1000,7 +1144,7 @@ impl Operator for LeftOuterJoinOp {
                     }
                 }
                 if !matched {
-                    self.out.push(concat(orow, &self.null_pad));
+                    self.out.push(concat(&orow, &self.null_pad));
                 }
             }
         }
@@ -1062,7 +1206,7 @@ fn merge_fill(
             side.pos = 0;
         }
         match child.next_batch(cx, io)? {
-            Some(batch) => side.buf.extend(batch),
+            Some(batch) => batch.append_rows_to(&mut side.buf),
             None => side.done = true,
         }
     }
@@ -1104,7 +1248,7 @@ fn merge_take_group(
             break;
         }
         match child.next_batch(cx, io)? {
-            Some(batch) => side.buf.extend(batch),
+            Some(batch) => batch.append_rows_to(&mut side.buf),
             None => side.done = true,
         }
     }
@@ -1441,7 +1585,7 @@ fn lower_impl(plan: &Plan, lw: &mut LowerCx) -> Result<Box<dyn Operator>> {
         }),
         PlanNode::Project { input, exprs } => Box::new(ProjectOp {
             child: lower_impl(input, lw)?,
-            exprs: exprs.clone(),
+            exprs: exprs.iter().map(|(_, e)| e.clone()).collect(),
             layout: input.layout.clone(),
         }),
         PlanNode::Sort { input, spec } => {
@@ -1700,7 +1844,7 @@ mod tests {
             },
         )
         .unwrap();
-        assert_eq!(old.rows, new.rows);
+        assert_eq!(old.rows, new.rows());
         assert_eq!(old.io.sequential_pages, new.io.sequential_pages);
         assert_eq!(old.io.rows_read, new.io.rows_read);
     }
@@ -1721,8 +1865,8 @@ mod tests {
         };
         let old = run_plan_materialized(&db, &graph, &limit).unwrap();
         let new = execute_plan(&db, &graph, &limit, &ExecOptions::default()).unwrap();
-        assert_eq!(old.rows, new.rows);
-        assert_eq!(new.rows.len(), 10);
+        assert_eq!(old.rows, new.rows());
+        assert_eq!(new.rows().len(), 10);
         let full_pages = db.heap(TableId(0)).unwrap().page_count();
         assert_eq!(old.io.sequential_pages, full_pages);
         assert!(
@@ -1763,7 +1907,7 @@ mod tests {
             },
         )
         .unwrap();
-        assert_eq!(old.rows, new.rows);
+        assert_eq!(old.rows, new.rows());
         assert_eq!(old.io.sort_rows, new.io.sort_rows);
     }
 
@@ -1805,7 +1949,7 @@ mod tests {
                 },
             )
             .unwrap();
-            assert_eq!(serial.rows, par.rows, "threads={threads}");
+            assert_eq!(serial.rows(), par.rows(), "threads={threads}");
             // Page-aligned partitions charge exactly the serial totals.
             assert_eq!(serial.io.sequential_pages, par.io.sequential_pages);
             assert_eq!(serial.io.rows_read, par.io.rows_read);
@@ -1839,7 +1983,7 @@ mod tests {
                 ..ExecOptions::default()
             };
             let (result, metrics) = execute_plan_instrumented(&db, &graph, &sort, &opts).unwrap();
-            assert_eq!(result.rows.len(), 2048);
+            assert_eq!(result.num_rows(), 2048);
             assert!(
                 metrics.validate().is_ok(),
                 "threads={threads}: {:?}",

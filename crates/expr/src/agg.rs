@@ -115,14 +115,22 @@ pub struct Accumulator {
 impl Accumulator {
     /// Feeds one input row; NULL arguments are skipped per SQL semantics.
     pub fn update(&mut self, call: &AggCall, row: &[Value], layout: &RowLayout) -> Result<()> {
-        let v = call.arg.eval(row, layout)?;
+        self.update_value(call.arg.eval(row, layout)?);
+        Ok(())
+    }
+
+    /// Feeds one already-evaluated argument value (the columnar group-by
+    /// path evaluates argument expressions batch-at-a-time and then feeds
+    /// the column slots here). Semantics identical to
+    /// [`Accumulator::update`].
+    pub fn update_value(&mut self, v: Value) {
         if v.is_null() {
-            return Ok(());
+            return;
         }
         if self.distinct {
             let seen = self.seen.as_mut().expect("distinct accumulator has set");
             if !seen.insert(v.clone()) {
-                return Ok(());
+                return;
             }
         }
         self.count += 1;
@@ -146,7 +154,6 @@ impl Accumulator {
                 }
             }
         }
-        Ok(())
     }
 
     /// Produces the final aggregate value.

@@ -18,6 +18,7 @@ pub mod agg;
 pub mod expr;
 pub mod layout;
 pub mod predicate;
+pub mod vector;
 
 pub use agg::{AggCall, AggFunc};
 pub use expr::{ArithOp, Expr};

@@ -84,7 +84,9 @@ impl CompareOp {
         }
     }
 
-    fn evaluate(self, ord: std::cmp::Ordering) -> bool {
+    /// Whether an ordering between two non-null operands satisfies the
+    /// operator; shared with the vectorized comparison kernels.
+    pub(crate) fn evaluate(self, ord: std::cmp::Ordering) -> bool {
         use std::cmp::Ordering::*;
         match self {
             CompareOp::Eq => ord == Equal,

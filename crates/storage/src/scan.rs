@@ -14,7 +14,7 @@
 use crate::heap::HeapTable;
 use crate::index::{OrderedIndex, ENTRIES_PER_LEAF};
 use crate::io::{IoStats, PageCursor};
-use fto_common::{Row, Value};
+use fto_common::{Batch, BatchBuilder, Row, Value};
 
 /// Splits `[lo, hi)` into `parts` deterministic contiguous chunks and
 /// returns the bounds of chunk `part`, with every *interior* cut rounded
@@ -111,6 +111,26 @@ impl HeapScanState {
         }
         self.next_rid = end;
         out
+    }
+
+    /// As [`HeapScanState::next_batch`], but transposes straight into a
+    /// columnar [`Batch`] (no intermediate row vector). Page and row
+    /// charging is identical.
+    pub fn next_columns(&mut self, heap: &HeapTable, max_rows: usize, io: &mut IoStats) -> Batch {
+        let total = (heap.row_count() as usize).min(self.end_rid);
+        let end = (self.next_rid + max_rows.max(1)).min(total);
+        if self.next_rid >= end {
+            return Batch::empty(0);
+        }
+        let mut b = BatchBuilder::new(heap.row(self.next_rid).len());
+        for rid in self.next_rid..end {
+            self.cursor.touch(heap.page_of(rid), io);
+            io.rows_read += 1;
+            b.push_row(heap.row(rid))
+                .expect("heap rows share one arity");
+        }
+        self.next_rid = end;
+        b.finish()
     }
 }
 
@@ -225,6 +245,47 @@ impl IndexScanState {
             }
         }
         out
+    }
+
+    /// As [`IndexScanState::next_batch`], but transposes straight into a
+    /// columnar [`Batch`]. Leaf, page, and row charging is identical.
+    pub fn next_columns(
+        &mut self,
+        index: &OrderedIndex,
+        heap: &HeapTable,
+        max_rows: usize,
+        io: &mut IoStats,
+    ) -> Batch {
+        let take = max_rows.max(1).min(self.end - self.start.min(self.end));
+        if take == 0 {
+            return Batch::empty(0);
+        }
+        let mut b: Option<BatchBuilder> = None;
+        for _ in 0..take {
+            let pos = if self.reverse {
+                self.end - 1
+            } else {
+                self.start
+            };
+            let leaf = pos as u64 / ENTRIES_PER_LEAF;
+            if self.last_leaf != Some(leaf) {
+                io.index_pages += 1;
+                self.last_leaf = Some(leaf);
+            }
+            let rid = index.rid_at(pos);
+            self.cursor.touch(heap.page_of(rid), io);
+            io.rows_read += 1;
+            let row = heap.row(rid);
+            b.get_or_insert_with(|| BatchBuilder::new(row.len()))
+                .push_row(row)
+                .expect("heap rows share one arity");
+            if self.reverse {
+                self.end -= 1;
+            } else {
+                self.start += 1;
+            }
+        }
+        b.expect("take > 0").finish()
     }
 }
 

@@ -54,10 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = compiled.execute()?;
     println!("plan:\n{}", compiled.explain());
     println!("first rows:");
-    for row in result.rows.iter().take(5) {
+    for row in result.rows().iter().take(5) {
         println!("  {row:?}");
     }
-    println!("(total {} rows, {})", result.rows.len(), result.io);
+    println!("(total {} rows, {})", result.num_rows(), result.io);
 
     // 4. The same query with order optimization disabled sorts more.
     let naive = Session::new(&db)

@@ -36,11 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "elapsed {:?}, {} rows, sorts avoided by the optimizer: {}",
             result.elapsed,
-            result.rows.len(),
+            result.num_rows(),
             result.planner.sorts_avoided
         );
         println!("top orders by potential revenue:");
-        for row in result.rows.iter().take(5) {
+        for row in result.rows().iter().take(5) {
             println!(
                 "  order {:>8}  rev {:>10.2}  date {}  priority {}",
                 row[0],

@@ -23,6 +23,9 @@ fi
 echo "==> sort-key codec property tests (encoded order == Value order)"
 cargo test -q -p fto-common --lib sortkey
 
+echo "==> columnar batch property tests (row round-trip, key encoders)"
+cargo test -q -p fto-common --test prop_column
+
 echo "==> cargo test -q (includes the engine differential suite)"
 cargo test -q
 
@@ -62,6 +65,25 @@ if [[ "${1:-}" != "quick" ]]; then
         echo "smoke failed: \\metrics sort.comparisons not populated"
         exit 1
     fi
+
+    echo "==> smoke: columnar engine output identical across operator inventories"
+    colq="select o_shippriority, count(*) as cnt from orders group by o_shippriority order by o_shippriority"
+    rows_modern=$(printf '%s\n' "${colq};" ".quit" \
+        | cargo run -q -p fto-bench --release --bin repl -- 0.005 2>/dev/null \
+        | grep -E '^[0-9]+ \|')
+    rows_1996=$(printf '%s\n' ".mode 1996" "${colq};" ".quit" \
+        | cargo run -q -p fto-bench --release --bin repl -- 0.005 2>/dev/null \
+        | grep -E '^[0-9]+ \|')
+    if [[ -z "$rows_modern" ]]; then
+        echo "smoke failed: columnar group-by query produced no rows"
+        exit 1
+    fi
+    if [[ "$rows_modern" != "$rows_1996" ]]; then
+        echo "smoke failed: hash (columnar byte-keyed) and order-based group-by disagree:"
+        printf 'modern:\n%s\n1996:\n%s\n' "$rows_modern" "$rows_1996"
+        exit 1
+    fi
+    echo "$rows_modern"
 fi
 
 echo "CI green."

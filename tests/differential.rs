@@ -56,8 +56,8 @@ fn assert_engines_agree(db: &Database, sql: &str, config: OptimizerConfig) {
         .execute_materialized()
         .unwrap_or_else(|e| panic!("{sql}\nunder {config:?}: {e}"));
     assert_eq!(
-        streamed.rows,
-        materialized.rows,
+        streamed.rows(),
+        materialized.rows(),
         "engine mismatch\nsql: {sql}\nconfig: {config:?}\nplan:\n{}",
         prepared.explain()
     );
@@ -148,7 +148,8 @@ fn sort_key_codec_output_is_bit_identical_to_legacy() {
                 .execute(sql)
                 .unwrap_or_else(|e| panic!("{sql}\ncodec off, threads {p}: {e}"));
             assert_eq!(
-                on.rows, off.rows,
+                on.rows(),
+                off.rows(),
                 "codec on/off mismatch\nsql: {sql}\nthreads: {p}"
             );
             assert_eq!(on.io, off.io, "I/O accounting diverged\nsql: {sql}");
@@ -171,7 +172,7 @@ fn limit_reads_strictly_fewer_pages_than_materialized() {
         .unwrap();
     let streamed = prepared.execute().unwrap();
     let materialized = prepared.execute_materialized().unwrap();
-    assert_eq!(streamed.rows, materialized.rows);
+    assert_eq!(streamed.rows(), materialized.rows());
     let streamed_pages = streamed.io.sequential_pages + streamed.io.random_pages;
     let materialized_pages = materialized.io.sequential_pages + materialized.io.random_pages;
     assert!(
@@ -182,4 +183,85 @@ fn limit_reads_strictly_fewer_pages_than_materialized() {
     // And it never reads more rows than the limit needs (plus at most
     // one batch of slack per scan).
     assert!(streamed.io.rows_read <= 16, "{}", streamed.io.rows_read);
+}
+
+#[test]
+fn columnar_matrix_batch_threads_codec() {
+    // The columnar executor against the row-at-a-time interpreter over
+    // the full matrix the batch representation can perturb: batch size
+    // (column boundaries), parallel degree (exchange merges of columnar
+    // partitions), and key codec (column-at-a-time vs per-value key
+    // encoding). Rows must be bit-identical everywhere, and within one
+    // (query, batch size) cell every thread/codec combination must
+    // charge exactly the same I/O.
+    let db = emp_db();
+    for sql in EMP_QUERIES {
+        for batch in [1usize, 7, 1024] {
+            let mut baseline: Option<fto_storage::IoStats> = None;
+            for threads in [1usize, 2, 4] {
+                for codec in [true, false] {
+                    let config = OptimizerConfig::default()
+                        .with_batch_size(batch)
+                        .with_threads(threads)
+                        .with_sort_key_codec(codec);
+                    let prepared = Session::new(&db)
+                        .config(config.clone())
+                        .plan(sql)
+                        .unwrap_or_else(|e| panic!("{sql}\nunder {config:?}: {e}"));
+                    let streamed = prepared
+                        .execute()
+                        .unwrap_or_else(|e| panic!("{sql}\nunder {config:?}: {e}"));
+                    let materialized = prepared
+                        .execute_materialized()
+                        .unwrap_or_else(|e| panic!("{sql}\nunder {config:?}: {e}"));
+                    assert_eq!(
+                        streamed.rows(),
+                        materialized.rows(),
+                        "columnar engine diverged from interpreter\nsql: {sql}\n\
+                         batch={batch} threads={threads} codec={codec}\nplan:\n{}",
+                        prepared.explain()
+                    );
+                    match &baseline {
+                        None => baseline = Some(streamed.io),
+                        Some(expected) => assert_eq!(
+                            &streamed.io, expected,
+                            "I/O diverged within batch={batch} cell\nsql: {sql}\n\
+                             threads={threads} codec={codec}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn columnar_matrix_tpcd() {
+    // The same matrix over the TPC-D workload (multi-way joins, grouped
+    // aggregates, date filters), at a scale small enough to keep the
+    // 3×3×2 sweep per query affordable.
+    let db = build_database(TpcdConfig {
+        scale: 0.002,
+        seed: 19,
+    })
+    .unwrap();
+    let workload = [
+        queries::q3_default(),
+        queries::q1("1998-09-02"),
+        queries::order_report(),
+        queries::section6_example(),
+    ];
+    for sql in &workload {
+        for batch in [3usize, 256] {
+            for threads in [1usize, 2, 4] {
+                for codec in [true, false] {
+                    let config = OptimizerConfig::default()
+                        .with_batch_size(batch)
+                        .with_threads(threads)
+                        .with_sort_key_codec(codec);
+                    assert_engines_agree(&db, sql, config);
+                }
+            }
+        }
+    }
 }

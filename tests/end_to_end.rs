@@ -114,15 +114,15 @@ fn run_all_configs(db: &Database, sql: &str) -> Vec<Row> {
             .execute_materialized()
             .unwrap_or_else(|e| panic!("{sql} under {config:?}: {e}"));
         assert_eq!(
-            streamed.rows,
-            materialized.rows,
+            streamed.rows(),
+            materialized.rows(),
             "engine mismatch for {sql} under {config:?}\nplan:\n{}",
             prepared.explain()
         );
         match &reference {
-            None => reference = Some(streamed.rows),
+            None => reference = Some(streamed.rows().to_vec()),
             Some(expected) => assert_eq!(
-                &streamed.rows,
+                &streamed.rows(),
                 expected,
                 "row mismatch for {sql} under {config:?}\nplan:\n{}",
                 prepared.explain()
@@ -310,7 +310,7 @@ fn limit_without_order() {
             .config(config)
             .execute("select emp_id from emp limit 5")
             .unwrap();
-        assert_eq!(out.rows.len(), 5);
+        assert_eq!(out.rows().len(), 5);
     }
 }
 
@@ -465,9 +465,9 @@ fn global_aggregate_over_empty_input_yields_one_row() {
             .config(config)
             .execute("select count(*) as n, sum(salary) as s from emp where grade = 99")
             .unwrap();
-        assert_eq!(out.rows.len(), 1);
-        assert_eq!(out.rows[0][0], Value::Int(0));
-        assert!(out.rows[0][1].is_null());
+        assert_eq!(out.rows().len(), 1);
+        assert_eq!(out.rows()[0][0], Value::Int(0));
+        assert!(out.rows()[0][1].is_null());
     }
 }
 

@@ -233,15 +233,15 @@ fn all_configs_agree() {
                 .execute_materialized()
                 .unwrap_or_else(|e| panic!("case {case}: {sql}\nunder {config:?}: {e}"));
             assert_eq!(
-                streamed.rows,
-                materialized.rows,
+                streamed.rows(),
+                materialized.rows(),
                 "engine mismatch\ncase {case}\nsql: {sql}\nconfig: {config:?}\nplan:\n{}",
                 prepared.explain()
             );
             match &reference {
-                None => reference = Some(streamed.rows),
+                None => reference = Some(streamed.rows().to_vec()),
                 Some(expected) => assert_eq!(
-                    &streamed.rows,
+                    &streamed.rows(),
                     expected,
                     "row mismatch\ncase {case}\nsql: {sql}\nconfig: {config:?}\nplan:\n{}",
                     prepared.explain()

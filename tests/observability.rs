@@ -158,7 +158,7 @@ fn assert_metrics_account_for_everything(db: &Database, sql: &str, config: Optim
         .unwrap_or_else(|e| panic!("{sql}\nunder {config:?}: {e}"));
     // Instrumentation must not change the answer.
     let plain = prepared.execute().unwrap();
-    assert_eq!(out.rows, plain.rows, "{sql}\nunder {config:?}");
+    assert_eq!(out.rows(), plain.rows(), "{sql}\nunder {config:?}");
     // The rollup invariant: per-operator self deltas are well-defined and
     // sum exactly to the session totals.
     metrics.validate().unwrap_or_else(|e| {
@@ -175,7 +175,7 @@ fn assert_metrics_account_for_everything(db: &Database, sql: &str, config: Optim
     );
     assert_eq!(metrics.total_io(), out.io);
     // The root operator's row count is the result row count.
-    assert_eq!(metrics.ops[0].rows as usize, out.rows.len(), "{sql}");
+    assert_eq!(metrics.ops[0].rows as usize, out.rows().len(), "{sql}");
     // One metric slot per plan operator.
     assert_eq!(metrics.len(), prepared.plan().count_ops(&|_| true), "{sql}");
 }
@@ -301,7 +301,7 @@ fn index_scan_limit_charges_no_pages_past_stop_through_session() {
         prepared.explain()
     );
     let out = prepared.execute().unwrap();
-    assert_eq!(out.rows.len(), 5);
+    assert_eq!(out.rows().len(), 5);
     // 20 rows match v = 7; the limit must stop the scan after at most
     // two 4-row batches, never fetching the remaining matches — let
     // alone the other 19,980 rows.

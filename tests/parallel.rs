@@ -171,21 +171,21 @@ fn assert_parallel_agrees(db: &Database, sql: &str, config: OptimizerConfig) {
             .unwrap_or_else(|e| panic!("{sql}\nthreads {p} under {config:?}: {e}"));
         if ordered {
             assert_eq!(
-                parallel.rows,
-                serial.rows,
+                parallel.rows(),
+                serial.rows(),
                 "parallel degree {p} diverged from serial\nsql: {sql}\nconfig: {config:?}\nplan:\n{}",
                 prepared.explain()
             );
             assert_eq!(
-                parallel.rows,
-                materialized.rows,
+                parallel.rows(),
+                materialized.rows(),
                 "parallel degree {p} diverged from interpreter\nsql: {sql}\nconfig: {config:?}\nplan:\n{}",
                 prepared.explain()
             );
         } else {
             assert_eq!(
-                rows_as_sorted_text(&parallel.rows),
-                rows_as_sorted_text(&serial.rows),
+                rows_as_sorted_text(parallel.rows()),
+                rows_as_sorted_text(serial.rows()),
                 "parallel degree {p} changed the multiset\nsql: {sql}\nconfig: {config:?}\nplan:\n{}",
                 prepared.explain()
             );
@@ -308,7 +308,7 @@ fn parallel_heap_sort_charges_identical_io() {
             .unwrap()
             .execute()
             .unwrap();
-        assert_eq!(parallel.rows, serial.rows, "threads {p}");
+        assert_eq!(parallel.rows(), serial.rows(), "threads {p}");
         assert_eq!(
             parallel.io.sequential_pages, serial.io.sequential_pages,
             "sequential_pages at threads {p}"

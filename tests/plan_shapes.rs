@@ -158,7 +158,7 @@ fn figure6_single_sort_ahead_serves_everything() {
     // merge-join + GROUP BY + ORDER BY; executing confirms the order.
     let result = compiled.execute().unwrap();
     let mut last = i64::MIN;
-    for row in &result.rows {
+    for row in result.rows() {
         let x = row[0].as_int().unwrap();
         assert!(x >= last);
         last = x;

@@ -42,15 +42,15 @@ fn agree(db: &Database, sql: &str) -> Vec<fto_common::Row> {
             .execute_materialized()
             .unwrap_or_else(|e| panic!("{sql}\n{config:?}: {e}"));
         assert_eq!(
-            streamed.rows,
-            materialized.rows,
+            streamed.rows(),
+            materialized.rows(),
             "engine mismatch under {config:?}\n{}",
             prepared.explain()
         );
         match &reference {
-            None => reference = Some(streamed.rows),
+            None => reference = Some(streamed.rows().to_vec()),
             Some(expected) => assert_eq!(
-                &streamed.rows,
+                &streamed.rows(),
                 expected,
                 "mismatch under {config:?}\n{}",
                 prepared.explain()

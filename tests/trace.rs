@@ -89,7 +89,8 @@ fn disabled_path_records_no_events_and_identical_rows() {
             "tracing-disabled planning recorded events\nsql: {sql}"
         );
         assert_eq!(
-            observed.rows, plain.rows,
+            observed.rows(),
+            plain.rows(),
             "observability changed query results\nsql: {sql}"
         );
     }
@@ -114,7 +115,7 @@ fn registry_reconciles_exactly_with_session_totals() {
             .execute(sql)
             .unwrap_or_else(|e| panic!("{sql}: {e}"));
         queries_run += 1;
-        rows_out += out.rows.len() as u64;
+        rows_out += out.rows().len() as u64;
         io.merge(&out.io);
         joins += out.planner.joins_considered;
         generated += out.planner.plans_generated;
