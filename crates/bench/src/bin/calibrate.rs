@@ -10,9 +10,16 @@
 //! `factor` (default 3) in either direction are marked `!!` — those are
 //! the places where the model's ranking can no longer be trusted and
 //! future cost-model work should start.
+//!
+//! A second section calibrates the external-sort spill model: the big
+//! order-by query runs under a sweep of memory budgets and the cost
+//! model's `sort_spill_passes` estimate is compared against the merge
+//! passes the executor actually performed (`!!` past a ±1 divergence).
 
 use fto_bench::harness::{calibration_report, tpcd_db};
-use fto_planner::OptimizerConfig;
+use fto_bench::Session;
+use fto_common::row_bytes;
+use fto_planner::{cost, OptimizerConfig};
 use fto_tpcd::queries;
 
 fn main() {
@@ -65,4 +72,38 @@ fn main() {
         flagged += report.iter().filter(|o| o.flagged).count();
     }
     println!("\n{flagged} of {total} operators diverge by more than {factor}x");
+
+    // Spill-model calibration: estimated merge passes (from the bytes the
+    // sort actually handled) against the executor's recorded passes.
+    println!("\n== external sort: estimated vs actual merge passes ==");
+    let sort_sql = "select o_orderdate, o_orderkey, o_totalprice from orders \
+                    order by o_orderdate, o_orderkey";
+    println!(
+        "{:>10} {:>12} {:>10} {:>10}",
+        "budget", "sort bytes", "est", "actual"
+    );
+    let mut pass_flagged = 0usize;
+    for budget in [4usize << 10, 16 << 10, 64 << 10, 256 << 10] {
+        let out = Session::new(&db)
+            .config(OptimizerConfig::default().with_memory_budget(budget))
+            .execute(sort_sql)
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+        let bytes: usize = out.rows().iter().map(|r| row_bytes(r)).sum();
+        let est = cost::sort_spill_passes(bytes as f64, budget);
+        let actual = out.spill.merge_passes;
+        let diverged = (est - actual as f64).abs() > 1.0;
+        pass_flagged += diverged as usize;
+        println!(
+            "{:>9}K {:>12} {:>10.0} {:>8} {}",
+            budget >> 10,
+            bytes,
+            est,
+            actual,
+            if diverged { "!!" } else { "" }
+        );
+    }
+    println!("{pass_flagged} budget(s) diverge from the spill model by more than one pass");
 }

@@ -17,12 +17,17 @@
 //!    page I/O and row counts per (query, degree) cell, asserting along
 //!    the way that every parallel run returns exactly the serial answer
 //!    and passes the instrumented rollup check.
+//! 4. **External sort / bounded memory** — sort- and group-heavy TPC-D
+//!    queries run unbounded and under 64 KiB / 4 KiB memory budgets,
+//!    reporting wall-clock, spill page traffic, runs formed and merge
+//!    passes per cell, asserting every bounded run returns exactly the
+//!    unbounded answer.
 //!
 //! ```text
 //! cargo run -p fto-bench --release --bin perfbench [-- <scale> [runs]]
 //! ```
 //!
-//! Results are printed as tables and written to `BENCH_PR6.json` in the
+//! Results are printed as tables and written to `BENCH_PR7.json` in the
 //! current directory (machine cores included, so single-core containers
 //! don't read as regressions).
 
@@ -617,10 +622,123 @@ fn main() {
         results.push((name, cells));
     }
 
-    let json = render_json(scale, runs, cores, &kernel_cells, &sort_cells, &results);
-    std::fs::write("BENCH_PR6.json", &json).expect("write BENCH_PR6.json");
+    let ext_cells = run_extsort_bench(&db, runs.max(1));
+
+    let json = render_json(
+        scale,
+        runs,
+        cores,
+        &kernel_cells,
+        &sort_cells,
+        &results,
+        &ext_cells,
+    );
+    std::fs::write("BENCH_PR7.json", &json).expect("write BENCH_PR7.json");
     println!();
-    println!("wrote BENCH_PR6.json");
+    println!("wrote BENCH_PR7.json");
+}
+
+/// One (query, budget) cell of the external-sort benchmark. `budget` of
+/// `None` is the unbounded baseline.
+struct ExtCell {
+    query: &'static str,
+    budget: Option<usize>,
+    best: Duration,
+    spill_pages_written: u64,
+    spill_pages_read: u64,
+    runs_formed: u64,
+    merge_passes: u64,
+    rows: usize,
+}
+
+/// Times bounded-memory execution against the in-memory baseline on the
+/// workload's sort- and group-heavy queries, asserting bit-identical rows
+/// at every budget and reporting the spill traffic each budget caused.
+fn run_extsort_bench(db: &fto_storage::Database, runs: usize) -> Vec<ExtCell> {
+    const BUDGETS: &[Option<usize>] = &[None, Some(64 << 10), Some(4 << 10)];
+    let workload: Vec<(&str, String)> = vec![
+        (
+            "orders_by_date",
+            "select o_orderdate, o_orderkey, o_totalprice from orders \
+             order by o_orderdate, o_orderkey"
+                .to_string(),
+        ),
+        ("q1", queries::q1("1998-09-02")),
+        (
+            // Grouping off the index order forces the hash group-by (and
+            // its partition-spill path under the small budgets).
+            "lineitem_group",
+            "select l_partkey, count(*) as n, sum(l_extendedprice) as total \
+             from lineitem group by l_partkey order by l_partkey"
+                .to_string(),
+        ),
+    ];
+    println!("External-sort benchmark (best of {runs}; bounded vs in-memory)");
+    println!();
+    println!(
+        "| query          | budget  | best         | spill w | spill r | runs | passes | rows  |"
+    );
+    println!(
+        "|----------------|---------|--------------|---------|---------|------|--------|-------|"
+    );
+    let mut cells = Vec::new();
+    for (name, sql) in &workload {
+        let mut baseline: Option<Vec<Row>> = None;
+        for &budget in BUDGETS {
+            let mut config = OptimizerConfig::default();
+            if let Some(bytes) = budget {
+                config = config.with_memory_budget(bytes);
+            }
+            let prepared = Session::new(db)
+                .config(config)
+                .plan(sql)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let mut best = Duration::MAX;
+            let mut last = None;
+            for _ in 0..runs {
+                let start = Instant::now();
+                let out = prepared
+                    .execute()
+                    .unwrap_or_else(|e| panic!("{name} budget {budget:?}: {e}"));
+                best = best.min(start.elapsed());
+                last = Some(out);
+            }
+            let out = last.expect("runs >= 1");
+            match &baseline {
+                None => baseline = Some(out.rows().to_vec()),
+                Some(expected) => assert_eq!(
+                    out.rows(),
+                    &expected[..],
+                    "{name} budget {budget:?}: bounded answer diverged from unbounded"
+                ),
+            }
+            let cell = ExtCell {
+                query: name,
+                budget,
+                best,
+                spill_pages_written: out.io.spill_pages_written,
+                spill_pages_read: out.io.spill_pages_read,
+                runs_formed: out.spill.runs_formed,
+                merge_passes: out.spill.merge_passes,
+                rows: out.num_rows(),
+            };
+            println!(
+                "| {:<14} | {:>7} | {:>10.3?} | {:>7} | {:>7} | {:>4} | {:>6} | {:>5} |",
+                cell.query,
+                cell.budget
+                    .map_or_else(|| "none".to_string(), |b| format!("{}K", b >> 10)),
+                cell.best,
+                cell.spill_pages_written,
+                cell.spill_pages_read,
+                cell.runs_formed,
+                cell.merge_passes,
+                cell.rows
+            );
+            cells.push(cell);
+        }
+    }
+    println!();
+    cells
 }
 
 /// Parses an optional positional argument strictly: absent uses the
@@ -643,6 +761,7 @@ where
 
 /// Hand-rolled JSON writer — the workspace is offline and carries no
 /// serde dependency; the schema is flat enough to emit directly.
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     scale: f64,
     runs: usize,
@@ -650,10 +769,14 @@ fn render_json(
     kernel_cells: &[KernelCell],
     sort_cells: &[SortCell],
     results: &[(&str, Vec<Cell>)],
+    ext_cells: &[ExtCell],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"bench\": \"columnar_kernels_sort_codec_morsel\",");
+    let _ = writeln!(
+        s,
+        "  \"bench\": \"columnar_kernels_sort_codec_morsel_extsort\","
+    );
     let _ = writeln!(s, "  \"scale\": {scale},");
     let _ = writeln!(s, "  \"runs\": {runs},");
     let _ = writeln!(s, "  \"cores\": {cores},");
@@ -722,6 +845,26 @@ fn render_json(
         } else {
             "    }\n"
         });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"external_sort\": [\n");
+    for (i, c) in ext_cells.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"query\": \"{}\", \"budget_bytes\": {}, \"best_ms\": {:.3}, \
+             \"spill_pages_written\": {}, \"spill_pages_read\": {}, \
+             \"runs_formed\": {}, \"merge_passes\": {}, \"rows\": {}}}",
+            c.query,
+            c.budget
+                .map_or_else(|| "null".to_string(), |b| b.to_string()),
+            c.best.as_secs_f64() * 1e3,
+            c.spill_pages_written,
+            c.spill_pages_read,
+            c.runs_formed,
+            c.merge_passes,
+            c.rows
+        );
+        s.push_str(if i + 1 < ext_cells.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ]\n}\n");
     s

@@ -27,7 +27,10 @@
 //! Environment knobs (an unparseable value is an error, not a silent
 //! default): `FTO_THREADS=<p>` runs every query morsel-parallel at
 //! degree `p` (`explain analyze` then shows per-worker actuals under
-//! each exchange); `FTO_SLOW_MS=<ms>` sets the slow-query threshold.
+//! each exchange); `FTO_SLOW_MS=<ms>` sets the slow-query threshold;
+//! `FTO_MEMORY_BUDGET=<bytes>` caps per-query executor memory — sorts
+//! form spilled runs, hash group-bys spill partitions, and `\metrics`
+//! grows `spill.*` / `pool.*` counters (a budget pins queries serial).
 
 use fto_bench::{envknob, ObsOptions, Observability, Session, StatementOutput};
 use fto_planner::OptimizerConfig;
@@ -48,9 +51,10 @@ fn main() {
         },
     };
     let slow_ms = env_knob_or_exit::<u64>("FTO_SLOW_MS").unwrap_or(100);
-    // Fail on a bad FTO_THREADS now, before the data load, rather than
-    // at the first statement that reads it.
+    // Fail on a bad FTO_THREADS / FTO_MEMORY_BUDGET now, before the data
+    // load, rather than at the first statement that reads them.
     let _ = env_threads();
+    let _ = env_memory_budget();
     let obs = Observability::new(ObsOptions {
         slow_query_threshold: Duration::from_millis(slow_ms),
         ..ObsOptions::default()
@@ -146,22 +150,34 @@ fn env_threads() -> usize {
     env_knob_or_exit::<usize>("FTO_THREADS").unwrap_or(1)
 }
 
+/// Per-query executor memory budget in bytes, from `FTO_MEMORY_BUDGET`
+/// (default unbounded).
+fn env_memory_budget() -> Option<usize> {
+    env_knob_or_exit::<usize>("FTO_MEMORY_BUDGET")
+}
+
+fn apply_knobs(cfg: OptimizerConfig) -> OptimizerConfig {
+    let cfg = cfg.with_threads(env_threads());
+    match env_memory_budget() {
+        Some(bytes) => cfg.with_memory_budget(bytes),
+        None => cfg,
+    }
+}
+
 fn base_config(modern: bool) -> OptimizerConfig {
-    let cfg = if modern {
+    apply_knobs(if modern {
         OptimizerConfig::default()
     } else {
         OptimizerConfig::db2_1996()
-    };
-    cfg.with_threads(env_threads())
+    })
 }
 
 fn disabled_config(modern: bool) -> OptimizerConfig {
-    let cfg = if modern {
+    apply_knobs(if modern {
         OptimizerConfig::disabled()
     } else {
         OptimizerConfig::db2_1996_disabled()
-    };
-    cfg.with_threads(env_threads())
+    })
 }
 
 fn dispatch(db: &Database, obs: &Observability, statement: &str, modern: bool) {

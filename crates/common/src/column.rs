@@ -94,6 +94,11 @@ impl Bitmap {
     pub fn all_valid(&self) -> bool {
         self.count_valid() == self.len
     }
+
+    /// Bytes of backing storage (the packed words).
+    pub fn byte_size(&self) -> usize {
+        self.words.len() * 8
+    }
 }
 
 /// The typed storage behind one [`Column`].
@@ -281,6 +286,25 @@ impl Column {
         Column { data, validity }
     }
 
+    /// Bytes of backing storage held by this column: the typed data
+    /// vector (element size × length; `Utf8` counts offsets plus payload,
+    /// `Mixed` counts [`crate::value_width`] per value) plus the validity
+    /// bitmap. This is the columnar counterpart of the row-shaped
+    /// [`crate::row_bytes`] accounting the memory budget charges; rows pay
+    /// per-value enum overhead, so the row measure bounds this one from
+    /// above for the same data.
+    pub fn byte_size(&self) -> usize {
+        let data = match &self.data {
+            ColumnData::Int64(v) => v.len() * 8,
+            ColumnData::Float64(v) => v.len() * 8,
+            ColumnData::Utf8 { offsets, bytes } => offsets.len() * 4 + bytes.len(),
+            ColumnData::Date32(v) => v.len() * 4,
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Mixed(v) => v.iter().map(crate::value_width).sum(),
+        };
+        data + self.validity.as_ref().map_or(0, Bitmap::byte_size)
+    }
+
     /// Materializes the rows named by `sel` (in order) into a new column.
     /// Indices must be in bounds; they may repeat or reorder freely.
     pub fn gather(&self, sel: &[u32]) -> Column {
@@ -449,6 +473,13 @@ impl Batch {
         for i in 0..self.len {
             out.push(self.row(i));
         }
+    }
+
+    /// Bytes of backing storage across all columns (shared `Arc` columns
+    /// are counted once per reference — the conservative choice for
+    /// budget accounting).
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(|c| c.byte_size()).sum()
     }
 
     /// Materializes the rows named by `sel`, in order, as a new batch.
@@ -924,6 +955,39 @@ mod tests {
         let a = Arc::new(Column::from_values([Value::Int(1)].iter()));
         let b = Arc::new(Column::from_values([Value::Int(1), Value::Int(2)].iter()));
         assert!(Batch::from_columns(vec![a, b]).is_err());
+    }
+
+    #[test]
+    fn byte_size_agrees_with_row_bytes_within_bound() {
+        use crate::value::row_bytes;
+        let mut rng = Rng::new(0xB17E);
+        let mut rs = Vec::new();
+        for _ in 0..200 {
+            let v = vec![
+                Value::Int(rng.next_u64() as i64),
+                Value::Double(rng.next_u64() as f64),
+                Value::str(format!("name-{}", rng.next_u64() % 1000)),
+                if rng.next_u64().is_multiple_of(3) {
+                    Value::Null
+                } else {
+                    Value::Date(rng.next_u64() as i32)
+                },
+                Value::Bool(rng.next_u64().is_multiple_of(2)),
+            ];
+            rs.push(v.into_boxed_slice());
+        }
+        let batch = Batch::from_rows(&rs);
+        let colb = batch.byte_size();
+        let rowb: usize = rs.iter().map(|r| row_bytes(r)).sum();
+        // Columns amortize the per-value enum overhead away, so the
+        // columnar measure is the tighter one; rows pay at most the
+        // inline Value footprint extra per slot plus the Box pointer.
+        assert!(colb > 0);
+        assert!(colb <= rowb, "columnar {colb} > row {rowb}");
+        let slack = rs.len() * (batch.arity() * (std::mem::size_of::<Value>() + 16) + 16);
+        assert!(rowb <= colb + slack, "row {rowb} > col {colb} + {slack}");
+        // Empty batches are free.
+        assert_eq!(Batch::from_rows_arity(&[], 3).byte_size(), 0);
     }
 
     #[test]

@@ -33,4 +33,4 @@ pub use error::{FtoError, Result};
 pub use ids::{ColId, IndexId, QuantifierId, TableId};
 pub use rng::Rng;
 pub use sort::Direction;
-pub use value::{DataType, Row, Value};
+pub use value::{row_bytes, value_width, DataType, Row, Value};

@@ -293,16 +293,29 @@ pub fn row(values: impl IntoIterator<Item = Value>) -> Row {
     values.into_iter().collect()
 }
 
-/// Approximate in-memory size of a value in bytes, used by the cost model
-/// and the sort spill accounting.
+/// In-memory size of a value in bytes: the inline enum footprint
+/// (`size_of::<Value>()`, identical for every variant — the discriminant
+/// plus the widest payload) plus any heap the variant owns. Strings add
+/// their `Arc<str>` allocation: two 8-byte reference counts of `Arc`
+/// header plus the UTF-8 payload. Used by the cost model and the
+/// executor's memory-budget accounting, so undercounting here would let a
+/// "bounded" sort admit more than the budget allows.
 pub fn value_width(v: &Value) -> usize {
-    match v {
-        Value::Null => 1,
-        Value::Int(_) | Value::Double(_) => 8,
-        Value::Str(s) => 16 + s.len(),
-        Value::Date(_) => 4,
-        Value::Bool(_) => 1,
-    }
+    const ARC_HEADER: usize = 16; // strong + weak counts
+    std::mem::size_of::<Value>()
+        + match v {
+            Value::Str(s) => ARC_HEADER + s.len(),
+            _ => 0,
+        }
+}
+
+/// In-memory size of a row in bytes: the `Box<[Value]>` fat pointer (16
+/// bytes) plus [`value_width`] of every value. This is the row-shaped
+/// counterpart of the columnar [`crate::Batch::byte_size`] accounting; the
+/// two agree within a small constant factor (rows pay the per-value enum
+/// overhead, columns amortize it away).
+pub fn row_bytes(row: &[Value]) -> usize {
+    16 + row.iter().map(value_width).sum::<usize>()
 }
 
 #[cfg(test)]
@@ -382,9 +395,20 @@ mod tests {
 
     #[test]
     fn value_width_estimates() {
-        assert_eq!(value_width(&Value::Int(1)), 8);
-        assert_eq!(value_width(&Value::str("abcd")), 20);
-        assert_eq!(value_width(&Value::Null), 1);
+        let inline = std::mem::size_of::<Value>();
+        // The enum is a discriminant plus an Arc<str> fat pointer — no
+        // variant is free, and Null costs the same inline space as Int.
+        assert!(inline >= 16, "Value inline size {inline}");
+        assert_eq!(value_width(&Value::Int(1)), inline);
+        assert_eq!(value_width(&Value::Null), inline);
+        assert_eq!(value_width(&Value::Bool(true)), inline);
+        // Strings add the Arc header (16) plus the payload.
+        assert_eq!(value_width(&Value::str("abcd")), inline + 16 + 4);
+        assert_eq!(value_width(&Value::str("")), inline + 16);
+        // Rows add the Box<[Value]> fat pointer on top.
+        let r = row([Value::Int(1), Value::str("ab")]);
+        assert_eq!(row_bytes(&r), 16 + 2 * inline + 16 + 2);
+        assert_eq!(row_bytes(&[]), 16);
     }
 
     #[test]

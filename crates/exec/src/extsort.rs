@@ -1,0 +1,388 @@
+//! External-sort machinery: row-granular run formation under a memory
+//! budget, byte-serialized spill runs, and streaming multi-pass K-way
+//! merges over them.
+//!
+//! The bounded [`SortOp`](crate::stream) drives a [`RunFormer`]: input
+//! rows accumulate in memory until the next row would push the working
+//! set past the budget, at which point the buffered rows are sorted with
+//! the shared kernel and spilled as one [`SortedRun`] — tagged with the
+//! rows' global input positions, so merging the runs by `(keys, seq)`
+//! reproduces the unbounded stable sort bit for bit. When the input ends,
+//! runs beyond the merge fan-in ([`fto_planner::cost::MERGE_FAN_IN`]) are
+//! reduced level by level (each level is one *merge pass*, the unit the
+//! cost model prices in [`fto_planner::cost::sort_spill_passes`]); the
+//! final ≤F runs stream through a [`RunMerge`] that the operator pulls
+//! batch by batch, so the sorted output is never materialized whole.
+//!
+//! On-spill record format (one length-prefixed record per row, via
+//! [`SpillFile::append_record`]):
+//!
+//! ```text
+//! [u64 seq LE][u32 klen LE][klen key bytes][row (spill value serde)]
+//! ```
+//!
+//! `klen` is zero on the legacy (non-codec) path; on the codec path the
+//! key is the decorated normalized key (`key ‖ big-endian seq`), so a
+//! merge compares one byte slice per heap step exactly like the in-memory
+//! [`crate::sortkernel::merge_runs`].
+
+use crate::sortkernel::{self, cmp_rows, SortKeys, SortedRun};
+use fto_common::{row_bytes, Row};
+use fto_planner::cost::MERGE_FAN_IN;
+use fto_storage::{spill, IoStats, SpillCursor, SpillFile};
+use std::cmp::Ordering;
+
+/// Extent (byte range) of one sorted run inside a spill file.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RunExtent {
+    start: u64,
+    end: u64,
+}
+
+/// Appends one run row record to `file` (see the module docs for the
+/// format), reusing `payload` as scratch.
+fn append_run_row(
+    file: &mut SpillFile,
+    payload: &mut Vec<u8>,
+    row: &Row,
+    seq: u64,
+    key: &[u8],
+    io: &mut IoStats,
+) {
+    payload.clear();
+    payload.extend_from_slice(&seq.to_le_bytes());
+    payload.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    payload.extend_from_slice(key);
+    spill::write_row(row, payload);
+    file.append_record(payload, io);
+}
+
+/// Serializes a sorted run to the spill file, charging
+/// `spill_pages_written` as pages fill.
+fn spill_sorted_run(file: &mut SpillFile, run: &SortedRun, io: &mut IoStats) -> RunExtent {
+    let start = file.len();
+    let mut payload = Vec::new();
+    for i in 0..run.rows.len() {
+        let key: &[u8] = run.enc.get(i).map(Vec::as_slice).unwrap_or(&[]);
+        append_run_row(file, &mut payload, &run.rows[i], run.seqs[i], key, io);
+    }
+    RunExtent {
+        start,
+        end: file.len(),
+    }
+}
+
+/// One decoded run head waiting in a merge.
+struct Head {
+    row: Row,
+    seq: u64,
+    /// Decorated normalized key; empty on the legacy path.
+    key: Vec<u8>,
+}
+
+fn read_head(cursor: &mut SpillCursor, file: &SpillFile, io: &mut IoStats) -> Option<Head> {
+    let rec = cursor.read_record(file, io)?;
+    let seq = u64::from_le_bytes(rec[0..8].try_into().expect("spill record truncated"));
+    let klen = u32::from_le_bytes(rec[8..12].try_into().expect("spill record truncated")) as usize;
+    let key = rec[12..12 + klen].to_vec();
+    let mut pos = 12 + klen;
+    let row = spill::read_row(&rec, &mut pos);
+    Some(Head { row, seq, key })
+}
+
+/// A streaming K-way merge over spilled run extents: holds one decoded
+/// head per run plus a cursor, so memory stays O(fan-in) regardless of
+/// run sizes. Reads charge `spill_pages_read` through the cursors.
+pub(crate) struct RunMerge {
+    cursors: Vec<SpillCursor>,
+    heads: Vec<Option<Head>>,
+}
+
+impl RunMerge {
+    fn new(file: &SpillFile, extents: &[RunExtent], io: &mut IoStats) -> RunMerge {
+        let mut cursors: Vec<SpillCursor> = extents
+            .iter()
+            .map(|e| SpillCursor::new(e.start, e.end))
+            .collect();
+        let heads = cursors.iter_mut().map(|c| read_head(c, file, io)).collect();
+        RunMerge { cursors, heads }
+    }
+
+    /// Pops the minimum head by `(keys, seq)` and refills it from its
+    /// cursor. Runs that both carry stored keys compare by memcmp (the
+    /// seq suffix embedded in the key decides ties); otherwise the
+    /// `Value` comparator with the explicit seq tiebreak — the same
+    /// contract as the in-memory merge.
+    fn next_head(&mut self, file: &SpillFile, keys: &SortKeys, io: &mut IoStats) -> Option<Head> {
+        let mut best: Option<usize> = None;
+        let mut cmps = 0u64;
+        for (k, head) in self.heads.iter().enumerate() {
+            let Some(h) = head else { continue };
+            best = match best {
+                None => Some(k),
+                Some(b) => {
+                    let bh = self.heads[b].as_ref().expect("best head vacated");
+                    cmps += 1;
+                    let less = if !h.key.is_empty() && !bh.key.is_empty() {
+                        h.key < bh.key
+                    } else {
+                        cmp_rows(&h.row, &bh.row, keys).then(h.seq.cmp(&bh.seq)) == Ordering::Less
+                    };
+                    if less {
+                        Some(k)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        sortkernel::charge(0, cmps);
+        let k = best?;
+        let next = read_head(&mut self.cursors[k], file, io);
+        std::mem::replace(&mut self.heads[k], next)
+    }
+}
+
+/// Reduces spilled runs to at most `MERGE_FAN_IN` by merging groups of up
+/// to F runs into new runs appended to the same file, level by level.
+/// Each level is one merge pass ([`sortkernel::SpillStats`]); reads and
+/// writes charge the spill page counters as the data actually moves.
+fn reduce_to_fan_in(
+    file: &mut SpillFile,
+    mut extents: Vec<RunExtent>,
+    keys: &SortKeys,
+    io: &mut IoStats,
+) -> Vec<RunExtent> {
+    while extents.len() > MERGE_FAN_IN {
+        sortkernel::note_merge_pass();
+        let mut next = Vec::with_capacity(extents.len().div_ceil(MERGE_FAN_IN));
+        for chunk in extents.chunks(MERGE_FAN_IN) {
+            if chunk.len() == 1 {
+                next.push(chunk[0]);
+                continue;
+            }
+            let start = file.len();
+            let mut merge = RunMerge::new(file, chunk, io);
+            let mut payload = Vec::new();
+            while let Some(h) = merge.next_head(file, keys, io) {
+                append_run_row(file, &mut payload, &h.row, h.seq, &h.key, io);
+            }
+            next.push(RunExtent {
+                start,
+                end: file.len(),
+            });
+        }
+        extents = next;
+    }
+    extents
+}
+
+/// The spilled half of a finished external sort: the final ≤F runs and
+/// the streaming merge over them, pulled row by row from `next_batch`.
+pub(crate) struct SpilledSort {
+    file: SpillFile,
+    merge: RunMerge,
+}
+
+impl SpilledSort {
+    /// The next row of the merged (fully sorted) output, or `None` when
+    /// every run is drained.
+    pub(crate) fn next_row(&mut self, keys: &SortKeys, io: &mut IoStats) -> Option<Row> {
+        self.merge.next_head(&self.file, keys, io).map(|h| h.row)
+    }
+}
+
+/// What a [`RunFormer`] produced once the input ended.
+pub(crate) enum FinishedSort {
+    /// Nothing spilled: the whole input, sorted in memory (the unbounded
+    /// fast path, with identical I/O and kernel accounting).
+    InMemory(Vec<Row>),
+    /// At least one run spilled: stream the final merge.
+    Spilled(SpilledSort),
+}
+
+/// Row-granular run formation for the bounded sort. The working set —
+/// buffered rows ([`fto_common::row_bytes`]) plus their decorated keys on
+/// the codec path — never exceeds `max(budget, one row)`; crossing the
+/// budget seals the buffer into a sorted, spilled run.
+pub(crate) struct RunFormer {
+    budget: usize,
+    codec: bool,
+    keys: SortKeys,
+    file: SpillFile,
+    extents: Vec<RunExtent>,
+    rows: Vec<Row>,
+    /// Key arena for the buffered rows (codec path): row `i`'s normalized
+    /// key is `key_bytes[key_offsets[i]..key_offsets[i + 1]]`.
+    key_bytes: Vec<u8>,
+    key_offsets: Vec<usize>,
+    bytes: usize,
+    /// Global input position of `rows[0]`.
+    base_seq: u64,
+    next_seq: u64,
+}
+
+impl RunFormer {
+    pub(crate) fn new(budget: usize, codec: bool, keys: SortKeys) -> RunFormer {
+        RunFormer {
+            budget,
+            codec,
+            keys,
+            file: SpillFile::new(),
+            extents: Vec::new(),
+            rows: Vec::new(),
+            key_bytes: Vec::new(),
+            key_offsets: vec![0],
+            bytes: 0,
+            base_seq: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Buffers one input row (with its arena-encoded normalized key on
+    /// the codec path), sealing the current run first when the row would
+    /// push the working set past the budget.
+    pub(crate) fn push(&mut self, row: Row, key: Option<&[u8]>, io: &mut IoStats) {
+        debug_assert_eq!(key.is_some(), self.codec);
+        // The decorated key a sealed run stores is `key ‖ 8-byte seq`.
+        let cost = row_bytes(&row) + key.map_or(0, |k| k.len() + 8);
+        if !self.rows.is_empty() && self.bytes + cost > self.budget {
+            self.seal(io);
+        }
+        self.bytes += cost;
+        if let Some(k) = key {
+            self.key_bytes.extend_from_slice(k);
+            self.key_offsets.push(self.key_bytes.len());
+        }
+        self.rows.push(row);
+        self.next_seq += 1;
+    }
+
+    /// Sorts the buffered rows into a run tagged with their global input
+    /// positions and spills it. Charges `sort_rows` per run, so the
+    /// external sort's total equals the unbounded operator's.
+    fn seal(&mut self, io: &mut IoStats) {
+        if self.rows.is_empty() {
+            return;
+        }
+        let rows = std::mem::take(&mut self.rows);
+        io.sort_rows += rows.len() as u64;
+        let run = if self.codec {
+            let mut run = sortkernel::sort_run_arena(rows, &self.key_bytes, &self.key_offsets);
+            run.shift(self.base_seq);
+            run
+        } else {
+            sortkernel::sort_tagged(
+                rows.into_iter()
+                    .enumerate()
+                    .map(|(i, r)| (self.base_seq + i as u64, r))
+                    .collect(),
+                &self.keys,
+            )
+        };
+        let extent = spill_sorted_run(&mut self.file, &run, io);
+        self.extents.push(extent);
+        sortkernel::note_spill_runs(1);
+        self.key_bytes.clear();
+        self.key_offsets.clear();
+        self.key_offsets.push(0);
+        self.bytes = 0;
+        self.base_seq = self.next_seq;
+    }
+
+    /// Ends the input. When nothing spilled, the buffer is sorted in
+    /// memory exactly as the unbounded operator would (arena kernel on
+    /// the codec path, comparator otherwise). Otherwise the tail seals as
+    /// the last run, runs reduce to the merge fan-in, and the final
+    /// streaming merge — itself one pass — takes over.
+    pub(crate) fn finish(mut self, io: &mut IoStats) -> FinishedSort {
+        if self.extents.is_empty() {
+            let mut rows = std::mem::take(&mut self.rows);
+            io.sort_rows += rows.len() as u64;
+            if self.codec {
+                sortkernel::sort_rows_arena(
+                    &mut rows,
+                    &self.key_bytes,
+                    &self.key_offsets,
+                    &self.keys,
+                );
+            } else {
+                sortkernel::sort_rows_with(&mut rows, &self.keys, false);
+            }
+            return FinishedSort::InMemory(rows);
+        }
+        self.seal(io);
+        let extents = reduce_to_fan_in(&mut self.file, self.extents, &self.keys, io);
+        sortkernel::note_merge_pass();
+        let merge = RunMerge::new(&self.file, &extents, io);
+        FinishedSort::Spilled(SpilledSort {
+            file: self.file,
+            merge,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fto_common::{Direction, Value};
+
+    fn row(k: i64, v: &str) -> Row {
+        vec![Value::Int(k), Value::Str(v.into())].into_boxed_slice()
+    }
+
+    fn drive(budget: usize, codec: bool, n: i64) -> (Vec<Row>, IoStats) {
+        let keys: SortKeys = vec![(0, Direction::Desc), (1, Direction::Asc)];
+        let mut io = IoStats::new();
+        let mut former = RunFormer::new(budget, codec, keys.clone());
+        for i in 0..n {
+            let r = row(i % 7, &format!("row-{i}"));
+            let key: Option<Vec<u8>> = codec.then(|| {
+                let mut k = Vec::new();
+                fto_common::sortkey::encode_key_into(&r, &keys, &mut k);
+                k
+            });
+            former.push(r, key.as_deref(), &mut io);
+        }
+        let mut out = Vec::new();
+        match former.finish(&mut io) {
+            FinishedSort::InMemory(rows) => out = rows,
+            FinishedSort::Spilled(mut s) => {
+                while let Some(r) = s.next_row(&keys, &mut io) {
+                    out.push(r);
+                }
+            }
+        }
+        (out, io)
+    }
+
+    #[test]
+    fn spilled_sort_matches_in_memory_both_paths() {
+        let (unbounded, io0) = drive(usize::MAX, true, 500);
+        assert_eq!(io0.spill_pages_written, 0);
+        for codec in [false, true] {
+            for budget in [1usize, 512, 4096, 1 << 20] {
+                let (got, io) = drive(budget, codec, 500);
+                assert_eq!(got, unbounded, "codec={codec} budget={budget}");
+                assert_eq!(io.sort_rows, 500, "sort_rows must match unbounded");
+                if budget < 4096 {
+                    assert!(io.spill_pages_written > 0, "budget={budget} must spill");
+                    assert!(io.spill_pages_read > 0, "budget={budget} must read back");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_budget_forms_many_runs_and_multi_passes() {
+        let before = sortkernel::spill_stats_snapshot();
+        let (out, io) = drive(1, true, 200);
+        let delta = sortkernel::spill_stats_snapshot().delta_since(before);
+        assert_eq!(out.len(), 200);
+        // One row per run: 200 runs need ceil(log_8 200) = 3 passes. Other
+        // tests share the process-wide counters, so assert lower bounds.
+        assert!(delta.runs_formed >= 200, "runs {}", delta.runs_formed);
+        assert!(delta.merge_passes >= 3, "passes {}", delta.merge_passes);
+        assert!(io.spill_pages_written > 0 && io.spill_pages_read > 0);
+    }
+}

@@ -54,6 +54,7 @@
 
 #![deny(missing_docs)]
 
+pub(crate) mod extsort;
 pub mod interp;
 pub mod metrics;
 pub mod obs;
@@ -66,7 +67,7 @@ pub use interp::{run_plan_materialized, QueryResult};
 pub use metrics::{OpMetrics, PlanMetrics, WorkerOpMetrics};
 pub use obs::{ObsOptions, Observability};
 pub use session::{PreparedQuery, QueryOutput, Session, StatementOutput};
-pub use sortkernel::SortStats;
+pub use sortkernel::{SortStats, SpillStats};
 pub use stream::{
     compile_pipeline, execute_plan, execute_plan_instrumented, Batch, ExecContext, ExecOptions,
     Operator, StreamResult,

@@ -29,7 +29,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crate::metrics::PlanMetrics;
-use crate::sortkernel::SortStats;
+use crate::sortkernel::{SortStats, SpillStats};
 
 /// Tuning knobs for an [`Observability`] handle.
 #[derive(Clone, Debug)]
@@ -137,10 +137,11 @@ impl Observability {
 
     /// Records one query execution: session counters, exact I/O field
     /// totals, sort-kernel work (`sort.key_bytes` / `sort.comparisons`,
-    /// the normalized-key codec's observables), the latency/rows/pages
-    /// histograms, and — past the slow threshold — a slow-query log entry
-    /// carrying the annotated plan and the optimizer trace collected at
-    /// plan time.
+    /// the normalized-key codec's observables), spill and buffer-pool
+    /// work under a memory budget (`spill.*` / `pool.*`), the
+    /// latency/rows/pages histograms, and — past the slow threshold — a
+    /// slow-query log entry carrying the annotated plan and the optimizer
+    /// trace collected at plan time.
     #[allow(clippy::too_many_arguments)]
     pub fn record_execution(
         &self,
@@ -149,6 +150,7 @@ impl Observability {
         rows: u64,
         io: &IoStats,
         sort: &SortStats,
+        spill: &SpillStats,
         plan_text: &str,
         trace: Option<&Trace>,
     ) {
@@ -160,8 +162,18 @@ impl Observability {
         r.add("session.io.index_pages", io.index_pages);
         r.add("session.io.sort_rows", io.sort_rows);
         r.add("session.io.rows_read", io.rows_read);
+        r.add("session.io.spill_pages_written", io.spill_pages_written);
+        r.add("session.io.spill_pages_read", io.spill_pages_read);
+        r.add("session.io.pool_hits", io.pool_hits);
+        r.add("session.io.pool_misses", io.pool_misses);
         r.add("sort.key_bytes", sort.key_bytes);
         r.add("sort.comparisons", sort.comparisons);
+        r.add("spill.pages_written", io.spill_pages_written);
+        r.add("spill.pages_read", io.spill_pages_read);
+        r.add("spill.runs_formed", spill.runs_formed);
+        r.add("spill.merge_passes", spill.merge_passes);
+        r.add("pool.hits", io.pool_hits);
+        r.add("pool.misses", io.pool_misses);
         r.observe(
             "query.latency_us",
             elapsed.as_micros().min(u64::MAX as u128) as u64,
@@ -219,12 +231,14 @@ mod tests {
         });
         let io = IoStats::default();
         let sort = SortStats::default();
+        let spill = SpillStats::default();
         obs.record_execution(
             Some("select 1"),
             Duration::from_millis(1),
             1,
             &io,
             &sort,
+            &spill,
             "p",
             None,
         );
@@ -234,6 +248,7 @@ mod tests {
             1,
             &io,
             &sort,
+            &spill,
             "p",
             None,
         );

@@ -90,6 +90,12 @@ where
     F: Fn(Vec<Row>, &mut IoStats) -> T + Sync,
 {
     let parts = spec.parts;
+    // Workers rebuild their own contexts from plain copies of the
+    // coordinator's knobs: `ExecContext` itself is not `Sync` (its buffer
+    // pool is a `RefCell`), and a memory budget pins execution to one
+    // thread anyway, so workers never see one.
+    let (db, graph, batch_size, sort_key_codec) =
+        (cx.db, cx.graph, cx.batch_size, cx.sort_key_codec);
     let results: Vec<Result<WorkerRun<T>>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..parts)
             .map(|part| {
@@ -99,12 +105,13 @@ where
                     // Worker contexts pin threads to 1: partition
                     // pipelines never nest exchanges.
                     let wcx = ExecContext::new(
-                        cx.db,
-                        cx.graph,
+                        db,
+                        graph,
                         &ExecOptions {
-                            batch_size: cx.batch_size,
+                            batch_size,
                             threads: 1,
-                            sort_key_codec: cx.sort_key_codec,
+                            sort_key_codec,
+                            memory_budget: None,
                         },
                     );
                     let mut wio = IoStats::new();

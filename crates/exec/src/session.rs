@@ -18,7 +18,7 @@
 use crate::interp::run_plan_materialized;
 use crate::metrics::PlanMetrics;
 use crate::obs::Observability;
-use crate::sortkernel::{self, SortStats};
+use crate::sortkernel::{self, SortStats, SpillStats};
 use crate::stream::{execute_plan, execute_plan_instrumented, Batch, ExecOptions, StreamResult};
 use fto_common::{Result, Row};
 use fto_obs::{Trace, TraceGuard};
@@ -52,6 +52,10 @@ pub struct QueryOutput {
     /// encoded and comparator calls, across every sort/merge in the plan
     /// (all worker threads included).
     pub sort: SortStats,
+    /// Spill work this execution performed under a memory budget: runs
+    /// (or hash partitions) written to spill files and external merge
+    /// passes. All zero when the plan ran fully in memory.
+    pub spill: SpillStats,
 }
 
 impl QueryOutput {
@@ -205,6 +209,7 @@ impl<'db> Session<'db> {
             batch_size: self.config.batch_size,
             threads: self.config.threads,
             sort_key_codec: self.config.sort_key_codec,
+            memory_budget: self.config.memory_budget,
             obs: self.obs.clone(),
             sql: sql.map(str::to_string),
             trace,
@@ -266,6 +271,7 @@ pub struct PreparedQuery<'db> {
     batch_size: usize,
     threads: usize,
     sort_key_codec: bool,
+    memory_budget: Option<usize>,
     obs: Option<Observability>,
     sql: Option<String>,
     trace: Option<Trace>,
@@ -277,6 +283,7 @@ impl PreparedQuery<'_> {
             batch_size: self.batch_size,
             threads: self.threads,
             sort_key_codec: self.sort_key_codec,
+            memory_budget: self.memory_budget,
         }
     }
 
@@ -294,8 +301,13 @@ impl PreparedQuery<'_> {
             return self.execute_instrumented().map(|(out, _)| out);
         }
         let before = sortkernel::stats_snapshot();
+        let spill_before = sortkernel::spill_stats_snapshot();
         let result = execute_plan(self.db, &self.graph, &self.plan, &self.exec_options())?;
-        Ok(self.wrap(result, sortkernel::stats_snapshot().delta_since(before)))
+        Ok(self.wrap(
+            result,
+            sortkernel::stats_snapshot().delta_since(before),
+            sortkernel::spill_stats_snapshot().delta_since(spill_before),
+        ))
     }
 
     /// [`PreparedQuery::execute`] with per-operator instrumentation:
@@ -306,9 +318,14 @@ impl PreparedQuery<'_> {
     /// observability handle, if any.
     pub fn execute_instrumented(&self) -> Result<(QueryOutput, PlanMetrics)> {
         let before = sortkernel::stats_snapshot();
+        let spill_before = sortkernel::spill_stats_snapshot();
         let (result, metrics) =
             execute_plan_instrumented(self.db, &self.graph, &self.plan, &self.exec_options())?;
-        let out = self.wrap(result, sortkernel::stats_snapshot().delta_since(before));
+        let out = self.wrap(
+            result,
+            sortkernel::stats_snapshot().delta_since(before),
+            sortkernel::spill_stats_snapshot().delta_since(spill_before),
+        );
         if let Some(obs) = &self.obs {
             obs.record_execution(
                 self.sql.as_deref(),
@@ -316,6 +333,7 @@ impl PreparedQuery<'_> {
                 out.num_rows() as u64,
                 &out.io,
                 &out.sort,
+                &out.spill,
                 &self.explain(),
                 self.trace.as_ref(),
             );
@@ -348,10 +366,13 @@ impl PreparedQuery<'_> {
             planner: self.planner,
             elapsed: result.elapsed,
             sort,
+            // The reference interpreter ignores the budget (it exists to
+            // check rows, not memory), so it never spills.
+            spill: SpillStats::default(),
         })
     }
 
-    fn wrap(&self, result: StreamResult, sort: SortStats) -> QueryOutput {
+    fn wrap(&self, result: StreamResult, sort: SortStats, spill: SpillStats) -> QueryOutput {
         QueryOutput {
             batches: result.batches,
             rows_cache: OnceLock::new(),
@@ -359,6 +380,7 @@ impl PreparedQuery<'_> {
             planner: self.planner,
             elapsed: result.elapsed,
             sort,
+            spill,
         }
     }
 
@@ -427,6 +449,20 @@ impl PreparedQuery<'_> {
                                 node.self_cost(),
                                 metrics.self_elapsed(id),
                             );
+                            if s.spill_pages_written + s.spill_pages_read > 0 {
+                                let _ = write!(
+                                    note,
+                                    " | spill: w={} r={}",
+                                    s.spill_pages_written, s.spill_pages_read
+                                );
+                            }
+                            if s.pool_hits + s.pool_misses > 0 {
+                                let _ = write!(
+                                    note,
+                                    " | pool: hits={} misses={}",
+                                    s.pool_hits, s.pool_misses
+                                );
+                            }
                             if !m.workers.is_empty() {
                                 let _ = write!(note, " | workers:");
                                 for (k, w) in m.workers.iter().enumerate() {
@@ -442,7 +478,7 @@ impl PreparedQuery<'_> {
                         None => "actual: <inconsistent I/O attribution>".to_string(),
                     }
                 });
-        let _ = writeln!(
+        let _ = write!(
             text,
             "totals: {} | {} rows in {:.1?} | sort: key_bytes={} comparisons={}",
             out.io,
@@ -451,6 +487,14 @@ impl PreparedQuery<'_> {
             out.sort.key_bytes,
             out.sort.comparisons
         );
+        if out.spill != SpillStats::default() {
+            let _ = write!(
+                text,
+                " | spill: runs={} merge_passes={}",
+                out.spill.runs_formed, out.spill.merge_passes
+            );
+        }
+        text.push('\n');
         Ok(text)
     }
 

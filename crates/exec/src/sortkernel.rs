@@ -96,13 +96,62 @@ pub fn stats_snapshot() -> SortStats {
 
 /// Adds to the process-wide tallies — called once per sort/merge, not
 /// once per comparison (comparators count locally in a [`Cell`]).
-fn charge(key_bytes: u64, comparisons: u64) {
+pub(crate) fn charge(key_bytes: u64, comparisons: u64) {
     if key_bytes != 0 {
         KEY_BYTES.fetch_add(key_bytes, AtomicOrd::Relaxed);
     }
     if comparisons != 0 {
         COMPARISONS.fetch_add(comparisons, AtomicOrd::Relaxed);
     }
+}
+
+/// Cumulative count of spilled sort/group-by runs formed in this process.
+static SPILL_RUNS: AtomicU64 = AtomicU64::new(0);
+/// Cumulative count of external-merge passes (one per level of the
+/// multi-pass K-way merge, counted once per level, not per run).
+static MERGE_PASSES: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of (or delta between) the process-wide external-operator
+/// counters — the "actual" side of the cost model's spill estimate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Sorted runs (or hash partitions) spilled to a spill file.
+    pub runs_formed: u64,
+    /// External merge passes performed (`0` for an in-memory sort, `1`
+    /// when the spilled runs fit one merge fan-in, more as the input
+    /// grows — the executor's counterpart of `cost::sort_spill_passes`).
+    pub merge_passes: u64,
+}
+
+impl SpillStats {
+    /// The counters accumulated since `earlier` (saturating).
+    pub fn delta_since(&self, earlier: SpillStats) -> SpillStats {
+        SpillStats {
+            runs_formed: self.runs_formed.saturating_sub(earlier.runs_formed),
+            merge_passes: self.merge_passes.saturating_sub(earlier.merge_passes),
+        }
+    }
+}
+
+/// Reads the cumulative process-wide spill counters; snapshot-and-delta
+/// per query like [`stats_snapshot`].
+pub fn spill_stats_snapshot() -> SpillStats {
+    SpillStats {
+        runs_formed: SPILL_RUNS.load(AtomicOrd::Relaxed),
+        merge_passes: MERGE_PASSES.load(AtomicOrd::Relaxed),
+    }
+}
+
+/// Records `n` spilled runs (or partitions) formed.
+pub(crate) fn note_spill_runs(n: u64) {
+    if n != 0 {
+        SPILL_RUNS.fetch_add(n, AtomicOrd::Relaxed);
+    }
+}
+
+/// Records one external merge pass.
+pub(crate) fn note_merge_pass() {
+    MERGE_PASSES.fetch_add(1, AtomicOrd::Relaxed);
 }
 
 /// Resolved sort keys: (position in the row, direction) per key column.
@@ -408,6 +457,44 @@ pub fn sort_run_codec(rows: Vec<Row>, keys: &SortKeys) -> SortedRun {
     )
 }
 
+/// [`sort_run_codec`] for rows whose normalized keys were already
+/// encoded into one contiguous arena
+/// ([`fto_common::column::encode_batch_keys_arena`]): row `i`'s key is
+/// `bytes[offsets[i]..offsets[i + 1]]`. Tags are local positions `[0,
+/// len)`; rebase with [`SortedRun::shift`]. This is the external sort's
+/// run-formation entry point — the arena comes straight from the
+/// columnar encoder, so forming a spill run costs no per-row encoding
+/// allocation beyond the decorated key itself.
+pub fn sort_run_arena(rows: Vec<Row>, bytes: &[u8], offsets: &[usize]) -> SortedRun {
+    debug_assert_eq!(rows.len() + 1, offsets.len());
+    let mut total = 0u64;
+    let decorated: Vec<(Vec<u8>, u64, Row)> = rows
+        .into_iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let enc = &bytes[offsets[i]..offsets[i + 1]];
+            let mut key = Vec::with_capacity(enc.len() + 8);
+            key.extend_from_slice(enc);
+            key.extend_from_slice(&(i as u64).to_be_bytes());
+            total += key.len() as u64;
+            (key, i as u64, row)
+        })
+        .collect();
+    charge(total, 0);
+    let decorated = sort_decorated(decorated, |d| &d.0);
+    let mut run = SortedRun {
+        seqs: Vec::with_capacity(decorated.len()),
+        rows: Vec::with_capacity(decorated.len()),
+        enc: Vec::with_capacity(decorated.len()),
+    };
+    for (key, seq, row) in decorated {
+        run.enc.push(key);
+        run.seqs.push(seq);
+        run.rows.push(row);
+    }
+    run
+}
+
 /// The first `n` rows of the stable sort of `rows` by `keys`, each tagged
 /// with its original input position. Selection runs before the sort, so
 /// only the winning prefix pays `O(n log n)`; the input-position tag makes
@@ -598,6 +685,15 @@ impl SortedRun {
 /// consistently with that input's order, the output is bit-identical to
 /// stably sorting the serial input whole.
 pub fn merge_runs(runs: Vec<SortedRun>, keys: &SortKeys) -> Vec<Row> {
+    merge_runs_into_run(runs, keys).rows
+}
+
+/// As [`merge_runs`], but the output keeps its sequence tags (and stored
+/// encodings, when every input run carried them) — i.e. the merge of
+/// sorted runs *is itself a sorted run*, which is what lets the external
+/// sort merge more runs than the fan-in allows in multiple passes: each
+/// pass's outputs feed the next as ordinary runs.
+pub fn merge_runs_into_run(runs: Vec<SortedRun>, keys: &SortKeys) -> SortedRun {
     let encoded =
         runs.iter().any(|r| !r.enc.is_empty()) && runs.iter().all(|r| r.enc.len() == r.rows.len());
     if encoded {
@@ -613,7 +709,11 @@ pub fn merge_runs(runs: Vec<SortedRun>, keys: &SortKeys) -> Vec<Row> {
         .iter_mut()
         .map(|(rows, seqs)| rows.next().map(|r| (r, seqs.next().unwrap_or(0))))
         .collect();
-    let mut out = Vec::with_capacity(total);
+    let mut out = SortedRun {
+        rows: Vec::with_capacity(total),
+        seqs: Vec::with_capacity(total),
+        enc: Vec::new(),
+    };
     let mut cmps = 0u64;
     loop {
         // Linear scan over the (few) run heads for the minimum by
@@ -637,36 +737,53 @@ pub fn merge_runs(runs: Vec<SortedRun>, keys: &SortKeys) -> Vec<Row> {
         let Some(k) = best else { break };
         let (rows, seqs) = &mut runs[k];
         let next = rows.next().map(|r| (r, seqs.next().unwrap_or(0)));
-        let (row, _) = std::mem::replace(&mut heads[k], next).unwrap();
-        out.push(row);
+        let (row, seq) = std::mem::replace(&mut heads[k], next).unwrap();
+        out.rows.push(row);
+        out.seqs.push(seq);
     }
     charge(0, cmps);
     out
 }
 
+/// A consumed run during the encoded merge: rows, seq tags, and stored
+/// encodings advanced in lockstep.
+type EncodedRunIter = (
+    std::vec::IntoIter<Row>,
+    std::vec::IntoIter<u64>,
+    std::vec::IntoIter<Vec<u8>>,
+);
+
 /// The memcmp merge: every run carries stored `(key ‖ seq)` encodings,
 /// so each heap compare is one byte-slice comparison — no `Value`
-/// dispatch, no separate seq tiebreak.
-fn merge_runs_encoded(runs: Vec<SortedRun>) -> Vec<Row> {
+/// dispatch, no separate seq tiebreak. The output run keeps both tags
+/// and encodings, so it can enter a later merge pass unchanged.
+fn merge_runs_encoded(runs: Vec<SortedRun>) -> SortedRun {
     let total: usize = runs.iter().map(|r| r.rows.len()).sum();
-    let mut runs: Vec<(std::vec::IntoIter<Row>, std::vec::IntoIter<Vec<u8>>)> = runs
+    let mut runs: Vec<EncodedRunIter> = runs
         .into_iter()
-        .map(|r| (r.rows.into_iter(), r.enc.into_iter()))
+        .map(|r| (r.rows.into_iter(), r.seqs.into_iter(), r.enc.into_iter()))
         .collect();
-    let mut heads: Vec<Option<(Row, Vec<u8>)>> = runs
+    let mut heads: Vec<Option<(Row, u64, Vec<u8>)>> = runs
         .iter_mut()
-        .map(|(rows, enc)| rows.next().map(|r| (r, enc.next().unwrap_or_default())))
+        .map(|(rows, seqs, enc)| {
+            rows.next()
+                .map(|r| (r, seqs.next().unwrap_or(0), enc.next().unwrap_or_default()))
+        })
         .collect();
-    let mut out = Vec::with_capacity(total);
+    let mut out = SortedRun {
+        rows: Vec::with_capacity(total),
+        seqs: Vec::with_capacity(total),
+        enc: Vec::with_capacity(total),
+    };
     let mut cmps = 0u64;
     loop {
         let mut best: Option<usize> = None;
         for (k, head) in heads.iter().enumerate() {
-            let Some((_, key)) = head else { continue };
+            let Some((_, _, key)) = head else { continue };
             best = match best {
                 None => Some(k),
                 Some(b) => {
-                    let (_, bkey) = heads[b].as_ref().unwrap();
+                    let (_, _, bkey) = heads[b].as_ref().unwrap();
                     cmps += 1;
                     if key.as_slice() < bkey.as_slice() {
                         Some(k)
@@ -677,10 +794,14 @@ fn merge_runs_encoded(runs: Vec<SortedRun>) -> Vec<Row> {
             };
         }
         let Some(k) = best else { break };
-        let (rows, enc) = &mut runs[k];
-        let next = rows.next().map(|r| (r, enc.next().unwrap_or_default()));
-        let (row, _) = std::mem::replace(&mut heads[k], next).unwrap();
-        out.push(row);
+        let (rows, seqs, enc) = &mut runs[k];
+        let next = rows
+            .next()
+            .map(|r| (r, seqs.next().unwrap_or(0), enc.next().unwrap_or_default()));
+        let (row, seq, key) = std::mem::replace(&mut heads[k], next).unwrap();
+        out.rows.push(row);
+        out.seqs.push(seq);
+        out.enc.push(key);
     }
     charge(0, cmps);
     out

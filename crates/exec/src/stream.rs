@@ -32,6 +32,7 @@
 //! reference engine's exact emission order, not merely the same bag of
 //! rows.
 
+use crate::extsort::{FinishedSort, RunFormer, SpilledSort};
 use crate::interp::{concat, eval_preds, positions};
 use crate::metrics::{OpMetrics, PlanMetrics};
 use crate::parallel::{
@@ -39,11 +40,17 @@ use crate::parallel::{
 };
 use crate::sortkernel::{self, resolve_keys, SortKeys};
 use fto_common::column::encode_batch_keys_arena;
-use fto_common::{sortkey, ColId, Direction, FtoError, IndexId, Result, Row, TableId, Value};
+use fto_common::{
+    row_bytes, sortkey, ColId, Direction, FtoError, IndexId, Result, Row, TableId, Value,
+};
 use fto_expr::{agg::Accumulator, vector, AggCall, Expr, PredId, RowLayout};
 use fto_planner::{Plan, PlanNode, ScanRange};
 use fto_qgm::QueryGraph;
-use fto_storage::{Database, HeapScanState, IndexScanState, IoStats, PageCursor};
+use fto_storage::{
+    spill, BufferPool, Database, HeapScanState, IndexScanState, IoStats, PageCursor, SpillCursor,
+    SpillFile,
+};
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
@@ -101,6 +108,19 @@ pub struct ExecContext<'a> {
     /// paths produce bit-identical output; this gates the fast path so
     /// the differential suite can prove it.
     pub sort_key_codec: bool,
+    /// Per-query memory budget in bytes for pipeline breakers, or `None`
+    /// for unbounded in-memory execution. When set, sort and Top-N bound
+    /// their buffered working sets (spilling sorted runs), hash group-by
+    /// spills overflow partitions, and the hash-join build side spills
+    /// rows past the budget — all bit-identical to unbounded execution.
+    pub memory_budget: Option<usize>,
+    /// The bounded buffer pool heap-page touches route through when a
+    /// budget is set (`budget / PAGE_SIZE` frames, clock eviction);
+    /// `None` leaves page charging exactly as before. `RefCell` because
+    /// operators share the context immutably; a budgeted execution is
+    /// always single-threaded (see [`ExecContext::new`]) and borrows are
+    /// taken only around leaf page touches, never across child calls.
+    pub pool: Option<RefCell<BufferPool>>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -108,13 +128,37 @@ impl<'a> ExecContext<'a> {
     /// `batch_size` and `threads` to at least 1 in one place, so the
     /// serial, instrumented, and per-worker contexts cannot diverge on
     /// the clamping rule.
+    ///
+    /// A memory budget pins `threads` to 1: bounding one working set
+    /// requires one pipeline (P workers would each need a budget share
+    /// and a private pool, and their private spill streams would break
+    /// the exact-accounting invariants). Rows are bit-identical at any
+    /// requested thread count anyway, so the clamp is observable only in
+    /// scheduling.
     pub fn new(db: &'a Database, graph: &'a QueryGraph, opts: &ExecOptions) -> ExecContext<'a> {
+        let memory_budget = opts.memory_budget;
+        let threads = if memory_budget.is_some() {
+            1
+        } else {
+            opts.threads.max(1)
+        };
         ExecContext {
             db,
             graph,
             batch_size: opts.batch_size.max(1),
-            threads: opts.threads.max(1),
+            threads,
             sort_key_codec: opts.sort_key_codec,
+            memory_budget,
+            pool: memory_budget.map(|b| RefCell::new(BufferPool::new(b))),
+        }
+    }
+
+    /// Runs `f` with a mutable borrow of the buffer pool (or `None` when
+    /// unbounded). Callers must not re-enter child operators inside `f`.
+    fn with_pool<R>(&self, f: impl FnOnce(Option<&mut BufferPool>) -> R) -> R {
+        match &self.pool {
+            Some(pool) => f(Some(&mut pool.borrow_mut())),
+            None => f(None),
         }
     }
 }
@@ -151,6 +195,9 @@ pub struct ExecOptions {
     /// keeps the legacy `Value`-comparator paths; output is identical
     /// either way.
     pub sort_key_codec: bool,
+    /// Per-query memory budget in bytes, or `None` (the default) for
+    /// unbounded execution. See [`ExecContext::memory_budget`].
+    pub memory_budget: Option<usize>,
 }
 
 impl Default for ExecOptions {
@@ -159,6 +206,7 @@ impl Default for ExecOptions {
             batch_size: 1024,
             threads: 1,
             sort_key_codec: true,
+            memory_budget: None,
         }
     }
 }
@@ -331,7 +379,10 @@ impl Operator for ScanOp {
 
     fn next_batch(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<Option<Batch>> {
         let heap = cx.db.heap(self.table)?;
-        let batch = self.state.next_columns(heap, cx.batch_size, io);
+        let batch = cx.with_pool(|pool| {
+            self.state
+                .next_columns_pooled(heap, cx.batch_size, io, pool)
+        });
         Ok(if batch.is_empty() { None } else { Some(batch) })
     }
 }
@@ -381,7 +432,8 @@ impl Operator for IndexScanOp {
             .state
             .as_mut()
             .ok_or_else(|| FtoError::internal("index scan used before open"))?;
-        let batch = state.next_columns(ix, heap, cx.batch_size, io);
+        let batch =
+            cx.with_pool(|pool| state.next_columns_pooled(ix, heap, cx.batch_size, io, pool));
         Ok(if batch.is_empty() { None } else { Some(batch) })
     }
 
@@ -617,10 +669,56 @@ struct SortOp {
     keys: SortKeys,
     buf: Vec<Row>,
     pos: usize,
+    /// The spilled external sort, when a memory budget forced one; the
+    /// final K-way merge streams from here instead of `buf`.
+    spilled: Option<SpilledSort>,
+}
+
+impl SortOp {
+    /// The bounded path: rows feed a [`RunFormer`] that seals and spills
+    /// sorted runs as the working set crosses the budget. Run tags are
+    /// global input positions, so the merged output — and `sort_rows`,
+    /// charged per run — is bit-identical to the unbounded operator at
+    /// any budget.
+    fn open_bounded(
+        &mut self,
+        budget: usize,
+        cx: &ExecContext<'_>,
+        io: &mut IoStats,
+    ) -> Result<()> {
+        let encode = cx.sort_key_codec && !self.keys.is_empty();
+        self.child.open(cx, io)?;
+        let mut former = RunFormer::new(budget, encode, self.keys.clone());
+        let (mut bb, mut bo) = (Vec::new(), Vec::new());
+        let mut rows = Vec::new();
+        while let Some(batch) = self.child.next_batch(cx, io)? {
+            if encode {
+                encode_batch_keys_arena(&batch, &self.keys, &mut bb, &mut bo);
+            }
+            rows.clear();
+            batch.append_rows_to(&mut rows);
+            for (i, row) in rows.drain(..).enumerate() {
+                let key = encode.then(|| &bb[bo[i]..bo[i + 1]]);
+                former.push(row, key, io);
+            }
+        }
+        self.child.close();
+        match former.finish(io) {
+            FinishedSort::InMemory(sorted) => {
+                self.buf = sorted;
+                self.pos = 0;
+            }
+            FinishedSort::Spilled(s) => self.spilled = Some(s),
+        }
+        Ok(())
+    }
 }
 
 impl Operator for SortOp {
     fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
+        if let Some(budget) = cx.memory_budget {
+            return self.open_bounded(budget, cx, io);
+        }
         // Under the codec, sort keys are encoded column-at-a-time while
         // the input is still columnar — a tight per-type loop per key
         // column — and the pre-encoded keys are handed to the kernel.
@@ -655,7 +753,22 @@ impl Operator for SortOp {
         Ok(())
     }
 
-    fn next_batch(&mut self, cx: &ExecContext<'_>, _io: &mut IoStats) -> Result<Option<Batch>> {
+    fn next_batch(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<Option<Batch>> {
+        if let Some(spilled) = &mut self.spilled {
+            // Stream the final merge: the fully sorted output is never
+            // materialized whole, only one batch of rows at a time.
+            let mut rows = Vec::with_capacity(cx.batch_size);
+            while rows.len() < cx.batch_size {
+                match spilled.next_row(&self.keys, io) {
+                    Some(row) => rows.push(row),
+                    None => break,
+                }
+            }
+            if rows.is_empty() {
+                return Ok(None);
+            }
+            return Ok(Some(Batch::from_rows(&rows)));
+        }
         if self.pos >= self.buf.len() {
             return Ok(None);
         }
@@ -667,6 +780,7 @@ impl Operator for SortOp {
 
     fn close(&mut self) {
         self.buf = Vec::new();
+        self.spilled = None;
     }
 }
 
@@ -678,8 +792,51 @@ struct TopNOp {
     pos: usize,
 }
 
+impl TopNOp {
+    /// The bounded path: candidates carry their global input positions
+    /// and the buffer is pruned back to the current top `n` by
+    /// `(keys, seq)` whenever it crosses the budget (or `2n` rows,
+    /// whichever comes first). A row outside the running top `n` can
+    /// never re-enter it, so the survivors — and their order — are
+    /// exactly the unbounded operator's stable-sort prefix. Memory stays
+    /// under `max(budget, 2n rows)` with no spilling.
+    fn open_bounded(
+        &mut self,
+        budget: usize,
+        cx: &ExecContext<'_>,
+        io: &mut IoStats,
+    ) -> Result<()> {
+        let n = self.n as usize;
+        self.child.open(cx, io)?;
+        let mut pending: Vec<(u64, Row)> = Vec::new();
+        let mut bytes = 0usize;
+        let mut seq = 0u64;
+        while let Some(batch) = self.child.next_batch(cx, io)? {
+            for i in 0..batch.len() {
+                let row = batch.row(i);
+                bytes += row_bytes(&row);
+                pending.push((seq, row));
+                seq += 1;
+                if pending.len() > n && (bytes > budget || pending.len() >= 2 * n.max(1)) {
+                    pending = sortkernel::top_n_tagged(std::mem::take(&mut pending), &self.keys, n);
+                    bytes = pending.iter().map(|(_, r)| row_bytes(r)).sum();
+                }
+            }
+        }
+        self.child.close();
+        let top = sortkernel::top_n_tagged(pending, &self.keys, n);
+        io.sort_rows += top.len() as u64;
+        self.buf = top.into_iter().map(|(_, row)| row).collect();
+        self.pos = 0;
+        Ok(())
+    }
+}
+
 impl Operator for TopNOp {
     fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
+        if let Some(budget) = cx.memory_budget {
+            return self.open_bounded(budget, cx, io);
+        }
         let rows = drain_all(&mut self.child, cx, io)?;
         let top = sortkernel::top_n_with(rows, &self.keys, self.n as usize, cx.sort_key_codec);
         io.sort_rows += top.len() as u64;
@@ -703,6 +860,50 @@ impl Operator for TopNOp {
     }
 }
 
+/// Number of key-hash partitions a budgeted hash group-by (or its
+/// recursive sub-aggregations) spills overflow rows into.
+const GROUP_SPILL_PARTITIONS: usize = 8;
+
+/// Recursion depth past which a partition aggregates fully in memory — a
+/// correctness backstop; the per-level salted hash makes reaching it
+/// essentially impossible (each level also retires at least one key).
+const MAX_GROUP_SPILL_DEPTH: usize = 6;
+
+/// FNV-1a over an encoded grouping key, salted per recursion level so a
+/// partition's keys re-split differently when it recurses. Hashing the
+/// *encoded* key makes the partitioning codec-independent: the group-by
+/// always encodes keys for its hash table, on either comparator path.
+fn partition_hash(key: &[u8], salt: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The grouping machinery resolved once per execution: key positions,
+/// their ascending sort keys (for the codec encoder), and the aggregate
+/// argument expressions.
+struct GroupEnv {
+    gpos: Vec<usize>,
+    gkeys: SortKeys,
+    args: Vec<Expr>,
+}
+
+/// In-flight state of one (sub)aggregation in the bounded hash group-by:
+/// the in-memory groups (each remembering the global position of its
+/// first row, which fixes its output rank), the byte-keyed index over
+/// them, the tracked working-set size, and — once the budget is crossed —
+/// the key-hash partitions overflow rows spill into.
+#[derive(Default)]
+struct GroupState {
+    groups: Vec<(Vec<Value>, Vec<Accumulator>, u64)>,
+    index: HashMap<Vec<u8>, usize>,
+    bytes: usize,
+    parts: Vec<SpillFile>,
+}
+
 struct HashGroupByOp {
     child: Box<dyn Operator>,
     grouping: Vec<ColId>,
@@ -710,6 +911,202 @@ struct HashGroupByOp {
     layout: RowLayout,
     buf: Vec<Row>,
     pos: usize,
+}
+
+impl HashGroupByOp {
+    fn env(&self) -> Result<GroupEnv> {
+        let gpos: Vec<usize> = self
+            .grouping
+            .iter()
+            .map(|c| {
+                self.layout
+                    .position(*c)
+                    .ok_or_else(|| FtoError::internal("grouping column missing from layout"))
+            })
+            .collect::<Result<_>>()?;
+        Ok(GroupEnv {
+            gkeys: gpos.iter().map(|&p| (p, Direction::Asc)).collect(),
+            gpos,
+            args: self.aggs.iter().map(|(_, c)| c.arg.clone()).collect(),
+        })
+    }
+
+    /// Absorbs one batch into `state`. Rows of already-admitted keys
+    /// aggregate in place (no new memory); a first-seen key is admitted
+    /// while the working set fits the budget, and once it no longer does,
+    /// new keys' rows spill `[u64 seq][row]` records to the partition
+    /// their key hashes to. A key therefore lives entirely in memory or
+    /// entirely in one partition — the hash is deterministic — which is
+    /// what lets each partition re-aggregate independently.
+    #[allow(clippy::too_many_arguments)]
+    fn absorb_batch(
+        &self,
+        state: &mut GroupState,
+        batch: &Batch,
+        seqs: &[u64],
+        env: &GroupEnv,
+        budget: usize,
+        salt: u64,
+        kb: &mut Vec<u8>,
+        ko: &mut Vec<usize>,
+        io: &mut IoStats,
+    ) -> Result<()> {
+        encode_batch_keys_arena(batch, &env.gkeys, kb, ko);
+        let argcols = vector::eval_agg_args(&env.args, batch, &self.layout)?;
+        let mut payload = Vec::new();
+        for i in 0..batch.len() {
+            let key = &kb[ko[i]..ko[i + 1]];
+            let slot = match state.index.get(key) {
+                Some(&slot) => Some(slot),
+                None => {
+                    let kvals: Vec<Value> =
+                        env.gpos.iter().map(|&p| batch.column(p).value(i)).collect();
+                    // Estimated resident cost of admitting this group:
+                    // its index key, key values, and rough per-
+                    // accumulator (64) and hash-entry (48) overheads.
+                    let cost = key.len() + row_bytes(&kvals) + 64 * self.aggs.len() + 48;
+                    if state.bytes + cost > budget && !state.groups.is_empty() {
+                        if state.parts.is_empty() {
+                            state.parts = (0..GROUP_SPILL_PARTITIONS)
+                                .map(|_| SpillFile::new())
+                                .collect();
+                        }
+                        let p = (partition_hash(key, salt) as usize) % GROUP_SPILL_PARTITIONS;
+                        payload.clear();
+                        payload.extend_from_slice(&seqs[i].to_le_bytes());
+                        spill::write_row(&batch.row(i), &mut payload);
+                        state.parts[p].append_record(&payload, io);
+                        None
+                    } else {
+                        state.bytes += cost;
+                        let accs: Vec<_> = self.aggs.iter().map(|(_, c)| c.accumulator()).collect();
+                        state.index.insert(key.to_vec(), state.groups.len());
+                        state.groups.push((kvals, accs, seqs[i]));
+                        Some(state.groups.len() - 1)
+                    }
+                }
+            };
+            if let Some(slot) = slot {
+                for (acc, col) in state.groups[slot].1.iter_mut().zip(&argcols) {
+                    acc.update_value(col.value(i));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finishes a state: in-memory groups emit `(first_seq, output_row)`
+    /// pairs, then each non-empty partition streams back through a fresh
+    /// sub-aggregation under a salted hash (records re-batch and re-spill
+    /// under the same budget, so the read-back stays bounded too).
+    #[allow(clippy::too_many_arguments)]
+    fn drain_state(
+        &self,
+        state: GroupState,
+        env: &GroupEnv,
+        budget: usize,
+        depth: usize,
+        cx: &ExecContext<'_>,
+        io: &mut IoStats,
+        out: &mut Vec<(u64, Row)>,
+    ) -> Result<()> {
+        let GroupState { groups, parts, .. } = state;
+        for (kvals, accs, first_seq) in groups {
+            let mut row = kvals;
+            row.extend(accs.iter().map(|a| a.finish()));
+            out.push((first_seq, row.into_boxed_slice()));
+        }
+        let (mut kb, mut ko) = (Vec::new(), Vec::new());
+        for file in parts {
+            if file.is_empty() {
+                continue;
+            }
+            sortkernel::note_spill_runs(1);
+            let sub_budget = if depth + 1 >= MAX_GROUP_SPILL_DEPTH {
+                usize::MAX
+            } else {
+                budget
+            };
+            let mut sub = GroupState::default();
+            let mut cursor = SpillCursor::new(0, file.len());
+            let mut rows: Vec<Row> = Vec::new();
+            let mut seqs: Vec<u64> = Vec::new();
+            loop {
+                let rec = cursor.read_record(&file, io);
+                if let Some(rec) = &rec {
+                    seqs.push(u64::from_le_bytes(
+                        rec[0..8].try_into().expect("spill record truncated"),
+                    ));
+                    let mut pos = 8;
+                    rows.push(spill::read_row(rec, &mut pos));
+                }
+                let done = rec.is_none();
+                if !rows.is_empty() && (done || rows.len() >= cx.batch_size) {
+                    let batch = Batch::from_rows(&rows);
+                    self.absorb_batch(
+                        &mut sub,
+                        &batch,
+                        &seqs,
+                        env,
+                        sub_budget,
+                        depth as u64 + 1,
+                        &mut kb,
+                        &mut ko,
+                        io,
+                    )?;
+                    rows.clear();
+                    seqs.clear();
+                }
+                if done {
+                    break;
+                }
+            }
+            self.drain_state(sub, env, budget, depth + 1, cx, io, out)?;
+        }
+        Ok(())
+    }
+
+    /// The bounded path. Output rows sort by their group's first-seen
+    /// global position, which *is* the unbounded operator's first-seen
+    /// insertion order — and every row of a key aggregates in arrival
+    /// order whether the key stayed in memory or spilled, so accumulator
+    /// results (float sums included) are bit-identical too.
+    fn open_bounded(
+        &mut self,
+        budget: usize,
+        env: &GroupEnv,
+        cx: &ExecContext<'_>,
+        io: &mut IoStats,
+    ) -> Result<()> {
+        let mut state = GroupState::default();
+        let (mut kb, mut ko) = (Vec::new(), Vec::new());
+        let mut saw_input = false;
+        let mut seq = 0u64;
+        let mut seqs: Vec<u64> = Vec::new();
+        while let Some(batch) = self.child.next_batch(cx, io)? {
+            saw_input = true;
+            seqs.clear();
+            seqs.extend(seq..seq + batch.len() as u64);
+            seq += batch.len() as u64;
+            self.absorb_batch(
+                &mut state, &batch, &seqs, env, budget, 0, &mut kb, &mut ko, io,
+            )?;
+        }
+        self.child.close();
+        let mut out: Vec<(u64, Row)> = Vec::new();
+        self.drain_state(state, env, budget, 0, cx, io, &mut out)?;
+        out.sort_unstable_by_key(|&(s, _)| s);
+        if !saw_input && self.grouping.is_empty() {
+            // A global aggregate over an empty input still produces one
+            // row (COUNT(*) = 0, SUM = NULL).
+            let accs: Vec<_> = self.aggs.iter().map(|(_, c)| c.accumulator()).collect();
+            let row: Vec<Value> = accs.iter().map(|a| a.finish()).collect();
+            out.push((0, row.into_boxed_slice()));
+        }
+        self.buf = out.into_iter().map(|(_, row)| row).collect();
+        self.pos = 0;
+        Ok(())
+    }
 }
 
 impl Operator for HashGroupByOp {
@@ -723,17 +1120,10 @@ impl Operator for HashGroupByOp {
         // zero) — so byte equality groups precisely the rows the row
         // engine groups, and insertion order matches its output order.
         self.child.open(cx, io)?;
-        let gpos: Vec<usize> = self
-            .grouping
-            .iter()
-            .map(|c| {
-                self.layout
-                    .position(*c)
-                    .ok_or_else(|| FtoError::internal("grouping column missing from layout"))
-            })
-            .collect::<Result<_>>()?;
-        let gkeys: SortKeys = gpos.iter().map(|&p| (p, Direction::Asc)).collect();
-        let args: Vec<Expr> = self.aggs.iter().map(|(_, c)| c.arg.clone()).collect();
+        let env = self.env()?;
+        if let Some(budget) = cx.memory_budget {
+            return self.open_bounded(budget, &env, cx, io);
+        }
         let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
         let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
         let mut saw_input = false;
@@ -742,15 +1132,15 @@ impl Operator for HashGroupByOp {
             saw_input = true;
             // Keys land in one contiguous arena; only a first-seen group
             // copies its key out (HashMap probes borrow the slice).
-            encode_batch_keys_arena(&batch, &gkeys, &mut key_bytes, &mut key_offsets);
-            let argcols = vector::eval_agg_args(&args, &batch, &self.layout)?;
+            encode_batch_keys_arena(&batch, &env.gkeys, &mut key_bytes, &mut key_offsets);
+            let argcols = vector::eval_agg_args(&env.args, &batch, &self.layout)?;
             for i in 0..batch.len() {
                 let key = &key_bytes[key_offsets[i]..key_offsets[i + 1]];
                 let slot = match index.get(key) {
                     Some(&slot) => slot,
                     None => {
                         let kvals: Vec<Value> =
-                            gpos.iter().map(|&p| batch.column(p).value(i)).collect();
+                            env.gpos.iter().map(|&p| batch.column(p).value(i)).collect();
                         let accs: Vec<_> = self.aggs.iter().map(|(_, c)| c.accumulator()).collect();
                         groups.push((kvals, accs));
                         index.insert(key.to_vec(), groups.len() - 1);
@@ -981,7 +1371,17 @@ impl Operator for IndexNestedLoopJoinOp {
                     ix.probe(&key)
                 };
                 for (_, rid) in hits {
-                    self.cursor.touch(heap.page_of(*rid), io);
+                    // Probe fetches share the budgeted buffer pool with
+                    // the scans (keyed by table id); unbounded executions
+                    // charge exactly as before.
+                    cx.with_pool(|pool| {
+                        self.cursor.touch_pooled(
+                            heap.table().0 as u64,
+                            heap.page_of(*rid),
+                            io,
+                            pool,
+                        )
+                    });
                     io.rows_read += 1;
                     let joined = concat(&orow, heap.row(*rid));
                     if eval_preds(cx.graph, &self.predicates, &joined, &self.layout)? {
@@ -998,6 +1398,15 @@ impl Operator for IndexNestedLoopJoinOp {
     }
 }
 
+/// Where a hash-join build row lives: resident in `build_rows`, or at a
+/// byte offset in the build-side spill file. Either way the table entry
+/// vector keeps rows in build (arrival) order, so match order — and with
+/// it output order — is identical on both paths.
+enum BuildRef {
+    Mem(usize),
+    Spilled(u64),
+}
+
 /// Hash join: build side (inner) materialized at open, probe side
 /// streamed. Output preserves the outer's order.
 struct HashJoinOp {
@@ -1007,23 +1416,64 @@ struct HashJoinOp {
     predicates: Vec<PredId>,
     layout: RowLayout,
     /// Inner rows in materialization order; the table maps keys to
-    /// indexes so matches come back in build order, like the reference
-    /// engine.
+    /// [`BuildRef`]s so matches come back in build order, like the
+    /// reference engine.
     build_rows: Vec<Row>,
-    table: HashMap<Vec<Value>, Vec<usize>>,
+    table: HashMap<Vec<Value>, Vec<BuildRef>>,
+    /// Build rows past the memory budget (None when unbounded or the
+    /// build fit).
+    spill: Option<SpillFile>,
     out: OutQueue,
 }
 
 impl HashJoinOp {
     fn build(&mut self, cx: &ExecContext<'_>, io: &mut IoStats, ipos: &[usize]) -> Result<()> {
-        self.build_rows = drain_all(&mut self.inner, cx, io)?;
         self.table.clear();
+        self.build_rows = Vec::new();
+        self.spill = None;
+        if let Some(budget) = cx.memory_budget {
+            // Bounded build: rows that fit stay resident, overflow rows
+            // spill by value and are re-read on probe hits. NULL-key rows
+            // can never join, so the bounded path drops them outright
+            // instead of spending budget on them.
+            self.inner.open(cx, io)?;
+            let mut file = SpillFile::new();
+            let mut bytes = 0usize;
+            let mut payload = Vec::new();
+            while let Some(batch) = self.inner.next_batch(cx, io)? {
+                for i in 0..batch.len() {
+                    let row = batch.row(i);
+                    let key = key_of(&row, ipos);
+                    if key.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    let cost = row_bytes(&row);
+                    let r = if bytes + cost > budget && !self.build_rows.is_empty() {
+                        payload.clear();
+                        spill::write_row(&row, &mut payload);
+                        BuildRef::Spilled(file.append_record(&payload, io))
+                    } else {
+                        bytes += cost;
+                        self.build_rows.push(row);
+                        BuildRef::Mem(self.build_rows.len() - 1)
+                    };
+                    self.table.entry(key).or_default().push(r);
+                }
+            }
+            self.inner.close();
+            if !file.is_empty() {
+                sortkernel::note_spill_runs(1);
+                self.spill = Some(file);
+            }
+            return Ok(());
+        }
+        self.build_rows = drain_all(&mut self.inner, cx, io)?;
         for (i, irow) in self.build_rows.iter().enumerate() {
             let key = key_of(irow, ipos);
             if key.iter().any(Value::is_null) {
                 continue; // NULL never joins
             }
-            self.table.entry(key).or_default().push(i);
+            self.table.entry(key).or_default().push(BuildRef::Mem(i));
         }
         Ok(())
     }
@@ -1057,8 +1507,19 @@ impl Operator for HashJoinWrap {
                     continue;
                 }
                 if let Some(matches) = op.table.get(&key) {
-                    for &i in matches {
-                        let joined = concat(&orow, &op.build_rows[i]);
+                    for r in matches {
+                        let joined = match r {
+                            BuildRef::Mem(i) => concat(&orow, &op.build_rows[*i]),
+                            BuildRef::Spilled(off) => {
+                                let file =
+                                    op.spill.as_ref().expect("spilled build ref without file");
+                                let rec = SpillCursor::new(*off, file.len())
+                                    .read_record(file, io)
+                                    .expect("spilled build record missing");
+                                let mut pos = 0;
+                                concat(&orow, &spill::read_row(&rec, &mut pos))
+                            }
+                        };
                         if eval_preds(cx.graph, &op.predicates, &joined, &op.layout)? {
                             op.out.push(joined);
                         }
@@ -1071,6 +1532,7 @@ impl Operator for HashJoinWrap {
     fn close(&mut self) {
         self.op.build_rows = Vec::new();
         self.op.table.clear();
+        self.op.spill = None;
         self.op.out.clear();
         self.op.outer.close();
     }
@@ -1609,6 +2071,7 @@ fn lower_impl(plan: &Plan, lw: &mut LowerCx) -> Result<Box<dyn Operator>> {
                     keys,
                     buf: Vec::new(),
                     pos: 0,
+                    spilled: None,
                 })
             }
         }
@@ -1699,6 +2162,7 @@ fn lower_impl(plan: &Plan, lw: &mut LowerCx) -> Result<Box<dyn Operator>> {
                 layout: plan.layout.clone(),
                 build_rows: Vec::new(),
                 table: HashMap::new(),
+                spill: None,
                 out: OutQueue::default(),
             },
         }),

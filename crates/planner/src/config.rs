@@ -58,6 +58,14 @@ pub struct OptimizerConfig {
     /// (the differential suite runs both); off keeps the legacy
     /// `Value`-comparator paths.
     pub sort_key_codec: bool,
+    /// Per-query memory budget in bytes for the streaming executor, or
+    /// `None` (the default) for unbounded in-memory execution. When set,
+    /// pipeline breakers (sort, Top-N, hash group-by, hash-join build)
+    /// bound their working set to this many bytes and spill overflow to
+    /// page-charged spill files, and heap-page touches route through a
+    /// bounded buffer pool of `budget / PAGE_SIZE` frames. Results are
+    /// bit-identical to unbounded execution at any budget.
+    pub memory_budget: Option<usize>,
 }
 
 impl Default for OptimizerConfig {
@@ -74,6 +82,7 @@ impl Default for OptimizerConfig {
             batch_size: 1024,
             threads: 1,
             sort_key_codec: true,
+            memory_budget: None,
         }
     }
 }
@@ -179,6 +188,14 @@ impl OptimizerConfig {
         self.sort_key_codec = on;
         self
     }
+
+    /// Sets the per-query executor memory budget in bytes (clamped to at
+    /// least 1 — a zero budget means "spill everything", not
+    /// "unbounded"). See [`OptimizerConfig::memory_budget`].
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes.max(1));
+        self
+    }
 }
 
 /// Counters describing how much work the planner did; used by the
@@ -210,6 +227,15 @@ mod tests {
         assert_eq!(c.batch_size, 1024);
         assert_eq!(c.threads, 1);
         assert!(c.sort_key_codec);
+        assert_eq!(c.memory_budget, None);
+    }
+
+    #[test]
+    fn memory_budget_builder_clamps_to_one() {
+        let c = OptimizerConfig::new().with_memory_budget(0);
+        assert_eq!(c.memory_budget, Some(1));
+        let c = OptimizerConfig::new().with_memory_budget(64 << 10);
+        assert_eq!(c.memory_budget, Some(64 << 10));
     }
 
     #[test]

@@ -86,22 +86,39 @@ pub fn index_scan(
     leaf + data + fetch_rows * CPU_ROW
 }
 
+/// Merge fan-in of the external sort: how many spilled runs one merge
+/// pass combines. Shared with the executor, whose multi-pass merge uses
+/// the same constant, so `calibrate` can compare the estimated pass
+/// count against the actual one.
+pub const MERGE_FAN_IN: usize = 8;
+
+/// Number of spill passes an external sort of `bytes` bytes makes with
+/// `memory` bytes of work space: zero when the input fits, else
+/// `ceil(log_F(runs))` merge passes over `runs = ceil(bytes / memory)`
+/// initial runs with fan-in `F` ([`MERGE_FAN_IN`]). Each pass writes and
+/// reads every page once (§6 of the paper prices exactly this shape).
+pub fn sort_spill_passes(bytes: f64, memory: usize) -> f64 {
+    if bytes <= memory as f64 || memory == 0 {
+        return if memory == 0 && bytes > 0.0 { 1.0 } else { 0.0 };
+    }
+    let runs = (bytes / memory as f64).ceil();
+    (runs.log2() / (MERGE_FAN_IN as f64).log2()).ceil().max(1.0)
+}
+
 /// Cost of sorting `rows` rows of `row_width` bytes with `memory` bytes of
 /// work space: n·log₂(n) comparisons plus, when the input exceeds memory,
-/// one spill write + read of every page.
+/// one spill write + read of every page *per merge pass* —
+/// [`sort_spill_passes`] of them. (An earlier version charged exactly one
+/// pass regardless of how far the input exceeded memory, which under-costed
+/// heavily oversized sorts relative to pre-sorted index paths.)
 pub fn sort(rows: f64, row_width: usize, memory: usize) -> f64 {
     if rows <= 1.0 {
         return rows * CPU_SORT_CMP;
     }
     let cmp = rows * rows.log2() * CPU_SORT_CMP;
     let bytes = rows * row_width as f64;
-    let spill = if bytes > memory as f64 {
-        let pages = bytes / crate::plan::SIM_PAGE_BYTES;
-        2.0 * pages * SEQ_PAGE
-    } else {
-        0.0
-    };
-    cmp + spill
+    let pages = bytes / crate::plan::SIM_PAGE_BYTES;
+    cmp + sort_spill_passes(bytes, memory) * 2.0 * pages * SEQ_PAGE
 }
 
 /// Per-probe cost of an index nested-loop join into a table.
@@ -201,6 +218,50 @@ mod tests {
         let in_mem = sort(10_000.0, 100, 10_000 * 100 + 1);
         let spilled = sort(10_000.0, 100, 1 << 10);
         assert!(spilled > in_mem);
+    }
+
+    #[test]
+    fn spill_passes_follow_log_fan_in() {
+        let m = 1 << 20; // 1 MiB work space
+        assert_eq!(sort_spill_passes(0.0, m), 0.0);
+        assert_eq!(sort_spill_passes(m as f64, m), 0.0); // exactly fits
+                                                         // Up to fan-in runs: a single merge pass, as the old model assumed.
+        assert_eq!(sort_spill_passes(2.0 * m as f64, m), 1.0);
+        assert_eq!(sort_spill_passes(8.0 * m as f64, m), 1.0);
+        // Past the fan-in the old model was wrong: more passes.
+        assert_eq!(sort_spill_passes(9.0 * m as f64, m), 2.0);
+        assert_eq!(sort_spill_passes(64.0 * m as f64, m), 2.0);
+        assert_eq!(sort_spill_passes(65.0 * m as f64, m), 3.0);
+    }
+
+    #[test]
+    fn multi_pass_spill_flips_plan_choice() {
+        // 100k rows × 1 KB against a 1 MiB work space: 96 initial runs,
+        // so the fixed model charges ceil(log₈ 96) = 3 write+read passes
+        // where the old model charged exactly 1. An unclustered index
+        // delivering the order sort-free sits between the two totals, so
+        // the fix flips the plan choice from scan+sort to the index path.
+        let rows = 100_000.0;
+        let width = 1000usize;
+        let memory = 1usize << 20;
+        let bytes = rows * width as f64;
+        let pages = (bytes / crate::plan::SIM_PAGE_BYTES) as u64;
+        assert_eq!(sort_spill_passes(bytes, memory), 3.0);
+
+        let cmp = rows * rows.log2() * CPU_SORT_CMP;
+        let one_pass_spill = 2.0 * pages as f64 * SEQ_PAGE; // the old bug
+        let scan_sort_old = table_scan(pages, rows) + cmp + one_pass_spill;
+        let scan_sort_fixed = table_scan(pages, rows) + sort(rows, width, memory);
+        let index_path = index_scan(pages / 60, pages, rows, 1.0, false);
+
+        assert!(
+            scan_sort_old < index_path,
+            "old model kept the sort: {scan_sort_old} vs {index_path}"
+        );
+        assert!(
+            index_path < scan_sort_fixed,
+            "fixed model flips to the index: {index_path} vs {scan_sort_fixed}"
+        );
     }
 
     #[test]

@@ -22,6 +22,19 @@ pub struct IoStats {
     pub sort_rows: u64,
     /// Rows produced by scans.
     pub rows_read: u64,
+    /// Pages written to spill files (external sort runs, hash
+    /// partitions). Spill writes are always sequential appends.
+    pub spill_pages_written: u64,
+    /// Pages read back from spill files (merge passes, partition
+    /// replays).
+    pub spill_pages_read: u64,
+    /// Page requests satisfied by the bounded buffer pool without a
+    /// charge. Zero unless a memory budget (and therefore a pool) is
+    /// active.
+    pub pool_hits: u64,
+    /// Page requests that missed the buffer pool and paid the usual
+    /// sequential/random charge. Zero unless a pool is active.
+    pub pool_misses: u64,
 }
 
 impl IoStats {
@@ -37,13 +50,23 @@ impl IoStats {
         self.index_pages += other.index_pages;
         self.sort_rows += other.sort_rows;
         self.rows_read += other.rows_read;
+        self.spill_pages_written += other.spill_pages_written;
+        self.spill_pages_read += other.spill_pages_read;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
     }
 
     /// A single scalar summary used for comparing plans in reports:
     /// random pages are weighted heavier than sequential ones, mirroring
-    /// the cost model's constants.
+    /// the cost model's constants. Spill traffic is sequential by
+    /// construction (runs are appended and merged front to back), so both
+    /// spill directions count at the sequential rate.
     pub fn weighted_page_cost(&self) -> f64 {
-        self.sequential_pages as f64 + 4.0 * self.random_pages as f64 + self.index_pages as f64
+        self.sequential_pages as f64
+            + 4.0 * self.random_pages as f64
+            + self.index_pages as f64
+            + self.spill_pages_written as f64
+            + self.spill_pages_read as f64
     }
 
     /// The counters accumulated since `earlier` was captured, i.e.
@@ -57,6 +80,10 @@ impl IoStats {
             index_pages: self.index_pages - earlier.index_pages,
             sort_rows: self.sort_rows - earlier.sort_rows,
             rows_read: self.rows_read - earlier.rows_read,
+            spill_pages_written: self.spill_pages_written - earlier.spill_pages_written,
+            spill_pages_read: self.spill_pages_read - earlier.spill_pages_read,
+            pool_hits: self.pool_hits - earlier.pool_hits,
+            pool_misses: self.pool_misses - earlier.pool_misses,
         }
     }
 
@@ -70,6 +97,12 @@ impl IoStats {
             index_pages: self.index_pages.checked_sub(other.index_pages)?,
             sort_rows: self.sort_rows.checked_sub(other.sort_rows)?,
             rows_read: self.rows_read.checked_sub(other.rows_read)?,
+            spill_pages_written: self
+                .spill_pages_written
+                .checked_sub(other.spill_pages_written)?,
+            spill_pages_read: self.spill_pages_read.checked_sub(other.spill_pages_read)?,
+            pool_hits: self.pool_hits.checked_sub(other.pool_hits)?,
+            pool_misses: self.pool_misses.checked_sub(other.pool_misses)?,
         })
     }
 }
@@ -84,7 +117,24 @@ impl fmt::Display for IoStats {
             self.index_pages,
             self.sort_rows,
             self.rows_read
-        )
+        )?;
+        // Spill and pool counters only appear once something used them,
+        // keeping the common in-memory case's output stable.
+        if self.spill_pages_written != 0 || self.spill_pages_read != 0 {
+            write!(
+                f,
+                " spill_w={} spill_r={}",
+                self.spill_pages_written, self.spill_pages_read
+            )?;
+        }
+        if self.pool_hits != 0 || self.pool_misses != 0 {
+            write!(
+                f,
+                " pool_hits={} pool_misses={}",
+                self.pool_hits, self.pool_misses
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -143,6 +193,40 @@ impl PageCursor {
                 stats.random_pages += 1;
                 self.last_page = Some(page);
             }
+        }
+    }
+
+    /// As [`PageCursor::touch`], but routed through a bounded
+    /// [`crate::BufferPool`] when one is active. Repeated touches of the
+    /// current page stay free either way; a page-change touch first
+    /// consults the pool — a resident page is a free *hit*, a miss pays
+    /// the usual sequential/random charge. With `pool` `None` this is
+    /// exactly `touch`, bit for bit, which is how the unbudgeted engine
+    /// keeps its historical accounting. `tag` namespaces page numbers per
+    /// storage object (table/index id) so distinct objects never alias.
+    ///
+    /// Invariant: when a pool is active, `pool_misses` on this cursor
+    /// equals the sequential + random pages it charges.
+    pub fn touch_pooled(
+        &mut self,
+        tag: u64,
+        page: u64,
+        stats: &mut IoStats,
+        pool: Option<&mut crate::BufferPool>,
+    ) {
+        let Some(pool) = pool else {
+            self.touch(page, stats);
+            return;
+        };
+        if self.last_page == Some(page) {
+            return;
+        }
+        if pool.touch(tag, page) {
+            stats.pool_hits += 1;
+            self.last_page = Some(page);
+        } else {
+            stats.pool_misses += 1;
+            self.touch(page, stats);
         }
     }
 }
@@ -221,6 +305,35 @@ mod tests {
     }
 
     #[test]
+    fn pooled_touches_hit_after_first_fault() {
+        let mut pool = crate::BufferPool::with_capacity_pages(8);
+        let mut c = PageCursor::new();
+        let mut s = IoStats::new();
+        // First pass over pages 0..4 faults every page in.
+        for p in 0..4 {
+            c.touch_pooled(1, p, &mut s, Some(&mut pool));
+        }
+        assert_eq!(s.pool_misses, 4);
+        assert_eq!(s.pool_hits, 0);
+        assert_eq!(s.sequential_pages, 4);
+        // Second pass with a fresh cursor: everything is resident.
+        let mut c2 = PageCursor::new();
+        for p in 0..4 {
+            c2.touch_pooled(1, p, &mut s, Some(&mut pool));
+        }
+        assert_eq!(s.pool_hits, 4);
+        assert_eq!(s.sequential_pages, 4, "hits charge nothing");
+        // Misses equal charged pages — the documented invariant.
+        assert_eq!(s.pool_misses, s.sequential_pages + s.random_pages);
+        // Without a pool, behavior is plain touch.
+        let mut c3 = PageCursor::new();
+        let mut s2 = IoStats::new();
+        c3.touch_pooled(1, 0, &mut s2, None);
+        assert_eq!(s2.sequential_pages, 1);
+        assert_eq!(s2.pool_hits + s2.pool_misses, 0);
+    }
+
+    #[test]
     fn delta_and_checked_sub() {
         let a = IoStats {
             sequential_pages: 5,
@@ -228,6 +341,10 @@ mod tests {
             index_pages: 2,
             sort_rows: 1,
             rows_read: 9,
+            spill_pages_written: 6,
+            spill_pages_read: 6,
+            pool_hits: 2,
+            pool_misses: 1,
         };
         let b = IoStats {
             sequential_pages: 2,
@@ -235,10 +352,17 @@ mod tests {
             index_pages: 2,
             sort_rows: 0,
             rows_read: 4,
+            spill_pages_written: 4,
+            spill_pages_read: 2,
+            pool_hits: 1,
+            pool_misses: 0,
         };
         let d = a.delta_since(&b);
         assert_eq!(d.sequential_pages, 3);
         assert_eq!(d.rows_read, 5);
+        assert_eq!(d.spill_pages_written, 2);
+        assert_eq!(d.spill_pages_read, 4);
+        assert_eq!(d.pool_hits, 1);
         assert_eq!(a.checked_sub(&b), Some(d));
         // Subtracting more than was charged is an attribution bug.
         assert_eq!(b.checked_sub(&a), None);
@@ -252,11 +376,21 @@ mod tests {
             index_pages: 3,
             sort_rows: 4,
             rows_read: 5,
+            ..IoStats::new()
         };
         a.merge(&a.clone());
         assert_eq!(a.sequential_pages, 2);
         assert_eq!(a.rows_read, 10);
         assert!(a.to_string().contains("rand_pages=4"));
+        // Zero spill/pool counters stay out of the rendered form.
+        assert!(!a.to_string().contains("spill_w"));
+        assert!(!a.to_string().contains("pool_hits"));
         assert_eq!(a.weighted_page_cost(), 2.0 + 16.0 + 6.0);
+        a.spill_pages_written = 3;
+        a.spill_pages_read = 2;
+        a.pool_hits = 1;
+        assert!(a.to_string().contains("spill_w=3 spill_r=2"));
+        assert!(a.to_string().contains("pool_hits=1 pool_misses=0"));
+        assert_eq!(a.weighted_page_cost(), 2.0 + 16.0 + 6.0 + 5.0);
     }
 }

@@ -21,9 +21,11 @@ pub mod heap;
 pub mod index;
 pub mod io;
 pub mod scan;
+pub mod spill;
 
 pub use db::Database;
 pub use heap::HeapTable;
 pub use index::OrderedIndex;
 pub use io::{IoStats, PageCursor, PAGE_SIZE};
 pub use scan::{partition_bounds, HeapScanState, IndexScanState};
+pub use spill::{BufferPool, SpillCursor, SpillFile};

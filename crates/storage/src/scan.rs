@@ -117,14 +117,30 @@ impl HeapScanState {
     /// columnar [`Batch`] (no intermediate row vector). Page and row
     /// charging is identical.
     pub fn next_columns(&mut self, heap: &HeapTable, max_rows: usize, io: &mut IoStats) -> Batch {
+        self.next_columns_pooled(heap, max_rows, io, None)
+    }
+
+    /// As [`HeapScanState::next_columns`], but page touches go through
+    /// `pool` when one is active: resident pages are free hits, misses
+    /// pay the usual charge. With `pool` `None` the accounting is
+    /// bit-identical to [`HeapScanState::next_columns`].
+    pub fn next_columns_pooled(
+        &mut self,
+        heap: &HeapTable,
+        max_rows: usize,
+        io: &mut IoStats,
+        mut pool: Option<&mut crate::BufferPool>,
+    ) -> Batch {
         let total = (heap.row_count() as usize).min(self.end_rid);
         let end = (self.next_rid + max_rows.max(1)).min(total);
         if self.next_rid >= end {
             return Batch::empty(0);
         }
+        let tag = heap_pool_tag(heap);
         let mut b = BatchBuilder::new(heap.row(self.next_rid).len());
         for rid in self.next_rid..end {
-            self.cursor.touch(heap.page_of(rid), io);
+            self.cursor
+                .touch_pooled(tag, heap.page_of(rid), io, pool.as_deref_mut());
             io.rows_read += 1;
             b.push_row(heap.row(rid))
                 .expect("heap rows share one arity");
@@ -132,6 +148,13 @@ impl HeapScanState {
         self.next_rid = end;
         b.finish()
     }
+}
+
+/// Buffer-pool namespace tag for a heap's pages. The pool caches heap
+/// pages only — index leaf touches keep their flat per-leaf charge,
+/// which already models a cached inner level.
+fn heap_pool_tag(heap: &HeapTable) -> u64 {
+    heap.table().0 as u64
 }
 
 /// Position of an in-progress (possibly reversed, possibly range-limited)
@@ -256,10 +279,26 @@ impl IndexScanState {
         max_rows: usize,
         io: &mut IoStats,
     ) -> Batch {
+        self.next_columns_pooled(index, heap, max_rows, io, None)
+    }
+
+    /// As [`IndexScanState::next_columns`], but heap-page fetches go
+    /// through `pool` when one is active (leaf touches keep their flat
+    /// charge). With `pool` `None` the accounting is bit-identical to
+    /// [`IndexScanState::next_columns`].
+    pub fn next_columns_pooled(
+        &mut self,
+        index: &OrderedIndex,
+        heap: &HeapTable,
+        max_rows: usize,
+        io: &mut IoStats,
+        mut pool: Option<&mut crate::BufferPool>,
+    ) -> Batch {
         let take = max_rows.max(1).min(self.end - self.start.min(self.end));
         if take == 0 {
             return Batch::empty(0);
         }
+        let tag = heap_pool_tag(heap);
         let mut b: Option<BatchBuilder> = None;
         for _ in 0..take {
             let pos = if self.reverse {
@@ -273,7 +312,8 @@ impl IndexScanState {
                 self.last_leaf = Some(leaf);
             }
             let rid = index.rid_at(pos);
-            self.cursor.touch(heap.page_of(rid), io);
+            self.cursor
+                .touch_pooled(tag, heap.page_of(rid), io, pool.as_deref_mut());
             io.rows_read += 1;
             let row = heap.row(rid);
             b.get_or_insert_with(|| BatchBuilder::new(row.len()))

@@ -1,0 +1,466 @@
+//! Spill files and the bounded buffer pool behind the executor's memory
+//! budget.
+//!
+//! When a query runs with a memory budget, pipeline breakers (sort,
+//! hash group-by, hash-join build) write overflow data through a
+//! [`SpillFile`] — an append-only byte stream charged against
+//! [`IoStats`] at page granularity exactly like every other access path
+//! in the simulated I/O model. Rows cross the boundary through an exact
+//! byte codec ([`write_row`] / [`read_row`]) that round-trips every
+//! [`Value`] bit for bit, NaN payloads and `-0.0` included, so a spilled
+//! sort stays bit-identical to its in-memory twin.
+//!
+//! The same budget also bounds the page cache: [`BufferPool`] is a
+//! clock-eviction pool over `(tag, page)` keys. When a pool is active,
+//! scan cursors route page touches through it — a resident page is a
+//! free *hit*, a miss pays the usual sequential/random charge — so the
+//! simulated charges become actual hit/miss behavior under memory
+//! pressure. Without a budget there is no pool and charging is
+//! bit-identical to the pre-pool engine.
+
+use crate::io::{IoStats, PAGE_SIZE};
+use fto_common::{Row, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An append-only spill stream, charged per 4 KiB page.
+///
+/// The file is a simulated disk file: an in-memory byte vector whose
+/// *accounting* follows the same page discipline as heap and index
+/// access. Appends charge [`IoStats::spill_pages_written`] once per page
+/// the stream grows into; reads through a [`SpillCursor`] charge
+/// [`IoStats::spill_pages_read`] once per page entered. Both directions
+/// are strictly sequential, which is why spill pages are priced at the
+/// sequential rate in [`IoStats::weighted_page_cost`].
+#[derive(Debug, Default)]
+pub struct SpillFile {
+    bytes: Vec<u8>,
+    charged_pages: u64,
+}
+
+impl SpillFile {
+    /// An empty spill file.
+    pub fn new() -> SpillFile {
+        SpillFile::default()
+    }
+
+    /// Total bytes written so far (the next append offset).
+    pub fn len(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Appends raw bytes, returning the offset they start at and charging
+    /// one `spill_pages_written` per page the file newly occupies.
+    pub fn append(&mut self, data: &[u8], io: &mut IoStats) -> u64 {
+        let offset = self.bytes.len() as u64;
+        self.bytes.extend_from_slice(data);
+        let pages = (self.bytes.len() as u64).div_ceil(PAGE_SIZE as u64);
+        io.spill_pages_written += pages - self.charged_pages;
+        self.charged_pages = pages;
+        offset
+    }
+
+    /// Appends one length-framed record (`u32` LE length, then the
+    /// payload), returning its start offset. Read back with
+    /// [`SpillCursor::read_record`].
+    pub fn append_record(&mut self, payload: &[u8], io: &mut IoStats) -> u64 {
+        let offset = self.append(&(payload.len() as u32).to_le_bytes(), io);
+        self.append(payload, io);
+        offset
+    }
+
+    /// The raw bytes at `[offset, offset + len)`. Callers that want page
+    /// charging go through a [`SpillCursor`] instead; this is the
+    /// zero-charge accessor for data the caller has already paid for
+    /// (e.g. a re-read within the same logical pass).
+    pub fn slice(&self, offset: u64, len: usize) -> &[u8] {
+        &self.bytes[offset as usize..offset as usize + len]
+    }
+}
+
+/// A forward read cursor over one `[start, end)` extent of a
+/// [`SpillFile`], charging `spill_pages_read` once per page entered.
+///
+/// The cursor holds positions, not borrows, so several cursors can
+/// interleave reads of the same file (the K-way merge does exactly
+/// that) and the file can keep growing behind them.
+#[derive(Clone, Copy, Debug)]
+pub struct SpillCursor {
+    pos: u64,
+    end: u64,
+    last_page: Option<u64>,
+}
+
+impl SpillCursor {
+    /// A cursor over `[start, end)`.
+    pub fn new(start: u64, end: u64) -> SpillCursor {
+        SpillCursor {
+            pos: start,
+            end,
+            last_page: None,
+        }
+    }
+
+    /// True once the extent is fully consumed.
+    pub fn finished(&self) -> bool {
+        self.pos >= self.end
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> u64 {
+        self.end.saturating_sub(self.pos)
+    }
+
+    /// Current absolute offset.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    fn charge_span(&mut self, len: usize, io: &mut IoStats) {
+        if len == 0 {
+            return;
+        }
+        let first = self.pos / PAGE_SIZE as u64;
+        let last = (self.pos + len as u64 - 1) / PAGE_SIZE as u64;
+        let from = match self.last_page {
+            Some(p) if p >= first => p + 1,
+            _ => first,
+        };
+        if last >= from {
+            io.spill_pages_read += last - from + 1;
+        }
+        self.last_page = Some(self.last_page.map_or(last, |p| p.max(last)));
+    }
+
+    /// Reads exactly `len` bytes into an owned buffer.
+    ///
+    /// Panics if the extent holds fewer bytes — spill files are written
+    /// and read by the same operator, so a short read is a framing bug.
+    pub fn read_exact(&mut self, file: &SpillFile, len: usize, io: &mut IoStats) -> Vec<u8> {
+        assert!(self.pos + len as u64 <= self.end, "spill cursor overrun");
+        self.charge_span(len, io);
+        let out = file.slice(self.pos, len).to_vec();
+        self.pos += len as u64;
+        out
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&mut self, file: &SpillFile, io: &mut IoStats) -> u32 {
+        let b = self.read_exact(file, 4, io);
+        u32::from_le_bytes(b.try_into().expect("4 bytes"))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&mut self, file: &SpillFile, io: &mut IoStats) -> u64 {
+        let b = self.read_exact(file, 8, io);
+        u64::from_le_bytes(b.try_into().expect("8 bytes"))
+    }
+
+    /// Reads one record written by [`SpillFile::append_record`], or
+    /// `None` when the extent is exhausted.
+    pub fn read_record(&mut self, file: &SpillFile, io: &mut IoStats) -> Option<Vec<u8>> {
+        if self.finished() {
+            return None;
+        }
+        let len = self.read_u32(file, io) as usize;
+        Some(self.read_exact(file, len, io))
+    }
+}
+
+// Value codec tags. The format is internal to spill files (never
+// persisted across processes), so it favors exactness and simplicity
+// over compactness.
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_DOUBLE: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_DATE: u8 = 4;
+const TAG_BOOL: u8 = 5;
+
+/// Appends the exact byte encoding of one value. Doubles are stored as
+/// raw IEEE-754 bits, so NaN payloads and `-0.0` survive the round trip
+/// bit for bit — a requirement for spilled sorts to stay bit-identical
+/// to in-memory ones.
+pub fn write_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Double(d) => {
+            out.push(TAG_DOUBLE);
+            out.extend_from_slice(&d.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Date(d) => {
+            out.push(TAG_DATE);
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        Value::Bool(b) => {
+            out.push(TAG_BOOL);
+            out.push(u8::from(*b));
+        }
+    }
+}
+
+/// Decodes one value from `buf` starting at `*pos`, advancing `*pos`.
+///
+/// Panics on a malformed buffer; spill data never leaves the process, so
+/// corruption here is an engine bug, not an input error.
+pub fn read_value(buf: &[u8], pos: &mut usize) -> Value {
+    let tag = buf[*pos];
+    *pos += 1;
+    match tag {
+        TAG_NULL => Value::Null,
+        TAG_INT => {
+            let v = i64::from_le_bytes(buf[*pos..*pos + 8].try_into().expect("8 bytes"));
+            *pos += 8;
+            Value::Int(v)
+        }
+        TAG_DOUBLE => {
+            let bits = u64::from_le_bytes(buf[*pos..*pos + 8].try_into().expect("8 bytes"));
+            *pos += 8;
+            Value::Double(f64::from_bits(bits))
+        }
+        TAG_STR => {
+            let len = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().expect("4 bytes")) as usize;
+            *pos += 4;
+            let s = std::str::from_utf8(&buf[*pos..*pos + len]).expect("spilled UTF-8");
+            *pos += len;
+            Value::Str(Arc::from(s))
+        }
+        TAG_DATE => {
+            let v = i32::from_le_bytes(buf[*pos..*pos + 4].try_into().expect("4 bytes"));
+            *pos += 4;
+            Value::Date(v)
+        }
+        TAG_BOOL => {
+            let v = buf[*pos] != 0;
+            *pos += 1;
+            Value::Bool(v)
+        }
+        other => panic!("corrupt spill value tag {other}"),
+    }
+}
+
+/// Appends the byte encoding of one row: `u16` LE arity, then each value
+/// via [`write_value`].
+pub fn write_row(row: &[Value], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(row.len() as u16).to_le_bytes());
+    for v in row {
+        write_value(v, out);
+    }
+}
+
+/// Decodes one row written by [`write_row`], advancing `*pos`.
+pub fn read_row(buf: &[u8], pos: &mut usize) -> Row {
+    let arity = u16::from_le_bytes(buf[*pos..*pos + 2].try_into().expect("2 bytes")) as usize;
+    *pos += 2;
+    (0..arity)
+        .map(|_| read_value(buf, pos))
+        .collect::<Vec<_>>()
+        .into_boxed_slice()
+}
+
+/// A bounded page cache with clock (second-chance) eviction.
+///
+/// Frames are keyed by `(tag, page)` — the tag namespaces page numbers
+/// per table or index so distinct objects never collide. The pool tracks
+/// *residency only* (which pages would be in memory), not page contents:
+/// the simulated I/O model needs hit/miss behavior, not a second copy of
+/// the data. A touch of a resident page sets its reference bit and
+/// reports a hit; a miss claims a frame, evicting the first
+/// unreferenced frame the clock hand sweeps past.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    frames: Vec<Frame>,
+    map: HashMap<(u64, u64), usize>,
+    hand: usize,
+}
+
+#[derive(Debug)]
+struct Frame {
+    key: (u64, u64),
+    referenced: bool,
+}
+
+impl BufferPool {
+    /// A pool sized to `budget_bytes` of page frames (at least one).
+    pub fn new(budget_bytes: usize) -> BufferPool {
+        BufferPool::with_capacity_pages((budget_bytes / PAGE_SIZE).max(1))
+    }
+
+    /// A pool of exactly `pages` frames (at least one).
+    pub fn with_capacity_pages(pages: usize) -> BufferPool {
+        let capacity = pages.max(1);
+        BufferPool {
+            capacity,
+            frames: Vec::new(),
+            map: HashMap::new(),
+            hand: 0,
+        }
+    }
+
+    /// Number of frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently resident pages.
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Touches `(tag, page)`: returns `true` on a hit (page resident),
+    /// `false` on a miss (page faulted in, possibly evicting another).
+    pub fn touch(&mut self, tag: u64, page: u64) -> bool {
+        let key = (tag, page);
+        if let Some(&slot) = self.map.get(&key) {
+            self.frames[slot].referenced = true;
+            return true;
+        }
+        if self.frames.len() < self.capacity {
+            self.map.insert(key, self.frames.len());
+            self.frames.push(Frame {
+                key,
+                referenced: true,
+            });
+            return false;
+        }
+        // Clock sweep: clear reference bits until an unreferenced frame
+        // turns up. Terminates within two revolutions.
+        loop {
+            let f = &mut self.frames[self.hand];
+            if f.referenced {
+                f.referenced = false;
+                self.hand = (self.hand + 1) % self.capacity;
+            } else {
+                self.map.remove(&f.key);
+                f.key = key;
+                f.referenced = true;
+                self.map.insert(key, self.hand);
+                self.hand = (self.hand + 1) % self.capacity;
+                return false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_charges_pages_incrementally() {
+        let mut f = SpillFile::new();
+        let mut io = IoStats::new();
+        f.append(&[0u8; 100], &mut io);
+        assert_eq!(io.spill_pages_written, 1);
+        // Staying inside the first page is free.
+        f.append(&[0u8; 100], &mut io);
+        assert_eq!(io.spill_pages_written, 1);
+        // Crossing into pages 2 and 3 charges two more.
+        f.append(&[0u8; 2 * PAGE_SIZE], &mut io);
+        assert_eq!(io.spill_pages_written, 3);
+        assert_eq!(f.len(), 200 + 2 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn cursor_charges_each_page_once() {
+        let mut f = SpillFile::new();
+        let mut io = IoStats::new();
+        let data: Vec<u8> = (0..PAGE_SIZE * 2 + 10).map(|i| i as u8).collect();
+        f.append(&data, &mut io);
+        let mut c = SpillCursor::new(0, f.len());
+        let mut rio = IoStats::new();
+        let mut got = Vec::new();
+        while !c.finished() {
+            let n = c.remaining().min(777) as usize;
+            got.extend(c.read_exact(&f, n, &mut rio));
+        }
+        assert_eq!(got, data);
+        assert_eq!(rio.spill_pages_read, 3);
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let mut f = SpillFile::new();
+        let mut io = IoStats::new();
+        f.append_record(b"alpha", &mut io);
+        f.append_record(b"", &mut io);
+        f.append_record(b"gamma", &mut io);
+        let mut c = SpillCursor::new(0, f.len());
+        assert_eq!(c.read_record(&f, &mut io).as_deref(), Some(&b"alpha"[..]));
+        assert_eq!(c.read_record(&f, &mut io).as_deref(), Some(&b""[..]));
+        assert_eq!(c.read_record(&f, &mut io).as_deref(), Some(&b"gamma"[..]));
+        assert_eq!(c.read_record(&f, &mut io), None);
+    }
+
+    #[test]
+    fn value_codec_is_bit_exact() {
+        let vals = vec![
+            Value::Null,
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Double(-0.0),
+            Value::Double(f64::from_bits(0x7FF8_0000_DEAD_BEEF)), // NaN payload
+            Value::Double(f64::NEG_INFINITY),
+            Value::str(""),
+            Value::str("sp\0ill\u{1F980}"),
+            Value::Date(i32::MIN),
+            Value::Bool(true),
+            Value::Bool(false),
+        ];
+        let mut buf = Vec::new();
+        write_row(&vals, &mut buf);
+        let mut pos = 0;
+        let back = read_row(&buf, &mut pos);
+        assert_eq!(pos, buf.len());
+        assert_eq!(back.len(), vals.len());
+        for (a, b) in back.iter().zip(&vals) {
+            match (a, b) {
+                (Value::Double(x), Value::Double(y)) => assert_eq!(x.to_bits(), y.to_bits()),
+                _ => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn pool_hits_and_clock_eviction() {
+        let mut p = BufferPool::with_capacity_pages(2);
+        assert!(!p.touch(0, 1)); // miss, fault in
+        assert!(!p.touch(0, 2)); // miss
+        assert!(p.touch(0, 1)); // hit
+        assert_eq!(p.resident(), 2);
+        // Pool full: faulting page 3 evicts something; the clock clears
+        // reference bits first, so both residents survive one sweep each.
+        assert!(!p.touch(0, 3));
+        assert_eq!(p.resident(), 2);
+        // Distinct tags never collide even on equal page numbers.
+        let mut q = BufferPool::with_capacity_pages(4);
+        assert!(!q.touch(1, 7));
+        assert!(!q.touch(2, 7));
+        assert!(q.touch(1, 7));
+    }
+
+    #[test]
+    fn tiny_budget_still_gets_one_frame() {
+        let mut p = BufferPool::new(10); // well under one page
+        assert_eq!(p.capacity(), 1);
+        assert!(!p.touch(0, 1));
+        assert!(p.touch(0, 1));
+        assert!(!p.touch(0, 2)); // evicts page 1
+        assert!(!p.touch(0, 1));
+    }
+}

@@ -9,6 +9,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> grep guard: no cloned-capacity vec![Vec::with_capacity(..); n]"
+# vec![v; n] clones v — every clone of Vec::with_capacity(..) silently
+# drops the capacity, so the pattern never does what it looks like.
+if grep -rn 'vec!\[Vec::with_capacity' crates/ --include='*.rs'; then
+    echo "guard failed: vec![Vec::with_capacity(..); n] clones drop capacity;"
+    echo "use (0..n).map(|_| Vec::with_capacity(..)).collect() instead"
+    exit 1
+fi
+
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
 
@@ -31,6 +40,9 @@ cargo test -q
 
 echo "==> FTO_TEST_THREADS=4 cargo test -q --test differential --test parallel"
 FTO_TEST_THREADS=4 cargo test -q -p fto-bench --test differential --test parallel
+
+echo "==> bounded-memory differential matrix (budgets x threads x codec)"
+cargo test -q -p fto-bench --test spill
 
 if [[ "${1:-}" != "quick" ]]; then
     echo "==> cost-model calibration report (scale 0.005)"
@@ -65,6 +77,26 @@ if [[ "${1:-}" != "quick" ]]; then
         echo "smoke failed: \\metrics sort.comparisons not populated"
         exit 1
     fi
+
+    echo "==> smoke: FTO_MEMORY_BUDGET forces spilling, surfaced in \\metrics"
+    budget_out=$(printf '%s\n' \
+        "${q3};" \
+        '\metrics' \
+        ".quit" \
+        | FTO_MEMORY_BUDGET=4096 cargo run -q -p fto-bench --release --bin repl -- 0.005)
+    if ! grep -Eq "counter spill.pages_written [1-9]" <<<"$budget_out"; then
+        echo "smoke failed: 4 KiB budget produced no spill.pages_written in \\metrics"
+        exit 1
+    fi
+    if ! grep -Eq "counter spill.runs_formed [1-9]" <<<"$budget_out"; then
+        echo "smoke failed: 4 KiB budget produced no spill.runs_formed in \\metrics"
+        exit 1
+    fi
+    if ! grep -Eq "counter pool.misses [1-9]" <<<"$budget_out"; then
+        echo "smoke failed: budgeted scans did not route through the buffer pool"
+        exit 1
+    fi
+    grep -E "counter (spill|pool)\." <<<"$budget_out"
 
     echo "==> smoke: columnar engine output identical across operator inventories"
     colq="select o_shippriority, count(*) as cnt from orders group by o_shippriority order by o_shippriority"

@@ -1,0 +1,212 @@
+//! Differential testing of bounded-memory execution: every query in the
+//! workload corpus must produce bit-identical rows under any memory
+//! budget — external sort runs, spilled hash partitions, and the bounded
+//! buffer pool may change *how* the work happens, never *what* comes
+//! out. Budgets sweep from "everything spills" to "nothing spills",
+//! crossed with thread counts and both sort-key representations, and the
+//! per-query I/O accounting must stay exact (per-operator deltas summing
+//! to the session totals) on the spilling paths too.
+
+use fto_bench::corpus::{emp_db, EMP_QUERIES};
+use fto_bench::Session;
+use fto_common::Row;
+use fto_planner::OptimizerConfig;
+use fto_storage::Database;
+use fto_tpcd::{build_database, queries, TpcdConfig};
+
+/// Budgets the matrix sweeps: 4 KiB forces nearly every sort/group-by
+/// over the corpus to spill, 64 KiB spills only the bigger plans.
+const BUDGETS: &[usize] = &[4 << 10, 64 << 10];
+
+fn unbounded_rows(db: &Database, sql: &str) -> Vec<Row> {
+    Session::new(db)
+        .config(OptimizerConfig::default())
+        .execute(sql)
+        .unwrap_or_else(|e| panic!("{sql}\nunbounded: {e}"))
+        .rows()
+        .to_vec()
+}
+
+#[test]
+fn corpus_is_bit_identical_under_memory_budgets() {
+    let db = emp_db();
+    for sql in EMP_QUERIES {
+        let baseline = unbounded_rows(&db, sql);
+        for &budget in BUDGETS {
+            for threads in [1usize, 2, 4] {
+                for codec in [true, false] {
+                    let config = OptimizerConfig::default()
+                        .with_memory_budget(budget)
+                        .with_threads(threads)
+                        .with_sort_key_codec(codec);
+                    let out = Session::new(&db)
+                        .config(config)
+                        .execute(sql)
+                        .unwrap_or_else(|e| {
+                            panic!("{sql}\nbudget={budget} threads={threads} codec={codec}: {e}")
+                        });
+                    assert_eq!(
+                        out.rows(),
+                        baseline,
+                        "bounded execution diverged\nsql: {sql}\n\
+                         budget={budget} threads={threads} codec={codec}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn unbounded_execution_never_touches_spill_or_pool() {
+    // Without a budget the new machinery must be completely inert: the
+    // exact I/O totals existing tests pin down can't drift.
+    let db = emp_db();
+    for sql in EMP_QUERIES {
+        let out = Session::new(&db)
+            .config(OptimizerConfig::default())
+            .execute(sql)
+            .unwrap();
+        assert_eq!(out.io.spill_pages_written, 0, "{sql}");
+        assert_eq!(out.io.spill_pages_read, 0, "{sql}");
+        assert_eq!(out.io.pool_hits, 0, "{sql}");
+        assert_eq!(out.io.pool_misses, 0, "{sql}");
+    }
+}
+
+#[test]
+fn tiny_budget_spills_and_counts_it() {
+    // A sort over all 400 emp rows cannot fit a 1 KiB budget: runs must
+    // spill, the merge must read them back, and both sides of the spill
+    // traffic must land in the per-query I/O counters.
+    let db = emp_db();
+    let sql = "select emp_id, salary from emp order by salary desc, emp_id";
+    let baseline = unbounded_rows(&db, sql);
+    for codec in [true, false] {
+        let out = Session::new(&db)
+            .config(
+                OptimizerConfig::default()
+                    .with_memory_budget(1 << 10)
+                    .with_sort_key_codec(codec),
+            )
+            .execute(sql)
+            .unwrap();
+        assert_eq!(out.rows(), baseline, "codec={codec}");
+        assert!(
+            out.io.spill_pages_written > 0,
+            "codec={codec}: sort under 1 KiB must write spill pages"
+        );
+        assert!(
+            out.io.spill_pages_read > 0,
+            "codec={codec}: merge must read the spilled runs back"
+        );
+        assert!(out.spill.runs_formed > 0, "codec={codec}");
+        assert!(out.spill.merge_passes > 0, "codec={codec}");
+        // Heap scans go through the bounded buffer pool when a budget is
+        // set; every page charge is a recorded hit or miss.
+        assert!(
+            out.io.pool_hits + out.io.pool_misses > 0,
+            "codec={codec}: scans must route through the pool"
+        );
+    }
+}
+
+#[test]
+fn group_by_spills_partitions_under_tiny_budget() {
+    // Group on emp_id: 400 distinct groups can't all be resident under
+    // 1 KiB, so overflow keys must take the partition-spill path — and
+    // still come back in first-seen order with exact aggregates.
+    let db = emp_db();
+    let sql = "select emp_id, sum(salary) as s, count(*) as n from emp group by emp_id";
+    let baseline = unbounded_rows(&db, sql);
+    let out = Session::new(&db)
+        .config(OptimizerConfig::default().with_memory_budget(1 << 10))
+        .execute(sql)
+        .unwrap();
+    assert_eq!(out.rows(), baseline);
+    assert!(
+        out.io.spill_pages_written > 0,
+        "400 groups under 1 KiB must spill partitions"
+    );
+    assert!(out.io.spill_pages_read > 0);
+}
+
+#[test]
+fn instrumented_accounting_stays_exact_while_spilling() {
+    // The metrics invariant the instrumented engine guarantees — per-
+    // operator I/O deltas sum exactly to the session totals — must
+    // survive the spilling operators charging brand-new counters.
+    let db = emp_db();
+    for sql in [
+        "select emp_id, salary from emp order by salary desc, emp_id",
+        "select dept_name, count(*) as n, sum(salary) as total \
+         from dept, emp where dept_id = emp_dept group by dept_name order by dept_name",
+        "select emp_id, salary from emp order by salary desc, emp_id limit 7",
+        "select distinct emp_dept, grade from emp order by emp_dept, grade",
+    ] {
+        let q = Session::new(&db)
+            .config(OptimizerConfig::default().with_memory_budget(2 << 10))
+            .plan(sql)
+            .unwrap();
+        let (out, metrics) = q.execute_instrumented().unwrap();
+        assert!(
+            metrics.validate().is_ok(),
+            "{sql}: {:?}",
+            metrics.validate()
+        );
+        assert_eq!(metrics.total_io(), out.io, "{sql}");
+    }
+}
+
+#[test]
+fn explain_analyze_reports_spill_traffic() {
+    let db = emp_db();
+    let q = Session::new(&db)
+        .config(OptimizerConfig::default().with_memory_budget(1 << 10))
+        .plan("select emp_id, salary from emp order by salary desc, emp_id")
+        .unwrap();
+    let text = q.explain_analyze().unwrap();
+    assert!(text.contains("spill: w="), "{text}");
+    assert!(text.contains("pool: hits="), "{text}");
+    assert!(text.contains("spill: runs="), "{text}");
+}
+
+#[test]
+fn tpcd_workload_is_bit_identical_under_memory_budgets() {
+    let db = build_database(TpcdConfig {
+        scale: 0.002,
+        seed: 19,
+    })
+    .unwrap();
+    let workload = [
+        queries::q3_default(),
+        queries::q1("1998-09-02"),
+        queries::order_report(),
+        queries::section6_example(),
+    ];
+    for sql in &workload {
+        let baseline = unbounded_rows(&db, sql);
+        for &budget in BUDGETS {
+            for threads in [1usize, 2, 4] {
+                for codec in [true, false] {
+                    let config = OptimizerConfig::default()
+                        .with_memory_budget(budget)
+                        .with_threads(threads)
+                        .with_sort_key_codec(codec);
+                    let out = Session::new(&db)
+                        .config(config)
+                        .execute(sql)
+                        .unwrap_or_else(|e| {
+                            panic!("{sql}\nbudget={budget} threads={threads} codec={codec}: {e}")
+                        });
+                    assert_eq!(
+                        out.rows(),
+                        baseline,
+                        "bounded TPC-D execution diverged\nsql: {sql}\n\
+                         budget={budget} threads={threads} codec={codec}"
+                    );
+                }
+            }
+        }
+    }
+}
