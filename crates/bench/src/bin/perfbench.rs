@@ -22,12 +22,18 @@
 //!    reporting wall-clock, spill page traffic, runs formed and merge
 //!    passes per cell, asserting every bounded run returns exactly the
 //!    unbounded answer.
+//! 5. **Segmented sort** — 1M prefix-ordered rows at group counts 10,
+//!    1k and 100k, timed through the full two-key sort against the
+//!    segmented path (boundary detection + per-group suffix sorts, the
+//!    work `SegmentedSortOp` does), asserting identical output; plus an
+//!    end-to-end TPC-D query where the clustered lineitem index supplies
+//!    the prefix, run with the segmented enforcer on and off.
 //!
 //! ```text
 //! cargo run -p fto-bench --release --bin perfbench [-- <scale> [runs]]
 //! ```
 //!
-//! Results are printed as tables and written to `BENCH_PR7.json` in the
+//! Results are printed as tables and written to `BENCH_PR8.json` in the
 //! current directory (machine cores included, so single-core containers
 //! don't read as regressions).
 
@@ -623,6 +629,8 @@ fn main() {
     }
 
     let ext_cells = run_extsort_bench(&db, runs.max(1));
+    let seg_cells = run_segmented_bench(runs.max(1));
+    let seg_query = run_segmented_query_bench(&db, runs.max(1));
 
     let json = render_json(
         scale,
@@ -632,10 +640,12 @@ fn main() {
         &sort_cells,
         &results,
         &ext_cells,
+        &seg_cells,
+        &seg_query,
     );
-    std::fs::write("BENCH_PR7.json", &json).expect("write BENCH_PR7.json");
+    std::fs::write("BENCH_PR8.json", &json).expect("write BENCH_PR8.json");
     println!();
-    println!("wrote BENCH_PR7.json");
+    println!("wrote BENCH_PR8.json");
 }
 
 /// One (query, budget) cell of the external-sort benchmark. `budget` of
@@ -741,6 +751,188 @@ fn run_extsort_bench(db: &fto_storage::Database, runs: usize) -> Vec<ExtCell> {
     cells
 }
 
+/// Rows in the segmented-sort microbench.
+const SEG_ROWS: usize = 1_000_000;
+
+/// One group-count cell of the segmented-sort benchmark.
+struct SegCell {
+    groups: usize,
+    rows: usize,
+    full_best: Duration,
+    seg_best: Duration,
+}
+
+impl SegCell {
+    fn speedup(&self) -> f64 {
+        self.full_best.as_secs_f64() / self.seg_best.as_secs_f64()
+    }
+}
+
+/// One end-to-end cell: the clustered-prefix TPC-D query with the
+/// segmented enforcer on vs off.
+struct SegQueryCell {
+    query: &'static str,
+    full_best: Duration,
+    seg_best: Duration,
+    rows: usize,
+}
+
+/// Times the full two-key sort against the segmented path — boundary
+/// detection on the prefix column plus per-group suffix-key sorts, the
+/// same work `SegmentedSortOp` performs — on 1M rows already ordered by
+/// the prefix, at increasing group counts. Both outputs must be
+/// identical. The segmented path wins on two fronts: it never encodes
+/// or compares the prefix (an order-id string here, the shape a
+/// clustered index delivers — the full sort pays var-width key encodes
+/// and long common-prefix memcmps for it), and each group sort touches
+/// a working set of n/G rows with short fixed-width suffix keys.
+fn run_segmented_bench(runs: usize) -> Vec<SegCell> {
+    let mut rng = Rng::new(0x5e6_be4c);
+    let full_keys: SortKeys = vec![(0, Direction::Asc), (1, Direction::Asc)];
+    let suffix_keys: SortKeys = vec![(1, Direction::Asc)];
+    let mut cells = Vec::new();
+    println!("Segmented-sort microbench ({SEG_ROWS} prefix-ordered rows, best of {runs})");
+    println!();
+    println!("| groups  | full sort    | segmented    | speedup |");
+    println!("|---------|--------------|--------------|---------|");
+    for &groups in &[10usize, 1_000, 100_000] {
+        let per_group = SEG_ROWS / groups;
+        // Prefix-ordered input: order-id ascending, residual column
+        // random — the stream shape a clustered index (or ordered join
+        // output) delivers.
+        let rows: Vec<Row> = (0..SEG_ROWS)
+            .map(|i| {
+                vec![
+                    Value::str(format!("ord#{:08}", i / per_group)),
+                    Value::Int(rng.range_i64(0, 1_000_000)),
+                ]
+                .into()
+            })
+            .collect();
+
+        let (full_best, full_out) = {
+            let mut best = Duration::MAX;
+            let mut out = None;
+            for _ in 0..runs {
+                let mut input = rows.clone();
+                let start = Instant::now();
+                sortkernel::sort_rows_with(&mut input, &full_keys, true);
+                best = best.min(start.elapsed());
+                out = Some(input);
+            }
+            (best, out.expect("runs >= 1"))
+        };
+
+        let (seg_best, seg_out) = {
+            let mut best = Duration::MAX;
+            let mut out = None;
+            for _ in 0..runs {
+                let input = rows.clone();
+                let start = Instant::now();
+                // Boundary scan on the prefix column (value equality —
+                // what the operator does per batch on arena key bytes).
+                let mut bounds = vec![0usize];
+                for i in 1..input.len() {
+                    if input[i][0] != input[i - 1][0] {
+                        bounds.push(i);
+                    }
+                }
+                bounds.push(input.len());
+                // Per-group suffix sorts, emitted in arrival order.
+                let mut sorted: Vec<Row> = Vec::with_capacity(input.len());
+                let mut it = input.into_iter();
+                let mut group: Vec<Row> = Vec::new();
+                for w in bounds.windows(2) {
+                    group.extend(it.by_ref().take(w[1] - w[0]));
+                    sortkernel::sort_rows_with(&mut group, &suffix_keys, true);
+                    sorted.append(&mut group);
+                }
+                best = best.min(start.elapsed());
+                out = Some(sorted);
+            }
+            (best, out.expect("runs >= 1"))
+        };
+
+        assert_eq!(
+            full_out, seg_out,
+            "groups={groups}: segmented order diverged from the full sort"
+        );
+        let cell = SegCell {
+            groups,
+            rows: SEG_ROWS,
+            full_best,
+            seg_best,
+        };
+        println!(
+            "| {:>7} | {:>10.3?} | {:>10.3?} | {:>6.2}x |",
+            cell.groups,
+            cell.full_best,
+            cell.seg_best,
+            cell.speedup()
+        );
+        cells.push(cell);
+    }
+    println!();
+    cells
+}
+
+/// The end-to-end leg: a query whose plan sorts lineitem by
+/// (l_orderkey, l_shipdate) on top of the clustered (l_orderkey,
+/// l_linenumber) index — the segmented enforcer sorts only l_shipdate
+/// within each order's lines. Run with the enforcer on (default) and
+/// off, asserting identical rows.
+fn run_segmented_query_bench(db: &fto_storage::Database, runs: usize) -> SegQueryCell {
+    let sql = "select l_orderkey, l_shipdate, l_extendedprice from lineitem \
+               order by l_orderkey, l_shipdate";
+    let mut bests = [Duration::MAX; 2];
+    let mut outputs: [Option<Vec<Row>>; 2] = [None, None];
+    for (i, segmented) in [false, true].into_iter().enumerate() {
+        let prepared = Session::new(db)
+            .config(OptimizerConfig::default().with_segmented_sort(segmented))
+            .plan(sql)
+            .unwrap_or_else(|e| panic!("clustered_prefix: {e}"));
+        if segmented {
+            assert!(
+                prepared.explain().contains("segmented-sort"),
+                "clustered_prefix: expected a segmented plan\n{}",
+                prepared.explain()
+            );
+        }
+        for _ in 0..runs {
+            let start = Instant::now();
+            let out = prepared
+                .execute()
+                .unwrap_or_else(|e| panic!("clustered_prefix segmented={segmented}: {e}"));
+            bests[i] = bests[i].min(start.elapsed());
+            outputs[i] = Some(out.rows().to_vec());
+        }
+    }
+    assert_eq!(
+        outputs[0], outputs[1],
+        "clustered_prefix: segmented answer diverged from the full sort"
+    );
+    let cell = SegQueryCell {
+        query: "lineitem_clustered_prefix",
+        full_best: bests[0],
+        seg_best: bests[1],
+        rows: outputs[0].as_ref().map_or(0, |r| r.len()),
+    };
+    println!("Segmented sort end-to-end (clustered prefix, best of {runs})");
+    println!();
+    println!("| query                     | full sort    | segmented    | speedup | rows  |");
+    println!("|---------------------------|--------------|--------------|---------|-------|");
+    println!(
+        "| {:<25} | {:>10.3?} | {:>10.3?} | {:>6.2}x | {:>5} |",
+        cell.query,
+        cell.full_best,
+        cell.seg_best,
+        cell.full_best.as_secs_f64() / cell.seg_best.as_secs_f64(),
+        cell.rows
+    );
+    println!();
+    cell
+}
+
 /// Parses an optional positional argument strictly: absent uses the
 /// default, present-but-unparseable reports the error and exits 2.
 fn parse_arg_or_exit<T: std::str::FromStr>(arg: Option<String>, what: &str, default: T) -> T
@@ -770,12 +962,14 @@ fn render_json(
     sort_cells: &[SortCell],
     results: &[(&str, Vec<Cell>)],
     ext_cells: &[ExtCell],
+    seg_cells: &[SegCell],
+    seg_query: &SegQueryCell,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(
         s,
-        "  \"bench\": \"columnar_kernels_sort_codec_morsel_extsort\","
+        "  \"bench\": \"columnar_kernels_sort_codec_morsel_extsort_segmented\","
     );
     let _ = writeln!(s, "  \"scale\": {scale},");
     let _ = writeln!(s, "  \"runs\": {runs},");
@@ -866,6 +1060,32 @@ fn render_json(
         );
         s.push_str(if i + 1 < ext_cells.len() { ",\n" } else { "\n" });
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    s.push_str("  \"segmented_sort\": [\n");
+    for (i, c) in seg_cells.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"groups\": {}, \"rows\": {}, \"full_ms\": {:.3}, \
+             \"segmented_ms\": {:.3}, \"speedup\": {:.3}}}",
+            c.groups,
+            c.rows,
+            c.full_best.as_secs_f64() * 1e3,
+            c.seg_best.as_secs_f64() * 1e3,
+            c.speedup()
+        );
+        s.push_str(if i + 1 < seg_cells.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(
+        s,
+        "  \"segmented_sort_query\": {{\"query\": \"{}\", \"full_ms\": {:.3}, \
+         \"segmented_ms\": {:.3}, \"speedup\": {:.3}, \"rows\": {}}}",
+        seg_query.query,
+        seg_query.full_best.as_secs_f64() * 1e3,
+        seg_query.seg_best.as_secs_f64() * 1e3,
+        seg_query.full_best.as_secs_f64() / seg_query.seg_best.as_secs_f64(),
+        seg_query.rows
+    );
+    s.push_str("}\n");
     s
 }

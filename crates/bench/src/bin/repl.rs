@@ -30,7 +30,8 @@
 //! each exchange); `FTO_SLOW_MS=<ms>` sets the slow-query threshold;
 //! `FTO_MEMORY_BUDGET=<bytes>` caps per-query executor memory — sorts
 //! form spilled runs, hash group-bys spill partitions, and `\metrics`
-//! grows `spill.*` / `pool.*` counters (a budget pins queries serial).
+//! grows `spill.*` / `pool.*` counters; combined with `FTO_THREADS`
+//! each worker pipeline runs under a budget/P sub-budget.
 
 use fto_bench::{envknob, ObsOptions, Observability, Session, StatementOutput};
 use fto_planner::OptimizerConfig;

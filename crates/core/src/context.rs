@@ -100,6 +100,42 @@ impl OrderContext {
         satisfied
     }
 
+    /// Splits interesting order `interest` against order property `prop`
+    /// into a *(satisfied-prefix, residual-suffix)* pair — the partial
+    /// form of **Test Order**.
+    ///
+    /// Both specifications are reduced (so the split sees through
+    /// constants, equivalences, and FD-implied columns exactly like
+    /// [`OrderContext::test_order`]); the prefix is the longest common
+    /// prefix of the two reduced specifications and the suffix is the
+    /// rest of the reduced interest. Invariants:
+    ///
+    /// * `prefix.concat(&suffix) == self.reduce(interest)`;
+    /// * `suffix.is_empty()` exactly when
+    ///   `self.test_order(interest, prop)` holds;
+    /// * every prefix of the returned prefix is itself satisfied by
+    ///   `prop` (reduction is prefix-monotone), so a stream ordered by
+    ///   `prop` delivers rows grouped contiguously by the prefix columns
+    ///   — a sort only needs to run *within* each prefix group to
+    ///   enforce the full requirement (segmented sort).
+    pub fn split_requirement(
+        &self,
+        interest: &OrderSpec,
+        prop: &OrderSpec,
+    ) -> (OrderSpec, OrderSpec) {
+        let ri = self.reduce(interest);
+        let rp = self.reduce(prop);
+        let k = ri
+            .keys()
+            .iter()
+            .zip(rp.keys())
+            .take_while(|(a, b)| a == b)
+            .count();
+        let prefix = OrderSpec::new(ri.keys()[..k].to_vec());
+        let suffix = OrderSpec::new(ri.keys()[k..].to_vec());
+        (prefix, suffix)
+    }
+
     /// **Cover Order** (paper Fig. 4): combine two interesting orders into
     /// one specification `C` such that any order property satisfying `C`
     /// satisfies both inputs. Returns `None` when no cover exists.
@@ -418,6 +454,116 @@ mod tests {
         let interest = OrderSpec::new(vec![SortKey::desc(c(0))]);
         let out = ctx.homogenize(&interest, &cs(&[2])).unwrap();
         assert_eq!(out, OrderSpec::new(vec![SortKey::desc(c(2))]));
+    }
+
+    #[test]
+    fn split_requirement_examples() {
+        // Clustered index on (a) feeding ORDER BY a, b: prefix (a),
+        // residual (b).
+        let ctx = OrderContext::trivial();
+        let (pfx, sfx) = ctx.split_requirement(&asc(&[0, 1]), &asc(&[0]));
+        assert_eq!(pfx, asc(&[0]));
+        assert_eq!(sfx, asc(&[1]));
+        // Full satisfaction: empty suffix.
+        let (pfx, sfx) = ctx.split_requirement(&asc(&[0, 1]), &asc(&[0, 1, 2]));
+        assert_eq!(pfx, asc(&[0, 1]));
+        assert!(sfx.is_empty());
+        // No common prefix: everything is residual.
+        let (pfx, sfx) = ctx.split_requirement(&asc(&[1, 0]), &asc(&[0]));
+        assert!(pfx.is_empty());
+        assert_eq!(sfx, asc(&[1, 0]));
+        // Directions must match for the prefix to count.
+        let i = OrderSpec::new(vec![SortKey::desc(c(0)), SortKey::asc(c(1))]);
+        let (pfx, sfx) = ctx.split_requirement(&i, &asc(&[0]));
+        assert!(pfx.is_empty());
+        assert_eq!(sfx, i);
+    }
+
+    #[test]
+    fn split_requirement_sees_through_the_algebra() {
+        // x = 10 applied: ORDER BY x, y, z against a stream ordered by
+        // (y) splits into prefix (y), suffix (z).
+        let mut eq = EquivalenceClasses::new();
+        eq.bind_constant(c(0), Value::Int(10));
+        let ctx = OrderContext::new(eq, &FdSet::new());
+        let (pfx, sfx) = ctx.split_requirement(&asc(&[0, 1, 2]), &asc(&[1]));
+        assert_eq!(pfx, asc(&[1]));
+        assert_eq!(sfx, asc(&[2]));
+
+        // a = b applied: property (b, c) satisfies interest prefix (a).
+        let mut eq = EquivalenceClasses::new();
+        eq.merge(c(0), c(1));
+        let ctx = OrderContext::new(eq, &FdSet::new());
+        let (pfx, sfx) = ctx.split_requirement(&asc(&[0, 3]), &asc(&[1, 2]));
+        assert_eq!(pfx, asc(&[0]));
+        assert_eq!(sfx, asc(&[3]));
+    }
+
+    /// Property sweep: for pseudo-random contexts and specifications,
+    /// `split_requirement` must round-trip (`prefix ⊕ suffix ==
+    /// reduce(interest)`), agree with `test_order` on full coverage
+    /// (empty suffix ⟺ satisfied), and return a prefix that is itself a
+    /// satisfied requirement.
+    #[test]
+    fn split_requirement_round_trips() {
+        fn rng(state: &mut u64) -> u32 {
+            *state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (*state >> 33) as u32
+        }
+        fn spec_of(state: &mut u64, len: u32) -> OrderSpec {
+            OrderSpec::new(
+                (0..len)
+                    .map(|_| {
+                        let col = c(rng(state) % 6);
+                        if rng(state).is_multiple_of(2) {
+                            SortKey::asc(col)
+                        } else {
+                            SortKey::desc(col)
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        }
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let s = &mut state;
+        for _ in 0..500 {
+            let mut eq = EquivalenceClasses::new();
+            let mut fds = FdSet::new();
+            for _ in 0..(rng(s) % 3) {
+                eq.merge(c(rng(s) % 6), c(rng(s) % 6));
+            }
+            if rng(s).is_multiple_of(3) {
+                eq.bind_constant(c(rng(s) % 6), Value::Int(7));
+            }
+            if rng(s).is_multiple_of(3) {
+                fds.add(crate::fd::Fd::implies(c(rng(s) % 6), c(rng(s) % 6)));
+            }
+            let ctx = OrderContext::new(eq, &fds);
+            let li = rng(s) % 5;
+            let interest = spec_of(s, li);
+            let lp = rng(s) % 5;
+            let prop = spec_of(s, lp);
+            let (pfx, sfx) = ctx.split_requirement(&interest, &prop);
+            assert_eq!(
+                pfx.concat(&sfx),
+                ctx.reduce(&interest),
+                "split must partition the reduced interest\n\
+                 interest={interest} prop={prop}"
+            );
+            assert_eq!(
+                sfx.is_empty(),
+                ctx.test_order(&interest, &prop),
+                "empty suffix must coincide with full satisfaction\n\
+                 interest={interest} prop={prop}"
+            );
+            assert!(
+                pfx.is_empty() || ctx.test_order(&pfx, &prop),
+                "the returned prefix must itself be satisfied\n\
+                 interest={interest} prop={prop} prefix={pfx}"
+            );
+        }
     }
 
     /// Transitive FD chains (beyond the paper's single-step test).

@@ -113,6 +113,15 @@ fn exec(db: &Database, graph: &QueryGraph, plan: &Plan, io: &mut IoStats) -> Res
             sort_rows(&mut rows, spec, &input.layout)?;
             Ok(rows)
         }
+        PlanNode::SegmentedSort { input, spec, .. } => {
+            // The reference engine ignores the prefix split: a stable full
+            // sort is definitionally what the segmented operator must
+            // reproduce, so the interpreter *is* the oracle for it.
+            let mut rows = exec(db, graph, input, io)?;
+            io.sort_rows += rows.len() as u64;
+            sort_rows(&mut rows, spec, &input.layout)?;
+            Ok(rows)
+        }
         PlanNode::NestedLoopJoin {
             outer,
             inner,

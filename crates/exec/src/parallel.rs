@@ -92,10 +92,13 @@ where
     let parts = spec.parts;
     // Workers rebuild their own contexts from plain copies of the
     // coordinator's knobs: `ExecContext` itself is not `Sync` (its buffer
-    // pool is a `RefCell`), and a memory budget pins execution to one
-    // thread anyway, so workers never see one.
+    // pool is a `RefCell`). A memory budget splits into per-worker
+    // sub-budgets of `budget / P` (at least one byte), so P bounded
+    // partition pipelines together stay within the query's budget; each
+    // worker context builds its own private pool from its share.
     let (db, graph, batch_size, sort_key_codec) =
         (cx.db, cx.graph, cx.batch_size, cx.sort_key_codec);
+    let sub_budget = cx.memory_budget.map(|b| (b / parts).max(1));
     let results: Vec<Result<WorkerRun<T>>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..parts)
             .map(|part| {
@@ -111,7 +114,7 @@ where
                             batch_size,
                             threads: 1,
                             sort_key_codec,
-                            memory_budget: None,
+                            memory_budget: sub_budget,
                         },
                     );
                     let mut wio = IoStats::new();

@@ -18,7 +18,7 @@
 use crate::interp::run_plan_materialized;
 use crate::metrics::PlanMetrics;
 use crate::obs::Observability;
-use crate::sortkernel::{self, SortStats, SpillStats};
+use crate::sortkernel::{self, SegmentStats, SortStats, SpillStats};
 use crate::stream::{execute_plan, execute_plan_instrumented, Batch, ExecOptions, StreamResult};
 use fto_common::{Result, Row};
 use fto_obs::{Trace, TraceGuard};
@@ -56,6 +56,10 @@ pub struct QueryOutput {
     /// (or hash partitions) written to spill files and external merge
     /// passes. All zero when the plan ran fully in memory.
     pub spill: SpillStats,
+    /// Segmented (partial) sort work: prefix groups formed across every
+    /// `SegmentedSort` operator in the plan. Zero when no segmented sort
+    /// ran.
+    pub segment: SegmentStats,
 }
 
 impl QueryOutput {
@@ -236,9 +240,9 @@ impl<'db> Session<'db> {
     /// summary (the query is planned but not executed).
     pub fn run(&self, sql: &str) -> Result<StatementOutput> {
         match parse_statement(sql)? {
-            Statement::Query(q) => Ok(StatementOutput::Rows(
+            Statement::Query(q) => Ok(StatementOutput::Rows(Box::new(
                 self.plan_inner(&q, Some(sql), false)?.execute()?,
-            )),
+            ))),
             Statement::Explain { mode, query } => {
                 let force_trace = mode == ExplainMode::Optimizer;
                 let prepared = self.plan_inner(&query, Some(sql), force_trace)?;
@@ -256,8 +260,9 @@ impl<'db> Session<'db> {
 /// What one top-level statement produced (see [`Session::run`]).
 #[derive(Debug)]
 pub enum StatementOutput {
-    /// A plain query: its rows and observables.
-    Rows(QueryOutput),
+    /// A plain query: its rows and observables (boxed: [`QueryOutput`]
+    /// is large next to the explain text).
+    Rows(Box<QueryOutput>),
     /// An `EXPLAIN [ANALYZE]` form: the rendered plan tree.
     Explain(String),
 }
@@ -302,11 +307,13 @@ impl PreparedQuery<'_> {
         }
         let before = sortkernel::stats_snapshot();
         let spill_before = sortkernel::spill_stats_snapshot();
+        let segment_before = sortkernel::segment_stats_snapshot();
         let result = execute_plan(self.db, &self.graph, &self.plan, &self.exec_options())?;
         Ok(self.wrap(
             result,
             sortkernel::stats_snapshot().delta_since(before),
             sortkernel::spill_stats_snapshot().delta_since(spill_before),
+            sortkernel::segment_stats_snapshot().delta_since(segment_before),
         ))
     }
 
@@ -319,12 +326,14 @@ impl PreparedQuery<'_> {
     pub fn execute_instrumented(&self) -> Result<(QueryOutput, PlanMetrics)> {
         let before = sortkernel::stats_snapshot();
         let spill_before = sortkernel::spill_stats_snapshot();
+        let segment_before = sortkernel::segment_stats_snapshot();
         let (result, metrics) =
             execute_plan_instrumented(self.db, &self.graph, &self.plan, &self.exec_options())?;
         let out = self.wrap(
             result,
             sortkernel::stats_snapshot().delta_since(before),
             sortkernel::spill_stats_snapshot().delta_since(spill_before),
+            sortkernel::segment_stats_snapshot().delta_since(segment_before),
         );
         if let Some(obs) = &self.obs {
             obs.record_execution(
@@ -367,12 +376,20 @@ impl PreparedQuery<'_> {
             elapsed: result.elapsed,
             sort,
             // The reference interpreter ignores the budget (it exists to
-            // check rows, not memory), so it never spills.
+            // check rows, not memory), so it never spills — and it full-
+            // sorts segmented enforcers, so it never forms groups.
             spill: SpillStats::default(),
+            segment: SegmentStats::default(),
         })
     }
 
-    fn wrap(&self, result: StreamResult, sort: SortStats, spill: SpillStats) -> QueryOutput {
+    fn wrap(
+        &self,
+        result: StreamResult,
+        sort: SortStats,
+        spill: SpillStats,
+        segment: SegmentStats,
+    ) -> QueryOutput {
         QueryOutput {
             batches: result.batches,
             rows_cache: OnceLock::new(),
@@ -381,6 +398,7 @@ impl PreparedQuery<'_> {
             elapsed: result.elapsed,
             sort,
             spill,
+            segment,
         }
     }
 
@@ -493,6 +511,9 @@ impl PreparedQuery<'_> {
                 " | spill: runs={} merge_passes={}",
                 out.spill.runs_formed, out.spill.merge_passes
             );
+        }
+        if out.segment != SegmentStats::default() {
+            let _ = write!(text, " | segmented: groups={}", out.segment.groups_formed);
         }
         text.push('\n');
         Ok(text)

@@ -154,6 +154,43 @@ pub(crate) fn note_merge_pass() {
     MERGE_PASSES.fetch_add(1, AtomicOrd::Relaxed);
 }
 
+/// Cumulative count of prefix groups formed by segmented (partial) sort
+/// operators in this process.
+static SEGMENT_GROUPS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of (or delta between) the process-wide segmented-sort
+/// counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Prefix groups formed (each one is sorted independently on the
+    /// residual suffix keys).
+    pub groups_formed: u64,
+}
+
+impl SegmentStats {
+    /// The counters accumulated since `earlier` (saturating).
+    pub fn delta_since(&self, earlier: SegmentStats) -> SegmentStats {
+        SegmentStats {
+            groups_formed: self.groups_formed.saturating_sub(earlier.groups_formed),
+        }
+    }
+}
+
+/// Reads the cumulative process-wide segmented-sort counters;
+/// snapshot-and-delta per query like [`stats_snapshot`].
+pub fn segment_stats_snapshot() -> SegmentStats {
+    SegmentStats {
+        groups_formed: SEGMENT_GROUPS.load(AtomicOrd::Relaxed),
+    }
+}
+
+/// Records `n` prefix groups formed by a segmented sort.
+pub(crate) fn note_segment_groups(n: u64) {
+    if n != 0 {
+        SEGMENT_GROUPS.fetch_add(n, AtomicOrd::Relaxed);
+    }
+}
+
 /// Resolved sort keys: (position in the row, direction) per key column.
 pub type SortKeys = Vec<(usize, Direction)>;
 

@@ -117,9 +117,10 @@ pub struct ExecContext<'a> {
     /// The bounded buffer pool heap-page touches route through when a
     /// budget is set (`budget / PAGE_SIZE` frames, clock eviction);
     /// `None` leaves page charging exactly as before. `RefCell` because
-    /// operators share the context immutably; a budgeted execution is
-    /// always single-threaded (see [`ExecContext::new`]) and borrows are
-    /// taken only around leaf page touches, never across child calls.
+    /// operators share the context immutably; each context (coordinator
+    /// or per-worker, which gets `budget / P`) owns a private pool used
+    /// only by its own thread, and borrows are taken only around leaf
+    /// page touches, never across child calls.
     pub pool: Option<RefCell<BufferPool>>,
 }
 
@@ -129,19 +130,17 @@ impl<'a> ExecContext<'a> {
     /// serial, instrumented, and per-worker contexts cannot diverge on
     /// the clamping rule.
     ///
-    /// A memory budget pins `threads` to 1: bounding one working set
-    /// requires one pipeline (P workers would each need a budget share
-    /// and a private pool, and their private spill streams would break
-    /// the exact-accounting invariants). Rows are bit-identical at any
-    /// requested thread count anyway, so the clamp is observable only in
-    /// scheduling.
+    /// A memory budget composes with parallelism: the coordinator's
+    /// pipeline keeps the full budget (and its buffer pool), while each
+    /// exchange worker rebuilds its context with `budget / P` (at least
+    /// one byte) and a private pool — see
+    /// [`crate::parallel`]. Workers' spill streams are private and merge
+    /// into the session stream in partition order, so the exact-
+    /// accounting invariants hold and rows stay bit-identical at every
+    /// `(budget, threads)` combination.
     pub fn new(db: &'a Database, graph: &'a QueryGraph, opts: &ExecOptions) -> ExecContext<'a> {
         let memory_budget = opts.memory_budget;
-        let threads = if memory_budget.is_some() {
-            1
-        } else {
-            opts.threads.max(1)
-        };
+        let threads = opts.threads.max(1);
         ExecContext {
             db,
             graph,
@@ -549,28 +548,56 @@ impl Operator for LimitOp {
     }
 }
 
+/// All of a batch's columns as ascending sort keys — the encoding keys a
+/// distinct operator deduplicates whole rows under.
+fn all_cols_asc(batch: &Batch) -> SortKeys {
+    (0..batch.arity()).map(|p| (p, Direction::Asc)).collect()
+}
+
 struct StreamDistinctOp {
     child: Box<dyn Operator>,
+    /// Last emitted row (legacy comparator path).
     last: Option<Row>,
+    /// Last emitted row's encoded key (codec path). The codec
+    /// canonicalizes exactly like `Value`'s `Eq` (both follow
+    /// `total_cmp`), so byte equality drops precisely the rows the
+    /// legacy path drops.
+    last_key: Option<Vec<u8>>,
 }
 
 impl Operator for StreamDistinctOp {
     fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
         self.last = None;
+        self.last_key = None;
         self.child.open(cx, io)
     }
 
     fn next_batch(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<Option<Batch>> {
+        let (mut kb, mut ko) = (Vec::new(), Vec::new());
         loop {
             let Some(batch) = self.child.next_batch(cx, io)? else {
                 return Ok(None);
             };
             let mut out = Vec::new();
-            for i in 0..batch.len() {
-                let row = batch.row(i);
-                if self.last.as_ref().map(|prev| prev != &row).unwrap_or(true) {
-                    self.last = Some(row.clone());
-                    out.push(row);
+            if cx.sort_key_codec {
+                // Vectorized: rows become memcmp-able byte strings
+                // column-at-a-time; adjacent duplicates drop on slice
+                // inequality without walking `Value`s per column.
+                encode_batch_keys_arena(&batch, &all_cols_asc(&batch), &mut kb, &mut ko);
+                for i in 0..batch.len() {
+                    let key = &kb[ko[i]..ko[i + 1]];
+                    if self.last_key.as_deref() != Some(key) {
+                        self.last_key = Some(key.to_vec());
+                        out.push(batch.row(i));
+                    }
+                }
+            } else {
+                for i in 0..batch.len() {
+                    let row = batch.row(i);
+                    if self.last.as_ref().map(|prev| prev != &row).unwrap_or(true) {
+                        self.last = Some(row.clone());
+                        out.push(row);
+                    }
                 }
             }
             if !out.is_empty() {
@@ -581,31 +608,49 @@ impl Operator for StreamDistinctOp {
 
     fn close(&mut self) {
         self.last = None;
+        self.last_key = None;
         self.child.close();
     }
 }
 
 struct HashDistinctOp {
     child: Box<dyn Operator>,
+    /// Legacy comparator path: rows seen so far.
     seen: HashSet<Row>,
+    /// Codec path: encoded keys seen so far (byte equality ≡ the legacy
+    /// path's `Value` equality, see [`StreamDistinctOp`]).
+    seen_keys: HashSet<Vec<u8>>,
 }
 
 impl Operator for HashDistinctOp {
     fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
         self.seen.clear();
+        self.seen_keys.clear();
         self.child.open(cx, io)
     }
 
     fn next_batch(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<Option<Batch>> {
+        let (mut kb, mut ko) = (Vec::new(), Vec::new());
         loop {
             let Some(batch) = self.child.next_batch(cx, io)? else {
                 return Ok(None);
             };
             let mut out = Vec::new();
-            for i in 0..batch.len() {
-                let row = batch.row(i);
-                if self.seen.insert(row.clone()) {
-                    out.push(row);
+            if cx.sort_key_codec {
+                encode_batch_keys_arena(&batch, &all_cols_asc(&batch), &mut kb, &mut ko);
+                for i in 0..batch.len() {
+                    let key = &kb[ko[i]..ko[i + 1]];
+                    if !self.seen_keys.contains(key) {
+                        self.seen_keys.insert(key.to_vec());
+                        out.push(batch.row(i));
+                    }
+                }
+            } else {
+                for i in 0..batch.len() {
+                    let row = batch.row(i);
+                    if self.seen.insert(row.clone()) {
+                        out.push(row);
+                    }
                 }
             }
             if !out.is_empty() {
@@ -616,6 +661,7 @@ impl Operator for HashDistinctOp {
 
     fn close(&mut self) {
         self.seen.clear();
+        self.seen_keys.clear();
         self.child.close();
     }
 }
@@ -781,6 +827,222 @@ impl Operator for SortOp {
     fn close(&mut self) {
         self.buf = Vec::new();
         self.spilled = None;
+    }
+}
+
+/// One sealed prefix group awaiting emission from a segmented sort: an
+/// in-memory sorted group, or the streaming merge of an oversized group
+/// that external-sorted under the memory budget.
+enum SegmentEmit {
+    Mem(Vec<Row>, usize),
+    Spill(SpilledSort),
+}
+
+/// Segmented (partial) sort: the input already arrives ordered on the
+/// first `prefix_len` sort keys, so rows sharing a prefix value are
+/// contiguous and only the residual suffix keys need sorting — one
+/// prefix group at a time.
+///
+/// Unlike [`SortOp`], this is *not* a pipeline breaker: groups are pulled,
+/// sorted, and emitted incrementally, so memory stays bounded by the
+/// largest group (plus one input batch) and a `LIMIT n` above stops
+/// pulling input after the first ⌈n / group⌉ groups. Group boundaries are
+/// detected by encoded-prefix byte equality on the codec path and by
+/// `Value::total_cmp` equality otherwise — the codec is injective up to
+/// `total_cmp`, so both paths cut identical groups. Each group sorts
+/// stably on the suffix keys alone (its prefix columns are all equal, so
+/// this equals the full-key sort), and concatenating groups in arrival
+/// order reproduces the global stable sort bit for bit. Under a memory
+/// budget every group feeds a per-group [`RunFormer`], so a single
+/// oversized group external-sorts exactly like the bounded [`SortOp`].
+struct SegmentedSortOp {
+    child: Box<dyn Operator>,
+    /// Prefix keys (boundary detection) and suffix keys (per-group sort).
+    pkeys: SortKeys,
+    skeys: SortKeys,
+    /// Prefix key positions for the legacy comparator path.
+    ppos: Vec<usize>,
+    /// Current group: rows plus their suffix-key arena (codec path).
+    grp_rows: Vec<Row>,
+    grp_kb: Vec<u8>,
+    grp_ko: Vec<usize>,
+    /// Current group's prefix identity: encoded bytes (codec path) or a
+    /// representative row (legacy path).
+    lead_enc: Vec<u8>,
+    lead_row: Option<Row>,
+    group_started: bool,
+    /// Per-group run former (present only under a memory budget).
+    former: Option<RunFormer>,
+    /// Sealed groups not yet emitted, in arrival order.
+    emits: VecDeque<SegmentEmit>,
+    input_done: bool,
+}
+
+impl SegmentedSortOp {
+    fn new(child: Box<dyn Operator>, keys: SortKeys, prefix_len: usize) -> SegmentedSortOp {
+        let (pkeys, skeys) = {
+            let (p, s) = keys.split_at(prefix_len.min(keys.len()));
+            (p.to_vec(), s.to_vec())
+        };
+        SegmentedSortOp {
+            child,
+            ppos: pkeys.iter().map(|&(p, _)| p).collect(),
+            pkeys,
+            skeys,
+            grp_rows: Vec::new(),
+            grp_kb: Vec::new(),
+            grp_ko: vec![0],
+            lead_enc: Vec::new(),
+            lead_row: None,
+            group_started: false,
+            former: None,
+            emits: VecDeque::new(),
+            input_done: false,
+        }
+    }
+
+    /// Sorts and queues the current group for emission (no-op when no
+    /// group is open). Counts one formed group toward the process-wide
+    /// segmented-sort statistics.
+    fn seal_group(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) {
+        if !self.group_started {
+            return;
+        }
+        sortkernel::note_segment_groups(1);
+        if let Some(former) = self.former.take() {
+            // The former charged `sort_rows` per run itself.
+            match former.finish(io) {
+                FinishedSort::InMemory(sorted) => self.emits.push_back(SegmentEmit::Mem(sorted, 0)),
+                FinishedSort::Spilled(s) => self.emits.push_back(SegmentEmit::Spill(s)),
+            }
+        } else {
+            let mut rows = std::mem::take(&mut self.grp_rows);
+            io.sort_rows += rows.len() as u64;
+            if cx.sort_key_codec {
+                sortkernel::sort_rows_arena(&mut rows, &self.grp_kb, &self.grp_ko, &self.skeys);
+            } else {
+                sortkernel::sort_rows_with(&mut rows, &self.skeys, false);
+            }
+            self.emits.push_back(SegmentEmit::Mem(rows, 0));
+        }
+        self.grp_kb.clear();
+        self.grp_ko.clear();
+        self.grp_ko.push(0);
+        self.group_started = false;
+    }
+
+    /// Absorbs one input batch, sealing groups at every prefix boundary.
+    fn absorb(&mut self, batch: &Batch, cx: &ExecContext<'_>, io: &mut IoStats) {
+        let codec = cx.sort_key_codec;
+        let (mut pb, mut po) = (Vec::new(), Vec::new());
+        let (mut sb, mut so) = (Vec::new(), Vec::new());
+        if codec {
+            encode_batch_keys_arena(batch, &self.pkeys, &mut pb, &mut po);
+            encode_batch_keys_arena(batch, &self.skeys, &mut sb, &mut so);
+        }
+        for i in 0..batch.len() {
+            let row = batch.row(i);
+            let pref = codec.then(|| &pb[po[i]..po[i + 1]]);
+            let boundary = self.group_started
+                && match &pref {
+                    Some(pref) => **pref != self.lead_enc[..],
+                    None => {
+                        let lead = self.lead_row.as_ref().expect("open group without lead");
+                        !same_key(lead, &row, &self.ppos)
+                    }
+                };
+            if boundary {
+                self.seal_group(cx, io);
+            }
+            if !self.group_started {
+                self.group_started = true;
+                match &pref {
+                    Some(pref) => {
+                        self.lead_enc.clear();
+                        self.lead_enc.extend_from_slice(pref);
+                    }
+                    None => self.lead_row = Some(row.clone()),
+                }
+                if let Some(budget) = cx.memory_budget {
+                    self.former = Some(RunFormer::new(budget, codec, self.skeys.clone()));
+                }
+            }
+            match &mut self.former {
+                Some(former) => former.push(row, codec.then(|| &sb[so[i]..so[i + 1]]), io),
+                None => {
+                    if codec {
+                        self.grp_kb.extend_from_slice(&sb[so[i]..so[i + 1]]);
+                        self.grp_ko.push(self.grp_kb.len());
+                    }
+                    self.grp_rows.push(row);
+                }
+            }
+        }
+    }
+}
+
+impl Operator for SegmentedSortOp {
+    fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
+        self.grp_rows = Vec::new();
+        self.grp_kb = Vec::new();
+        self.grp_ko = vec![0];
+        self.group_started = false;
+        self.former = None;
+        self.emits = VecDeque::new();
+        self.input_done = false;
+        self.child.open(cx, io)
+    }
+
+    fn next_batch(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<Option<Batch>> {
+        loop {
+            // Drain sealed groups first, in arrival order.
+            match self.emits.front_mut() {
+                Some(SegmentEmit::Mem(rows, pos)) => {
+                    if *pos < rows.len() {
+                        let end = (*pos + cx.batch_size).min(rows.len());
+                        let batch = Batch::from_rows(&rows[*pos..end]);
+                        *pos = end;
+                        return Ok(Some(batch));
+                    }
+                    self.emits.pop_front();
+                    continue;
+                }
+                Some(SegmentEmit::Spill(s)) => {
+                    let mut rows = Vec::with_capacity(cx.batch_size);
+                    while rows.len() < cx.batch_size {
+                        match s.next_row(&self.skeys, io) {
+                            Some(row) => rows.push(row),
+                            None => break,
+                        }
+                    }
+                    if !rows.is_empty() {
+                        return Ok(Some(Batch::from_rows(&rows)));
+                    }
+                    self.emits.pop_front();
+                    continue;
+                }
+                None => {}
+            }
+            if self.input_done {
+                return Ok(None);
+            }
+            match self.child.next_batch(cx, io)? {
+                Some(batch) => self.absorb(&batch, cx, io),
+                None => {
+                    self.input_done = true;
+                    self.child.close();
+                    self.seal_group(cx, io);
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.grp_rows = Vec::new();
+        self.grp_kb = Vec::new();
+        self.former = None;
+        self.emits = VecDeque::new();
+        self.child.close();
     }
 }
 
@@ -1551,22 +1813,96 @@ struct LeftOuterJoinOp {
     layout: RowLayout,
     null_pad: Row,
     build_rows: Vec<Row>,
-    table: HashMap<Vec<Value>, Vec<usize>>,
+    table: HashMap<Vec<Value>, Vec<BuildRef>>,
+    /// Build rows in arrival order for the non-keyed nested-loop path
+    /// (the keyed path reaches rows through `table` instead).
+    refs: Vec<BuildRef>,
+    /// Build rows past the memory budget (None when unbounded or the
+    /// build fit), re-read on probe hits like the hash join's.
+    spill: Option<SpillFile>,
     out: OutQueue,
+}
+
+/// Materializes the row behind a [`BuildRef`] and joins it to `orow`.
+fn concat_build(
+    orow: &Row,
+    r: &BuildRef,
+    build_rows: &[Row],
+    spill: &Option<SpillFile>,
+    io: &mut IoStats,
+) -> Row {
+    match r {
+        BuildRef::Mem(i) => concat(orow, &build_rows[*i]),
+        BuildRef::Spilled(off) => {
+            let file = spill.as_ref().expect("spilled build ref without file");
+            let rec = SpillCursor::new(*off, file.len())
+                .read_record(file, io)
+                .expect("spilled build record missing");
+            let mut pos = 0;
+            concat(orow, &spill::read_row(&rec, &mut pos))
+        }
+    }
 }
 
 impl Operator for LeftOuterJoinOp {
     fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
-        self.build_rows = drain_all(&mut self.inner, cx, io)?;
         self.table.clear();
+        self.refs = Vec::new();
+        self.build_rows = Vec::new();
+        self.spill = None;
+        if let Some(budget) = cx.memory_budget {
+            // Bounded build, mirroring the hash join: rows that fit stay
+            // resident, overflow rows spill by value. On the keyed path
+            // NULL-key build rows can never match and are dropped; the
+            // non-keyed nested loop needs every build row, in arrival
+            // order, so `refs` preserves the mem/spilled interleaving.
+            self.inner.open(cx, io)?;
+            let mut file = SpillFile::new();
+            let mut bytes = 0usize;
+            let mut payload = Vec::new();
+            while let Some(batch) = self.inner.next_batch(cx, io)? {
+                for i in 0..batch.len() {
+                    let row = batch.row(i);
+                    let key = self.keyed.then(|| key_of(&row, &self.ipos));
+                    if let Some(key) = &key {
+                        if key.iter().any(Value::is_null) {
+                            continue;
+                        }
+                    }
+                    let cost = row_bytes(&row);
+                    let r = if bytes + cost > budget && !self.build_rows.is_empty() {
+                        payload.clear();
+                        spill::write_row(&row, &mut payload);
+                        BuildRef::Spilled(file.append_record(&payload, io))
+                    } else {
+                        bytes += cost;
+                        self.build_rows.push(row);
+                        BuildRef::Mem(self.build_rows.len() - 1)
+                    };
+                    match key {
+                        Some(key) => self.table.entry(key).or_default().push(r),
+                        None => self.refs.push(r),
+                    }
+                }
+            }
+            self.inner.close();
+            if !file.is_empty() {
+                sortkernel::note_spill_runs(1);
+                self.spill = Some(file);
+            }
+            return self.outer.open(cx, io);
+        }
+        self.build_rows = drain_all(&mut self.inner, cx, io)?;
         if self.keyed {
             for (i, irow) in self.build_rows.iter().enumerate() {
                 let key = key_of(irow, &self.ipos);
                 if key.iter().any(Value::is_null) {
                     continue;
                 }
-                self.table.entry(key).or_default().push(i);
+                self.table.entry(key).or_default().push(BuildRef::Mem(i));
             }
+        } else {
+            self.refs = (0..self.build_rows.len()).map(BuildRef::Mem).collect();
         }
         self.outer.open(cx, io)
     }
@@ -1586,8 +1922,9 @@ impl Operator for LeftOuterJoinOp {
                     let key = key_of(&orow, &self.opos);
                     if !key.iter().any(Value::is_null) {
                         if let Some(candidates) = self.table.get(&key) {
-                            for &i in candidates {
-                                let joined = concat(&orow, &self.build_rows[i]);
+                            for r in candidates {
+                                let joined =
+                                    concat_build(&orow, r, &self.build_rows, &self.spill, io);
                                 if eval_preds(cx.graph, &self.predicates, &joined, &self.layout)? {
                                     self.out.push(joined);
                                     matched = true;
@@ -1597,8 +1934,8 @@ impl Operator for LeftOuterJoinOp {
                     }
                 } else {
                     // No equi keys: nested loop with ON residuals.
-                    for irow in &self.build_rows {
-                        let joined = concat(&orow, irow);
+                    for r in &self.refs {
+                        let joined = concat_build(&orow, r, &self.build_rows, &self.spill, io);
                         if eval_preds(cx.graph, &self.predicates, &joined, &self.layout)? {
                             self.out.push(joined);
                             matched = true;
@@ -1615,6 +1952,8 @@ impl Operator for LeftOuterJoinOp {
     fn close(&mut self) {
         self.build_rows = Vec::new();
         self.table.clear();
+        self.refs = Vec::new();
+        self.spill = None;
         self.out.clear();
         self.outer.close();
     }
@@ -2075,6 +2414,30 @@ fn lower_impl(plan: &Plan, lw: &mut LowerCx) -> Result<Box<dyn Operator>> {
                 })
             }
         }
+        PlanNode::SegmentedSort {
+            input,
+            spec,
+            prefix_len,
+        } => {
+            let keys = resolve_keys(spec, &input.layout)?;
+            if parallel && partitionable(input) {
+                // Parallel degrees reuse the full-sort exchanges: a
+                // merge exchange over the full keys produces the same
+                // (globally sorted) stream the segmented operator does.
+                let slot = own_slot(lw, id);
+                Box::new(MergeExchangeOp::new(exchange_spec(input, lw), keys, slot))
+            } else if parallel {
+                let slot = own_slot(lw, id);
+                let child = lower_impl(input, lw)?;
+                Box::new(RepartitionSortOp::new(child, keys, lw.threads, slot))
+            } else {
+                Box::new(SegmentedSortOp::new(
+                    lower_impl(input, lw)?,
+                    keys,
+                    *prefix_len,
+                ))
+            }
+        }
         PlanNode::NestedLoopJoin {
             outer,
             inner,
@@ -2144,6 +2507,8 @@ fn lower_impl(plan: &Plan, lw: &mut LowerCx) -> Result<Box<dyn Operator>> {
             layout: plan.layout.clone(),
             build_rows: Vec::new(),
             table: HashMap::new(),
+            refs: Vec::new(),
+            spill: None,
             out: OutQueue::default(),
         }),
         PlanNode::HashJoin {
@@ -2196,10 +2561,12 @@ fn lower_impl(plan: &Plan, lw: &mut LowerCx) -> Result<Box<dyn Operator>> {
         PlanNode::StreamDistinct { input } => Box::new(StreamDistinctOp {
             child: lower_impl(input, lw)?,
             last: None,
+            last_key: None,
         }),
         PlanNode::HashDistinct { input } => Box::new(HashDistinctOp {
             child: lower_impl(input, lw)?,
             seen: HashSet::new(),
+            seen_keys: HashSet::new(),
         }),
         PlanNode::UnionAll { inputs } => Box::new(UnionAllOp {
             children: inputs

@@ -66,6 +66,18 @@ pub enum TraceEvent {
         /// The order property that satisfied it.
         order: String,
     },
+    /// The planner replaced a full sort with a segmented (partial) sort:
+    /// the input's order property already satisfies a prefix of the
+    /// requirement, so only the residual suffix is sorted, within each
+    /// prefix group.
+    PartialSortChosen {
+        /// The satisfied prefix of the (reduced) requirement.
+        prefix: String,
+        /// The residual suffix the segmented sort enforces per group.
+        suffix: String,
+        /// Estimated number of prefix groups (from distinct-value stats).
+        groups: u64,
+    },
     /// A sort-ahead variant was generated for an interesting order.
     SortAhead {
         /// The interesting order being pushed down.
@@ -126,6 +138,8 @@ pub struct TraceCounts {
     pub sorts_added: u64,
     /// Sorts avoided via order properties.
     pub sorts_avoided: u64,
+    /// Full sorts downgraded to segmented (partial) sorts.
+    pub partial_sorts: u64,
     /// Sort-ahead variants generated.
     pub sort_ahead: u64,
     /// Reduce Order calls.
@@ -149,6 +163,7 @@ impl TraceCounts {
             TraceEvent::PlanPruned { .. } => self.plans_pruned += 1,
             TraceEvent::SortAdded { .. } => self.sorts_added += 1,
             TraceEvent::SortAvoided { .. } => self.sorts_avoided += 1,
+            TraceEvent::PartialSortChosen { .. } => self.partial_sorts += 1,
             TraceEvent::SortAhead { .. } => self.sort_ahead += 1,
             TraceEvent::Reduce { .. } => self.reduce += 1,
             TraceEvent::TestOrder { .. } => self.test_order += 1,
@@ -217,6 +232,17 @@ impl Trace {
                         "{pad}sort avoided: requirement {requirement} satisfied by order {order}"
                     );
                 }
+                TraceEvent::PartialSortChosen {
+                    prefix,
+                    suffix,
+                    groups,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "{pad}PartialSortChosen: prefix {prefix} satisfied, \
+                         sorting {suffix} within ~{groups} groups"
+                    );
+                }
                 TraceEvent::SortAhead { interest, plan } => {
                     let _ = writeln!(out, "{pad}sort-ahead for {interest}: {plan}");
                 }
@@ -274,7 +300,7 @@ impl Trace {
         let kept = c.plans_generated.saturating_sub(c.plans_pruned);
         format!(
             "summary: boxes={} | plans generated={} kept<={} pruned={} | \
-             sorts added={} avoided={} | sort-ahead variants={}\n\
+             sorts added={} avoided={} segmented={} | sort-ahead variants={}\n\
              order ops: reduce={} test={} cover={} homogenize={}\n",
             c.spans,
             c.plans_generated,
@@ -282,6 +308,7 @@ impl Trace {
             c.plans_pruned,
             c.sorts_added,
             c.sorts_avoided,
+            c.partial_sorts,
             c.sort_ahead,
             c.reduce,
             c.test_order,
@@ -478,6 +505,29 @@ mod tests {
         // The sort event is indented under the span.
         assert!(text.contains("\n  sort added"), "{text}");
         assert!(!enabled());
+    }
+
+    #[test]
+    fn partial_sort_event_renders_and_counts() {
+        let guard = TraceGuard::install(16);
+        emit(|| TraceEvent::PartialSortChosen {
+            prefix: "(c1)".into(),
+            suffix: "(c2)".into(),
+            groups: 42,
+        });
+        let trace = guard.finish();
+        assert_eq!(trace.counts.partial_sorts, 1);
+        let text = trace.render();
+        assert!(
+            text.contains("PartialSortChosen: prefix (c1) satisfied"),
+            "{text}"
+        );
+        assert!(text.contains("~42 groups"), "{text}");
+        assert!(
+            trace.summary().contains("segmented=1"),
+            "{}",
+            trace.summary()
+        );
     }
 
     #[test]

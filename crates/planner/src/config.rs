@@ -58,6 +58,14 @@ pub struct OptimizerConfig {
     /// (the differential suite runs both); off keeps the legacy
     /// `Value`-comparator paths.
     pub sort_key_codec: bool,
+    /// Consider segmented (partial) sorts: when the input's order
+    /// property already satisfies a prefix of a sort requirement, the
+    /// planner may emit a `SegmentedSort` enforcer that sorts only the
+    /// residual suffix within each prefix group — streaming, one group
+    /// buffered at a time, priced as Σ over groups of sort(group).
+    /// Meaningful only when `order_optimization` is on (the split comes
+    /// out of the same reduce/test machinery). Default on.
+    pub enable_segmented_sort: bool,
     /// Per-query memory budget in bytes for the streaming executor, or
     /// `None` (the default) for unbounded in-memory execution. When set,
     /// pipeline breakers (sort, Top-N, hash group-by, hash-join build)
@@ -82,6 +90,7 @@ impl Default for OptimizerConfig {
             batch_size: 1024,
             threads: 1,
             sort_key_codec: true,
+            enable_segmented_sort: true,
             memory_budget: None,
         }
     }
@@ -189,6 +198,13 @@ impl OptimizerConfig {
         self
     }
 
+    /// Enables or disables segmented (partial) sort enforcers (default
+    /// on). See [`OptimizerConfig::enable_segmented_sort`].
+    pub fn with_segmented_sort(mut self, on: bool) -> Self {
+        self.enable_segmented_sort = on;
+        self
+    }
+
     /// Sets the per-query executor memory budget in bytes (clamped to at
     /// least 1 — a zero budget means "spill everything", not
     /// "unbounded"). See [`OptimizerConfig::memory_budget`].
@@ -212,6 +228,11 @@ pub struct PlannerStats {
     pub sorts_added: u64,
     /// Sorts avoided because an order property satisfied the requirement.
     pub sorts_avoided: u64,
+    /// Sorts downgraded to segmented (partial) sorts because an order
+    /// property satisfied a strict prefix of the requirement. Counted in
+    /// addition to `sorts_added` (a segmented sort is still a sort
+    /// enforcer).
+    pub partial_sorts: u64,
 }
 
 #[cfg(test)]
@@ -227,7 +248,14 @@ mod tests {
         assert_eq!(c.batch_size, 1024);
         assert_eq!(c.threads, 1);
         assert!(c.sort_key_codec);
+        assert!(c.enable_segmented_sort);
         assert_eq!(c.memory_budget, None);
+    }
+
+    #[test]
+    fn segmented_sort_builder_toggles() {
+        let c = OptimizerConfig::new().with_segmented_sort(false);
+        assert!(!c.enable_segmented_sort);
     }
 
     #[test]

@@ -121,6 +121,20 @@ pub fn sort(rows: f64, row_width: usize, memory: usize) -> f64 {
     cmp + sort_spill_passes(bytes, memory) * 2.0 * pages * SEQ_PAGE
 }
 
+/// Cost of a *segmented* sort: the input already satisfies a prefix of
+/// the requirement, delivering `groups` contiguous prefix groups, and
+/// only the residual suffix is sorted within each group — Σ over groups
+/// of `sort(group)` plus one boundary check per row ([`CPU_PRED`]: a
+/// prefix-key byte comparison). With uniform groups of `rows / groups`
+/// rows the comparison term is `rows·log₂(rows/groups)` instead of the
+/// full sort's `rows·log₂(rows)`, and the spill term prices one group's
+/// working set against memory instead of the whole input — segmented
+/// beats full whenever the prefix has more than one distinct value.
+pub fn segmented_sort(rows: f64, groups: f64, row_width: usize, memory: usize) -> f64 {
+    let groups = groups.clamp(1.0, rows.max(1.0));
+    groups * sort(rows / groups, row_width, memory) + rows * CPU_PRED
+}
+
 /// Per-probe cost of an index nested-loop join into a table.
 ///
 /// `matches_per_probe` rows are fetched per probe. When the outer stream
@@ -262,6 +276,46 @@ mod tests {
             index_path < scan_sort_fixed,
             "fixed model flips to the index: {index_path} vs {scan_sort_fixed}"
         );
+    }
+
+    #[test]
+    fn segmented_sort_beats_full_sort_past_one_group() {
+        let rows = 1_000_000.0;
+        let full = sort(rows, 48, 1 << 30);
+        // One group degenerates to the full sort plus boundary checks.
+        let one = segmented_sort(rows, 1.0, 48, 1 << 30);
+        assert!((one - (full + rows * CPU_PRED)).abs() < 1e-6);
+        // More groups, cheaper — monotonically.
+        let g10 = segmented_sort(rows, 10.0, 48, 1 << 30);
+        let g1k = segmented_sort(rows, 1_000.0, 48, 1 << 30);
+        let g100k = segmented_sort(rows, 100_000.0, 48, 1 << 30);
+        assert!(g10 < full && g1k < g10 && g100k < g1k);
+        // Groups are clamped into [1, rows].
+        assert_eq!(
+            segmented_sort(100.0, 0.0, 48, 1 << 30),
+            segmented_sort(100.0, 1.0, 48, 1 << 30)
+        );
+        assert_eq!(
+            segmented_sort(100.0, 1e9, 48, 1 << 30),
+            segmented_sort(100.0, 100.0, 48, 1 << 30)
+        );
+    }
+
+    #[test]
+    fn segmented_sort_avoids_spill_when_groups_fit() {
+        // The whole input exceeds memory but each group fits: the full
+        // sort pays spill passes, the segmented sort none.
+        let rows = 100_000.0;
+        let width = 100usize;
+        let memory = 64 << 10;
+        let full = sort(rows, width, memory);
+        let seg = segmented_sort(rows, 1_000.0, width, memory);
+        assert!(sort_spill_passes(rows * width as f64, memory) > 0.0);
+        assert_eq!(
+            sort_spill_passes(rows / 1_000.0 * width as f64, memory),
+            0.0
+        );
+        assert!(seg < full / 2.0, "{seg} vs {full}");
     }
 
     #[test]

@@ -71,6 +71,21 @@ pub enum PlanNode {
         /// Sort specification (already reduced to minimal columns).
         spec: OrderSpec,
     },
+    /// Segmented (partial) sort: the input already satisfies the first
+    /// `prefix_len` keys of `spec`, so rows arrive grouped contiguously
+    /// by those prefix columns and only the residual suffix is sorted,
+    /// one prefix group at a time — streaming, with a bounded working
+    /// set of one group. Output is identical to a full stable sort on
+    /// `spec`.
+    SegmentedSort {
+        /// Input plan, ordered on the spec's first `prefix_len` keys.
+        input: Arc<Plan>,
+        /// Full sort specification (already reduced to minimal columns).
+        spec: OrderSpec,
+        /// How many leading keys of `spec` the input's order property
+        /// satisfies (`1 ≤ prefix_len < spec.len()`).
+        prefix_len: usize,
+    },
     /// Tuple-at-a-time nested-loop join (inner rescanned per outer row).
     NestedLoopJoin {
         /// Outer (driving) input.
@@ -216,6 +231,7 @@ impl Plan {
             PlanNode::Filter { .. } => "filter",
             PlanNode::Project { .. } => "project",
             PlanNode::Sort { .. } => "sort",
+            PlanNode::SegmentedSort { .. } => "segmented-sort",
             PlanNode::NestedLoopJoin { .. } => "nested-loop-join",
             PlanNode::IndexNestedLoopJoin { .. } => "index-nested-loop-join",
             PlanNode::MergeJoin { .. } => "merge-join",
@@ -253,6 +269,7 @@ impl Plan {
             PlanNode::Filter { input, .. }
             | PlanNode::Project { input, .. }
             | PlanNode::Sort { input, .. }
+            | PlanNode::SegmentedSort { input, .. }
             | PlanNode::StreamGroupBy { input, .. }
             | PlanNode::HashGroupBy { input, .. }
             | PlanNode::StreamDistinct { input }
@@ -438,6 +455,18 @@ impl Plan {
                 names.join(", ")
             }
             PlanNode::Sort { spec: s, .. } => format!("({})", spec(s)),
+            PlanNode::SegmentedSort {
+                spec: s,
+                prefix_len,
+                ..
+            } => {
+                // Render the satisfied prefix and the sorted suffix on
+                // either side of a bar: `(a | b, c)`.
+                let mut pfx = s.clone();
+                pfx.truncate(*prefix_len);
+                let sfx = OrderSpec::new(s.keys()[*prefix_len..].to_vec());
+                format!("({} | {})", spec(&pfx), spec(&sfx))
+            }
             PlanNode::NestedLoopJoin { .. } => String::new(),
             PlanNode::IndexNestedLoopJoin {
                 table,
@@ -548,6 +577,24 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert!(lines[0].starts_with("sort"));
         assert!(lines[1].starts_with("  table-scan"));
+    }
+
+    #[test]
+    fn segmented_sort_renders_prefix_bar_suffix() {
+        let scan = Arc::new(leaf());
+        let seg = Plan {
+            node: PlanNode::SegmentedSort {
+                input: scan.clone(),
+                spec: OrderSpec::ascending([ColId(0), ColId(1)]),
+                prefix_len: 1,
+            },
+            layout: scan.layout.clone(),
+            props: scan.props.clone(),
+            cost: scan.cost,
+        };
+        let text = seg.explain(&|c| format!("col{}", c.0));
+        assert!(text.contains("segmented-sort (col0 | col1)"), "{text}");
+        assert_eq!(seg.children().len(), 1);
     }
 
     #[test]

@@ -114,6 +114,52 @@ impl<'a> Planner<'a> {
                 cost,
             };
         }
+        if let PlanNode::SegmentedSort {
+            input,
+            spec,
+            prefix_len,
+        } = &plan.node
+        {
+            // Early exit: a segmented sort streams one prefix group at a
+            // time, so a limit stops the enforcer (and its input) after
+            // the first ⌈n / group size⌉ groups have been formed.
+            let input_rows = input.cost.rows;
+            let prefix_cols: Vec<fto_common::ColId> =
+                spec.keys()[..*prefix_len].iter().map(|k| k.col).collect();
+            let groups = self
+                .estimator()
+                .group_count(&prefix_cols, input_rows)
+                .clamp(1.0, input_rows.max(1.0));
+            let per_group = (input_rows / groups).max(1.0);
+            let groups_needed = (n as f64 / per_group).ceil().min(groups);
+            let consumed = (groups_needed * per_group).min(input_rows);
+            let width = plan.layout.arity() * 8 + 16;
+            let partial = cost::segmented_sort(
+                consumed,
+                groups_needed,
+                width.max(DEFAULT_ROW_WIDTH / 2),
+                self.config.sort_memory,
+            );
+            let full = plan.cost.total - input.cost.total;
+            // The input is only pulled until enough groups have been
+            // formed, so its streaming cost is prorated by the consumed
+            // fraction (standard limit-pushdown pricing).
+            let fraction = (consumed / input_rows.max(1.0)).min(1.0);
+            let cost = Cost {
+                total: input.cost.total * fraction + partial.min(full),
+                rows: 0.0,
+            }
+            .with_rows(rows);
+            return Plan {
+                layout: plan.layout.clone(),
+                props: plan.props.clone(),
+                node: PlanNode::Limit {
+                    input: Arc::new(plan),
+                    n,
+                },
+                cost,
+            };
+        }
         let cost = plan.cost.with_rows(rows);
         Plan {
             layout: plan.layout.clone(),
@@ -597,14 +643,57 @@ impl<'a> Planner<'a> {
             input: plan.trace_desc(),
         });
         let rows = plan.cost.rows;
-        let width = plan.layout.arity() * 8 + 16;
+        let width = (plan.layout.arity() * 8 + 16).max(DEFAULT_ROW_WIDTH / 2);
         let props = plan.props.sorted(&minimal);
         let layout = plan.layout.clone();
-        let cost = plan.cost.plus(cost::sort(
-            rows,
-            width.max(DEFAULT_ROW_WIDTH / 2),
-            self.config.sort_memory,
-        ));
+
+        // Segmented (partial) sort: when the input's order property
+        // already satisfies a strict non-empty prefix of the minimal
+        // specification, rows arrive grouped contiguously by the prefix
+        // columns, so only the residual suffix needs sorting — within
+        // each group, priced as Σ over groups of sort(group). The split
+        // is positional only when reduce(minimal) partitions exactly
+        // (the homogenize fallback can leave `minimal` unreduced).
+        if self.config.enable_segmented_sort && self.config.order_optimization {
+            let (pfx, sfx) = ctx.split_requirement(&minimal, &plan.props.order);
+            if !pfx.is_empty() && !sfx.is_empty() && pfx.len() + sfx.len() == minimal.len() {
+                let prefix_len = pfx.len();
+                let prefix_cols: Vec<fto_common::ColId> =
+                    minimal.keys()[..prefix_len].iter().map(|k| k.col).collect();
+                let groups = self
+                    .estimator()
+                    .group_count(&prefix_cols, rows)
+                    .clamp(1.0, rows.max(1.0));
+                if groups > 1.0 {
+                    self.stats.partial_sorts += 1;
+                    emit(|| TraceEvent::PartialSortChosen {
+                        prefix: pfx.to_string(),
+                        suffix: sfx.to_string(),
+                        groups: groups.round() as u64,
+                    });
+                    let cost = plan.cost.plus(cost::segmented_sort(
+                        rows,
+                        groups,
+                        width,
+                        self.config.sort_memory,
+                    ));
+                    return Plan {
+                        node: PlanNode::SegmentedSort {
+                            input: Arc::new(plan),
+                            spec: minimal,
+                            prefix_len,
+                        },
+                        layout,
+                        props,
+                        cost,
+                    };
+                }
+            }
+        }
+
+        let cost = plan
+            .cost
+            .plus(cost::sort(rows, width, self.config.sort_memory));
         Plan {
             node: PlanNode::Sort {
                 input: Arc::new(plan),
@@ -1075,6 +1164,139 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Single-table query over q3_like_db's lineitem (clustered index on
+    /// l_orderkey) ordered by the given column indexes.
+    fn lineitem_query(
+        db: &fto_storage::Database,
+        order_by: &[usize],
+    ) -> (QueryGraph, Vec<fto_common::ColId>) {
+        let mut g = QueryGraph::new();
+        let b = g.add_box(BoxKind::Select);
+        g.add_table_quantifier(b, db.catalog().table_by_name("lineitem").unwrap());
+        let cols = g.boxed(b).quantifiers[0].cols.clone();
+        g.boxed_mut(b).output = cols.iter().map(|&c| OutputCol::passthrough(c)).collect();
+        g.boxed_mut(b).output_order = Some(OrderSpec::ascending(order_by.iter().map(|&i| cols[i])));
+        g.root = b;
+        (g, cols)
+    }
+
+    fn find_segmented(plan: &Plan) -> Option<(usize, usize)> {
+        if let PlanNode::SegmentedSort {
+            spec, prefix_len, ..
+        } = &plan.node
+        {
+            return Some((*prefix_len, spec.len()));
+        }
+        plan.children().iter().find_map(|c| find_segmented(c))
+    }
+
+    #[test]
+    fn prefix_satisfied_order_uses_segmented_sort() {
+        let db = super::tests_support::q3_like_db(200);
+        // ORDER BY l_orderkey, l_shipdate: the clustered index supplies
+        // (l_orderkey), so only l_shipdate needs sorting, within each
+        // orderkey group.
+        let (mut g, _) = lineitem_query(&db, &[0, 3]);
+        OrderScan::run(&mut g, db.catalog());
+        let mut p = Planner::new(&g, db.catalog(), OptimizerConfig::default());
+        let plan = p.plan_query().unwrap();
+        assert_eq!(
+            plan.count_ops(&|n| matches!(n, PlanNode::SegmentedSort { .. })),
+            1,
+            "{}",
+            plan.explain(&|c| c.to_string())
+        );
+        assert_eq!(plan.count_ops(&|n| matches!(n, PlanNode::Sort { .. })), 0);
+        assert_eq!(find_segmented(&plan), Some((1, 2)));
+        assert!(p.stats.partial_sorts > 0);
+        // A segmented sort still counts as an added sort enforcer.
+        assert!(p.stats.sorts_added >= p.stats.partial_sorts);
+    }
+
+    #[test]
+    fn segmented_sort_beats_full_sort_on_cost() {
+        let db = super::tests_support::q3_like_db(200);
+        let plan_with = |cfg: OptimizerConfig| {
+            let (mut g, _) = lineitem_query(&db, &[0, 3]);
+            OrderScan::run(&mut g, db.catalog());
+            Planner::new(&g, db.catalog(), cfg).plan_query().unwrap()
+        };
+        let seg = plan_with(OptimizerConfig::default());
+        let full = plan_with(OptimizerConfig::default().with_segmented_sort(false));
+        assert!(find_segmented(&seg).is_some());
+        assert_eq!(find_segmented(&full), None);
+        assert_eq!(full.count_ops(&|n| matches!(n, PlanNode::Sort { .. })), 1);
+        assert!(
+            seg.cost.total < full.cost.total,
+            "segmented {} !< full {}",
+            seg.cost.total,
+            full.cost.total
+        );
+    }
+
+    #[test]
+    fn segmented_sort_not_used_when_order_fully_satisfied() {
+        let db = super::tests_support::q3_like_db(50);
+        let (mut g, _) = lineitem_query(&db, &[0]);
+        OrderScan::run(&mut g, db.catalog());
+        let mut p = Planner::new(&g, db.catalog(), OptimizerConfig::default());
+        let plan = p.plan_query().unwrap();
+        assert_eq!(
+            plan.count_ops(&|n| matches!(
+                n,
+                PlanNode::Sort { .. } | PlanNode::SegmentedSort { .. }
+            )),
+            0
+        );
+        assert!(p.stats.sorts_avoided > 0);
+        assert_eq!(p.stats.partial_sorts, 0);
+    }
+
+    #[test]
+    fn segmented_sort_respects_disabled_modes() {
+        let db = super::tests_support::q3_like_db(50);
+        for cfg in [
+            OptimizerConfig::default().with_segmented_sort(false),
+            OptimizerConfig::disabled(),
+        ] {
+            let (mut g, _) = lineitem_query(&db, &[0, 3]);
+            OrderScan::run(&mut g, db.catalog());
+            let mut p = Planner::new(&g, db.catalog(), cfg);
+            let plan = p.plan_query().unwrap();
+            assert_eq!(
+                plan.count_ops(&|n| matches!(n, PlanNode::SegmentedSort { .. })),
+                0
+            );
+            assert_eq!(p.stats.partial_sorts, 0);
+        }
+    }
+
+    #[test]
+    fn limit_over_segmented_sort_prices_early_exit() {
+        let db = super::tests_support::q3_like_db(200);
+        let (mut g, _) = lineitem_query(&db, &[0, 3]);
+        let root = g.root;
+        g.boxed_mut(root).limit = Some(10);
+        OrderScan::run(&mut g, db.catalog());
+        let mut p = Planner::new(&g, db.catalog(), OptimizerConfig::default());
+        let limited = p.plan_query().unwrap();
+
+        let (mut g2, _) = lineitem_query(&db, &[0, 3]);
+        OrderScan::run(&mut g2, db.catalog());
+        let mut p2 = Planner::new(&g2, db.catalog(), OptimizerConfig::default());
+        let unlimited = p2.plan_query().unwrap();
+
+        // The limited plan keeps the segmented sort (under a Limit) and is
+        // priced cheaper than running the segmentation to completion.
+        assert_eq!(
+            limited.count_ops(&|n| matches!(n, PlanNode::SegmentedSort { .. })),
+            1,
+            "{}",
+            limited.explain(&|c| c.to_string())
+        );
+        assert!(limited.cost.total < unlimited.cost.total);
     }
 
     #[test]

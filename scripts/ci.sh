@@ -44,6 +44,9 @@ FTO_TEST_THREADS=4 cargo test -q -p fto-bench --test differential --test paralle
 echo "==> bounded-memory differential matrix (budgets x threads x codec)"
 cargo test -q -p fto-bench --test spill
 
+echo "==> segmented-sort differential matrix (threads x codec x budgets)"
+cargo test -q -p fto-bench --test segmented
+
 if [[ "${1:-}" != "quick" ]]; then
     echo "==> cost-model calibration report (scale 0.005)"
     cargo run -q -p fto-bench --release --bin calibrate -- 0.005
@@ -97,6 +100,27 @@ if [[ "${1:-}" != "quick" ]]; then
         exit 1
     fi
     grep -E "counter (spill|pool)\." <<<"$budget_out"
+
+    echo "==> smoke: segmented sort chosen, visible in EXPLAIN OPTIMIZER + ANALYZE"
+    # Clustered lineitem index (l_orderkey, l_linenumber) delivers the
+    # prefix; the planner must pick the partial sort and the executor
+    # must report the groups it formed. Serial: the parallel lowering
+    # degenerates to full-sort exchanges, which would hide the counter.
+    segq="select l_orderkey, l_shipdate, l_extendedprice from lineitem order by l_orderkey, l_shipdate"
+    seg_out=$(printf '%s\n' \
+        "explain optimizer ${segq};" \
+        "explain analyze ${segq};" \
+        ".quit" \
+        | cargo run -q -p fto-bench --release --bin repl -- 0.005)
+    if ! grep -q "PartialSortChosen" <<<"$seg_out"; then
+        echo "smoke failed: EXPLAIN OPTIMIZER did not record PartialSortChosen"
+        exit 1
+    fi
+    if ! grep -Eq "segmented: groups=[1-9]" <<<"$seg_out"; then
+        echo "smoke failed: EXPLAIN ANALYZE shows no segmented groups formed"
+        exit 1
+    fi
+    grep -E "PartialSortChosen|segmented: groups=" <<<"$seg_out" | head -4
 
     echo "==> smoke: columnar engine output identical across operator inventories"
     colq="select o_shippriority, count(*) as cnt from orders group by o_shippriority order by o_shippriority"

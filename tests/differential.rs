@@ -158,6 +158,42 @@ fn sort_key_codec_output_is_bit_identical_to_legacy() {
 }
 
 #[test]
+fn distinct_on_encoded_keys_matches_value_comparison() {
+    // The distinct operators dedup on arena-encoded key bytes when the
+    // codec is on (byte equality standing in for Value equality, with
+    // the codec's canonicalization of Int/Double, NaN, and signed
+    // zero). Both distinct shapes — stream (ordered input) and hash
+    // (first-seen) — must emit byte-identical rows either way, serial
+    // and parallel, and agree with the interpreter.
+    let db = emp_db();
+    let queries = [
+        "select distinct grade from emp order by grade",
+        "select distinct emp_dept, grade from emp order by emp_dept, grade",
+        "select distinct salary, grade from emp",
+        "select distinct emp_dept from emp",
+    ];
+    for sql in queries {
+        for threads in [1usize, 2, 4] {
+            let base = OptimizerConfig::default().with_threads(threads);
+            let on = Session::new(&db)
+                .config(base.clone().with_sort_key_codec(true))
+                .execute(sql)
+                .unwrap_or_else(|e| panic!("{sql}\ncodec on, threads {threads}: {e}"));
+            let off = Session::new(&db)
+                .config(base.clone().with_sort_key_codec(false))
+                .execute(sql)
+                .unwrap_or_else(|e| panic!("{sql}\ncodec off, threads {threads}: {e}"));
+            assert_eq!(
+                on.rows(),
+                off.rows(),
+                "distinct codec on/off mismatch\nsql: {sql}\nthreads: {threads}"
+            );
+            assert_engines_agree(&db, sql, base.with_sort_key_codec(true));
+        }
+    }
+}
+
+#[test]
 fn limit_reads_strictly_fewer_pages_than_materialized() {
     // The point of streaming scans: a LIMIT over a big table stops
     // pulling batches — and stops paying simulated page I/O — once

@@ -132,6 +132,89 @@ fn group_by_spills_partitions_under_tiny_budget() {
 }
 
 #[test]
+fn left_join_build_side_spills_under_budget() {
+    // The left-outer join admits build rows until the budget is hit,
+    // then spills the remainder to a run file; probe output must stay
+    // bit-identical, with matches in build arrival order even when
+    // resident and spilled rows interleave within one key.
+    let db = emp_db();
+    let queries = [
+        "select dept_id, emp_id from dept left join emp on dept_id = emp_dept \
+         order by dept_id, emp_id",
+        "select dept_id, emp_id, salary from dept left join emp \
+         on dept_id = emp_dept and grade = 9 order by dept_id, emp_id",
+    ];
+    for sql in queries {
+        let baseline = unbounded_rows(&db, sql);
+        for &budget in BUDGETS {
+            let out = Session::new(&db)
+                .config(OptimizerConfig::default().with_memory_budget(budget))
+                .execute(sql)
+                .unwrap_or_else(|e| panic!("{sql}\nbudget={budget}: {e}"));
+            assert_eq!(
+                out.rows(),
+                baseline,
+                "left join diverged under budget\nsql: {sql}\nbudget={budget}"
+            );
+        }
+    }
+    // At 1 KiB the 400-row build side cannot stay resident: the join (or
+    // the sort above it) must write spill pages and read them back.
+    let sql = queries[0];
+    let out = Session::new(&db)
+        .config(OptimizerConfig::default().with_memory_budget(1 << 10))
+        .execute(sql)
+        .unwrap();
+    assert_eq!(out.rows(), unbounded_rows(&db, sql));
+    assert!(
+        out.io.spill_pages_written > 0,
+        "400 build rows under 1 KiB must spill"
+    );
+    assert!(out.io.spill_pages_read > 0);
+}
+
+#[test]
+fn budget_and_threads_compose_bit_identically() {
+    // A memory budget no longer pins execution serial: parallel workers
+    // get budget/P sub-budgets and must produce the same bytes as the
+    // unbounded serial baseline. The second query keeps a spilling hash
+    // join inside the partition pipelines, so the sub-budgets must still
+    // actually bound (and spill) the per-worker build sides.
+    let db = emp_db();
+    let queries = [
+        "select emp_id, salary from emp order by salary desc, emp_id",
+        "select dept_name, count(*) as n, sum(salary) as total \
+         from dept, emp where dept_id = emp_dept group by dept_name order by dept_name",
+    ];
+    for (i, sql) in queries.iter().enumerate() {
+        let baseline = unbounded_rows(&db, sql);
+        for threads in [1usize, 2, 4] {
+            let out = Session::new(&db)
+                .config(
+                    OptimizerConfig::default()
+                        .with_memory_budget(1 << 10)
+                        .with_threads(threads),
+                )
+                .execute(sql)
+                .unwrap_or_else(|e| panic!("{sql}\nthreads={threads}: {e}"));
+            assert_eq!(out.rows(), baseline, "{sql}\nthreads={threads}");
+            // Scans route through the per-worker bounded pools.
+            assert!(
+                out.io.pool_hits + out.io.pool_misses > 0,
+                "{sql}\nthreads={threads}: budgeted scans must use the pool"
+            );
+            if i == 1 {
+                assert!(
+                    out.io.spill_pages_written > 0,
+                    "{sql}\nthreads={threads}: worker pipelines must spill \
+                     under their sub-budgets"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn instrumented_accounting_stays_exact_while_spilling() {
     // The metrics invariant the instrumented engine guarantees — per-
     // operator I/O deltas sum exactly to the session totals — must
