@@ -15,12 +15,27 @@
 //! order-by query runs under a sweep of memory budgets and the cost
 //! model's `sort_spill_passes` estimate is compared against the merge
 //! passes the executor actually performed (`!!` past a ±1 divergence).
+//!
+//! A third section grades plan quality: every query in the differential
+//! corpus plus the TPC-D workload runs instrumented, and the worst
+//! per-operator cardinality Q-errors (`max(est,act)/min(est,act)`, both
+//! sides clamped to one row) are ranked. The run exits nonzero if any
+//! operator's Q-error exceeds `QERROR_CEILING` — a deliberately generous
+//! bound, since LIMIT early termination legitimately inflates Q-errors.
 
+use fto_bench::corpus::{emp_db, EMP_QUERIES};
 use fto_bench::harness::{calibration_report, tpcd_db};
 use fto_bench::Session;
 use fto_common::row_bytes;
 use fto_planner::{cost, OptimizerConfig};
+use fto_storage::Database;
 use fto_tpcd::queries;
+
+/// Plan-quality regression gate: the calibration run fails (exit 1) when
+/// any operator misestimates by more than this factor. Generous on
+/// purpose — the corpus includes LIMIT queries whose early termination
+/// makes large Q-errors legitimate.
+const QERROR_CEILING: f64 = 400.0;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -106,4 +121,62 @@ fn main() {
         );
     }
     println!("{pass_flagged} budget(s) diverge from the spill model by more than one pass");
+
+    // Plan-quality section: rank the worst per-operator cardinality
+    // misestimates across the differential corpus and the TPC-D workload.
+    println!("\n== plan quality: worst per-operator cardinality Q-errors ==");
+    let corpus_db = emp_db();
+    let mut rows: Vec<(f64, String, f64, u64, String)> = Vec::new();
+    let mut graded = 0usize;
+    let corpus: Vec<(String, &Database)> = EMP_QUERIES
+        .iter()
+        .enumerate()
+        .map(|(i, sql)| (format!("corpus q{i:02}: {sql}"), &corpus_db))
+        .chain(
+            [
+                ("tpcd q3", queries::q3_default()),
+                ("tpcd q1", queries::q1("1998-09-02")),
+                ("order report", queries::order_report()),
+                ("section 6 example", queries::section6_example()),
+            ]
+            .into_iter()
+            .map(|(name, sql)| (format!("{name}: {sql}"), &db)),
+        )
+        .collect();
+    for (label, target) in &corpus {
+        let sql = label.split_once(": ").expect("label carries sql").1;
+        let (_, metrics) = Session::new(target)
+            .config(OptimizerConfig::default())
+            .plan(sql)
+            .and_then(|q| q.execute_instrumented())
+            .unwrap_or_else(|e| {
+                eprintln!("error: {label}: {e}");
+                std::process::exit(1);
+            });
+        for (id, op) in metrics.ops.iter().enumerate() {
+            graded += 1;
+            rows.push((
+                op.rows_q_error(),
+                format!("{}#{id}", op.name),
+                op.est_rows,
+                op.rows,
+                label.clone(),
+            ));
+        }
+    }
+    rows.sort_by(|a, b| b.0.total_cmp(&a.0));
+    println!(
+        "{:>8} {:20} {:>10} {:>10}  query",
+        "q-err", "operator", "est rows", "act rows"
+    );
+    for (q, op, est, act, label) in rows.iter().take(10) {
+        let (sql_at, _) = label.split_at(label.len().min(60));
+        println!("{q:>8.2} {op:20} {est:>10.0} {act:>10}  {sql_at}");
+    }
+    let worst = rows.first().map(|r| r.0).unwrap_or(1.0);
+    println!("\n{graded} operators graded; worst Q-error {worst:.2} (ceiling {QERROR_CEILING})");
+    if worst > QERROR_CEILING {
+        eprintln!("plan quality regression: Q-error {worst:.2} exceeds {QERROR_CEILING}");
+        std::process::exit(1);
+    }
 }

@@ -19,7 +19,12 @@
 //! * `\metrics`          — dump the session metrics registry (counters,
 //!   latency/rows/pages histograms)
 //! * `\slow`             — dump the slow-query log (queries over
-//!   `FTO_SLOW_MS`, default 100, with plan + optimizer trace)
+//!   `FTO_SLOW_MS`, default 100, **or** misestimated past
+//!   `FTO_QERR_LIMIT`, with plan + worst operator + optimizer trace)
+//! * `\profile <path>`   — profile every subsequent plain query: write
+//!   its execution timeline to `<path>` as Chrome trace-event JSON
+//!   (load in `chrome://tracing` / Perfetto) and folded stacks to
+//!   `<path>.folded`; `\profile off` disables
 //! * `.mode modern|1996` — operator inventory (hash ops on/off)
 //! * `.tables`           — list tables
 //! * `.quit`             — exit
@@ -28,16 +33,20 @@
 //! default): `FTO_THREADS=<p>` runs every query morsel-parallel at
 //! degree `p` (`explain analyze` then shows per-worker actuals under
 //! each exchange); `FTO_SLOW_MS=<ms>` sets the slow-query threshold;
-//! `FTO_MEMORY_BUDGET=<bytes>` caps per-query executor memory — sorts
-//! form spilled runs, hash group-bys spill partitions, and `\metrics`
-//! grows `spill.*` / `pool.*` counters; combined with `FTO_THREADS`
-//! each worker pipeline runs under a budget/P sub-budget.
+//! `FTO_QERR_LIMIT=<factor>` sets the misestimation threshold (default
+//! 16); `FTO_PROFILE_OUT=<path>` starts the shell with profiling on, as
+//! if `\profile <path>` had been typed; `FTO_MEMORY_BUDGET=<bytes>`
+//! caps per-query executor memory — sorts form spilled runs, hash
+//! group-bys spill partitions, and `\metrics` grows `spill.*` /
+//! `pool.*` counters; combined with `FTO_THREADS` each worker pipeline
+//! runs under a budget/P sub-budget.
 
 use fto_bench::{envknob, ObsOptions, Observability, Session, StatementOutput};
 use fto_planner::OptimizerConfig;
 use fto_storage::Database;
 use fto_tpcd::{build_database, TpcdConfig};
 use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 fn main() {
@@ -52,12 +61,16 @@ fn main() {
         },
     };
     let slow_ms = env_knob_or_exit::<u64>("FTO_SLOW_MS").unwrap_or(100);
+    let qerr_limit = env_knob_or_exit::<f64>("FTO_QERR_LIMIT");
+    let mut profile_out: Option<PathBuf> =
+        env_knob_or_exit::<String>("FTO_PROFILE_OUT").map(PathBuf::from);
     // Fail on a bad FTO_THREADS / FTO_MEMORY_BUDGET now, before the data
     // load, rather than at the first statement that reads them.
     let _ = env_threads();
     let _ = env_memory_budget();
     let obs = Observability::new(ObsOptions {
         slow_query_threshold: Duration::from_millis(slow_ms),
+        qerror_threshold: qerr_limit.unwrap_or(ObsOptions::default().qerror_threshold),
         ..ObsOptions::default()
     });
     eprintln!("loading TPC-D at scale {scale}...");
@@ -84,7 +97,25 @@ fn main() {
             match trimmed {
                 "\\metrics" => print!("{}", obs.metrics_snapshot()),
                 "\\slow" => print!("{}", obs.slow_log().render()),
-                other => println!("unknown command {other}"),
+                "\\profile off" => {
+                    profile_out = None;
+                    println!("profiling off");
+                }
+                "\\profile" => match &profile_out {
+                    Some(p) => println!("profiling to {}", p.display()),
+                    None => println!("profiling off (use \\profile <path>)"),
+                },
+                other => {
+                    if let Some(path) = other.strip_prefix("\\profile ") {
+                        profile_out = Some(PathBuf::from(path.trim()));
+                        println!(
+                            "profiling plain queries to {} (+ .folded)",
+                            profile_out.as_ref().unwrap().display()
+                        );
+                    } else {
+                        println!("unknown command {other}");
+                    }
+                }
             }
             print_prompt();
             continue;
@@ -119,7 +150,7 @@ fn main() {
         let statement = buffer.trim().trim_end_matches(';').trim().to_string();
         buffer.clear();
         if !statement.is_empty() {
-            dispatch(&db, &obs, &statement, modern);
+            dispatch(&db, &obs, &statement, modern, profile_out.as_deref());
         }
         print_prompt();
     }
@@ -181,7 +212,32 @@ fn disabled_config(modern: bool) -> OptimizerConfig {
     })
 }
 
-fn dispatch(db: &Database, obs: &Observability, statement: &str, modern: bool) {
+/// Writes one profiled execution's timeline artifacts: Chrome
+/// trace-event JSON at `path`, folded flamegraph stacks at
+/// `path.folded`.
+fn write_profile(path: &Path, profile: &fto_bench::ExecutionProfile) {
+    let folded = PathBuf::from(format!("{}.folded", path.display()));
+    match std::fs::write(path, profile.to_chrome_trace())
+        .and_then(|()| std::fs::write(&folded, profile.to_folded_stacks()))
+    {
+        Ok(()) => println!(
+            "profile: {} events in {} lanes -> {} (+ {})",
+            profile.event_count(),
+            profile.lanes.len(),
+            path.display(),
+            folded.display()
+        ),
+        Err(e) => println!("profile write error: {e}"),
+    }
+}
+
+fn dispatch(
+    db: &Database,
+    obs: &Observability,
+    statement: &str,
+    modern: bool,
+    profile_out: Option<&Path>,
+) {
     let lower = statement.to_ascii_lowercase();
     let session = |cfg: OptimizerConfig| Session::new(db).config(cfg).observe(obs.clone());
     let compile = |sql: &str, cfg: OptimizerConfig| session(cfg).plan(sql);
@@ -213,7 +269,21 @@ fn dispatch(db: &Database, obs: &Observability, statement: &str, modern: bool) {
             }
         }
     } else {
-        match compile(&lower, base_config(modern)).and_then(|q| q.execute().map(|r| (q, r))) {
+        // Plain query. With `\profile` active, run through the profiled
+        // path (identical rows and totals) and write the timeline out.
+        fn run<'db>(
+            q: fto_bench::PreparedQuery<'db>,
+            profile_out: Option<&Path>,
+        ) -> fto_common::Result<(fto_bench::PreparedQuery<'db>, fto_bench::QueryOutput)> {
+            match profile_out {
+                Some(path) => q.execute_profiled().map(|(r, _, profile)| {
+                    write_profile(path, &profile);
+                    (q, r)
+                }),
+                None => q.execute().map(|r| (q, r)),
+            }
+        }
+        match compile(&lower, base_config(modern)).and_then(|q| run(q, profile_out)) {
             Ok((q, r)) => {
                 let graph = q.graph();
                 let names: Vec<&str> = graph

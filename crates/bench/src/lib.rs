@@ -13,5 +13,6 @@ pub mod envknob;
 pub mod harness;
 
 pub use fto_exec::{
-    ObsOptions, Observability, PlanMetrics, PreparedQuery, QueryOutput, Session, StatementOutput,
+    ExecutionProfile, ObsOptions, Observability, PlanMetrics, PreparedQuery, QueryOutput, Session,
+    StatementOutput,
 };

@@ -63,11 +63,12 @@ pub mod session;
 pub mod sortkernel;
 pub mod stream;
 
+pub use fto_obs::{ExecutionProfile, Profiler};
 pub use interp::{run_plan_materialized, QueryResult};
-pub use metrics::{OpMetrics, PlanMetrics, WorkerOpMetrics};
+pub use metrics::{q_error, OpMetrics, PlanMetrics, WorkerOpMetrics};
 pub use obs::{ObsOptions, Observability};
 pub use session::{PreparedQuery, QueryOutput, Session, StatementOutput};
-pub use sortkernel::{SortStats, SpillStats};
+pub use sortkernel::{SegmentStats, SortStats, SpillStats};
 pub use stream::{
     compile_pipeline, execute_plan, execute_plan_instrumented, Batch, ExecContext, ExecOptions,
     Operator, StreamResult,

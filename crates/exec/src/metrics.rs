@@ -22,6 +22,18 @@
 use fto_storage::IoStats;
 use std::time::Duration;
 
+/// The cardinality Q-error between an estimate and an actual: the
+/// multiplicative factor `max(est, act) / min(est, act)` by which the
+/// estimate missed, always ≥ 1.0 (1.0 = exact). Both sides are clamped
+/// to ≥ 1.0 first, so "estimated 0.2 rows, saw 0" is not an infinite
+/// error — sub-row disagreements cannot be acted on and are treated as
+/// exact.
+pub fn q_error(est: f64, actual: f64) -> f64 {
+    let est = est.max(1.0);
+    let actual = actual.max(1.0);
+    est.max(actual) / est.min(actual)
+}
+
 /// Execution metrics recorded for one plan operator.
 ///
 /// `io` and `elapsed` are inclusive of the operator's children; see the
@@ -45,6 +57,27 @@ pub struct OpMetrics {
     /// rows sum to the exchange input's total; their `io` sums into this
     /// node's inclusive `io`, so the rollup invariant is unaffected.
     pub workers: Vec<WorkerOpMetrics>,
+    /// The planner's row estimate for this operator
+    /// ([`fto_planner::Cost::rows`]), recorded at lowering time so
+    /// estimates sit next to actuals in one place.
+    pub est_rows: f64,
+    /// The planner's page-cost estimate for this operator's own work
+    /// ([`fto_planner::Plan::self_cost`]).
+    pub est_cost: f64,
+    /// For segmented sorts, the planner's prefix-group-count estimate;
+    /// `None` for every other operator.
+    pub est_groups: Option<u64>,
+    /// For segmented sorts, the number of prefix groups actually sealed;
+    /// 0 elsewhere.
+    pub segment_groups: u64,
+}
+
+impl OpMetrics {
+    /// The cardinality Q-error of this operator's row estimate
+    /// (see [`q_error`]).
+    pub fn rows_q_error(&self) -> f64 {
+        q_error(self.est_rows, self.rows as f64)
+    }
 }
 
 /// One worker's share of an exchange-parallel operator's work.
@@ -124,6 +157,20 @@ impl PlanMetrics {
         Some(total)
     }
 
+    /// The operator with the worst row-estimate Q-error, as
+    /// `(pre-order id, q_error)`. Ties resolve to the smallest id, so
+    /// the answer is deterministic. `None` only when there are no ops.
+    pub fn worst_q_error(&self) -> Option<(usize, f64)> {
+        let mut worst: Option<(usize, f64)> = None;
+        for (id, op) in self.ops.iter().enumerate() {
+            let q = op.rows_q_error();
+            if worst.map(|(_, w)| q > w).unwrap_or(true) {
+                worst = Some((id, q));
+            }
+        }
+        worst
+    }
+
     /// Checks the rollup invariant: every node's self delta is
     /// well-defined and their sum equals the root's inclusive total.
     /// Returns a description of the first violation, if any.
@@ -166,7 +213,8 @@ mod tests {
             batches: 1,
             io,
             elapsed: Duration::from_micros(10),
-            workers: Vec::new(),
+            est_rows: rows as f64,
+            ..OpMetrics::default()
         }
     }
 
@@ -199,5 +247,32 @@ mod tests {
         };
         assert_eq!(pm.self_io(0), None);
         assert!(pm.validate().is_err());
+    }
+
+    #[test]
+    fn q_error_is_symmetric_and_clamps_below_one_row() {
+        assert_eq!(q_error(10.0, 10.0), 1.0);
+        assert_eq!(q_error(100.0, 10.0), 10.0);
+        assert_eq!(q_error(10.0, 100.0), 10.0);
+        // Sub-row estimates and zero actuals are treated as exact-ish:
+        // both sides clamp to 1 before dividing.
+        assert_eq!(q_error(0.2, 0.0), 1.0);
+        assert_eq!(q_error(0.0, 5.0), 5.0);
+        assert!(q_error(f64::NAN.max(1.0), 1.0) >= 1.0);
+    }
+
+    #[test]
+    fn worst_q_error_picks_largest_with_smallest_id_on_ties() {
+        let mut a = m("scan", 100, io(1, 0));
+        a.est_rows = 100.0; // q = 1
+        let mut b = m("filter", 10, io(1, 0));
+        b.est_rows = 40.0; // q = 4
+        let mut c = m("sort", 10, io(1, 0));
+        c.est_rows = 40.0; // q = 4, ties with b -> b (smaller id) wins
+        let pm = PlanMetrics {
+            ops: vec![a, b, c],
+            children: vec![vec![1], vec![2], vec![]],
+        };
+        assert_eq!(pm.worst_q_error(), Some((1, 4.0)));
     }
 }

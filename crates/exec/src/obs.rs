@@ -29,7 +29,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crate::metrics::PlanMetrics;
-use crate::sortkernel::{SortStats, SpillStats};
+use crate::sortkernel::{SegmentStats, SortStats, SpillStats};
 
 /// Tuning knobs for an [`Observability`] handle.
 #[derive(Clone, Debug)]
@@ -44,6 +44,15 @@ pub struct ObsOptions {
     /// Collect an optimizer trace for every planned query (not just
     /// `EXPLAIN OPTIMIZER`), so slow-log entries carry their trace.
     pub trace_planning: bool,
+    /// Queries whose worst per-operator cardinality Q-error
+    /// ([`crate::metrics::q_error`]) reaches this factor are *misestimated*:
+    /// they enter the slow-query log even when fast (a bad estimate is a
+    /// latent slow query — it only takes more data), and bump the
+    /// `session.misestimated` / `qerror.<op>` counters. The default is
+    /// deliberately generous: small inputs and LIMIT-style early
+    /// termination inflate Q-errors without indicting the estimator.
+    /// Overridable in the REPL via `FTO_QERR_LIMIT`.
+    pub qerror_threshold: f64,
 }
 
 impl Default for ObsOptions {
@@ -53,6 +62,7 @@ impl Default for ObsOptions {
             slow_log_capacity: 32,
             trace_capacity: fto_obs::trace::DEFAULT_CAPACITY,
             trace_planning: true,
+            qerror_threshold: 16.0,
         }
     }
 }
@@ -138,10 +148,18 @@ impl Observability {
     /// Records one query execution: session counters, exact I/O field
     /// totals, sort-kernel work (`sort.key_bytes` / `sort.comparisons`,
     /// the normalized-key codec's observables), spill and buffer-pool
-    /// work under a memory budget (`spill.*` / `pool.*`), the
-    /// latency/rows/pages histograms, and — past the slow threshold — a
-    /// slow-query log entry carrying the annotated plan and the optimizer
-    /// trace collected at plan time.
+    /// work under a memory budget (`spill.*` / `pool.*`),
+    /// segmented-sort group formation (`segment.groups_formed`), the
+    /// latency/rows/pages histograms, and plan-quality feedback when
+    /// per-operator metrics are available: the `query.qerror` histogram
+    /// (worst per-operator Q-error, in hundredths — `150` = 1.5×),
+    /// `qerror.<op>` counters for operators past
+    /// [`ObsOptions::qerror_threshold`], and `session.misestimated`.
+    ///
+    /// A slow-query log entry is recorded when the query crosses the
+    /// latency threshold **or** is misestimated — carrying the annotated
+    /// plan, the worst-estimated operator, and the optimizer trace
+    /// collected at plan time.
     #[allow(clippy::too_many_arguments)]
     pub fn record_execution(
         &self,
@@ -151,8 +169,10 @@ impl Observability {
         io: &IoStats,
         sort: &SortStats,
         spill: &SpillStats,
+        segment: &SegmentStats,
         plan_text: &str,
         trace: Option<&Trace>,
+        metrics: Option<&PlanMetrics>,
     ) {
         let r = &self.inner.registry;
         r.inc("session.queries");
@@ -174,6 +194,7 @@ impl Observability {
         r.add("spill.merge_passes", spill.merge_passes);
         r.add("pool.hits", io.pool_hits);
         r.add("pool.misses", io.pool_misses);
+        r.add("segment.groups_formed", segment.groups_formed);
         r.observe(
             "query.latency_us",
             elapsed.as_micros().min(u64::MAX as u128) as u64,
@@ -183,8 +204,39 @@ impl Observability {
             "query.pages",
             io.sequential_pages + io.random_pages + io.index_pages,
         );
-        if elapsed >= self.inner.opts.slow_query_threshold {
+        // Plan-quality feedback: compare the planner's per-operator row
+        // estimates against what actually flowed. The histogram stores
+        // the worst Q-error in hundredths because buckets are integer
+        // (`100` = exact, `250` = 2.5× off).
+        let mut worst: Option<(f64, String)> = None;
+        if let Some(pm) = metrics {
+            if let Some((id, q)) = pm.worst_q_error() {
+                let op = &pm.ops[id];
+                worst = Some((
+                    q,
+                    format!("{}#{id} est={:.1} act={}", op.name, op.est_rows, op.rows),
+                ));
+                r.observe("query.qerror", (q * 100.0).round() as u64);
+            }
+            for op in &pm.ops {
+                if op.rows_q_error() >= self.inner.opts.qerror_threshold {
+                    r.inc(&format!("qerror.{}", op.name));
+                }
+            }
+        }
+        let misestimated = worst
+            .as_ref()
+            .map(|(q, _)| *q >= self.inner.opts.qerror_threshold)
+            .unwrap_or(false);
+        if misestimated {
+            r.inc("session.misestimated");
+        }
+        if elapsed >= self.inner.opts.slow_query_threshold || misestimated {
             r.inc("session.slow_queries");
+            let (max_qerror, worst_operator) = match worst {
+                Some((q, label)) => (q, Some(label)),
+                None => (1.0, None),
+            };
             self.inner.slow_log.record(SlowQuery {
                 sql: sql.map(str::to_string),
                 elapsed,
@@ -193,6 +245,8 @@ impl Observability {
                 trace: trace
                     .map(|t| format!("{}{}", t.render(), t.summary()))
                     .unwrap_or_default(),
+                max_qerror,
+                worst_operator,
             });
         }
     }
@@ -232,6 +286,7 @@ mod tests {
         let io = IoStats::default();
         let sort = SortStats::default();
         let spill = SpillStats::default();
+        let segment = SegmentStats::default();
         obs.record_execution(
             Some("select 1"),
             Duration::from_millis(1),
@@ -239,7 +294,9 @@ mod tests {
             &io,
             &sort,
             &spill,
+            &segment,
             "p",
+            None,
             None,
         );
         obs.record_execution(
@@ -249,7 +306,9 @@ mod tests {
             &io,
             &sort,
             &spill,
+            &segment,
             "p",
+            None,
             None,
         );
         assert_eq!(obs.slow_log().total_recorded(), 1);
@@ -257,5 +316,50 @@ mod tests {
         assert!(obs
             .metrics_snapshot()
             .contains("counter session.slow_queries 1"));
+    }
+
+    #[test]
+    fn misestimated_fast_query_enters_the_slow_log() {
+        use crate::metrics::OpMetrics;
+        let obs = Observability::new(ObsOptions {
+            slow_query_threshold: Duration::from_secs(3600),
+            qerror_threshold: 4.0,
+            ..ObsOptions::default()
+        });
+        let pm = PlanMetrics {
+            ops: vec![OpMetrics {
+                name: "filter".to_string(),
+                rows: 50,
+                est_rows: 5.0,
+                ..OpMetrics::default()
+            }],
+            children: vec![vec![]],
+        };
+        obs.record_execution(
+            Some("select misjudged"),
+            Duration::from_micros(10),
+            50,
+            &IoStats::default(),
+            &SortStats::default(),
+            &SpillStats::default(),
+            &SegmentStats::default(),
+            "p",
+            None,
+            Some(&pm),
+        );
+        assert_eq!(obs.slow_log().total_recorded(), 1);
+        let text = obs.slow_log().render();
+        assert!(
+            text.contains("worst estimate: filter#0 est=5.0 act=50"),
+            "{text}"
+        );
+        let snap = obs.metrics_snapshot();
+        assert!(snap.contains("counter session.misestimated 1"), "{snap}");
+        assert!(snap.contains("counter qerror.filter 1"), "{snap}");
+        // 10× error in hundredths: the histogram saw a single value 1000.
+        assert!(
+            snap.contains("histogram query.qerror count=1 sum=1000"),
+            "{snap}"
+        );
     }
 }

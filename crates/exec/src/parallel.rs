@@ -46,6 +46,7 @@ use crate::metrics::{OpMetrics, WorkerOpMetrics};
 use crate::sortkernel::{self, SortKeys, SortedRun};
 use crate::stream::{drain_all, lower_worker, Batch, ExecContext, ExecOptions, Operator};
 use fto_common::{Result, Row};
+use fto_obs::profile;
 use fto_planner::Plan;
 use fto_storage::IoStats;
 use std::sync::{Arc, Mutex};
@@ -99,12 +100,25 @@ where
     let (db, graph, batch_size, sort_key_codec) =
         (cx.db, cx.graph, cx.batch_size, cx.sort_key_codec);
     let sub_budget = cx.memory_budget.map(|b| (b / parts).max(1));
+    // Profiler lanes are allocated here on the coordinator, before any
+    // worker spawns, so lane numbering reflects partition order — never
+    // thread scheduling. Each worker installs its pre-assigned lane for
+    // the lifetime of its partition pipeline.
+    let lane_base = cx.profiler.as_ref().map(|p| p.alloc_lanes(parts as u32));
     let results: Vec<Result<WorkerRun<T>>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..parts)
             .map(|part| {
                 let finish = &finish;
+                let profiler = cx.profiler.clone();
                 s.spawn(move || -> Result<WorkerRun<T>> {
                     let started = Instant::now();
+                    let _lane = profiler.as_ref().map(|p| {
+                        p.install_lane_at(
+                            lane_base.expect("lanes pre-allocated") + part as u32,
+                            format!("worker p{part}"),
+                        )
+                    });
+                    profile::span_begin("exchange", || format!("partition p{part}"));
                     // Worker contexts pin threads to 1: partition
                     // pipelines never nest exchanges.
                     let wcx = ExecContext::new(
@@ -115,6 +129,7 @@ where
                             threads: 1,
                             sort_key_codec,
                             memory_budget: sub_budget,
+                            profiler: None,
                         },
                     );
                     let mut wio = IoStats::new();
@@ -129,6 +144,7 @@ where
                     }
                     op.close();
                     let out = finish(rows, &mut wio);
+                    profile::span_end("exchange", || format!("partition p{part}"));
                     Ok(WorkerRun {
                         out,
                         io: wio,
@@ -347,16 +363,30 @@ impl Operator for RepartitionSortOp {
         }
         let keys = &self.keys;
         let codec = cx.sort_key_codec;
+        // Lanes pre-allocated on the coordinator, as in run_partitions.
+        let lane_base = cx
+            .profiler
+            .as_ref()
+            .map(|p| p.alloc_lanes(self.parts as u32));
         let runs: Vec<(SortedRun, Duration)> = std::thread::scope(|s| {
             let handles: Vec<_> = buckets
                 .into_iter()
-                .map(|bucket| {
+                .enumerate()
+                .map(|(part, bucket)| {
+                    let profiler = cx.profiler.clone();
                     s.spawn(move || {
+                        let _lane = profiler.as_ref().map(|p| {
+                            p.install_lane_at(
+                                lane_base.expect("lanes pre-allocated") + part as u32,
+                                format!("bucket-sort p{part}"),
+                            )
+                        });
+                        profile::span_begin("exchange", || format!("bucket p{part}"));
                         let started = Instant::now();
-                        (
-                            sortkernel::sort_tagged_with(bucket, keys, codec),
-                            started.elapsed(),
-                        )
+                        let run = sortkernel::sort_tagged_with(bucket, keys, codec);
+                        let elapsed = started.elapsed();
+                        profile::span_end("exchange", || format!("bucket p{part}"));
+                        (run, elapsed)
                     })
                 })
                 .collect();

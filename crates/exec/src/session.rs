@@ -21,7 +21,7 @@ use crate::obs::Observability;
 use crate::sortkernel::{self, SegmentStats, SortStats, SpillStats};
 use crate::stream::{execute_plan, execute_plan_instrumented, Batch, ExecOptions, StreamResult};
 use fto_common::{Result, Row};
-use fto_obs::{Trace, TraceGuard};
+use fto_obs::{ExecutionProfile, Profiler, Trace, TraceGuard};
 use fto_planner::{OptimizerConfig, Plan, Planner, PlannerStats};
 use fto_qgm::{rewrite, OrderScan, QueryGraph};
 use fto_sql::{bind, parse_query, parse_statement, ExplainMode, Statement};
@@ -225,6 +225,16 @@ impl<'db> Session<'db> {
         self.plan(sql)?.execute()
     }
 
+    /// Compile + execute with the timeline profiler attached: alongside
+    /// the normal output, returns the merged [`ExecutionProfile`]
+    /// (export with [`ExecutionProfile::to_chrome_trace`] /
+    /// [`ExecutionProfile::to_folded_stacks`]). Rows, I/O totals, and
+    /// metric rollups are bit-identical to an unprofiled run.
+    pub fn profile(&self, sql: &str) -> Result<(QueryOutput, ExecutionProfile)> {
+        let (out, _, profile) = self.plan(sql)?.execute_profiled()?;
+        Ok((out, profile))
+    }
+
     /// Renders the chosen plan for `sql` (estimates only) without
     /// executing it.
     pub fn explain(&self, sql: &str) -> Result<String> {
@@ -289,6 +299,7 @@ impl PreparedQuery<'_> {
             threads: self.threads,
             sort_key_codec: self.sort_key_codec,
             memory_budget: self.memory_budget,
+            profiler: None,
         }
     }
 
@@ -324,11 +335,33 @@ impl PreparedQuery<'_> {
     /// identical to the uninstrumented path. Recorded into the attached
     /// observability handle, if any.
     pub fn execute_instrumented(&self) -> Result<(QueryOutput, PlanMetrics)> {
+        self.execute_instrumented_inner(None)
+    }
+
+    /// [`PreparedQuery::execute_instrumented`] with the timeline
+    /// profiler attached: additionally returns the merged
+    /// [`ExecutionProfile`] — per-lane operator spans, spill/segment
+    /// instants, and per-worker exchange lanes, merged deterministically
+    /// by (lane, seq). Profiling only observes: rows, [`IoStats`], and
+    /// the [`PlanMetrics`] rollup are bit-identical to
+    /// [`PreparedQuery::execute_instrumented`], and the run is recorded
+    /// into the attached observability handle the same way.
+    pub fn execute_profiled(&self) -> Result<(QueryOutput, PlanMetrics, ExecutionProfile)> {
+        let profiler = Profiler::new();
+        let (out, metrics) = self.execute_instrumented_inner(Some(profiler.clone()))?;
+        Ok((out, metrics, profiler.finish()))
+    }
+
+    fn execute_instrumented_inner(
+        &self,
+        profiler: Option<Profiler>,
+    ) -> Result<(QueryOutput, PlanMetrics)> {
         let before = sortkernel::stats_snapshot();
         let spill_before = sortkernel::spill_stats_snapshot();
         let segment_before = sortkernel::segment_stats_snapshot();
-        let (result, metrics) =
-            execute_plan_instrumented(self.db, &self.graph, &self.plan, &self.exec_options())?;
+        let mut opts = self.exec_options();
+        opts.profiler = profiler;
+        let (result, metrics) = execute_plan_instrumented(self.db, &self.graph, &self.plan, &opts)?;
         let out = self.wrap(
             result,
             sortkernel::stats_snapshot().delta_since(before),
@@ -343,8 +376,10 @@ impl PreparedQuery<'_> {
                 &out.io,
                 &out.sort,
                 &out.spill,
+                &out.segment,
                 &self.explain(),
                 self.trace.as_ref(),
+                Some(&metrics),
             );
             obs.record_workers(&metrics);
         }
@@ -441,7 +476,9 @@ impl PreparedQuery<'_> {
 
     /// Executes the query and renders the plan tree with each operator's
     /// estimates (`rows`, `cost` — the optimizer's view) annotated with
-    /// what actually happened: rows and batches produced, the pages the
+    /// what actually happened: the estimated rows next to rows and
+    /// batches produced with their cardinality Q-error
+    /// (`max(est, act) / min(est, act)`, 1.00 = exact), the pages the
     /// operator itself charged (children excluded), the resulting
     /// [`IoStats::weighted_page_cost`] against the estimated self cost,
     /// and time spent. A totals line closes the report; the per-operator
@@ -456,10 +493,13 @@ impl PreparedQuery<'_> {
                     match metrics.self_io(id) {
                         Some(s) => {
                             let mut note = format!(
-                                "actual: rows={} batches={} | self pages: seq={} rand={} index={} \
+                                "est: rows={:.0} | actual: rows={} batches={} | q-err={:.2} | \
+                         self pages: seq={} rand={} index={} \
                          (wpc {:.1} vs est {:.1}) | {:.1?}",
+                                m.est_rows,
                                 m.rows,
                                 m.batches,
+                                m.rows_q_error(),
                                 s.sequential_pages,
                                 s.random_pages,
                                 s.index_pages,
@@ -467,6 +507,13 @@ impl PreparedQuery<'_> {
                                 node.self_cost(),
                                 metrics.self_elapsed(id),
                             );
+                            if let Some(est_groups) = m.est_groups {
+                                let _ = write!(
+                                    note,
+                                    " | groups est={est_groups} act={}",
+                                    m.segment_groups
+                                );
+                            }
                             if s.spill_pages_written + s.spill_pages_read > 0 {
                                 let _ = write!(
                                     note,

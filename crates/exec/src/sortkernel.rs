@@ -142,16 +142,21 @@ pub fn spill_stats_snapshot() -> SpillStats {
     }
 }
 
-/// Records `n` spilled runs (or partitions) formed.
+/// Records `n` spilled runs (or partitions) formed. Doubles as a
+/// timeline hook: when the calling thread has a profiler lane installed
+/// the event lands in the execution timeline too.
 pub(crate) fn note_spill_runs(n: u64) {
     if n != 0 {
         SPILL_RUNS.fetch_add(n, AtomicOrd::Relaxed);
+        fto_obs::profile::instant("spill", || format!("spill.runs_formed x{n}"));
     }
 }
 
-/// Records one external merge pass.
+/// Records one external merge pass (also a timeline instant, like
+/// [`note_spill_runs`]).
 pub(crate) fn note_merge_pass() {
     MERGE_PASSES.fetch_add(1, AtomicOrd::Relaxed);
+    fto_obs::profile::instant("spill", || "spill.merge_pass".to_string());
 }
 
 /// Cumulative count of prefix groups formed by segmented (partial) sort
@@ -184,10 +189,12 @@ pub fn segment_stats_snapshot() -> SegmentStats {
     }
 }
 
-/// Records `n` prefix groups formed by a segmented sort.
+/// Records `n` prefix groups formed by a segmented sort (also a
+/// timeline instant, like [`note_spill_runs`]).
 pub(crate) fn note_segment_groups(n: u64) {
     if n != 0 {
         SEGMENT_GROUPS.fetch_add(n, AtomicOrd::Relaxed);
+        fto_obs::profile::instant("segment", || "segment.group_sealed".to_string());
     }
 }
 

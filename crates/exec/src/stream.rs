@@ -44,6 +44,7 @@ use fto_common::{
     row_bytes, sortkey, ColId, Direction, FtoError, IndexId, Result, Row, TableId, Value,
 };
 use fto_expr::{agg::Accumulator, vector, AggCall, Expr, PredId, RowLayout};
+use fto_obs::profile;
 use fto_planner::{Plan, PlanNode, ScanRange};
 use fto_qgm::QueryGraph;
 use fto_storage::{
@@ -122,6 +123,13 @@ pub struct ExecContext<'a> {
     /// only by its own thread, and borrows are taken only around leaf
     /// page touches, never across child calls.
     pub pool: Option<RefCell<BufferPool>>,
+    /// Timeline profiler for this execution, or `None` (the default).
+    /// Event *emission* is thread-local (see [`fto_obs::profile`]); this
+    /// handle exists so exchange coordinators can allocate and install
+    /// per-worker lanes deterministically before spawning. Profiling
+    /// only observes: rows, [`IoStats`], and metric rollups are
+    /// bit-identical with or without it.
+    pub profiler: Option<fto_obs::Profiler>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -149,6 +157,7 @@ impl<'a> ExecContext<'a> {
             sort_key_codec: opts.sort_key_codec,
             memory_budget,
             pool: memory_budget.map(|b| RefCell::new(BufferPool::new(b))),
+            profiler: opts.profiler.clone(),
         }
     }
 
@@ -197,6 +206,10 @@ pub struct ExecOptions {
     /// Per-query memory budget in bytes, or `None` (the default) for
     /// unbounded execution. See [`ExecContext::memory_budget`].
     pub memory_budget: Option<usize>,
+    /// Timeline profiler to attach, or `None` (the default; zero
+    /// overhead beyond one thread-local branch per hook). See
+    /// [`ExecContext::profiler`].
+    pub profiler: Option<fto_obs::Profiler>,
 }
 
 impl Default for ExecOptions {
@@ -206,6 +219,7 @@ impl Default for ExecOptions {
             threads: 1,
             sort_key_codec: true,
             memory_budget: None,
+            profiler: None,
         }
     }
 }
@@ -260,6 +274,9 @@ pub fn execute_plan_instrumented(
     let start = Instant::now();
     let mut io = IoStats::new();
     let cx = ExecContext::new(db, graph, opts);
+    // Lane 0 = the coordinator thread, for the lifetime of this
+    // execution. Workers install their own lanes (see crate::parallel).
+    let _lane = cx.profiler.as_ref().map(|p| p.install_lane("coordinator"));
     let slots = Arc::new(Mutex::new(Vec::new()));
     let mut root = lower_impl(
         plan,
@@ -876,10 +893,19 @@ struct SegmentedSortOp {
     /// Sealed groups not yet emitted, in arrival order.
     emits: VecDeque<SegmentEmit>,
     input_done: bool,
+    /// This node's metric slot, when instrumented: sealed groups count
+    /// into [`OpMetrics::segment_groups`] so EXPLAIN ANALYZE can show
+    /// the actual group count next to the planner's estimate.
+    slot: Option<(usize, Arc<Mutex<Vec<OpMetrics>>>)>,
 }
 
 impl SegmentedSortOp {
-    fn new(child: Box<dyn Operator>, keys: SortKeys, prefix_len: usize) -> SegmentedSortOp {
+    fn new(
+        child: Box<dyn Operator>,
+        keys: SortKeys,
+        prefix_len: usize,
+        slot: Option<(usize, Arc<Mutex<Vec<OpMetrics>>>)>,
+    ) -> SegmentedSortOp {
         let (pkeys, skeys) = {
             let (p, s) = keys.split_at(prefix_len.min(keys.len()));
             (p.to_vec(), s.to_vec())
@@ -898,6 +924,7 @@ impl SegmentedSortOp {
             former: None,
             emits: VecDeque::new(),
             input_done: false,
+            slot,
         }
     }
 
@@ -909,6 +936,9 @@ impl SegmentedSortOp {
             return;
         }
         sortkernel::note_segment_groups(1);
+        if let Some((id, slots)) = &self.slot {
+            slots.lock().expect("metrics mutex poisoned")[*id].segment_groups += 1;
+        }
         if let Some(former) = self.former.take() {
             // The former charged `sort_rows` per run itself.
             match former.finish(io) {
@@ -2218,6 +2248,9 @@ struct InstrumentedOp {
     inner: Box<dyn Operator>,
     id: usize,
     slots: Arc<Mutex<Vec<OpMetrics>>>,
+    /// `name#id` — the span label this wrapper emits into the timeline
+    /// profiler (when the executing thread has a lane installed).
+    label: String,
 }
 
 impl InstrumentedOp {
@@ -2231,29 +2264,53 @@ impl InstrumentedOp {
 
 impl Operator for InstrumentedOp {
     fn open(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<()> {
+        profile::span_begin("operator", || format!("{}.open", self.label));
         let before = *io;
         let started = Instant::now();
         let result = self.inner.open(cx, io);
         self.record(&before, io, started);
+        profile::span_end_with(
+            "operator",
+            || format!("{}.open", self.label),
+            || {
+                let d = io.delta_since(&before);
+                vec![
+                    ("seq_pages", d.sequential_pages),
+                    ("sort_rows", d.sort_rows),
+                ]
+            },
+        );
         result
     }
 
     fn next_batch(&mut self, cx: &ExecContext<'_>, io: &mut IoStats) -> Result<Option<Batch>> {
+        profile::span_begin("operator", || format!("{}.next", self.label));
         let before = *io;
         let started = Instant::now();
         let result = self.inner.next_batch(cx, io);
         self.record(&before, io, started);
+        let rows = match &result {
+            Ok(Some(batch)) => batch.len() as u64,
+            _ => 0,
+        };
         if let Ok(Some(batch)) = &result {
             let mut slots = self.slots.lock().expect("metrics mutex poisoned");
             let m = &mut slots[self.id];
             m.rows += batch.len() as u64;
             m.batches += 1;
         }
+        profile::span_end_with(
+            "operator",
+            || format!("{}.next", self.label),
+            || vec![("rows", rows)],
+        );
         result
     }
 
     fn close(&mut self) {
+        profile::span_begin("operator", || format!("{}.close", self.label));
         self.inner.close();
+        profile::span_end("operator", || format!("{}.close", self.label));
     }
 }
 
@@ -2273,6 +2330,22 @@ fn partitionable(plan: &Plan) -> bool {
     }
 }
 
+/// The freshly-reserved metric slot for one plan node: actual counters
+/// zeroed, the planner's estimates copied in at lowering time so every
+/// recorded slot carries its own est-vs-actual pair (Q-error feedback).
+fn op_metrics_for(plan: &Plan) -> OpMetrics {
+    OpMetrics {
+        name: plan.op_name().to_string(),
+        est_rows: plan.cost.rows,
+        est_cost: plan.self_cost(),
+        est_groups: match &plan.node {
+            PlanNode::SegmentedSort { est_groups, .. } => Some(*est_groups),
+            _ => None,
+        },
+        ..OpMetrics::default()
+    }
+}
+
 /// Reserves metric slots for an exchanged subtree the coordinator will
 /// not itself lower, mirroring [`lower_impl`]'s pre-order id assignment
 /// so worker-side wrappers land in the right slots and sibling nodes
@@ -2284,10 +2357,7 @@ fn reserve_subtree(plan: &Plan, lw: &mut LowerCx) {
             slots
                 .lock()
                 .expect("metrics mutex poisoned")
-                .push(OpMetrics {
-                    name: plan.op_name().to_string(),
-                    ..OpMetrics::default()
-                });
+                .push(op_metrics_for(plan));
         }
     }
     for c in plan.children() {
@@ -2342,10 +2412,7 @@ fn lower_impl(plan: &Plan, lw: &mut LowerCx) -> Result<Box<dyn Operator>> {
         if let Some(slots) = &lw.slots {
             let mut slots = slots.lock().expect("metrics mutex poisoned");
             debug_assert_eq!(id, slots.len(), "slot ids must be pre-order");
-            slots.push(OpMetrics {
-                name: plan.op_name().to_string(),
-                ..OpMetrics::default()
-            });
+            slots.push(op_metrics_for(plan));
         }
     }
     // Exchange insertion happens only on the coordinator (never inside a
@@ -2418,6 +2485,7 @@ fn lower_impl(plan: &Plan, lw: &mut LowerCx) -> Result<Box<dyn Operator>> {
             input,
             spec,
             prefix_len,
+            ..
         } => {
             let keys = resolve_keys(spec, &input.layout)?;
             if parallel && partitionable(input) {
@@ -2431,10 +2499,12 @@ fn lower_impl(plan: &Plan, lw: &mut LowerCx) -> Result<Box<dyn Operator>> {
                 let child = lower_impl(input, lw)?;
                 Box::new(RepartitionSortOp::new(child, keys, lw.threads, slot))
             } else {
+                let slot = own_slot(lw, id);
                 Box::new(SegmentedSortOp::new(
                     lower_impl(input, lw)?,
                     keys,
                     *prefix_len,
+                    slot,
                 ))
             }
         }
@@ -2606,6 +2676,7 @@ fn lower_impl(plan: &Plan, lw: &mut LowerCx) -> Result<Box<dyn Operator>> {
             inner: op,
             id,
             slots: Arc::clone(slots),
+            label: format!("{}#{id}", plan.op_name()),
         }),
         None => op,
     })

@@ -19,13 +19,20 @@
 //! * [`slowlog`] — a bounded log of the slowest queries, each entry
 //!   carrying the SQL, the annotated plan, and the optimizer trace that
 //!   produced it.
+//! * [`profile`] — an opt-in execution timeline profiler: span/instant
+//!   events buffered per worker lane, merged deterministically by
+//!   (lane, seq), exported as Chrome trace-event JSON and folded stacks.
+//!   Unlike [`trace`], profile events carry timestamps — which is why
+//!   they live in their own buffers and never enter the optimizer trace.
 
 #![deny(missing_docs)]
 
 pub mod metrics;
+pub mod profile;
 pub mod slowlog;
 pub mod trace;
 
 pub use metrics::{HistogramSnapshot, Registry};
+pub use profile::{ExecutionProfile, LaneGuard, LaneProfile, ProfileEvent, Profiler, SpanKind};
 pub use slowlog::{SlowQuery, SlowQueryLog};
 pub use trace::{Trace, TraceCounts, TraceEvent, TraceGuard};

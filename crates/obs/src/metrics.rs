@@ -330,4 +330,39 @@ mod tests {
             "{text}"
         );
     }
+
+    #[test]
+    fn exposition_is_fully_sorted_regardless_of_registration_order() {
+        // Register a larger name set in scrambled order and require the
+        // exposition to list every kind in sorted name order, so REPL
+        // smokes and snapshot diffs never depend on insertion order.
+        let r = Registry::new();
+        for name in ["zeta.c", "alpha.c", "mid.c", "beta.c", "omega.c"] {
+            r.inc(name);
+        }
+        for name in ["z.gauge", "a.gauge", "m.gauge"] {
+            r.set_gauge(name, 1.0);
+        }
+        for name in ["z.hist", "a.hist", "m.hist"] {
+            r.observe(name, 5);
+        }
+        let text = r.expose();
+        for (kind, names) in [
+            (
+                "counter",
+                vec!["alpha.c", "beta.c", "mid.c", "omega.c", "zeta.c"],
+            ),
+            ("gauge", vec!["a.gauge", "m.gauge", "z.gauge"]),
+            ("histogram", vec!["a.hist", "m.hist", "z.hist"]),
+        ] {
+            let listed: Vec<&str> = text
+                .lines()
+                .filter(|l| l.starts_with(kind))
+                .map(|l| l.split_whitespace().nth(1).unwrap())
+                .collect();
+            assert_eq!(listed, names, "{kind} lines out of order:\n{text}");
+        }
+        // Deterministic end to end: a second exposition is byte-identical.
+        assert_eq!(text, r.expose());
+    }
 }

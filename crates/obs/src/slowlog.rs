@@ -1,10 +1,13 @@
 //! A bounded log of the slowest queries.
 //!
 //! The session layer decides *what* counts as slow (its configured
-//! threshold) and records offenders here, each with the artefacts needed
-//! to diagnose it after the fact: the SQL text, the annotated plan, and
-//! the optimizer trace that chose the plan. The log keeps the most
-//! recent `capacity` entries.
+//! latency threshold, or a per-operator cardinality Q-error over the
+//! misestimation threshold — a badly estimated query is a latent slow
+//! query even when it happens to run fast) and records offenders here,
+//! each with the artefacts needed to diagnose it after the fact: the
+//! SQL text, the annotated plan, the worst-estimated operator, and the
+//! optimizer trace that chose the plan. The log keeps the most recent
+//! `capacity` entries.
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -24,6 +27,13 @@ pub struct SlowQuery {
     pub plan: String,
     /// The rendered optimizer trace, empty when planning was not traced.
     pub trace: String,
+    /// The worst per-operator cardinality Q-error
+    /// (`max(est, act) / min(est, act)`, both clamped to ≥ 1), or 1.0
+    /// when no per-operator metrics were available.
+    pub max_qerror: f64,
+    /// The operator behind `max_qerror`, rendered as
+    /// `name#id est=… act=…`, when per-operator metrics were available.
+    pub worst_operator: Option<String>,
 }
 
 #[derive(Default)]
@@ -89,6 +99,9 @@ impl SlowQueryLog {
                 e.rows
             );
             let _ = writeln!(out, "sql: {}", e.sql.as_deref().unwrap_or("<prepared>"));
+            if let Some(worst) = &e.worst_operator {
+                let _ = writeln!(out, "worst estimate: {} (q-err {:.2})", worst, e.max_qerror);
+            }
             out.push_str(&e.plan);
             if !e.plan.ends_with('\n') {
                 out.push('\n');
@@ -113,6 +126,8 @@ mod tests {
             rows: 3,
             plan: format!("plan-{tag}"),
             trace: String::new(),
+            max_qerror: 1.0,
+            worst_operator: None,
         }
     }
 
@@ -136,5 +151,19 @@ mod tests {
     fn empty_log_renders_placeholder() {
         let log = SlowQueryLog::new(4);
         assert!(log.render().contains("empty"));
+    }
+
+    #[test]
+    fn worst_operator_renders_when_present() {
+        let log = SlowQueryLog::new(4);
+        let mut e = entry("q");
+        e.max_qerror = 12.5;
+        e.worst_operator = Some("filter#1 est=3.9 act=49".to_string());
+        log.record(e);
+        let text = log.render();
+        assert!(
+            text.contains("worst estimate: filter#1 est=3.9 act=49 (q-err 12.50)"),
+            "{text}"
+        );
     }
 }

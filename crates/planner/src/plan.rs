@@ -85,6 +85,11 @@ pub enum PlanNode {
         /// How many leading keys of `spec` the input's order property
         /// satisfies (`1 ≤ prefix_len < spec.len()`).
         prefix_len: usize,
+        /// The planner's estimate of how many prefix groups the input
+        /// forms — the quantity that justified choosing a segmented sort
+        /// over a full sort. Carried so the executor can report it next
+        /// to the actual group count (Q-error feedback).
+        est_groups: u64,
     },
     /// Tuple-at-a-time nested-loop join (inner rescanned per outer row).
     NestedLoopJoin {
@@ -587,6 +592,7 @@ mod tests {
                 input: scan.clone(),
                 spec: OrderSpec::ascending([ColId(0), ColId(1)]),
                 prefix_len: 1,
+                est_groups: 4,
             },
             layout: scan.layout.clone(),
             props: scan.props.clone(),

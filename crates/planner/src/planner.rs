@@ -118,6 +118,7 @@ impl<'a> Planner<'a> {
             input,
             spec,
             prefix_len,
+            ..
         } = &plan.node
         {
             // Early exit: a segmented sort streams one prefix group at a
@@ -682,6 +683,7 @@ impl<'a> Planner<'a> {
                             input: Arc::new(plan),
                             spec: minimal,
                             prefix_len,
+                            est_groups: groups.round() as u64,
                         },
                         layout,
                         props,

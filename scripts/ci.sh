@@ -64,6 +64,14 @@ if [[ "${1:-}" != "quick" ]]; then
         echo "smoke failed: no actuals in EXPLAIN ANALYZE output"
         exit 1
     fi
+    if ! grep -Eq "q-err=[0-9]+\.[0-9]+" <<<"$smoke_out"; then
+        echo "smoke failed: no q-err column in EXPLAIN ANALYZE output"
+        exit 1
+    fi
+    if ! grep -Eq "histogram query.qerror .*count=[1-9]" <<<"$smoke_out"; then
+        echo "smoke failed: \\metrics query.qerror histogram not populated"
+        exit 1
+    fi
     if ! grep -q "sort-ahead" <<<"$smoke_out"; then
         echo "smoke failed: no sort-ahead variants in EXPLAIN OPTIMIZER output"
         exit 1
@@ -121,6 +129,28 @@ if [[ "${1:-}" != "quick" ]]; then
         exit 1
     fi
     grep -E "PartialSortChosen|segmented: groups=" <<<"$seg_out" | head -4
+
+    echo "==> smoke: \\profile emits a valid Chrome trace, tracecheck-verified"
+    trace_out="$(mktemp -t fto_profile_XXXXXX.json)"
+    profile_out=$(printf '%s\n' \
+        "\\profile ${trace_out}" \
+        "${q3};" \
+        ".quit" \
+        | FTO_THREADS=4 cargo run -q -p fto-bench --release --bin repl -- 0.005)
+    if ! grep -Eq "profile: [1-9][0-9]* events in [1-9][0-9]* lanes" <<<"$profile_out"; then
+        echo "smoke failed: \\profile reported no captured events"
+        exit 1
+    fi
+    cargo run -q -p fto-bench --release --bin tracecheck -- "$trace_out"
+    if ! grep -q '"ph":"M"' "$trace_out"; then
+        echo "smoke failed: trace has no thread_name metadata (per-worker lanes missing)"
+        exit 1
+    fi
+    if [[ ! -s "${trace_out}.folded" ]]; then
+        echo "smoke failed: no folded stacks written next to the Chrome trace"
+        exit 1
+    fi
+    rm -f "$trace_out" "${trace_out}.folded"
 
     echo "==> smoke: columnar engine output identical across operator inventories"
     colq="select o_shippriority, count(*) as cnt from orders group by o_shippriority order by o_shippriority"

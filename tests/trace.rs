@@ -11,11 +11,16 @@
 //! * **acceptance** — `EXPLAIN OPTIMIZER` on TPC-D Q3 shows sort-ahead
 //!   variants and the pruning decision for each discarded plan;
 //! * **slow log** — queries past the threshold are captured with their
-//!   SQL, plan, and optimizer trace.
+//!   SQL, plan, and optimizer trace; *misestimated* queries (worst
+//!   per-operator Q-error past `ObsOptions::qerror_threshold`) are
+//!   admitted even when fast, carrying the worst-offender operator.
 
 use fto_bench::corpus::{emp_db, EMP_QUERIES};
 use fto_bench::{ObsOptions, Observability, Session};
+use fto_catalog::{Catalog, ColumnDef, KeyDef};
+use fto_common::{DataType, Value};
 use fto_planner::OptimizerConfig;
+use fto_storage::Database;
 use fto_tpcd::{build_database, queries, TpcdConfig};
 use std::time::Duration;
 
@@ -222,4 +227,75 @@ fn slow_log_captures_sql_plan_and_trace() {
     assert!(rendered.contains("optimizer trace:"), "{rendered}");
     assert!(rendered.contains("summary:"), "{rendered}");
     assert_eq!(obs.registry().counter("session.slow_queries"), 1);
+}
+
+/// Two perfectly correlated columns (`v = k`): a conjunction over both
+/// defeats the independence assumption, so the planner's estimate is the
+/// single-conjunct selectivity squared while the true selectivity is
+/// that of one conjunct.
+fn correlated_db() -> Database {
+    let mut cat = Catalog::new();
+    let t = cat
+        .create_table(
+            "t",
+            vec![
+                ColumnDef::new("k", DataType::Int),
+                ColumnDef::new("v", DataType::Int),
+            ],
+            vec![KeyDef::primary([0])],
+        )
+        .unwrap();
+    let mut db = Database::new(cat);
+    db.load_table(
+        t,
+        (0..100)
+            .map(|i| vec![Value::Int(i), Value::Int(i)].into_boxed_slice())
+            .collect(),
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn misestimated_fast_query_lands_in_the_slow_log() {
+    let db = correlated_db();
+    // Latency can never trip the gate (an hour); only misestimation can.
+    let obs = Observability::new(ObsOptions {
+        slow_query_threshold: Duration::from_secs(3600),
+        qerror_threshold: 2.0,
+        ..ObsOptions::default()
+    });
+    let session = Session::new(&db).observe(obs.clone());
+
+    // Well-estimated query first: a full scan's cardinality is exact, so
+    // nothing is admitted.
+    session.execute("select k from t order by k").unwrap();
+    assert_eq!(obs.slow_log().total_recorded(), 0);
+    assert_eq!(obs.registry().counter("session.misestimated"), 0);
+
+    // The correlated conjunction underestimates by ~4x — admitted despite
+    // finishing far under the latency threshold.
+    let sql = "select k from t where k < 25 and v < 25 order by k";
+    session.execute(sql).unwrap();
+    assert_eq!(obs.slow_log().total_recorded(), 1);
+    assert_eq!(obs.registry().counter("session.misestimated"), 1);
+    let rendered = obs.slow_log().render();
+    assert!(rendered.contains(sql), "{rendered}");
+    assert!(
+        rendered.contains("worst estimate: "),
+        "the worst-offender operator must be identified:\n{rendered}"
+    );
+    assert!(rendered.contains("act=25"), "{rendered}");
+    // The registry saw the misestimate too: the Q-error histogram has
+    // both queries, and per-operator-kind counters flag the offenders
+    // (both the filter and the projection above it carry the squared
+    // selectivity).
+    let qerr = obs
+        .registry()
+        .histogram("query.qerror")
+        .expect("qerror histogram exists");
+    assert_eq!(qerr.count, 2);
+    let flagged =
+        obs.registry().counter("qerror.filter") + obs.registry().counter("qerror.project");
+    assert!(flagged >= 1, "no per-operator misestimate counter bumped");
 }
